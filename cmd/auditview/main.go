@@ -1,0 +1,135 @@
+// Command auditview inspects exported lciot audit logs (the JSON produced
+// by audit.ExportJSON / lciotd's shutdown export): verification of the
+// tamper-evident chain, compliance reporting, provenance graph export, and
+// the forensic queries of the paper's Section 8.3.
+//
+// Usage:
+//
+//	auditview verify <log.json>              check the hash chain
+//	auditview report <log.json>              print a compliance summary
+//	auditview dot <log.json>                 emit the provenance graph (DOT)
+//	auditview ancestry <log.json> <node>     how was this produced?
+//	auditview descendants <log.json> <node>  where did this end up?
+//	auditview agents <log.json> <node>       who is responsible for it?
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"lciot/internal/audit"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	if len(args) < 2 {
+		usage()
+		return 2
+	}
+	cmd, path := args[0], args[1]
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "auditview:", err)
+		return 1
+	}
+	recs, err := audit.ImportRecords(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "auditview:", err)
+		return 1
+	}
+
+	switch cmd {
+	case "verify":
+		if err := audit.VerifySegment(recs, nil); err != nil {
+			fmt.Println("chain BROKEN:", err)
+			return 1
+		}
+		fmt.Printf("chain intact: %d records\n", len(recs))
+		return 0
+	case "report":
+		return report(recs)
+	case "dot":
+		fmt.Print(audit.BuildGraph(recs).DOT())
+		return 0
+	case "ancestry", "descendants", "agents":
+		if len(args) != 3 {
+			usage()
+			return 2
+		}
+		return query(recs, cmd, args[2])
+	default:
+		usage()
+		return 2
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr,
+		"usage: auditview verify|report|dot <log.json> | auditview ancestry|descendants|agents <log.json> <node>")
+}
+
+func report(recs []audit.Record) int {
+	byKind := map[string]int{}
+	byLayer := map[string]int{}
+	for _, r := range recs {
+		byKind[r.Kind.String()]++
+		byLayer[r.Layer.String()]++
+	}
+	fmt.Printf("records: %d\n", len(recs))
+	printCounts("by kind", byKind)
+	printCounts("by layer", byLayer)
+	if err := audit.VerifySegment(recs, nil); err != nil {
+		fmt.Println("chain: BROKEN —", err)
+		return 1
+	}
+	fmt.Println("chain: intact")
+	for _, r := range recs {
+		if r.Kind == audit.FlowDenied {
+			fmt.Printf("denial seq=%d %s -> %s: %s\n", r.Seq, r.Src, r.Dst, r.Note)
+		}
+		if r.Kind == audit.BreakGlass {
+			fmt.Printf("break-glass seq=%d: %s\n", r.Seq, r.Note)
+		}
+	}
+	return 0
+}
+
+func printCounts(title string, counts map[string]int) {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Println(title + ":")
+	for _, k := range keys {
+		fmt.Printf("  %-16s %d\n", k, counts[k])
+	}
+}
+
+func query(recs []audit.Record, kind, node string) int {
+	g := audit.BuildGraph(recs)
+	var (
+		out []string
+		err error
+	)
+	switch kind {
+	case "ancestry":
+		out, err = g.Ancestry(node)
+	case "descendants":
+		out, err = g.Descendants(node)
+	case "agents":
+		out, err = g.Agents(node)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "auditview:", err)
+		return 1
+	}
+	for _, n := range out {
+		fmt.Println(n)
+	}
+	return 0
+}

@@ -1,0 +1,50 @@
+// Command benchharness regenerates every experiment in EXPERIMENTS.md: the
+// eleven figure reproductions E1-E11 (scenario checks with observable
+// outcomes) and the quantitative tables B1-B8. Absolute numbers depend on
+// the host; the *shapes* (who wins, what scales how) are the reproduction
+// targets.
+//
+// Usage:
+//
+//	benchharness            run everything
+//	benchharness -e         run only the E-series scenarios
+//	benchharness -b         run only the B-series measurements
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	eOnly := flag.Bool("e", false, "run only the E-series figure reproductions")
+	bOnly := flag.Bool("b", false, "run only the B-series measurements")
+	flag.Parse()
+
+	failed := 0
+	if !*bOnly {
+		fmt.Println("=== E-series: figure reproductions ===")
+		for _, exp := range experiments {
+			obs, err := exp.run()
+			status := "PASS"
+			if err != nil {
+				status = "FAIL: " + err.Error()
+				failed++
+			}
+			fmt.Printf("%-4s %-34s %s\n", exp.id, exp.title, status)
+			if obs != "" {
+				fmt.Printf("     %s\n", obs)
+			}
+		}
+		fmt.Println()
+	}
+	if !*eOnly {
+		fmt.Println("=== B-series: quantitative tables ===")
+		runMeasurements()
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchharness: %d experiments failed\n", failed)
+		os.Exit(1)
+	}
+}

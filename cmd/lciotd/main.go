@@ -1,0 +1,267 @@
+// Command lciotd runs one lciot middleware node (an administrative domain)
+// from a JSON configuration: it registers the declared schemas and
+// components, loads policy, establishes the configured channels, serves
+// federation links on TCP, and on shutdown (SIGINT/SIGTERM) exports the
+// audit log for offline verification with auditview.
+//
+// Usage:
+//
+//	lciotd -config node.json
+//
+// A minimal configuration:
+//
+//	{
+//	  "domain": "hospital",
+//	  "listen": "127.0.0.1:7000",
+//	  "policy_file": "hospital.lcp",
+//	  "audit_export": "audit.json",
+//	  "schemas": [
+//	    {"name": "vitals", "fields": [
+//	      {"name": "patient", "type": "string", "required": true},
+//	      {"name": "heart-rate", "type": "float", "required": true}]}
+//	  ],
+//	  "components": [
+//	    {"name": "sensor", "principal": "hospital",
+//	     "secrecy": ["medical","ann"], "integrity": [],
+//	     "endpoints": [{"name": "out", "dir": "source", "schema": "vitals"}]},
+//	    {"name": "analyser", "principal": "hospital",
+//	     "secrecy": ["medical","ann"], "integrity": [], "log_deliveries": true,
+//	     "endpoints": [{"name": "in", "dir": "sink", "schema": "vitals"}]}
+//	  ],
+//	  "channels": [{"src": "sensor.out", "dst": "analyser.in"}]
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"lciot"
+	"lciot/internal/audit"
+)
+
+// config is the lciotd configuration file schema.
+type config struct {
+	Domain      string            `json:"domain"`
+	Listen      string            `json:"listen,omitempty"`
+	PolicyFile  string            `json:"policy_file,omitempty"`
+	AuditExport string            `json:"audit_export,omitempty"`
+	Schemas     []schemaConfig    `json:"schemas"`
+	Components  []componentConfig `json:"components"`
+	Channels    []channelConfig   `json:"channels"`
+}
+
+type schemaConfig struct {
+	Name   string        `json:"name"`
+	Fields []fieldConfig `json:"fields"`
+}
+
+type fieldConfig struct {
+	Name     string   `json:"name"`
+	Type     string   `json:"type"` // string, float, int, bool, bytes
+	Required bool     `json:"required,omitempty"`
+	Secrecy  []string `json:"secrecy,omitempty"` // message-layer tags
+}
+
+type componentConfig struct {
+	Name          string           `json:"name"`
+	Principal     string           `json:"principal"`
+	Secrecy       []string         `json:"secrecy"`
+	Integrity     []string         `json:"integrity"`
+	Clearance     []string         `json:"clearance,omitempty"`
+	LogDeliveries bool             `json:"log_deliveries,omitempty"`
+	Endpoints     []endpointConfig `json:"endpoints"`
+}
+
+type endpointConfig struct {
+	Name   string `json:"name"`
+	Dir    string `json:"dir"` // source or sink
+	Schema string `json:"schema"`
+}
+
+type channelConfig struct {
+	Src string `json:"src"`
+	Dst string `json:"dst"`
+}
+
+func main() {
+	configPath := flag.String("config", "", "path to node configuration (JSON)")
+	flag.Parse()
+	if *configPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*configPath); err != nil {
+		log.Fatal("lciotd: ", err)
+	}
+}
+
+func run(configPath string) error {
+	raw, err := os.ReadFile(configPath)
+	if err != nil {
+		return err
+	}
+	var cfg config
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return fmt.Errorf("parse config: %w", err)
+	}
+	if cfg.Domain == "" {
+		return fmt.Errorf("config: domain is required")
+	}
+
+	domain, err := lciot.NewDomain(cfg.Domain, lciot.Options{
+		OnAlert: func(m string) { log.Printf("alert: %s", m) },
+	})
+	if err != nil {
+		return err
+	}
+
+	schemas, err := buildSchemas(cfg.Schemas)
+	if err != nil {
+		return err
+	}
+	if err := registerComponents(domain, cfg.Components, schemas); err != nil {
+		return err
+	}
+	if cfg.PolicyFile != "" {
+		src, err := os.ReadFile(cfg.PolicyFile)
+		if err != nil {
+			return err
+		}
+		if err := domain.LoadPolicy(string(src)); err != nil {
+			return err
+		}
+		log.Printf("policy loaded from %s", cfg.PolicyFile)
+	}
+	for _, ch := range cfg.Channels {
+		if err := domain.Bus().Connect(lciot.PolicyEnginePrincipal, ch.Src, ch.Dst); err != nil {
+			return fmt.Errorf("channel %s -> %s: %w", ch.Src, ch.Dst, err)
+		}
+		log.Printf("channel established: %s -> %s", ch.Src, ch.Dst)
+	}
+
+	if cfg.Listen != "" {
+		listener, err := lciot.TCP.Listen(cfg.Listen)
+		if err != nil {
+			return err
+		}
+		defer listener.Close()
+		go domain.Serve(listener)
+		log.Printf("domain %q serving federation links on %s", cfg.Domain, listener.Addr())
+	} else {
+		log.Printf("domain %q running (no listener configured)", cfg.Domain)
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+
+	if cfg.AuditExport != "" {
+		data, err := audit.ExportJSON(domain.Log())
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.AuditExport, data, 0o644); err != nil {
+			return err
+		}
+		log.Printf("audit log exported to %s (%d records)", cfg.AuditExport, domain.Log().Len())
+	}
+	return nil
+}
+
+// buildSchemas compiles schema configs.
+func buildSchemas(cfgs []schemaConfig) (map[string]*lciot.Schema, error) {
+	out := make(map[string]*lciot.Schema, len(cfgs))
+	for _, sc := range cfgs {
+		fields := make([]lciot.Field, 0, len(sc.Fields))
+		for _, fc := range sc.Fields {
+			var ft = lciot.TString
+			switch fc.Type {
+			case "string":
+				ft = lciot.TString
+			case "float":
+				ft = lciot.TFloat
+			case "int":
+				ft = lciot.TInt
+			case "bool":
+				ft = lciot.TBool
+			case "bytes":
+				ft = lciot.TBytes
+			default:
+				return nil, fmt.Errorf("schema %q field %q: unknown type %q", sc.Name, fc.Name, fc.Type)
+			}
+			secrecy, err := lciot.NewLabel(toTags(fc.Secrecy)...)
+			if err != nil {
+				return nil, fmt.Errorf("schema %q field %q: %w", sc.Name, fc.Name, err)
+			}
+			fields = append(fields, lciot.Field{
+				Name: fc.Name, Type: ft, Required: fc.Required, Secrecy: secrecy,
+			})
+		}
+		s, err := lciot.NewSchema(sc.Name, lciot.Label{}, fields...)
+		if err != nil {
+			return nil, err
+		}
+		out[sc.Name] = s
+	}
+	return out, nil
+}
+
+// registerComponents registers the configured components on the domain bus.
+func registerComponents(domain *lciot.Domain, cfgs []componentConfig, schemas map[string]*lciot.Schema) error {
+	for _, cc := range cfgs {
+		ctx, err := lciot.NewContext(toTags(cc.Secrecy), toTags(cc.Integrity))
+		if err != nil {
+			return fmt.Errorf("component %q: %w", cc.Name, err)
+		}
+		specs := make([]lciot.EndpointSpec, 0, len(cc.Endpoints))
+		for _, ec := range cc.Endpoints {
+			schema, ok := schemas[ec.Schema]
+			if !ok {
+				return fmt.Errorf("component %q endpoint %q: unknown schema %q", cc.Name, ec.Name, ec.Schema)
+			}
+			var dir = lciot.Source
+			switch ec.Dir {
+			case "source":
+				dir = lciot.Source
+			case "sink":
+				dir = lciot.Sink
+			default:
+				return fmt.Errorf("component %q endpoint %q: dir must be source or sink", cc.Name, ec.Name)
+			}
+			specs = append(specs, lciot.EndpointSpec{Name: ec.Name, Dir: dir, Schema: schema})
+		}
+		var handler lciot.Handler
+		if cc.LogDeliveries {
+			name := cc.Name
+			handler = func(m *lciot.Message, d lciot.Delivery) {
+				log.Printf("%s received %s from %s (quenched: %v)", name, m.Type, d.From, d.Quenched)
+			}
+		}
+		comp, err := domain.Bus().Register(cc.Name, lciot.PrincipalID(cc.Principal), ctx, handler, specs...)
+		if err != nil {
+			return err
+		}
+		if len(cc.Clearance) > 0 {
+			clearance, err := lciot.NewLabel(toTags(cc.Clearance)...)
+			if err != nil {
+				return fmt.Errorf("component %q clearance: %w", cc.Name, err)
+			}
+			comp.SetClearance(clearance)
+		}
+	}
+	return nil
+}
+
+func toTags(ss []string) []lciot.Tag {
+	out := make([]lciot.Tag, len(ss))
+	for i, s := range ss {
+		out[i] = lciot.Tag(s)
+	}
+	return out
+}

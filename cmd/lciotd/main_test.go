@@ -1,0 +1,180 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"lciot"
+)
+
+// TestSampleConfigLoads builds a full domain from the shipped testdata
+// configuration (everything except the blocking daemon loop).
+func TestSampleConfigLoads(t *testing.T) {
+	raw, err := os.ReadFile("testdata/hospital.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cfg config
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Domain != "hospital" || len(cfg.Schemas) != 1 || len(cfg.Components) != 2 {
+		t.Fatalf("config = %+v", cfg)
+	}
+	domain, err := lciot.NewDomain(cfg.Domain, lciot.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemas, err := buildSchemas(cfg.Schemas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := registerComponents(domain, cfg.Components, schemas); err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range cfg.Channels {
+		if err := domain.Bus().Connect(lciot.PolicyEnginePrincipal, ch.Src, ch.Dst); err != nil {
+			t.Fatalf("channel %s -> %s: %v", ch.Src, ch.Dst, err)
+		}
+	}
+	src, err := os.ReadFile("testdata/hospital.lcp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := domain.LoadPolicy(string(src)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(domain.Bus().Channels()); got != 1 {
+		t.Fatalf("channels = %d", got)
+	}
+}
+
+func TestBuildSchemas(t *testing.T) {
+	schemas, err := buildSchemas([]schemaConfig{
+		{Name: "vitals", Fields: []fieldConfig{
+			{Name: "patient", Type: "string", Required: true},
+			{Name: "heart-rate", Type: "float", Required: true},
+			{Name: "count", Type: "int"},
+			{Name: "ambulatory", Type: "bool"},
+			{Name: "raw", Type: "bytes"},
+			{Name: "plate", Type: "string", Secrecy: []string{"pii"}},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := schemas["vitals"]
+	if s == nil {
+		t.Fatal("schema missing")
+	}
+	f, ok := s.Field("plate")
+	if !ok || !f.Secrecy.Has("pii") {
+		t.Fatalf("plate field = %+v, %v", f, ok)
+	}
+	if f, _ := s.Field("patient"); !f.Required {
+		t.Fatal("required lost")
+	}
+}
+
+func TestBuildSchemasErrors(t *testing.T) {
+	if _, err := buildSchemas([]schemaConfig{
+		{Name: "s", Fields: []fieldConfig{{Name: "x", Type: "quaternion"}}},
+	}); err == nil || !strings.Contains(err.Error(), "unknown type") {
+		t.Fatalf("unknown type = %v", err)
+	}
+	if _, err := buildSchemas([]schemaConfig{
+		{Name: "s", Fields: []fieldConfig{{Name: "x", Type: "string", Secrecy: []string{"bad tag"}}}},
+	}); err == nil {
+		t.Fatal("invalid secrecy tag accepted")
+	}
+}
+
+func TestRegisterComponents(t *testing.T) {
+	domain, err := lciot.NewDomain("test", lciot.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemas, err := buildSchemas([]schemaConfig{
+		{Name: "vitals", Fields: []fieldConfig{{Name: "patient", Type: "string", Required: true}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []componentConfig{
+		{
+			Name: "sensor", Principal: "hospital",
+			Secrecy: []string{"medical", "ann"},
+			Endpoints: []endpointConfig{
+				{Name: "out", Dir: "source", Schema: "vitals"},
+			},
+		},
+		{
+			Name: "analyser", Principal: "hospital",
+			Secrecy: []string{"medical", "ann"}, Clearance: []string{"A"},
+			LogDeliveries: true,
+			Endpoints: []endpointConfig{
+				{Name: "in", Dir: "sink", Schema: "vitals"},
+			},
+		},
+	}
+	if err := registerComponents(domain, cfgs, schemas); err != nil {
+		t.Fatal(err)
+	}
+	comp, err := domain.Bus().Component("analyser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !comp.Clearance().Has("A") {
+		t.Fatal("clearance not applied")
+	}
+	if err := domain.Bus().Connect(lciot.PolicyEnginePrincipal, "sensor.out", "analyser.in"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisterComponentsErrors(t *testing.T) {
+	domain, err := lciot.NewDomain("test2", lciot.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemas := map[string]*lciot.Schema{}
+	tests := []struct {
+		name string
+		cfg  componentConfig
+		frag string
+	}{
+		{
+			"unknown-schema",
+			componentConfig{Name: "c", Endpoints: []endpointConfig{{Name: "e", Dir: "source", Schema: "ghost"}}},
+			"unknown schema",
+		},
+		{
+			"bad-dir",
+			componentConfig{Name: "c", Endpoints: []endpointConfig{{Name: "e", Dir: "sideways", Schema: "v"}}},
+			"",
+		},
+		{
+			"bad-tag",
+			componentConfig{Name: "c", Secrecy: []string{"bad tag"}},
+			"",
+		},
+	}
+	vs, err := buildSchemas([]schemaConfig{{Name: "v", Fields: []fieldConfig{{Name: "x", Type: "int"}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemas["v"] = vs["v"]
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := registerComponents(domain, []componentConfig{tt.cfg}, schemas)
+			if err == nil {
+				t.Fatal("bad config accepted")
+			}
+			if tt.frag != "" && !strings.Contains(err.Error(), tt.frag) {
+				t.Fatalf("error %v missing %q", err, tt.frag)
+			}
+		})
+	}
+}

@@ -1,0 +1,130 @@
+// Command policyctl validates and inspects lciot policy files.
+//
+// Usage:
+//
+//	policyctl validate <file.lcp>   parse and report rule statistics
+//	policyctl show <file.lcp>       print the normalised rules
+//	policyctl lint <file.lcp>       warn about statically detectable
+//	                                conflicts (two rules on the same
+//	                                trigger claiming the same resource)
+//
+// Exit status is non-zero on parse errors or (for lint) findings.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"lciot/internal/policy"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: policyctl validate|show|lint <file.lcp>")
+		return 2
+	}
+	cmd, path := args[0], args[1]
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "policyctl:", err)
+		return 1
+	}
+	set, err := policy.Parse(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "policyctl:", err)
+		return 1
+	}
+
+	switch cmd {
+	case "validate":
+		validate(set)
+		return 0
+	case "show":
+		for _, r := range set.Rules {
+			fmt.Println(r)
+		}
+		return 0
+	case "lint":
+		findings := lint(set)
+		for _, f := range findings {
+			fmt.Println("warning:", f)
+		}
+		if len(findings) > 0 {
+			return 1
+		}
+		fmt.Println("no conflicts found")
+		return 0
+	default:
+		fmt.Fprintf(os.Stderr, "policyctl: unknown command %q\n", cmd)
+		return 2
+	}
+}
+
+// validate prints summary statistics.
+func validate(set *policy.PolicySet) {
+	triggers := map[string]int{}
+	actions := 0
+	guarded := 0
+	for _, r := range set.Rules {
+		triggers[r.Trigger.Kind.String()]++
+		actions += len(r.Do)
+		if r.When != nil {
+			guarded++
+		}
+	}
+	fmt.Printf("rules: %d (guarded: %d), actions: %d\n", len(set.Rules), guarded, actions)
+	kinds := make([]string, 0, len(triggers))
+	for k := range triggers {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Printf("  on %s: %d\n", k, triggers[k])
+	}
+}
+
+// lint reports pairs of rules that share a trigger and claim the same
+// resource — candidates for runtime conflicts (Challenge 4). Guards cannot
+// be evaluated statically, so these are warnings, not errors.
+func lint(set *policy.PolicySet) []string {
+	type claim struct {
+		rule     string
+		priority int
+	}
+	var findings []string
+	// Group rules by trigger signature.
+	byTrigger := map[string][]int{}
+	for i, r := range set.Rules {
+		sig := fmt.Sprintf("%s/%s/%s/%s", r.Trigger.Kind, r.Trigger.Pattern, r.Trigger.Key, r.Trigger.Every)
+		byTrigger[sig] = append(byTrigger[sig], i)
+	}
+	for _, idxs := range byTrigger {
+		claimed := map[string]claim{}
+		for _, i := range idxs {
+			r := set.Rules[i]
+			for _, a := range r.Do {
+				res := policy.ResourceOf(a)
+				if res == "" {
+					continue
+				}
+				if prior, ok := claimed[res]; ok && prior.rule != r.Name {
+					tiebreak := ""
+					if prior.priority == r.Priority {
+						tiebreak = " (equal priority: name order decides)"
+					}
+					findings = append(findings, fmt.Sprintf(
+						"rules %q and %q both act on %s%s", prior.rule, r.Name, res, tiebreak))
+					continue
+				}
+				claimed[res] = claim{rule: r.Name, priority: r.Priority}
+			}
+		}
+	}
+	sort.Strings(findings)
+	return findings
+}

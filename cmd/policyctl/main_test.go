@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lciot/internal/policy"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "p.lcp")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const goodPolicy = `
+rule "a" priority 2 { on event "e" when ctx.x do connect "p.out" -> "q.in" }
+rule "b" priority 1 { on event "e" do disconnect "p.out" -> "q.in" }
+rule "c" { on timer 5m do alert "heartbeat" }
+`
+
+func TestRunValidate(t *testing.T) {
+	path := writeTemp(t, goodPolicy)
+	if code := run([]string{"validate", path}); code != 0 {
+		t.Fatalf("validate exit = %d", code)
+	}
+}
+
+func TestRunShow(t *testing.T) {
+	path := writeTemp(t, goodPolicy)
+	if code := run([]string{"show", path}); code != 0 {
+		t.Fatalf("show exit = %d", code)
+	}
+}
+
+func TestRunLintFindsConflicts(t *testing.T) {
+	path := writeTemp(t, goodPolicy)
+	// Rules "a" and "b" claim the same channel on the same trigger.
+	if code := run([]string{"lint", path}); code != 1 {
+		t.Fatalf("lint exit = %d, want 1 (findings)", code)
+	}
+	clean := writeTemp(t, `rule "only" { on event "e" do alert "x" }`)
+	if code := run([]string{"lint", clean}); code != 0 {
+		t.Fatalf("clean lint exit = %d", code)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if code := run(nil); code != 2 {
+		t.Fatalf("no args exit = %d", code)
+	}
+	if code := run([]string{"validate", "/nonexistent/file"}); code != 1 {
+		t.Fatalf("missing file exit = %d", code)
+	}
+	bad := writeTemp(t, "rule {")
+	if code := run([]string{"validate", bad}); code != 1 {
+		t.Fatalf("parse error exit = %d", code)
+	}
+	good := writeTemp(t, `rule "r" { on event "e" do alert "x" }`)
+	if code := run([]string{"explode", good}); code != 2 {
+		t.Fatalf("unknown command exit = %d", code)
+	}
+}
+
+func TestLintDetails(t *testing.T) {
+	set := policy.MustParse(`
+rule "high" priority 5 { on event "e" do set mode = "a" }
+rule "low" priority 5 { on event "e" do set mode = "b" }
+rule "other-trigger" { on event "f" do set mode = "c" }
+`)
+	findings := lint(set)
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v", findings)
+	}
+	if !strings.Contains(findings[0], "equal priority") {
+		t.Fatalf("finding %q should flag the tie", findings[0])
+	}
+	// Identical trigger but different resources: no conflict.
+	set2 := policy.MustParse(`
+rule "a" { on event "e" do set x = 1 }
+rule "b" { on event "e" do set y = 1 }
+`)
+	if findings := lint(set2); len(findings) != 0 {
+		t.Fatalf("spurious findings = %v", findings)
+	}
+}

@@ -1,0 +1,131 @@
+// Command breakglass isolates the paper's Concern 6 mechanism: "in an
+// emergency, 'break-glass' policy overrides normal security constraints
+// ... and replugging the sensor-data streams to make them available to the
+// emergency response team", with the override audited and automatically
+// reverted when it expires.
+//
+// It also shows the context-conditioned counterpart: a nurse's access that
+// exists only while she is on duty, dropped by policy the moment her shift
+// ends.
+//
+// Run with:
+//
+//	go run ./examples/breakglass
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"lciot"
+)
+
+var vitals = lciot.MustSchema("vitals", lciot.Label{},
+	lciot.Field{Name: "patient", Type: lciot.TString, Required: true},
+	lciot.Field{Name: "heart-rate", Type: lciot.TFloat, Required: true},
+)
+
+var patientCtx = lciot.MustContext([]lciot.Tag{"medical", "ann"}, nil)
+
+// simClock drives the scenario deterministically.
+type simClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *simClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *simClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	clock := &simClock{now: time.Unix(1700000000, 0)}
+	domain, err := lciot.NewDomain("home-care", lciot.Options{
+		Clock:   clock.Now,
+		OnAlert: func(m string) { fmt.Println("ALERT:", m) },
+	})
+	if err != nil {
+		return err
+	}
+	bus := domain.Bus()
+
+	for _, spec := range []struct {
+		name string
+		ctx  lciot.SecurityContext
+		dir  lciot.EndpointSpec
+	}{
+		{"ann-sensors", patientCtx, lciot.EndpointSpec{Name: "out", Dir: lciot.Source, Schema: vitals}},
+		{"nurse-app", patientCtx, lciot.EndpointSpec{Name: "in", Dir: lciot.Sink, Schema: vitals}},
+		{"emergency-team", patientCtx, lciot.EndpointSpec{Name: "in", Dir: lciot.Sink, Schema: vitals}},
+	} {
+		if _, err := bus.Register(spec.name, "care-provider", spec.ctx, nil, spec.dir); err != nil {
+			return err
+		}
+	}
+
+	// Policy: shift-conditioned access plus the break-glass emergency rule.
+	if err := domain.LoadPolicy(`
+rule "shift-start" {
+    on context nurse-on-duty
+    when ctx.nurse-on-duty
+    do connect "ann-sensors.out" -> "nurse-app.in"; alert "nurse connected"
+}
+rule "shift-end" {
+    on context nurse-on-duty
+    when not ctx.nurse-on-duty
+    do disconnect "ann-sensors.out" -> "nurse-app.in"; alert "nurse disconnected"
+}
+rule "emergency" priority 10 {
+    on context emergency
+    when ctx.emergency
+    do
+        breakglass 15m;
+        connect "ann-sensors.out" -> "emergency-team.in";
+        alert "break-glass: emergency team plugged in"
+}`); err != nil {
+		return err
+	}
+
+	show := func(stage string) {
+		fmt.Printf("%-28s channels: %v\n", stage, bus.Channels())
+	}
+
+	// Shift lifecycle.
+	domain.Store().Set("nurse-on-duty", lciot.CtxBool(true))
+	show("after shift start:")
+	domain.Store().Set("nurse-on-duty", lciot.CtxBool(false))
+	show("after shift end:")
+
+	// Emergency: the override opens, the team is plugged in.
+	domain.Store().Set("emergency", lciot.CtxBool(true))
+	show("during emergency:")
+	if rule, active := domain.PolicyEngine().OverrideActive(); active {
+		fmt.Printf("override active (rule %q)\n", rule)
+	}
+
+	// Sixteen minutes later the override expires and the replug reverts.
+	clock.Advance(16 * time.Minute)
+	domain.Store().Set("emergency", lciot.CtxBool(false))
+	domain.Tick()
+	show("after override expiry:")
+
+	rep := lciot.Report(domain.Log())
+	fmt.Printf("audit: %d records, break-glass events: %d, chain intact: %v\n",
+		rep.Total, len(rep.BreakGlass), rep.ChainIntact)
+	return nil
+}

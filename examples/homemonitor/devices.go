@@ -1,0 +1,35 @@
+package main
+
+import (
+	"time"
+
+	"lciot"
+)
+
+// newAnnSensor builds Ann's vitals sensor with a scripted tachycardia
+// episode between samples 20 and 40 (deterministic seed).
+func newAnnSensor() *lciot.VitalsSensor {
+	s := lciot.NewVitalsSensor("ann-sensor", 70, 42, time.Unix(1700000000, 0), 10*time.Second)
+	s.ScheduleEpisode(20, 40, 170)
+	return s
+}
+
+// newAnnActuator models the actuatable sampling control on Ann's sensor.
+func newAnnActuator() *lciot.Actuator {
+	return lciot.NewActuator("ann-sensor", map[string][2]float64{
+		"sample-interval": {1, 3600},
+	})
+}
+
+// newTachycardiaPattern detects three readings over 120 bpm within ten
+// minutes of event time.
+func newTachycardiaPattern() lciot.Pattern {
+	return &lciot.ThresholdPattern{
+		PatternName: "tachycardia",
+		Match: func(e lciot.Event) bool {
+			return e.Type == "heart-rate" && e.Value > 120
+		},
+		Count:  3,
+		Window: 10 * time.Minute,
+	}
+}

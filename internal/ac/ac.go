@@ -1,0 +1,182 @@
+// Package ac implements the conventional access-control layer the paper
+// keeps alongside IFC (Section 4): principal-based authorisation at policy
+// enforcement points, with OASIS-style parametrised roles [10] — a role
+// like nurse(ward) can "capture details of an entity, its functionality and
+// context" — and contextual conditions evaluated at check time. IFC then
+// takes over beyond the enforcement point; this package only guards the
+// point itself.
+package ac
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"lciot/internal/ctxmodel"
+	"lciot/internal/ifc"
+)
+
+// Errors reported by authorisation.
+var (
+	ErrDenied      = errors.New("ac: denied")
+	ErrUnknownRole = errors.New("ac: unknown role")
+	ErrBadRoleArgs = errors.New("ac: role argument mismatch")
+)
+
+// A Permission grants an action over a resource pattern. Patterns are
+// '/'-separated; a segment may be a literal, "*" (any one segment), or
+// "$param" (substituted from the role activation's arguments).
+type Permission struct {
+	Action   string
+	Resource string
+}
+
+// A Role is a named, parameterised bundle of permissions.
+type Role struct {
+	Name string
+	// Params names the role's parameters, e.g. ["ward"].
+	Params []string
+	// Grants are the permissions conferred, with $param placeholders.
+	Grants []Permission
+}
+
+// A Condition guards a role activation with a context predicate, e.g.
+// "only while on duty" or "only when at the patient's home" (Section 3,
+// Concern 6).
+type Condition func(ctxmodel.Snapshot) bool
+
+// An Assignment activates a role for a principal with concrete arguments.
+type Assignment struct {
+	Principal ifc.PrincipalID
+	Role      string
+	Args      map[string]string
+	Condition Condition
+}
+
+// An ACL is a set of roles and assignments. The zero value is ready to use
+// (and denies everything).
+type ACL struct {
+	mu          sync.RWMutex
+	roles       map[string]Role
+	assignments map[ifc.PrincipalID][]Assignment
+}
+
+// DefineRole registers or replaces a role.
+func (a *ACL) DefineRole(r Role) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.roles == nil {
+		a.roles = make(map[string]Role)
+	}
+	a.roles[r.Name] = r
+}
+
+// Assign activates a role for a principal. Arguments must cover the role's
+// parameters exactly.
+func (a *ACL) Assign(as Assignment) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	role, ok := a.roles[as.Role]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownRole, as.Role)
+	}
+	if len(as.Args) != len(role.Params) {
+		return fmt.Errorf("%w: role %q takes %d parameters, got %d",
+			ErrBadRoleArgs, as.Role, len(role.Params), len(as.Args))
+	}
+	for _, p := range role.Params {
+		if _, ok := as.Args[p]; !ok {
+			return fmt.Errorf("%w: role %q missing argument %q", ErrBadRoleArgs, as.Role, p)
+		}
+	}
+	if a.assignments == nil {
+		a.assignments = make(map[ifc.PrincipalID][]Assignment)
+	}
+	a.assignments[as.Principal] = append(a.assignments[as.Principal], as)
+	return nil
+}
+
+// Revoke removes every activation of the role for the principal.
+func (a *ACL) Revoke(p ifc.PrincipalID, role string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	kept := a.assignments[p][:0]
+	for _, as := range a.assignments[p] {
+		if as.Role != role {
+			kept = append(kept, as)
+		}
+	}
+	a.assignments[p] = kept
+}
+
+// Authorize checks whether the principal may perform action on resource in
+// the given context. It returns nil on success and an error wrapping
+// ErrDenied otherwise.
+func (a *ACL) Authorize(p ifc.PrincipalID, action, resource string, ctx ctxmodel.Snapshot) error {
+	a.mu.RLock()
+	assignments := a.assignments[p]
+	a.mu.RUnlock()
+
+	for _, as := range assignments {
+		if as.Condition != nil && !as.Condition(ctx) {
+			continue
+		}
+		a.mu.RLock()
+		role, ok := a.roles[as.Role]
+		a.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		for _, g := range role.Grants {
+			if g.Action != action && g.Action != "*" {
+				continue
+			}
+			if matchResource(g.Resource, resource, as.Args) {
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("%w: %q may not %q on %q", ErrDenied, p, action, resource)
+}
+
+// Roles returns the principal's currently-active role names (conditions
+// evaluated against ctx), for audit and introspection.
+func (a *ACL) Roles(p ifc.PrincipalID, ctx ctxmodel.Snapshot) []string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	var out []string
+	for _, as := range a.assignments[p] {
+		if as.Condition == nil || as.Condition(ctx) {
+			out = append(out, as.Role)
+		}
+	}
+	return out
+}
+
+// matchResource matches a pattern against a concrete resource, segment by
+// segment, substituting $params and honouring "*" wildcards. A trailing
+// "**" matches any remaining segments.
+func matchResource(pattern, resource string, args map[string]string) bool {
+	ps := strings.Split(pattern, "/")
+	rs := strings.Split(resource, "/")
+	for i, seg := range ps {
+		if seg == "**" {
+			return true
+		}
+		if i >= len(rs) {
+			return false
+		}
+		switch {
+		case seg == "*":
+			continue
+		case strings.HasPrefix(seg, "$"):
+			if args[seg[1:]] != rs[i] {
+				return false
+			}
+		case seg != rs[i]:
+			return false
+		}
+	}
+	return len(ps) == len(rs)
+}

@@ -1,0 +1,182 @@
+package ac
+
+import (
+	"errors"
+	"testing"
+
+	"lciot/internal/ctxmodel"
+	"lciot/internal/ifc"
+)
+
+// hospitalACL models the paper's running example: a parametrised nurse role
+// whose access is conditioned on being on duty and in the patient's home.
+func hospitalACL(t *testing.T) *ACL {
+	t.Helper()
+	var a ACL
+	a.DefineRole(Role{
+		Name:   "nurse",
+		Params: []string{"ward"},
+		Grants: []Permission{
+			{Action: "read", Resource: "patients/$ward/*"},
+			{Action: "subscribe", Resource: "vitals/$ward/**"},
+		},
+	})
+	a.DefineRole(Role{
+		Name:   "admin",
+		Grants: []Permission{{Action: "*", Resource: "**"}},
+	})
+	onDuty := func(ctx ctxmodel.Snapshot) bool {
+		v, ok := ctx.Get("on-duty")
+		return ok && v.Bool
+	}
+	if err := a.Assign(Assignment{
+		Principal: "alice", Role: "nurse",
+		Args:      map[string]string{"ward": "a"},
+		Condition: onDuty,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Assign(Assignment{Principal: "root", Role: "admin", Args: map[string]string{}}); err != nil {
+		t.Fatal(err)
+	}
+	return &a
+}
+
+func onDutyCtx(on bool) ctxmodel.Snapshot {
+	return ctxmodel.MakeSnapshot(map[string]ctxmodel.Value{"on-duty": ctxmodel.Bool(on)})
+}
+
+func TestParametrisedRoleAuthorisation(t *testing.T) {
+	a := hospitalACL(t)
+	ctx := onDutyCtx(true)
+
+	tests := []struct {
+		name      string
+		principal ifc.PrincipalID
+		action    string
+		resource  string
+		want      bool
+	}{
+		{"own-ward-read", "alice", "read", "patients/a/ann", true},
+		{"other-ward-read", "alice", "read", "patients/b/bob", false},
+		{"own-ward-wrong-action", "alice", "write", "patients/a/ann", false},
+		{"deep-subscribe", "alice", "subscribe", "vitals/a/ann/heart-rate", true},
+		{"deep-subscribe-other-ward", "alice", "subscribe", "vitals/b/zeb/heart-rate", false},
+		{"admin-anything", "root", "delete", "anything/at/all", true},
+		{"stranger", "mallory", "read", "patients/a/ann", false},
+		{"segment-count-mismatch", "alice", "read", "patients/a", false},
+		{"wildcard-not-prefix", "alice", "read", "patients/a/ann/extra", false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := a.Authorize(tt.principal, tt.action, tt.resource, ctx)
+			if tt.want && err != nil {
+				t.Fatalf("denied: %v", err)
+			}
+			if !tt.want && !errors.Is(err, ErrDenied) {
+				t.Fatalf("allowed (or wrong error): %v", err)
+			}
+		})
+	}
+}
+
+func TestConditionGatesRole(t *testing.T) {
+	a := hospitalACL(t)
+	// Off duty: the nurse role is inactive.
+	if err := a.Authorize("alice", "read", "patients/a/ann", onDutyCtx(false)); !errors.Is(err, ErrDenied) {
+		t.Fatalf("off-duty access = %v, want ErrDenied", err)
+	}
+	roles := a.Roles("alice", onDutyCtx(false))
+	if len(roles) != 0 {
+		t.Fatalf("off-duty roles = %v", roles)
+	}
+	roles = a.Roles("alice", onDutyCtx(true))
+	if len(roles) != 1 || roles[0] != "nurse" {
+		t.Fatalf("on-duty roles = %v", roles)
+	}
+}
+
+func TestAssignmentValidation(t *testing.T) {
+	var a ACL
+	a.DefineRole(Role{Name: "r", Params: []string{"p"}})
+	if err := a.Assign(Assignment{Principal: "x", Role: "ghost"}); !errors.Is(err, ErrUnknownRole) {
+		t.Fatalf("unknown role = %v", err)
+	}
+	if err := a.Assign(Assignment{Principal: "x", Role: "r"}); !errors.Is(err, ErrBadRoleArgs) {
+		t.Fatalf("missing args = %v", err)
+	}
+	if err := a.Assign(Assignment{Principal: "x", Role: "r", Args: map[string]string{"q": "1"}}); !errors.Is(err, ErrBadRoleArgs) {
+		t.Fatalf("wrong arg name = %v", err)
+	}
+	if err := a.Assign(Assignment{Principal: "x", Role: "r", Args: map[string]string{"p": "1", "q": "2"}}); !errors.Is(err, ErrBadRoleArgs) {
+		t.Fatalf("extra args = %v", err)
+	}
+}
+
+func TestRevoke(t *testing.T) {
+	a := hospitalACL(t)
+	ctx := onDutyCtx(true)
+	if err := a.Authorize("alice", "read", "patients/a/ann", ctx); err != nil {
+		t.Fatal(err)
+	}
+	a.Revoke("alice", "nurse")
+	if err := a.Authorize("alice", "read", "patients/a/ann", ctx); !errors.Is(err, ErrDenied) {
+		t.Fatalf("post-revoke = %v", err)
+	}
+}
+
+func TestZeroACLDeniesEverything(t *testing.T) {
+	var a ACL
+	if err := a.Authorize("anyone", "read", "anything", ctxmodel.MakeSnapshot(nil)); !errors.Is(err, ErrDenied) {
+		t.Fatalf("zero ACL = %v", err)
+	}
+}
+
+func TestMatchResourceTable(t *testing.T) {
+	args := map[string]string{"ward": "a"}
+	tests := []struct {
+		pattern, resource string
+		want              bool
+	}{
+		{"a/b", "a/b", true},
+		{"a/b", "a/c", false},
+		{"a/*", "a/anything", true},
+		{"a/*", "a", false},
+		{"a/**", "a/b/c/d", true},
+		{"**", "x", true},
+		{"patients/$ward/*", "patients/a/ann", true},
+		{"patients/$ward/*", "patients/b/ann", false},
+		{"$ward", "a", true},
+		{"$missing", "x", false},
+	}
+	for _, tt := range tests {
+		if got := matchResource(tt.pattern, tt.resource, args); got != tt.want {
+			t.Errorf("matchResource(%q, %q) = %v, want %v", tt.pattern, tt.resource, got, tt.want)
+		}
+	}
+}
+
+func TestMultipleActivationsOfSameRole(t *testing.T) {
+	var a ACL
+	a.DefineRole(Role{
+		Name:   "nurse",
+		Params: []string{"ward"},
+		Grants: []Permission{{Action: "read", Resource: "patients/$ward/*"}},
+	})
+	for _, ward := range []string{"a", "b"} {
+		if err := a.Assign(Assignment{
+			Principal: "alice", Role: "nurse", Args: map[string]string{"ward": ward},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := ctxmodel.MakeSnapshot(nil)
+	for _, ward := range []string{"a", "b"} {
+		if err := a.Authorize("alice", "read", "patients/"+ward+"/x", ctx); err != nil {
+			t.Fatalf("ward %s: %v", ward, err)
+		}
+	}
+	if err := a.Authorize("alice", "read", "patients/c/x", ctx); !errors.Is(err, ErrDenied) {
+		t.Fatalf("ward c = %v", err)
+	}
+}

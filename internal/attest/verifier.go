@@ -1,0 +1,102 @@
+package attest
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// A Policy states what a verifier requires of a remote platform before
+// interacting (Section 4: "can I trust this remote host to handle my
+// data?").
+type Policy struct {
+	// ExpectedPCRs maps register index to the required value. Platforms
+	// whose measured state differs are rejected.
+	ExpectedPCRs map[int][32]byte
+	// Region, when non-empty, requires the platform to be certified for
+	// this geographic region (e.g. "eu" for EU-only data, per [39]).
+	Region string
+}
+
+// A Verifier performs remote attestation: it issues nonces, validates
+// quotes against known endorsement keys, and applies measurement policy.
+type Verifier struct {
+	mu sync.Mutex
+	// known maps device IDs to their certified endorsement keys.
+	known map[string]ed25519.PublicKey
+	// outstanding nonces per device, to detect replays.
+	nonces map[string]uint64
+	rng    *rand.Rand
+}
+
+// NewVerifier builds a verifier. The seed makes nonce sequences
+// reproducible in tests and simulations.
+func NewVerifier(seed int64) *Verifier {
+	return &Verifier{
+		known:  make(map[string]ed25519.PublicKey),
+		nonces: make(map[string]uint64),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Enroll registers a device's certified endorsement key.
+func (v *Verifier) Enroll(deviceID string, key ed25519.PublicKey) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.known[deviceID] = key
+}
+
+// Challenge issues a fresh nonce for the device. The caller passes it to
+// the platform's TPM and returns the quote to Validate.
+func (v *Verifier) Challenge(deviceID string) uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n := v.rng.Uint64()
+	v.nonces[deviceID] = n
+	return n
+}
+
+// Validate checks a quote: known device, fresh nonce, valid signature, and
+// conformance with the policy. A successful validation consumes the nonce.
+func (v *Verifier) Validate(q *Quote, p Policy) error {
+	v.mu.Lock()
+	key, known := v.known[q.DeviceID]
+	nonce, issued := v.nonces[q.DeviceID]
+	v.mu.Unlock()
+
+	if !known {
+		return fmt.Errorf("attest: unknown device %q", q.DeviceID)
+	}
+	if !issued || nonce != q.Nonce {
+		return fmt.Errorf("%w: device %q", ErrStaleNonce, q.DeviceID)
+	}
+	if !ed25519.Verify(key, quoteBody(q), q.Sig) {
+		return fmt.Errorf("%w: device %q", ErrBadQuote, q.DeviceID)
+	}
+	for idx, want := range p.ExpectedPCRs {
+		got, ok := q.PCRs[idx]
+		if !ok || got != want {
+			return fmt.Errorf("%w: pcr %d", ErrMeasurement, idx)
+		}
+	}
+	if p.Region != "" && q.Region != p.Region {
+		return fmt.Errorf("%w: need %q, platform certified for %q", ErrNoSuchRegion, p.Region, q.Region)
+	}
+
+	v.mu.Lock()
+	delete(v.nonces, q.DeviceID)
+	v.mu.Unlock()
+	return nil
+}
+
+// Attest runs the whole challenge/quote/validate round against a local TPM,
+// the in-process convenience used by simulations.
+func (v *Verifier) Attest(t *TPM, pcrs []int, p Policy) error {
+	nonce := v.Challenge(t.DeviceID())
+	q, err := t.GenerateQuote(nonce, pcrs)
+	if err != nil {
+		return err
+	}
+	return v.Validate(q, p)
+}

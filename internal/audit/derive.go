@@ -1,0 +1,157 @@
+package audit
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// BuildGraph derives a provenance graph from flow records, the paper's
+// observation that "the logs generated during IFC enforcement are a natural
+// source of provenance information". Each allowed flow with a DataID
+// contributes: the datum (F node), the endpoint processes (P nodes), a
+// used/generatedBy pair, and an informedBy edge between the processes.
+// Agents attach via wasControlledBy when the record names one.
+func BuildGraph(records []Record) *Graph {
+	g := &Graph{}
+	ensure := func(id string, kind NodeKind, attrs map[string]string) {
+		if _, ok := g.Node(id); !ok {
+			g.AddNode(Node{ID: id, Kind: kind, Attrs: attrs})
+		}
+	}
+	for _, r := range records {
+		if r.Kind != FlowAllowed && r.Kind != GateCrossing {
+			continue
+		}
+		src, dst := string(r.Src), string(r.Dst)
+		if src == "" || dst == "" {
+			continue
+		}
+		ensure(src, NodeProcess, map[string]string{"ctx": r.SrcCtx.String()})
+		ensure(dst, NodeProcess, map[string]string{"ctx": r.DstCtx.String()})
+		// Process-to-process information flow.
+		_ = g.AddEdge(Edge{Src: dst, Dst: src, Kind: EdgeInformedBy})
+		if r.DataID != "" {
+			ensure(r.DataID, NodeData, nil)
+			_ = g.AddEdge(Edge{Src: src, Dst: r.DataID, Kind: EdgeUsed})
+			_ = g.AddEdge(Edge{Src: r.DataID, Dst: dst, Kind: EdgeGeneratedBy})
+		}
+		if r.Agent != "" {
+			ensure(string(r.Agent), NodeAgent, nil)
+			_ = g.AddEdge(Edge{Src: src, Dst: string(r.Agent), Kind: EdgeControlledBy})
+		}
+	}
+	return g
+}
+
+// DOT renders the graph in Graphviz format, with the Fig. 11 conventions:
+// data items as ellipses, processes as boxes, agents as diamonds.
+func (g *Graph) DOT() string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+
+	ids := make([]string, 0, len(g.nodes))
+	for id := range g.nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	var b strings.Builder
+	b.WriteString("digraph provenance {\n")
+	for _, id := range ids {
+		n := g.nodes[id]
+		shape := "box"
+		switch n.Kind {
+		case NodeData:
+			shape = "ellipse"
+		case NodeAgent:
+			shape = "diamond"
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s];\n", id, shape)
+	}
+	for _, src := range ids {
+		edges := append([]Edge(nil), g.out[src]...)
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].Dst != edges[j].Dst {
+				return edges[i].Dst < edges[j].Dst
+			}
+			return edges[i].Kind < edges[j].Kind
+		})
+		for _, e := range edges {
+			fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", e.Src, e.Dst, e.Kind.String())
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// jsonGraph is the export schema.
+type jsonGraph struct {
+	Nodes []jsonNode `json:"nodes"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+type jsonNode struct {
+	ID    string            `json:"id"`
+	Kind  string            `json:"kind"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+type jsonEdge struct {
+	Src  string `json:"src"`
+	Dst  string `json:"dst"`
+	Kind string `json:"kind"`
+}
+
+// MarshalJSON exports the graph for external tools (the paper used Neo4J
+// and Cytoscape; any JSON-consuming tool works here).
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+
+	out := jsonGraph{}
+	ids := make([]string, 0, len(g.nodes))
+	for id := range g.nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		n := g.nodes[id]
+		out.Nodes = append(out.Nodes, jsonNode{ID: n.ID, Kind: n.Kind.String(), Attrs: n.Attrs})
+		for _, e := range g.out[id] {
+			out.Edges = append(out.Edges, jsonEdge{Src: e.Src, Dst: e.Dst, Kind: e.Kind.String()})
+		}
+	}
+	return json.Marshal(out)
+}
+
+// ComplianceReport summarises a log for a regulator: totals by kind, denial
+// details, and any break-glass activations.
+type ComplianceReport struct {
+	Total       int            `json:"total"`
+	ByKind      map[string]int `json:"by_kind"`
+	Denials     []Record       `json:"denials,omitempty"`
+	BreakGlass  []Record       `json:"break_glass,omitempty"`
+	ChainIntact bool           `json:"chain_intact"`
+	FirstBadSeq int64          `json:"first_bad_seq"` // -1 when intact
+}
+
+// Report builds a compliance report over the log's retained records.
+func Report(l *Log) ComplianceReport {
+	rep := ComplianceReport{ByKind: make(map[string]int), FirstBadSeq: -1}
+	for _, r := range l.Select(nil) {
+		rep.Total++
+		rep.ByKind[r.Kind.String()]++
+		switch r.Kind {
+		case FlowDenied:
+			rep.Denials = append(rep.Denials, r)
+		case BreakGlass:
+			rep.BreakGlass = append(rep.BreakGlass, r)
+		}
+	}
+	bad, err := l.Verify()
+	rep.ChainIntact = err == nil
+	rep.FirstBadSeq = bad
+	return rep
+}

@@ -1,0 +1,30 @@
+package audit
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ExportJSON serialises the log's retained records for offload or
+// inspection by external tooling (the paper used Neo4J/Cytoscape; any
+// JSON consumer works).
+func ExportJSON(l *Log) ([]byte, error) {
+	return json.MarshalIndent(l.Select(nil), "", "  ")
+}
+
+// ExportJSONRecords serialises an explicit record slice (e.g. a pruned
+// segment being offloaded).
+func ExportJSONRecords(recs []Record) ([]byte, error) {
+	return json.MarshalIndent(recs, "", "  ")
+}
+
+// ImportRecords parses records previously produced by ExportJSON. The
+// records retain their original hashes, so VerifySegment can check the
+// chain independently of any Log instance.
+func ImportRecords(data []byte) ([]Record, error) {
+	var recs []Record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("audit: parse records: %w", err)
+	}
+	return recs, nil
+}

@@ -1,0 +1,231 @@
+package audit
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// NodeKind distinguishes the three node types of the paper's Fig. 11 audit
+// graph, which follow the Open Provenance Model: data items (F), processes
+// (P) and agents (A).
+type NodeKind int
+
+// Node kinds.
+const (
+	NodeData NodeKind = iota + 1
+	NodeProcess
+	NodeAgent
+)
+
+// String implements fmt.Stringer.
+func (k NodeKind) String() string {
+	switch k {
+	case NodeData:
+		return "data"
+	case NodeProcess:
+		return "process"
+	case NodeAgent:
+		return "agent"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// EdgeKind labels provenance relations.
+type EdgeKind int
+
+// Edge kinds (OPM/PROV-flavoured, as in Fig. 11).
+const (
+	EdgeGeneratedBy  EdgeKind = iota + 1 // data  -> process that produced it
+	EdgeUsed                             // process -> data it consumed
+	EdgeInformedBy                       // process -> process (information flow)
+	EdgeControlledBy                     // process -> agent managing it
+	EdgeDerivedFrom                      // data  -> data it was derived from
+)
+
+// String implements fmt.Stringer.
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeGeneratedBy:
+		return "wasGeneratedBy"
+	case EdgeUsed:
+		return "used"
+	case EdgeInformedBy:
+		return "wasInformedBy"
+	case EdgeControlledBy:
+		return "wasControlledBy"
+	case EdgeDerivedFrom:
+		return "wasDerivedFrom"
+	default:
+		return fmt.Sprintf("EdgeKind(%d)", int(k))
+	}
+}
+
+// A Node is a provenance graph vertex.
+type Node struct {
+	ID   string
+	Kind NodeKind
+	// Attrs carries free-form metadata (labels at creation time, owner...).
+	Attrs map[string]string
+}
+
+// An Edge is a directed provenance relation from Src to Dst.
+type Edge struct {
+	Src, Dst string
+	Kind     EdgeKind
+}
+
+// ErrUnknownNode is returned by queries over absent nodes.
+var ErrUnknownNode = errors.New("audit: unknown node")
+
+// A Graph is a provenance graph. The zero value is ready to use.
+type Graph struct {
+	mu    sync.RWMutex
+	nodes map[string]Node
+	// out[src] lists edges leaving src; in[dst] lists edges entering dst.
+	out map[string][]Edge
+	in  map[string][]Edge
+}
+
+// AddNode inserts or updates a node.
+func (g *Graph) AddNode(n Node) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.nodes == nil {
+		g.nodes = make(map[string]Node)
+		g.out = make(map[string][]Edge)
+		g.in = make(map[string][]Edge)
+	}
+	g.nodes[n.ID] = n
+}
+
+// AddEdge inserts a directed edge; both endpoints must exist.
+func (g *Graph) AddEdge(e Edge) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.nodes[e.Src]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, e.Src)
+	}
+	if _, ok := g.nodes[e.Dst]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, e.Dst)
+	}
+	g.out[e.Src] = append(g.out[e.Src], e)
+	g.in[e.Dst] = append(g.in[e.Dst], e)
+	return nil
+}
+
+// Node returns the node with the given ID.
+func (g *Graph) Node(id string) (Node, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n, ok := g.nodes[id]
+	return n, ok
+}
+
+// Len returns the node and edge counts.
+func (g *Graph) Len() (nodes, edges int) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for _, es := range g.out {
+		edges += len(es)
+	}
+	return len(g.nodes), edges
+}
+
+// Ancestry returns every node reachable from id along outgoing edges — for
+// a data item: the processes that generated it, the data they used, and so
+// on back to the sources. This answers "how was this file generated?".
+func (g *Graph) Ancestry(id string) ([]string, error) {
+	return g.walk(id, func(n string) []Edge {
+		g.mu.RLock()
+		defer g.mu.RUnlock()
+		return g.out[n]
+	})
+}
+
+// Descendants returns every node that transitively depends on id (walks
+// incoming edges). This answers "where did this sensor's data end up?" —
+// the taint/impact query behind Concern 5.
+func (g *Graph) Descendants(id string) ([]string, error) {
+	return g.walk(id, func(n string) []Edge {
+		g.mu.RLock()
+		defer g.mu.RUnlock()
+		return g.in[n]
+	})
+}
+
+// walk BFSes from id using the supplied adjacency, excluding id itself.
+func (g *Graph) walk(id string, adj func(string) []Edge) ([]string, error) {
+	g.mu.RLock()
+	_, ok := g.nodes[id]
+	g.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, id)
+	}
+	seen := map[string]struct{}{id: {}}
+	frontier := []string{id}
+	var out []string
+	for len(frontier) > 0 {
+		var next []string
+		for _, n := range frontier {
+			for _, e := range adj(n) {
+				other := e.Dst
+				if other == n {
+					other = e.Src
+				}
+				if _, dup := seen[other]; dup {
+					continue
+				}
+				seen[other] = struct{}{}
+				out = append(out, other)
+				next = append(next, other)
+			}
+		}
+		frontier = next
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// walk uses e.Dst for out-edges and e.Src for in-edges; the trick above
+// ("other == n") picks the far endpoint regardless of direction map used.
+
+// PathExists reports whether dst is in src's ancestry closure.
+func (g *Graph) PathExists(src, dst string) (bool, error) {
+	anc, err := g.Ancestry(src)
+	if err != nil {
+		return false, err
+	}
+	for _, n := range anc {
+		if n == dst {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Agents returns the agents controlling any process in id's ancestry — the
+// "who is responsible?" query for apportioning liability.
+func (g *Graph) Agents(id string) ([]string, error) {
+	anc, err := g.Ancestry(id)
+	if err != nil {
+		return nil, err
+	}
+	anc = append(anc, id)
+	var out []string
+	seen := make(map[string]struct{})
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for _, n := range anc {
+		if node, ok := g.nodes[n]; ok && node.Kind == NodeAgent {
+			if _, dup := seen[n]; !dup {
+				seen[n] = struct{}{}
+				out = append(out, n)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,240 @@
+package audit
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"lciot/internal/ifc"
+)
+
+// fig11Graph reconstructs the audit-graph fragment of Fig. 11: data items
+// F1..F4, processes P1, P2, agents A1, A2. P1 used F1 and F2 and generated
+// F3; P2 used F3 and generated F4; P2 was informed by P1; A1 controls P1,
+// A2 controls P2.
+func fig11Graph(t *testing.T) *Graph {
+	t.Helper()
+	g := &Graph{}
+	for _, f := range []string{"F1", "F2", "F3", "F4"} {
+		g.AddNode(Node{ID: f, Kind: NodeData})
+	}
+	for _, p := range []string{"P1", "P2"} {
+		g.AddNode(Node{ID: p, Kind: NodeProcess})
+	}
+	for _, a := range []string{"A1", "A2"} {
+		g.AddNode(Node{ID: a, Kind: NodeAgent})
+	}
+	edges := []Edge{
+		{Src: "P1", Dst: "F1", Kind: EdgeUsed},
+		{Src: "P1", Dst: "F2", Kind: EdgeUsed},
+		{Src: "F3", Dst: "P1", Kind: EdgeGeneratedBy},
+		{Src: "P2", Dst: "F3", Kind: EdgeUsed},
+		{Src: "F4", Dst: "P2", Kind: EdgeGeneratedBy},
+		{Src: "P2", Dst: "P1", Kind: EdgeInformedBy},
+		{Src: "P1", Dst: "A1", Kind: EdgeControlledBy},
+		{Src: "P2", Dst: "A2", Kind: EdgeControlledBy},
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// TestFig11AuditGraph is experiment E11: the forensic queries of Section
+// 8.3 over the Fig. 11 fragment.
+func TestFig11AuditGraph(t *testing.T) {
+	g := fig11Graph(t)
+
+	// "How was F4 generated?" — its ancestry must reach back to F1 and F2.
+	anc, err := g.Ancestry("F4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"A1", "A2", "F1", "F2", "F3", "P1", "P2"}
+	if !reflect.DeepEqual(anc, want) {
+		t.Fatalf("Ancestry(F4) = %v, want %v", anc, want)
+	}
+
+	// "Who is responsible for F4?" — both agents.
+	agents, err := g.Agents("F4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(agents, []string{"A1", "A2"}) {
+		t.Fatalf("Agents(F4) = %v", agents)
+	}
+
+	// "Where did F1's data end up?" — descendants include F3 and F4.
+	desc, err := g.Descendants("F1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, must := range []string{"F3", "F4", "P1", "P2"} {
+		if !containsString(desc, must) {
+			t.Errorf("Descendants(F1) = %v, missing %s", desc, must)
+		}
+	}
+	// F2's consumption does not taint F1.
+	if containsString(desc, "F2") {
+		t.Errorf("Descendants(F1) = %v wrongly includes F2", desc)
+	}
+
+	ok, err := g.PathExists("F4", "F1")
+	if err != nil || !ok {
+		t.Fatalf("PathExists(F4, F1) = %v, %v", ok, err)
+	}
+	ok, err = g.PathExists("F1", "F4")
+	if err != nil || ok {
+		t.Fatalf("PathExists(F1, F4) = %v (ancestry is directed)", ok)
+	}
+}
+
+func containsString(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func TestGraphUnknownNodeErrors(t *testing.T) {
+	g := fig11Graph(t)
+	if _, err := g.Ancestry("nope"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("Ancestry(unknown) = %v", err)
+	}
+	if _, err := g.Descendants("nope"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("Descendants(unknown) = %v", err)
+	}
+	if err := g.AddEdge(Edge{Src: "nope", Dst: "F1"}); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("AddEdge(unknown src) = %v", err)
+	}
+	if err := g.AddEdge(Edge{Src: "F1", Dst: "nope"}); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("AddEdge(unknown dst) = %v", err)
+	}
+}
+
+func TestGraphLen(t *testing.T) {
+	g := fig11Graph(t)
+	nodes, edges := g.Len()
+	if nodes != 8 || edges != 8 {
+		t.Fatalf("Len = %d nodes, %d edges; want 8, 8", nodes, edges)
+	}
+}
+
+func TestBuildGraphFromLog(t *testing.T) {
+	l := NewLog(testClock())
+	l.Append(Record{
+		Kind: FlowAllowed, Src: "sensor", Dst: "analyser",
+		DataID: "reading-1", Agent: ifc.PrincipalID("hospital"),
+	})
+	l.Append(Record{Kind: FlowDenied, Src: "sensor", Dst: "advertiser", DataID: "reading-1"})
+	l.Append(Record{Kind: FlowAllowed, Src: "analyser", Dst: "archive", DataID: "reading-1"})
+
+	g := BuildGraph(l.Select(nil))
+
+	// Denied flows must not contribute provenance.
+	if _, ok := g.Node("advertiser"); ok {
+		t.Fatal("denied flow created a node")
+	}
+	// The datum's descendants include both hops.
+	desc, err := g.Descendants("reading-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsString(desc, "analyser") {
+		t.Fatalf("Descendants(reading-1) = %v", desc)
+	}
+	// The analyser's ancestry reaches the controlling agent.
+	agents, err := g.Agents("analyser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsString(agents, "hospital") {
+		t.Fatalf("Agents(analyser) = %v", agents)
+	}
+}
+
+func TestGraphDOTExport(t *testing.T) {
+	g := fig11Graph(t)
+	dot := g.DOT()
+	for _, frag := range []string{
+		"digraph provenance",
+		`"F1" [shape=ellipse]`,
+		`"P1" [shape=box]`,
+		`"A1" [shape=diamond]`,
+		`"F3" -> "P1" [label="wasGeneratedBy"]`,
+		`"P2" -> "P1" [label="wasInformedBy"]`,
+	} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("DOT output missing %q", frag)
+		}
+	}
+	// Deterministic output.
+	if dot != g.DOT() {
+		t.Error("DOT output not deterministic")
+	}
+}
+
+func TestGraphJSONExport(t *testing.T) {
+	g := fig11Graph(t)
+	b, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Nodes []struct {
+			ID   string `json:"id"`
+			Kind string `json:"kind"`
+		} `json:"nodes"`
+		Edges []struct {
+			Src, Dst, Kind string
+		} `json:"edges"`
+	}
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Nodes) != 8 || len(decoded.Edges) != 8 {
+		t.Fatalf("exported %d nodes, %d edges", len(decoded.Nodes), len(decoded.Edges))
+	}
+}
+
+func TestComplianceReport(t *testing.T) {
+	l := NewLog(testClock())
+	l.Append(flowRecord("a", "b", true))
+	l.Append(flowRecord("a", "x", false))
+	l.Append(Record{Kind: BreakGlass, Src: "policy-engine", Note: "emergency override"})
+
+	rep := Report(l)
+	if rep.Total != 3 {
+		t.Fatalf("Total = %d", rep.Total)
+	}
+	if rep.ByKind["flow-denied"] != 1 || rep.ByKind["break-glass"] != 1 {
+		t.Fatalf("ByKind = %v", rep.ByKind)
+	}
+	if len(rep.Denials) != 1 || rep.Denials[0].Dst != "x" {
+		t.Fatalf("Denials = %v", rep.Denials)
+	}
+	if len(rep.BreakGlass) != 1 {
+		t.Fatalf("BreakGlass = %v", rep.BreakGlass)
+	}
+	if !rep.ChainIntact || rep.FirstBadSeq != -1 {
+		t.Fatalf("chain report = %v, %d", rep.ChainIntact, rep.FirstBadSeq)
+	}
+}
+
+func TestNodeEdgeKindStrings(t *testing.T) {
+	if NodeData.String() != "data" || NodeProcess.String() != "process" || NodeAgent.String() != "agent" {
+		t.Fatal("node kind strings")
+	}
+	if NodeKind(9).String() != "NodeKind(9)" {
+		t.Fatal("unknown node kind")
+	}
+	if EdgeKind(9).String() != "EdgeKind(9)" {
+		t.Fatal("unknown edge kind")
+	}
+}

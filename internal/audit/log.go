@@ -1,0 +1,183 @@
+package audit
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Errors reported by Log.
+var (
+	ErrChainBroken = errors.New("audit: hash chain broken")
+	ErrPruned      = errors.New("audit: range pruned")
+)
+
+// A Log is a tamper-evident, append-only audit log. Every record's hash
+// covers its content and its predecessor's hash; Verify detects any
+// retrospective modification. Logs may be pruned from the front once a
+// segment has been offloaded (Challenge 6: "can logs be offloaded to others
+// for distributed audit?"), retaining the chain head so continuity remains
+// checkable.
+//
+// The zero value is ready to use.
+type Log struct {
+	mu      sync.RWMutex
+	records []Record
+	// firstSeq is the sequence number of records[0]; it advances on prune.
+	firstSeq uint64
+	nextSeq  uint64
+	// lastHash is the hash of the most recent record (or the pruned
+	// checkpoint's hash).
+	lastHash [32]byte
+	now      func() time.Time
+	// sinks receive a copy of each appended record (e.g. a domain-wide
+	// collector); they must not block.
+	sinks []func(Record)
+}
+
+// NewLog builds an empty log. A nil clock means time.Now.
+func NewLog(clock func() time.Time) *Log {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Log{now: clock}
+}
+
+// AddSink registers a callback invoked (synchronously) for each appended
+// record. Sinks enable hierarchical collection: a thing's log forwards into
+// its domain's log.
+func (l *Log) AddSink(sink func(Record)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sinks = append(l.sinks, sink)
+}
+
+// Append adds a record, assigning its sequence number, timestamp (when
+// zero) and chained hash, and returns the completed record.
+func (l *Log) Append(r Record) Record {
+	l.mu.Lock()
+	if r.Time.IsZero() {
+		r.Time = l.now()
+	}
+	r.Seq = l.nextSeq
+	r.PrevHash = l.lastHash
+	r.Hash = computeHash(&r)
+	l.records = append(l.records, r)
+	l.nextSeq++
+	l.lastHash = r.Hash
+	sinks := l.sinks
+	l.mu.Unlock()
+
+	for _, s := range sinks {
+		s(r)
+	}
+	return r
+}
+
+// Len returns the number of retained records.
+func (l *Log) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.records)
+}
+
+// HeadHash returns the hash of the latest record.
+func (l *Log) HeadHash() [32]byte {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.lastHash
+}
+
+// Get returns the record with the given sequence number.
+func (l *Log) Get(seq uint64) (Record, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if seq < l.firstSeq {
+		return Record{}, fmt.Errorf("%w: seq %d < first retained %d", ErrPruned, seq, l.firstSeq)
+	}
+	idx := seq - l.firstSeq
+	if idx >= uint64(len(l.records)) {
+		return Record{}, fmt.Errorf("audit: seq %d beyond head %d", seq, l.nextSeq)
+	}
+	return l.records[idx], nil
+}
+
+// Select returns a copy of all retained records matching the filter; a nil
+// filter selects everything.
+func (l *Log) Select(filter func(Record) bool) []Record {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]Record, 0, len(l.records))
+	for _, r := range l.records {
+		if filter == nil || filter(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Verify walks the retained chain, checking every record's hash and
+// linkage. It returns the sequence number of the first bad record, or -1
+// with a nil error when the chain is intact.
+func (l *Log) Verify() (int64, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	prev := [32]byte{}
+	for i := range l.records {
+		r := l.records[i]
+		if i == 0 {
+			prev = r.PrevHash // trust the checkpoint after pruning
+		}
+		if r.PrevHash != prev {
+			return int64(r.Seq), fmt.Errorf("%w: record %d links to wrong predecessor", ErrChainBroken, r.Seq)
+		}
+		if computeHash(&r) != r.Hash {
+			return int64(r.Seq), fmt.Errorf("%w: record %d content hash mismatch", ErrChainBroken, r.Seq)
+		}
+		prev = r.Hash
+	}
+	return -1, nil
+}
+
+// Prune discards records with Seq < upto, returning the discarded segment
+// for offload. The chain head remains verifiable because the first retained
+// record still carries the hash of the last pruned one.
+func (l *Log) Prune(upto uint64) []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if upto <= l.firstSeq {
+		return nil
+	}
+	if upto > l.nextSeq {
+		upto = l.nextSeq
+	}
+	n := upto - l.firstSeq
+	segment := make([]Record, n)
+	copy(segment, l.records[:n])
+	l.records = append([]Record(nil), l.records[n:]...)
+	l.firstSeq = upto
+	return segment
+}
+
+// VerifySegment checks an offloaded segment against itself and, when the
+// follower's first retained record is supplied, against the retained chain.
+func VerifySegment(segment []Record, next *Record) error {
+	for i := 1; i < len(segment); i++ {
+		if segment[i].PrevHash != segment[i-1].Hash {
+			return fmt.Errorf("%w: segment break at %d", ErrChainBroken, segment[i].Seq)
+		}
+	}
+	for i := range segment {
+		r := segment[i]
+		if computeHash(&r) != r.Hash {
+			return fmt.Errorf("%w: segment record %d hash mismatch", ErrChainBroken, r.Seq)
+		}
+	}
+	if next != nil && len(segment) > 0 {
+		if next.PrevHash != segment[len(segment)-1].Hash {
+			return fmt.Errorf("%w: retained log does not follow segment", ErrChainBroken)
+		}
+	}
+	return nil
+}

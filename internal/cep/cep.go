@@ -1,0 +1,301 @@
+// Package cep is a small complex-event-processing engine, the "detect" half
+// of the paper's detect/respond architecture (Section 5): "actions are taken
+// on patterns of events, e.g. detected by complex-event methods". The
+// policy engine subscribes to detections and responds with reconfiguration.
+//
+// The engine is deterministic and single-threaded by design: callers feed
+// events and advance time explicitly, so simulations and tests are exactly
+// reproducible.
+package cep
+
+import (
+	"fmt"
+	"time"
+)
+
+// An Event is one observation: a typed occurrence with a timestamp, a
+// source, and a numeric value (vital sign, meter reading, ...).
+type Event struct {
+	Type   string
+	Source string
+	Time   time.Time
+	Value  float64
+}
+
+// A Detection is a matched pattern instance.
+type Detection struct {
+	// Pattern is the name of the pattern that fired.
+	Pattern string
+	// At is the event (or clock) time of the match.
+	At time.Time
+	// Events are the contributing events, oldest first.
+	Events []Event
+	// Value carries the aggregate value for aggregate patterns.
+	Value float64
+}
+
+// A Pattern inspects the event stream. Implementations are stateful and not
+// safe for concurrent use; the Engine serialises access.
+type Pattern interface {
+	// Name identifies the pattern in detections.
+	Name() string
+	// OnEvent observes one event and returns a detection if the pattern
+	// completed.
+	OnEvent(e Event) (Detection, bool)
+	// OnTick observes time passing without events and may fire (absence
+	// patterns).
+	OnTick(now time.Time) (Detection, bool)
+}
+
+// An Engine multiplexes events over registered patterns and delivers
+// detections to a handler.
+type Engine struct {
+	patterns []Pattern
+	handler  func(Detection)
+}
+
+// NewEngine builds an engine delivering detections to handler.
+func NewEngine(handler func(Detection)) *Engine {
+	if handler == nil {
+		handler = func(Detection) {}
+	}
+	return &Engine{handler: handler}
+}
+
+// Register adds a pattern.
+func (e *Engine) Register(p Pattern) {
+	e.patterns = append(e.patterns, p)
+}
+
+// Feed processes one event through every pattern.
+func (e *Engine) Feed(ev Event) {
+	for _, p := range e.patterns {
+		if d, ok := p.OnEvent(ev); ok {
+			e.handler(d)
+		}
+	}
+}
+
+// Advance moves the engine clock forward, giving time-driven patterns a
+// chance to fire.
+func (e *Engine) Advance(now time.Time) {
+	for _, p := range e.patterns {
+		if d, ok := p.OnTick(now); ok {
+			e.handler(d)
+		}
+	}
+}
+
+// Threshold fires when at least Count events satisfying Match arrive within
+// Window. After firing it resets, so sustained conditions re-fire once per
+// window's worth of events.
+type Threshold struct {
+	PatternName string
+	Match       func(Event) bool
+	Count       int
+	Window      time.Duration
+
+	buf []Event
+}
+
+var _ Pattern = (*Threshold)(nil)
+
+// Name implements Pattern.
+func (t *Threshold) Name() string { return t.PatternName }
+
+// OnEvent implements Pattern.
+func (t *Threshold) OnEvent(e Event) (Detection, bool) {
+	if t.Match != nil && !t.Match(e) {
+		return Detection{}, false
+	}
+	t.buf = append(t.buf, e)
+	// Evict events older than the window relative to the newest.
+	cutoff := e.Time.Add(-t.Window)
+	i := 0
+	for i < len(t.buf) && t.buf[i].Time.Before(cutoff) {
+		i++
+	}
+	t.buf = t.buf[i:]
+	if len(t.buf) >= t.Count {
+		events := make([]Event, len(t.buf))
+		copy(events, t.buf)
+		t.buf = t.buf[:0]
+		return Detection{Pattern: t.PatternName, At: e.Time, Events: events}, true
+	}
+	return Detection{}, false
+}
+
+// OnTick implements Pattern; thresholds are purely event-driven.
+func (t *Threshold) OnTick(time.Time) (Detection, bool) { return Detection{}, false }
+
+// Sequence fires when events matching Steps occur in order within Window of
+// the first step. Out-of-order events do not reset progress; expiry does.
+type Sequence struct {
+	PatternName string
+	Steps       []func(Event) bool
+	Window      time.Duration
+
+	matched []Event
+}
+
+var _ Pattern = (*Sequence)(nil)
+
+// Name implements Pattern.
+func (s *Sequence) Name() string { return s.PatternName }
+
+// OnEvent implements Pattern.
+func (s *Sequence) OnEvent(e Event) (Detection, bool) {
+	if len(s.Steps) == 0 {
+		return Detection{}, false
+	}
+	// Expire a stale partial match.
+	if len(s.matched) > 0 && e.Time.Sub(s.matched[0].Time) > s.Window {
+		s.matched = s.matched[:0]
+	}
+	next := len(s.matched)
+	if next < len(s.Steps) && s.Steps[next](e) {
+		s.matched = append(s.matched, e)
+		if len(s.matched) == len(s.Steps) {
+			events := make([]Event, len(s.matched))
+			copy(events, s.matched)
+			s.matched = s.matched[:0]
+			return Detection{Pattern: s.PatternName, At: e.Time, Events: events}, true
+		}
+	}
+	return Detection{}, false
+}
+
+// OnTick implements Pattern.
+func (s *Sequence) OnTick(time.Time) (Detection, bool) { return Detection{}, false }
+
+// Absence fires when no matching event has been seen for Timeout — the
+// heartbeat-loss detector ("how to deal with components no longer
+// accessible, intermittently connected or mobile?", Challenge 6). It arms on
+// the first matching event and re-fires at most once per silence.
+type Absence struct {
+	PatternName string
+	Match       func(Event) bool
+	Timeout     time.Duration
+
+	lastSeen time.Time
+	armed    bool
+}
+
+var _ Pattern = (*Absence)(nil)
+
+// Name implements Pattern.
+func (a *Absence) Name() string { return a.PatternName }
+
+// OnEvent implements Pattern.
+func (a *Absence) OnEvent(e Event) (Detection, bool) {
+	if a.Match != nil && !a.Match(e) {
+		return Detection{}, false
+	}
+	a.lastSeen = e.Time
+	a.armed = true
+	return Detection{}, false
+}
+
+// OnTick implements Pattern.
+func (a *Absence) OnTick(now time.Time) (Detection, bool) {
+	if !a.armed || now.Sub(a.lastSeen) < a.Timeout {
+		return Detection{}, false
+	}
+	a.armed = false // fire once per silence
+	return Detection{Pattern: a.PatternName, At: now}, true
+}
+
+// AggKind selects the aggregate function.
+type AggKind int
+
+// Aggregate kinds.
+const (
+	AggAvg AggKind = iota + 1
+	AggMin
+	AggMax
+)
+
+// String implements fmt.Stringer.
+func (k AggKind) String() string {
+	switch k {
+	case AggAvg:
+		return "avg"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	default:
+		return fmt.Sprintf("AggKind(%d)", int(k))
+	}
+}
+
+// Aggregate fires when the aggregate of matching events' values over a
+// sliding Window crosses Limit in the direction given by Above. It requires
+// at least MinCount events before judging, to avoid firing on a single
+// outlier.
+type Aggregate struct {
+	PatternName string
+	Match       func(Event) bool
+	Kind        AggKind
+	Window      time.Duration
+	Limit       float64
+	Above       bool
+	MinCount    int
+
+	buf []Event
+}
+
+var _ Pattern = (*Aggregate)(nil)
+
+// Name implements Pattern.
+func (a *Aggregate) Name() string { return a.PatternName }
+
+// OnEvent implements Pattern.
+func (a *Aggregate) OnEvent(e Event) (Detection, bool) {
+	if a.Match != nil && !a.Match(e) {
+		return Detection{}, false
+	}
+	a.buf = append(a.buf, e)
+	cutoff := e.Time.Add(-a.Window)
+	i := 0
+	for i < len(a.buf) && a.buf[i].Time.Before(cutoff) {
+		i++
+	}
+	a.buf = a.buf[i:]
+	minCount := a.MinCount
+	if minCount < 1 {
+		minCount = 1
+	}
+	if len(a.buf) < minCount {
+		return Detection{}, false
+	}
+	val := a.buf[0].Value
+	sum := 0.0
+	for _, ev := range a.buf {
+		sum += ev.Value
+		switch a.Kind {
+		case AggMin:
+			if ev.Value < val {
+				val = ev.Value
+			}
+		case AggMax:
+			if ev.Value > val {
+				val = ev.Value
+			}
+		}
+	}
+	if a.Kind == AggAvg {
+		val = sum / float64(len(a.buf))
+	}
+	crossed := (a.Above && val > a.Limit) || (!a.Above && val < a.Limit)
+	if !crossed {
+		return Detection{}, false
+	}
+	events := make([]Event, len(a.buf))
+	copy(events, a.buf)
+	a.buf = a.buf[:0]
+	return Detection{Pattern: a.PatternName, At: e.Time, Events: events, Value: val}, true
+}
+
+// OnTick implements Pattern.
+func (a *Aggregate) OnTick(time.Time) (Detection, bool) { return Detection{}, false }

@@ -1,0 +1,253 @@
+// Package cloudsvc simulates the cloud end of the IoT (Section 2.2): PaaS
+// hosts that run tenant application processes above an IFC-enforcing
+// kernel (CamFlow's deployment model), a labelled storage service, an
+// analytics service that computes over labelled inputs, and cloudlets —
+// "smaller, mobile, and personal/application-specific clouds" that are
+// simply capacity-bounded hosts.
+//
+// The trust argument of Section 8.2 is reproduced structurally: tenants do
+// not trust each other, only the host's enforcement mechanism; every
+// cross-tenant flow goes through the kernel hook or the storage service's
+// checks, and each host carries a TPM for attestation (with geographic
+// certification per [44], so an "EU-only" policy is checkable).
+package cloudsvc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"lciot/internal/attest"
+	"lciot/internal/audit"
+	"lciot/internal/ifc"
+	"lciot/internal/oskernel"
+)
+
+// Errors reported by cloud services.
+var (
+	ErrCapacity = errors.New("cloudsvc: host at capacity")
+	ErrNoObject = errors.New("cloudsvc: no such object")
+	ErrNoInputs = errors.New("cloudsvc: analytics needs at least one input")
+	ErrNoApp    = errors.New("cloudsvc: unknown application")
+	ErrDupApp   = errors.New("cloudsvc: application name in use")
+)
+
+// A Host is one PaaS machine: kernel, TPM, storage, tenant apps.
+type Host struct {
+	name   string
+	kernel *oskernel.Kernel
+	tpm    *attest.TPM
+	// maxApps bounds deployments; cloudlets use small values.
+	maxApps int
+
+	mu   sync.Mutex
+	apps map[string]*App
+}
+
+// An App is a tenant application process deployed on a host.
+type App struct {
+	name string
+	host *Host
+	proc *oskernel.Process
+}
+
+// Name returns the application name.
+func (a *App) Name() string { return a.name }
+
+// Process exposes the app's kernel process.
+func (a *App) Process() *oskernel.Process { return a.proc }
+
+// NewHost provisions a host in the given region. maxApps <= 0 means
+// unbounded (a full datacentre host); cloudlets pass a small bound.
+func NewHost(name, region string, maxApps int, log *audit.Log) (*Host, error) {
+	tpm, err := attest.NewTPM(name)
+	if err != nil {
+		return nil, err
+	}
+	tpm.CertifyRegion(region)
+	// Measure the "platform" into PCR 0 so attestation has something to
+	// verify.
+	if err := tpm.Extend(0, []byte("lciot-host:"+name)); err != nil {
+		return nil, err
+	}
+	return &Host{
+		name:    name,
+		kernel:  oskernel.NewKernel(name, log),
+		tpm:     tpm,
+		maxApps: maxApps,
+		apps:    make(map[string]*App),
+	}, nil
+}
+
+// NewCloudlet provisions a small edge host (per [78]/[26]) with room for a
+// handful of apps.
+func NewCloudlet(name, region string, log *audit.Log) (*Host, error) {
+	return NewHost(name, region, 4, log)
+}
+
+// Name returns the host name.
+func (h *Host) Name() string { return h.name }
+
+// Kernel exposes the host's kernel.
+func (h *Host) Kernel() *oskernel.Kernel { return h.kernel }
+
+// TPM exposes the host's trusted platform module.
+func (h *Host) TPM() *attest.TPM { return h.tpm }
+
+// Deploy starts a tenant application in the given security context.
+func (h *Host) Deploy(name string, ctx ifc.SecurityContext) (*App, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.maxApps > 0 && len(h.apps) >= h.maxApps {
+		return nil, fmt.Errorf("%w: %d apps", ErrCapacity, len(h.apps))
+	}
+	if _, dup := h.apps[name]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrDupApp, name)
+	}
+	app := &App{name: name, host: h, proc: h.kernel.Boot(name, ctx)}
+	h.apps[name] = app
+	return app, nil
+}
+
+// App looks a deployed application up.
+func (h *Host) App(name string) (*App, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	app, ok := h.apps[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoApp, name)
+	}
+	return app, nil
+}
+
+// Undeploy stops an application.
+func (h *Host) Undeploy(name string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	app, ok := h.apps[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoApp, name)
+	}
+	h.kernel.Exit(app.proc.PID())
+	delete(h.apps, name)
+	return nil
+}
+
+// Apps lists deployed application names, sorted.
+func (h *Host) Apps() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.apps))
+	for n := range h.apps {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// A Storage is the labelled object store: objects carry the security
+// context of the data they hold, and Put/Get are flow-checked against the
+// calling app's context through the host's kernel-file machinery, so every
+// access is audited at the kernel layer.
+type Storage struct {
+	host *Host
+
+	mu   sync.Mutex
+	keys map[string]struct{}
+}
+
+// NewStorage builds a store on a host.
+func NewStorage(h *Host) *Storage {
+	return &Storage{host: h, keys: make(map[string]struct{})}
+}
+
+// Put stores an object; the object inherits the writing app's context (a
+// creation flow) unless it already exists, in which case the write is
+// flow-checked against the existing object's label.
+func (s *Storage) Put(app *App, key string, data []byte) error {
+	path := "/storage/" + key
+	s.mu.Lock()
+	_, exists := s.keys[key]
+	if !exists {
+		s.keys[key] = struct{}{}
+	}
+	s.mu.Unlock()
+	if !exists {
+		if err := s.host.kernel.Create(app.proc.PID(), path); err != nil {
+			return err
+		}
+	}
+	return s.host.kernel.Write(app.proc.PID(), path, data)
+}
+
+// Get retrieves an object, flow-checked object→app.
+func (s *Storage) Get(app *App, key string) ([]byte, error) {
+	s.mu.Lock()
+	_, exists := s.keys[key]
+	s.mu.Unlock()
+	if !exists {
+		return nil, fmt.Errorf("%w: %q", ErrNoObject, key)
+	}
+	return s.host.kernel.Read(app.proc.PID(), "/storage/"+key)
+}
+
+// Keys lists stored object keys, sorted.
+func (s *Storage) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.keys))
+	for k := range s.keys {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Analytics runs computations over labelled inputs. The worker process
+// first raises itself into the merge of the input contexts (it must hold
+// the privileges to do so), computes, and optionally crosses a declassifier
+// gate before writing the result — the cloud-scale version of Fig. 6.
+type Analytics struct {
+	host    *Host
+	storage *Storage
+}
+
+// NewAnalytics builds an analytics service over a host and its store.
+func NewAnalytics(h *Host, s *Storage) *Analytics {
+	return &Analytics{host: h, storage: s}
+}
+
+// Aggregate reads the input objects as worker, applies fn to their
+// concatenated contents, and writes the result to outKey. When gate is
+// non-nil the result crosses it (declassification/endorsement) before the
+// write; otherwise the result stays in the worker's (merged) context.
+func (a *Analytics) Aggregate(worker *App, inputKeys []string, outKey string,
+	fn func(inputs [][]byte) []byte, gate *ifc.Gate) error {
+	if len(inputKeys) == 0 {
+		return ErrNoInputs
+	}
+	inputs := make([][]byte, 0, len(inputKeys))
+	for _, k := range inputKeys {
+		data, err := a.storage.Get(worker, k)
+		if err != nil {
+			return fmt.Errorf("cloudsvc: input %q: %w", k, err)
+		}
+		inputs = append(inputs, data)
+	}
+	result := fn(inputs)
+	if gate != nil {
+		out, err := gate.Cross(worker.proc.Entity(), result)
+		if err != nil {
+			return err
+		}
+		// The gate's output context becomes the worker's context for the
+		// write, so the stored object is labelled with the declassified
+		// context.
+		if err := a.host.kernel.SetContext(worker.proc.PID(), gate.Output); err != nil {
+			return err
+		}
+		result = out
+	}
+	return a.storage.Put(worker, outKey, result)
+}

@@ -1,0 +1,247 @@
+package cloudsvc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"lciot/internal/attest"
+	"lciot/internal/ifc"
+)
+
+func annCtx() ifc.SecurityContext {
+	return ifc.MustContext([]ifc.Tag{"medical", "ann"}, nil)
+}
+
+func zebCtx() ifc.SecurityContext {
+	return ifc.MustContext([]ifc.Tag{"medical", "zeb"}, nil)
+}
+
+func newHost(t *testing.T) *Host {
+	t.Helper()
+	h, err := NewHost("eu-host-1", "eu", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestDeployAndCapacity(t *testing.T) {
+	h, err := NewCloudlet("edge-1", "eu", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := h.Deploy(string(rune('a'+i)), ifc.SecurityContext{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := h.Deploy("overflow", ifc.SecurityContext{}); !errors.Is(err, ErrCapacity) {
+		t.Fatalf("over-capacity deploy = %v", err)
+	}
+	// Undeploy frees a slot.
+	if err := h.Undeploy("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Deploy("replacement", ifc.SecurityContext{}); err != nil {
+		t.Fatalf("deploy after undeploy = %v", err)
+	}
+	if err := h.Undeploy("ghost"); !errors.Is(err, ErrNoApp) {
+		t.Fatalf("undeploy ghost = %v", err)
+	}
+	if _, err := h.App("ghost"); !errors.Is(err, ErrNoApp) {
+		t.Fatalf("App(ghost) = %v", err)
+	}
+	apps := h.Apps()
+	if len(apps) != 4 {
+		t.Fatalf("apps = %v", apps)
+	}
+}
+
+func TestDuplicateDeploy(t *testing.T) {
+	h := newHost(t)
+	if _, err := h.Deploy("a", ifc.SecurityContext{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Deploy("a", ifc.SecurityContext{}); !errors.Is(err, ErrDupApp) {
+		t.Fatalf("duplicate = %v", err)
+	}
+}
+
+// TestTenantIsolation verifies the Section 8.2 trust argument: two tenants
+// that do not trust each other cannot exchange data except through the
+// host's enforcement.
+func TestTenantIsolation(t *testing.T) {
+	h := newHost(t)
+	store := NewStorage(h)
+	ann, err := h.Deploy("ann-app", annCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeb, err := h.Deploy("zeb-app", zebCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := store.Put(ann, "ann-record", []byte("vitals")); err != nil {
+		t.Fatal(err)
+	}
+	// Ann reads her own data.
+	got, err := store.Get(ann, "ann-record")
+	if err != nil || !bytes.Equal(got, []byte("vitals")) {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	// Zeb cannot read Ann's object.
+	if _, err := store.Get(zeb, "ann-record"); !errors.Is(err, ifc.ErrFlowDenied) {
+		t.Fatalf("cross-tenant read = %v", err)
+	}
+	// Zeb cannot overwrite it either (his context is not a subset).
+	if err := store.Put(zeb, "ann-record", []byte("junk")); !errors.Is(err, ifc.ErrFlowDenied) {
+		t.Fatalf("cross-tenant write = %v", err)
+	}
+	if _, err := store.Get(ann, "missing"); !errors.Is(err, ErrNoObject) {
+		t.Fatalf("missing object = %v", err)
+	}
+	if keys := store.Keys(); len(keys) != 1 || keys[0] != "ann-record" {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+// TestAnalyticsWithDeclassifierGate runs the Fig. 6 pattern in the cloud:
+// a worker cleared for all patients aggregates their records and releases
+// only the anonymised result.
+func TestAnalyticsWithDeclassifierGate(t *testing.T) {
+	h := newHost(t)
+	store := NewStorage(h)
+
+	ann, err := h.Deploy("ann-app", annCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeb, err := h.Deploy("zeb-app", zebCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(ann, "ann-record", []byte("70")); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(zeb, "zeb-record", []byte("80")); err != nil {
+		t.Fatal(err)
+	}
+
+	merged := ifc.MergeContexts(annCtx(), zebCtx())
+	worker, err := h.Deploy("stats-worker", merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := &ifc.Gate{
+		Name:   "anonymiser",
+		Input:  merged,
+		Output: ifc.MustContext([]ifc.Tag{"medical", "stats"}, []ifc.Tag{"anon"}),
+		Transform: func([]byte) ([]byte, error) {
+			return []byte("count=2"), nil
+		},
+	}
+	if err := worker.Process().Entity().GrantPrivileges(gate.RequiredPrivileges()); err != nil {
+		t.Fatal(err)
+	}
+
+	err = a(h, store).Aggregate(worker, []string{"ann-record", "zeb-record"}, "stats",
+		func(inputs [][]byte) []byte { return bytes.Join(inputs, []byte{','}) }, gate)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A ward manager in the stats context can read the result...
+	manager, err := h.Deploy("ward-manager", gate.Output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Get(manager, "stats")
+	if err != nil || string(got) != "count=2" {
+		t.Fatalf("manager Get = %q, %v", got, err)
+	}
+	// ...but cannot read the raw records.
+	if _, err := store.Get(manager, "ann-record"); !errors.Is(err, ifc.ErrFlowDenied) {
+		t.Fatalf("manager raw read = %v", err)
+	}
+}
+
+func a(h *Host, s *Storage) *Analytics { return NewAnalytics(h, s) }
+
+func TestAnalyticsWithoutGateStaysConfined(t *testing.T) {
+	h := newHost(t)
+	store := NewStorage(h)
+	ann, err := h.Deploy("ann-app", annCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(ann, "r", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	worker, err := h.Deploy("worker", annCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a(h, store).Aggregate(worker, []string{"r"}, "out",
+		func(in [][]byte) []byte { return in[0] }, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The output stays in Ann's context: public readers are refused.
+	public, err := h.Deploy("public", ifc.SecurityContext{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Get(public, "out"); !errors.Is(err, ifc.ErrFlowDenied) {
+		t.Fatalf("public read of confined output = %v", err)
+	}
+}
+
+func TestAnalyticsErrors(t *testing.T) {
+	h := newHost(t)
+	store := NewStorage(h)
+	worker, err := h.Deploy("worker", ifc.SecurityContext{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := a(h, store)
+	if err := svc.Aggregate(worker, nil, "out", nil, nil); !errors.Is(err, ErrNoInputs) {
+		t.Fatalf("no inputs = %v", err)
+	}
+	if err := svc.Aggregate(worker, []string{"ghost"}, "out",
+		func(in [][]byte) []byte { return nil }, nil); !errors.Is(err, ErrNoObject) {
+		t.Fatalf("ghost input = %v", err)
+	}
+	// Worker without gate privileges cannot cross.
+	gate := &ifc.Gate{Input: ifc.MustContext([]ifc.Tag{"x"}, nil), Output: ifc.SecurityContext{}}
+	if err := store.Put(worker, "in", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Aggregate(worker, []string{"in"}, "out",
+		func(in [][]byte) []byte { return in[0] }, gate); !errors.Is(err, ifc.ErrPrivilege) {
+		t.Fatalf("unprivileged gate = %v", err)
+	}
+}
+
+// TestHostAttestationWithRegion reproduces the EU-geofence check of [39]:
+// a verifier requiring region "eu" accepts the EU host and rejects a US
+// host.
+func TestHostAttestationWithRegion(t *testing.T) {
+	eu := newHost(t)
+	us, err := NewHost("us-host-1", "us", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v := attest.NewVerifier(1)
+	v.Enroll(eu.Name(), eu.TPM().EndorsementKey())
+	v.Enroll(us.Name(), us.TPM().EndorsementKey())
+
+	policy := attest.Policy{Region: "eu"}
+	if err := v.Attest(eu.TPM(), []int{0}, policy); err != nil {
+		t.Fatalf("EU host rejected: %v", err)
+	}
+	if err := v.Attest(us.TPM(), []int{0}, policy); !errors.Is(err, attest.ErrNoSuchRegion) {
+		t.Fatalf("US host = %v", err)
+	}
+}

@@ -1,0 +1,133 @@
+package cloudsvc
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestDPBudgetLifecycle(t *testing.T) {
+	q := NewDPQuerier(1)
+	q.GrantBudget("researcher", 1.0)
+	data := []float64{70, 72, 68, 75}
+
+	if _, err := q.Count("researcher", data, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Remaining("researcher"); got != 0.5 {
+		t.Fatalf("remaining = %g", got)
+	}
+	if _, err := q.Count("researcher", data, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	// Budget exhausted: the query regime refuses.
+	if _, err := q.Count("researcher", data, 0.1); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("over-budget query = %v", err)
+	}
+	// Unknown analysts have zero budget.
+	if _, err := q.Count("stranger", data, 0.1); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("stranger query = %v", err)
+	}
+}
+
+func TestDPEpsilonValidation(t *testing.T) {
+	q := NewDPQuerier(1)
+	q.GrantBudget("a", 1)
+	if _, err := q.Count("a", nil, 0); !errors.Is(err, ErrBadEpsilon) {
+		t.Fatalf("zero epsilon = %v", err)
+	}
+	if _, err := q.Mean("a", []float64{1}, 0, 1, -1); !errors.Is(err, ErrBadEpsilon) {
+		t.Fatalf("negative epsilon = %v", err)
+	}
+	if _, err := q.Mean("a", nil, 0, 1, 0.1); !errors.Is(err, ErrNoData) {
+		t.Fatalf("empty mean = %v", err)
+	}
+}
+
+func TestDPCountAccuracy(t *testing.T) {
+	q := NewDPQuerier(42)
+	q.GrantBudget("a", 1000)
+	data := make([]float64, 100)
+
+	// With a large epsilon the noisy count concentrates near the truth.
+	sum := 0.0
+	const runs = 200
+	for i := 0; i < runs; i++ {
+		c, err := q.Count("a", data, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += c
+	}
+	avg := sum / runs
+	if math.Abs(avg-100) > 1 {
+		t.Fatalf("mean noisy count = %g, want ~100", avg)
+	}
+}
+
+func TestDPNoiseScalesWithEpsilon(t *testing.T) {
+	spread := func(epsilon float64) float64 {
+		q := NewDPQuerier(7)
+		q.GrantBudget("a", math.Inf(1))
+		data := make([]float64, 50)
+		const runs = 300
+		var devSum float64
+		for i := 0; i < runs; i++ {
+			c, err := q.Count("a", data, epsilon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			devSum += math.Abs(c - 50)
+		}
+		return devSum / runs
+	}
+	loose := spread(0.1) // strong privacy, big noise
+	tight := spread(10)  // weak privacy, small noise
+	if loose < 5*tight {
+		t.Fatalf("noise at eps=0.1 (%g) should dwarf eps=10 (%g)", loose, tight)
+	}
+}
+
+func TestDPMeanClampsOutliers(t *testing.T) {
+	q := NewDPQuerier(3)
+	q.GrantBudget("a", math.Inf(1))
+	// One adversarial outlier; clamping bounds its influence.
+	data := []float64{70, 71, 69, 1e9}
+	sum := 0.0
+	const runs = 200
+	for i := 0; i < runs; i++ {
+		m, err := q.Mean("a", data, 0, 200, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += m
+	}
+	avg := sum / runs
+	// Clamped mean is (70+71+69+200)/4 = 102.5; without clamping it would
+	// be ~2.5e8.
+	if math.Abs(avg-102.5) > 5 {
+		t.Fatalf("clamped mean = %g, want ~102.5", avg)
+	}
+}
+
+func TestDPDeterministicWithSeed(t *testing.T) {
+	run := func() []float64 {
+		q := NewDPQuerier(99)
+		q.GrantBudget("a", 100)
+		var out []float64
+		for i := 0; i < 5; i++ {
+			c, err := q.Count("a", make([]float64, 10), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, c)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded runs diverge at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}

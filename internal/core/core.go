@@ -1,0 +1,348 @@
+// Package core is the paper's primary contribution assembled: a policy-
+// driven middleware in which law- and preference-derived policy (package
+// policy) drives dynamic reconfiguration of an IFC-enforcing messaging
+// substrate (package sbus), with event detection (package cep), context
+// (package ctxmodel), devices (package device) and system-wide audit
+// (package audit) closing the Fig. 1 loop:
+//
+//	obligations/preferences → policy → enforcement → audit → verification
+//
+// The unit of deployment is the Domain: one administrative domain running
+// one bus, one policy engine, one context store and one audit log. Domains
+// federate by linking buses (after mutual attestation), giving the
+// end-to-end, cross-domain enforcement the paper argues for.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"lciot/internal/ac"
+	"lciot/internal/attest"
+	"lciot/internal/audit"
+	"lciot/internal/cep"
+	"lciot/internal/ctxmodel"
+	"lciot/internal/device"
+	"lciot/internal/ifc"
+	"lciot/internal/names"
+	"lciot/internal/policy"
+	"lciot/internal/sbus"
+	"lciot/internal/transport"
+)
+
+// PolicyEnginePrincipal is the identity under which the domain's policy
+// engine issues reconfigurations; the domain ACL must authorise it.
+const PolicyEnginePrincipal ifc.PrincipalID = "policy-engine"
+
+// ErrAttestation is returned when federation is refused because the peer
+// failed attestation.
+var ErrAttestation = errors.New("core: peer failed attestation")
+
+// Options configures a Domain.
+type Options struct {
+	// ACL governs the domain's control plane; nil denies everything except
+	// the built-in policy-engine admin role.
+	ACL *ac.ACL
+	// Clock overrides time.Now (simulation/tests).
+	Clock func() time.Time
+	// Resolver, when non-nil, is consulted to validate foreign tags at
+	// federation boundaries.
+	Resolver *names.Resolver
+	// OnAlert receives policy alert messages; nil discards them (they are
+	// still audited).
+	OnAlert func(message string)
+	// OnConflict receives policy conflicts; nil discards (still counted).
+	OnConflict func(policy.Conflict)
+}
+
+// A Domain is one administrative domain of the IoT: a hospital, a home, a
+// cloud provider.
+type Domain struct {
+	name  string
+	bus   *sbus.Bus
+	store *ctxmodel.Store
+	log   *audit.Log
+	cep   *cep.Engine
+	eng   *policy.Engine
+
+	devices  device.Registry
+	tpm      *attest.TPM
+	verifier *attest.Verifier
+	resolver *names.Resolver
+	clock    func() time.Time
+
+	mu        sync.Mutex
+	alerts    []string
+	conflicts []policy.Conflict
+	onAlert   func(string)
+}
+
+// NewDomain assembles a domain. The returned domain owns its bus, stores,
+// engines and TPM.
+func NewDomain(name string, opts Options) (*Domain, error) {
+	clock := opts.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	acl := opts.ACL
+	if acl == nil {
+		acl = &ac.ACL{}
+	}
+	// The policy engine must always be able to reconfigure its own domain.
+	acl.DefineRole(ac.Role{
+		Name:   "domain-policy-engine",
+		Grants: []ac.Permission{{Action: "*", Resource: "**"}},
+	})
+	if err := acl.Assign(ac.Assignment{
+		Principal: PolicyEnginePrincipal, Role: "domain-policy-engine",
+		Args: map[string]string{},
+	}); err != nil {
+		return nil, err
+	}
+
+	store := ctxmodel.NewStore(clock)
+	log := audit.NewLog(clock)
+	bus := sbus.NewBus(name, acl, store, log)
+	if opts.Resolver != nil {
+		// Challenge 1: federated peers may advertise tags this domain has
+		// never encountered. Admit an inbound context only when every tag
+		// resolves in the global namespace (cached after first sight).
+		resolver := opts.Resolver
+		bus.SetAdmissionPolicy(func(ctx ifc.SecurityContext) error {
+			requester := ifc.PrincipalID(name)
+			if _, err := resolver.ResolveLabel(requester, ctx.Secrecy); err != nil {
+				return err
+			}
+			_, err := resolver.ResolveLabel(requester, ctx.Integrity)
+			return err
+		})
+	}
+
+	tpm, err := attest.NewTPM(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := tpm.Extend(0, []byte("lciot-domain:"+name)); err != nil {
+		return nil, err
+	}
+
+	d := &Domain{
+		name:     name,
+		bus:      bus,
+		store:    store,
+		log:      log,
+		tpm:      tpm,
+		verifier: attest.NewVerifier(1),
+		resolver: opts.Resolver,
+		clock:    clock,
+		onAlert:  opts.OnAlert,
+	}
+	d.eng = policy.NewEngine(store, d.execute,
+		policy.WithEngineClock(clock),
+		policy.WithConflictHandler(func(c policy.Conflict) {
+			d.mu.Lock()
+			d.conflicts = append(d.conflicts, c)
+			d.mu.Unlock()
+			if opts.OnConflict != nil {
+				opts.OnConflict(c)
+			}
+		}),
+	)
+	d.cep = cep.NewEngine(func(det cep.Detection) {
+		for _, e := range d.eng.HandleDetection(det) {
+			d.auditPolicyError(e)
+		}
+	})
+
+	// Context changes feed the policy engine synchronously (deterministic
+	// evaluation order); a rule that sets an attribute it triggers on must
+	// converge through its own guard, as in the paper's feedback loop.
+	store.AddHook(func(change ctxmodel.Change) {
+		for _, e := range d.eng.HandleContextChange(change) {
+			d.auditPolicyError(e)
+		}
+	})
+	return d, nil
+}
+
+// Name returns the domain name.
+func (d *Domain) Name() string { return d.name }
+
+// Bus exposes the domain's messaging substrate.
+func (d *Domain) Bus() *sbus.Bus { return d.bus }
+
+// Store exposes the domain's context store.
+func (d *Domain) Store() *ctxmodel.Store { return d.store }
+
+// Log exposes the domain's audit log.
+func (d *Domain) Log() *audit.Log { return d.log }
+
+// PolicyEngine exposes the domain's policy engine.
+func (d *Domain) PolicyEngine() *policy.Engine { return d.eng }
+
+// Devices exposes the domain's device registry.
+func (d *Domain) Devices() *device.Registry { return &d.devices }
+
+// TPM exposes the domain's trusted platform module.
+func (d *Domain) TPM() *attest.TPM { return d.tpm }
+
+// LoadPolicy parses and installs policy source.
+func (d *Domain) LoadPolicy(src string) error {
+	set, err := policy.Parse(src)
+	if err != nil {
+		return err
+	}
+	d.eng.Load(set)
+	d.log.Append(audit.Record{
+		Kind: audit.Reconfiguration, Layer: audit.LayerPolicy, Domain: d.name,
+		Note: fmt.Sprintf("policy loaded: %d rules", len(set.Rules)),
+	})
+	return nil
+}
+
+// RegisterPattern adds a CEP pattern whose detections drive policy.
+func (d *Domain) RegisterPattern(p cep.Pattern) { d.cep.Register(p) }
+
+// FeedEvent pushes one event into detection (and so, possibly, into
+// policy-driven reconfiguration).
+func (d *Domain) FeedEvent(e cep.Event) { d.cep.Feed(e) }
+
+// Tick advances time-driven machinery: CEP absence patterns, policy
+// timers, break-glass expiry.
+func (d *Domain) Tick() {
+	d.cep.Advance(d.clock())
+	for _, e := range d.eng.Tick() {
+		d.auditPolicyError(e)
+	}
+}
+
+// Alerts returns the policy alerts raised so far.
+func (d *Domain) Alerts() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, len(d.alerts))
+	copy(out, d.alerts)
+	return out
+}
+
+// Conflicts returns the policy conflicts observed so far.
+func (d *Domain) Conflicts() []policy.Conflict {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]policy.Conflict, len(d.conflicts))
+	copy(out, d.conflicts)
+	return out
+}
+
+// auditPolicyError records a failed policy evaluation or action.
+func (d *Domain) auditPolicyError(e policy.Error) {
+	d.log.Append(audit.Record{
+		Kind: audit.Reconfiguration, Layer: audit.LayerPolicy, Domain: d.name,
+		Agent: PolicyEnginePrincipal, Note: "policy error: " + e.Error(),
+	})
+}
+
+// execute is the policy-action executor: the junction where decisions
+// become mechanism (Fig. 1's "enforcement point").
+func (d *Domain) execute(a policy.Action) error {
+	switch x := a.(type) {
+	case policy.AlertAction:
+		d.mu.Lock()
+		d.alerts = append(d.alerts, x.Message)
+		cb := d.onAlert
+		d.mu.Unlock()
+		d.log.Append(audit.Record{
+			Kind: audit.Reconfiguration, Layer: audit.LayerPolicy, Domain: d.name,
+			Agent: PolicyEnginePrincipal, Note: "alert: " + x.Message,
+		})
+		if cb != nil {
+			cb(x.Message)
+		}
+		return nil
+	case policy.ConnectAction:
+		err := d.bus.Connect(PolicyEnginePrincipal, x.From, x.To)
+		if err == nil {
+			if _, active := d.eng.OverrideActive(); active {
+				d.log.Append(audit.Record{
+					Kind: audit.BreakGlass, Layer: audit.LayerPolicy, Domain: d.name,
+					Src: ifc.EntityID(x.From), Dst: ifc.EntityID(x.To),
+					Agent: PolicyEnginePrincipal,
+					Note:  "connection established under break-glass override",
+				})
+			}
+		}
+		return err
+	case policy.DisconnectAction:
+		return d.bus.Disconnect(PolicyEnginePrincipal, x.From, x.To)
+	case policy.SetContextAction:
+		return d.bus.SetComponentContext(PolicyEnginePrincipal, x.Target, x.Ctx)
+	case policy.GrantAction:
+		return d.bus.GrantPrivileges(PolicyEnginePrincipal, x.Target, x.Privs)
+	case policy.SetCtxAction:
+		// The engine already applied the value to the context store; the
+		// executor only audits the decision.
+		d.log.Append(audit.Record{
+			Kind: audit.Reconfiguration, Layer: audit.LayerPolicy, Domain: d.name,
+			Agent: PolicyEnginePrincipal, Note: "context set: " + x.String(),
+		})
+		return nil
+	case policy.QuarantineAction:
+		return d.bus.Quarantine(PolicyEnginePrincipal, x.Target, true)
+	case policy.ActuateAction:
+		act, err := d.devices.Actuator(x.Device)
+		if err != nil {
+			return err
+		}
+		if err := act.Apply(x.Command, x.Value); err != nil {
+			d.log.Append(audit.Record{
+				Kind: audit.FlowDenied, Layer: audit.LayerPolicy, Domain: d.name,
+				Dst: ifc.EntityID(x.Device), Agent: PolicyEnginePrincipal,
+				Note: "actuation refused: " + err.Error(),
+			})
+			return err
+		}
+		d.log.Append(audit.Record{
+			Kind: audit.Reconfiguration, Layer: audit.LayerPolicy, Domain: d.name,
+			Dst: ifc.EntityID(x.Device), Agent: PolicyEnginePrincipal,
+			Note: fmt.Sprintf("actuated %s %s=%g", x.Device, x.Command, x.Value),
+		})
+		return nil
+	default:
+		return fmt.Errorf("core: unknown action %T", a)
+	}
+}
+
+// EnrollPeer registers a peer domain's TPM endorsement key so Federate can
+// attest it (out-of-band provisioning in a real deployment).
+func (d *Domain) EnrollPeer(name string, endorsementKey []byte) {
+	d.verifier.Enroll(name, endorsementKey)
+}
+
+// Federate links this domain's bus to a peer over the network, after
+// remote attestation of the peer's platform (Challenge 5: trusted
+// enforcement before interaction). The attestation policy may pin PCR
+// values and a geographic region.
+func (d *Domain) Federate(network transport.Network, addr string,
+	peer *attest.TPM, pol attest.Policy) (string, error) {
+	if err := d.verifier.Attest(peer, []int{0}, pol); err != nil {
+		d.log.Append(audit.Record{
+			Kind: audit.FlowDenied, Layer: audit.LayerPolicy, Domain: d.name,
+			Dst: ifc.EntityID(peer.DeviceID()), Note: "federation refused: " + err.Error(),
+		})
+		return "", fmt.Errorf("%w: %v", ErrAttestation, err)
+	}
+	peerName, err := d.bus.LinkTo(network, addr)
+	if err != nil {
+		return "", err
+	}
+	d.log.Append(audit.Record{
+		Kind: audit.Reconfiguration, Layer: audit.LayerPolicy, Domain: d.name,
+		Dst: ifc.EntityID(peerName), Note: "federated with peer domain (attested)",
+	})
+	return peerName, nil
+}
+
+// Serve accepts federation links from peers on the listener.
+func (d *Domain) Serve(listener transport.Listener) { d.bus.Serve(listener) }

@@ -1,0 +1,656 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lciot/internal/attest"
+	"lciot/internal/audit"
+	"lciot/internal/cep"
+	"lciot/internal/ctxmodel"
+	"lciot/internal/device"
+	"lciot/internal/ifc"
+	"lciot/internal/msg"
+	"lciot/internal/names"
+	"lciot/internal/policy"
+	"lciot/internal/sbus"
+	"lciot/internal/transport"
+)
+
+// testClock provides a controllable, monotonically increasing clock.
+type testClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newTestClock() *testClock { return &testClock{now: time.Unix(1700000000, 0)} }
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *testClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func vitalsSchema() *msg.Schema {
+	return msg.MustSchema("vitals", ifc.EmptyLabel,
+		msg.Field{Name: "patient", Type: msg.TString, Required: true},
+		msg.Field{Name: "heart-rate", Type: msg.TFloat, Required: true},
+	)
+}
+
+func annCtx() ifc.SecurityContext {
+	return ifc.MustContext([]ifc.Tag{"medical", "ann"}, []ifc.Tag{"hosp-dev", "consent"})
+}
+
+func newDomain(t *testing.T, clock *testClock) *Domain {
+	t.Helper()
+	d, err := NewDomain("hospital", Options{Clock: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+type recorder struct {
+	mu   sync.Mutex
+	msgs []*msg.Message
+}
+
+func (r *recorder) handler() sbus.Handler {
+	return func(m *msg.Message, _ sbus.Delivery) {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		r.msgs = append(r.msgs, m)
+	}
+}
+
+func (r *recorder) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.msgs)
+}
+
+// TestFig7FullSystem is experiment E7: the complete home-monitoring system.
+// Sensors stream vitals; the analyser's CEP detects an emergency; the
+// policy engine alerts, actuates the sensor to sample faster, connects the
+// analyser to the emergency service under a break-glass override, and the
+// override auto-reverts.
+func TestFig7FullSystem(t *testing.T) {
+	clock := newTestClock()
+	d := newDomain(t, clock)
+
+	// Components: Ann's device (source), her analyser (sink), the
+	// emergency service (initially unconnected sink).
+	if _, err := d.Bus().Register("ann-device", "hospital", annCtx(), nil,
+		sbus.EndpointSpec{Name: "out", Dir: sbus.Source, Schema: vitalsSchema()}); err != nil {
+		t.Fatal(err)
+	}
+	analyserRec := &recorder{}
+	if _, err := d.Bus().Register("ann-analyser", "hospital", annCtx(), analyserRec.handler(),
+		sbus.EndpointSpec{Name: "in", Dir: sbus.Sink, Schema: vitalsSchema()},
+		sbus.EndpointSpec{Name: "alerts", Dir: sbus.Source, Schema: vitalsSchema()}); err != nil {
+		t.Fatal(err)
+	}
+	emergencyRec := &recorder{}
+	if _, err := d.Bus().Register("emergency-service", "hospital", annCtx(), emergencyRec.handler(),
+		sbus.EndpointSpec{Name: "in", Dir: sbus.Sink, Schema: vitalsSchema()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Bus().Connect(PolicyEnginePrincipal, "ann-device.out", "ann-analyser.in"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ann's sensor with an actuatable sampling interval.
+	sensor := device.NewVitalsSensor("ann-sensor", 70, 42, clock.Now(), 10*time.Second)
+	sensor.ScheduleEpisode(20, 40, 170)
+	actuator := device.NewActuator("ann-sensor", map[string][2]float64{"sample-interval": {1, 3600}})
+	d.Devices().RegisterActuator(actuator)
+
+	// Detection: three heart-rate readings over 120 within a minute.
+	d.RegisterPattern(&cep.Threshold{
+		PatternName: "tachycardia",
+		Match:       func(e cep.Event) bool { return e.Type == "heart-rate" && e.Value > 120 },
+		Count:       3,
+		Window:      10 * time.Minute,
+	})
+
+	// Policy: the Fig. 7 emergency response.
+	if err := d.LoadPolicy(`
+rule "emergency-response" priority 10 {
+    on event "tachycardia"
+    when not ctx.emergency
+    do
+        set emergency = true;
+        alert "emergency detected for ann";
+        breakglass 30m;
+        connect "ann-analyser.alerts" -> "emergency-service.in";
+        actuate "ann-sensor" "sample-interval" 1
+}`); err != nil {
+		t.Fatal(err)
+	}
+	d.Store().Set("emergency", ctxmodel.Bool(false))
+
+	// Stream readings through detection.
+	for i := 0; i < 45; i++ {
+		r := sensor.Next()
+		d.FeedEvent(cep.Event{Type: r.Metric, Source: r.DeviceID, Time: r.At, Value: r.Value})
+	}
+
+	// The emergency fired exactly once.
+	alerts := d.Alerts()
+	if len(alerts) != 1 || alerts[0] != "emergency detected for ann" {
+		t.Fatalf("alerts = %v", alerts)
+	}
+	// The sensor was actuated to sample faster.
+	if v, ok := actuator.State("sample-interval"); !ok || v != 1 {
+		t.Fatalf("actuator state = %g, %v", v, ok)
+	}
+	// The emergency channel exists and an override is open.
+	if _, active := d.PolicyEngine().OverrideActive(); !active {
+		t.Fatal("break-glass override not active")
+	}
+	channels := d.Bus().Channels()
+	if len(channels) != 2 {
+		t.Fatalf("channels = %v", channels)
+	}
+	// The emergency connection is audited as break-glass.
+	bg := d.Log().Select(func(r audit.Record) bool { return r.Kind == audit.BreakGlass })
+	if len(bg) != 1 {
+		t.Fatalf("break-glass records = %d", len(bg))
+	}
+	// Context reflects the emergency.
+	if v, _ := d.Store().Get("emergency"); !v.Bool {
+		t.Fatal("emergency flag not set")
+	}
+
+	// After the override window the connection is reverted.
+	clock.Advance(31 * time.Minute)
+	d.Tick()
+	if _, active := d.PolicyEngine().OverrideActive(); active {
+		t.Fatal("override still active after expiry")
+	}
+	channels = d.Bus().Channels()
+	if len(channels) != 1 || !strings.HasPrefix(channels[0], "ann-device.out") {
+		t.Fatalf("channels after revert = %v", channels)
+	}
+}
+
+// TestFig1PolicyLoop is experiment E1: the full loop — policy determines
+// enforcement, enforcement produces audit, audit demonstrates both the
+// allowed and the prevented flows, and the chain is verifiable.
+func TestFig1PolicyLoop(t *testing.T) {
+	clock := newTestClock()
+	d := newDomain(t, clock)
+	if _, err := d.Bus().Register("sensor", "hospital", annCtx(), nil,
+		sbus.EndpointSpec{Name: "out", Dir: sbus.Source, Schema: vitalsSchema()}); err != nil {
+		t.Fatal(err)
+	}
+	rec := &recorder{}
+	if _, err := d.Bus().Register("analyser", "hospital", annCtx(), rec.handler(),
+		sbus.EndpointSpec{Name: "in", Dir: sbus.Sink, Schema: vitalsSchema()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Bus().Register("advertiser", "hospital", ifc.SecurityContext{}, nil,
+		sbus.EndpointSpec{Name: "in", Dir: sbus.Sink, Schema: vitalsSchema()}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Policy connects sensor to analyser on a context trigger.
+	if err := d.LoadPolicy(`
+rule "provision" {
+    on context provisioned
+    when ctx.provisioned
+    do connect "sensor.out" -> "analyser.in"
+}`); err != nil {
+		t.Fatal(err)
+	}
+	d.Store().Set("provisioned", ctxmodel.Bool(true))
+
+	// The policy-driven connection happened.
+	if len(d.Bus().Channels()) != 1 {
+		t.Fatalf("channels = %v", d.Bus().Channels())
+	}
+	// The illegal connection is refused by the mechanism — even for the
+	// fully AC-authorised policy engine, because IFC is data-centric.
+	err := d.Bus().Connect(PolicyEnginePrincipal, "sensor.out", "advertiser.in")
+	if !errors.Is(err, ifc.ErrFlowDenied) {
+		t.Fatalf("advertiser connect = %v", err)
+	}
+
+	sensorComp, _ := d.Bus().Component("sensor")
+	m := msg.New("vitals").Set("patient", msg.Str("ann")).Set("heart-rate", msg.Float(72))
+	m.DataID = "reading-1"
+	if _, err := sensorComp.Publish("out", m); err != nil {
+		t.Fatal(err)
+	}
+	if rec.count() != 1 {
+		t.Fatal("delivery missing")
+	}
+
+	// Audit closes the loop: report shows the denial, the allowed flow, and
+	// an intact chain.
+	rep := audit.Report(d.Log())
+	if !rep.ChainIntact {
+		t.Fatal("audit chain broken")
+	}
+	if rep.ByKind["flow-denied"] != 1 || rep.ByKind["flow-allowed"] != 1 {
+		t.Fatalf("report = %+v", rep.ByKind)
+	}
+	// Provenance derived from the log shows where reading-1 went.
+	g := audit.BuildGraph(d.Log().Select(nil))
+	desc, err := g.Descendants("reading-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range desc {
+		if strings.Contains(n, "analyser") {
+			found = true
+		}
+		if strings.Contains(n, "advertiser") {
+			t.Fatal("denied flow appears in provenance")
+		}
+	}
+	if !found {
+		t.Fatalf("descendants = %v", desc)
+	}
+}
+
+// TestFig2ComponentChain is experiment E2: a five-hop chain home → gateway
+// → app → DB → analyser with policy persisting end-to-end.
+func TestFig2ComponentChain(t *testing.T) {
+	clock := newTestClock()
+	d := newDomain(t, clock)
+
+	chainCtx := annCtx()
+	names := []string{"home", "gateway", "app", "db", "analyser"}
+	recs := make([]*recorder, len(names))
+	for i, n := range names {
+		recs[i] = &recorder{}
+		specs := []sbus.EndpointSpec{}
+		if i > 0 {
+			specs = append(specs, sbus.EndpointSpec{Name: "in", Dir: sbus.Sink, Schema: vitalsSchema()})
+		}
+		if i < len(names)-1 {
+			specs = append(specs, sbus.EndpointSpec{Name: "out", Dir: sbus.Source, Schema: vitalsSchema()})
+		}
+		if _, err := d.Bus().Register(n, "hospital", chainCtx, recs[i].handler(), specs...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i+1 < len(names); i++ {
+		if err := d.Bus().Connect(PolicyEnginePrincipal, names[i]+".out", names[i+1]+".in"); err != nil {
+			t.Fatalf("hop %d: %v", i, err)
+		}
+	}
+
+	// Propagate a reading down the chain hop by hop (each component's
+	// handler would normally re-publish; we drive it manually).
+	m := msg.New("vitals").Set("patient", msg.Str("ann")).Set("heart-rate", msg.Float(70))
+	m.DataID = "chain-reading"
+	for i := 0; i+1 < len(names); i++ {
+		comp, _ := d.Bus().Component(names[i])
+		if n, err := comp.Publish("out", m); err != nil || n != 1 {
+			t.Fatalf("hop %d publish = %d, %v", i, n, err)
+		}
+	}
+	for i := 1; i < len(names); i++ {
+		if recs[i].count() != 1 {
+			t.Fatalf("component %s received %d messages", names[i], recs[i].count())
+		}
+	}
+
+	// A public endpoint appended to the chain cannot be connected: policy
+	// persists to the end of the chain.
+	if _, err := d.Bus().Register("exporter", "hospital", ifc.SecurityContext{}, nil,
+		sbus.EndpointSpec{Name: "in", Dir: sbus.Sink, Schema: vitalsSchema()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Bus().Connect(PolicyEnginePrincipal, "analyser.out", "exporter.in"); err == nil {
+		t.Fatal("chain leaked to public exporter")
+	}
+	_ = recs[0]
+}
+
+func TestExecutorActionErrors(t *testing.T) {
+	clock := newTestClock()
+	d := newDomain(t, clock)
+	// Actuate on an unregistered device fails and is surfaced as a policy
+	// error (audited).
+	if err := d.LoadPolicy(`
+rule "bad-actuate" { on context go when ctx.go do actuate "ghost" "cmd" 1 }
+rule "bad-connect" { on context go when ctx.go do connect "nope.out" -> "nope.in" }
+`); err != nil {
+		t.Fatal(err)
+	}
+	d.Store().Set("go", ctxmodel.Bool(true))
+	errsRecorded := d.Log().Select(func(r audit.Record) bool {
+		return r.Layer == audit.LayerPolicy && strings.Contains(r.Note, "policy error")
+	})
+	if len(errsRecorded) != 2 {
+		t.Fatalf("policy errors audited = %d", len(errsRecorded))
+	}
+}
+
+func TestQuarantineViaPolicy(t *testing.T) {
+	clock := newTestClock()
+	d := newDomain(t, clock)
+	if _, err := d.Bus().Register("rogue", "hospital", ifc.SecurityContext{}, nil,
+		sbus.EndpointSpec{Name: "out", Dir: sbus.Source, Schema: vitalsSchema()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.LoadPolicy(`
+rule "contain" {
+    on event "anomaly"
+    do quarantine "rogue"; alert "rogue contained"
+}`); err != nil {
+		t.Fatal(err)
+	}
+	d.RegisterPattern(&cep.Threshold{
+		PatternName: "anomaly",
+		Match:       func(e cep.Event) bool { return e.Type == "anomaly" },
+		Count:       1, Window: time.Minute,
+	})
+	d.FeedEvent(cep.Event{Type: "anomaly", Time: clock.Now(), Value: 1})
+
+	rogue, _ := d.Bus().Component("rogue")
+	if !rogue.Quarantined() {
+		t.Fatal("rogue not quarantined")
+	}
+	if len(d.Alerts()) != 1 {
+		t.Fatalf("alerts = %v", d.Alerts())
+	}
+}
+
+func TestFederationRequiresAttestation(t *testing.T) {
+	clock := newTestClock()
+	net := transport.NewMemNetwork()
+
+	hospital := newDomain(t, clock)
+	home, err := NewDomain("home", Options{Clock: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	listener, err := net.Listen("hospital-addr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go hospital.Serve(listener)
+	t.Cleanup(func() { listener.Close() })
+
+	// Without enrollment, attestation fails and no link forms.
+	if _, err := home.Federate(net, "hospital-addr", hospital.TPM(), attest.Policy{}); !errors.Is(err, ErrAttestation) {
+		t.Fatalf("unenrolled federation = %v", err)
+	}
+	if len(home.Bus().Links()) != 0 {
+		t.Fatal("link formed despite failed attestation")
+	}
+
+	// After enrollment, federation succeeds.
+	home.EnrollPeer(hospital.TPM().DeviceID(), hospital.TPM().EndorsementKey())
+	peer, err := home.Federate(net, "hospital-addr", hospital.TPM(), attest.Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peer != "hospital" {
+		t.Fatalf("peer = %q", peer)
+	}
+	// Failed attestation is audited.
+	refusals := home.Log().Select(func(r audit.Record) bool {
+		return strings.Contains(r.Note, "federation refused")
+	})
+	if len(refusals) != 1 {
+		t.Fatalf("refusal records = %d", len(refusals))
+	}
+}
+
+func TestCrossDomainEndToEnd(t *testing.T) {
+	clock := newTestClock()
+	net := transport.NewMemNetwork()
+
+	hospital := newDomain(t, clock)
+	home, err := NewDomain("home", Options{Clock: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	listener, err := net.Listen("hospital-addr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go hospital.Serve(listener)
+	t.Cleanup(func() { listener.Close() })
+
+	home.EnrollPeer(hospital.TPM().DeviceID(), hospital.TPM().EndorsementKey())
+	if _, err := home.Federate(net, "hospital-addr", hospital.TPM(), attest.Policy{}); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := home.Bus().Register("ann-device", "hospital", annCtx(), nil,
+		sbus.EndpointSpec{Name: "out", Dir: sbus.Source, Schema: vitalsSchema()}); err != nil {
+		t.Fatal(err)
+	}
+	rec := &recorder{}
+	if _, err := hospital.Bus().Register("ann-analyser", "hospital", annCtx(), rec.handler(),
+		sbus.EndpointSpec{Name: "in", Dir: sbus.Sink, Schema: vitalsSchema()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := home.Bus().Connect(PolicyEnginePrincipal, "ann-device.out", "hospital:ann-analyser.in"); err != nil {
+		t.Fatal(err)
+	}
+	dev, _ := home.Bus().Component("ann-device")
+	m := msg.New("vitals").Set("patient", msg.Str("ann")).Set("heart-rate", msg.Float(70))
+	if _, err := dev.Publish("out", m); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for rec.count() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if rec.count() != 1 {
+		t.Fatal("cross-domain delivery missing")
+	}
+}
+
+func TestPolicyConflictSurfaced(t *testing.T) {
+	clock := newTestClock()
+	var seen []policy.Conflict
+	d, err := NewDomain("dom", Options{
+		Clock:      clock.Now,
+		OnConflict: func(c policy.Conflict) { seen = append(seen, c) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.LoadPolicy(`
+rule "open" priority 5 { on context x when ctx.x do set mode = "open" }
+rule "close" priority 1 { on context x when ctx.x do set mode = "closed" }
+`); err != nil {
+		t.Fatal(err)
+	}
+	d.Store().Set("x", ctxmodel.Bool(true))
+	if len(seen) != 1 || len(d.Conflicts()) != 1 {
+		t.Fatalf("conflicts = %v / %v", seen, d.Conflicts())
+	}
+	if v, _ := d.Store().Get("mode"); v.Str != "open" {
+		t.Fatalf("mode = %v (priority must win)", v)
+	}
+}
+
+func TestLoadPolicyParseError(t *testing.T) {
+	d := newDomain(t, newTestClock())
+	if err := d.LoadPolicy("not a policy"); err == nil {
+		t.Fatal("garbage policy accepted")
+	}
+}
+
+func TestDomainAccessors(t *testing.T) {
+	d := newDomain(t, newTestClock())
+	if d.Name() != "hospital" {
+		t.Fatalf("Name = %q", d.Name())
+	}
+	if d.Bus() == nil || d.Store() == nil || d.Log() == nil ||
+		d.PolicyEngine() == nil || d.Devices() == nil || d.TPM() == nil {
+		t.Fatal("nil accessor")
+	}
+}
+
+func TestDomainTimerRuleViaTick(t *testing.T) {
+	clock := newTestClock()
+	d := newDomain(t, clock)
+	if err := d.LoadPolicy(`rule "hb" { on timer 5m do alert "tick" }`); err != nil {
+		t.Fatal(err)
+	}
+	d.Tick()
+	if len(d.Alerts()) != 1 {
+		t.Fatalf("alerts = %v", d.Alerts())
+	}
+	clock.Advance(time.Minute)
+	d.Tick() // period not elapsed
+	if len(d.Alerts()) != 1 {
+		t.Fatal("timer re-fired early")
+	}
+	clock.Advance(5 * time.Minute)
+	d.Tick()
+	if len(d.Alerts()) != 2 {
+		t.Fatal("timer did not re-fire")
+	}
+}
+
+func TestDomainAbsencePatternViaTick(t *testing.T) {
+	clock := newTestClock()
+	d := newDomain(t, clock)
+	d.RegisterPattern(&cep.Absence{
+		PatternName: "silence",
+		Timeout:     time.Minute,
+	})
+	if err := d.LoadPolicy(`rule "s" { on event "silence" do alert "gone quiet" }`); err != nil {
+		t.Fatal(err)
+	}
+	d.FeedEvent(cep.Event{Type: "ping", Time: clock.Now()})
+	clock.Advance(2 * time.Minute)
+	d.Tick()
+	if len(d.Alerts()) != 1 {
+		t.Fatalf("alerts = %v", d.Alerts())
+	}
+}
+
+// TestAdmissionPolicyValidatesForeignTags exercises Challenge 1: a
+// federated peer presenting a context whose tags do not resolve in the
+// global namespace is refused at ingress; once the tag authority registers
+// the tag, the same connect succeeds.
+func TestAdmissionPolicyValidatesForeignTags(t *testing.T) {
+	clock := newTestClock()
+	net := transport.NewMemNetwork()
+
+	// The global namespace knows "medical" tags under hospital.example.
+	root := names.NewRoot()
+	zone, err := root.DelegatePath("hospital.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tag := range []ifc.Tag{"hospital.example/medical", "hospital.example/ann"} {
+		if err := zone.Register(names.TagRecord{Tag: tag, Owner: "hospital", TTL: time.Hour}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resolver := names.NewResolver(root)
+
+	hospital, err := NewDomain("hospital", Options{Clock: clock.Now, Resolver: resolver})
+	if err != nil {
+		t.Fatal(err)
+	}
+	home, err := NewDomain("home", Options{Clock: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	listener, err := net.Listen("hospital-addr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { listener.Close() })
+	go hospital.Serve(listener)
+	home.EnrollPeer(hospital.TPM().DeviceID(), hospital.TPM().EndorsementKey())
+	if _, err := home.Federate(net, "hospital-addr", hospital.TPM(), attest.Policy{}); err != nil {
+		t.Fatal(err)
+	}
+
+	knownCtx := ifc.MustContext(
+		[]ifc.Tag{"hospital.example/medical", "hospital.example/ann"}, nil)
+	unknownCtx := ifc.MustContext(
+		[]ifc.Tag{"hospital.example/medical", "startup.example/wearable"}, nil)
+	sinkCtx := ifc.MustContext(
+		[]ifc.Tag{"hospital.example/medical", "hospital.example/ann", "startup.example/wearable"}, nil)
+
+	if _, err := home.Bus().Register("known-dev", "hospital", knownCtx, nil,
+		sbus.EndpointSpec{Name: "out", Dir: sbus.Source, Schema: vitalsSchema()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := home.Bus().Register("unknown-dev", "startup", unknownCtx, nil,
+		sbus.EndpointSpec{Name: "out", Dir: sbus.Source, Schema: vitalsSchema()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hospital.Bus().Register("analyser", "hospital", sinkCtx, nil,
+		sbus.EndpointSpec{Name: "in", Dir: sbus.Sink, Schema: vitalsSchema()}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Known tags: admitted (the flow itself is legal).
+	if err := home.Bus().Connect(PolicyEnginePrincipal, "known-dev.out", "hospital:analyser.in"); err != nil {
+		t.Fatalf("known-tag connect: %v", err)
+	}
+	// Unknown tag: refused by the admission policy despite a legal flow.
+	err = home.Bus().Connect(PolicyEnginePrincipal, "unknown-dev.out", "hospital:analyser.in")
+	if err == nil || !strings.Contains(err.Error(), "names") {
+		t.Fatalf("unknown-tag connect = %v, want namespace refusal", err)
+	}
+	refusals := hospital.Log().Select(func(r audit.Record) bool {
+		return strings.Contains(r.Note, "admission policy")
+	})
+	if len(refusals) != 1 {
+		t.Fatalf("admission refusals audited = %d", len(refusals))
+	}
+
+	// The startup registers its tag with the global namespace; the same
+	// connect now succeeds ("interactions may occur with entities never
+	// before encountered" — once their tags are resolvable).
+	startupZone, err := root.DelegatePath("startup.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := startupZone.Register(names.TagRecord{
+		Tag: "startup.example/wearable", Owner: "startup", TTL: time.Hour,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := home.Bus().Connect(PolicyEnginePrincipal, "unknown-dev.out", "hospital:analyser.in"); err != nil {
+		t.Fatalf("post-registration connect: %v", err)
+	}
+}
+
+func TestOnAlertCallback(t *testing.T) {
+	clock := newTestClock()
+	var got []string
+	d, err := NewDomain("dom", Options{
+		Clock:   clock.Now,
+		OnAlert: func(m string) { got = append(got, m) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.LoadPolicy(`rule "r" { on context x when ctx.x do alert "hi" }`); err != nil {
+		t.Fatal(err)
+	}
+	d.Store().Set("x", ctxmodel.Bool(true))
+	if len(got) != 1 || got[0] != "hi" {
+		t.Fatalf("alerts = %v", got)
+	}
+}

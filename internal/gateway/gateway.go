@@ -1,0 +1,193 @@
+// Package gateway implements the subsystem gateways of Section 2.1: hubs
+// that front closed or constrained subsystems and "manage interactions on
+// behalf of the subsystems they front". Constrained devices cannot carry
+// IFC labels themselves, so the gateway assigns each device's readings a
+// security context from its device table at ingress — the delegation of
+// policy enforcement that Challenge 5 calls for ("gateway components could
+// be used to mediate data flows") — and store-and-forwards when the uplink
+// is down (Challenge 6's intermittently-connected things).
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"lciot/internal/audit"
+	"lciot/internal/device"
+	"lciot/internal/ifc"
+	"lciot/internal/msg"
+	"lciot/internal/sbus"
+)
+
+// Errors reported by gateways.
+var (
+	ErrUnknownDevice = errors.New("gateway: device not in table")
+	ErrBufferFull    = errors.New("gateway: store-and-forward buffer full")
+)
+
+// A DeviceEntry maps a constrained device to the security context its data
+// carries and the schema it emits.
+type DeviceEntry struct {
+	DeviceID string
+	Ctx      ifc.SecurityContext
+	// Consent records whether the data subject has consented to collection
+	// (Concern 1); without it the gateway refuses the device's data.
+	Consent bool
+}
+
+// ReadingSchema is the message type gateways emit for sensor readings.
+var ReadingSchema = msg.MustSchema("reading", ifc.EmptyLabel,
+	msg.Field{Name: "device", Type: msg.TString, Required: true},
+	msg.Field{Name: "metric", Type: msg.TString, Required: true},
+	msg.Field{Name: "value", Type: msg.TFloat, Required: true},
+	msg.Field{Name: "seq", Type: msg.TInt, Required: true},
+)
+
+// A Gateway bridges constrained devices onto a bus. It owns a bus component
+// with a "readings" source endpoint; Ingest labels and forwards readings.
+type Gateway struct {
+	comp *sbus.Component
+	log  *audit.Log
+
+	mu      sync.Mutex
+	table   map[string]DeviceEntry
+	buffer  []pendingReading
+	bufMax  int
+	uplinkU bool
+}
+
+type pendingReading struct {
+	r   device.Reading
+	ctx ifc.SecurityContext
+}
+
+// New registers a gateway component on the bus and returns the gateway.
+// bufMax bounds the store-and-forward buffer (0 means 1024).
+func New(bus *sbus.Bus, name string, principal ifc.PrincipalID, ctx ifc.SecurityContext, bufMax int) (*Gateway, error) {
+	comp, err := bus.Register(name, principal, ctx, nil,
+		sbus.EndpointSpec{Name: "readings", Dir: sbus.Source, Schema: ReadingSchema})
+	if err != nil {
+		return nil, err
+	}
+	if bufMax <= 0 {
+		bufMax = 1024
+	}
+	return &Gateway{
+		comp:    comp,
+		log:     bus.Log(),
+		table:   make(map[string]DeviceEntry),
+		bufMax:  bufMax,
+		uplinkU: true,
+	}, nil
+}
+
+// Component exposes the gateway's bus component (for connecting channels).
+func (g *Gateway) Component() *sbus.Component { return g.comp }
+
+// AddDevice installs a device table entry.
+func (g *Gateway) AddDevice(e DeviceEntry) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.table[e.DeviceID] = e
+}
+
+// RemoveDevice drops a device from the table; subsequent readings are
+// refused.
+func (g *Gateway) RemoveDevice(id string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.table, id)
+}
+
+// SetUplink marks the gateway's uplink as up or down. While down, ingested
+// readings buffer locally; on recovery, Flush forwards them in order.
+func (g *Gateway) SetUplink(up bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.uplinkU = up
+}
+
+// Buffered returns the number of readings waiting for the uplink.
+func (g *Gateway) Buffered() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.buffer)
+}
+
+// Ingest accepts one reading from a constrained device: it looks the device
+// up, verifies consent, adopts the device's security context for the
+// message, and forwards (or buffers) it. The gateway is the enforcement
+// point for devices that cannot enforce anything themselves.
+func (g *Gateway) Ingest(r device.Reading) error {
+	g.mu.Lock()
+	entry, ok := g.table[r.DeviceID]
+	up := g.uplinkU
+	g.mu.Unlock()
+
+	if !ok {
+		g.log.Append(audit.Record{
+			Kind: audit.FlowDenied, Layer: audit.LayerMessaging,
+			Src: ifc.EntityID(r.DeviceID), Dst: g.comp.Entity().ID(),
+			DataID: r.DataID(), Note: "gateway refused: device not in table",
+		})
+		return fmt.Errorf("%w: %q", ErrUnknownDevice, r.DeviceID)
+	}
+	if !entry.Consent {
+		g.log.Append(audit.Record{
+			Kind: audit.FlowDenied, Layer: audit.LayerMessaging,
+			Src: ifc.EntityID(r.DeviceID), Dst: g.comp.Entity().ID(),
+			DataID: r.DataID(), Note: "gateway refused: no consent recorded",
+		})
+		return fmt.Errorf("gateway: device %q has no recorded consent", r.DeviceID)
+	}
+
+	if !up {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		if len(g.buffer) >= g.bufMax {
+			return fmt.Errorf("%w: %d readings", ErrBufferFull, len(g.buffer))
+		}
+		g.buffer = append(g.buffer, pendingReading{r: r, ctx: entry.Ctx})
+		return nil
+	}
+	return g.forward(r, entry.Ctx)
+}
+
+// Flush forwards buffered readings after an uplink recovery, preserving
+// order. It stops at the first error, leaving the remainder buffered.
+func (g *Gateway) Flush() (int, error) {
+	g.mu.Lock()
+	pending := g.buffer
+	g.buffer = nil
+	g.mu.Unlock()
+
+	for i, p := range pending {
+		if err := g.forward(p.r, p.ctx); err != nil {
+			g.mu.Lock()
+			g.buffer = append(pending[i:], g.buffer...)
+			g.mu.Unlock()
+			return i, err
+		}
+	}
+	return len(pending), nil
+}
+
+// forward adopts the device's context and publishes the reading. The
+// gateway component must hold privileges covering the transition between
+// device contexts (granted by the domain authority at provisioning).
+func (g *Gateway) forward(r device.Reading, ctx ifc.SecurityContext) error {
+	if !g.comp.Context().Equal(ctx) {
+		if err := g.comp.SetContext(ctx); err != nil {
+			return fmt.Errorf("gateway: adopting device context: %w", err)
+		}
+	}
+	m := msg.New("reading").
+		Set("device", msg.Str(r.DeviceID)).
+		Set("metric", msg.Str(r.Metric)).
+		Set("value", msg.Float(r.Value)).
+		Set("seq", msg.Int(int64(r.Seq)))
+	m.DataID = r.DataID()
+	_, err := g.comp.Publish("readings", m)
+	return err
+}

@@ -1,0 +1,91 @@
+package ifc
+
+// This file provides static analyses over security contexts that the
+// middleware uses when planning or validating component chains: whether a
+// chain is flow-feasible end-to-end, where a gate would be required, and
+// how far "label creep" (Section 6) has progressed along a path.
+
+// ChainCheck reports, for a proposed chain of security contexts, the first
+// hop at which the flow rule fails, or -1 if the whole chain is feasible
+// without any gates. Contexts are in data-flow order.
+func ChainCheck(chain []SecurityContext) int {
+	for i := 0; i+1 < len(chain); i++ {
+		if !chain[i].CanFlowTo(chain[i+1]) {
+			return i
+		}
+	}
+	return -1
+}
+
+// ChainFeasible reports whether data can flow down the whole chain under
+// the plain flow rule (no declassification or endorsement).
+func ChainFeasible(chain []SecurityContext) bool {
+	return ChainCheck(chain) == -1
+}
+
+// RequiredGates returns, for each infeasible hop in the chain, a gate
+// specification that would bridge it: input at the upstream context and
+// output at the downstream context. The middleware uses this to insert
+// declassifiers/endorsers automatically when composing services
+// (Section 8.1: "transparent and dynamic system chain management").
+func RequiredGates(chain []SecurityContext) []Gate {
+	var gates []Gate
+	for i := 0; i+1 < len(chain); i++ {
+		if chain[i].CanFlowTo(chain[i+1]) {
+			continue
+		}
+		gates = append(gates, Gate{
+			Name:   "auto-gate",
+			Input:  chain[i],
+			Output: chain[i+1],
+		})
+	}
+	return gates
+}
+
+// Creep measures label creep along a path of contexts the same datum has
+// traversed: the number of secrecy tags accumulated beyond the origin's.
+// Monotonically growing secrecy is the expected cost of flowing into ever
+// more constrained domains; large creep signals that a declassifier is
+// overdue.
+func Creep(path []SecurityContext) int {
+	if len(path) == 0 {
+		return 0
+	}
+	return path[len(path)-1].Secrecy.Diff(path[0].Secrecy).Len()
+}
+
+// ReachableDomain returns the most permissive context data starting at src
+// can occupy after flowing through any subset of the given contexts without
+// gates. Because flows only ever add secrecy constraints and shed integrity
+// guarantees, the reachable frontier is computed by a fixed point over the
+// candidate contexts.
+func ReachableDomain(src SecurityContext, candidates []SecurityContext) []SecurityContext {
+	reachable := []SecurityContext{src}
+	added := true
+	for added {
+		added = false
+		for _, c := range candidates {
+			if containsContext(reachable, c) {
+				continue
+			}
+			for _, r := range reachable {
+				if r.CanFlowTo(c) {
+					reachable = append(reachable, c)
+					added = true
+					break
+				}
+			}
+		}
+	}
+	return reachable
+}
+
+func containsContext(list []SecurityContext, c SecurityContext) bool {
+	for _, x := range list {
+		if x.Equal(c) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,149 @@
+package ifc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// A SecurityContext is the pair of labels carried by every entity: S for
+// secrecy and I for integrity. The zero value (both labels empty) is the
+// public, unendorsed context.
+type SecurityContext struct {
+	Secrecy   Label
+	Integrity Label
+}
+
+// NewContext builds a security context from secrecy and integrity tags.
+func NewContext(secrecy, integrity []Tag) (SecurityContext, error) {
+	s, err := NewLabel(secrecy...)
+	if err != nil {
+		return SecurityContext{}, fmt.Errorf("secrecy label: %w", err)
+	}
+	i, err := NewLabel(integrity...)
+	if err != nil {
+		return SecurityContext{}, fmt.Errorf("integrity label: %w", err)
+	}
+	return SecurityContext{Secrecy: s, Integrity: i}, nil
+}
+
+// MustContext is like NewContext but panics on invalid tags; for literals
+// in tests and examples.
+func MustContext(secrecy, integrity []Tag) SecurityContext {
+	c, err := NewContext(secrecy, integrity)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Equal reports whether both contexts carry identical labels, i.e. belong
+// to the same security context domain.
+func (c SecurityContext) Equal(other SecurityContext) bool {
+	return c.Secrecy.Equal(other.Secrecy) && c.Integrity.Equal(other.Integrity)
+}
+
+// IsPublic reports whether the context is entirely unconstrained.
+func (c SecurityContext) IsPublic() bool {
+	return c.Secrecy.IsEmpty() && c.Integrity.IsEmpty()
+}
+
+// CanFlowTo applies the paper's flow rule:
+//
+//	A → B  ⇔  S(A) ⊆ S(B) ∧ I(B) ⊆ I(A)
+//
+// Data moves only towards equally or more constrained entities.
+func (c SecurityContext) CanFlowTo(dst SecurityContext) bool {
+	return c.Secrecy.Subset(dst.Secrecy) && dst.Integrity.Subset(c.Integrity)
+}
+
+// String renders the context in the paper's figure notation,
+// e.g. "S={ann,medical} I={consent,hosp-dev}".
+func (c SecurityContext) String() string {
+	return "S=" + c.Secrecy.String() + " I=" + c.Integrity.String()
+}
+
+// FlowDecision explains the outcome of a flow check between two contexts.
+// When the flow is denied it records exactly which tags failed which half
+// of the rule, which is what audit records and error messages need.
+type FlowDecision struct {
+	Allowed bool
+	// MissingSecrecy holds tags in S(src) absent from S(dst): the
+	// destination is not cleared for these concerns.
+	MissingSecrecy Label
+	// MissingIntegrity holds tags in I(dst) absent from I(src): the source
+	// does not carry the guarantees the destination demands.
+	MissingIntegrity Label
+}
+
+// ErrFlowDenied is the sentinel wrapped by FlowError.
+var ErrFlowDenied = errors.New("ifc: flow denied")
+
+// FlowError is returned when a flow violates the IFC constraint. It wraps
+// ErrFlowDenied, so callers may test errors.Is(err, ifc.ErrFlowDenied).
+type FlowError struct {
+	Src, Dst SecurityContext
+	Decision FlowDecision
+}
+
+// Error implements error with an explanation mirroring Fig. 4 of the paper
+// ("destination S has no zeb; source I has no hosp-dev").
+func (e *FlowError) Error() string {
+	msg := "ifc: flow denied: " + e.Src.String() + " -> " + e.Dst.String()
+	if !e.Decision.MissingSecrecy.IsEmpty() {
+		msg += "; destination S lacks " + e.Decision.MissingSecrecy.String()
+	}
+	if !e.Decision.MissingIntegrity.IsEmpty() {
+		msg += "; source I lacks " + e.Decision.MissingIntegrity.String()
+	}
+	return msg
+}
+
+// Unwrap lets errors.Is match ErrFlowDenied.
+func (e *FlowError) Unwrap() error { return ErrFlowDenied }
+
+// CheckFlow evaluates the flow rule from src to dst and returns a full
+// decision. It never allocates when the flow is permitted.
+func CheckFlow(src, dst SecurityContext) FlowDecision {
+	if src.CanFlowTo(dst) {
+		return FlowDecision{Allowed: true}
+	}
+	return FlowDecision{
+		Allowed:          false,
+		MissingSecrecy:   src.Secrecy.Diff(dst.Secrecy),
+		MissingIntegrity: dst.Integrity.Diff(src.Integrity),
+	}
+}
+
+// EnforceFlow returns nil when src may flow to dst and a *FlowError
+// otherwise.
+func EnforceFlow(src, dst SecurityContext) error {
+	d := CheckFlow(src, dst)
+	if d.Allowed {
+		return nil
+	}
+	return &FlowError{Src: src, Dst: dst, Decision: d}
+}
+
+// CreationContext returns the context a newly created entity inherits from
+// its creator: the creator's exact labels (Section 6, "Creation flows").
+// Privileges are deliberately not part of the result; they must be passed
+// explicitly.
+func CreationContext(creator SecurityContext) SecurityContext {
+	return creator // labels are immutable, so sharing is safe
+}
+
+// MergeContexts returns the least restrictive context into which data from
+// all the given contexts may legally flow: the union of the secrecy labels
+// and the intersection of the integrity labels. This is the context an
+// aggregator (Fig. 6's statistics generator input side) must adopt.
+func MergeContexts(contexts ...SecurityContext) SecurityContext {
+	if len(contexts) == 0 {
+		return SecurityContext{}
+	}
+	merged := contexts[0]
+	for _, c := range contexts[1:] {
+		merged.Secrecy = merged.Secrecy.Union(c.Secrecy)
+		merged.Integrity = merged.Integrity.Intersect(c.Integrity)
+	}
+	return merged
+}

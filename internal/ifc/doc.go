@@ -1,0 +1,24 @@
+// Package ifc implements the decentralised Information Flow Control model
+// described in Section 6 of "Policy-driven middleware for a legally-compliant
+// Internet of Things" (Middleware 2016).
+//
+// Entities (processes, data items, devices, services) carry a security
+// context: a pair of labels, S for secrecy (where data may flow to, per
+// Bell-LaPadula) and I for integrity (where data may flow from, per Biba).
+// A label is a set of tags, each tag naming one security concern, for
+// example S = {medical, ann} or I = {hosp-dev, consent}.
+//
+// Data may flow from entity A to entity B if and only if
+//
+//	S(A) ⊆ S(B)  and  I(B) ⊆ I(A)
+//
+// that is, towards equally or more constrained entities. Entities holding
+// the appropriate privileges may change their own labels: removing a
+// secrecy tag declassifies, adding an integrity tag endorses. Created
+// entities inherit the labels of their creator but never its privileges;
+// privileges must be passed explicitly.
+//
+// The model is deliberately flat (Section 10.2 of the paper): tags are
+// opaque names with no built-in hierarchy, so policy can apply directly
+// across administrative domains without imposed structure.
+package ifc

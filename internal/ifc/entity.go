@@ -1,0 +1,124 @@
+package ifc
+
+import (
+	"fmt"
+	"sync"
+)
+
+// An EntityID identifies a labelled entity. IDs are assigned by whichever
+// subsystem hosts the entity (kernel object IDs, component addresses, data
+// item hashes); the IFC layer treats them as opaque.
+type EntityID string
+
+// An Entity is anything that carries a security context: active entities
+// (processes, components) also hold privileges, while passive entities
+// (files, messages, data items) hold only labels.
+//
+// Entity is safe for concurrent use. Label reads are on the hot path of
+// every flow check, so they take only an RLock and return immutable labels.
+type Entity struct {
+	id     EntityID
+	active bool
+
+	mu    sync.RWMutex
+	ctx   SecurityContext
+	privs Privileges
+}
+
+// NewEntity creates an active entity (one that can hold privileges and
+// change its own context) with the given initial security context.
+func NewEntity(id EntityID, ctx SecurityContext) *Entity {
+	return &Entity{id: id, active: true, ctx: ctx}
+}
+
+// NewPassiveEntity creates a passive entity (pure data). Passive entities
+// never hold privileges and their context is fixed at creation: relabelling
+// data requires copying it through an active entity, exactly as in the
+// paper's model where only active entities change security contexts.
+func NewPassiveEntity(id EntityID, ctx SecurityContext) *Entity {
+	return &Entity{id: id, active: false, ctx: ctx}
+}
+
+// ID returns the entity's identifier.
+func (e *Entity) ID() EntityID { return e.id }
+
+// Active reports whether the entity is active (may hold privileges).
+func (e *Entity) Active() bool { return e.active }
+
+// Context returns the entity's current security context.
+func (e *Entity) Context() SecurityContext {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.ctx
+}
+
+// Privileges returns the entity's current privilege sets.
+func (e *Entity) Privileges() Privileges {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.privs
+}
+
+// GrantPrivileges adds the given privileges to the entity. Only active
+// entities may hold privileges.
+func (e *Entity) GrantPrivileges(p Privileges) error {
+	if !e.active {
+		return fmt.Errorf("ifc: cannot grant privileges to passive entity %q", e.id)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.privs = e.privs.Union(p)
+	return nil
+}
+
+// DropPrivileges removes the given privileges from the entity, a voluntary
+// reduction that needs no authorisation.
+func (e *Entity) DropPrivileges(p Privileges) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.privs = Privileges{
+		AddSecrecy:      e.privs.AddSecrecy.Diff(p.AddSecrecy),
+		RemoveSecrecy:   e.privs.RemoveSecrecy.Diff(p.RemoveSecrecy),
+		AddIntegrity:    e.privs.AddIntegrity.Diff(p.AddIntegrity),
+		RemoveIntegrity: e.privs.RemoveIntegrity.Diff(p.RemoveIntegrity),
+	}
+}
+
+// SetContext atomically transitions the entity to a new security context,
+// verifying the transition against the entity's privileges. This is the
+// declassification/endorsement primitive: a declassifier calls SetContext
+// with a smaller secrecy label, an endorser with a larger integrity label.
+func (e *Entity) SetContext(to SecurityContext) error {
+	if !e.active {
+		return fmt.Errorf("ifc: passive entity %q cannot change its security context", e.id)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.privs.AuthoriseTransition(e.ctx, to); err != nil {
+		return fmt.Errorf("entity %q: %w", e.id, err)
+	}
+	e.ctx = to
+	return nil
+}
+
+// Spawn creates a child entity. Per the creation-flow rule the child
+// inherits the parent's labels but none of its privileges.
+func (e *Entity) Spawn(id EntityID, active bool) *Entity {
+	ctx := e.Context()
+	if active {
+		return NewEntity(id, CreationContext(ctx))
+	}
+	return NewPassiveEntity(id, CreationContext(ctx))
+}
+
+// FlowTo checks whether data may currently flow from e to dst, returning a
+// *FlowError on denial.
+func (e *Entity) FlowTo(dst *Entity) error {
+	return EnforceFlow(e.Context(), dst.Context())
+}
+
+// String renders the entity with its context, e.g.
+// `entity "ann-device" S={ann,medical} I={consent,hosp-dev}`.
+func (e *Entity) String() string {
+	return fmt.Sprintf("entity %q %s", e.id, e.Context())
+}

@@ -1,0 +1,131 @@
+package ifc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestEntityContextTransitions(t *testing.T) {
+	e := NewEntity("sanitiser", MustContext([]Tag{"medical", "zeb"}, []Tag{"zeb-dev", "consent"}))
+	target := MustContext([]Tag{"medical", "zeb"}, []Tag{"hosp-dev", "consent"})
+
+	if err := e.SetContext(target); err == nil {
+		t.Fatal("context change without privileges must fail")
+	}
+	if err := e.GrantPrivileges(Privileges{
+		AddIntegrity:    MustLabel("hosp-dev"),
+		RemoveIntegrity: MustLabel("zeb-dev"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetContext(target); err != nil {
+		t.Fatalf("authorised transition failed: %v", err)
+	}
+	if !e.Context().Equal(target) {
+		t.Fatalf("context = %v, want %v", e.Context(), target)
+	}
+}
+
+func TestPassiveEntityRestrictions(t *testing.T) {
+	data := NewPassiveEntity("reading-1", MustContext([]Tag{"medical"}, nil))
+	if data.Active() {
+		t.Fatal("passive entity reported active")
+	}
+	if err := data.GrantPrivileges(OwnerPrivileges("medical")); err == nil {
+		t.Fatal("granting privileges to passive entity must fail")
+	}
+	if err := data.SetContext(SecurityContext{}); err == nil {
+		t.Fatal("passive entity must not change context")
+	}
+}
+
+func TestSpawnInheritsLabelsNotPrivileges(t *testing.T) {
+	parent := NewEntity("parent", MustContext([]Tag{"medical", "ann"}, []Tag{"consent"}))
+	if err := parent.GrantPrivileges(OwnerPrivileges("ann")); err != nil {
+		t.Fatal(err)
+	}
+
+	child := parent.Spawn("child", true)
+	if !child.Context().Equal(parent.Context()) {
+		t.Errorf("child context %v, want %v", child.Context(), parent.Context())
+	}
+	if !child.Privileges().IsEmpty() {
+		t.Error("child must not inherit privileges")
+	}
+
+	file := parent.Spawn("file", false)
+	if file.Active() {
+		t.Error("spawned passive entity reported active")
+	}
+	if !file.Context().Equal(parent.Context()) {
+		t.Errorf("file context %v, want %v", file.Context(), parent.Context())
+	}
+}
+
+func TestEntityFlowTo(t *testing.T) {
+	ann := NewEntity("ann-device", MustContext([]Tag{"medical", "ann"}, []Tag{"hosp-dev", "consent"}))
+	annAnalyser := NewEntity("ann-analyser", MustContext([]Tag{"medical", "ann"}, []Tag{"hosp-dev", "consent"}))
+	zeb := NewEntity("zeb-device", MustContext([]Tag{"medical", "zeb"}, []Tag{"zeb-dev", "consent"}))
+
+	if err := ann.FlowTo(annAnalyser); err != nil {
+		t.Fatalf("Ann's flow denied: %v", err)
+	}
+	if err := zeb.FlowTo(annAnalyser); !errors.Is(err, ErrFlowDenied) {
+		t.Fatalf("Zeb's flow = %v, want ErrFlowDenied", err)
+	}
+}
+
+func TestDropPrivileges(t *testing.T) {
+	e := NewEntity("e", SecurityContext{})
+	if err := e.GrantPrivileges(OwnerPrivileges("a", "b")); err != nil {
+		t.Fatal(err)
+	}
+	e.DropPrivileges(OwnerPrivileges("a"))
+	want := OwnerPrivileges("b")
+	if !e.Privileges().Equal(want) {
+		t.Fatalf("privileges = %v, want %v", e.Privileges(), want)
+	}
+}
+
+func TestEntityConcurrentAccess(t *testing.T) {
+	e := NewEntity("concurrent", SecurityContext{})
+	if err := e.GrantPrivileges(OwnerPrivileges("t")); err != nil {
+		t.Fatal(err)
+	}
+	tagged := MustContext([]Tag{"t"}, nil)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				_ = e.SetContext(tagged)
+				_ = e.SetContext(SecurityContext{})
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				ctx := e.Context()
+				// The context must always be one of the two legal states.
+				if !ctx.Equal(tagged) && !ctx.Equal(SecurityContext{}) {
+					t.Error("observed torn context:", ctx)
+					return
+				}
+				_ = e.Privileges()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestEntityString(t *testing.T) {
+	e := NewEntity("ann-device", MustContext([]Tag{"medical"}, nil))
+	want := fmt.Sprintf("entity %q S={medical} I=∅", "ann-device")
+	if got := e.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,231 @@
+package ifc
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// sanitiserGate builds the Fig. 5 Device Input Sanitiser: an endorser that
+// converts Zeb's non-standard device data to hospital format.
+func sanitiserGate() *Gate {
+	return &Gate{
+		Name:   "device-input-sanitiser",
+		Input:  MustContext([]Tag{"medical", "zeb"}, []Tag{"zeb-dev", "consent"}),
+		Output: MustContext([]Tag{"medical", "zeb"}, []Tag{"hosp-dev", "consent"}),
+		Transform: func(data []byte) ([]byte, error) {
+			return append([]byte("hospital-format:"), data...), nil
+		},
+	}
+}
+
+// statsGate builds the Fig. 6 Statistics Generator: a declassifier that
+// anonymises patient data before releasing it to management.
+func statsGate() *Gate {
+	return &Gate{
+		Name:   "statistics-generator",
+		Input:  MustContext([]Tag{"medical", "ann", "zeb"}, []Tag{"hosp-dev", "consent"}),
+		Output: MustContext([]Tag{"medical", "stats"}, []Tag{"anon"}),
+		Transform: func(data []byte) ([]byte, error) {
+			return []byte("aggregate-statistics"), nil
+		},
+	}
+}
+
+func TestGateKindClassification(t *testing.T) {
+	tests := []struct {
+		name string
+		gate *Gate
+		want GateKind
+	}{
+		{"sanitiser-is-endorser", sanitiserGate(), GateEndorser},
+		{"stats-is-both", statsGate(), GateDeclassifierEndorser},
+		{
+			"pure-declassifier",
+			&Gate{
+				Input:  MustContext([]Tag{"secret"}, nil),
+				Output: SecurityContext{},
+			},
+			GateDeclassifier,
+		},
+		{
+			"passthrough",
+			&Gate{
+				Input:  MustContext([]Tag{"a"}, nil),
+				Output: MustContext([]Tag{"a", "b"}, nil),
+			},
+			GatePassthrough,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.gate.Kind(); got != tt.want {
+				t.Fatalf("Kind() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestGateKindString(t *testing.T) {
+	kinds := map[GateKind]string{
+		GatePassthrough:          "passthrough",
+		GateDeclassifier:         "declassifier",
+		GateEndorser:             "endorser",
+		GateDeclassifierEndorser: "declassifier+endorser",
+		GateKind(99):             "GateKind(99)",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+// TestFig5Endorsement reproduces experiment E5: the sanitiser reads Zeb's
+// non-standard data, transforms it, changes security context, and only then
+// may the data reach Zeb's hospital analyser.
+func TestFig5Endorsement(t *testing.T) {
+	gate := sanitiserGate()
+	zebSensor := MustContext([]Tag{"medical", "zeb"}, []Tag{"zeb-dev", "consent"})
+	zebAnalyser := MustContext([]Tag{"medical", "zeb"}, []Tag{"hosp-dev", "consent"})
+
+	// Direct flow is illegal: the analyser demands hosp-dev integrity.
+	if err := EnforceFlow(zebSensor, zebAnalyser); err == nil {
+		t.Fatal("direct sensor->analyser flow must be denied")
+	}
+
+	operator := NewEntity("sanitiser-proc", gate.Input)
+	if err := operator.GrantPrivileges(gate.RequiredPrivileges()); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := gate.Pipe(operator, zebSensor, zebAnalyser, []byte("raw-reading"))
+	if err != nil {
+		t.Fatalf("gated flow failed: %v", err)
+	}
+	if !bytes.HasPrefix(out, []byte("hospital-format:")) {
+		t.Fatalf("transform not applied: %q", out)
+	}
+}
+
+// TestFig6Declassification reproduces experiment E6: patient data flows into
+// the statistics generator, is anonymised, and only the anonymised result
+// reaches the ward manager. The ward manager can never receive raw data.
+func TestFig6Declassification(t *testing.T) {
+	gate := statsGate()
+	annSensor := MustContext([]Tag{"medical", "ann"}, []Tag{"hosp-dev", "consent"})
+	wardManager := MustContext([]Tag{"medical", "stats"}, []Tag{"anon"})
+
+	// Raw patient data must never flow directly to management.
+	if err := EnforceFlow(annSensor, wardManager); err == nil {
+		t.Fatal("raw patient data must not reach the ward manager")
+	}
+
+	operator := NewEntity("stats-proc", gate.Input)
+	if err := operator.GrantPrivileges(gate.RequiredPrivileges()); err != nil {
+		t.Fatal(err)
+	}
+	out, err := gate.Pipe(operator, annSensor, wardManager, []byte("ann-vitals"))
+	if err != nil {
+		t.Fatalf("declassified flow failed: %v", err)
+	}
+	if string(out) != "aggregate-statistics" {
+		t.Fatalf("anonymisation not applied: %q", out)
+	}
+}
+
+func TestGateCrossRequiresPrivileges(t *testing.T) {
+	gate := sanitiserGate()
+	unprivileged := NewEntity("rogue", gate.Input)
+	if _, err := gate.Cross(unprivileged, []byte("x")); !errors.Is(err, ErrPrivilege) {
+		t.Fatalf("Cross without privileges = %v, want ErrPrivilege", err)
+	}
+}
+
+func TestGateGuardVeto(t *testing.T) {
+	released := false
+	gate := &Gate{
+		Name:   "time-release",
+		Input:  MustContext([]Tag{"secret"}, nil),
+		Output: SecurityContext{},
+		Guard: func() error {
+			if !released {
+				return errors.New("embargo in force")
+			}
+			return nil
+		},
+	}
+	op := NewEntity("release-agent", gate.Input)
+	if err := op.GrantPrivileges(gate.RequiredPrivileges()); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := gate.Cross(op, []byte("doc")); !errors.Is(err, ErrGateRefused) {
+		t.Fatalf("guarded crossing = %v, want ErrGateRefused", err)
+	}
+	released = true
+	out, err := gate.Cross(op, []byte("doc"))
+	if err != nil {
+		t.Fatalf("released crossing failed: %v", err)
+	}
+	if string(out) != "doc" {
+		t.Fatalf("nil transform should pass data through, got %q", out)
+	}
+}
+
+func TestGatePipeEnforcesBothEnds(t *testing.T) {
+	gate := sanitiserGate()
+	op := NewEntity("sanitiser-proc", gate.Input)
+	if err := op.GrantPrivileges(gate.RequiredPrivileges()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Inbound violation: Ann's data is not cleared to enter Zeb's gate.
+	annSensor := MustContext([]Tag{"medical", "ann"}, []Tag{"hosp-dev", "consent"})
+	zebAnalyser := MustContext([]Tag{"medical", "zeb"}, []Tag{"hosp-dev", "consent"})
+	if _, err := gate.Pipe(op, annSensor, zebAnalyser, nil); err == nil ||
+		!strings.Contains(err.Error(), "inbound") {
+		t.Fatalf("inbound violation not reported: %v", err)
+	}
+
+	// Outbound violation: gate output cannot reach a public sink.
+	zebSensor := gate.Input
+	if _, err := gate.Pipe(op, zebSensor, SecurityContext{}, nil); err == nil ||
+		!strings.Contains(err.Error(), "outbound") {
+		t.Fatalf("outbound violation not reported: %v", err)
+	}
+}
+
+func TestGateTransformError(t *testing.T) {
+	gate := &Gate{
+		Name:      "failing",
+		Transform: func([]byte) ([]byte, error) { return nil, errors.New("boom") },
+	}
+	op := NewEntity("op", SecurityContext{})
+	if _, err := gate.Cross(op, nil); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("transform error not propagated: %v", err)
+	}
+}
+
+func TestRequiredPrivilegesExact(t *testing.T) {
+	gate := statsGate()
+	p := gate.RequiredPrivileges()
+	// Must remove patient identities and hosp-dev/consent, add stats+anon.
+	if !p.RemoveSecrecy.Equal(MustLabel("ann", "zeb")) {
+		t.Errorf("RemoveSecrecy = %v", p.RemoveSecrecy)
+	}
+	if !p.AddSecrecy.Equal(MustLabel("stats")) {
+		t.Errorf("AddSecrecy = %v", p.AddSecrecy)
+	}
+	if !p.AddIntegrity.Equal(MustLabel("anon")) {
+		t.Errorf("AddIntegrity = %v", p.AddIntegrity)
+	}
+	if !p.RemoveIntegrity.Equal(MustLabel("consent", "hosp-dev")) {
+		t.Errorf("RemoveIntegrity = %v", p.RemoveIntegrity)
+	}
+	// And these privileges must be exactly sufficient.
+	if err := p.AuthoriseTransition(gate.Input, gate.Output); err != nil {
+		t.Fatalf("required privileges insufficient: %v", err)
+	}
+}

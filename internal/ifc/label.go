@@ -1,0 +1,252 @@
+package ifc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// A Label is an immutable set of tags. The zero value is the empty label,
+// which is valid and means "unconstrained" for secrecy and "no integrity
+// guarantees" for integrity.
+//
+// Labels are stored as sorted, deduplicated slices. This keeps subset
+// checks linear, equality cheap, and the canonical String form stable,
+// which matters because labels are compared on every data flow and appear
+// in audit records and on the wire.
+type Label struct {
+	tags []Tag // sorted ascending, no duplicates; never mutated after construction
+}
+
+// EmptyLabel is the label with no tags.
+var EmptyLabel = Label{}
+
+// NewLabel builds a label from the given tags, sorting and deduplicating.
+// Invalid tags cause an error; the paper's model never manipulates
+// malformed tags, so construction is the single validation point.
+func NewLabel(tags ...Tag) (Label, error) {
+	for _, t := range tags {
+		if err := t.Validate(); err != nil {
+			return Label{}, err
+		}
+	}
+	return newLabelUnchecked(tags), nil
+}
+
+// MustLabel is like NewLabel but panics on invalid tags. It is intended for
+// literals in tests and examples where the tags are compile-time constants.
+func MustLabel(tags ...Tag) Label {
+	l, err := NewLabel(tags...)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// ParseLabel parses the canonical form produced by String, e.g.
+// "{medical,ann}". The empty set may be written "{}" or "∅".
+func ParseLabel(s string) (Label, error) {
+	s = strings.TrimSpace(s)
+	if s == "∅" || s == "{}" {
+		return Label{}, nil
+	}
+	if len(s) < 2 || s[0] != '{' || s[len(s)-1] != '}' {
+		return Label{}, fmt.Errorf("ifc: label %q is not of the form {tag,...}", truncate(s, 64))
+	}
+	parts := strings.Split(s[1:len(s)-1], ",")
+	tags := make([]Tag, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		tags = append(tags, Tag(p))
+	}
+	return NewLabel(tags...)
+}
+
+// newLabelUnchecked sorts and deduplicates without validating tags.
+func newLabelUnchecked(tags []Tag) Label {
+	if len(tags) == 0 {
+		return Label{}
+	}
+	owned := make([]Tag, len(tags))
+	copy(owned, tags)
+	sort.Slice(owned, func(i, j int) bool { return owned[i] < owned[j] })
+	out := owned[:1]
+	for _, t := range owned[1:] {
+		if t != out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	return Label{tags: out}
+}
+
+// Len returns the number of tags in the label.
+func (l Label) Len() int { return len(l.tags) }
+
+// IsEmpty reports whether the label has no tags.
+func (l Label) IsEmpty() bool { return len(l.tags) == 0 }
+
+// Has reports whether the label contains the tag.
+func (l Label) Has(t Tag) bool {
+	i := sort.Search(len(l.tags), func(i int) bool { return l.tags[i] >= t })
+	return i < len(l.tags) && l.tags[i] == t
+}
+
+// Tags returns a copy of the tag set in sorted order.
+func (l Label) Tags() []Tag {
+	if len(l.tags) == 0 {
+		return nil
+	}
+	out := make([]Tag, len(l.tags))
+	copy(out, l.tags)
+	return out
+}
+
+// Subset reports whether every tag of l is also in other. Both slices are
+// sorted, so this is a single merge walk.
+func (l Label) Subset(other Label) bool {
+	if len(l.tags) > len(other.tags) {
+		return false
+	}
+	j := 0
+	for _, t := range l.tags {
+		for j < len(other.tags) && other.tags[j] < t {
+			j++
+		}
+		if j == len(other.tags) || other.tags[j] != t {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// Equal reports whether both labels contain exactly the same tags.
+func (l Label) Equal(other Label) bool {
+	if len(l.tags) != len(other.tags) {
+		return false
+	}
+	for i, t := range l.tags {
+		if other.tags[i] != t {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns the label containing every tag of l and other.
+func (l Label) Union(other Label) Label {
+	if l.IsEmpty() {
+		return other
+	}
+	if other.IsEmpty() {
+		return l
+	}
+	merged := make([]Tag, 0, len(l.tags)+len(other.tags))
+	i, j := 0, 0
+	for i < len(l.tags) && j < len(other.tags) {
+		switch {
+		case l.tags[i] < other.tags[j]:
+			merged = append(merged, l.tags[i])
+			i++
+		case l.tags[i] > other.tags[j]:
+			merged = append(merged, other.tags[j])
+			j++
+		default:
+			merged = append(merged, l.tags[i])
+			i++
+			j++
+		}
+	}
+	merged = append(merged, l.tags[i:]...)
+	merged = append(merged, other.tags[j:]...)
+	return Label{tags: merged}
+}
+
+// Intersect returns the label containing the tags present in both l and other.
+func (l Label) Intersect(other Label) Label {
+	var out []Tag
+	i, j := 0, 0
+	for i < len(l.tags) && j < len(other.tags) {
+		switch {
+		case l.tags[i] < other.tags[j]:
+			i++
+		case l.tags[i] > other.tags[j]:
+			j++
+		default:
+			out = append(out, l.tags[i])
+			i++
+			j++
+		}
+	}
+	return Label{tags: out}
+}
+
+// Diff returns the tags in l that are not in other.
+func (l Label) Diff(other Label) Label {
+	var out []Tag
+	j := 0
+	for _, t := range l.tags {
+		for j < len(other.tags) && other.tags[j] < t {
+			j++
+		}
+		if j < len(other.tags) && other.tags[j] == t {
+			continue
+		}
+		out = append(out, t)
+	}
+	return Label{tags: out}
+}
+
+// With returns a copy of the label with the tags added.
+func (l Label) With(tags ...Tag) Label {
+	if len(tags) == 0 {
+		return l
+	}
+	return l.Union(newLabelUnchecked(tags))
+}
+
+// Without returns a copy of the label with the tags removed.
+func (l Label) Without(tags ...Tag) Label {
+	if len(tags) == 0 {
+		return l
+	}
+	return l.Diff(newLabelUnchecked(tags))
+}
+
+// String renders the canonical form, e.g. "{ann,medical}", or "∅" for the
+// empty label, matching the notation used in the paper's figures.
+func (l Label) String() string {
+	if len(l.tags) == 0 {
+		return "∅"
+	}
+	var b strings.Builder
+	b.Grow(2 + len(l.tags)*8)
+	b.WriteByte('{')
+	for i, t := range l.tags {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(string(t))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// MarshalText implements encoding.TextMarshaler using the canonical form.
+func (l Label) MarshalText() ([]byte, error) {
+	return []byte(l.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler, accepting the
+// canonical form produced by MarshalText.
+func (l *Label) UnmarshalText(text []byte) error {
+	parsed, err := ParseLabel(string(text))
+	if err != nil {
+		return err
+	}
+	*l = parsed
+	return nil
+}

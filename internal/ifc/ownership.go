@@ -1,0 +1,144 @@
+package ifc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// A PrincipalID identifies a tag owner: a user, organisation, application
+// manager or domain authority.
+type PrincipalID string
+
+// Ownership records who created (and therefore owns) each tag, and which
+// delegations the owner has made (Section 6, "Tag Ownership"). Owners hold
+// full privileges over their tags and may delegate subsets of those
+// privileges to other principals; delegation chains are capped so authority
+// cannot drift unboundedly far from the owner.
+//
+// The zero value is ready to use.
+type Ownership struct {
+	mu     sync.RWMutex
+	owners map[Tag]PrincipalID
+	grants map[Tag]map[PrincipalID]Privileges
+}
+
+// Errors reported by Ownership.
+var (
+	ErrTagExists   = errors.New("ifc: tag already owned")
+	ErrTagUnowned  = errors.New("ifc: tag has no owner")
+	ErrNotAuthorty = errors.New("ifc: principal lacks authority over tag")
+)
+
+// CreateTag registers a newly minted tag under the given owner and returns
+// the owner's full privileges over it.
+func (o *Ownership) CreateTag(owner PrincipalID, t Tag) (Privileges, error) {
+	if err := t.Validate(); err != nil {
+		return Privileges{}, err
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.owners == nil {
+		o.owners = make(map[Tag]PrincipalID)
+		o.grants = make(map[Tag]map[PrincipalID]Privileges)
+	}
+	if existing, ok := o.owners[t]; ok {
+		return Privileges{}, fmt.Errorf("%w: %q owned by %q", ErrTagExists, t, existing)
+	}
+	o.owners[t] = owner
+	return OwnerPrivileges(t), nil
+}
+
+// Owner returns the owner of the tag.
+func (o *Ownership) Owner(t Tag) (PrincipalID, error) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	owner, ok := o.owners[t]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrTagUnowned, t)
+	}
+	return owner, nil
+}
+
+// Delegate grants to grantee a subset of the privileges over tag t. The
+// grantor must be the owner, or itself hold (by prior delegation) every
+// privilege being passed on — delegation never amplifies authority.
+func (o *Ownership) Delegate(grantor, grantee PrincipalID, t Tag, p Privileges) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	owner, ok := o.owners[t]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrTagUnowned, t)
+	}
+	if owner != grantor {
+		held := o.grants[t][grantor]
+		if got := p.Restrict(held); !got.Equal(p) {
+			return fmt.Errorf("%w: %q over %q", ErrNotAuthorty, grantor, t)
+		}
+	}
+	if o.grants[t] == nil {
+		o.grants[t] = make(map[PrincipalID]Privileges)
+	}
+	o.grants[t][grantee] = o.grants[t][grantee].Union(p)
+	return nil
+}
+
+// Revoke removes all privileges over t previously delegated to grantee.
+// Only the owner may revoke.
+func (o *Ownership) Revoke(owner, grantee PrincipalID, t Tag) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	actual, ok := o.owners[t]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrTagUnowned, t)
+	}
+	if actual != owner {
+		return fmt.Errorf("%w: %q over %q", ErrNotAuthorty, owner, t)
+	}
+	delete(o.grants[t], grantee)
+	return nil
+}
+
+// PrivilegesOf assembles every privilege the principal holds across all
+// tags: owner privileges over owned tags plus all received delegations.
+func (o *Ownership) PrivilegesOf(p PrincipalID) Privileges {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	var out Privileges
+	var owned []Tag
+	for t, owner := range o.owners {
+		if owner == p {
+			owned = append(owned, t)
+		}
+	}
+	if len(owned) > 0 {
+		out = out.Union(OwnerPrivileges(owned...))
+	}
+	for _, grants := range o.grants {
+		if g, ok := grants[p]; ok {
+			out = out.Union(g)
+		}
+	}
+	return out
+}
+
+// Tags returns every registered tag in sorted order.
+func (o *Ownership) Tags() []Tag {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	out := make([]Tag, 0, len(o.owners))
+	for t := range o.owners {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Equal reports whether two privilege sets confer identical rights.
+func (p Privileges) Equal(other Privileges) bool {
+	return p.AddSecrecy.Equal(other.AddSecrecy) &&
+		p.RemoveSecrecy.Equal(other.RemoveSecrecy) &&
+		p.AddIntegrity.Equal(other.AddIntegrity) &&
+		p.RemoveIntegrity.Equal(other.RemoveIntegrity)
+}

@@ -1,0 +1,140 @@
+package ifc
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestOwnershipCreateAndOwner(t *testing.T) {
+	var o Ownership
+	p, err := o.CreateTag("hospital", "medical")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(OwnerPrivileges("medical")) {
+		t.Fatalf("creator privileges = %v", p)
+	}
+	owner, err := o.Owner("medical")
+	if err != nil || owner != "hospital" {
+		t.Fatalf("Owner = %q, %v", owner, err)
+	}
+	if _, err := o.CreateTag("other", "medical"); !errors.Is(err, ErrTagExists) {
+		t.Fatalf("duplicate creation = %v, want ErrTagExists", err)
+	}
+	if _, err := o.CreateTag("x", "bad tag"); err == nil {
+		t.Fatal("invalid tag accepted")
+	}
+	if _, err := o.Owner("nope"); !errors.Is(err, ErrTagUnowned) {
+		t.Fatalf("Owner(unknown) = %v, want ErrTagUnowned", err)
+	}
+}
+
+func TestOwnershipDelegation(t *testing.T) {
+	var o Ownership
+	if _, err := o.CreateTag("hospital", "medical"); err != nil {
+		t.Fatal(err)
+	}
+
+	grant := Privileges{RemoveSecrecy: MustLabel("medical")}
+	if err := o.Delegate("hospital", "stats-svc", "medical", grant); err != nil {
+		t.Fatal(err)
+	}
+	got := o.PrivilegesOf("stats-svc")
+	if !got.Equal(grant) {
+		t.Fatalf("delegated privileges = %v, want %v", got, grant)
+	}
+
+	// Sub-delegation of held privileges is allowed...
+	if err := o.Delegate("stats-svc", "helper", "medical", grant); err != nil {
+		t.Fatalf("sub-delegation of held privileges failed: %v", err)
+	}
+	// ...but amplification is not.
+	bigger := Privileges{AddIntegrity: MustLabel("medical")}
+	if err := o.Delegate("stats-svc", "helper", "medical", bigger); !errors.Is(err, ErrNotAuthorty) {
+		t.Fatalf("amplifying delegation = %v, want ErrNotAuthorty", err)
+	}
+	// Delegating an unowned tag fails.
+	if err := o.Delegate("hospital", "x", "unknown", grant); !errors.Is(err, ErrTagUnowned) {
+		t.Fatalf("delegation of unowned tag = %v, want ErrTagUnowned", err)
+	}
+}
+
+func TestOwnershipRevocation(t *testing.T) {
+	var o Ownership
+	if _, err := o.CreateTag("hospital", "medical"); err != nil {
+		t.Fatal(err)
+	}
+	grant := Privileges{RemoveSecrecy: MustLabel("medical")}
+	if err := o.Delegate("hospital", "svc", "medical", grant); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Revoke("svc", "svc", "medical"); !errors.Is(err, ErrNotAuthorty) {
+		t.Fatalf("non-owner revoke = %v, want ErrNotAuthorty", err)
+	}
+	if err := o.Revoke("hospital", "svc", "medical"); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.PrivilegesOf("svc"); !got.IsEmpty() {
+		t.Fatalf("privileges after revocation = %v, want empty", got)
+	}
+	if err := o.Revoke("hospital", "svc", "unknown"); !errors.Is(err, ErrTagUnowned) {
+		t.Fatalf("revoke unowned = %v, want ErrTagUnowned", err)
+	}
+}
+
+func TestOwnershipPrivilegesOfAggregates(t *testing.T) {
+	var o Ownership
+	if _, err := o.CreateTag("ann", "ann-data"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.CreateTag("hospital", "medical"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Delegate("hospital", "ann", "medical",
+		Privileges{AddSecrecy: MustLabel("medical")}); err != nil {
+		t.Fatal(err)
+	}
+	got := o.PrivilegesOf("ann")
+	want := OwnerPrivileges("ann-data").Union(Privileges{AddSecrecy: MustLabel("medical")})
+	if !got.Equal(want) {
+		t.Fatalf("aggregated privileges = %v, want %v", got, want)
+	}
+}
+
+func TestOwnershipTagsSorted(t *testing.T) {
+	var o Ownership
+	for _, tag := range []Tag{"zeta", "alpha", "mid"} {
+		if _, err := o.CreateTag("p", tag); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []Tag{"alpha", "mid", "zeta"}
+	if got := o.Tags(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tags() = %v, want %v", got, want)
+	}
+}
+
+func TestOwnershipConcurrent(t *testing.T) {
+	var o Ownership
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			tag := Tag(rune('a'+n)) + "-tag"
+			if _, err := o.CreateTag(PrincipalID("p"), tag); err != nil {
+				t.Errorf("CreateTag: %v", err)
+				return
+			}
+			_ = o.PrivilegesOf("p")
+			_, _ = o.Owner(tag)
+			_ = o.Tags()
+		}(i)
+	}
+	wg.Wait()
+	if len(o.Tags()) != 8 {
+		t.Fatalf("expected 8 tags, got %d", len(o.Tags()))
+	}
+}

@@ -1,0 +1,182 @@
+package ifc
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Generate implements quick.Generator for Privileges.
+func (Privileges) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(Privileges{
+		AddSecrecy:      genLabel(r),
+		RemoveSecrecy:   genLabel(r),
+		AddIntegrity:    genLabel(r),
+		RemoveIntegrity: genLabel(r),
+	})
+}
+
+func TestAuthoriseTransitionTable(t *testing.T) {
+	base := MustContext([]Tag{"medical", "zeb"}, []Tag{"zeb-dev", "consent"})
+	sanitised := MustContext([]Tag{"medical", "zeb"}, []Tag{"hosp-dev", "consent"})
+
+	tests := []struct {
+		name     string
+		privs    Privileges
+		from, to SecurityContext
+		wantOp   string // "" means authorised
+	}{
+		{
+			name:  "no-change-needs-nothing",
+			privs: NoPrivileges,
+			from:  base, to: base,
+		},
+		{
+			name: "endorse-with-privilege",
+			privs: Privileges{
+				AddIntegrity:    MustLabel("hosp-dev"),
+				RemoveIntegrity: MustLabel("zeb-dev"),
+			},
+			from: base, to: sanitised,
+		},
+		{
+			name:  "endorse-without-privilege",
+			privs: Privileges{RemoveIntegrity: MustLabel("zeb-dev")},
+			from:  base, to: sanitised,
+			wantOp: "add-integrity",
+		},
+		{
+			name:   "declassify-without-privilege",
+			privs:  NoPrivileges,
+			from:   MustContext([]Tag{"medical", "ann"}, nil),
+			to:     MustContext([]Tag{"medical"}, nil),
+			wantOp: "remove-secrecy",
+		},
+		{
+			name:  "declassify-with-privilege",
+			privs: Privileges{RemoveSecrecy: MustLabel("ann")},
+			from:  MustContext([]Tag{"medical", "ann"}, nil),
+			to:    MustContext([]Tag{"medical"}, nil),
+		},
+		{
+			name:   "confine-needs-add-secrecy",
+			privs:  NoPrivileges,
+			from:   SecurityContext{},
+			to:     MustContext([]Tag{"medical"}, nil),
+			wantOp: "add-secrecy",
+		},
+		{
+			name:   "drop-integrity-needs-privilege",
+			privs:  NoPrivileges,
+			from:   MustContext(nil, []Tag{"consent"}),
+			to:     SecurityContext{},
+			wantOp: "remove-integrity",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.privs.AuthoriseTransition(tt.from, tt.to)
+			if tt.wantOp == "" {
+				if err != nil {
+					t.Fatalf("transition denied: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("transition authorised, want denial")
+			}
+			if !errors.Is(err, ErrPrivilege) {
+				t.Fatalf("error %v does not match ErrPrivilege", err)
+			}
+			var pe *PrivilegeError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %v is not a *PrivilegeError", err)
+			}
+			if pe.Op != tt.wantOp {
+				t.Fatalf("denied op = %q, want %q", pe.Op, tt.wantOp)
+			}
+		})
+	}
+}
+
+func TestOwnerPrivileges(t *testing.T) {
+	p := OwnerPrivileges("medical", "ann")
+	for _, tag := range []Tag{"medical", "ann"} {
+		if !p.CanDeclassify(tag) || !p.CanEndorse(tag) {
+			t.Errorf("owner should hold full rights over %q", tag)
+		}
+	}
+	if p.CanDeclassify("other") {
+		t.Error("owner rights must not extend to unowned tags")
+	}
+	// The owner can make any transition whose delta touches only owned tags.
+	from := MustContext([]Tag{"medical", "ann"}, nil)
+	to := MustContext(nil, []Tag{"ann"})
+	if err := p.AuthoriseTransition(from, to); err != nil {
+		t.Fatalf("owner transition denied: %v", err)
+	}
+}
+
+func TestPrivilegesUnionRestrict(t *testing.T) {
+	a := Privileges{RemoveSecrecy: MustLabel("x"), AddIntegrity: MustLabel("y")}
+	b := Privileges{RemoveSecrecy: MustLabel("z")}
+	u := a.Union(b)
+	if !u.RemoveSecrecy.Equal(MustLabel("x", "z")) {
+		t.Errorf("union RemoveSecrecy = %v", u.RemoveSecrecy)
+	}
+	r := u.Restrict(a)
+	if !r.Equal(a) {
+		t.Errorf("restrict(union, a) = %v, want %v", r, a)
+	}
+	if !NoPrivileges.IsEmpty() {
+		t.Error("NoPrivileges must be empty")
+	}
+	if u.IsEmpty() {
+		t.Error("non-trivial union must not be empty")
+	}
+}
+
+// Property: a transition authorised by restricted privileges is always
+// authorised by the unrestricted set (delegation never amplifies).
+func TestPrivilegePropertyRestrictWeakens(t *testing.T) {
+	if err := quick.Check(func(p, q Privileges, from, to SecurityContext) bool {
+		if p.Restrict(q).AuthoriseTransition(from, to) == nil {
+			return p.AuthoriseTransition(from, to) == nil
+		}
+		return true
+	}, nil); err != nil {
+		t.Error("restricted privileges authorised more than the original:", err)
+	}
+}
+
+// Property: identity transitions are always authorised, and any authorised
+// transition is reversible only with the mirrored privileges.
+func TestPrivilegePropertyIdentity(t *testing.T) {
+	if err := quick.Check(func(p Privileges, c SecurityContext) bool {
+		return p.AuthoriseTransition(c, c) == nil
+	}, nil); err != nil {
+		t.Error("identity transition denied:", err)
+	}
+}
+
+// Property: OwnerPrivileges over the union of two tag sets equals the union
+// of the OwnerPrivileges.
+func TestPrivilegePropertyOwnerDistributes(t *testing.T) {
+	if err := quick.Check(func(a, b Label) bool {
+		lhs := OwnerPrivileges(a.Union(b).Tags()...)
+		rhs := OwnerPrivileges(a.Tags()...).Union(OwnerPrivileges(b.Tags()...))
+		return lhs.Equal(rhs)
+	}, nil); err != nil {
+		t.Error("owner privileges do not distribute over union:", err)
+	}
+}
+
+func TestPrivilegesString(t *testing.T) {
+	p := Privileges{RemoveSecrecy: MustLabel("ann")}
+	want := "S+∅ S-{ann} I+∅ I-∅"
+	if got := p.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,271 @@
+package msg
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// This file provides the two wire encodings: JSON for interoperability and
+// debugging, and a compact binary TLV encoding for the data path (benchmark
+// B3 compares them).
+
+// ErrCodec is the sentinel for malformed wire data.
+var ErrCodec = errors.New("msg: malformed encoding")
+
+// jsonMessage is the JSON wire schema.
+type jsonMessage struct {
+	Type   string               `json:"type"`
+	DataID string               `json:"data_id,omitempty"`
+	Attrs  map[string]jsonValue `json:"attrs"`
+}
+
+type jsonValue struct {
+	T string  `json:"t"`
+	S string  `json:"s,omitempty"`
+	F float64 `json:"f,omitempty"`
+	I int64   `json:"i,omitempty"`
+	B bool    `json:"b,omitempty"`
+	D string  `json:"d,omitempty"` // base64 bytes
+}
+
+// EncodeJSON renders the message as JSON.
+func EncodeJSON(m *Message) ([]byte, error) {
+	out := jsonMessage{Type: m.Type, DataID: m.DataID, Attrs: make(map[string]jsonValue, len(m.Attrs))}
+	for k, v := range m.Attrs {
+		jv := jsonValue{}
+		switch v.Type {
+		case TString:
+			jv.T, jv.S = "s", v.Str
+		case TFloat:
+			jv.T, jv.F = "f", v.Float
+		case TInt:
+			jv.T, jv.I = "i", v.Int
+		case TBool:
+			jv.T, jv.B = "b", v.Bool
+		case TBytes:
+			jv.T, jv.D = "d", base64.StdEncoding.EncodeToString(v.Bytes)
+		default:
+			return nil, fmt.Errorf("msg: field %q has invalid type %d", k, v.Type)
+		}
+		out.Attrs[k] = jv
+	}
+	return json.Marshal(out)
+}
+
+// DecodeJSON parses a JSON-encoded message.
+func DecodeJSON(data []byte) (*Message, error) {
+	var in jsonMessage
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCodec, err)
+	}
+	m := &Message{Type: in.Type, DataID: in.DataID, Attrs: make(map[string]Value, len(in.Attrs))}
+	for k, jv := range in.Attrs {
+		switch jv.T {
+		case "s":
+			m.Attrs[k] = Str(jv.S)
+		case "f":
+			m.Attrs[k] = Float(jv.F)
+		case "i":
+			m.Attrs[k] = Int(jv.I)
+		case "b":
+			m.Attrs[k] = Bool(jv.B)
+		case "d":
+			b, err := base64.StdEncoding.DecodeString(jv.D)
+			if err != nil {
+				return nil, fmt.Errorf("%w: field %q: %v", ErrCodec, k, err)
+			}
+			m.Attrs[k] = Bytes(b)
+		default:
+			return nil, fmt.Errorf("%w: field %q has unknown type tag %q", ErrCodec, k, jv.T)
+		}
+	}
+	return m, nil
+}
+
+// Binary layout:
+//
+//	u16 len(type) | type | u16 len(dataID) | dataID | u16 nattrs |
+//	repeated: u16 len(name) | name | u8 fieldType | value
+//
+// where value is: u32 len + bytes (string/bytes), 8-byte IEEE754 (float),
+// 8-byte two's complement (int), 1 byte (bool). Field order is sorted by
+// name so the encoding is canonical.
+
+// EncodeBinary renders the message in the compact binary form.
+func EncodeBinary(m *Message) ([]byte, error) {
+	names := m.FieldNames()
+	buf := make([]byte, 0, 64+len(names)*16)
+	buf = appendString16(buf, m.Type)
+	buf = appendString16(buf, m.DataID)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(names)))
+	for _, name := range names {
+		v := m.Attrs[name]
+		buf = appendString16(buf, name)
+		buf = append(buf, byte(v.Type))
+		switch v.Type {
+		case TString:
+			buf = binary.BigEndian.AppendUint32(buf, uint32(len(v.Str)))
+			buf = append(buf, v.Str...)
+		case TFloat:
+			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v.Float))
+		case TInt:
+			buf = binary.BigEndian.AppendUint64(buf, uint64(v.Int))
+		case TBool:
+			if v.Bool {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		case TBytes:
+			buf = binary.BigEndian.AppendUint32(buf, uint32(len(v.Bytes)))
+			buf = append(buf, v.Bytes...)
+		default:
+			return nil, fmt.Errorf("msg: field %q has invalid type %d", name, v.Type)
+		}
+	}
+	return buf, nil
+}
+
+// DecodeBinary parses the compact binary form.
+func DecodeBinary(data []byte) (*Message, error) {
+	d := &decoder{buf: data}
+	typ, err := d.string16()
+	if err != nil {
+		return nil, err
+	}
+	dataID, err := d.string16()
+	if err != nil {
+		return nil, err
+	}
+	n, err := d.uint16()
+	if err != nil {
+		return nil, err
+	}
+	m := &Message{Type: typ, DataID: dataID, Attrs: make(map[string]Value, n)}
+	for i := 0; i < int(n); i++ {
+		name, err := d.string16()
+		if err != nil {
+			return nil, err
+		}
+		ft, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		switch FieldType(ft) {
+		case TString:
+			s, err := d.bytes32()
+			if err != nil {
+				return nil, err
+			}
+			m.Attrs[name] = Str(string(s))
+		case TFloat:
+			u, err := d.uint64()
+			if err != nil {
+				return nil, err
+			}
+			m.Attrs[name] = Float(math.Float64frombits(u))
+		case TInt:
+			u, err := d.uint64()
+			if err != nil {
+				return nil, err
+			}
+			m.Attrs[name] = Int(int64(u))
+		case TBool:
+			b, err := d.byte()
+			if err != nil {
+				return nil, err
+			}
+			m.Attrs[name] = Bool(b != 0)
+		case TBytes:
+			b, err := d.bytes32()
+			if err != nil {
+				return nil, err
+			}
+			owned := make([]byte, len(b))
+			copy(owned, b)
+			m.Attrs[name] = Bytes(owned)
+		default:
+			return nil, fmt.Errorf("%w: field %q has type byte %d", ErrCodec, name, ft)
+		}
+	}
+	if len(d.buf[d.off:]) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCodec, len(d.buf[d.off:]))
+	}
+	return m, nil
+}
+
+func appendString16(buf []byte, s string) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+// decoder is a bounds-checked cursor.
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) need(n int) error {
+	if d.off+n > len(d.buf) {
+		return fmt.Errorf("%w: truncated at offset %d", ErrCodec, d.off)
+	}
+	return nil
+}
+
+func (d *decoder) byte() (byte, error) {
+	if err := d.need(1); err != nil {
+		return 0, err
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b, nil
+}
+
+func (d *decoder) uint16() (uint16, error) {
+	if err := d.need(2); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint16(d.buf[d.off:])
+	d.off += 2
+	return v, nil
+}
+
+func (d *decoder) uint64() (uint64, error) {
+	if err := d.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+func (d *decoder) string16() (string, error) {
+	n, err := d.uint16()
+	if err != nil {
+		return "", err
+	}
+	if err := d.need(int(n)); err != nil {
+		return "", err
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+func (d *decoder) bytes32() ([]byte, error) {
+	if err := d.need(4); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	if err := d.need(int(n)); err != nil {
+		return nil, err
+	}
+	b := d.buf[d.off : d.off+int(n)]
+	d.off += int(n)
+	return b, nil
+}

@@ -1,0 +1,212 @@
+package msg
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"lciot/internal/ifc"
+)
+
+// personSchema is the paper's Section 8.2.2 example: "for a message type
+// person, attribute name is likely more sensitive than country".
+func personSchema() *Schema {
+	return MustSchema("person", ifc.MustLabel("A", "B"),
+		Field{Name: "name", Type: TString, Required: true, Secrecy: ifc.MustLabel("C")},
+		Field{Name: "country", Type: TString, Required: true},
+		Field{Name: "age", Type: TInt},
+	)
+}
+
+func vitalsSchema() *Schema {
+	return MustSchema("vitals", ifc.EmptyLabel,
+		Field{Name: "patient", Type: TString, Required: true},
+		Field{Name: "heart-rate", Type: TFloat, Required: true},
+		Field{Name: "raw", Type: TBytes},
+		Field{Name: "ambulatory", Type: TBool},
+	)
+}
+
+func TestSchemaConstruction(t *testing.T) {
+	if _, err := NewSchema("", ifc.EmptyLabel); err == nil {
+		t.Fatal("anonymous schema accepted")
+	}
+	if _, err := NewSchema("s", ifc.EmptyLabel, Field{Name: "a", Type: TString}, Field{Name: "a", Type: TInt}); err == nil {
+		t.Fatal("duplicate field accepted")
+	}
+	if _, err := NewSchema("s", ifc.EmptyLabel, Field{Type: TString}); err == nil {
+		t.Fatal("unnamed field accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := personSchema()
+	tests := []struct {
+		name    string
+		build   func() *Message
+		wantErr error
+	}{
+		{
+			"valid",
+			func() *Message {
+				return New("person").Set("name", Str("ann")).Set("country", Str("uk")).Set("age", Int(33))
+			},
+			nil,
+		},
+		{
+			"optional-omitted",
+			func() *Message {
+				return New("person").Set("name", Str("ann")).Set("country", Str("uk"))
+			},
+			nil,
+		},
+		{
+			"missing-required",
+			func() *Message { return New("person").Set("name", Str("ann")) },
+			ErrMissing,
+		},
+		{
+			"unknown-field",
+			func() *Message {
+				return New("person").Set("name", Str("a")).Set("country", Str("uk")).Set("ssn", Str("x"))
+			},
+			ErrUnknownField,
+		},
+		{
+			"wrong-type",
+			func() *Message {
+				return New("person").Set("name", Int(3)).Set("country", Str("uk"))
+			},
+			ErrWrongType,
+		},
+		{
+			"wrong-schema",
+			func() *Message { return New("vitals") },
+			ErrNoSchema,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := s.Validate(tt.build())
+			if tt.wantErr == nil {
+				if err != nil {
+					t.Fatalf("Validate: %v", err)
+				}
+				return
+			}
+			if !errors.Is(err, tt.wantErr) {
+				t.Fatalf("Validate = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+// TestFig10AttributeQuenching is part of experiment E10: a receiver cleared
+// for the type tags {A,B} but not the attribute tag C receives the message
+// with the sensitive attribute removed.
+func TestFig10AttributeQuenching(t *testing.T) {
+	s := personSchema()
+	m := New("person").Set("name", Str("ann")).Set("country", Str("uk")).Set("age", Int(33))
+
+	// Fully cleared receiver sees everything.
+	full, quenched := s.Quench(m, ifc.MustLabel("A", "B", "C"))
+	if len(quenched) != 0 || len(full.Attrs) != 3 {
+		t.Fatalf("full clearance quenched %v", quenched)
+	}
+
+	// Receiver lacking C loses the name attribute only.
+	partial, quenched := s.Quench(m, ifc.MustLabel("A", "B"))
+	if !reflect.DeepEqual(quenched, []string{"name"}) {
+		t.Fatalf("quenched = %v, want [name]", quenched)
+	}
+	if _, ok := partial.Get("name"); ok {
+		t.Fatal("sensitive attribute survived quenching")
+	}
+	if v, ok := partial.Get("country"); !ok || v.Str != "uk" {
+		t.Fatal("insensitive attribute lost")
+	}
+	// The original message is untouched.
+	if _, ok := m.Get("name"); !ok {
+		t.Fatal("quench mutated the original")
+	}
+	// The quenched message now fails validation (name is required): the
+	// receiver must not process it as a complete person record.
+	if err := s.Validate(partial); !errors.Is(err, ErrMissing) {
+		t.Fatalf("validate after quench = %v, want ErrMissing", err)
+	}
+}
+
+func TestCloneIsolatesBytes(t *testing.T) {
+	m := New("vitals").Set("raw", Bytes([]byte{1, 2, 3}))
+	cp := m.Clone()
+	raw, _ := cp.Get("raw")
+	raw.Bytes[0] = 99
+	orig, _ := m.Get("raw")
+	if orig.Bytes[0] != 1 {
+		t.Fatal("clone shares byte storage")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r, err := NewRegistry(personSchema(), vitalsSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Schema("person"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Schema("nope"); !errors.Is(err, ErrNoSchema) {
+		t.Fatalf("unknown schema = %v", err)
+	}
+	m := New("vitals").Set("patient", Str("ann")).Set("heart-rate", Float(72))
+	if err := r.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(New("ghost")); !errors.Is(err, ErrNoSchema) {
+		t.Fatalf("ghost validate = %v", err)
+	}
+	if _, err := NewRegistry(personSchema(), personSchema()); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}
+
+func TestValueStringAndEqual(t *testing.T) {
+	vals := []Value{Str("x"), Float(1.5), Int(-3), Bool(true), Bytes([]byte{1})}
+	for _, v := range vals {
+		if v.String() == "" {
+			t.Errorf("%v renders empty", v.Type)
+		}
+		if !v.Equal(v) {
+			t.Errorf("%v not equal to itself", v)
+		}
+	}
+	if Str("a").Equal(Int(1)) {
+		t.Error("cross-type equality")
+	}
+	if Bytes([]byte{1}).Equal(Bytes([]byte{2})) {
+		t.Error("bytes equality wrong")
+	}
+	if (Value{}).String() == "" {
+		t.Error("zero value renders empty")
+	}
+}
+
+func TestFieldTypeString(t *testing.T) {
+	want := map[FieldType]string{
+		TString: "string", TFloat: "float", TInt: "int", TBool: "bool", TBytes: "bytes",
+		FieldType(9): "FieldType(9)",
+	}
+	for ft, s := range want {
+		if ft.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(ft), ft.String(), s)
+		}
+	}
+}
+
+func TestFieldNamesSorted(t *testing.T) {
+	m := New("t").Set("z", Int(1)).Set("a", Int(2)).Set("m", Int(3))
+	want := []string{"a", "m", "z"}
+	if got := m.FieldNames(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("FieldNames = %v", got)
+	}
+}

@@ -1,0 +1,108 @@
+package msg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lciot/internal/ifc"
+)
+
+// genTagLabel draws from a small tag universe so subset relations occur.
+func genTagLabel(r *rand.Rand) ifc.Label {
+	universe := []ifc.Tag{"A", "B", "C", "D"}
+	var tags []ifc.Tag
+	for _, t := range universe {
+		if r.Intn(2) == 0 {
+			tags = append(tags, t)
+		}
+	}
+	l, _ := ifc.NewLabel(tags...)
+	return l
+}
+
+// TestPropertyQuenchExact: quenching removes exactly the attributes whose
+// secrecy is not covered by the clearance, never mutates the original, and
+// the survivors are byte-identical.
+func TestPropertyQuenchExact(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nFields := r.Intn(6) + 1
+		fields := make([]Field, 0, nFields)
+		m := New("t")
+		for i := 0; i < nFields; i++ {
+			name := string(rune('a' + i))
+			fields = append(fields, Field{
+				Name:    name,
+				Type:    TInt,
+				Secrecy: genTagLabel(r),
+			})
+			m.Set(name, Int(int64(i)))
+		}
+		schema, err := NewSchema("t", ifc.EmptyLabel, fields...)
+		if err != nil {
+			return false
+		}
+		clearance := genTagLabel(r)
+
+		before := m.Clone()
+		out, quenched := schema.Quench(m, clearance)
+
+		// Original untouched.
+		if len(m.Attrs) != len(before.Attrs) {
+			return false
+		}
+		quenchedSet := map[string]bool{}
+		for _, q := range quenched {
+			quenchedSet[q] = true
+		}
+		for _, fld := range fields {
+			covered := fld.Secrecy.Subset(clearance)
+			_, present := out.Get(fld.Name)
+			if covered != present {
+				return false // survivor set wrong
+			}
+			if quenchedSet[fld.Name] == covered {
+				return false // quench list inconsistent with coverage
+			}
+			if present {
+				ov, _ := out.Get(fld.Name)
+				mv, _ := m.Get(fld.Name)
+				if !ov.Equal(mv) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error("quench not exact:", err)
+	}
+}
+
+// TestPropertyQuenchMonotone: a larger clearance never loses attributes a
+// smaller clearance kept.
+func TestPropertyQuenchMonotone(t *testing.T) {
+	schema := MustSchema("t", ifc.EmptyLabel,
+		Field{Name: "a", Type: TInt, Secrecy: ifc.MustLabel("A")},
+		Field{Name: "b", Type: TInt, Secrecy: ifc.MustLabel("A", "B")},
+		Field{Name: "c", Type: TInt},
+	)
+	m := New("t").Set("a", Int(1)).Set("b", Int(2)).Set("c", Int(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		small := genTagLabel(r)
+		big := small.Union(genTagLabel(r))
+		outSmall, _ := schema.Quench(m, small)
+		outBig, _ := schema.Quench(m, big)
+		for name := range outSmall.Attrs {
+			if _, ok := outBig.Get(name); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error("quench not monotone:", err)
+	}
+}

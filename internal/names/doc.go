@@ -1,0 +1,19 @@
+// Package names provides the global tag and policy namespace the paper's
+// Challenge 1 calls for: "for security policy to apply at scale, throughout
+// the IoT, there is a need for a global policy representation, including tag
+// and privilege descriptions", suggesting "approaches akin to DNS and/or
+// based on PKI".
+//
+// The namespace is a tree of authoritative zones. A zone owns a namespace
+// prefix ("hospital.example", "hospital.example/ward-a") and records the
+// tags minted under it, together with their owning principal, a human
+// description, and a TTL. Zones delegate sub-namespaces to child zones,
+// exactly as DNS delegates subdomains.
+//
+// Resolvers walk the delegation chain from the root and cache results by
+// TTL. Because the visibility of a policy specification may itself be
+// sensitive (Challenge 2: "a tag may imply a particular medical condition"),
+// records can be marked sensitive, in which case resolution succeeds only
+// for principals on the record's reader list; everyone else learns only
+// that the tag exists.
+package names

@@ -1,0 +1,243 @@
+package names
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"lciot/internal/ifc"
+)
+
+// buildTree creates root → hospital.example → ward-a with records at each
+// level, mirroring a federated IoT namespace.
+func buildTree(t *testing.T) *Zone {
+	t.Helper()
+	root := NewRoot()
+	if err := root.Register(TagRecord{Tag: "public", Owner: "internet", TTL: time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+	hosp, err := root.DelegatePath("hospital.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hosp.Register(TagRecord{
+		Tag: "hospital.example/medical", Owner: "hospital", TTL: time.Hour,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ward, err := root.DelegatePath("hospital.example/ward-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ward.Register(TagRecord{
+		Tag:       "hospital.example/ward-a/hiv-status",
+		Owner:     "hospital",
+		Sensitive: true,
+		Readers:   []ifc.PrincipalID{"clinician"},
+		TTL:       time.Hour,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func TestZoneDelegationNaming(t *testing.T) {
+	root := NewRoot()
+	leaf, err := root.DelegatePath("a/b/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaf.Name() != "a/b/c" {
+		t.Fatalf("leaf name = %q", leaf.Name())
+	}
+	// Delegating the same path twice returns the same zone.
+	again, err := root.DelegatePath("a/b/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaf != again {
+		t.Fatal("re-delegation created a new zone")
+	}
+	if _, err := root.Delegate("has/slash"); !errors.Is(err, ErrBadDelegation) {
+		t.Fatalf("bad segment accepted: %v", err)
+	}
+	if _, err := root.Delegate(""); !errors.Is(err, ErrBadDelegation) {
+		t.Fatalf("empty segment accepted: %v", err)
+	}
+}
+
+func TestZoneRegisterValidation(t *testing.T) {
+	root := NewRoot()
+	// Tag with a namespace cannot be registered at the root.
+	err := root.Register(TagRecord{Tag: "a/b", Owner: "x"})
+	if !errors.Is(err, ErrBadDelegation) {
+		t.Fatalf("mis-zoned registration = %v, want ErrBadDelegation", err)
+	}
+	if err := root.Register(TagRecord{Tag: "ok", Owner: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Register(TagRecord{Tag: "ok", Owner: "y"}); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate registration = %v, want ErrExists", err)
+	}
+	if err := root.Register(TagRecord{Tag: "bad tag", Owner: "x"}); err == nil {
+		t.Fatal("invalid tag accepted")
+	}
+}
+
+func TestResolveWalksDelegations(t *testing.T) {
+	root := buildTree(t)
+	var visited []string
+	r := NewResolver(root, WithHopDelay(func(zone string) { visited = append(visited, zone) }))
+
+	rec, err := r.Resolve("anyone", "hospital.example/medical")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Owner != "hospital" {
+		t.Fatalf("owner = %q", rec.Owner)
+	}
+	want := []string{"", "hospital.example"}
+	if !reflect.DeepEqual(visited, want) {
+		t.Fatalf("visited zones %v, want %v", visited, want)
+	}
+}
+
+func TestResolveCaching(t *testing.T) {
+	now := time.Unix(1000, 0)
+	root := buildTree(t)
+	r := NewResolver(root, WithClock(func() time.Time { return now }))
+
+	for i := 0; i < 3; i++ {
+		if _, err := r.Resolve("anyone", "hospital.example/medical"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := r.Stats()
+	if s.Misses != 1 || s.Hits != 2 {
+		t.Fatalf("stats = %+v, want 1 miss / 2 hits", s)
+	}
+
+	// After TTL expiry the resolver must walk again.
+	now = now.Add(2 * time.Hour)
+	if _, err := r.Resolve("anyone", "hospital.example/medical"); err != nil {
+		t.Fatal(err)
+	}
+	if s := r.Stats(); s.Misses != 2 {
+		t.Fatalf("post-expiry misses = %d, want 2", s.Misses)
+	}
+
+	r.Flush()
+	if _, err := r.Resolve("anyone", "hospital.example/medical"); err != nil {
+		t.Fatal(err)
+	}
+	if s := r.Stats(); s.Misses != 3 {
+		t.Fatalf("post-flush misses = %d, want 3", s.Misses)
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	r := NewResolver(buildTree(t))
+	if _, err := r.Resolve("p", "hospital.example/nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown tag = %v, want ErrNotFound", err)
+	}
+	if _, err := r.Resolve("p", "unknown.example/tag"); !errors.Is(err, ErrNoZone) {
+		t.Fatalf("unknown zone = %v, want ErrNoZone", err)
+	}
+	if _, err := r.Resolve("p", "bad tag"); err == nil {
+		t.Fatal("invalid tag resolved")
+	}
+}
+
+func TestSensitiveRecordDisclosure(t *testing.T) {
+	r := NewResolver(buildTree(t))
+	const tag = ifc.Tag("hospital.example/ward-a/hiv-status")
+
+	// The clinician on the reader list sees the record.
+	rec, err := r.Resolve("clinician", tag)
+	if err != nil {
+		t.Fatalf("reader denied: %v", err)
+	}
+	if rec.Owner != "hospital" {
+		t.Fatalf("reader got %+v", rec)
+	}
+	// The owner always sees it.
+	if _, err := r.Resolve("hospital", tag); err != nil {
+		t.Fatalf("owner denied: %v", err)
+	}
+	// Anyone else learns only existence.
+	rec, err = r.Resolve("advertiser", tag)
+	if !errors.Is(err, ErrRestricted) {
+		t.Fatalf("stranger resolution = %v, want ErrRestricted", err)
+	}
+	if rec.Owner != "" || rec.Description != "" {
+		t.Fatalf("restricted record leaked fields: %+v", rec)
+	}
+	if rec.Tag != tag {
+		t.Fatalf("existence should still be confirmed, got %q", rec.Tag)
+	}
+}
+
+func TestResolveLabel(t *testing.T) {
+	r := NewResolver(buildTree(t))
+	l := ifc.MustLabel("public", "hospital.example/medical")
+	recs, err := r.ResolveLabel("anyone", l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("resolved %d records, want 2", len(recs))
+	}
+	bad := ifc.MustLabel("public", "hospital.example/nope")
+	if _, err := r.ResolveLabel("anyone", bad); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("bad label = %v, want ErrNotFound", err)
+	}
+}
+
+func TestDefaultTTLApplied(t *testing.T) {
+	root := NewRoot()
+	if err := root.Register(TagRecord{Tag: "t", Owner: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := root.lookup("t")
+	if !ok || rec.TTL != time.Minute {
+		t.Fatalf("default TTL = %v, want 1m", rec.TTL)
+	}
+}
+
+func TestZoneTagsSorted(t *testing.T) {
+	root := NewRoot()
+	for _, tag := range []ifc.Tag{"zz", "aa", "mm"} {
+		if err := root.Register(TagRecord{Tag: tag, Owner: "x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []ifc.Tag{"aa", "mm", "zz"}
+	if got := root.Tags(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tags() = %v", got)
+	}
+}
+
+func TestResolverConcurrent(t *testing.T) {
+	root := buildTree(t)
+	r := NewResolver(root)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				if _, err := r.Resolve("anyone", "hospital.example/medical"); err != nil {
+					t.Errorf("Resolve: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Stats()
+	if s.Hits+s.Misses != 1600 {
+		t.Fatalf("hits+misses = %d, want 1600", s.Hits+s.Misses)
+	}
+}

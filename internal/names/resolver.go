@@ -1,0 +1,166 @@
+package names
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"lciot/internal/ifc"
+)
+
+// A Resolver answers "what does this tag mean and who owns it?" by walking
+// the zone delegation tree from a root, caching answers by TTL. One
+// resolver is typically embedded per middleware node; the cache is what
+// makes tag checks affordable on the data path (benchmark B6).
+type Resolver struct {
+	root *Zone
+	// now is the clock, replaceable in tests.
+	now func() time.Time
+	// hopDelay, when non-nil, is invoked once per zone traversed on a cache
+	// miss so benchmarks and simulations can model network distance.
+	hopDelay func(zone string)
+
+	mu    sync.Mutex
+	cache map[ifc.Tag]cachedRecord
+	stats ResolverStats
+}
+
+type cachedRecord struct {
+	rec     TagRecord
+	expires time.Time
+}
+
+// ResolverStats counts resolver activity for observability and benches.
+type ResolverStats struct {
+	Hits   uint64 // answered from cache
+	Misses uint64 // required an authoritative walk
+	Hops   uint64 // total zones traversed on misses
+}
+
+// ResolverOption configures a Resolver.
+type ResolverOption func(*Resolver)
+
+// WithClock replaces the resolver's clock; tests use it to force expiry.
+func WithClock(now func() time.Time) ResolverOption {
+	return func(r *Resolver) { r.now = now }
+}
+
+// WithHopDelay installs a per-zone-hop callback, letting simulations charge
+// a latency per traversal.
+func WithHopDelay(fn func(zone string)) ResolverOption {
+	return func(r *Resolver) { r.hopDelay = fn }
+}
+
+// NewResolver builds a resolver rooted at the given zone tree.
+func NewResolver(root *Zone, opts ...ResolverOption) *Resolver {
+	r := &Resolver{
+		root:  root,
+		now:   time.Now,
+		cache: make(map[ifc.Tag]cachedRecord),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// Resolve returns the authoritative record for the tag, on behalf of the
+// requesting principal. Sensitive records are withheld from principals not
+// on the reader list (ErrRestricted), revealing only the tag's existence.
+func (r *Resolver) Resolve(requester ifc.PrincipalID, t ifc.Tag) (TagRecord, error) {
+	if err := t.Validate(); err != nil {
+		return TagRecord{}, err
+	}
+	now := r.now()
+
+	r.mu.Lock()
+	if c, ok := r.cache[t]; ok && now.Before(c.expires) {
+		r.stats.Hits++
+		r.mu.Unlock()
+		return r.disclose(c.rec, requester)
+	}
+	r.mu.Unlock()
+
+	rec, hops, err := r.walk(t)
+
+	r.mu.Lock()
+	r.stats.Misses++
+	r.stats.Hops += uint64(hops)
+	if err == nil {
+		r.cache[t] = cachedRecord{rec: rec, expires: now.Add(rec.TTL)}
+	}
+	r.mu.Unlock()
+
+	if err != nil {
+		return TagRecord{}, err
+	}
+	return r.disclose(rec, requester)
+}
+
+// disclose applies the sensitivity check.
+func (r *Resolver) disclose(rec TagRecord, requester ifc.PrincipalID) (TagRecord, error) {
+	if rec.readableBy(requester) {
+		return rec, nil
+	}
+	return TagRecord{Tag: rec.Tag, Sensitive: true},
+		fmt.Errorf("%w: %q for principal %q", ErrRestricted, rec.Tag, requester)
+}
+
+// walk traverses the delegation chain to the authoritative zone.
+func (r *Resolver) walk(t ifc.Tag) (TagRecord, int, error) {
+	zone := r.root
+	hops := 1
+	if r.hopDelay != nil {
+		r.hopDelay(zone.Name())
+	}
+	ns := t.Namespace()
+	if ns != "" {
+		for _, seg := range strings.Split(ns, "/") {
+			child, ok := zone.child(seg)
+			if !ok {
+				return TagRecord{}, hops, fmt.Errorf("%w: for namespace %q (stopped at %q)", ErrNoZone, ns, zone.Name())
+			}
+			zone = child
+			hops++
+			if r.hopDelay != nil {
+				r.hopDelay(zone.Name())
+			}
+		}
+	}
+	rec, ok := zone.lookup(t)
+	if !ok {
+		return TagRecord{}, hops, fmt.Errorf("%w: %q in zone %q", ErrNotFound, t, zone.Name())
+	}
+	return rec, hops, nil
+}
+
+// Stats returns a snapshot of resolver counters.
+func (r *Resolver) Stats() ResolverStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Flush empties the cache; used after revocations and in tests.
+func (r *Resolver) Flush() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cache = make(map[ifc.Tag]cachedRecord)
+}
+
+// ResolveLabel resolves every tag in a label, returning the first error.
+// The middleware calls this when admitting a never-before-seen label at a
+// domain boundary.
+func (r *Resolver) ResolveLabel(requester ifc.PrincipalID, l ifc.Label) ([]TagRecord, error) {
+	tags := l.Tags()
+	out := make([]TagRecord, 0, len(tags))
+	for _, t := range tags {
+		rec, err := r.Resolve(requester, t)
+		if err != nil {
+			return nil, fmt.Errorf("label %s: %w", l, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

@@ -1,0 +1,163 @@
+package names
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"lciot/internal/ifc"
+)
+
+// Errors reported by the namespace.
+var (
+	ErrNotFound      = errors.New("names: tag not found")
+	ErrNoZone        = errors.New("names: no authoritative zone")
+	ErrExists        = errors.New("names: record already exists")
+	ErrRestricted    = errors.New("names: record restricted")
+	ErrBadDelegation = errors.New("names: invalid delegation")
+)
+
+// A TagRecord is the authoritative description of a tag: who owns it, what
+// it means, and how long resolvers may cache it.
+type TagRecord struct {
+	Tag         ifc.Tag
+	Owner       ifc.PrincipalID
+	Description string
+	// Sensitive marks records whose meaning must not be revealed to
+	// arbitrary principals (a tag may imply a medical condition). Sensitive
+	// records resolve fully only for principals in Readers.
+	Sensitive bool
+	// Readers lists the principals allowed to resolve a sensitive record.
+	Readers []ifc.PrincipalID
+	// TTL bounds how long resolvers may cache this record.
+	TTL time.Duration
+	// Created is the registration time.
+	Created time.Time
+}
+
+// readableBy reports whether the principal may see the full record.
+func (r TagRecord) readableBy(p ifc.PrincipalID) bool {
+	if !r.Sensitive || p == r.Owner {
+		return true
+	}
+	for _, reader := range r.Readers {
+		if reader == p {
+			return true
+		}
+	}
+	return false
+}
+
+// A Zone is an authoritative server for one namespace prefix. The zone with
+// name "" is the root. Zones are safe for concurrent use.
+type Zone struct {
+	name string
+
+	mu       sync.RWMutex
+	records  map[ifc.Tag]TagRecord
+	children map[string]*Zone // keyed by the next path segment
+}
+
+// NewRoot creates an empty root zone.
+func NewRoot() *Zone {
+	return &Zone{}
+}
+
+// Name returns the zone's namespace prefix ("" for the root).
+func (z *Zone) Name() string { return z.name }
+
+// Delegate creates (or returns) the child zone for the next namespace
+// segment below this zone. Segments must be non-empty and slash-free.
+func (z *Zone) Delegate(segment string) (*Zone, error) {
+	if segment == "" || strings.ContainsRune(segment, '/') {
+		return nil, fmt.Errorf("%w: segment %q", ErrBadDelegation, segment)
+	}
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	if z.children == nil {
+		z.children = make(map[string]*Zone)
+	}
+	if child, ok := z.children[segment]; ok {
+		return child, nil
+	}
+	name := segment
+	if z.name != "" {
+		name = z.name + "/" + segment
+	}
+	child := &Zone{name: name}
+	z.children[segment] = child
+	return child, nil
+}
+
+// DelegatePath creates the whole chain of zones for a namespace such as
+// "hospital.example/ward-a" and returns the leaf zone.
+func (z *Zone) DelegatePath(namespace string) (*Zone, error) {
+	cur := z
+	if namespace == "" {
+		return cur, nil
+	}
+	for _, seg := range strings.Split(namespace, "/") {
+		next, err := cur.Delegate(seg)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Register adds an authoritative record for a tag whose namespace matches
+// this zone. A zero TTL defaults to one minute.
+func (z *Zone) Register(rec TagRecord) error {
+	if err := rec.Tag.Validate(); err != nil {
+		return err
+	}
+	if ns := rec.Tag.Namespace(); ns != z.name {
+		return fmt.Errorf("%w: tag %q belongs to namespace %q, zone is %q",
+			ErrBadDelegation, rec.Tag, ns, z.name)
+	}
+	if rec.TTL <= 0 {
+		rec.TTL = time.Minute
+	}
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	if z.records == nil {
+		z.records = make(map[ifc.Tag]TagRecord)
+	}
+	if _, ok := z.records[rec.Tag]; ok {
+		return fmt.Errorf("%w: %q", ErrExists, rec.Tag)
+	}
+	z.records[rec.Tag] = rec
+	return nil
+}
+
+// lookup returns the record held by this zone.
+func (z *Zone) lookup(t ifc.Tag) (TagRecord, bool) {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	rec, ok := z.records[t]
+	return rec, ok
+}
+
+// child returns the delegated zone for a segment.
+func (z *Zone) child(segment string) (*Zone, bool) {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	c, ok := z.children[segment]
+	return c, ok
+}
+
+// Tags lists the tags registered directly in this zone, sorted.
+func (z *Zone) Tags() []ifc.Tag {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	out := make([]ifc.Tag, 0, len(z.records))
+	for t := range z.records {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

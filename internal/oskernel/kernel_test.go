@@ -1,0 +1,251 @@
+package oskernel
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"lciot/internal/audit"
+	"lciot/internal/ifc"
+)
+
+func medicalCtx() ifc.SecurityContext {
+	return ifc.MustContext([]ifc.Tag{"medical", "ann"}, nil)
+}
+
+func TestForkInheritsLabelsNotPrivileges(t *testing.T) {
+	k := NewKernel("node", nil)
+	parent := k.Boot("manager", medicalCtx())
+	if err := parent.Entity().GrantPrivileges(ifc.OwnerPrivileges("ann")); err != nil {
+		t.Fatal(err)
+	}
+	child, err := k.Fork(parent.PID(), "worker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !child.Entity().Context().Equal(medicalCtx()) {
+		t.Fatalf("child context = %v", child.Entity().Context())
+	}
+	if !child.Entity().Privileges().IsEmpty() {
+		t.Fatal("child inherited privileges")
+	}
+	if _, err := k.Fork(9999, "x"); !errors.Is(err, ErrNoProcess) {
+		t.Fatalf("fork of ghost = %v", err)
+	}
+}
+
+func TestFileFlowEnforcement(t *testing.T) {
+	k := NewKernel("node", nil)
+	medical := k.Boot("medical-app", medicalCtx())
+	public := k.Boot("public-app", ifc.SecurityContext{})
+
+	if err := k.Create(medical.PID(), "/data/ann"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Create(medical.PID(), "/data/ann"); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate create = %v", err)
+	}
+	if err := k.Write(medical.PID(), "/data/ann", []byte("vitals")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := k.Read(medical.PID(), "/data/ann")
+	if err != nil || !bytes.Equal(got, []byte("vitals")) {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+
+	// A public process cannot read the labelled file...
+	if _, err := k.Read(public.PID(), "/data/ann"); !errors.Is(err, ifc.ErrFlowDenied) {
+		t.Fatalf("public read = %v", err)
+	}
+	// ...but may write into it (public flows anywhere).
+	if err := k.Write(public.PID(), "/data/ann", []byte("!")); err != nil {
+		t.Fatalf("public write = %v", err)
+	}
+	// And the medical process cannot write to a public file.
+	if err := k.Create(public.PID(), "/tmp/pub"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Write(medical.PID(), "/tmp/pub", []byte("leak")); !errors.Is(err, ifc.ErrFlowDenied) {
+		t.Fatalf("leaking write = %v", err)
+	}
+	if _, err := k.Read(medical.PID(), "/ghost"); !errors.Is(err, ErrNoFile) {
+		t.Fatalf("read of ghost = %v", err)
+	}
+}
+
+func TestFileReadIsolatesBuffer(t *testing.T) {
+	k := NewKernel("node", nil)
+	p := k.Boot("app", ifc.SecurityContext{})
+	if err := k.Create(p.PID(), "/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Write(p.PID(), "/f", []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := k.Read(p.PID(), "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got[0] = 'X'
+	again, err := k.Read(p.PID(), "/f")
+	if err != nil || again[0] != 'a' {
+		t.Fatal("Read aliases kernel buffer")
+	}
+}
+
+func TestPipeFlowEnforcement(t *testing.T) {
+	k := NewKernel("node", nil)
+	producer := k.Boot("producer", medicalCtx())
+	consumer := k.Boot("consumer", medicalCtx())
+	outsider := k.Boot("outsider", ifc.SecurityContext{})
+
+	id, err := k.MkPipe(producer.PID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.WritePipe(producer.PID(), id, []byte("m1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.WritePipe(producer.PID(), id, []byte("m2")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := k.ReadPipe(consumer.PID(), id)
+	if err != nil || string(got) != "m1" {
+		t.Fatalf("ReadPipe = %q, %v", got, err)
+	}
+	// FIFO order.
+	got, _ = k.ReadPipe(consumer.PID(), id)
+	if string(got) != "m2" {
+		t.Fatalf("second ReadPipe = %q", got)
+	}
+	// Empty pipe returns nil without error.
+	if got, err := k.ReadPipe(consumer.PID(), id); err != nil || got != nil {
+		t.Fatalf("empty ReadPipe = %q, %v", got, err)
+	}
+	// The outsider cannot read from the labelled pipe.
+	if err := k.WritePipe(producer.PID(), id, []byte("secret")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.ReadPipe(outsider.PID(), id); !errors.Is(err, ifc.ErrFlowDenied) {
+		t.Fatalf("outsider ReadPipe = %v", err)
+	}
+	if _, err := k.ReadPipe(consumer.PID(), 999); !errors.Is(err, ErrNoPipe) {
+		t.Fatalf("ghost pipe = %v", err)
+	}
+}
+
+func TestSetContextRequiresPrivilege(t *testing.T) {
+	k := NewKernel("node", nil)
+	p := k.Boot("app", medicalCtx())
+	if err := k.SetContext(p.PID(), ifc.SecurityContext{}); !errors.Is(err, ifc.ErrPrivilege) {
+		t.Fatalf("unprivileged setcontext = %v", err)
+	}
+	if err := p.Entity().GrantPrivileges(ifc.Privileges{
+		RemoveSecrecy: ifc.MustLabel("ann", "medical"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetContext(p.PID(), ifc.SecurityContext{}); err != nil {
+		t.Fatal(err)
+	}
+	changes := k.Log().Select(func(r audit.Record) bool { return r.Kind == audit.ContextChange })
+	if len(changes) != 1 {
+		t.Fatalf("context-change records = %d", len(changes))
+	}
+}
+
+func TestUnmediatedExternalCommunicationPrevented(t *testing.T) {
+	k := NewKernel("node", nil)
+	labelled := k.Boot("app", medicalCtx())
+	public := k.Boot("web", ifc.SecurityContext{})
+	substrate := k.Boot("camflow-messaging", medicalCtx())
+	if err := k.MarkSubstrate(substrate.PID()); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := k.ExternalSend(labelled.PID(), []byte("x")); !errors.Is(err, ErrUnmediated) {
+		t.Fatalf("labelled external send = %v", err)
+	}
+	if err := k.ExternalSend(public.PID(), []byte("x")); err != nil {
+		t.Fatalf("public external send = %v", err)
+	}
+	if err := k.ExternalSend(substrate.PID(), []byte("x")); err != nil {
+		t.Fatalf("substrate external send = %v", err)
+	}
+}
+
+func TestEveryFlowIsAudited(t *testing.T) {
+	k := NewKernel("node", nil)
+	p := k.Boot("app", medicalCtx())
+	outsider := k.Boot("outsider", ifc.SecurityContext{})
+	if err := k.Create(p.PID(), "/f"); err != nil {
+		t.Fatal(err)
+	}
+	_ = k.Write(p.PID(), "/f", []byte("1")) // allowed
+	_, _ = k.Read(outsider.PID(), "/f")     // denied
+	_, _ = k.Read(p.PID(), "/f")            // allowed
+
+	recs := k.Log().Select(nil)
+	var allowed, denied int
+	for _, r := range recs {
+		switch r.Kind {
+		case audit.FlowAllowed:
+			allowed++
+		case audit.FlowDenied:
+			denied++
+		}
+		if r.Layer != audit.LayerKernel {
+			t.Fatalf("record layer = %v", r.Layer)
+		}
+	}
+	if allowed != 2 || denied != 1 {
+		t.Fatalf("allowed = %d, denied = %d", allowed, denied)
+	}
+	if bad, err := k.Log().Verify(); err != nil || bad != -1 {
+		t.Fatalf("log verify = %d, %v", bad, err)
+	}
+}
+
+func TestHooksDisabledSkipsEnforcementAndAudit(t *testing.T) {
+	k := NewKernel("node", nil)
+	k.SetHooksEnabled(false)
+	medical := k.Boot("app", medicalCtx())
+	public := k.Boot("pub", ifc.SecurityContext{})
+	if err := k.Create(medical.PID(), "/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Write(medical.PID(), "/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Without hooks the (illegal) read passes and nothing is logged —
+	// the baseline world the paper argues against.
+	if _, err := k.Read(public.PID(), "/f"); err != nil {
+		t.Fatalf("unhooked read = %v", err)
+	}
+	if k.Log().Len() != 0 {
+		t.Fatalf("log has %d records with hooks off", k.Log().Len())
+	}
+}
+
+func TestExitRemovesProcess(t *testing.T) {
+	k := NewKernel("node", nil)
+	p := k.Boot("app", ifc.SecurityContext{})
+	k.Exit(p.PID())
+	if _, err := k.Process(p.PID()); !errors.Is(err, ErrNoProcess) {
+		t.Fatalf("process after exit = %v", err)
+	}
+}
+
+func TestFilesListing(t *testing.T) {
+	k := NewKernel("node", nil)
+	p := k.Boot("app", ifc.SecurityContext{})
+	for _, path := range []string{"/b", "/a"} {
+		if err := k.Create(p.PID(), path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files := k.Files()
+	if len(files) != 2 || files[0] != "/a" {
+		t.Fatalf("Files = %v", files)
+	}
+}

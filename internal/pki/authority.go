@@ -1,0 +1,218 @@
+package pki
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"lciot/internal/ifc"
+)
+
+// An Authority is a certificate authority: it holds a signing key and
+// issues identity and attribute certificates. Authorities form chains: a
+// root authority signs intermediate authorities' identity certificates
+// (with IsCA set), which in turn certify leaf subjects.
+type Authority struct {
+	id   ifc.PrincipalID
+	keys *KeyPair
+	// cert is this authority's own identity certificate (nil for a
+	// self-signed root before SelfSign).
+	cert *Certificate
+
+	mu      sync.Mutex
+	serial  uint64
+	revoked map[uint64]time.Time // serial -> revocation time
+	now     func() time.Time
+}
+
+// NewAuthority creates an authority with a fresh key pair.
+func NewAuthority(id ifc.PrincipalID) (*Authority, error) {
+	keys, err := GenerateKeyPair()
+	if err != nil {
+		return nil, err
+	}
+	return &Authority{
+		id:      id,
+		keys:    keys,
+		revoked: make(map[uint64]time.Time),
+		now:     time.Now,
+	}, nil
+}
+
+// SetClock overrides the authority's clock (tests).
+func (a *Authority) SetClock(now func() time.Time) { a.now = now }
+
+// ID returns the authority's principal identifier.
+func (a *Authority) ID() ifc.PrincipalID { return a.id }
+
+// PublicKey returns the authority's verification key.
+func (a *Authority) PublicKey() []byte { return a.keys.Public }
+
+// Certificate returns this authority's own identity certificate.
+func (a *Authority) Certificate() *Certificate { return a.cert }
+
+// nextSerial allocates a serial number.
+func (a *Authority) nextSerial() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.serial++
+	return a.serial
+}
+
+// sign completes and signs a TBS.
+func (a *Authority) sign(tbs TBS) (*Certificate, error) {
+	tbs.Issuer = a.id
+	tbs.Serial = a.nextSerial()
+	body, err := encodeTBS(&tbs)
+	if err != nil {
+		return nil, err
+	}
+	return &Certificate{TBS: tbs, Signature: a.keys.Sign(body)}, nil
+}
+
+// SelfSign issues the authority's own root certificate, valid for the given
+// duration.
+func (a *Authority) SelfSign(validity time.Duration) (*Certificate, error) {
+	now := a.now()
+	cert, err := a.sign(TBS{
+		Kind:       KindIdentity,
+		Subject:    a.id,
+		SubjectKey: a.keys.Public,
+		NotBefore:  now,
+		NotAfter:   now.Add(validity),
+		IsCA:       true,
+		MaxPathLen: -1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	a.cert = cert
+	return cert, nil
+}
+
+// IssueIdentity certifies that subject controls the given public key.
+func (a *Authority) IssueIdentity(subject ifc.PrincipalID, subjectKey []byte, validity time.Duration) (*Certificate, error) {
+	now := a.now()
+	return a.sign(TBS{
+		Kind:       KindIdentity,
+		Subject:    subject,
+		SubjectKey: subjectKey,
+		NotBefore:  now,
+		NotAfter:   now.Add(validity),
+	})
+}
+
+// IssueIntermediate certifies a subordinate authority. maxPathLen bounds
+// how many further CA levels may hang below it (0 = leaf-issuing only).
+func (a *Authority) IssueIntermediate(sub *Authority, maxPathLen int, validity time.Duration) (*Certificate, error) {
+	now := a.now()
+	cert, err := a.sign(TBS{
+		Kind:       KindIdentity,
+		Subject:    sub.id,
+		SubjectKey: sub.keys.Public,
+		NotBefore:  now,
+		NotAfter:   now.Add(validity),
+		IsCA:       true,
+		MaxPathLen: maxPathLen,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sub.cert = cert
+	return cert, nil
+}
+
+// IssueAttributes certifies role/context attributes and IFC privileges for
+// a subject (the paper's X.509 attribute certificates).
+func (a *Authority) IssueAttributes(subject ifc.PrincipalID, attrs map[string]string, privs ifc.Privileges, validity time.Duration) (*Certificate, error) {
+	now := a.now()
+	return a.sign(TBS{
+		Kind:                KindAttribute,
+		Subject:             subject,
+		NotBefore:           now,
+		NotAfter:            now.Add(validity),
+		Attributes:          attrs,
+		PrivAddSecrecy:      privs.AddSecrecy,
+		PrivRemoveSecrecy:   privs.RemoveSecrecy,
+		PrivAddIntegrity:    privs.AddIntegrity,
+		PrivRemoveIntegrity: privs.RemoveIntegrity,
+	})
+}
+
+// Revoke adds a serial to the authority's revocation list.
+func (a *Authority) Revoke(serial uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.revoked[serial] = a.now()
+}
+
+// IsRevoked reports whether the serial appears on the revocation list.
+func (a *Authority) IsRevoked(serial uint64) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, ok := a.revoked[serial]
+	return ok
+}
+
+// A VerifyOptions bundle controls chain verification.
+type VerifyOptions struct {
+	// Roots maps trusted root principal IDs to their public keys.
+	Roots map[ifc.PrincipalID][]byte
+	// At is the verification time; zero means now.
+	At time.Time
+	// CheckRevocation, when non-nil, reports whether (issuer, serial) is
+	// revoked; typically it consults the issuing authorities' CRLs.
+	CheckRevocation func(issuer ifc.PrincipalID, serial uint64) bool
+}
+
+// VerifyChain validates chain[0] (the leaf) up through intermediates to a
+// trusted root. chain[i]'s issuer must be chain[i+1]'s subject; the last
+// element must be issued by (or be) a trusted root. It returns the leaf's
+// TBS on success.
+func VerifyChain(chain []*Certificate, opts VerifyOptions) (*TBS, error) {
+	if len(chain) == 0 {
+		return nil, fmt.Errorf("%w: empty chain", ErrUntrusted)
+	}
+	at := opts.At
+	if at.IsZero() {
+		at = time.Now()
+	}
+	for i, cert := range chain {
+		if err := cert.ValidAt(at); err != nil {
+			return nil, err
+		}
+		if opts.CheckRevocation != nil && opts.CheckRevocation(cert.TBS.Issuer, cert.TBS.Serial) {
+			return nil, fmt.Errorf("%w: serial %d issued by %q", ErrRevoked, cert.TBS.Serial, cert.TBS.Issuer)
+		}
+		// Locate the issuer's key: next element of the chain, or a root.
+		var issuerKey []byte
+		switch {
+		case i+1 < len(chain):
+			next := chain[i+1]
+			if next.TBS.Subject != cert.TBS.Issuer {
+				return nil, fmt.Errorf("%w: chain break at %d: issuer %q, next subject %q",
+					ErrUntrusted, i, cert.TBS.Issuer, next.TBS.Subject)
+			}
+			if !next.TBS.IsCA {
+				return nil, fmt.Errorf("%w: %q", ErrNotCA, next.TBS.Subject)
+			}
+			// MaxPathLen counts CA certificates allowed *below* this CA,
+			// excluding the leaf.
+			if below := i; next.TBS.MaxPathLen >= 0 && below > next.TBS.MaxPathLen {
+				return nil, fmt.Errorf("%w: CA %q allows %d, found %d",
+					ErrPathLen, next.TBS.Subject, next.TBS.MaxPathLen, below)
+			}
+			issuerKey = next.TBS.SubjectKey
+		default:
+			rootKey, ok := opts.Roots[cert.TBS.Issuer]
+			if !ok {
+				return nil, fmt.Errorf("%w: issuer %q is not a trusted root", ErrUntrusted, cert.TBS.Issuer)
+			}
+			issuerKey = rootKey
+		}
+		if err := cert.VerifySignature(issuerKey); err != nil {
+			return nil, err
+		}
+	}
+	return &chain[0].TBS, nil
+}

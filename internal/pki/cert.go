@@ -1,0 +1,164 @@
+package pki
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"lciot/internal/ifc"
+)
+
+// Errors reported by certificate operations.
+var (
+	ErrBadSignature = errors.New("pki: bad signature")
+	ErrExpired      = errors.New("pki: certificate expired or not yet valid")
+	ErrRevoked      = errors.New("pki: certificate revoked")
+	ErrUntrusted    = errors.New("pki: no trust path to a root")
+	ErrNotCA        = errors.New("pki: issuer is not a CA")
+	ErrPathLen      = errors.New("pki: delegation path length exceeded")
+)
+
+// A KeyPair is an Ed25519 signing identity.
+type KeyPair struct {
+	Public  ed25519.PublicKey
+	private ed25519.PrivateKey
+}
+
+// GenerateKeyPair creates a fresh Ed25519 key pair.
+func GenerateKeyPair() (*KeyPair, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("pki: generate key: %w", err)
+	}
+	return &KeyPair{Public: pub, private: priv}, nil
+}
+
+// Sign signs the message with the private key.
+func (k *KeyPair) Sign(msg []byte) []byte {
+	return ed25519.Sign(k.private, msg)
+}
+
+// Fingerprint returns a short printable identifier for the public key.
+func (k *KeyPair) Fingerprint() string { return Fingerprint(k.Public) }
+
+// Fingerprint returns a short printable identifier for any public key.
+func Fingerprint(pub ed25519.PublicKey) string {
+	return base64.RawStdEncoding.EncodeToString(pub)[:16]
+}
+
+// CertKind distinguishes identity certificates (binding a key to a subject)
+// from attribute certificates (binding privileges/roles to a subject).
+type CertKind int
+
+// Certificate kinds.
+const (
+	KindIdentity CertKind = iota + 1
+	KindAttribute
+)
+
+// String implements fmt.Stringer.
+func (k CertKind) String() string {
+	switch k {
+	case KindIdentity:
+		return "identity"
+	case KindAttribute:
+		return "attribute"
+	default:
+		return fmt.Sprintf("CertKind(%d)", int(k))
+	}
+}
+
+// TBS is the to-be-signed body of a certificate.
+type TBS struct {
+	Kind       CertKind        `json:"kind"`
+	Serial     uint64          `json:"serial"`
+	Subject    ifc.PrincipalID `json:"subject"`
+	SubjectKey []byte          `json:"subject_key,omitempty"` // identity certs only
+	Issuer     ifc.PrincipalID `json:"issuer"`
+	NotBefore  time.Time       `json:"not_before"`
+	NotAfter   time.Time       `json:"not_after"`
+	IsCA       bool            `json:"is_ca,omitempty"`
+	// MaxPathLen bounds further delegation below this CA; -1 means
+	// unlimited. Only meaningful when IsCA is set.
+	MaxPathLen int `json:"max_path_len,omitempty"`
+	// Attributes carries role/context bindings for attribute certificates,
+	// e.g. {"role": "nurse", "ward": "a"} (parametrised roles, Section 4).
+	Attributes map[string]string `json:"attributes,omitempty"`
+	// Privileges carries IFC privilege grants for attribute certificates,
+	// in the canonical "S+{..} S-{..} I+{..} I-{..}" rendering split into
+	// the four labels.
+	PrivAddSecrecy      ifc.Label `json:"priv_add_s,omitempty"`
+	PrivRemoveSecrecy   ifc.Label `json:"priv_remove_s,omitempty"`
+	PrivAddIntegrity    ifc.Label `json:"priv_add_i,omitempty"`
+	PrivRemoveIntegrity ifc.Label `json:"priv_remove_i,omitempty"`
+}
+
+// Privileges reassembles the IFC privilege sets carried by an attribute
+// certificate.
+func (t *TBS) Privileges() ifc.Privileges {
+	return ifc.Privileges{
+		AddSecrecy:      t.PrivAddSecrecy,
+		RemoveSecrecy:   t.PrivRemoveSecrecy,
+		AddIntegrity:    t.PrivAddIntegrity,
+		RemoveIntegrity: t.PrivRemoveIntegrity,
+	}
+}
+
+// A Certificate is a signed TBS.
+type Certificate struct {
+	TBS       TBS    `json:"tbs"`
+	Signature []byte `json:"sig"`
+}
+
+// encodeTBS produces the deterministic byte representation that is signed.
+// encoding/json marshals struct fields in declaration order, which makes
+// the encoding canonical for our purposes.
+func encodeTBS(t *TBS) ([]byte, error) {
+	b, err := json.Marshal(t)
+	if err != nil {
+		return nil, fmt.Errorf("pki: encode tbs: %w", err)
+	}
+	return b, nil
+}
+
+// VerifySignature checks the certificate's signature against the issuer's
+// public key.
+func (c *Certificate) VerifySignature(issuerKey ed25519.PublicKey) error {
+	body, err := encodeTBS(&c.TBS)
+	if err != nil {
+		return err
+	}
+	if !ed25519.Verify(issuerKey, body, c.Signature) {
+		return fmt.Errorf("%w: cert serial %d subject %q", ErrBadSignature, c.TBS.Serial, c.TBS.Subject)
+	}
+	return nil
+}
+
+// ValidAt checks the certificate's validity window.
+func (c *Certificate) ValidAt(at time.Time) error {
+	if at.Before(c.TBS.NotBefore) || at.After(c.TBS.NotAfter) {
+		return fmt.Errorf("%w: serial %d valid %s..%s, checked at %s",
+			ErrExpired, c.TBS.Serial,
+			c.TBS.NotBefore.Format(time.RFC3339), c.TBS.NotAfter.Format(time.RFC3339),
+			at.Format(time.RFC3339))
+	}
+	return nil
+}
+
+// Marshal serialises the certificate for transport.
+func (c *Certificate) Marshal() ([]byte, error) {
+	return json.Marshal(c)
+}
+
+// UnmarshalCertificate parses a serialised certificate.
+func UnmarshalCertificate(b []byte) (*Certificate, error) {
+	var c Certificate
+	if err := json.Unmarshal(b, &c); err != nil {
+		return nil, fmt.Errorf("pki: parse certificate: %w", err)
+	}
+	return &c, nil
+}

@@ -1,0 +1,309 @@
+package pki
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"lciot/internal/ifc"
+)
+
+// newHierarchy builds root CA → hospital CA (intermediate) and returns
+// both plus the root's verify options.
+func newHierarchy(t *testing.T) (root, hospital *Authority, opts VerifyOptions) {
+	t.Helper()
+	root, err := NewAuthority("root-ca")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.SelfSign(24 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	hospital, err = NewAuthority("hospital-ca")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.IssueIntermediate(hospital, 0, 24*time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	opts = VerifyOptions{Roots: map[ifc.PrincipalID][]byte{"root-ca": root.PublicKey()}}
+	return root, hospital, opts
+}
+
+func TestIdentityChainVerification(t *testing.T) {
+	_, hospital, opts := newHierarchy(t)
+
+	device, err := GenerateKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := hospital.IssueIdentity("ann-device", device.Public, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tbs, err := VerifyChain([]*Certificate{leaf, hospital.Certificate()}, opts)
+	if err != nil {
+		t.Fatalf("chain verification failed: %v", err)
+	}
+	if tbs.Subject != "ann-device" {
+		t.Fatalf("leaf subject = %q", tbs.Subject)
+	}
+}
+
+func TestChainRejectsTamperedCertificate(t *testing.T) {
+	_, hospital, opts := newHierarchy(t)
+	device, err := GenerateKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := hospital.IssueIdentity("ann-device", device.Public, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf.TBS.Subject = "mallory-device" // tamper
+
+	_, err = VerifyChain([]*Certificate{leaf, hospital.Certificate()}, opts)
+	if !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("tampered chain = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestChainRejectsExpired(t *testing.T) {
+	_, hospital, opts := newHierarchy(t)
+	device, err := GenerateKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := hospital.IssueIdentity("d", device.Public, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.At = time.Now().Add(48 * time.Hour)
+	if _, err := VerifyChain([]*Certificate{leaf, hospital.Certificate()}, opts); !errors.Is(err, ErrExpired) {
+		t.Fatalf("expired chain = %v, want ErrExpired", err)
+	}
+}
+
+func TestChainRejectsUnknownRoot(t *testing.T) {
+	_, hospital, _ := newHierarchy(t)
+	device, err := GenerateKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := hospital.IssueIdentity("d", device.Public, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := VerifyOptions{Roots: map[ifc.PrincipalID][]byte{}}
+	if _, err := VerifyChain([]*Certificate{leaf, hospital.Certificate()}, opts); !errors.Is(err, ErrUntrusted) {
+		t.Fatalf("unknown root = %v, want ErrUntrusted", err)
+	}
+	if _, err := VerifyChain(nil, opts); !errors.Is(err, ErrUntrusted) {
+		t.Fatalf("empty chain = %v, want ErrUntrusted", err)
+	}
+}
+
+func TestChainRejectsNonCAIssuer(t *testing.T) {
+	root, _, opts := newHierarchy(t)
+	// A leaf (non-CA) pretending to be an issuer.
+	imposterKeys, err := GenerateKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	imposterCert, err := root.IssueIdentity("imposter", imposterKeys.Public, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := &Certificate{TBS: TBS{
+		Kind: KindIdentity, Subject: "victim", Issuer: "imposter",
+		NotBefore: time.Now().Add(-time.Minute), NotAfter: time.Now().Add(time.Hour),
+	}}
+	body, err := encodeTBS(&victim.TBS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim.Signature = imposterKeys.Sign(body)
+
+	if _, err := VerifyChain([]*Certificate{victim, imposterCert}, opts); !errors.Is(err, ErrNotCA) {
+		t.Fatalf("non-CA issuer = %v, want ErrNotCA", err)
+	}
+}
+
+func TestChainPathLenConstraint(t *testing.T) {
+	root, hospital, opts := newHierarchy(t) // hospital has MaxPathLen 0
+	_ = root
+
+	ward, err := NewAuthority("ward-ca")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hospital.IssueIntermediate(ward, 0, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	device, err := GenerateKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := ward.IssueIdentity("d", device.Public, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// hospital allows 0 CAs below it, but ward sits below it in the chain.
+	chain := []*Certificate{leaf, ward.Certificate(), hospital.Certificate()}
+	if _, err := VerifyChain(chain, opts); !errors.Is(err, ErrPathLen) {
+		t.Fatalf("over-deep chain = %v, want ErrPathLen", err)
+	}
+}
+
+func TestRevocation(t *testing.T) {
+	_, hospital, opts := newHierarchy(t)
+	device, err := GenerateKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := hospital.IssueIdentity("d", device.Public, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hospital.Revoke(leaf.TBS.Serial)
+	opts.CheckRevocation = func(issuer ifc.PrincipalID, serial uint64) bool {
+		return issuer == "hospital-ca" && hospital.IsRevoked(serial)
+	}
+	if _, err := VerifyChain([]*Certificate{leaf, hospital.Certificate()}, opts); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("revoked chain = %v, want ErrRevoked", err)
+	}
+	if !hospital.IsRevoked(leaf.TBS.Serial) {
+		t.Fatal("IsRevoked = false after Revoke")
+	}
+}
+
+func TestAttributeCertificateCarriesPrivileges(t *testing.T) {
+	_, hospital, opts := newHierarchy(t)
+	privs := ifc.Privileges{
+		RemoveSecrecy: ifc.MustLabel("ann", "zeb"),
+		AddIntegrity:  ifc.MustLabel("anon"),
+	}
+	cert, err := hospital.IssueAttributes("stats-generator",
+		map[string]string{"role": "declassifier"}, privs, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbs, err := VerifyChain([]*Certificate{cert, hospital.Certificate()}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbs.Kind != KindAttribute {
+		t.Fatalf("kind = %v", tbs.Kind)
+	}
+	if got := tbs.Privileges(); !got.Equal(privs) {
+		t.Fatalf("privileges = %v, want %v", got, privs)
+	}
+	if tbs.Attributes["role"] != "declassifier" {
+		t.Fatalf("attributes = %v", tbs.Attributes)
+	}
+}
+
+func TestCertificateMarshalRoundTrip(t *testing.T) {
+	_, hospital, _ := newHierarchy(t)
+	cert, err := hospital.IssueAttributes("svc", map[string]string{"role": "nurse", "ward": "a"},
+		ifc.Privileges{AddSecrecy: ifc.MustLabel("medical")}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cert.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalCertificate(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Signature must still verify after the round trip (encoding is canonical).
+	if err := back.VerifySignature(hospital.PublicKey()); err != nil {
+		t.Fatalf("round-tripped signature invalid: %v", err)
+	}
+	if back.TBS.Attributes["ward"] != "a" {
+		t.Fatalf("attributes lost: %v", back.TBS.Attributes)
+	}
+	if _, err := UnmarshalCertificate([]byte("{garbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestCertKindString(t *testing.T) {
+	if KindIdentity.String() != "identity" || KindAttribute.String() != "attribute" {
+		t.Fatal("kind strings wrong")
+	}
+	if CertKind(9).String() != "CertKind(9)" {
+		t.Fatal("unknown kind string wrong")
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	k, err := GenerateKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Fingerprint() != Fingerprint(k.Public) {
+		t.Fatal("fingerprint mismatch")
+	}
+	if len(k.Fingerprint()) != 16 {
+		t.Fatalf("fingerprint length = %d", len(k.Fingerprint()))
+	}
+}
+
+func TestWebOfTrust(t *testing.T) {
+	var w WebOfTrust
+	// alice -> bob -> carol -> dave
+	w.Endorse("alice", "bob")
+	w.Endorse("bob", "carol")
+	w.Endorse("carol", "dave")
+
+	tests := []struct {
+		verifier, subject ifc.PrincipalID
+		depth             int
+		want              bool
+	}{
+		{"alice", "alice", 0, true}, // self-trust
+		{"alice", "bob", 1, true},
+		{"alice", "carol", 1, false},
+		{"alice", "carol", 2, true},
+		{"alice", "dave", 2, false},
+		{"alice", "dave", 3, true},
+		{"dave", "alice", 3, false}, // endorsement is directed
+	}
+	for _, tt := range tests {
+		if got := w.Trusts(tt.verifier, tt.subject, tt.depth); got != tt.want {
+			t.Errorf("Trusts(%s, %s, %d) = %v, want %v", tt.verifier, tt.subject, tt.depth, got, tt.want)
+		}
+	}
+
+	w.Retract("bob", "carol")
+	if w.Trusts("alice", "carol", 5) {
+		t.Error("retracted endorsement still trusted")
+	}
+}
+
+func TestWebOfTrustPathCount(t *testing.T) {
+	var w WebOfTrust
+	w.Endorse("alice", "x")
+	w.Endorse("alice", "y")
+	w.Endorse("x", "target")
+	w.Endorse("y", "target")
+	if got := w.PathCount("alice", "target", 2); got != 2 {
+		t.Fatalf("PathCount = %d, want 2", got)
+	}
+	if got := w.PathCount("alice", "target", 1); got != 0 {
+		t.Fatalf("PathCount depth 1 = %d, want 0", got)
+	}
+}
+
+func TestWebOfTrustCycleTermination(t *testing.T) {
+	var w WebOfTrust
+	w.Endorse("a", "b")
+	w.Endorse("b", "a")
+	if w.Trusts("a", "zzz", 100) {
+		t.Fatal("phantom trust in cyclic graph")
+	}
+}

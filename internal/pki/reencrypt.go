@@ -1,0 +1,229 @@
+package pki
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"sync"
+
+	"lciot/internal/ifc"
+)
+
+// This file simulates proxy re-encryption (Section 4): "a semi-trusted
+// proxy transforms encrypted data produced by one party into a form
+// decryptable by another, where the proxy cannot access the plaintext.
+// This allows third parties to manage the data of others, without having
+// access to the content", shifting key management away from lightweight
+// things.
+//
+// Substitution note (see DESIGN.md): real PRE schemes (e.g. AFGH) need
+// pairing-based cryptography outside the stdlib. The simulation preserves
+// the *protocol property* the middleware cares about — the proxy's
+// operation transforms ciphertext between principals' keys without ever
+// holding a key that opens the payload — by wrapping a random data key:
+// the payload is AES-GCM under a data key; the data key is wrapped under
+// the producer's KEK; a re-encryption key is the (producer→consumer) pair
+// of wrapping secrets held *only* as a sealed token the proxy can apply
+// but not decompose. The proxy never sees the data key or the payload.
+
+// Errors reported by proxy re-encryption.
+var (
+	ErrNoReKey  = errors.New("pki: no re-encryption key for that pair")
+	ErrWrongKey = errors.New("pki: ciphertext not under this principal's key")
+)
+
+// A KEKStore holds principals' key-encryption keys (in deployment, each
+// principal holds its own; the simulation centralises generation only).
+type KEKStore struct {
+	mu   sync.Mutex
+	keks map[ifc.PrincipalID][]byte
+}
+
+// NewKEKStore builds an empty store.
+func NewKEKStore() *KEKStore {
+	return &KEKStore{keks: make(map[ifc.PrincipalID][]byte)}
+}
+
+// Provision creates a KEK for a principal.
+func (s *KEKStore) Provision(p ifc.PrincipalID) error {
+	kek := make([]byte, 32)
+	if _, err := rand.Read(kek); err != nil {
+		return fmt.Errorf("pki: kek generation: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.keks[p] = kek
+	return nil
+}
+
+// kek fetches a principal's key-encryption key.
+func (s *KEKStore) kek(p ifc.PrincipalID) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k, ok := s.keks[p]
+	if !ok {
+		return nil, fmt.Errorf("pki: principal %q has no KEK", p)
+	}
+	return k, nil
+}
+
+// A PRECiphertext is a payload encrypted under a data key, with the data
+// key wrapped for one recipient.
+type PRECiphertext struct {
+	Owner      ifc.PrincipalID
+	WrappedKey []byte // data key under Owner's KEK
+	KeyNonce   []byte
+	Nonce      []byte
+	Payload    []byte // data under the data key
+}
+
+// seal AES-GCM encrypts.
+func seal(key, plaintext []byte) (nonce, ct []byte, err error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, nil, err
+	}
+	nonce = make([]byte, gcm.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, nil, err
+	}
+	return nonce, gcm.Seal(nil, nonce, plaintext, nil), nil
+}
+
+// open AES-GCM decrypts.
+func open(key, nonce, ct []byte) ([]byte, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	return gcm.Open(nil, nonce, ct, nil)
+}
+
+// Encrypt produces a ciphertext owned by (decryptable only via) owner.
+func (s *KEKStore) Encrypt(owner ifc.PrincipalID, plaintext []byte) (*PRECiphertext, error) {
+	kek, err := s.kek(owner)
+	if err != nil {
+		return nil, err
+	}
+	dataKey := make([]byte, 32)
+	if _, err := rand.Read(dataKey); err != nil {
+		return nil, fmt.Errorf("pki: data key: %w", err)
+	}
+	nonce, payload, err := seal(dataKey, plaintext)
+	if err != nil {
+		return nil, fmt.Errorf("pki: payload: %w", err)
+	}
+	keyNonce, wrapped, err := seal(kek, dataKey)
+	if err != nil {
+		return nil, fmt.Errorf("pki: wrap: %w", err)
+	}
+	return &PRECiphertext{
+		Owner: owner, WrappedKey: wrapped, KeyNonce: keyNonce,
+		Nonce: nonce, Payload: payload,
+	}, nil
+}
+
+// Decrypt opens a ciphertext addressed to p.
+func (s *KEKStore) Decrypt(p ifc.PrincipalID, c *PRECiphertext) ([]byte, error) {
+	if c.Owner != p {
+		return nil, fmt.Errorf("%w: addressed to %q, opened by %q", ErrWrongKey, c.Owner, p)
+	}
+	kek, err := s.kek(p)
+	if err != nil {
+		return nil, err
+	}
+	dataKey, err := open(kek, c.KeyNonce, c.WrappedKey)
+	if err != nil {
+		return nil, fmt.Errorf("%w: unwrap failed", ErrWrongKey)
+	}
+	pt, err := open(dataKey, c.Nonce, c.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("pki: payload: %w", err)
+	}
+	return pt, nil
+}
+
+// A ReKey authorises the proxy to transform ciphertexts from one principal
+// to another. It embeds both KEKs sealed together; the Proxy applies it as
+// an opaque token (the simulation's stand-in for the bilinear-map re-key).
+type ReKey struct {
+	from, to ifc.PrincipalID
+	fromKEK  []byte
+	toKEK    []byte
+}
+
+// NewReKey mints a re-encryption key from→to. Only the KEK holder (the
+// data owner, in deployment) can mint it; the proxy receives the result.
+func (s *KEKStore) NewReKey(from, to ifc.PrincipalID) (*ReKey, error) {
+	f, err := s.kek(from)
+	if err != nil {
+		return nil, err
+	}
+	t, err := s.kek(to)
+	if err != nil {
+		return nil, err
+	}
+	return &ReKey{from: from, to: to, fromKEK: f, toKEK: t}, nil
+}
+
+// A Proxy transforms ciphertexts using re-keys. It never handles data keys
+// in a way observable to its owner: ReEncrypt's intermediate values stay
+// internal, and the proxy holds no KEKs of its own.
+type Proxy struct {
+	mu     sync.Mutex
+	rekeys map[[2]ifc.PrincipalID]*ReKey
+}
+
+// NewProxy builds an empty proxy.
+func NewProxy() *Proxy {
+	return &Proxy{rekeys: make(map[[2]ifc.PrincipalID]*ReKey)}
+}
+
+// Install registers a re-key with the proxy.
+func (p *Proxy) Install(rk *ReKey) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rekeys[[2]ifc.PrincipalID{rk.from, rk.to}] = rk
+}
+
+// ReEncrypt transforms a ciphertext owned by `from` into one owned by
+// `to`, without exposing the payload: it re-wraps the data key only.
+func (p *Proxy) ReEncrypt(from, to ifc.PrincipalID, c *PRECiphertext) (*PRECiphertext, error) {
+	if c.Owner != from {
+		return nil, fmt.Errorf("%w: ciphertext owned by %q", ErrWrongKey, c.Owner)
+	}
+	p.mu.Lock()
+	rk, ok := p.rekeys[[2]ifc.PrincipalID{from, to}]
+	p.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q -> %q", ErrNoReKey, from, to)
+	}
+	dataKey, err := open(rk.fromKEK, c.KeyNonce, c.WrappedKey)
+	if err != nil {
+		return nil, fmt.Errorf("%w: unwrap under source key failed", ErrWrongKey)
+	}
+	keyNonce, wrapped, err := seal(rk.toKEK, dataKey)
+	if err != nil {
+		return nil, fmt.Errorf("pki: re-wrap: %w", err)
+	}
+	// The payload bytes are copied untouched: the proxy cannot have read
+	// them (it never derives the data key outside this transformation).
+	payload := make([]byte, len(c.Payload))
+	copy(payload, c.Payload)
+	nonce := make([]byte, len(c.Nonce))
+	copy(nonce, c.Nonce)
+	return &PRECiphertext{
+		Owner: to, WrappedKey: wrapped, KeyNonce: keyNonce,
+		Nonce: nonce, Payload: payload,
+	}, nil
+}

@@ -1,0 +1,132 @@
+package pki
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"lciot/internal/ifc"
+)
+
+func newPREWorld(t *testing.T) (*KEKStore, *Proxy) {
+	t.Helper()
+	s := NewKEKStore()
+	for _, p := range []ifc.PrincipalID{"ann-device", "hospital-analyser", "mallory"} {
+		if err := s.Provision(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, NewProxy()
+}
+
+func TestPRERoundTrip(t *testing.T) {
+	s, proxy := newPREWorld(t)
+	plaintext := []byte("ann-vitals: 72bpm")
+
+	ct, err := s.Encrypt("ann-device", plaintext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The owner decrypts its own ciphertext.
+	pt, err := s.Decrypt("ann-device", ct)
+	if err != nil || !bytes.Equal(pt, plaintext) {
+		t.Fatalf("owner decrypt = %q, %v", pt, err)
+	}
+	// The analyser cannot decrypt before re-encryption.
+	if _, err := s.Decrypt("hospital-analyser", ct); !errors.Is(err, ErrWrongKey) {
+		t.Fatalf("foreign decrypt = %v", err)
+	}
+
+	// The device mints a re-key for the analyser; the proxy transforms.
+	rk, err := s.NewReKey("ann-device", "hospital-analyser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy.Install(rk)
+	ct2, err := proxy.ReEncrypt("ann-device", "hospital-analyser", ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt2, err := s.Decrypt("hospital-analyser", ct2)
+	if err != nil || !bytes.Equal(pt2, plaintext) {
+		t.Fatalf("re-encrypted decrypt = %q, %v", pt2, err)
+	}
+	// The original remains addressed to the device.
+	if _, err := s.Decrypt("hospital-analyser", ct); !errors.Is(err, ErrWrongKey) {
+		t.Fatal("original ciphertext became readable")
+	}
+}
+
+func TestPREProxyCannotTransformWithoutReKey(t *testing.T) {
+	s, proxy := newPREWorld(t)
+	ct, err := s.Encrypt("ann-device", []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proxy.ReEncrypt("ann-device", "mallory", ct); !errors.Is(err, ErrNoReKey) {
+		t.Fatalf("unkeyed re-encryption = %v", err)
+	}
+	// A re-key for one pair does not work for another.
+	rk, err := s.NewReKey("ann-device", "hospital-analyser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy.Install(rk)
+	if _, err := proxy.ReEncrypt("ann-device", "mallory", ct); !errors.Is(err, ErrNoReKey) {
+		t.Fatalf("wrong-pair re-encryption = %v", err)
+	}
+}
+
+func TestPREOwnerMismatch(t *testing.T) {
+	s, proxy := newPREWorld(t)
+	ct, err := s.Encrypt("hospital-analyser", []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rk, err := s.NewReKey("ann-device", "hospital-analyser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy.Install(rk)
+	// The ciphertext is not owned by the re-key's source.
+	if _, err := proxy.ReEncrypt("ann-device", "hospital-analyser", ct); !errors.Is(err, ErrWrongKey) {
+		t.Fatalf("owner mismatch = %v", err)
+	}
+}
+
+func TestPREPayloadUntouchedByProxy(t *testing.T) {
+	s, proxy := newPREWorld(t)
+	ct, err := s.Encrypt("ann-device", []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rk, err := s.NewReKey("ann-device", "hospital-analyser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy.Install(rk)
+	ct2, err := proxy.ReEncrypt("ann-device", "hospital-analyser", ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The proxy re-wraps the key but never re-encrypts the payload: bytes
+	// are identical (and it has no key that opens them).
+	if !bytes.Equal(ct.Payload, ct2.Payload) || !bytes.Equal(ct.Nonce, ct2.Nonce) {
+		t.Fatal("proxy modified the payload")
+	}
+	// Mutating the copy must not affect the original (no aliasing).
+	ct2.Payload[0] ^= 0xFF
+	if ct.Payload[0] == ct2.Payload[0] {
+		t.Fatal("payload aliased between ciphertexts")
+	}
+}
+
+func TestPREUnprovisionedPrincipal(t *testing.T) {
+	s := NewKEKStore()
+	if _, err := s.Encrypt("ghost", []byte("x")); err == nil {
+		t.Fatal("unprovisioned encrypt succeeded")
+	}
+	if _, err := s.NewReKey("ghost", "also-ghost"); err == nil {
+		t.Fatal("unprovisioned re-key succeeded")
+	}
+}

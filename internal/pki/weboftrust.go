@@ -1,0 +1,92 @@
+package pki
+
+import (
+	"sync"
+
+	"lciot/internal/ifc"
+)
+
+// WebOfTrust implements the paper's decentralised alternative to a central
+// CA (Section 4): principals endorse each other's keys, and a key is
+// trusted if enough endorsement paths of bounded length connect it to the
+// verifier. This supports ad hoc IoT federations where no global root
+// exists.
+//
+// The zero value is ready to use.
+type WebOfTrust struct {
+	mu sync.RWMutex
+	// endorsements[a][b] means a vouches for b's key.
+	endorsements map[ifc.PrincipalID]map[ifc.PrincipalID]struct{}
+}
+
+// Endorse records that endorser vouches for subject's key binding.
+func (w *WebOfTrust) Endorse(endorser, subject ifc.PrincipalID) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.endorsements == nil {
+		w.endorsements = make(map[ifc.PrincipalID]map[ifc.PrincipalID]struct{})
+	}
+	if w.endorsements[endorser] == nil {
+		w.endorsements[endorser] = make(map[ifc.PrincipalID]struct{})
+	}
+	w.endorsements[endorser][subject] = struct{}{}
+}
+
+// Retract removes an endorsement.
+func (w *WebOfTrust) Retract(endorser, subject ifc.PrincipalID) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delete(w.endorsements[endorser], subject)
+}
+
+// Trusts reports whether verifier can reach subject through at most
+// maxDepth endorsement hops. Depth 1 means a direct endorsement.
+func (w *WebOfTrust) Trusts(verifier, subject ifc.PrincipalID, maxDepth int) bool {
+	if verifier == subject {
+		return true
+	}
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+
+	frontier := []ifc.PrincipalID{verifier}
+	seen := map[ifc.PrincipalID]struct{}{verifier: {}}
+	for depth := 0; depth < maxDepth && len(frontier) > 0; depth++ {
+		var next []ifc.PrincipalID
+		for _, p := range frontier {
+			for endorsed := range w.endorsements[p] {
+				if endorsed == subject {
+					return true
+				}
+				if _, ok := seen[endorsed]; ok {
+					continue
+				}
+				seen[endorsed] = struct{}{}
+				next = append(next, endorsed)
+			}
+		}
+		frontier = next
+	}
+	return false
+}
+
+// PathCount returns the number of distinct endorsers of subject that
+// verifier trusts within maxDepth-1 hops; requiring PathCount >= k gives
+// k-redundant trust, resisting a single compromised endorser.
+func (w *WebOfTrust) PathCount(verifier, subject ifc.PrincipalID, maxDepth int) int {
+	w.mu.RLock()
+	endorsers := make([]ifc.PrincipalID, 0, 8)
+	for e, subjects := range w.endorsements {
+		if _, ok := subjects[subject]; ok {
+			endorsers = append(endorsers, e)
+		}
+	}
+	w.mu.RUnlock()
+
+	count := 0
+	for _, e := range endorsers {
+		if w.Trusts(verifier, e, maxDepth-1) {
+			count++
+		}
+	}
+	return count
+}

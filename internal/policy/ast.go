@@ -1,0 +1,344 @@
+package policy
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"lciot/internal/ctxmodel"
+	"lciot/internal/ifc"
+)
+
+// TriggerKind classifies what fires a rule.
+type TriggerKind int
+
+// Trigger kinds.
+const (
+	TriggerEvent TriggerKind = iota + 1
+	TriggerContext
+	TriggerTimer
+)
+
+// String implements fmt.Stringer.
+func (k TriggerKind) String() string {
+	switch k {
+	case TriggerEvent:
+		return "event"
+	case TriggerContext:
+		return "context"
+	case TriggerTimer:
+		return "timer"
+	default:
+		return fmt.Sprintf("TriggerKind(%d)", int(k))
+	}
+}
+
+// A Trigger states when a rule is considered.
+type Trigger struct {
+	Kind TriggerKind
+	// Pattern is the detection pattern name for TriggerEvent.
+	Pattern string
+	// Key is the context attribute for TriggerContext.
+	Key string
+	// Every is the period for TriggerTimer.
+	Every time.Duration
+}
+
+// A Rule is one ECA rule.
+type Rule struct {
+	Name     string
+	Priority int
+	Trigger  Trigger
+	// When is the optional guard; nil means always.
+	When Expr
+	// Do is the action list, in order.
+	Do []Action
+
+	// lastFired tracks timer rules (engine-internal).
+	lastFired time.Time
+}
+
+// A PolicySet is a parsed collection of rules.
+type PolicySet struct {
+	Rules []*Rule
+}
+
+// Expr is a boolean/value expression over the evaluation environment.
+type Expr interface {
+	// Eval computes the expression's value.
+	Eval(env *Env) (ctxmodel.Value, error)
+	// String renders source-like text.
+	String() string
+}
+
+// A Lit is a literal value.
+type Lit struct{ Val ctxmodel.Value }
+
+// Eval implements Expr.
+func (l *Lit) Eval(*Env) (ctxmodel.Value, error) { return l.Val, nil }
+
+// String implements Expr.
+func (l *Lit) String() string {
+	if l.Val.Kind == ctxmodel.KindString {
+		return fmt.Sprintf("%q", l.Val.Str)
+	}
+	return l.Val.String()
+}
+
+// A Path references environment data: "ctx.<key>" or "event.<field>".
+type Path struct {
+	Root  string // "ctx" or "event"
+	Field string
+}
+
+// Eval implements Expr.
+func (p *Path) Eval(env *Env) (ctxmodel.Value, error) { return env.lookup(p) }
+
+// String implements Expr.
+func (p *Path) String() string { return p.Root + "." + p.Field }
+
+// A Binary is a two-operand operation.
+type Binary struct {
+	Op   string // "==", "!=", "<", "<=", ">", ">=", "and", "or"
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (b *Binary) Eval(env *Env) (ctxmodel.Value, error) {
+	switch b.Op {
+	case "and", "or":
+		lv, err := evalBool(b.L, env)
+		if err != nil {
+			return ctxmodel.Value{}, err
+		}
+		// Short circuit.
+		if b.Op == "and" && !lv {
+			return ctxmodel.Bool(false), nil
+		}
+		if b.Op == "or" && lv {
+			return ctxmodel.Bool(true), nil
+		}
+		rv, err := evalBool(b.R, env)
+		if err != nil {
+			return ctxmodel.Value{}, err
+		}
+		return ctxmodel.Bool(rv), nil
+	}
+	lv, err := b.L.Eval(env)
+	if err != nil {
+		return ctxmodel.Value{}, err
+	}
+	rv, err := b.R.Eval(env)
+	if err != nil {
+		return ctxmodel.Value{}, err
+	}
+	switch b.Op {
+	case "==":
+		return ctxmodel.Bool(lv.Equal(rv)), nil
+	case "!=":
+		return ctxmodel.Bool(!lv.Equal(rv)), nil
+	case "<", "<=", ">", ">=":
+		if lv.Kind != ctxmodel.KindNumber || rv.Kind != ctxmodel.KindNumber {
+			return ctxmodel.Value{}, fmt.Errorf("policy: %s needs numbers, got %s and %s", b.Op, lv, rv)
+		}
+		switch b.Op {
+		case "<":
+			return ctxmodel.Bool(lv.Num < rv.Num), nil
+		case "<=":
+			return ctxmodel.Bool(lv.Num <= rv.Num), nil
+		case ">":
+			return ctxmodel.Bool(lv.Num > rv.Num), nil
+		default:
+			return ctxmodel.Bool(lv.Num >= rv.Num), nil
+		}
+	default:
+		return ctxmodel.Value{}, fmt.Errorf("policy: unknown operator %q", b.Op)
+	}
+}
+
+// String implements Expr.
+func (b *Binary) String() string {
+	return "(" + b.L.String() + " " + b.Op + " " + b.R.String() + ")"
+}
+
+// A Not negates a boolean expression.
+type Not struct{ X Expr }
+
+// Eval implements Expr.
+func (n *Not) Eval(env *Env) (ctxmodel.Value, error) {
+	v, err := evalBool(n.X, env)
+	if err != nil {
+		return ctxmodel.Value{}, err
+	}
+	return ctxmodel.Bool(!v), nil
+}
+
+// String implements Expr.
+func (n *Not) String() string { return "not " + n.X.String() }
+
+// evalBool evaluates an expression and requires a boolean result.
+func evalBool(e Expr, env *Env) (bool, error) {
+	v, err := e.Eval(env)
+	if err != nil {
+		return false, err
+	}
+	if v.Kind != ctxmodel.KindBool {
+		return false, fmt.Errorf("policy: expression %s is not boolean (got %s)", e, v)
+	}
+	return v.Bool, nil
+}
+
+// Action is a reconfiguration/management instruction the engine emits for
+// the middleware to execute.
+type Action interface {
+	isAction()
+	String() string
+}
+
+// AlertAction raises a notification (emergency services, an administrator).
+type AlertAction struct{ Message string }
+
+func (AlertAction) isAction()        {}
+func (a AlertAction) String() string { return fmt.Sprintf("alert %q", a.Message) }
+
+// ConnectAction instructs the middleware to establish a channel between two
+// components (third-party reconfiguration, Fig. 8).
+type ConnectAction struct{ From, To string }
+
+func (ConnectAction) isAction()        {}
+func (a ConnectAction) String() string { return fmt.Sprintf("connect %q -> %q", a.From, a.To) }
+
+// DisconnectAction tears a channel down.
+type DisconnectAction struct{ From, To string }
+
+func (DisconnectAction) isAction() {}
+func (a DisconnectAction) String() string {
+	return fmt.Sprintf("disconnect %q -> %q", a.From, a.To)
+}
+
+// SetContextAction changes a component's IFC security context.
+type SetContextAction struct {
+	Target string
+	Ctx    ifc.SecurityContext
+}
+
+func (SetContextAction) isAction() {}
+func (a SetContextAction) String() string {
+	return fmt.Sprintf("setcontext %q %s", a.Target, a.Ctx)
+}
+
+// GrantAction passes IFC privileges to a component.
+type GrantAction struct {
+	Target string
+	Privs  ifc.Privileges
+}
+
+func (GrantAction) isAction()        {}
+func (a GrantAction) String() string { return fmt.Sprintf("grant %q %s", a.Target, a.Privs) }
+
+// SetCtxAction updates a context attribute (feedback into the context
+// store, e.g. set emergency = true).
+type SetCtxAction struct {
+	Key   string
+	Value ctxmodel.Value
+}
+
+func (SetCtxAction) isAction()        {}
+func (a SetCtxAction) String() string { return fmt.Sprintf("set %s = %s", a.Key, a.Value) }
+
+// BreakGlassAction opens an audited override window for the given duration;
+// temporary actions executed during the window are reverted at expiry.
+type BreakGlassAction struct{ For time.Duration }
+
+func (BreakGlassAction) isAction()        {}
+func (a BreakGlassAction) String() string { return fmt.Sprintf("breakglass %s", a.For) }
+
+// QuarantineAction isolates a rogue component: the middleware must cease
+// all its interactions (Section 5.2: "preventing a rogue 'thing' from
+// causing more damage").
+type QuarantineAction struct{ Target string }
+
+func (QuarantineAction) isAction()        {}
+func (a QuarantineAction) String() string { return fmt.Sprintf("quarantine %q", a.Target) }
+
+// ActuateAction issues an actuation command to a device (Concern 2), e.g.
+// changing a sensor's sampling interval in an emergency (Fig. 7).
+type ActuateAction struct {
+	Device  string
+	Command string
+	Value   float64
+}
+
+func (ActuateAction) isAction() {}
+func (a ActuateAction) String() string {
+	return fmt.Sprintf("actuate %q %q %g", a.Device, a.Command, a.Value)
+}
+
+// Env is the evaluation environment: a context snapshot plus the triggering
+// event's fields.
+type Env struct {
+	Ctx   ctxmodel.Snapshot
+	Event EventView
+}
+
+// EventView exposes the triggering detection to expressions.
+type EventView struct {
+	Pattern string
+	Source  string
+	Value   float64
+	Present bool
+}
+
+// lookup resolves a path against the environment.
+func (e *Env) lookup(p *Path) (ctxmodel.Value, error) {
+	switch p.Root {
+	case "ctx":
+		v, ok := e.Ctx.Get(p.Field)
+		if !ok {
+			return ctxmodel.Value{}, fmt.Errorf("policy: context attribute %q not set", p.Field)
+		}
+		return v, nil
+	case "event":
+		if !e.Event.Present {
+			return ctxmodel.Value{}, fmt.Errorf("policy: no event in scope for event.%s", p.Field)
+		}
+		switch p.Field {
+		case "pattern":
+			return ctxmodel.String(e.Event.Pattern), nil
+		case "source":
+			return ctxmodel.String(e.Event.Source), nil
+		case "value":
+			return ctxmodel.Number(e.Event.Value), nil
+		default:
+			return ctxmodel.Value{}, fmt.Errorf("policy: unknown event field %q", p.Field)
+		}
+	default:
+		return ctxmodel.Value{}, fmt.Errorf("policy: unknown path root %q", p.Root)
+	}
+}
+
+// String renders a rule back to (normalised) source.
+func (r *Rule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rule %q priority %d { on %s", r.Name, r.Priority, r.Trigger.Kind)
+	switch r.Trigger.Kind {
+	case TriggerEvent:
+		fmt.Fprintf(&b, " %q", r.Trigger.Pattern)
+	case TriggerContext:
+		fmt.Fprintf(&b, " %s", r.Trigger.Key)
+	case TriggerTimer:
+		fmt.Fprintf(&b, " %s", r.Trigger.Every)
+	}
+	if r.When != nil {
+		fmt.Fprintf(&b, " when %s", r.When)
+	}
+	b.WriteString(" do ")
+	for i, a := range r.Do {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(a.String())
+	}
+	b.WriteString(" }")
+	return b.String()
+}

@@ -1,0 +1,30 @@
+// Package policy implements the paper's policy plane (Sections 3.1, 5 and
+// 8.1): a small declarative language for Event-Condition-Action rules that
+// bind legal obligations and user preferences to enforcement mechanisms,
+// and an engine that evaluates them against context and event detections,
+// resolves conflicts between rules (Challenge 4), supports break-glass
+// overrides with automatic revert (Concern 6), and emits reconfiguration
+// actions for the middleware to execute (Fig. 8).
+//
+// The language, by example:
+//
+//	rule "emergency-response" priority 10 {
+//	    on event "tachycardia"
+//	    when ctx.location == "home" and not ctx.emergency
+//	    do
+//	        set emergency = true;
+//	        alert "emergency detected";
+//	        connect "ann-analyser" -> "emergency-service";
+//	        grant "ann-analyser" remove_secrecy {ann};
+//	        setcontext "doctor-app" S = {medical, ann} I = {};
+//	        actuate "ann-sensor" "sample-interval" 1;
+//	        breakglass 30m
+//	}
+//
+// Rules trigger on event detections (from package cep), on context-
+// attribute changes, or on timers. Conditions are boolean expressions over
+// the context snapshot (ctx.*) and the triggering event (event.*). Actions
+// are *descriptions* handed to an executor — the policy engine decides,
+// the middleware enforces, matching the paper's separation between policy
+// engines and the reconfiguration mechanism.
+package policy

@@ -1,0 +1,380 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"lciot/internal/cep"
+	"lciot/internal/ctxmodel"
+)
+
+// A Conflict records two rules prescribing incompatible actions for the
+// same resource in the same evaluation round (Challenge 4). The engine
+// resolves by priority — the loser's action is dropped — and reports the
+// conflict so operators can repair the policy set.
+type Conflict struct {
+	Resource string // e.g. `channel "a"->"b"`, `context emergency`
+	Winner   string // rule name
+	Loser    string
+	Dropped  Action
+}
+
+// String implements fmt.Stringer.
+func (c Conflict) String() string {
+	return fmt.Sprintf("conflict on %s: rule %q overrides %q (dropped: %s)",
+		c.Resource, c.Winner, c.Loser, c.Dropped)
+}
+
+// An Override is an active break-glass window.
+type Override struct {
+	Rule  string
+	Until time.Time
+	// reverts are executed when the window closes.
+	reverts []Action
+}
+
+// Engine evaluates a PolicySet against detections, context changes and
+// timers, and emits actions to an executor. It is safe for concurrent use.
+type Engine struct {
+	exec       func(Action) error
+	onConflict func(Conflict)
+	now        func() time.Time
+
+	mu       sync.Mutex
+	rules    []*Rule // sorted by descending priority, then name
+	store    *ctxmodel.Store
+	override *Override
+	// firedCount is per-rule observability.
+	firedCount map[string]uint64
+}
+
+// EngineOption configures an Engine.
+type EngineOption func(*Engine)
+
+// WithConflictHandler installs a conflict observer.
+func WithConflictHandler(fn func(Conflict)) EngineOption {
+	return func(e *Engine) { e.onConflict = fn }
+}
+
+// WithEngineClock overrides the engine clock (tests, simulation).
+func WithEngineClock(now func() time.Time) EngineOption {
+	return func(e *Engine) { e.now = now }
+}
+
+// NewEngine builds an engine over the given context store, delivering
+// actions to exec. A nil exec discards actions (useful for dry runs: the
+// conflict handler still sees everything).
+func NewEngine(store *ctxmodel.Store, exec func(Action) error, opts ...EngineOption) *Engine {
+	if exec == nil {
+		exec = func(Action) error { return nil }
+	}
+	e := &Engine{
+		exec:       exec,
+		now:        time.Now,
+		store:      store,
+		firedCount: make(map[string]uint64),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Load installs a policy set, replacing any previous rules. Rules are
+// ordered by descending priority; ties break by name for determinism.
+func (e *Engine) Load(set *PolicySet) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rules = append([]*Rule(nil), set.Rules...)
+	sort.SliceStable(e.rules, func(i, j int) bool {
+		if e.rules[i].Priority != e.rules[j].Priority {
+			return e.rules[i].Priority > e.rules[j].Priority
+		}
+		return e.rules[i].Name < e.rules[j].Name
+	})
+}
+
+// AddRules appends rules from another set, re-sorting.
+func (e *Engine) AddRules(set *PolicySet) {
+	e.mu.Lock()
+	rules := append(e.rules, set.Rules...)
+	e.mu.Unlock()
+	e.Load(&PolicySet{Rules: rules})
+}
+
+// RuleNames returns loaded rule names in evaluation order.
+func (e *Engine) RuleNames() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, len(e.rules))
+	for i, r := range e.rules {
+		out[i] = r.Name
+	}
+	return out
+}
+
+// FiredCount reports how often a rule has fired.
+func (e *Engine) FiredCount(rule string) uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.firedCount[rule]
+}
+
+// OverrideActive reports whether a break-glass window is currently open,
+// and which rule opened it. The middleware consults this when an otherwise
+// denied flow occurs: during an override it may permit the flow but must
+// audit it as a break-glass event.
+func (e *Engine) OverrideActive() (string, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.override != nil && e.now().Before(e.override.Until) {
+		return e.override.Rule, true
+	}
+	return "", false
+}
+
+// HandleDetection evaluates all rules triggered by the detection's pattern.
+func (e *Engine) HandleDetection(d cep.Detection) []Error {
+	env := &Env{
+		Ctx: e.snapshot(),
+		Event: EventView{
+			Pattern: d.Pattern,
+			Source:  eventSource(d),
+			Value:   d.Value,
+			Present: true,
+		},
+	}
+	return e.evaluate(func(r *Rule) bool {
+		return r.Trigger.Kind == TriggerEvent && r.Trigger.Pattern == d.Pattern
+	}, env)
+}
+
+// eventSource picks the source of the last contributing event.
+func eventSource(d cep.Detection) string {
+	if len(d.Events) == 0 {
+		return ""
+	}
+	return d.Events[len(d.Events)-1].Source
+}
+
+// HandleContextChange evaluates rules triggered by the changed attribute.
+func (e *Engine) HandleContextChange(ch ctxmodel.Change) []Error {
+	env := &Env{Ctx: e.snapshot()}
+	return e.evaluate(func(r *Rule) bool {
+		return r.Trigger.Kind == TriggerContext && r.Trigger.Key == ch.Key
+	}, env)
+}
+
+// Tick drives timer rules and break-glass expiry; call it periodically (the
+// middleware does) or manually in simulations.
+func (e *Engine) Tick() []Error {
+	now := e.now()
+
+	// Expire the override first so reverts land before new work.
+	var reverts []Action
+	e.mu.Lock()
+	if e.override != nil && !now.Before(e.override.Until) {
+		reverts = e.override.reverts
+		e.override = nil
+	}
+	e.mu.Unlock()
+	var errs []Error
+	for _, a := range reverts {
+		if err := e.exec(a); err != nil {
+			errs = append(errs, Error{Rule: "break-glass-revert", Action: a, Err: err})
+		}
+	}
+
+	env := &Env{Ctx: e.snapshot()}
+	errs = append(errs, e.evaluate(func(r *Rule) bool {
+		if r.Trigger.Kind != TriggerTimer {
+			return false
+		}
+		if !r.lastFired.IsZero() && now.Sub(r.lastFired) < r.Trigger.Every {
+			return false
+		}
+		return true
+	}, env)...)
+	return errs
+}
+
+// An Error reports a failed guard evaluation or action execution.
+type Error struct {
+	Rule   string
+	Action Action // nil for guard errors
+	Err    error
+}
+
+// Error implements error.
+func (e Error) Error() string {
+	if e.Action != nil {
+		return fmt.Sprintf("policy: rule %q action %s: %v", e.Rule, e.Action, e.Err)
+	}
+	return fmt.Sprintf("policy: rule %q: %v", e.Rule, e.Err)
+}
+
+// Unwrap exposes the underlying error.
+func (e Error) Unwrap() error { return e.Err }
+
+func (e *Engine) snapshot() ctxmodel.Snapshot {
+	if e.store == nil {
+		return ctxmodel.MakeSnapshot(nil)
+	}
+	return e.store.Snapshot()
+}
+
+// evaluate runs matching rules in priority order, collects their actions,
+// resolves conflicts, then executes the surviving actions in order.
+func (e *Engine) evaluate(match func(*Rule) bool, env *Env) []Error {
+	now := e.now()
+	var errs []Error
+
+	type pending struct {
+		rule   *Rule
+		action Action
+	}
+	var selected []pending
+
+	e.mu.Lock()
+	rules := e.rules
+	e.mu.Unlock()
+
+	for _, r := range rules {
+		if !match(r) {
+			continue
+		}
+		if r.When != nil {
+			ok, err := evalBool(r.When, env)
+			if err != nil {
+				errs = append(errs, Error{Rule: r.Name, Err: err})
+				continue
+			}
+			if !ok {
+				continue
+			}
+		}
+		e.mu.Lock()
+		r.lastFired = now
+		e.firedCount[r.Name]++
+		e.mu.Unlock()
+		for _, a := range r.Do {
+			selected = append(selected, pending{rule: r, action: a})
+		}
+	}
+
+	// Conflict resolution: first claim on a resource wins (rules are in
+	// priority order), later conflicting claims are dropped and reported.
+	claimed := make(map[string]pending)
+	var final []pending
+	for _, p := range selected {
+		res, val := resourceOf(p.action)
+		if res == "" {
+			final = append(final, p)
+			continue
+		}
+		if prior, ok := claimed[res]; ok {
+			_, priorVal := resourceOf(prior.action)
+			if priorVal != val {
+				c := Conflict{Resource: res, Winner: prior.rule.Name, Loser: p.rule.Name, Dropped: p.action}
+				if e.onConflict != nil {
+					e.onConflict(c)
+				}
+			}
+			continue // identical duplicate: silently deduplicate
+		}
+		claimed[res] = p
+		final = append(final, p)
+	}
+
+	// Open break-glass windows first, regardless of their position in the
+	// action list, so that temporary actions in the same round are recorded
+	// for revert.
+	for _, p := range final {
+		if bg, ok := p.action.(BreakGlassAction); ok {
+			e.openOverride(p.rule.Name, bg.For)
+		}
+	}
+	for _, p := range final {
+		if _, ok := p.action.(BreakGlassAction); ok {
+			continue
+		}
+		if err := e.exec(p.action); err != nil {
+			errs = append(errs, Error{Rule: p.rule.Name, Action: p.action, Err: err})
+			continue
+		}
+		e.recordRevert(p.action)
+		e.applyContextEffects(p.action)
+	}
+	return errs
+}
+
+// ResourceOf returns the resource an action contends for, or "" for
+// actions that never conflict (alerts, break-glass). Tooling uses it to
+// lint policy sets for potential conflicts without running them.
+func ResourceOf(a Action) string {
+	res, _ := resourceOf(a)
+	return res
+}
+
+// resourceOf maps an action to the contested resource and the claimed
+// value; actions with an empty resource never conflict (alerts).
+func resourceOf(a Action) (resource, value string) {
+	switch x := a.(type) {
+	case ConnectAction:
+		return fmt.Sprintf("channel %q->%q", x.From, x.To), "connect"
+	case DisconnectAction:
+		return fmt.Sprintf("channel %q->%q", x.From, x.To), "disconnect"
+	case SetContextAction:
+		return fmt.Sprintf("context-of %q", x.Target), x.Ctx.String()
+	case SetCtxAction:
+		return "attribute " + x.Key, x.Value.String()
+	case QuarantineAction:
+		return fmt.Sprintf("quarantine %q", x.Target), "quarantine"
+	case ActuateAction:
+		return fmt.Sprintf("actuator %q/%q", x.Device, x.Command), fmt.Sprintf("%g", x.Value)
+	default:
+		return "", ""
+	}
+}
+
+// openOverride starts (or extends) a break-glass window.
+func (e *Engine) openOverride(rule string, d time.Duration) {
+	until := e.now().Add(d)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.override == nil || until.After(e.override.Until) {
+		var reverts []Action
+		if e.override != nil {
+			reverts = e.override.reverts
+		}
+		e.override = &Override{Rule: rule, Until: until, reverts: reverts}
+	}
+}
+
+// recordRevert registers compensation for temporary actions executed during
+// an open break-glass window: connections made under the override are torn
+// down when it closes.
+func (e *Engine) recordRevert(a Action) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.override == nil || !e.now().Before(e.override.Until) {
+		return
+	}
+	switch x := a.(type) {
+	case ConnectAction:
+		e.override.reverts = append(e.override.reverts, DisconnectAction{From: x.From, To: x.To})
+	}
+}
+
+// applyContextEffects feeds "set" actions back into the context store so
+// subsequent guards observe them, closing the paper's feedback loop.
+func (e *Engine) applyContextEffects(a Action) {
+	if e.store == nil {
+		return
+	}
+	if x, ok := a.(SetCtxAction); ok {
+		e.store.Set(x.Key, x.Value)
+	}
+}

@@ -1,0 +1,354 @@
+package policy
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"lciot/internal/cep"
+	"lciot/internal/ctxmodel"
+)
+
+// testHarness bundles an engine with recorded actions and conflicts and a
+// controllable clock.
+type testHarness struct {
+	engine    *Engine
+	store     *ctxmodel.Store
+	actions   *[]Action
+	conflicts *[]Conflict
+	now       *time.Time
+}
+
+func newHarness(t *testing.T, src string) *testHarness {
+	t.Helper()
+	now := time.Unix(10000, 0)
+	var actions []Action
+	var conflicts []Conflict
+	store := ctxmodel.NewStore(func() time.Time { return now })
+	e := NewEngine(store,
+		func(a Action) error { actions = append(actions, a); return nil },
+		WithConflictHandler(func(c Conflict) { conflicts = append(conflicts, c) }),
+		WithEngineClock(func() time.Time { return now }),
+	)
+	e.Load(MustParse(src))
+	return &testHarness{engine: e, store: store, actions: &actions, conflicts: &conflicts, now: &now}
+}
+
+func detection(pattern string, value float64) cep.Detection {
+	return cep.Detection{
+		Pattern: pattern,
+		Value:   value,
+		Events:  []cep.Event{{Source: "ann-sensor", Value: value}},
+	}
+}
+
+func TestEngineFiresMatchingRule(t *testing.T) {
+	h := newHarness(t, `
+rule "emergency" {
+    on event "tachycardia"
+    when ctx.location == "home"
+    do alert "help"; actuate "ann-sensor" "sample-interval" 1
+}`)
+	h.store.Set("location", ctxmodel.String("home"))
+
+	if errs := h.engine.HandleDetection(detection("tachycardia", 150)); len(errs) != 0 {
+		t.Fatal(errs)
+	}
+	if len(*h.actions) != 2 {
+		t.Fatalf("actions = %v", *h.actions)
+	}
+	if a := (*h.actions)[1].(ActuateAction); a.Device != "ann-sensor" || a.Value != 1 {
+		t.Fatalf("actuate = %+v", a)
+	}
+	if h.engine.FiredCount("emergency") != 1 {
+		t.Fatal("fired count not recorded")
+	}
+}
+
+func TestEngineGuardBlocksRule(t *testing.T) {
+	h := newHarness(t, `
+rule "emergency" {
+    on event "tachycardia"
+    when ctx.location == "home"
+    do alert "help"
+}`)
+	h.store.Set("location", ctxmodel.String("work"))
+	if errs := h.engine.HandleDetection(detection("tachycardia", 150)); len(errs) != 0 {
+		t.Fatal(errs)
+	}
+	if len(*h.actions) != 0 {
+		t.Fatalf("guarded rule fired: %v", *h.actions)
+	}
+}
+
+func TestEnginePatternMismatchIgnored(t *testing.T) {
+	h := newHarness(t, `rule "r" { on event "a" do alert "x" }`)
+	h.engine.HandleDetection(detection("b", 0))
+	if len(*h.actions) != 0 {
+		t.Fatal("fired on wrong pattern")
+	}
+}
+
+func TestEngineEventFieldsInGuard(t *testing.T) {
+	h := newHarness(t, `
+rule "r" {
+    on event "hr"
+    when event.value > 100 and event.source == "ann-sensor"
+    do alert "high"
+}`)
+	h.engine.HandleDetection(detection("hr", 90))
+	if len(*h.actions) != 0 {
+		t.Fatal("fired below threshold")
+	}
+	h.engine.HandleDetection(detection("hr", 120))
+	if len(*h.actions) != 1 {
+		t.Fatal("did not fire above threshold")
+	}
+}
+
+func TestEngineGuardErrorReported(t *testing.T) {
+	h := newHarness(t, `rule "r" { on event "e" when ctx.missing == 1 do alert "x" }`)
+	errs := h.engine.HandleDetection(detection("e", 0))
+	if len(errs) != 1 {
+		t.Fatalf("errs = %v", errs)
+	}
+	if errs[0].Rule != "r" || errs[0].Action != nil {
+		t.Fatalf("error = %+v", errs[0])
+	}
+	var target Error
+	if !errors.As(error(errs[0]), &target) {
+		t.Fatal("Error type lost")
+	}
+}
+
+func TestEngineExecErrorReported(t *testing.T) {
+	now := time.Unix(1, 0)
+	boom := errors.New("executor down")
+	e := NewEngine(nil, func(Action) error { return boom },
+		WithEngineClock(func() time.Time { return now }))
+	e.Load(MustParse(`rule "r" { on event "e" do alert "x" }`))
+	errs := e.HandleDetection(detection("e", 0))
+	if len(errs) != 1 || !errors.Is(errs[0], boom) {
+		t.Fatalf("errs = %v", errs)
+	}
+}
+
+func TestEngineContextTrigger(t *testing.T) {
+	h := newHarness(t, `
+rule "shift-end" {
+    on context on-duty
+    when not ctx.on-duty
+    do disconnect "nurse-app" -> "patient-db"
+}`)
+	h.store.Set("on-duty", ctxmodel.Bool(false))
+	errs := h.engine.HandleContextChange(ctxmodel.Change{Key: "on-duty", New: ctxmodel.Bool(false)})
+	if len(errs) != 0 {
+		t.Fatal(errs)
+	}
+	if len(*h.actions) != 1 {
+		t.Fatalf("actions = %v", *h.actions)
+	}
+	if _, ok := (*h.actions)[0].(DisconnectAction); !ok {
+		t.Fatalf("action = %+v", (*h.actions)[0])
+	}
+}
+
+func TestEngineTimerTrigger(t *testing.T) {
+	h := newHarness(t, `rule "heartbeat" { on timer 5m do alert "still here" }`)
+
+	h.engine.Tick()
+	if len(*h.actions) != 1 {
+		t.Fatalf("first tick actions = %d", len(*h.actions))
+	}
+	// Before the period elapses, no re-fire.
+	*h.now = h.now.Add(2 * time.Minute)
+	h.engine.Tick()
+	if len(*h.actions) != 1 {
+		t.Fatal("timer re-fired early")
+	}
+	*h.now = h.now.Add(4 * time.Minute)
+	h.engine.Tick()
+	if len(*h.actions) != 2 {
+		t.Fatal("timer did not re-fire after period")
+	}
+}
+
+func TestEnginePriorityConflictResolution(t *testing.T) {
+	h := newHarness(t, `
+rule "lockdown" priority 1 {
+    on event "breach"
+    do disconnect "db" -> "analytics"
+}
+rule "emergency-open" priority 10 {
+    on event "breach"
+    do connect "db" -> "analytics"
+}`)
+	h.engine.HandleDetection(detection("breach", 0))
+
+	// The higher-priority rule wins; exactly one action executed.
+	if len(*h.actions) != 1 {
+		t.Fatalf("actions = %v", *h.actions)
+	}
+	if _, ok := (*h.actions)[0].(ConnectAction); !ok {
+		t.Fatalf("winner = %+v", (*h.actions)[0])
+	}
+	if len(*h.conflicts) != 1 {
+		t.Fatalf("conflicts = %v", *h.conflicts)
+	}
+	c := (*h.conflicts)[0]
+	if c.Winner != "emergency-open" || c.Loser != "lockdown" {
+		t.Fatalf("conflict = %+v", c)
+	}
+	if c.String() == "" {
+		t.Fatal("conflict must render")
+	}
+}
+
+func TestEngineEqualPriorityTieBreaksByName(t *testing.T) {
+	h := newHarness(t, `
+rule "b-rule" { on event "e" do set mode = "b" }
+rule "a-rule" { on event "e" do set mode = "a" }
+`)
+	h.engine.HandleDetection(detection("e", 0))
+	if len(*h.actions) != 1 {
+		t.Fatalf("actions = %v", *h.actions)
+	}
+	if a := (*h.actions)[0].(SetCtxAction); a.Value.Str != "a" {
+		t.Fatalf("tie-break winner = %v", a)
+	}
+	if len(*h.conflicts) != 1 {
+		t.Fatalf("conflicts = %d", len(*h.conflicts))
+	}
+}
+
+func TestEngineIdenticalActionsDeduplicated(t *testing.T) {
+	h := newHarness(t, `
+rule "r1" { on event "e" do connect "a" -> "b" }
+rule "r2" { on event "e" do connect "a" -> "b" }
+`)
+	h.engine.HandleDetection(detection("e", 0))
+	if len(*h.actions) != 1 {
+		t.Fatalf("duplicate executed: %v", *h.actions)
+	}
+	// Identical claims are not conflicts.
+	if len(*h.conflicts) != 0 {
+		t.Fatalf("spurious conflict: %v", *h.conflicts)
+	}
+}
+
+func TestEngineSetFeedsContextStore(t *testing.T) {
+	h := newHarness(t, `
+rule "first" { on event "e" when not ctx.emergency do set emergency = true; alert "once" }
+`)
+	h.store.Set("emergency", ctxmodel.Bool(false))
+	h.engine.HandleDetection(detection("e", 0))
+	h.engine.HandleDetection(detection("e", 0)) // guard now false
+
+	alerts := 0
+	for _, a := range *h.actions {
+		if _, ok := a.(AlertAction); ok {
+			alerts++
+		}
+	}
+	if alerts != 1 {
+		t.Fatalf("alerts = %d, want 1 (set must update context)", alerts)
+	}
+	v, _ := h.store.Get("emergency")
+	if !v.Bool {
+		t.Fatal("store not updated")
+	}
+}
+
+func TestEngineBreakGlassLifecycle(t *testing.T) {
+	h := newHarness(t, `
+rule "emergency" {
+    on event "crisis"
+    do breakglass 30m; connect "sensors" -> "emergency-team"
+}`)
+	h.engine.HandleDetection(detection("crisis", 0))
+
+	if rule, active := h.engine.OverrideActive(); !active || rule != "emergency" {
+		t.Fatalf("override = %q, %v", rule, active)
+	}
+	if len(*h.actions) != 1 {
+		t.Fatalf("actions = %v", *h.actions)
+	}
+
+	// Window still open 20 minutes later.
+	*h.now = h.now.Add(20 * time.Minute)
+	h.engine.Tick()
+	if _, active := h.engine.OverrideActive(); !active {
+		t.Fatal("override closed early")
+	}
+
+	// After expiry the connection is reverted.
+	*h.now = h.now.Add(11 * time.Minute)
+	h.engine.Tick()
+	if _, active := h.engine.OverrideActive(); active {
+		t.Fatal("override still open")
+	}
+	last := (*h.actions)[len(*h.actions)-1]
+	d, ok := last.(DisconnectAction)
+	if !ok || d.From != "sensors" || d.To != "emergency-team" {
+		t.Fatalf("revert action = %+v", last)
+	}
+}
+
+func TestEngineBreakGlassOrderIndependent(t *testing.T) {
+	// breakglass listed *after* connect must still capture the revert.
+	h := newHarness(t, `
+rule "emergency" {
+    on event "crisis"
+    do connect "a" -> "b"; breakglass 5m
+}`)
+	h.engine.HandleDetection(detection("crisis", 0))
+	*h.now = h.now.Add(6 * time.Minute)
+	h.engine.Tick()
+	last := (*h.actions)[len(*h.actions)-1]
+	if _, ok := last.(DisconnectAction); !ok {
+		t.Fatalf("revert missing, actions = %v", *h.actions)
+	}
+}
+
+func TestEngineAddRulesAndNames(t *testing.T) {
+	h := newHarness(t, `rule "low" priority 1 { on event "e" do alert "l" }`)
+	h.engine.AddRules(MustParse(`rule "high" priority 9 { on event "e" do alert "h" }`))
+	names := h.engine.RuleNames()
+	if len(names) != 2 || names[0] != "high" || names[1] != "low" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestEngineNilExecAndStore(t *testing.T) {
+	e := NewEngine(nil, nil)
+	e.Load(MustParse(`rule "r" { on event "e" do alert "x" }`))
+	if errs := e.HandleDetection(detection("e", 0)); len(errs) != 0 {
+		t.Fatal(errs)
+	}
+}
+
+func TestTriggerKindString(t *testing.T) {
+	if TriggerEvent.String() != "event" || TriggerContext.String() != "context" || TriggerTimer.String() != "timer" {
+		t.Fatal("trigger kind strings")
+	}
+	if TriggerKind(9).String() != "TriggerKind(9)" {
+		t.Fatal("unknown trigger kind")
+	}
+}
+
+func TestActionStrings(t *testing.T) {
+	actions := []Action{
+		AlertAction{Message: "m"},
+		ConnectAction{From: "a", To: "b"},
+		DisconnectAction{From: "a", To: "b"},
+		SetCtxAction{Key: "k", Value: ctxmodel.Bool(true)},
+		BreakGlassAction{For: time.Minute},
+		QuarantineAction{Target: "t"},
+		ActuateAction{Device: "d", Command: "c", Value: 2},
+	}
+	for _, a := range actions {
+		if a.String() == "" {
+			t.Errorf("%T renders empty", a)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+
+	"lciot/internal/ctxmodel"
+)
+
+// evalGuard parses a guard expression (wrapped in a throwaway rule) and
+// evaluates it against the environment.
+func evalGuard(t *testing.T, expr string, env *Env) (bool, error) {
+	t.Helper()
+	set, err := Parse(`rule "r" { on event "e" when ` + expr + ` do alert "x" }`)
+	if err != nil {
+		t.Fatalf("parse %q: %v", expr, err)
+	}
+	v, err := set.Rules[0].When.Eval(env)
+	if err != nil {
+		return false, err
+	}
+	if v.Kind != ctxmodel.KindBool {
+		t.Fatalf("%q evaluated to non-boolean %v", expr, v)
+	}
+	return v.Bool, nil
+}
+
+func testEnv() *Env {
+	return &Env{
+		Ctx: ctxmodel.MakeSnapshot(map[string]ctxmodel.Value{
+			"location":   ctxmodel.String("home"),
+			"heart-rate": ctxmodel.Number(72),
+			"emergency":  ctxmodel.Bool(false),
+		}),
+		Event: EventView{Pattern: "hr", Source: "ann-sensor", Value: 130, Present: true},
+	}
+}
+
+func TestExpressionEvaluationTable(t *testing.T) {
+	tests := []struct {
+		expr string
+		want bool
+	}{
+		{`ctx.location == "home"`, true},
+		{`ctx.location != "home"`, false},
+		{`ctx.heart-rate > 70`, true},
+		{`ctx.heart-rate >= 72`, true},
+		{`ctx.heart-rate < 72`, false},
+		{`ctx.heart-rate <= 71`, false},
+		{`not ctx.emergency`, true},
+		{`ctx.emergency == false`, true},
+		{`event.value > 100`, true},
+		{`event.source == "ann-sensor"`, true},
+		{`event.pattern == "hr"`, true},
+		{`ctx.location == "home" and event.value > 100`, true},
+		{`ctx.location == "work" or event.value > 100`, true},
+		{`ctx.location == "work" and event.value > 100`, false},
+		{`not (ctx.location == "work" or ctx.emergency)`, true},
+		{`true`, true},
+		{`false or true`, true},
+		{`1 == 1`, true},
+		{`"a" != "b"`, true},
+		// Mixed-type equality is false, not an error.
+		{`ctx.heart-rate == "72"`, false},
+	}
+	env := testEnv()
+	for _, tt := range tests {
+		t.Run(tt.expr, func(t *testing.T) {
+			got, err := evalGuard(t, tt.expr, env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Fatalf("%q = %v, want %v", tt.expr, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestExpressionErrors(t *testing.T) {
+	env := testEnv()
+	tests := []struct {
+		expr     string
+		wantFrag string
+	}{
+		{`ctx.unknown == 1`, "not set"},
+		{`event.unknown == 1`, "unknown event field"},
+		{`ctx.location > 1`, "needs numbers"},
+		{`not ctx.location`, "not boolean"},
+		{`ctx.location and true`, "not boolean"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.expr, func(t *testing.T) {
+			_, err := evalGuard(t, tt.expr, env)
+			if err == nil || !strings.Contains(err.Error(), tt.wantFrag) {
+				t.Fatalf("error = %v, want fragment %q", err, tt.wantFrag)
+			}
+		})
+	}
+}
+
+func TestEventAccessWithoutEvent(t *testing.T) {
+	env := &Env{Ctx: ctxmodel.MakeSnapshot(nil)}
+	_, err := evalGuard(t, `event.value > 1`, env)
+	if err == nil || !strings.Contains(err.Error(), "no event in scope") {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestShortCircuitPreventsErrors(t *testing.T) {
+	env := testEnv()
+	// The right operand references a missing attribute, but short-circuit
+	// evaluation must never reach it.
+	got, err := evalGuard(t, `false and ctx.missing == 1`, env)
+	if err != nil || got {
+		t.Fatalf("and short-circuit: %v, %v", got, err)
+	}
+	got, err = evalGuard(t, `true or ctx.missing == 1`, env)
+	if err != nil || !got {
+		t.Fatalf("or short-circuit: %v, %v", got, err)
+	}
+}
+
+func TestDurationLiteralComparesAsSeconds(t *testing.T) {
+	env := &Env{Ctx: ctxmodel.MakeSnapshot(map[string]ctxmodel.Value{
+		"idle-seconds": ctxmodel.Number(3600),
+	})}
+	got, err := evalGuard(t, `ctx.idle-seconds >= 30m`, env)
+	if err != nil || !got {
+		t.Fatalf("duration compare: %v, %v", got, err)
+	}
+}

@@ -1,0 +1,160 @@
+package policy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota + 1
+	tokIdent
+	tokString
+	tokNumber
+	tokDuration
+	tokPunct // one of { } ( ) ; , = -> == != <= >= < > .
+)
+
+// A token is one lexeme with its source position (1-based line).
+type token struct {
+	kind tokenKind
+	text string
+	num  float64
+	dur  time.Duration
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return t.text
+	}
+}
+
+// A lexError carries the offending line.
+type lexError struct {
+	line int
+	msg  string
+}
+
+func (e *lexError) Error() string { return fmt.Sprintf("policy: line %d: %s", e.line, e.msg) }
+
+// lex tokenises policy source. Comments run from '#' to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '"':
+			j := i + 1
+			var sb strings.Builder
+			for j < n && src[j] != '"' {
+				if src[j] == '\n' {
+					return nil, &lexError{line, "unterminated string"}
+				}
+				if src[j] == '\\' && j+1 < n {
+					j++
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			if j >= n {
+				return nil, &lexError{line, "unterminated string"}
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), line: line})
+			i = j + 1
+		case c >= '0' && c <= '9' || (c == '-' && i+1 < n && src[i+1] >= '0' && src[i+1] <= '9'):
+			j := i
+			if c == '-' {
+				j++
+			}
+			for j < n && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
+				j++
+			}
+			numText := src[i:j]
+			// A trailing duration unit turns the number into a duration.
+			k := j
+			for k < n && (src[k] == 's' || src[k] == 'm' || src[k] == 'h' ||
+				src[k] == 'n' || src[k] == 'u') {
+				k++
+			}
+			if k > j {
+				d, err := time.ParseDuration(src[i:k])
+				if err != nil {
+					return nil, &lexError{line, fmt.Sprintf("bad duration %q", src[i:k])}
+				}
+				toks = append(toks, token{kind: tokDuration, text: src[i:k], dur: d, line: line})
+				i = k
+				continue
+			}
+			f, err := strconv.ParseFloat(numText, 64)
+			if err != nil {
+				return nil, &lexError{line, fmt.Sprintf("bad number %q", numText)}
+			}
+			toks = append(toks, token{kind: tokNumber, text: numText, num: f, line: line})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentPart(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: src[i:j], line: line})
+			i = j
+		default:
+			// Multi-char punctuation first.
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "->", "==", "!=", "<=", ">=":
+				toks = append(toks, token{kind: tokPunct, text: two, line: line})
+				i += 2
+				continue
+			}
+			switch c {
+			case '{', '}', '(', ')', ';', ',', '=', '<', '>', '.':
+				toks = append(toks, token{kind: tokPunct, text: string(c), line: line})
+				i++
+			default:
+				return nil, &lexError{line, fmt.Sprintf("unexpected character %q", string(c))}
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}
+
+// isIdentStart allows letters and underscore.
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+// isIdentPart additionally allows digits, '-', and '/' so that tag names
+// ("hosp-dev", "eu/personal-data") and context keys ("heart-rate") are
+// single identifiers. '.' is not an identifier character: paths like
+// ctx.location are three tokens.
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == '/'
+}

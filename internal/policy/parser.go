@@ -1,0 +1,487 @@
+package policy
+
+import (
+	"fmt"
+
+	"lciot/internal/ctxmodel"
+	"lciot/internal/ifc"
+)
+
+// Parse compiles policy source into a PolicySet.
+//
+// Grammar (see package documentation for an example):
+//
+//	policyset := rule*
+//	rule      := "rule" STRING ["priority" NUMBER] "{" trigger ["when" expr] "do" actions "}"
+//	trigger   := "on" "event" STRING | "on" "context" IDENT | "on" "timer" DURATION
+//	actions   := action (";" action)* [";"]
+func Parse(src string) (*PolicySet, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	set := &PolicySet{}
+	for !p.at(tokEOF) {
+		r, err := p.rule()
+		if err != nil {
+			return nil, err
+		}
+		set.Rules = append(set.Rules, r)
+	}
+	if len(set.Rules) == 0 {
+		return nil, fmt.Errorf("policy: no rules in source")
+	}
+	return set, nil
+}
+
+// MustParse is Parse for compile-time-constant sources in tests/examples.
+func MustParse(src string) *PolicySet {
+	set, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return set
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(k tokenKind) bool { return p.cur().kind == k }
+
+// atPunct reports whether the current token is the given punctuation.
+func (p *parser) atPunct(s string) bool {
+	return p.cur().kind == tokPunct && p.cur().text == s
+}
+
+// atKeyword reports whether the current token is the given identifier.
+func (p *parser) atKeyword(s string) bool {
+	return p.cur().kind == tokIdent && p.cur().text == s
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("policy: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+// expectKeyword consumes a specific identifier.
+func (p *parser) expectKeyword(s string) error {
+	if !p.atKeyword(s) {
+		return p.errf("expected %q, found %s", s, p.cur())
+	}
+	p.next()
+	return nil
+}
+
+// expectPunct consumes specific punctuation.
+func (p *parser) expectPunct(s string) error {
+	if !p.atPunct(s) {
+		return p.errf("expected %q, found %s", s, p.cur())
+	}
+	p.next()
+	return nil
+}
+
+// expectString consumes a string literal.
+func (p *parser) expectString() (string, error) {
+	if !p.at(tokString) {
+		return "", p.errf("expected string, found %s", p.cur())
+	}
+	return p.next().text, nil
+}
+
+// expectIdent consumes any identifier.
+func (p *parser) expectIdent() (string, error) {
+	if !p.at(tokIdent) {
+		return "", p.errf("expected identifier, found %s", p.cur())
+	}
+	return p.next().text, nil
+}
+
+func (p *parser) rule() (*Rule, error) {
+	if err := p.expectKeyword("rule"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectString()
+	if err != nil {
+		return nil, err
+	}
+	r := &Rule{Name: name}
+	if p.atKeyword("priority") {
+		p.next()
+		if !p.at(tokNumber) {
+			return nil, p.errf("expected priority number, found %s", p.cur())
+		}
+		r.Priority = int(p.next().num)
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	if r.Trigger, err = p.trigger(); err != nil {
+		return nil, err
+	}
+	if p.atKeyword("when") {
+		p.next()
+		if r.When, err = p.expr(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("do"); err != nil {
+		return nil, err
+	}
+	for {
+		a, err := p.action()
+		if err != nil {
+			return nil, err
+		}
+		r.Do = append(r.Do, a)
+		if p.atPunct(";") {
+			p.next()
+			if p.atPunct("}") { // trailing semicolon
+				break
+			}
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct("}"); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (p *parser) trigger() (Trigger, error) {
+	if err := p.expectKeyword("on"); err != nil {
+		return Trigger{}, err
+	}
+	switch {
+	case p.atKeyword("event"):
+		p.next()
+		pat, err := p.expectString()
+		if err != nil {
+			return Trigger{}, err
+		}
+		return Trigger{Kind: TriggerEvent, Pattern: pat}, nil
+	case p.atKeyword("context"):
+		p.next()
+		key, err := p.expectIdent()
+		if err != nil {
+			return Trigger{}, err
+		}
+		return Trigger{Kind: TriggerContext, Key: key}, nil
+	case p.atKeyword("timer"):
+		p.next()
+		if !p.at(tokDuration) {
+			return Trigger{}, p.errf("expected duration, found %s", p.cur())
+		}
+		return Trigger{Kind: TriggerTimer, Every: p.next().dur}, nil
+	default:
+		return Trigger{}, p.errf("expected event, context or timer, found %s", p.cur())
+	}
+}
+
+// --- expressions ---
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("or") {
+		p.next()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "or", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("and") {
+		p.next()
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "and", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.atKeyword("not") {
+		p.next()
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{X: x}, nil
+	}
+	return p.cmp()
+}
+
+func (p *parser) cmp() (Expr, error) {
+	l, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	if p.at(tokPunct) {
+		switch p.cur().text {
+		case "==", "!=", "<", "<=", ">", ">=":
+			op := p.next().text
+			r, err := p.primary()
+			if err != nil {
+				return nil, err
+			}
+			return &Binary{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokString:
+		p.next()
+		return &Lit{Val: ctxmodel.String(t.text)}, nil
+	case t.kind == tokNumber:
+		p.next()
+		return &Lit{Val: ctxmodel.Number(t.num)}, nil
+	case t.kind == tokDuration:
+		p.next()
+		return &Lit{Val: ctxmodel.Number(t.dur.Seconds())}, nil
+	case p.atPunct("("):
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent && t.text == "true":
+		p.next()
+		return &Lit{Val: ctxmodel.Bool(true)}, nil
+	case t.kind == tokIdent && t.text == "false":
+		p.next()
+		return &Lit{Val: ctxmodel.Bool(false)}, nil
+	case t.kind == tokIdent && (t.text == "ctx" || t.text == "event"):
+		p.next()
+		if err := p.expectPunct("."); err != nil {
+			return nil, err
+		}
+		field, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &Path{Root: t.text, Field: field}, nil
+	default:
+		return nil, p.errf("expected expression, found %s", t)
+	}
+}
+
+// --- actions ---
+
+func (p *parser) action() (Action, error) {
+	if !p.at(tokIdent) {
+		return nil, p.errf("expected action, found %s", p.cur())
+	}
+	switch p.cur().text {
+	case "alert":
+		p.next()
+		msg, err := p.expectString()
+		if err != nil {
+			return nil, err
+		}
+		return AlertAction{Message: msg}, nil
+	case "connect", "disconnect":
+		verb := p.next().text
+		from, err := p.expectString()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("->"); err != nil {
+			return nil, err
+		}
+		to, err := p.expectString()
+		if err != nil {
+			return nil, err
+		}
+		if verb == "connect" {
+			return ConnectAction{From: from, To: to}, nil
+		}
+		return DisconnectAction{From: from, To: to}, nil
+	case "setcontext":
+		p.next()
+		target, err := p.expectString()
+		if err != nil {
+			return nil, err
+		}
+		ctx, err := p.labelSpec()
+		if err != nil {
+			return nil, err
+		}
+		return SetContextAction{Target: target, Ctx: ctx}, nil
+	case "grant":
+		p.next()
+		target, err := p.expectString()
+		if err != nil {
+			return nil, err
+		}
+		op, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		label, err := p.labelSet()
+		if err != nil {
+			return nil, err
+		}
+		var privs ifc.Privileges
+		switch op {
+		case "add_secrecy":
+			privs.AddSecrecy = label
+		case "remove_secrecy":
+			privs.RemoveSecrecy = label
+		case "add_integrity":
+			privs.AddIntegrity = label
+		case "remove_integrity":
+			privs.RemoveIntegrity = label
+		default:
+			return nil, p.errf("unknown privilege %q (want add_secrecy, remove_secrecy, add_integrity or remove_integrity)", op)
+		}
+		return GrantAction{Target: target, Privs: privs}, nil
+	case "set":
+		p.next()
+		key, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		v, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		return SetCtxAction{Key: key, Value: v}, nil
+	case "breakglass":
+		p.next()
+		if !p.at(tokDuration) {
+			return nil, p.errf("expected duration, found %s", p.cur())
+		}
+		return BreakGlassAction{For: p.next().dur}, nil
+	case "quarantine":
+		p.next()
+		target, err := p.expectString()
+		if err != nil {
+			return nil, err
+		}
+		return QuarantineAction{Target: target}, nil
+	case "actuate":
+		p.next()
+		dev, err := p.expectString()
+		if err != nil {
+			return nil, err
+		}
+		cmd, err := p.expectString()
+		if err != nil {
+			return nil, err
+		}
+		if !p.at(tokNumber) {
+			return nil, p.errf("expected number, found %s", p.cur())
+		}
+		return ActuateAction{Device: dev, Command: cmd, Value: p.next().num}, nil
+	default:
+		return nil, p.errf("unknown action %q", p.cur().text)
+	}
+}
+
+// literal parses a value literal for "set".
+func (p *parser) literal() (ctxmodel.Value, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokString:
+		p.next()
+		return ctxmodel.String(t.text), nil
+	case t.kind == tokNumber:
+		p.next()
+		return ctxmodel.Number(t.num), nil
+	case t.kind == tokDuration:
+		p.next()
+		return ctxmodel.Number(t.dur.Seconds()), nil
+	case t.kind == tokIdent && t.text == "true":
+		p.next()
+		return ctxmodel.Bool(true), nil
+	case t.kind == tokIdent && t.text == "false":
+		p.next()
+		return ctxmodel.Bool(false), nil
+	default:
+		return ctxmodel.Value{}, p.errf("expected literal, found %s", t)
+	}
+}
+
+// labelSpec parses `S = {a, b} I = {c}`.
+func (p *parser) labelSpec() (ifc.SecurityContext, error) {
+	if err := p.expectKeyword("S"); err != nil {
+		return ifc.SecurityContext{}, err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return ifc.SecurityContext{}, err
+	}
+	s, err := p.labelSet()
+	if err != nil {
+		return ifc.SecurityContext{}, err
+	}
+	if err := p.expectKeyword("I"); err != nil {
+		return ifc.SecurityContext{}, err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return ifc.SecurityContext{}, err
+	}
+	i, err := p.labelSet()
+	if err != nil {
+		return ifc.SecurityContext{}, err
+	}
+	return ifc.SecurityContext{Secrecy: s, Integrity: i}, nil
+}
+
+// labelSet parses `{tag, tag, ...}`; elements are identifiers or strings.
+func (p *parser) labelSet() (ifc.Label, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return ifc.Label{}, err
+	}
+	var tags []ifc.Tag
+	for !p.atPunct("}") {
+		t := p.cur()
+		switch t.kind {
+		case tokIdent, tokString:
+			tags = append(tags, ifc.Tag(t.text))
+			p.next()
+		default:
+			return ifc.Label{}, p.errf("expected tag, found %s", t)
+		}
+		if p.atPunct(",") {
+			p.next()
+		}
+	}
+	p.next() // consume "}"
+	label, err := ifc.NewLabel(tags...)
+	if err != nil {
+		return ifc.Label{}, fmt.Errorf("policy: line %d: %w", p.toks[p.pos-1].line, err)
+	}
+	return label, nil
+}

@@ -1,0 +1,204 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"lciot/internal/ifc"
+)
+
+func TestParseFullRule(t *testing.T) {
+	src := `
+# Emergency response for the Fig. 7 home-monitoring system.
+rule "emergency-response" priority 10 {
+    on event "tachycardia"
+    when ctx.location == "home" and not ctx.emergency
+    do
+        set emergency = true;
+        alert "emergency detected";
+        connect "ann-analyser" -> "emergency-service";
+        grant "ann-analyser" remove_secrecy {ann};
+        setcontext "doctor-app" S = {medical, ann} I = {};
+        actuate "ann-sensor" "sample-interval" 1;
+        breakglass 30m
+}
+`
+	set, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Rules) != 1 {
+		t.Fatalf("parsed %d rules", len(set.Rules))
+	}
+	r := set.Rules[0]
+	if r.Name != "emergency-response" || r.Priority != 10 {
+		t.Fatalf("rule header = %q / %d", r.Name, r.Priority)
+	}
+	if r.Trigger.Kind != TriggerEvent || r.Trigger.Pattern != "tachycardia" {
+		t.Fatalf("trigger = %+v", r.Trigger)
+	}
+	if r.When == nil {
+		t.Fatal("guard missing")
+	}
+	if len(r.Do) != 7 {
+		t.Fatalf("actions = %d, want 7", len(r.Do))
+	}
+	if a, ok := r.Do[3].(GrantAction); !ok || !a.Privs.RemoveSecrecy.Equal(ifc.MustLabel("ann")) {
+		t.Fatalf("grant action = %+v", r.Do[3])
+	}
+	if a, ok := r.Do[4].(SetContextAction); !ok ||
+		!a.Ctx.Secrecy.Equal(ifc.MustLabel("ann", "medical")) || !a.Ctx.Integrity.IsEmpty() {
+		t.Fatalf("setcontext action = %+v", r.Do[4])
+	}
+	if a, ok := r.Do[6].(BreakGlassAction); !ok || a.For != 30*time.Minute {
+		t.Fatalf("breakglass action = %+v", r.Do[6])
+	}
+}
+
+func TestParseTriggers(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want Trigger
+	}{
+		{
+			"event",
+			`rule "r" { on event "p" do alert "x" }`,
+			Trigger{Kind: TriggerEvent, Pattern: "p"},
+		},
+		{
+			"context",
+			`rule "r" { on context shift-status do alert "x" }`,
+			Trigger{Kind: TriggerContext, Key: "shift-status"},
+		},
+		{
+			"timer",
+			`rule "r" { on timer 5m do alert "x" }`,
+			Trigger{Kind: TriggerTimer, Every: 5 * time.Minute},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			set, err := Parse(tt.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := set.Rules[0].Trigger; got != tt.want {
+				t.Fatalf("trigger = %+v, want %+v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseMultipleRulesAndPrecedence(t *testing.T) {
+	src := `
+rule "a" { on event "e" when ctx.x == 1 or ctx.y == 2 and ctx.z == 3 do alert "m" }
+rule "b" { on event "e" do disconnect "p" -> "q"; quarantine "p" }
+`
+	set, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Rules) != 2 {
+		t.Fatalf("rules = %d", len(set.Rules))
+	}
+	// "and" binds tighter than "or".
+	want := "((ctx.x == 1) or ((ctx.y == 2) and (ctx.z == 3)))"
+	if got := set.Rules[0].When.String(); got != want {
+		t.Fatalf("precedence: %s, want %s", got, want)
+	}
+	if _, ok := set.Rules[1].Do[1].(QuarantineAction); !ok {
+		t.Fatalf("action = %+v", set.Rules[1].Do[1])
+	}
+}
+
+func TestParseParenthesesOverridePrecedence(t *testing.T) {
+	set := MustParse(`rule "r" { on event "e" when (ctx.x == 1 or ctx.y == 2) and ctx.z == 3 do alert "m" }`)
+	want := "(((ctx.x == 1) or (ctx.y == 2)) and (ctx.z == 3))"
+	if got := set.Rules[0].When.String(); got != want {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name, src, wantFrag string
+	}{
+		{"empty", ``, "no rules"},
+		{"missing-name", `rule { }`, "expected string"},
+		{"bad-trigger", `rule "r" { on nothing do alert "x" }`, "expected event, context or timer"},
+		{"missing-do", `rule "r" { on event "p" alert "x" }`, `expected "do"`},
+		{"unknown-action", `rule "r" { on event "p" do explode "x" }`, "unknown action"},
+		{"unknown-privilege", `rule "r" { on event "p" do grant "t" give_all {a} }`, "unknown privilege"},
+		{"bad-expr", `rule "r" { on event "p" when == do alert "x" }`, "expected expression"},
+		{"unterminated-string", `rule "r`, "unterminated string"},
+		{"bad-char", `rule "r" { on event "p" do alert "x" } @`, "unexpected character"},
+		{"missing-arrow", `rule "r" { on event "p" do connect "a" "b" }`, `expected "->"`},
+		{"bad-label", "rule \"r\" { on event \"p\" do setcontext \"t\" S = {\"bad tag\"} I = {} }", "invalid tag"},
+		{"timer-needs-duration", `rule "r" { on timer 5 do alert "x" }`, "expected duration"},
+		{"bad-set-literal", `rule "r" { on event "p" do set k = alert }`, "expected literal"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse(tt.src)
+			if err == nil {
+				t.Fatalf("Parse succeeded, want error containing %q", tt.wantFrag)
+			}
+			if !strings.Contains(err.Error(), tt.wantFrag) {
+				t.Fatalf("error %q does not contain %q", err, tt.wantFrag)
+			}
+		})
+	}
+}
+
+func TestParseErrorsIncludeLineNumbers(t *testing.T) {
+	src := "rule \"r\" {\n  on event \"p\"\n  do explode \"x\"\n}"
+	_, err := Parse(src)
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error %v should name line 3", err)
+	}
+}
+
+func TestParseTrailingSemicolon(t *testing.T) {
+	set := MustParse(`rule "r" { on event "e" do alert "a"; alert "b"; }`)
+	if len(set.Rules[0].Do) != 2 {
+		t.Fatalf("actions = %d", len(set.Rules[0].Do))
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	set := MustParse(`rule "r" { on event "e" do alert "say \"hi\"" }`)
+	if a := set.Rules[0].Do[0].(AlertAction); a.Message != `say "hi"` {
+		t.Fatalf("message = %q", a.Message)
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	set := MustParse(`rule "r" { on event "e" when ctx.temp < -10 do alert "freezing" }`)
+	want := "(ctx.temp < -10)"
+	if got := set.Rules[0].When.String(); got != want {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestRuleStringRoundTripsThroughParser(t *testing.T) {
+	src := `rule "r" priority 3 { on event "e" when ctx.a == true do alert "m"; connect "x" -> "y" }`
+	set := MustParse(src)
+	rendered := set.Rules[0].String()
+	// The rendered form must itself parse to an equivalent rule.
+	set2, err := Parse(rendered)
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", rendered, err)
+	}
+	if set2.Rules[0].Name != "r" || set2.Rules[0].Priority != 3 || len(set2.Rules[0].Do) != 2 {
+		t.Fatalf("round trip lost content: %s", set2.Rules[0])
+	}
+}
+
+func TestParseEventFields(t *testing.T) {
+	set := MustParse(`rule "r" { on event "e" when event.value > 100 and event.source == "ann-sensor" do alert "m" }`)
+	if set.Rules[0].When == nil {
+		t.Fatal("guard missing")
+	}
+}

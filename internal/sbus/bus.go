@@ -1,0 +1,464 @@
+package sbus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"lciot/internal/ac"
+	"lciot/internal/audit"
+	"lciot/internal/ctxmodel"
+	"lciot/internal/ifc"
+	"lciot/internal/msg"
+)
+
+// A channelKey identifies a channel by its fully-qualified endpoints.
+type channelKey struct {
+	src, dst string // "component.endpoint" (local) or "bus:component.endpoint"
+}
+
+// A channel is an established flow path from a source endpoint to a sink.
+type channel struct {
+	key channelKey
+	// remoteBus is non-empty when the sink lives on a linked bus.
+	remoteBus string
+}
+
+// A Bus is one messaging substrate instance: the per-machine process that
+// mediates all component interactions (Fig. 9). It owns the component
+// table, the channel table, the audit log, and the links to other buses.
+type Bus struct {
+	name  string
+	acl   *ac.ACL
+	store *ctxmodel.Store
+	log   *audit.Log
+
+	mu         sync.RWMutex
+	components map[string]*Component
+	channels   map[channelKey]*channel
+	links      map[string]*link
+	// admission, when non-nil, is consulted with the advertised security
+	// context of every cross-bus ingress (connect and message): federated
+	// peers may present tags this domain has never seen, and the admission
+	// policy decides whether they are meaningful here (Challenge 1 —
+	// typically by resolving each tag through the global namespace).
+	admission func(ifc.SecurityContext) error
+}
+
+// NewBus builds a bus. The ACL governs the control plane (who may
+// reconfigure what); the context store supplies snapshots for contextual
+// AC conditions; the audit log receives every enforcement decision.
+func NewBus(name string, acl *ac.ACL, store *ctxmodel.Store, log *audit.Log) *Bus {
+	if acl == nil {
+		acl = &ac.ACL{}
+	}
+	if store == nil {
+		store = ctxmodel.NewStore(nil)
+	}
+	if log == nil {
+		log = audit.NewLog(nil)
+	}
+	return &Bus{
+		name:       name,
+		acl:        acl,
+		store:      store,
+		log:        log,
+		components: make(map[string]*Component),
+		channels:   make(map[channelKey]*channel),
+		links:      make(map[string]*link),
+	}
+}
+
+// Name returns the bus name (used in cross-bus addresses).
+func (b *Bus) Name() string { return b.name }
+
+// SetAdmissionPolicy installs the cross-bus ingress filter (see the
+// admission field). A nil policy admits any well-formed context.
+func (b *Bus) SetAdmissionPolicy(fn func(ifc.SecurityContext) error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.admission = fn
+}
+
+// admit applies the admission policy to an advertised foreign context.
+func (b *Bus) admit(ctx ifc.SecurityContext) error {
+	b.mu.RLock()
+	fn := b.admission
+	b.mu.RUnlock()
+	if fn == nil {
+		return nil
+	}
+	return fn(ctx)
+}
+
+// Log exposes the bus's audit log.
+func (b *Bus) Log() *audit.Log { return b.log }
+
+// Store exposes the bus's context store.
+func (b *Bus) Store() *ctxmodel.Store { return b.store }
+
+// ACL exposes the bus's access-control list.
+func (b *Bus) ACL() *ac.ACL { return b.acl }
+
+// Register attaches a component to the bus.
+func (b *Bus) Register(name string, principal ifc.PrincipalID, ctx ifc.SecurityContext,
+	handler Handler, endpoints ...EndpointSpec) (*Component, error) {
+	if name == "" || strings.ContainsAny(name, ".:") {
+		return nil, fmt.Errorf("sbus: invalid component name %q", name)
+	}
+	c := &Component{
+		name:      name,
+		bus:       b,
+		entity:    ifc.NewEntity(ifc.EntityID(b.name+":"+name), ctx),
+		principal: principal,
+		handler:   handler,
+		endpoints: make(map[string]EndpointSpec, len(endpoints)),
+	}
+	for _, ep := range endpoints {
+		if ep.Name == "" || ep.Schema == nil {
+			return nil, fmt.Errorf("sbus: component %q: endpoint needs name and schema", name)
+		}
+		if _, dup := c.endpoints[ep.Name]; dup {
+			return nil, fmt.Errorf("sbus: component %q: duplicate endpoint %q", name, ep.Name)
+		}
+		c.endpoints[ep.Name] = ep
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, dup := b.components[name]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrDupComponent, name)
+	}
+	b.components[name] = c
+	return c, nil
+}
+
+// Component looks a component up by name.
+func (b *Bus) Component(name string) (*Component, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	c, ok := b.components[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoComponent, name)
+	}
+	return c, nil
+}
+
+// Components lists component names, sorted.
+func (b *Bus) Components() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]string, 0, len(b.components))
+	for n := range b.components {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// splitEndpointAddr parses "component.endpoint".
+func splitEndpointAddr(addr string) (comp, ep string, err error) {
+	i := strings.LastIndexByte(addr, '.')
+	if i <= 0 || i == len(addr)-1 {
+		return "", "", fmt.Errorf("sbus: address %q is not component.endpoint", addr)
+	}
+	return addr[:i], addr[i+1:], nil
+}
+
+// splitRemoteAddr parses "bus:component.endpoint"; an empty bus means local.
+func splitRemoteAddr(addr string) (bus, rest string) {
+	if i := strings.IndexByte(addr, ':'); i >= 0 {
+		return addr[:i], addr[i+1:]
+	}
+	return "", addr
+}
+
+// resolveLocal returns the component and endpoint spec for a local address,
+// checking the expected direction.
+func (b *Bus) resolveLocal(addr string, wantDir Direction) (*Component, EndpointSpec, error) {
+	compName, epName, err := splitEndpointAddr(addr)
+	if err != nil {
+		return nil, EndpointSpec{}, err
+	}
+	c, err := b.Component(compName)
+	if err != nil {
+		return nil, EndpointSpec{}, err
+	}
+	ep, ok := c.Endpoint(epName)
+	if !ok {
+		return nil, EndpointSpec{}, fmt.Errorf("%w: %q on %q", ErrNoEndpoint, epName, compName)
+	}
+	if ep.Dir != wantDir {
+		return nil, EndpointSpec{}, fmt.Errorf("%w: %q is %s, want %s", ErrDirection, addr, ep.Dir, wantDir)
+	}
+	return c, ep, nil
+}
+
+// Connect establishes a channel from a local source endpoint to a sink,
+// which may be local ("comp.ep") or remote ("bus:comp.ep"), on behalf of
+// principal "by". Enforcement at establishment (Section 8.2.2):
+//
+//  1. Access control: "by" must hold connect rights over the channel
+//     resource at message-type granularity.
+//  2. Schema compatibility between the endpoints.
+//  3. IFC: the source component's context must flow to the sink's.
+//
+// Both success and denial are audited.
+func (b *Bus) Connect(by ifc.PrincipalID, src, dst string) error {
+	srcComp, srcEP, err := b.resolveLocal(src, Source)
+	if err != nil {
+		return err
+	}
+	resource := "channel/" + srcEP.Schema.Name + "/" + src + "/" + dst
+	if err := b.acl.Authorize(by, "connect", resource, b.store.Snapshot()); err != nil {
+		b.auditDenied(srcComp.entity.ID(), ifc.EntityID(dst), srcComp.Context(),
+			ifc.SecurityContext{}, by, "", "connect denied by AC: "+err.Error())
+		return err
+	}
+	if srcComp.Quarantined() {
+		return fmt.Errorf("%w: %q", ErrQuarantined, srcComp.Name())
+	}
+
+	remoteBus, rest := splitRemoteAddr(dst)
+	if remoteBus != "" && remoteBus != b.name {
+		return b.connectRemote(by, srcComp, srcEP, src, remoteBus, rest)
+	}
+
+	dstComp, dstEP, err := b.resolveLocal(rest, Sink)
+	if err != nil {
+		return err
+	}
+	if dstComp.Quarantined() {
+		return fmt.Errorf("%w: %q", ErrQuarantined, dstComp.Name())
+	}
+	if srcEP.Schema.Name != dstEP.Schema.Name {
+		return fmt.Errorf("%w: %q emits %q, %q accepts %q",
+			ErrSchema, src, srcEP.Schema.Name, dst, dstEP.Schema.Name)
+	}
+	if err := ifc.EnforceFlow(srcComp.Context(), dstComp.Context()); err != nil {
+		b.auditDenied(srcComp.entity.ID(), dstComp.entity.ID(), srcComp.Context(),
+			dstComp.Context(), by, "", "connect denied by IFC: "+err.Error())
+		return err
+	}
+
+	key := channelKey{src: src, dst: rest}
+	b.mu.Lock()
+	b.channels[key] = &channel{key: key}
+	b.mu.Unlock()
+
+	b.log.Append(audit.Record{
+		Kind: audit.Reconfiguration, Layer: audit.LayerMessaging, Domain: b.name,
+		Src: srcComp.entity.ID(), Dst: dstComp.entity.ID(),
+		SrcCtx: srcComp.Context(), DstCtx: dstComp.Context(),
+		Agent: by, Note: "channel established",
+	})
+	return nil
+}
+
+// Disconnect removes a channel on behalf of a principal (AC-checked).
+func (b *Bus) Disconnect(by ifc.PrincipalID, src, dst string) error {
+	if err := b.acl.Authorize(by, "disconnect", "channel/*/"+src+"/"+dst, b.store.Snapshot()); err != nil {
+		return err
+	}
+	_, rest := splitRemoteAddr(dst)
+	key := channelKey{src: src, dst: rest}
+	if remote, _ := splitRemoteAddr(dst); remote != "" && remote != b.name {
+		key.dst = dst
+	}
+	b.mu.Lock()
+	_, ok := b.channels[key]
+	if ok {
+		delete(b.channels, key)
+	}
+	b.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s -> %s", ErrNoChannel, src, dst)
+	}
+	b.log.Append(audit.Record{
+		Kind: audit.Reconfiguration, Layer: audit.LayerMessaging, Domain: b.name,
+		Src: ifc.EntityID(b.name + ":" + src), Dst: ifc.EntityID(dst),
+		Agent: by, Note: "channel torn down",
+	})
+	return nil
+}
+
+// Channels lists established channels as "src -> dst", sorted.
+func (b *Bus) Channels() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]string, 0, len(b.channels))
+	for k := range b.channels {
+		out = append(out, k.src+" -> "+k.dst)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// publish delivers a message from a source endpoint down every channel.
+func (b *Bus) publish(c *Component, endpoint string, m *msg.Message) (int, error) {
+	ep, ok := c.Endpoint(endpoint)
+	if !ok {
+		return 0, fmt.Errorf("%w: %q on %q", ErrNoEndpoint, endpoint, c.Name())
+	}
+	if ep.Dir != Source {
+		return 0, fmt.Errorf("%w: %q is %s", ErrDirection, endpoint, ep.Dir)
+	}
+	if c.Quarantined() {
+		return 0, fmt.Errorf("%w: %q", ErrQuarantined, c.Name())
+	}
+	if err := ep.Schema.Validate(m); err != nil {
+		return 0, err
+	}
+
+	src := c.Name() + "." + endpoint
+	b.mu.RLock()
+	var outs []*channel
+	for k, ch := range b.channels {
+		if k.src == src {
+			outs = append(outs, ch)
+		}
+	}
+	b.mu.RUnlock()
+
+	delivered := 0
+	for _, ch := range outs {
+		remoteBus, rest := splitRemoteAddr(ch.key.dst)
+		if remoteBus != "" && remoteBus != b.name {
+			if err := b.sendRemote(c, ep, remoteBus, rest, m); err == nil {
+				delivered++
+			}
+			continue
+		}
+		if b.deliverLocal(c, ep, ch.key.dst, m) {
+			delivered++
+		}
+	}
+	return delivered, nil
+}
+
+// deliverLocal enforces per-message policy and invokes the sink handler.
+// The delivery pipeline (Section 8.2.2): OS-level IFC re-check (contexts
+// may have changed since establishment), message-type clearance, attribute
+// quenching, then handler invocation. Every outcome is audited.
+func (b *Bus) deliverLocal(srcComp *Component, srcEP EndpointSpec, dst string, m *msg.Message) bool {
+	dstComp, dstEP, err := b.resolveLocal(dst, Sink)
+	if err != nil {
+		return false
+	}
+	srcCtx, dstCtx := srcComp.Context(), dstComp.Context()
+
+	if dstComp.Quarantined() {
+		b.auditDenied(srcComp.entity.ID(), dstComp.entity.ID(), srcCtx, dstCtx,
+			srcComp.principal, m.DataID, "delivery denied: destination quarantined")
+		return false
+	}
+	// OS-level IFC re-check on every message.
+	if err := ifc.EnforceFlow(srcCtx, dstCtx); err != nil {
+		b.auditDenied(srcComp.entity.ID(), dstComp.entity.ID(), srcCtx, dstCtx,
+			srcComp.principal, m.DataID, "delivery denied by IFC: "+err.Error())
+		return false
+	}
+	// Message-layer type tags (Fig. 10): whole message needs clearance.
+	clearance := dstComp.Clearance()
+	if !srcEP.Schema.Secrecy.Subset(clearance) {
+		b.auditDenied(srcComp.entity.ID(), dstComp.entity.ID(), srcCtx, dstCtx,
+			srcComp.principal, m.DataID,
+			fmt.Sprintf("delivery denied: type tags %s exceed clearance %s", srcEP.Schema.Secrecy, clearance))
+		return false
+	}
+	// Attribute-level source quenching.
+	out, quenched := srcEP.Schema.Quench(m, clearance)
+
+	b.log.Append(audit.Record{
+		Kind: audit.FlowAllowed, Layer: audit.LayerMessaging, Domain: b.name,
+		Src: srcComp.entity.ID(), Dst: dstComp.entity.ID(),
+		SrcCtx: srcCtx, DstCtx: dstCtx,
+		DataID: m.DataID, Agent: srcComp.principal,
+		Note: deliveryNote(quenched),
+	})
+	if dstComp.handler != nil {
+		dstComp.handler(out, Delivery{
+			From:     b.name + ":" + srcComp.Name() + "." + srcEP.Name,
+			Endpoint: dstEP.Name,
+			Quenched: quenched,
+		})
+	}
+	_ = dstEP
+	return true
+}
+
+func deliveryNote(quenched []string) string {
+	if len(quenched) == 0 {
+		return "delivered"
+	}
+	return "delivered with quenched attributes: " + strings.Join(quenched, ",")
+}
+
+// reevaluate re-checks every channel touching the named component and tears
+// down those the current contexts no longer permit.
+func (b *Bus) reevaluate(component string) {
+	b.mu.Lock()
+	var torn []channelKey
+	for k := range b.channels {
+		srcComp, _, err1 := b.resolveLocalLocked(k.src, Source)
+		if err1 != nil {
+			continue
+		}
+		remoteBus, rest := splitRemoteAddr(k.dst)
+		if remoteBus != "" && remoteBus != b.name {
+			continue // the remote bus re-checks on ingress
+		}
+		dstComp, _, err2 := b.resolveLocalLocked(rest, Sink)
+		if err2 != nil {
+			continue
+		}
+		if srcComp.Name() != component && dstComp.Name() != component {
+			continue
+		}
+		if !srcComp.Context().CanFlowTo(dstComp.Context()) {
+			torn = append(torn, k)
+		}
+	}
+	for _, k := range torn {
+		delete(b.channels, k)
+	}
+	b.mu.Unlock()
+
+	for _, k := range torn {
+		b.log.Append(audit.Record{
+			Kind: audit.Reconfiguration, Layer: audit.LayerMessaging, Domain: b.name,
+			Src: ifc.EntityID(b.name + ":" + k.src), Dst: ifc.EntityID(k.dst),
+			Note: "channel torn down: context change made flow illegal",
+		})
+	}
+}
+
+// resolveLocalLocked is resolveLocal without re-taking the bus lock.
+func (b *Bus) resolveLocalLocked(addr string, wantDir Direction) (*Component, EndpointSpec, error) {
+	compName, epName, err := splitEndpointAddr(addr)
+	if err != nil {
+		return nil, EndpointSpec{}, err
+	}
+	c, ok := b.components[compName]
+	if !ok {
+		return nil, EndpointSpec{}, fmt.Errorf("%w: %q", ErrNoComponent, compName)
+	}
+	ep, ok := c.Endpoint(epName)
+	if !ok {
+		return nil, EndpointSpec{}, fmt.Errorf("%w: %q on %q", ErrNoEndpoint, epName, compName)
+	}
+	if ep.Dir != wantDir {
+		return nil, EndpointSpec{}, fmt.Errorf("%w: %q is %s", ErrDirection, addr, ep.Dir)
+	}
+	return c, ep, nil
+}
+
+// auditDenied appends a denial record.
+func (b *Bus) auditDenied(src, dst ifc.EntityID, srcCtx, dstCtx ifc.SecurityContext,
+	agent ifc.PrincipalID, dataID, note string) {
+	b.log.Append(audit.Record{
+		Kind: audit.FlowDenied, Layer: audit.LayerMessaging, Domain: b.name,
+		Src: src, Dst: dst, SrcCtx: srcCtx, DstCtx: dstCtx,
+		DataID: dataID, Agent: agent, Note: note,
+	})
+}

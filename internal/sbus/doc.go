@@ -1,0 +1,24 @@
+// Package sbus is the reconfigurable messaging middleware of Section 8.1,
+// modelled on SBUS, extended with the CamFlow-style IFC enforcement of
+// Section 8.2.2. It provides:
+//
+//   - Components with strongly-typed endpoints (package msg schemas).
+//   - Channel establishment gated by access control at message-type
+//     granularity *and* by IFC: "a channel is only established if the
+//     policy allows, i.e. the tags of the components accord".
+//   - Continuous monitoring: a component changing its security context
+//     triggers re-evaluation of its channels; channels that are no longer
+//     legal are torn down and the teardown audited.
+//   - Message-layer tags above the OS-level context (Fig. 10's tag C), with
+//     source quenching of individual attributes whose tags the receiver
+//     lacks.
+//   - Third-party reconfiguration (Fig. 8): privileged principals send
+//     control messages that connect, disconnect, relabel or quarantine
+//     components, "executed as though the application had initiated them".
+//   - Cross-bus links over package transport, so two machines' substrates
+//     enforce co-operatively (Fig. 9): the sender's bus checks egress, the
+//     receiver's bus re-checks ingress against its own view.
+//
+// Every attempted flow — permitted or denied — is appended to the bus's
+// audit log.
+package sbus

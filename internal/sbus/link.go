@@ -1,0 +1,424 @@
+package sbus
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"lciot/internal/audit"
+	"lciot/internal/ifc"
+	"lciot/internal/msg"
+	"lciot/internal/transport"
+)
+
+// This file implements cross-bus links: the Fig. 9 architecture where each
+// machine's messaging substrate enforces IFC in its dealings with the
+// substrates of other machines. The sender's bus validates egress at
+// connection time; the receiver's bus re-validates ingress on every
+// message against its *own* current view of the destination — neither side
+// trusts the other's enforcement blindly.
+
+// ErrLinkDown is returned when a cross-bus operation has no live link.
+var ErrLinkDown = errors.New("sbus: link down")
+
+// linkFrame is the wire protocol between buses.
+type linkFrame struct {
+	Kind string `json:"kind"` // hello, connect, result, message, disconnect
+	ID   uint64 `json:"id,omitempty"`
+	Bus  string `json:"bus,omitempty"`
+
+	Src string `json:"src,omitempty"` // fully qualified "bus:comp.ep"
+	Dst string `json:"dst,omitempty"` // receiver-local "comp.ep"
+
+	SrcSecrecy   ifc.Label `json:"src_s,omitempty"`
+	SrcIntegrity ifc.Label `json:"src_i,omitempty"`
+
+	Schema  string `json:"schema,omitempty"`
+	Payload []byte `json:"payload,omitempty"` // msg.EncodeBinary
+
+	OK  bool   `json:"ok,omitempty"`
+	Err string `json:"err,omitempty"`
+
+	Agent ifc.PrincipalID `json:"agent,omitempty"`
+}
+
+// A link is a live connection to a peer bus.
+type link struct {
+	bus    *Bus
+	peer   string
+	conn   transport.Conn
+	sendMu sync.Mutex
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan linkFrame
+
+	// ingress records remotely-established channels into this bus:
+	// key = {remote src full addr, local dst}.
+	ingress map[channelKey]struct{}
+}
+
+// connectTimeout bounds cross-bus connect handshakes.
+const connectTimeout = 10 * time.Second
+
+// LinkTo dials a peer bus and performs the hello exchange. It returns the
+// peer's bus name.
+func (b *Bus) LinkTo(network transport.Network, addr string) (string, error) {
+	conn, err := network.Dial(addr)
+	if err != nil {
+		return "", err
+	}
+	if err := sendFrame(conn, linkFrame{Kind: "hello", Bus: b.name}); err != nil {
+		conn.Close()
+		return "", err
+	}
+	f, err := recvFrame(conn)
+	if err != nil {
+		conn.Close()
+		return "", err
+	}
+	if f.Kind != "hello" || f.Bus == "" {
+		conn.Close()
+		return "", fmt.Errorf("sbus: bad hello from %s", addr)
+	}
+	l := b.addLink(f.Bus, conn)
+	go l.readLoop()
+	return f.Bus, nil
+}
+
+// ServeLink handles one inbound link connection (blocking until the hello
+// completes; the read loop then runs in the background).
+func (b *Bus) ServeLink(conn transport.Conn) error {
+	f, err := recvFrame(conn)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	if f.Kind != "hello" || f.Bus == "" {
+		conn.Close()
+		return fmt.Errorf("sbus: bad hello")
+	}
+	if err := sendFrame(conn, linkFrame{Kind: "hello", Bus: b.name}); err != nil {
+		conn.Close()
+		return err
+	}
+	l := b.addLink(f.Bus, conn)
+	go l.readLoop()
+	return nil
+}
+
+// Serve accepts link connections until the listener closes.
+func (b *Bus) Serve(listener transport.Listener) {
+	for {
+		conn, err := listener.Accept()
+		if err != nil {
+			return
+		}
+		// Handshake errors on one connection must not stop the accept loop.
+		go func() { _ = b.ServeLink(conn) }()
+	}
+}
+
+// addLink registers a link, replacing any prior link to the same peer.
+func (b *Bus) addLink(peer string, conn transport.Conn) *link {
+	l := &link{
+		bus:     b,
+		peer:    peer,
+		conn:    conn,
+		pending: make(map[uint64]chan linkFrame),
+		ingress: make(map[channelKey]struct{}),
+	}
+	b.mu.Lock()
+	if old, ok := b.links[peer]; ok {
+		old.conn.Close()
+	}
+	b.links[peer] = l
+	b.mu.Unlock()
+	return l
+}
+
+// linkFor returns the live link to a peer.
+func (b *Bus) linkFor(peer string) (*link, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	l, ok := b.links[peer]
+	if !ok {
+		return nil, fmt.Errorf("%w: no link to bus %q", ErrLinkDown, peer)
+	}
+	return l, nil
+}
+
+// Links lists connected peer bus names.
+func (b *Bus) Links() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]string, 0, len(b.links))
+	for p := range b.links {
+		out = append(out, p)
+	}
+	return out
+}
+
+// connectRemote establishes a channel whose sink lives on a peer bus. The
+// remote bus performs the authoritative ingress checks and replies.
+func (b *Bus) connectRemote(by ifc.PrincipalID, srcComp *Component, srcEP EndpointSpec,
+	src, remoteBus, remoteDst string) error {
+	l, err := b.linkFor(remoteBus)
+	if err != nil {
+		return err
+	}
+	ctx := srcComp.Context()
+	resp, err := l.request(linkFrame{
+		Kind:         "connect",
+		Src:          b.name + ":" + src,
+		Dst:          remoteDst,
+		SrcSecrecy:   ctx.Secrecy,
+		SrcIntegrity: ctx.Integrity,
+		Schema:       srcEP.Schema.Name,
+		Agent:        by,
+	})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("sbus: remote bus %q refused connect: %s", remoteBus, resp.Err)
+	}
+	key := channelKey{src: src, dst: remoteBus + ":" + remoteDst}
+	b.mu.Lock()
+	b.channels[key] = &channel{key: key, remoteBus: remoteBus}
+	b.mu.Unlock()
+	b.log.Append(audit.Record{
+		Kind: audit.Reconfiguration, Layer: audit.LayerMessaging, Domain: b.name,
+		Src: srcComp.entity.ID(), Dst: ifc.EntityID(remoteBus + ":" + remoteDst),
+		SrcCtx: ctx, Agent: by, Note: "cross-bus channel established",
+	})
+	return nil
+}
+
+// sendRemote ships one message down a cross-bus channel. The sender stamps
+// the message with the source's *current* security context; the receiver
+// enforces against it.
+func (b *Bus) sendRemote(srcComp *Component, srcEP EndpointSpec, remoteBus, remoteDst string, m *msg.Message) error {
+	l, err := b.linkFor(remoteBus)
+	if err != nil {
+		return err
+	}
+	payload, err := msg.EncodeBinary(m)
+	if err != nil {
+		return err
+	}
+	ctx := srcComp.Context()
+	if err := l.send(linkFrame{
+		Kind:         "message",
+		Src:          b.name + ":" + srcComp.Name() + "." + srcEP.Name,
+		Dst:          remoteDst,
+		SrcSecrecy:   ctx.Secrecy,
+		SrcIntegrity: ctx.Integrity,
+		Schema:       srcEP.Schema.Name,
+		Payload:      payload,
+		Agent:        srcComp.principal,
+	}); err != nil {
+		return err
+	}
+	b.log.Append(audit.Record{
+		Kind: audit.FlowAllowed, Layer: audit.LayerMessaging, Domain: b.name,
+		Src: srcComp.entity.ID(), Dst: ifc.EntityID(remoteBus + ":" + remoteDst),
+		SrcCtx: ctx, DataID: m.DataID, Agent: srcComp.principal,
+		Note: "egress to peer bus",
+	})
+	return nil
+}
+
+// request performs a round trip over the link.
+func (l *link) request(f linkFrame) (linkFrame, error) {
+	l.mu.Lock()
+	l.nextID++
+	f.ID = l.nextID
+	ch := make(chan linkFrame, 1)
+	l.pending[f.ID] = ch
+	l.mu.Unlock()
+
+	defer func() {
+		l.mu.Lock()
+		delete(l.pending, f.ID)
+		l.mu.Unlock()
+	}()
+
+	if err := l.send(f); err != nil {
+		return linkFrame{}, err
+	}
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-time.After(connectTimeout):
+		return linkFrame{}, fmt.Errorf("%w: request timed out", ErrLinkDown)
+	}
+}
+
+// send serialises one frame.
+func (l *link) send(f linkFrame) error {
+	l.sendMu.Lock()
+	defer l.sendMu.Unlock()
+	return sendFrame(l.conn, f)
+}
+
+func sendFrame(conn transport.Conn, f linkFrame) error {
+	b, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("sbus: encode frame: %w", err)
+	}
+	return conn.Send(b)
+}
+
+func recvFrame(conn transport.Conn) (linkFrame, error) {
+	raw, err := conn.Recv()
+	if err != nil {
+		return linkFrame{}, err
+	}
+	var f linkFrame
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return linkFrame{}, fmt.Errorf("sbus: decode frame: %w", err)
+	}
+	return f, nil
+}
+
+// readLoop dispatches inbound frames until the connection dies.
+func (l *link) readLoop() {
+	for {
+		f, err := recvFrame(l.conn)
+		if err != nil {
+			l.bus.dropLink(l)
+			return
+		}
+		switch f.Kind {
+		case "result":
+			l.mu.Lock()
+			ch, ok := l.pending[f.ID]
+			l.mu.Unlock()
+			if ok {
+				ch <- f
+			}
+		case "connect":
+			resp := linkFrame{Kind: "result", ID: f.ID, OK: true}
+			if err := l.acceptIngress(f); err != nil {
+				resp.OK = false
+				resp.Err = err.Error()
+			}
+			_ = l.send(resp)
+		case "message":
+			l.deliverIngress(f)
+		}
+	}
+}
+
+// dropLink removes a dead link.
+func (b *Bus) dropLink(l *link) {
+	b.mu.Lock()
+	if cur, ok := b.links[l.peer]; ok && cur == l {
+		delete(b.links, l.peer)
+	}
+	b.mu.Unlock()
+	l.conn.Close()
+}
+
+// acceptIngress validates a remote connect request against the local sink:
+// schema compatibility and IFC from the advertised remote context into the
+// local component's context.
+func (l *link) acceptIngress(f linkFrame) error {
+	b := l.bus
+	dstComp, dstEP, err := b.resolveLocal(f.Dst, Sink)
+	if err != nil {
+		return err
+	}
+	if dstComp.Quarantined() {
+		return fmt.Errorf("%w: %q", ErrQuarantined, dstComp.Name())
+	}
+	if dstEP.Schema.Name != f.Schema {
+		return fmt.Errorf("%w: remote emits %q, local accepts %q", ErrSchema, f.Schema, dstEP.Schema.Name)
+	}
+	srcCtx := ifc.SecurityContext{Secrecy: f.SrcSecrecy, Integrity: f.SrcIntegrity}
+	if err := b.admit(srcCtx); err != nil {
+		b.auditDenied(ifc.EntityID(f.Src), dstComp.entity.ID(), srcCtx, dstComp.Context(),
+			f.Agent, "", "ingress connect refused by admission policy: "+err.Error())
+		return err
+	}
+	if err := ifc.EnforceFlow(srcCtx, dstComp.Context()); err != nil {
+		b.auditDenied(ifc.EntityID(f.Src), dstComp.entity.ID(), srcCtx, dstComp.Context(),
+			f.Agent, "", "ingress connect denied by IFC: "+err.Error())
+		return err
+	}
+	l.mu.Lock()
+	l.ingress[channelKey{src: f.Src, dst: f.Dst}] = struct{}{}
+	l.mu.Unlock()
+	b.log.Append(audit.Record{
+		Kind: audit.Reconfiguration, Layer: audit.LayerMessaging, Domain: b.name,
+		Src: ifc.EntityID(f.Src), Dst: dstComp.entity.ID(),
+		SrcCtx: srcCtx, DstCtx: dstComp.Context(), Agent: f.Agent,
+		Note: "cross-bus ingress accepted",
+	})
+	return nil
+}
+
+// deliverIngress enforces and delivers one inbound cross-bus message.
+func (l *link) deliverIngress(f linkFrame) {
+	b := l.bus
+	l.mu.Lock()
+	_, established := l.ingress[channelKey{src: f.Src, dst: f.Dst}]
+	l.mu.Unlock()
+
+	dstComp, dstEP, err := b.resolveLocal(f.Dst, Sink)
+	if err != nil {
+		return
+	}
+	srcCtx := ifc.SecurityContext{Secrecy: f.SrcSecrecy, Integrity: f.SrcIntegrity}
+	dstCtx := dstComp.Context()
+
+	if !established {
+		b.auditDenied(ifc.EntityID(f.Src), dstComp.entity.ID(), srcCtx, dstCtx,
+			f.Agent, "", "ingress denied: no established channel")
+		return
+	}
+	if dstComp.Quarantined() {
+		b.auditDenied(ifc.EntityID(f.Src), dstComp.entity.ID(), srcCtx, dstCtx,
+			f.Agent, "", "ingress denied: destination quarantined")
+		return
+	}
+	// The sender's context may have changed since the connect; re-admit it.
+	if err := b.admit(srcCtx); err != nil {
+		b.auditDenied(ifc.EntityID(f.Src), dstComp.entity.ID(), srcCtx, dstCtx,
+			f.Agent, "", "ingress refused by admission policy: "+err.Error())
+		return
+	}
+	// Ingress IFC re-check with the sender's *current* context.
+	if err := ifc.EnforceFlow(srcCtx, dstCtx); err != nil {
+		b.auditDenied(ifc.EntityID(f.Src), dstComp.entity.ID(), srcCtx, dstCtx,
+			f.Agent, "", "ingress denied by IFC: "+err.Error())
+		return
+	}
+	m, err := msg.DecodeBinary(f.Payload)
+	if err != nil {
+		b.auditDenied(ifc.EntityID(f.Src), dstComp.entity.ID(), srcCtx, dstCtx,
+			f.Agent, "", "ingress denied: undecodable payload")
+		return
+	}
+	// Message-layer enforcement against the local schema definition.
+	clearance := dstComp.Clearance()
+	if !dstEP.Schema.Secrecy.Subset(clearance) {
+		b.auditDenied(ifc.EntityID(f.Src), dstComp.entity.ID(), srcCtx, dstCtx,
+			f.Agent, m.DataID, "ingress denied: type tags exceed clearance")
+		return
+	}
+	out, quenched := dstEP.Schema.Quench(m, clearance)
+
+	b.log.Append(audit.Record{
+		Kind: audit.FlowAllowed, Layer: audit.LayerMessaging, Domain: b.name,
+		Src: ifc.EntityID(f.Src), Dst: dstComp.entity.ID(),
+		SrcCtx: srcCtx, DstCtx: dstCtx, DataID: m.DataID, Agent: f.Agent,
+		Note: deliveryNote(quenched),
+	})
+	if dstComp.handler != nil {
+		dstComp.handler(out, Delivery{From: f.Src, Endpoint: dstEP.Name, Quenched: quenched})
+	}
+}

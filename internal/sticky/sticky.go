@@ -1,0 +1,189 @@
+// Package sticky implements the baseline the paper compares its approach
+// against (Section 10.2): sticky policies [21, 71], "where data is
+// encrypted along with the policy to be applied to that data. To obtain
+// the decryption key from a Trusted Authority, a party must agree to
+// enforce the policy."
+//
+// It exists so the comparison is executable rather than rhetorical. The
+// paper's two criticisms are reproduced as observable behaviour:
+//
+//  1. Trust-based enforcement: the authority records an *agreement*, not
+//     enforcement. After decryption nothing constrains the data —
+//     demonstrated by tests in which an agreeing party re-shares plaintext
+//     freely, which the IFC middleware would deny and audit.
+//  2. Heavyweight per-datum machinery: every protected datum costs an
+//     AES-256-GCM encryption plus an authority round trip for the first
+//     access — benchmark B9 compares this with the middleware's label
+//     checks.
+//
+// The implementation uses stdlib AES-GCM with random nonces and per-bundle
+// random keys held by the authority.
+package sticky
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"lciot/internal/ifc"
+)
+
+// Errors reported by the sticky-policy scheme.
+var (
+	ErrNoBundle  = errors.New("sticky: unknown bundle")
+	ErrNoConsent = errors.New("sticky: party has not agreed to the policy")
+	ErrTampered  = errors.New("sticky: bundle fails authentication")
+)
+
+// A Policy is the human/machine-readable obligation stuck to the data.
+// Unlike IFC labels it has no enforcement semantics — it is a promise the
+// recipient agrees to.
+type Policy struct {
+	// Text states the obligation, e.g. "medical data: do not re-share".
+	Text string `json:"text"`
+	// AllowedPurposes enumerate what the recipient may do.
+	AllowedPurposes []string `json:"allowed_purposes,omitempty"`
+}
+
+// A Bundle is the unit that travels: ciphertext with the policy attached in
+// the clear (the policy must be readable before agreement).
+type Bundle struct {
+	ID         string `json:"id"`
+	Policy     Policy `json:"policy"`
+	Nonce      []byte `json:"nonce"`
+	Ciphertext []byte `json:"ciphertext"`
+}
+
+// Marshal serialises a bundle for transport.
+func (b *Bundle) Marshal() ([]byte, error) { return json.Marshal(b) }
+
+// UnmarshalBundle parses a serialised bundle.
+func UnmarshalBundle(data []byte) (*Bundle, error) {
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("sticky: parse bundle: %w", err)
+	}
+	return &b, nil
+}
+
+// An Authority is the trusted third party holding decryption keys. It
+// releases a bundle's key to any principal that has agreed to the bundle's
+// policy — and that is the entirety of the enforcement.
+type Authority struct {
+	mu sync.Mutex
+	// keys holds the per-bundle data keys.
+	keys map[string][]byte
+	// agreements[bundleID][principal] records who promised what.
+	agreements map[string]map[ifc.PrincipalID]struct{}
+	// releases counts key hand-outs, for audit-by-counting (the scheme has
+	// no flow audit; this is the best it offers).
+	releases map[string]int
+	nextID   uint64
+}
+
+// NewAuthority creates an empty authority.
+func NewAuthority() *Authority {
+	return &Authority{
+		keys:       make(map[string][]byte),
+		agreements: make(map[string]map[ifc.PrincipalID]struct{}),
+		releases:   make(map[string]int),
+	}
+}
+
+// Seal encrypts data under a fresh key registered with the authority and
+// returns the travelling bundle.
+func (a *Authority) Seal(data []byte, p Policy) (*Bundle, error) {
+	key := make([]byte, 32)
+	if _, err := rand.Read(key); err != nil {
+		return nil, fmt.Errorf("sticky: key generation: %w", err)
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("sticky: %w", err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("sticky: %w", err)
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("sticky: nonce generation: %w", err)
+	}
+
+	a.mu.Lock()
+	a.nextID++
+	id := fmt.Sprintf("bundle-%d", a.nextID)
+	a.keys[id] = key
+	a.agreements[id] = make(map[ifc.PrincipalID]struct{})
+	a.mu.Unlock()
+
+	// Bind the policy text into the AEAD so policy-stripping is detected.
+	aad, err := json.Marshal(p)
+	if err != nil {
+		return nil, fmt.Errorf("sticky: encode policy: %w", err)
+	}
+	ct := gcm.Seal(nil, nonce, data, aad)
+	return &Bundle{ID: id, Policy: p, Nonce: nonce, Ciphertext: ct}, nil
+}
+
+// Agree records that the principal promises to honour the bundle's policy.
+// Nothing verifies the promise, ever — that is the scheme's documented
+// weakness.
+func (a *Authority) Agree(principal ifc.PrincipalID, bundleID string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ag, ok := a.agreements[bundleID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoBundle, bundleID)
+	}
+	ag[principal] = struct{}{}
+	return nil
+}
+
+// Open releases the plaintext to an agreeing principal. After this call the
+// data is entirely outside any control regime.
+func (a *Authority) Open(principal ifc.PrincipalID, b *Bundle) ([]byte, error) {
+	a.mu.Lock()
+	key, ok := a.keys[b.ID]
+	if !ok {
+		a.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrNoBundle, b.ID)
+	}
+	if _, agreed := a.agreements[b.ID][principal]; !agreed {
+		a.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q for %q", ErrNoConsent, b.ID, principal)
+	}
+	a.releases[b.ID]++
+	a.mu.Unlock()
+
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("sticky: %w", err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("sticky: %w", err)
+	}
+	aad, err := json.Marshal(b.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("sticky: encode policy: %w", err)
+	}
+	pt, err := gcm.Open(nil, b.Nonce, b.Ciphertext, aad)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTampered, err)
+	}
+	return pt, nil
+}
+
+// Releases reports how many times a bundle's key has been handed out — the
+// only visibility the scheme offers. Compare audit.Log, which records every
+// attempted flow including denials.
+func (a *Authority) Releases(bundleID string) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.releases[bundleID]
+}

@@ -1,0 +1,173 @@
+package sticky
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"lciot/internal/audit"
+	"lciot/internal/ifc"
+	"lciot/internal/oskernel"
+)
+
+func sealHello(t *testing.T) (*Authority, *Bundle) {
+	t.Helper()
+	a := NewAuthority()
+	b, err := a.Seal([]byte("ann-vitals"), Policy{
+		Text:            "medical data: do not re-share",
+		AllowedPurposes: []string{"treatment"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func TestSealAgreeOpen(t *testing.T) {
+	a, b := sealHello(t)
+
+	// Without agreement the authority withholds the key.
+	if _, err := a.Open("clinic", b); !errors.Is(err, ErrNoConsent) {
+		t.Fatalf("open without consent = %v", err)
+	}
+	if err := a.Agree("clinic", b.ID); err != nil {
+		t.Fatal(err)
+	}
+	pt, err := a.Open("clinic", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pt, []byte("ann-vitals")) {
+		t.Fatalf("plaintext = %q", pt)
+	}
+	if a.Releases(b.ID) != 1 {
+		t.Fatalf("releases = %d", a.Releases(b.ID))
+	}
+}
+
+func TestAgreeUnknownBundle(t *testing.T) {
+	a := NewAuthority()
+	if err := a.Agree("x", "ghost"); !errors.Is(err, ErrNoBundle) {
+		t.Fatalf("agree ghost = %v", err)
+	}
+	if _, err := a.Open("x", &Bundle{ID: "ghost"}); !errors.Is(err, ErrNoBundle) {
+		t.Fatalf("open ghost = %v", err)
+	}
+}
+
+func TestPolicyStrippingDetected(t *testing.T) {
+	a, b := sealHello(t)
+	if err := a.Agree("clinic", b.ID); err != nil {
+		t.Fatal(err)
+	}
+	// An intermediary rewrites the policy to something weaker.
+	b.Policy.Text = "do whatever you like"
+	if _, err := a.Open("clinic", b); !errors.Is(err, ErrTampered) {
+		t.Fatalf("stripped policy = %v", err)
+	}
+}
+
+func TestCiphertextTamperDetected(t *testing.T) {
+	a, b := sealHello(t)
+	if err := a.Agree("clinic", b.ID); err != nil {
+		t.Fatal(err)
+	}
+	b.Ciphertext[0] ^= 0xFF
+	if _, err := a.Open("clinic", b); !errors.Is(err, ErrTampered) {
+		t.Fatalf("tampered ciphertext = %v", err)
+	}
+}
+
+func TestBundleMarshalRoundTrip(t *testing.T) {
+	a, b := sealHello(t)
+	data, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalBundle(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Agree("clinic", back.ID); err != nil {
+		t.Fatal(err)
+	}
+	if pt, err := a.Open("clinic", back); err != nil || string(pt) != "ann-vitals" {
+		t.Fatalf("round-tripped open = %q, %v", pt, err)
+	}
+	if _, err := UnmarshalBundle([]byte("{")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+// TestBaselineComparisonPostDecryptionLeak demonstrates the paper's core
+// criticism (Section 10.2): under sticky policies, once data is decrypted
+// nothing prevents an agreeing-but-dishonest party from re-sharing it, and
+// the authority's view shows nothing wrong. Under the IFC kernel the same
+// re-share attempt is denied *and* audited.
+func TestBaselineComparisonPostDecryptionLeak(t *testing.T) {
+	// --- Sticky world ---
+	a, b := sealHello(t)
+	if err := a.Agree("dishonest-clinic", b.ID); err != nil {
+		t.Fatal(err)
+	}
+	pt, err := a.Open("dishonest-clinic", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The clinic now "re-shares" the plaintext: nothing stops it, nothing
+	// records it. The authority still believes one lawful release happened.
+	leaked := append([]byte(nil), pt...)
+	if len(leaked) == 0 {
+		t.Fatal("no plaintext to leak")
+	}
+	if a.Releases(b.ID) != 1 {
+		t.Fatalf("authority sees %d releases despite the leak", a.Releases(b.ID))
+	}
+
+	// --- IFC world: the same data, the same dishonest intent ---
+	k := oskernel.NewKernel("node", nil)
+	clinic := k.Boot("clinic", ifc.MustContext([]ifc.Tag{"medical", "ann"}, nil))
+	if err := k.Create(clinic.PID(), "/records/ann"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Write(clinic.PID(), "/records/ann", pt); err != nil {
+		t.Fatal(err)
+	}
+	// Re-sharing = writing into a public file: denied and audited.
+	public := k.Boot("public-blog", ifc.SecurityContext{})
+	if err := k.Create(public.PID(), "/www/post"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Write(clinic.PID(), "/www/post", pt); !errors.Is(err, ifc.ErrFlowDenied) {
+		t.Fatalf("IFC re-share = %v, want denial", err)
+	}
+	denials := k.Log().Select(func(r audit.Record) bool { return r.Kind == audit.FlowDenied })
+	if len(denials) != 1 {
+		t.Fatalf("IFC denials audited = %d", len(denials))
+	}
+}
+
+func TestConcurrentSealAndOpen(t *testing.T) {
+	a := NewAuthority()
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			b, err := a.Seal([]byte("x"), Policy{Text: "p"})
+			if err != nil {
+				done <- err
+				return
+			}
+			if err := a.Agree("p", b.ID); err != nil {
+				done <- err
+				return
+			}
+			_, err = a.Open("p", b)
+			done <- err
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// MemNetwork is an in-memory Network for simulations: it supports latency
+// injection and per-address partitioning (an address can be cut off and
+// healed), so tests can reproduce the federated, unreliable conditions of a
+// wide-scale IoT — mobile things, intermittent gateways, audit gaps —
+// without sockets or timing flakiness.
+type MemNetwork struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener
+	// latency is charged on each Send (applied as a sleep).
+	latency time.Duration
+	// down marks listener addresses currently cut off from the network.
+	down map[string]bool
+}
+
+var _ Network = (*MemNetwork)(nil)
+
+// NewMemNetwork builds an empty in-memory network.
+func NewMemNetwork() *MemNetwork {
+	return &MemNetwork{
+		listeners: make(map[string]*memListener),
+		down:      make(map[string]bool),
+	}
+}
+
+// SetLatency configures the per-frame delivery delay.
+func (n *MemNetwork) SetLatency(d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.latency = d
+}
+
+// SetDown cuts an address off from the network (true) or heals it (false).
+// Frames on existing connections to that address fail with ErrPartitioned;
+// new dials fail too.
+func (n *MemNetwork) SetDown(addr string, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if down {
+		n.down[addr] = true
+	} else {
+		delete(n.down, addr)
+	}
+}
+
+// reachable reports whether the listener address may currently exchange
+// frames.
+func (n *MemNetwork) reachable(addr string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return !n.down[addr]
+}
+
+// Listen implements Network.
+func (n *MemNetwork) Listen(addr string) (Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.listeners[addr]; ok {
+		return nil, fmt.Errorf("transport: address %q already in use", addr)
+	}
+	l := &memListener{net: n, addr: addr, backlog: make(chan *memConn, 16), closed: make(chan struct{})}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial implements Network.
+func (n *MemNetwork) Dial(addr string) (Conn, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[addr]
+	isDown := n.down[addr]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoListener, addr)
+	}
+	if isDown {
+		return nil, fmt.Errorf("%w: %q is down", ErrPartitioned, addr)
+	}
+	// The dialer's "address" is synthetic; partitions are keyed on listener
+	// addresses, so record the remote on each side.
+	clientSide, serverSide := newMemPipe(n, addr)
+	select {
+	case l.backlog <- serverSide:
+		return clientSide, nil
+	default:
+		return nil, fmt.Errorf("transport: listener %q backlog full", addr)
+	}
+}
+
+type memListener struct {
+	net     *MemNetwork
+	addr    string
+	backlog chan *memConn
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+func (l *memListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.closed:
+		return nil, ErrClosed
+	}
+}
+
+func (l *memListener) Close() error {
+	l.net.mu.Lock()
+	delete(l.net.listeners, l.addr)
+	l.net.mu.Unlock()
+	l.closeOnce.Do(func() { close(l.closed) })
+	return nil
+}
+
+func (l *memListener) Addr() string { return l.addr }
+
+// memConn is one side of an in-memory duplex pipe.
+type memConn struct {
+	net    *MemNetwork
+	remote string // listener address this pipe is associated with
+	in     chan []byte
+	out    chan []byte
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	peer      *memConn
+}
+
+// newMemPipe creates the two entangled halves of a connection.
+func newMemPipe(n *MemNetwork, listenerAddr string) (client, server *memConn) {
+	a2b := make(chan []byte, 256)
+	b2a := make(chan []byte, 256)
+	client = &memConn{net: n, remote: listenerAddr, in: b2a, out: a2b, closed: make(chan struct{})}
+	server = &memConn{net: n, remote: listenerAddr, in: a2b, out: b2a, closed: make(chan struct{})}
+	client.peer = server
+	server.peer = client
+	return client, server
+}
+
+func (c *memConn) Send(frame []byte) error {
+	if len(frame) > MaxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrFrameSize, len(frame))
+	}
+	if !c.net.reachable(c.remote) {
+		return ErrPartitioned
+	}
+	c.net.mu.Lock()
+	lat := c.net.latency
+	c.net.mu.Unlock()
+	if lat > 0 {
+		time.Sleep(lat)
+	}
+	owned := make([]byte, len(frame))
+	copy(owned, frame)
+	// Check for closure first: a select with a ready buffer would otherwise
+	// pick non-deterministically between enqueueing and failing.
+	select {
+	case <-c.closed:
+		return ErrClosed
+	case <-c.peer.closed:
+		return ErrClosed
+	default:
+	}
+	select {
+	case <-c.closed:
+		return ErrClosed
+	case <-c.peer.closed:
+		return ErrClosed
+	case c.out <- owned:
+		return nil
+	}
+}
+
+func (c *memConn) Recv() ([]byte, error) {
+	select {
+	case f := <-c.in:
+		return f, nil
+	case <-c.closed:
+		// Drain anything already delivered before reporting closure.
+		select {
+		case f := <-c.in:
+			return f, nil
+		default:
+			return nil, ErrClosed
+		}
+	case <-c.peer.closed:
+		select {
+		case f := <-c.in:
+			return f, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+func (c *memConn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return nil
+}
+
+func (c *memConn) RemoteAddr() string { return c.remote }
+
+var _ Conn = (*memConn)(nil)

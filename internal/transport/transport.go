@@ -1,0 +1,143 @@
+// Package transport provides the framed, connection-oriented byte transport
+// underneath the messaging substrate (Fig. 9's cross-machine path). Two
+// implementations share one interface: a real TCP transport (package net)
+// for deployment, and an in-memory simulated network with configurable
+// latency, loss and partitions for deterministic tests, simulations and
+// benchmarks (see DESIGN.md, substitutions).
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Errors reported by transports.
+var (
+	ErrClosed      = errors.New("transport: connection closed")
+	ErrNoListener  = errors.New("transport: no listener at address")
+	ErrPartitioned = errors.New("transport: network partitioned")
+	ErrFrameSize   = errors.New("transport: frame exceeds maximum size")
+)
+
+// MaxFrameSize bounds a single frame; larger payloads must be chunked by
+// the caller. 16 MiB accommodates any realistic policy or audit transfer.
+const MaxFrameSize = 16 << 20
+
+// A Conn is a reliable, ordered, framed duplex connection.
+type Conn interface {
+	// Send transmits one frame.
+	Send(frame []byte) error
+	// Recv blocks for the next frame.
+	Recv() ([]byte, error)
+	// Close tears the connection down; pending Recv calls fail.
+	Close() error
+	// RemoteAddr names the peer.
+	RemoteAddr() string
+}
+
+// A Listener accepts inbound connections.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	Addr() string
+}
+
+// A Network dials and listens. Addresses are opaque strings: "host:port"
+// for TCP, arbitrary names for the in-memory network.
+type Network interface {
+	Dial(addr string) (Conn, error)
+	Listen(addr string) (Listener, error)
+}
+
+// --- TCP implementation ---
+
+// TCPNetwork is the production transport over real sockets.
+type TCPNetwork struct{}
+
+var _ Network = TCPNetwork{}
+
+// Dial implements Network.
+func (TCPNetwork) Dial(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return &tcpConn{c: c}, nil
+}
+
+// Listen implements Network.
+func (TCPNetwork) Listen(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &tcpListener{l: l}, nil
+}
+
+type tcpListener struct{ l net.Listener }
+
+func (t *tcpListener) Accept() (Conn, error) {
+	c, err := t.l.Accept()
+	if err != nil {
+		return nil, fmt.Errorf("transport: accept: %w", err)
+	}
+	return &tcpConn{c: c}, nil
+}
+
+func (t *tcpListener) Close() error { return t.l.Close() }
+func (t *tcpListener) Addr() string { return t.l.Addr().String() }
+
+// tcpConn frames with a 4-byte big-endian length prefix.
+type tcpConn struct {
+	c net.Conn
+
+	sendMu sync.Mutex
+	recvMu sync.Mutex
+}
+
+func (t *tcpConn) Send(frame []byte) error {
+	if len(frame) > MaxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrFrameSize, len(frame))
+	}
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	if _, err := t.c.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: send header: %w", err)
+	}
+	if _, err := t.c.Write(frame); err != nil {
+		return fmt.Errorf("transport: send body: %w", err)
+	}
+	return nil
+}
+
+func (t *tcpConn) Recv() ([]byte, error) {
+	t.recvMu.Lock()
+	defer t.recvMu.Unlock()
+	var hdr [4]byte
+	if _, err := io.ReadFull(t.c, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+			return nil, ErrClosed
+		}
+		return nil, fmt.Errorf("transport: recv header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("%w: peer announced %d bytes", ErrFrameSize, n)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(t.c, frame); err != nil {
+		return nil, fmt.Errorf("transport: recv body: %w", err)
+	}
+	return frame, nil
+}
+
+func (t *tcpConn) Close() error       { return t.c.Close() }
+func (t *tcpConn) RemoteAddr() string { return t.c.RemoteAddr().String() }
+
+var _ Conn = (*tcpConn)(nil)

@@ -1,0 +1,395 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// exerciseNetwork runs the shared conformance suite over any Network.
+func exerciseNetwork(t *testing.T, n Network, addr string) {
+	t.Helper()
+	l, err := n.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	type result struct {
+		frames [][]byte
+		err    error
+	}
+	done := make(chan result, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		defer c.Close()
+		var frames [][]byte
+		for i := 0; i < 3; i++ {
+			f, err := c.Recv()
+			if err != nil {
+				done <- result{err: err}
+				return
+			}
+			frames = append(frames, f)
+			if err := c.Send(append([]byte("echo:"), f...)); err != nil {
+				done <- result{err: err}
+				return
+			}
+		}
+		done <- result{frames: frames}
+	}()
+
+	c, err := n.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	sent := [][]byte{[]byte("one"), {}, bytes.Repeat([]byte("x"), 70000)}
+	for _, f := range sent {
+		if err := c.Send(f); err != nil {
+			t.Fatal(err)
+		}
+		echo, err := c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := append([]byte("echo:"), f...)
+		if !bytes.Equal(echo, want) {
+			t.Fatalf("echo = %d bytes, want %d", len(echo), len(want))
+		}
+	}
+	r := <-done
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	for i, f := range r.frames {
+		if !bytes.Equal(f, sent[i]) {
+			t.Fatalf("server frame %d corrupted", i)
+		}
+	}
+}
+
+func TestTCPNetworkConformance(t *testing.T) {
+	exerciseNetwork(t, TCPNetwork{}, "127.0.0.1:0")
+}
+
+func TestMemNetworkConformance(t *testing.T) {
+	exerciseNetwork(t, NewMemNetwork(), "node-a")
+}
+
+func TestDialUnknownAddress(t *testing.T) {
+	n := NewMemNetwork()
+	if _, err := n.Dial("ghost"); !errors.Is(err, ErrNoListener) {
+		t.Fatalf("Dial(ghost) = %v", err)
+	}
+	if _, err := (TCPNetwork{}).Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("TCP dial to closed port succeeded")
+	}
+}
+
+func TestMemNetworkDuplicateListen(t *testing.T) {
+	n := NewMemNetwork()
+	l, err := n.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("a"); err == nil {
+		t.Fatal("duplicate listen succeeded")
+	}
+	// After closing, the address is reusable.
+	l.Close()
+	if _, err := n.Listen("a"); err != nil {
+		t.Fatalf("re-listen after close: %v", err)
+	}
+}
+
+func TestMemNetworkPartition(t *testing.T) {
+	n := NewMemNetwork()
+	l, err := n.Listen("gw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		for {
+			if _, err := c.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	c, err := n.Dial("gw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+
+	n.SetDown("gw", true)
+	if err := c.Send([]byte("hi")); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("send to downed address = %v", err)
+	}
+	if _, err := n.Dial("gw"); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("dial to downed address = %v", err)
+	}
+
+	n.SetDown("gw", false)
+	if err := c.Send([]byte("hi")); err != nil {
+		t.Fatalf("send after heal = %v", err)
+	}
+}
+
+func TestMemNetworkLatency(t *testing.T) {
+	n := NewMemNetwork()
+	n.SetLatency(20 * time.Millisecond)
+	l, err := n.Listen("slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		f, err := c.Recv()
+		if err != nil {
+			return
+		}
+		_ = c.Send(f)
+	}()
+	c, err := n.Dial("slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := c.Send([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("round trip %v, want >= 40ms (two hops of 20ms)", elapsed)
+	}
+}
+
+func TestConnCloseUnblocksRecv(t *testing.T) {
+	n := NewMemNetwork()
+	l, err := n.Listen("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	c, err := n.Dial("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-accepted
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := server.Recv()
+		errCh <- err
+	}()
+	c.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("Recv after peer close = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv not unblocked by peer close")
+	}
+	if err := c.Send([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Send on closed conn = %v", err)
+	}
+}
+
+func TestRecvDrainsBeforeClosedError(t *testing.T) {
+	n := NewMemNetwork()
+	l, err := n.Listen("y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	c, err := n.Dial("y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-accepted
+	if err := c.Send([]byte("last words")); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	// The frame sent before close must still be deliverable.
+	f, err := server.Recv()
+	if err != nil || string(f) != "last words" {
+		t.Fatalf("Recv = %q, %v", f, err)
+	}
+	if _, err := server.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("subsequent Recv = %v", err)
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	n := NewMemNetwork()
+	l, err := n.Listen("z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _, _ = l.Accept() }()
+	c, err := n.Dial("z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, MaxFrameSize+1)
+	if err := c.Send(big); !errors.Is(err, ErrFrameSize) {
+		t.Fatalf("oversized send = %v", err)
+	}
+}
+
+func TestListenerCloseUnblocksAccept(t *testing.T) {
+	n := NewMemNetwork()
+	l, err := n.Listen("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		errCh <- err
+	}()
+	l.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("Accept after close = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Accept not unblocked")
+	}
+}
+
+func TestRemoteAddr(t *testing.T) {
+	// In-memory: the remote address is the listener name.
+	n := NewMemNetwork()
+	l, err := n.Listen("hub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _, _ = l.Accept() }()
+	c, err := n.Dial("hub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.RemoteAddr() != "hub" {
+		t.Fatalf("mem RemoteAddr = %q", c.RemoteAddr())
+	}
+
+	// TCP: a dotted host:port.
+	tl, err := (TCPNetwork{}).Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+	go func() { _, _ = tl.Accept() }()
+	tc, err := (TCPNetwork{}).Dial(tl.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tc.Close()
+	if !strings.HasPrefix(tc.RemoteAddr(), "127.0.0.1:") {
+		t.Fatalf("tcp RemoteAddr = %q", tc.RemoteAddr())
+	}
+}
+
+func TestTCPRecvAfterPeerClose(t *testing.T) {
+	tl, err := (TCPNetwork{}).Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := tl.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	c, err := (TCPNetwork{}).Dial(tl.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-accepted
+	c.Close()
+	if _, err := server.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Recv after peer close = %v", err)
+	}
+}
+
+func TestMemConnConcurrentSend(t *testing.T) {
+	n := NewMemNetwork()
+	l, err := n.Listen("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	received := make(chan int, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		count := 0
+		for count < 400 {
+			if _, err := c.Recv(); err != nil {
+				break
+			}
+			count++
+		}
+		received <- count
+	}()
+	c, err := n.Dial("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if err := c.Send([]byte("m")); err != nil {
+					t.Errorf("Send: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := <-received; got != 400 {
+		t.Fatalf("received %d frames, want 400", got)
+	}
+}

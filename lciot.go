@@ -1,0 +1,287 @@
+// Package lciot is policy-driven middleware for a legally-compliant
+// Internet of Things: a Go implementation of the architecture proposed by
+// Singh et al., "Big ideas paper: Policy-driven middleware for a
+// legally-compliant Internet of Things" (Middleware 2016).
+//
+// The library provides, end to end:
+//
+//   - Decentralised Information Flow Control: tags, secrecy/integrity
+//     labels, privileges, declassifier/endorser gates (Section 6 of the
+//     paper).
+//   - A reconfigurable, strongly-typed messaging substrate with IFC
+//     enforcement at channel establishment and per message, message-layer
+//     tags with attribute quenching, and third-party reconfiguration
+//     (Sections 8.1, 8.2).
+//   - A policy language and engine: ECA rules over events, context and
+//     timers, with priority-based conflict resolution and break-glass
+//     overrides that revert automatically (Sections 3.1, 5).
+//   - Complex event detection, a context model, simulated devices,
+//     gateways for constrained subsystems, and cloud hosts with an
+//     IFC-enforcing kernel.
+//   - Tamper-evident audit of every attempted flow and provenance graphs
+//     derived from the logs (Section 8.3).
+//   - Federation between administrative domains over TCP or an in-memory
+//     simulated network, gated by remote attestation.
+//
+// The top-level entry point is Domain (see NewDomain). A minimal system:
+//
+//	d, err := lciot.NewDomain("hospital", lciot.Options{})
+//	// register components on d.Bus(), load policy with d.LoadPolicy(...)
+//
+// See examples/quickstart for a complete runnable program, and DESIGN.md /
+// EXPERIMENTS.md for the mapping from the paper's figures to this
+// implementation.
+package lciot
+
+import (
+	"lciot/internal/ac"
+	"lciot/internal/attest"
+	"lciot/internal/audit"
+	"lciot/internal/cep"
+	"lciot/internal/core"
+	"lciot/internal/ctxmodel"
+	"lciot/internal/device"
+	"lciot/internal/ifc"
+	"lciot/internal/msg"
+	"lciot/internal/names"
+	"lciot/internal/policy"
+	"lciot/internal/sbus"
+	"lciot/internal/transport"
+)
+
+// --- IFC model (paper Section 6) ---
+
+type (
+	// Tag names one security concern, e.g. "medical" or "eu/personal-data".
+	Tag = ifc.Tag
+	// Label is an immutable set of tags.
+	Label = ifc.Label
+	// SecurityContext pairs a secrecy and an integrity label.
+	SecurityContext = ifc.SecurityContext
+	// Privileges are the four tag sets authorising label changes.
+	Privileges = ifc.Privileges
+	// Gate bridges security context domains (declassifier/endorser).
+	Gate = ifc.Gate
+	// Entity is a labelled active or passive entity.
+	Entity = ifc.Entity
+	// PrincipalID identifies a principal (person, organisation, service).
+	PrincipalID = ifc.PrincipalID
+	// FlowDecision explains a flow check outcome.
+	FlowDecision = ifc.FlowDecision
+)
+
+// IFC constructors and checks re-exported from the model.
+var (
+	// NewLabel builds a validated label.
+	NewLabel = ifc.NewLabel
+	// MustLabel builds a label from constant tags, panicking on error.
+	MustLabel = ifc.MustLabel
+	// NewContext builds a validated security context.
+	NewContext = ifc.NewContext
+	// MustContext builds a context from constant tags.
+	MustContext = ifc.MustContext
+	// CheckFlow evaluates the flow rule with a full explanation.
+	CheckFlow = ifc.CheckFlow
+	// EnforceFlow returns an error when the flow rule denies.
+	EnforceFlow = ifc.EnforceFlow
+	// MergeContexts computes the least upper bound of contexts.
+	MergeContexts = ifc.MergeContexts
+	// OwnerPrivileges returns full privileges over the given tags.
+	OwnerPrivileges = ifc.OwnerPrivileges
+	// NewEntity creates an active labelled entity (gate operators, ad hoc
+	// processes); bus components get their entities automatically.
+	NewEntity = ifc.NewEntity
+	// ErrFlowDenied matches IFC denials via errors.Is.
+	ErrFlowDenied = ifc.ErrFlowDenied
+)
+
+// --- Middleware core ---
+
+type (
+	// Domain is one administrative domain: bus, policy engine, context
+	// store, audit log, devices, TPM.
+	Domain = core.Domain
+	// Options configures a Domain.
+	Options = core.Options
+)
+
+var (
+	// NewDomain assembles a domain.
+	NewDomain = core.NewDomain
+	// PolicyEnginePrincipal is the identity of the domain policy engine.
+	PolicyEnginePrincipal = core.PolicyEnginePrincipal
+)
+
+// --- Messaging substrate (paper Sections 8.1, 8.2) ---
+
+type (
+	// Bus is one messaging substrate instance.
+	Bus = sbus.Bus
+	// Component is one "thing" on a bus.
+	Component = sbus.Component
+	// EndpointSpec declares a typed endpoint.
+	EndpointSpec = sbus.EndpointSpec
+	// Handler consumes delivered messages.
+	Handler = sbus.Handler
+	// Delivery carries delivery metadata.
+	Delivery = sbus.Delivery
+	// ControlOp is a serialisable reconfiguration instruction (Fig. 8).
+	ControlOp = sbus.ControlOp
+	// Message is a typed message instance.
+	Message = msg.Message
+	// Schema declares a message type.
+	Schema = msg.Schema
+	// Field declares one message attribute.
+	Field = msg.Field
+)
+
+// Endpoint directions.
+const (
+	Source = sbus.Source
+	Sink   = sbus.Sink
+)
+
+// Message field types.
+const (
+	TString = msg.TString
+	TFloat  = msg.TFloat
+	TInt    = msg.TInt
+	TBool   = msg.TBool
+	TBytes  = msg.TBytes
+)
+
+// Messaging constructors.
+var (
+	// NewBus builds a standalone bus (Domains build their own).
+	NewBus = sbus.NewBus
+	// NewSchema builds a validated message schema.
+	NewSchema = msg.NewSchema
+	// MustSchema builds a schema from constant fields.
+	MustSchema = msg.MustSchema
+	// NewMessage builds an empty message of a type.
+	NewMessage = msg.New
+	// Str, Float, Int, Bool and Bytes build message values.
+	Str   = msg.Str
+	Float = msg.Float
+	Int   = msg.Int
+	Bool  = msg.Bool
+	Bytes = msg.Bytes
+)
+
+// --- Policy (paper Sections 3.1, 5) ---
+
+type (
+	// PolicySet is a parsed rule collection.
+	PolicySet = policy.PolicySet
+	// PolicyEngine evaluates rules and emits actions.
+	PolicyEngine = policy.Engine
+	// Action is one reconfiguration instruction emitted by policy.
+	Action = policy.Action
+	// Conflict reports two rules contending for one resource.
+	Conflict = policy.Conflict
+)
+
+var (
+	// ParsePolicy compiles policy source.
+	ParsePolicy = policy.Parse
+)
+
+// --- Events, context, devices ---
+
+type (
+	// Event is one observation fed to detection.
+	Event = cep.Event
+	// Detection is a matched pattern instance.
+	Detection = cep.Detection
+	// Pattern inspects the event stream.
+	Pattern = cep.Pattern
+	// ThresholdPattern fires on N matching events within a window.
+	ThresholdPattern = cep.Threshold
+	// SequencePattern fires on ordered steps within a window.
+	SequencePattern = cep.Sequence
+	// AbsencePattern fires when a stream goes silent.
+	AbsencePattern = cep.Absence
+	// AggregatePattern fires when a windowed aggregate crosses a limit.
+	AggregatePattern = cep.Aggregate
+	// ContextStore holds the environmental context.
+	ContextStore = ctxmodel.Store
+	// ContextValue is a typed context attribute value.
+	ContextValue = ctxmodel.Value
+	// VitalsSensor is a deterministic synthetic medical sensor.
+	VitalsSensor = device.VitalsSensor
+	// EnvironmentSensor is a deterministic random-walk sensor.
+	EnvironmentSensor = device.EnvironmentSensor
+	// Actuator accepts validated commands.
+	Actuator = device.Actuator
+	// Reading is one sensor sample.
+	Reading = device.Reading
+)
+
+// Context value and device constructors.
+var (
+	CtxString = ctxmodel.String
+	CtxNumber = ctxmodel.Number
+	CtxBool   = ctxmodel.Bool
+	CtxTime   = ctxmodel.Time
+	// NewVitalsSensor builds a deterministic synthetic vitals sensor.
+	NewVitalsSensor = device.NewVitalsSensor
+	// NewEnvironmentSensor builds a deterministic environmental sensor.
+	NewEnvironmentSensor = device.NewEnvironmentSensor
+	// NewActuator builds a command-validated actuator.
+	NewActuator = device.NewActuator
+)
+
+// --- Audit & provenance (paper Section 8.3) ---
+
+type (
+	// AuditLog is a tamper-evident flow log.
+	AuditLog = audit.Log
+	// AuditRecord is one audit event.
+	AuditRecord = audit.Record
+	// ProvenanceGraph is the derived audit graph (Fig. 11).
+	ProvenanceGraph = audit.Graph
+	// ComplianceReport summarises a log for a regulator.
+	ComplianceReport = audit.ComplianceReport
+)
+
+var (
+	// BuildProvenance derives a provenance graph from audit records.
+	BuildProvenance = audit.BuildGraph
+	// Report builds a compliance report over a log.
+	Report = audit.Report
+)
+
+// --- Access control, naming, attestation, transport ---
+
+type (
+	// ACL is the role-based access-control list guarding PEPs.
+	ACL = ac.ACL
+	// Role is a parametrised role.
+	Role = ac.Role
+	// Permission grants an action over a resource pattern.
+	Permission = ac.Permission
+	// Assignment activates a role for a principal.
+	Assignment = ac.Assignment
+	// TagZone is an authoritative tag namespace zone.
+	TagZone = names.Zone
+	// TagRecord is the authoritative description of a tag.
+	TagRecord = names.TagRecord
+	// TagResolver resolves tags through the zone tree.
+	TagResolver = names.Resolver
+	// AttestationPolicy states what a verifier requires of a platform.
+	AttestationPolicy = attest.Policy
+	// Network abstracts the byte transport (TCP or in-memory).
+	Network = transport.Network
+)
+
+var (
+	// NewTagRoot creates an empty root zone.
+	NewTagRoot = names.NewRoot
+	// NewTagResolver builds a resolver over a zone tree.
+	NewTagResolver = names.NewResolver
+	// NewMemNetwork builds the in-memory simulated network.
+	NewMemNetwork = transport.NewMemNetwork
+)
+
+// TCP is the production transport over real sockets.
+var TCP transport.Network = transport.TCPNetwork{}

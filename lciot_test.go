@@ -1,0 +1,123 @@
+package lciot_test
+
+import (
+	"errors"
+	"testing"
+
+	"lciot"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as a downstream user
+// would: build a domain, register components, load policy, observe
+// enforcement and audit.
+func TestFacadeEndToEnd(t *testing.T) {
+	d, err := lciot.NewDomain("demo", lciot.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vitals := lciot.MustSchema("vitals", lciot.Label{},
+		lciot.Field{Name: "patient", Type: lciot.TString, Required: true},
+		lciot.Field{Name: "heart-rate", Type: lciot.TFloat, Required: true},
+	)
+	annCtx := lciot.MustContext([]lciot.Tag{"medical", "ann"}, nil)
+
+	if _, err := d.Bus().Register("sensor", "hospital", annCtx, nil,
+		lciot.EndpointSpec{Name: "out", Dir: lciot.Source, Schema: vitals}); err != nil {
+		t.Fatal(err)
+	}
+	received := 0
+	if _, err := d.Bus().Register("analyser", "hospital", annCtx,
+		func(m *lciot.Message, _ lciot.Delivery) { received++ },
+		lciot.EndpointSpec{Name: "in", Dir: lciot.Sink, Schema: vitals}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Bus().Register("public-sink", "hospital", lciot.SecurityContext{}, nil,
+		lciot.EndpointSpec{Name: "in", Dir: lciot.Sink, Schema: vitals}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := d.Bus().Connect(lciot.PolicyEnginePrincipal, "sensor.out", "analyser.in"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Bus().Connect(lciot.PolicyEnginePrincipal, "sensor.out", "public-sink.in"); !errors.Is(err, lciot.ErrFlowDenied) {
+		t.Fatalf("public connect = %v", err)
+	}
+
+	sensor, err := d.Bus().Component("sensor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := lciot.NewMessage("vitals").
+		Set("patient", lciot.Str("ann")).
+		Set("heart-rate", lciot.Float(71))
+	if n, err := sensor.Publish("out", m); err != nil || n != 1 {
+		t.Fatalf("publish = %d, %v", n, err)
+	}
+	if received != 1 {
+		t.Fatalf("received = %d", received)
+	}
+
+	rep := lciot.Report(d.Log())
+	if !rep.ChainIntact || rep.ByKind["flow-denied"] != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestFacadeIFCPrimitives(t *testing.T) {
+	a := lciot.MustContext([]lciot.Tag{"s1"}, nil)
+	b := lciot.MustContext([]lciot.Tag{"s1", "s2"}, nil)
+	if !a.CanFlowTo(b) || b.CanFlowTo(a) {
+		t.Fatal("flow rule broken through facade")
+	}
+	d := lciot.CheckFlow(b, a)
+	if d.Allowed || d.MissingSecrecy.String() != "{s2}" {
+		t.Fatalf("decision = %+v", d)
+	}
+	if err := lciot.EnforceFlow(a, b); err != nil {
+		t.Fatal(err)
+	}
+	merged := lciot.MergeContexts(a, b)
+	if !a.CanFlowTo(merged) || !b.CanFlowTo(merged) {
+		t.Fatal("merge broken")
+	}
+	p := lciot.OwnerPrivileges("s1", "s2")
+	if err := p.AuthoriseTransition(b, a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadePolicyParse(t *testing.T) {
+	set, err := lciot.ParsePolicy(`rule "r" { on event "e" do alert "x" }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Rules) != 1 {
+		t.Fatalf("rules = %d", len(set.Rules))
+	}
+	if _, err := lciot.ParsePolicy("junk"); err == nil {
+		t.Fatal("junk accepted")
+	}
+}
+
+func TestFacadeTagNamespace(t *testing.T) {
+	root := lciot.NewTagRoot()
+	zone, err := root.DelegatePath("hospital.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := zone.Register(lciot.TagRecord{
+		Tag:   "hospital.example/medical",
+		Owner: "hospital",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resolver := lciot.NewTagResolver(root)
+	rec, err := resolver.Resolve("anyone", "hospital.example/medical")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Owner != "hospital" {
+		t.Fatalf("owner = %q", rec.Owner)
+	}
+}
