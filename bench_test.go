@@ -75,6 +75,28 @@ func BenchmarkB2FlowCheck(b *testing.B) {
 	}
 }
 
+// BenchmarkB2FlowCheckDistinctPairs rotates through many distinct context
+// pairs so most checks miss the bounded decision cache: the comparison
+// against BenchmarkB2FlowCheck isolates what the cache is worth over the
+// raw interned-label merge walk.
+func BenchmarkB2FlowCheckDistinctPairs(b *testing.B) {
+	const pairs = 4096 // well past the cache bound
+	srcs := make([]ifc.SecurityContext, pairs)
+	dsts := make([]ifc.SecurityContext, pairs)
+	for i := range srcs {
+		base := ifc.Tag("pair-" + strconv.Itoa(i))
+		srcs[i] = ifc.SecurityContext{Secrecy: ifc.MustLabel(base, "medical")}
+		dsts[i] = ifc.SecurityContext{Secrecy: ifc.MustLabel(base, "medical", "extra")}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := ifc.CheckFlow(srcs[i%pairs], dsts[i%pairs]); !d.Allowed {
+			b.Fatal("flow should be allowed")
+		}
+	}
+}
+
 // --- B3: message-path enforcement overhead ---
 
 func newBenchBus(b *testing.B, schema *msg.Schema, clearance ifc.Label) (*sbus.Bus, *sbus.Component) {
@@ -286,6 +308,28 @@ func BenchmarkB5AuditAppend(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		l.Append(rec)
+	}
+}
+
+// BenchmarkB5AuditAppendAsync measures the enforcement-path cost of an
+// audit record when hashing is batched onto the background hasher: the
+// number to compare against BenchmarkB5AuditAppend, whose synchronous
+// chain-extend the message path no longer pays.
+func BenchmarkB5AuditAppendAsync(b *testing.B) {
+	l := audit.NewLog(nil)
+	rec := audit.Record{
+		Kind: audit.FlowAllowed, Layer: audit.LayerMessaging,
+		Src: "a", Dst: "b", DataID: "d",
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.AppendAsync(rec)
+	}
+	l.Flush()
+	b.StopTimer()
+	if l.Len() != b.N {
+		b.Fatalf("committed %d of %d records", l.Len(), b.N)
 	}
 }
 

@@ -9,17 +9,23 @@
 //	benchharness            run everything
 //	benchharness -e         run only the E-series scenarios
 //	benchharness -b         run only the B-series measurements
+//	benchharness -json F    also write the B-series rows to F as JSON
+//	                        (the repo keeps BENCH_<n>.json baselines so
+//	                        successive PRs have a perf trajectory)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 )
 
 func main() {
 	eOnly := flag.Bool("e", false, "run only the E-series figure reproductions")
 	bOnly := flag.Bool("b", false, "run only the B-series measurements")
+	jsonPath := flag.String("json", "", "write B-series measurements to this file as JSON")
 	flag.Parse()
 
 	failed := 0
@@ -43,8 +49,38 @@ func main() {
 		fmt.Println("=== B-series: quantitative tables ===")
 		runMeasurements()
 	}
+	if *jsonPath != "" {
+		if err := writeBaseline(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "benchharness: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("baseline written to %s (%d rows)\n", *jsonPath, len(benchRows))
+	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "benchharness: %d experiments failed\n", failed)
 		os.Exit(1)
 	}
+}
+
+// writeBaseline records the B-series rows with enough host context to make
+// cross-PR comparisons honest.
+func writeBaseline(path string) error {
+	out := struct {
+		GoVersion string     `json:"go_version"`
+		GOOS      string     `json:"goos"`
+		GOARCH    string     `json:"goarch"`
+		NumCPU    int        `json:"num_cpu"`
+		Rows      []benchRow `json:"rows"`
+	}{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Rows:      benchRows,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

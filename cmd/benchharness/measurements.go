@@ -35,7 +35,21 @@ func timeOp(f func()) time.Duration {
 	return time.Since(start) / runs
 }
 
+// A benchRow is one measured workload, also emitted to the -json baseline
+// file so successive PRs leave a perf trajectory (BENCH_1.json, ...).
+type benchRow struct {
+	Table    string `json:"table"`
+	Workload string `json:"workload"`
+	NsPerOp  int64  `json:"ns_per_op"`
+	Note     string `json:"note,omitempty"`
+}
+
+var benchRows []benchRow
+
 func row(table, workload string, perOp time.Duration, note string) {
+	benchRows = append(benchRows, benchRow{
+		Table: table, Workload: workload, NsPerOp: perOp.Nanoseconds(), Note: note,
+	})
 	fmt.Printf("%-4s %-38s %12s/op  %s\n", table, workload, perOp, note)
 }
 

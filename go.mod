@@ -1,0 +1,3 @@
+module lciot
+
+go 1.22

@@ -20,9 +20,19 @@ var (
 // for distributed audit?"), retaining the chain head so continuity remains
 // checkable.
 //
+// Ingest has two paths. Append hashes and commits synchronously and
+// returns the completed record. AppendAsync — the enforcement hot path —
+// enqueues the record into a small bounded ring and returns immediately; a
+// background hasher goroutine drains the ring in batches, assigning
+// sequence numbers and chaining hashes in arrival order. Flush blocks
+// until every enqueued record is committed. Every read-side method (Len,
+// Get, Select, Verify, HeadHash, Prune) flushes first, so observers always
+// see a complete, verifiable chain; the tamper-evidence guarantees are
+// identical on both paths.
+//
 // The zero value is ready to use.
 type Log struct {
-	mu      sync.RWMutex
+	mu      sync.Mutex
 	records []Record
 	// firstSeq is the sequence number of records[0]; it advances on prune.
 	firstSeq uint64
@@ -32,9 +42,31 @@ type Log struct {
 	lastHash [32]byte
 	now      func() time.Time
 	// sinks receive a copy of each appended record (e.g. a domain-wide
-	// collector); they must not block.
+	// collector). They must not block, and must not call back into this
+	// log's blocking methods (Append, Flush or any read-side method):
+	// async-path sinks run on the hasher goroutine, where such a call
+	// would self-deadlock. Appending to a *different* log is fine.
 	sinks []func(Record)
+
+	// pendMu guards the async ingest ring.
+	pendMu   sync.Mutex
+	pendCond *sync.Cond
+	pending  []Record
+	// draining is true while a hasher goroutine is live. The goroutine is
+	// started on demand and exits when the ring empties, so idle logs hold
+	// no background resources.
+	draining bool
+	// enqueued/completed count records entering and leaving the async
+	// ring over the log's lifetime. Flush waits on the watermark —
+	// completed catching up with enqueued-as-of-the-call — not on full
+	// ring quiescence, so it stays bounded under sustained ingest.
+	enqueued  uint64
+	completed uint64
 }
+
+// maxPending bounds the async ring; enqueueing beyond it blocks until the
+// hasher catches up (backpressure rather than unbounded memory).
+const maxPending = 4096
 
 // NewLog builds an empty log. A nil clock means time.Now.
 func NewLog(clock func() time.Time) *Log {
@@ -44,28 +76,36 @@ func NewLog(clock func() time.Time) *Log {
 	return &Log{now: clock}
 }
 
-// AddSink registers a callback invoked (synchronously) for each appended
-// record. Sinks enable hierarchical collection: a thing's log forwards into
-// its domain's log.
+// clock returns the log's time source (zero-value logs use time.Now).
+func (l *Log) clock() time.Time {
+	if l.now == nil {
+		return time.Now()
+	}
+	return l.now()
+}
+
+// AddSink registers a callback invoked for each appended record (on the
+// appending goroutine for Append, on the hasher goroutine for AppendAsync).
+// Sinks enable hierarchical collection: a thing's log forwards into its
+// domain's log. See the Log doc comment for what sinks must not do.
 func (l *Log) AddSink(sink func(Record)) {
+	l.Flush()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.sinks = append(l.sinks, sink)
 }
 
-// Append adds a record, assigning its sequence number, timestamp (when
-// zero) and chained hash, and returns the completed record.
+// Append adds a record synchronously, assigning its sequence number,
+// timestamp (when zero) and chained hash, and returns the completed record.
+// Any records already enqueued via AppendAsync are committed first, so the
+// chain reflects arrival order.
 func (l *Log) Append(r Record) Record {
-	l.mu.Lock()
+	l.Flush()
 	if r.Time.IsZero() {
-		r.Time = l.now()
+		r.Time = l.clock()
 	}
-	r.Seq = l.nextSeq
-	r.PrevHash = l.lastHash
-	r.Hash = computeHash(&r)
-	l.records = append(l.records, r)
-	l.nextSeq++
-	l.lastHash = r.Hash
+	l.mu.Lock()
+	l.commitLocked(&r)
 	sinks := l.sinks
 	l.mu.Unlock()
 
@@ -75,24 +115,118 @@ func (l *Log) Append(r Record) Record {
 	return r
 }
 
+// AppendAsync enqueues a record for batched, background hashing and
+// returns immediately. The record's timestamp is assigned now (when zero);
+// its sequence number and chained hash are assigned by the hasher in
+// arrival order. Call Flush to wait for commitment; read-side methods
+// flush implicitly.
+func (l *Log) AppendAsync(r Record) {
+	if r.Time.IsZero() {
+		r.Time = l.clock()
+	}
+	l.pendMu.Lock()
+	for len(l.pending) >= maxPending {
+		l.condLocked().Wait()
+	}
+	l.pending = append(l.pending, r)
+	l.enqueued++
+	start := !l.draining
+	l.draining = true
+	l.pendMu.Unlock()
+	if start {
+		go l.drain()
+	}
+}
+
+// Flush blocks until every record enqueued via AppendAsync before the call
+// has been hashed, chained and delivered to sinks. Records enqueued after
+// the call are not waited for, so Flush is bounded even while other
+// goroutines keep appending.
+func (l *Log) Flush() {
+	l.pendMu.Lock()
+	target := l.enqueued
+	for l.completed < target {
+		l.condLocked().Wait()
+	}
+	l.pendMu.Unlock()
+}
+
+// condLocked lazily builds the ring's condition variable (so the zero-value
+// Log stays ready to use). Callers must hold pendMu.
+func (l *Log) condLocked() *sync.Cond {
+	if l.pendCond == nil {
+		l.pendCond = sync.NewCond(&l.pendMu)
+	}
+	return l.pendCond
+}
+
+// drain is the background hasher: it repeatedly swaps out the pending ring
+// and commits the batch under the chain lock, then exits once the ring
+// stays empty.
+func (l *Log) drain() {
+	for {
+		l.pendMu.Lock()
+		batch := l.pending
+		l.pending = nil
+		if len(batch) == 0 {
+			l.draining = false
+			l.condLocked().Broadcast()
+			l.pendMu.Unlock()
+			return
+		}
+		l.condLocked().Broadcast() // release writers blocked on backpressure
+		l.pendMu.Unlock()
+
+		l.mu.Lock()
+		for i := range batch {
+			l.commitLocked(&batch[i])
+		}
+		sinks := l.sinks
+		l.mu.Unlock()
+		for _, s := range sinks {
+			for i := range batch {
+				s(batch[i])
+			}
+		}
+
+		l.pendMu.Lock()
+		l.completed += uint64(len(batch))
+		l.condLocked().Broadcast() // advance the Flush watermark
+		l.pendMu.Unlock()
+	}
+}
+
+// commitLocked assigns seq, chains and stores one record; l.mu must be held.
+func (l *Log) commitLocked(r *Record) {
+	r.Seq = l.nextSeq
+	r.PrevHash = l.lastHash
+	r.Hash = computeHash(r)
+	l.records = append(l.records, *r)
+	l.nextSeq++
+	l.lastHash = r.Hash
+}
+
 // Len returns the number of retained records.
 func (l *Log) Len() int {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
+	l.Flush()
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	return len(l.records)
 }
 
 // HeadHash returns the hash of the latest record.
 func (l *Log) HeadHash() [32]byte {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
+	l.Flush()
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	return l.lastHash
 }
 
 // Get returns the record with the given sequence number.
 func (l *Log) Get(seq uint64) (Record, error) {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
+	l.Flush()
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if seq < l.firstSeq {
 		return Record{}, fmt.Errorf("%w: seq %d < first retained %d", ErrPruned, seq, l.firstSeq)
 	}
@@ -106,8 +240,9 @@ func (l *Log) Get(seq uint64) (Record, error) {
 // Select returns a copy of all retained records matching the filter; a nil
 // filter selects everything.
 func (l *Log) Select(filter func(Record) bool) []Record {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
+	l.Flush()
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	out := make([]Record, 0, len(l.records))
 	for _, r := range l.records {
 		if filter == nil || filter(r) {
@@ -121,8 +256,9 @@ func (l *Log) Select(filter func(Record) bool) []Record {
 // linkage. It returns the sequence number of the first bad record, or -1
 // with a nil error when the chain is intact.
 func (l *Log) Verify() (int64, error) {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
+	l.Flush()
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	prev := [32]byte{}
 	for i := range l.records {
 		r := l.records[i]
@@ -144,6 +280,7 @@ func (l *Log) Verify() (int64, error) {
 // for offload. The chain head remains verifiable because the first retained
 // record still carries the hash of the last pruned one.
 func (l *Log) Prune(upto uint64) []Record {
+	l.Flush()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if upto <= l.firstSeq {

@@ -11,6 +11,8 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash"
+	"sync"
 	"time"
 
 	"lciot/internal/ifc"
@@ -111,28 +113,50 @@ type Record struct {
 	Hash     [32]byte `json:"hash"`
 }
 
-// computeHash derives the record's chained hash.
+// hashScratch bundles a reusable SHA-256 state with a reusable encoding
+// buffer: audit ingest is a hot path, and a fresh hash.Hash plus per-field
+// byte conversions would allocate on every record.
+type hashScratch struct {
+	h   hash.Hash
+	buf []byte
+}
+
+var hasherPool = sync.Pool{
+	New: func() any { return &hashScratch{h: sha256.New(), buf: make([]byte, 0, 512)} },
+}
+
+// computeHash derives the record's chained hash. Labels are interned with
+// their canonical strings (package ifc), so the context fields hash without
+// re-rendering; the whole computation is allocation-free in steady state.
+//
+// The hash preimage layout is an internal detail of this package version:
+// chains and exported segments verify against the code that produced them,
+// and the layout may change between versions (it is not a cross-version
+// archival format). Offloaded segments that must stay verifiable across
+// upgrades should pin the verifier version alongside the segment.
 func computeHash(r *Record) [32]byte {
-	h := sha256.New()
-	var seq [8]byte
-	binary.BigEndian.PutUint64(seq[:], r.Seq)
-	h.Write(seq[:])
-	tb, _ := r.Time.UTC().MarshalBinary() // valid times cannot fail
-	h.Write(tb)
-	h.Write([]byte{byte(r.Kind), byte(r.Layer)})
-	for _, s := range []string{
+	s := hasherPool.Get().(*hashScratch)
+	b := s.buf[:0]
+	b = binary.BigEndian.AppendUint64(b, r.Seq)
+	b = binary.BigEndian.AppendUint64(b, uint64(r.Time.Unix()))
+	b = binary.BigEndian.AppendUint32(b, uint32(r.Time.Nanosecond()))
+	b = append(b, byte(r.Kind), byte(r.Layer))
+	for _, f := range [...]string{
 		r.Domain, string(r.Src), string(r.Dst),
-		r.SrcCtx.String(), r.DstCtx.String(),
+		r.SrcCtx.Secrecy.String(), r.SrcCtx.Integrity.String(),
+		r.DstCtx.Secrecy.String(), r.DstCtx.Integrity.String(),
 		r.DataID, string(r.Agent), r.Note,
 	} {
-		var n [4]byte
-		binary.BigEndian.PutUint32(n[:], uint32(len(s)))
-		h.Write(n[:])
-		h.Write([]byte(s))
+		b = binary.BigEndian.AppendUint32(b, uint32(len(f)))
+		b = append(b, f...)
 	}
-	h.Write(r.PrevHash[:])
+	b = append(b, r.PrevHash[:]...)
+	s.h.Reset()
+	s.h.Write(b)
 	var out [32]byte
-	copy(out[:], h.Sum(nil))
+	s.h.Sum(out[:0])
+	s.buf = b
+	hasherPool.Put(s)
 	return out
 }
 

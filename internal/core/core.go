@@ -202,6 +202,24 @@ func (d *Domain) LoadPolicy(src string) error {
 	return nil
 }
 
+// InstallGate installs a declassifier/endorser gate into the domain's bus
+// (under the policy engine's authority) and audits the reconfiguration.
+// Installation advances the gate registry's generation, invalidating every
+// cached flow-routability decision, so a previously cached "no route"
+// between two contexts is re-derived — and may flip to "bridgeable" — on
+// the next check.
+func (d *Domain) InstallGate(g *ifc.Gate) error {
+	return d.bus.InstallGate(PolicyEnginePrincipal, g)
+}
+
+// RemoveGate removes an installed gate, again invalidating cached routes.
+func (d *Domain) RemoveGate(name string) error {
+	return d.bus.RemoveGate(PolicyEnginePrincipal, name)
+}
+
+// Gates exposes the domain's gate registry.
+func (d *Domain) Gates() *ifc.GateRegistry { return d.bus.Gates() }
+
 // RegisterPattern adds a CEP pattern whose detections drive policy.
 func (d *Domain) RegisterPattern(p cep.Pattern) { d.cep.Register(p) }
 

@@ -102,8 +102,23 @@ func (e *FlowError) Error() string {
 func (e *FlowError) Unwrap() error { return ErrFlowDenied }
 
 // CheckFlow evaluates the flow rule from src to dst and returns a full
-// decision. It never allocates when the flow is permitted.
+// decision. Decisions are served from a bounded, generation-stamped cache
+// keyed by the interned labels of both contexts (see flowcache.go); a hit
+// costs a hash and one atomic load and never allocates.
 func CheckFlow(src, dst SecurityContext) FlowDecision {
+	k := contextKey(src, dst)
+	slot := k.slot()
+	gen := flowGen.Load()
+	if e := slot.Load(); e != nil && e.key == k && e.gen == gen {
+		return e.d
+	}
+	d := checkFlowUncached(src, dst)
+	slot.Store(&flowEntry{key: k, gen: gen, d: d})
+	return d
+}
+
+// checkFlowUncached evaluates the flow rule without consulting the cache.
+func checkFlowUncached(src, dst SecurityContext) FlowDecision {
 	if src.CanFlowTo(dst) {
 		return FlowDecision{Allowed: true}
 	}

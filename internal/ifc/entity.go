@@ -23,7 +23,28 @@ type Entity struct {
 	mu    sync.RWMutex
 	ctx   SecurityContext
 	privs Privileges
+	// privGen advances on every privilege change; cached transition
+	// decisions are stamped with it so a grant or revoke instantly retires
+	// every decision derived from the old privilege sets.
+	privGen uint64
+	trans   map[transKey]transEntry
 }
+
+// transKey identifies a from→to context transition by the shared interned
+// label records of the four labels involved.
+type transKey struct {
+	fs, fi, ts, ti *labelRec
+}
+
+// transEntry is one cached transition authorisation, valid only while the
+// entity's privilege generation still matches.
+type transEntry struct {
+	gen uint64
+	err error
+}
+
+// maxTransCache bounds the per-entity transition cache.
+const maxTransCache = 64
 
 // NewEntity creates an active entity (one that can hold privileges and
 // change its own context) with the given initial security context.
@@ -66,8 +87,10 @@ func (e *Entity) GrantPrivileges(p Privileges) error {
 		return fmt.Errorf("ifc: cannot grant privileges to passive entity %q", e.id)
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.privs = e.privs.Union(p)
+	e.privGen++
+	e.mu.Unlock()
+	InvalidateFlowCache()
 	return nil
 }
 
@@ -75,13 +98,15 @@ func (e *Entity) GrantPrivileges(p Privileges) error {
 // reduction that needs no authorisation.
 func (e *Entity) DropPrivileges(p Privileges) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.privs = Privileges{
 		AddSecrecy:      e.privs.AddSecrecy.Diff(p.AddSecrecy),
 		RemoveSecrecy:   e.privs.RemoveSecrecy.Diff(p.RemoveSecrecy),
 		AddIntegrity:    e.privs.AddIntegrity.Diff(p.AddIntegrity),
 		RemoveIntegrity: e.privs.RemoveIntegrity.Diff(p.RemoveIntegrity),
 	}
+	e.privGen++
+	e.mu.Unlock()
+	InvalidateFlowCache()
 }
 
 // SetContext atomically transitions the entity to a new security context,
@@ -94,11 +119,42 @@ func (e *Entity) SetContext(to SecurityContext) error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if err := e.privs.AuthoriseTransition(e.ctx, to); err != nil {
+	if err := e.authoriseLocked(e.ctx, to); err != nil {
 		return fmt.Errorf("entity %q: %w", e.id, err)
 	}
 	e.ctx = to
 	return nil
+}
+
+// AuthoriseTransition checks whether the entity's current privileges permit
+// a from→to context transition, serving repeated checks from a small
+// privilege-generation-stamped cache. Granting or dropping privileges
+// advances the generation, so a previously cached deny (or allow) is
+// re-derived against the new privilege sets on the next check.
+func (e *Entity) AuthoriseTransition(from, to SecurityContext) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.authoriseLocked(from, to)
+}
+
+// authoriseLocked implements the cached transition check; e.mu must be held
+// for writing.
+func (e *Entity) authoriseLocked(from, to SecurityContext) error {
+	k := transKey{
+		fs: from.Secrecy.rec, fi: from.Integrity.rec,
+		ts: to.Secrecy.rec, ti: to.Integrity.rec,
+	}
+	if ent, ok := e.trans[k]; ok && ent.gen == e.privGen {
+		return ent.err
+	}
+	err := e.privs.AuthoriseTransition(from, to)
+	if e.trans == nil {
+		e.trans = make(map[transKey]transEntry, 8)
+	} else if len(e.trans) >= maxTransCache {
+		clear(e.trans)
+	}
+	e.trans[k] = transEntry{gen: e.privGen, err: err}
+	return err
 }
 
 // Spawn creates a child entity. Per the creation-flow rule the child

@@ -1,0 +1,190 @@
+package ifc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestInterningInvariants pins the hash-consing contract the caches key on:
+// equal labels share one record, distinct labels never do.
+func TestInterningInvariants(t *testing.T) {
+	a := MustLabel("medical", "ann")
+	b := MustLabel("ann", "medical", "ann") // different order, duplicate
+	if a.rec == nil || a.rec != b.rec {
+		t.Fatal("equal labels not hash-consed to one record")
+	}
+	if a.key() == 0 {
+		t.Fatal("non-empty label has the reserved empty key")
+	}
+	c := MustLabel("medical")
+	if c.rec == a.rec || c.key() == a.key() {
+		t.Fatal("distinct labels share a record or key")
+	}
+	u := c.Union(MustLabel("ann"))
+	if u.rec != a.rec {
+		t.Fatal("derived label not canonicalised to the shared record")
+	}
+	if got := a.String(); got != "{ann,medical}" {
+		t.Fatalf("canonical form = %q", got)
+	}
+	var zero Label
+	if zero.key() != 0 || !zero.Equal(EmptyLabel) {
+		t.Fatal("zero-value label is not the empty label")
+	}
+}
+
+// TestCheckFlowCachedMatchesUncached cross-checks the cached CheckFlow
+// against the direct rule evaluation over a spread of context pairs,
+// exercising both cold and hot cache states.
+func TestCheckFlowCachedMatchesUncached(t *testing.T) {
+	var ctxs []SecurityContext
+	for i := 0; i < 6; i++ {
+		var s, in []Tag
+		for j := 0; j <= i; j++ {
+			s = append(s, Tag(fmt.Sprintf("s%d", j)))
+		}
+		for j := i; j < 4; j++ {
+			in = append(in, Tag(fmt.Sprintf("i%d", j)))
+		}
+		ctxs = append(ctxs, MustContext(s, in))
+	}
+	ctxs = append(ctxs, SecurityContext{})
+	for round := 0; round < 2; round++ { // second round hits the cache
+		for _, src := range ctxs {
+			for _, dst := range ctxs {
+				got := CheckFlow(src, dst)
+				want := checkFlowUncached(src, dst)
+				if got.Allowed != want.Allowed ||
+					!got.MissingSecrecy.Equal(want.MissingSecrecy) ||
+					!got.MissingIntegrity.Equal(want.MissingIntegrity) {
+					t.Fatalf("CheckFlow(%s, %s) = %+v, want %+v", src, dst, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPrivilegeChangeInvalidatesCachedTransition is the privilege half of
+// the cache-invalidation contract: a transition decision served from the
+// entity's cache must flip as soon as privileges are granted, and flip
+// back when they are revoked.
+func TestPrivilegeChangeInvalidatesCachedTransition(t *testing.T) {
+	secret := MustContext([]Tag{"medical"}, nil)
+	public := SecurityContext{}
+	e := NewEntity("declassifier", secret)
+
+	// Prime the cache with a denial (twice, so the second answer is the
+	// cached one).
+	for i := 0; i < 2; i++ {
+		if err := e.SetContext(public); !errors.Is(err, ErrPrivilege) {
+			t.Fatalf("unprivileged declassification = %v, want ErrPrivilege", err)
+		}
+	}
+
+	// Granting the declassification privilege must retire the cached deny.
+	if err := e.GrantPrivileges(Privileges{
+		RemoveSecrecy: MustLabel("medical"),
+		AddSecrecy:    MustLabel("medical"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetContext(public); err != nil {
+		t.Fatalf("privileged declassification denied by stale cache: %v", err)
+	}
+
+	// And revoking must retire the cached allow.
+	if err := e.SetContext(secret); err != nil {
+		t.Fatal(err)
+	}
+	e.DropPrivileges(Privileges{RemoveSecrecy: MustLabel("medical")})
+	if err := e.SetContext(public); !errors.Is(err, ErrPrivilege) {
+		t.Fatalf("revoked declassification = %v, want ErrPrivilege (stale cached allow?)", err)
+	}
+}
+
+// TestGateInstallInvalidatesCachedRoute is the gate half of the contract:
+// a cached "no route" between two contexts must flip to routable the
+// moment a bridging gate is installed, and back when it is removed.
+func TestGateInstallInvalidatesCachedRoute(t *testing.T) {
+	var reg GateRegistry
+	med := MustContext([]Tag{"medical", "ann"}, nil)
+	research := MustContext([]Tag{"research"}, nil)
+
+	for i := 0; i < 2; i++ { // second call is served from the route cache
+		if _, ok := reg.Route(med, research); ok {
+			t.Fatal("declassifying route allowed without a gate")
+		}
+	}
+
+	reg.Install(&Gate{Name: "anonymiser", Input: med, Output: research})
+	via, ok := reg.Route(med, research)
+	if !ok || via != "anonymiser" {
+		t.Fatalf("Route after gate install = %q, %v; cached deny not invalidated", via, ok)
+	}
+
+	reg.Remove("anonymiser")
+	if _, ok := reg.Route(med, research); ok {
+		t.Fatal("route survived gate removal; cached allow not invalidated")
+	}
+
+	// Direct flows never need a gate and report via == "".
+	if via, ok := reg.Route(research, research); !ok || via != "" {
+		t.Fatalf("identity route = %q, %v", via, ok)
+	}
+}
+
+// TestFlowCacheInvalidationUnderRace hammers cached checks while
+// privileges are granted/revoked and gates installed/removed, so the
+// generation machinery runs under the race detector. Decisions observed
+// after the final mutation must reflect it.
+func TestFlowCacheInvalidationUnderRace(t *testing.T) {
+	med := MustContext([]Tag{"medical"}, nil)
+	pub := SecurityContext{}
+	var reg GateRegistry
+	var wg sync.WaitGroup
+
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e := NewEntity(EntityID(fmt.Sprintf("worker%d", w)), med)
+			for i := 0; i < 500; i++ {
+				CheckFlow(med, pub)
+				CheckFlow(pub, med)
+				reg.Route(med, pub)
+				switch i % 4 {
+				case 0:
+					_ = e.GrantPrivileges(Privileges{RemoveSecrecy: MustLabel("medical")})
+				case 1:
+					_ = e.SetContext(pub)
+				case 2:
+					e.DropPrivileges(Privileges{RemoveSecrecy: MustLabel("medical")})
+				case 3:
+					_ = e.AuthoriseTransition(med, pub)
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			reg.Install(&Gate{Name: "g", Input: med, Output: pub})
+			reg.Remove("g")
+		}
+	}()
+	wg.Wait()
+
+	if d := CheckFlow(med, pub); d.Allowed {
+		t.Fatal("secret -> public allowed")
+	}
+	if _, ok := reg.Route(med, pub); ok {
+		t.Fatal("route allowed after final gate removal")
+	}
+	reg.Install(&Gate{Name: "g", Input: med, Output: pub})
+	if via, ok := reg.Route(med, pub); !ok || via != "g" {
+		t.Fatalf("route after reinstall = %q, %v", via, ok)
+	}
+}

@@ -98,7 +98,7 @@ func (g *Gate) RequiredPrivileges() Privileges {
 // remains responsible for checking the flow from the actual source into
 // g.Input and from g.Output to the actual destination.
 func (g *Gate) Cross(operator *Entity, data []byte) ([]byte, error) {
-	if err := operator.Privileges().AuthoriseTransition(g.Input, g.Output); err != nil {
+	if err := operator.AuthoriseTransition(g.Input, g.Output); err != nil {
 		return nil, fmt.Errorf("gate %q: operator %q: %w", g.Name, operator.ID(), err)
 	}
 	if g.Guard != nil {

@@ -10,12 +10,15 @@ import (
 // which is valid and means "unconstrained" for secrecy and "no integrity
 // guarantees" for integrity.
 //
-// Labels are stored as sorted, deduplicated slices. This keeps subset
-// checks linear, equality cheap, and the canonical String form stable,
-// which matters because labels are compared on every data flow and appear
-// in audit records and on the wire.
+// Labels are hash-consed: every distinct tag set is backed by one shared,
+// interned record holding the sorted, deduplicated tag slice, the interned
+// tag IDs and the canonical string form (see intern.go). This keeps subset
+// checks linear with mostly-integer comparisons, makes equality a single
+// key comparison, and renders the canonical String form exactly once per
+// distinct label — which matters because labels are compared on every data
+// flow and appear in audit records and on the wire.
 type Label struct {
-	tags []Tag // sorted ascending, no duplicates; never mutated after construction
+	rec *labelRec // nil means the empty label; never mutated
 }
 
 // EmptyLabel is the label with no tags.
@@ -79,43 +82,91 @@ func newLabelUnchecked(tags []Tag) Label {
 			out = append(out, t)
 		}
 	}
-	return Label{tags: out}
+	return Label{rec: internLabel(out, nil)}
+}
+
+// makeLabel wraps a sorted, deduplicated tag set (with aligned intern IDs
+// when the caller knows them) in a Label. The caller must not retain tags.
+func makeLabel(tags []Tag, ids []uint32) Label {
+	return Label{rec: internLabel(tags, ids)}
+}
+
+// list returns the shared sorted tag slice. Callers must not mutate it.
+func (l Label) list() []Tag {
+	if l.rec == nil {
+		return nil
+	}
+	return l.rec.tags
+}
+
+// key returns the label's unique intern key (0 for the empty label).
+func (l Label) key() uint64 {
+	if l.rec == nil {
+		return 0
+	}
+	return l.rec.key
 }
 
 // Len returns the number of tags in the label.
-func (l Label) Len() int { return len(l.tags) }
+func (l Label) Len() int {
+	if l.rec == nil {
+		return 0
+	}
+	return len(l.rec.tags)
+}
 
 // IsEmpty reports whether the label has no tags.
-func (l Label) IsEmpty() bool { return len(l.tags) == 0 }
+func (l Label) IsEmpty() bool { return l.rec == nil || len(l.rec.tags) == 0 }
 
 // Has reports whether the label contains the tag.
 func (l Label) Has(t Tag) bool {
-	i := sort.Search(len(l.tags), func(i int) bool { return l.tags[i] >= t })
-	return i < len(l.tags) && l.tags[i] == t
+	tags := l.list()
+	i := sort.Search(len(tags), func(i int) bool { return tags[i] >= t })
+	return i < len(tags) && tags[i] == t
 }
 
 // Tags returns a copy of the tag set in sorted order.
 func (l Label) Tags() []Tag {
-	if len(l.tags) == 0 {
+	tags := l.list()
+	if len(tags) == 0 {
 		return nil
 	}
-	out := make([]Tag, len(l.tags))
-	copy(out, l.tags)
+	out := make([]Tag, len(tags))
+	copy(out, tags)
 	return out
 }
 
-// Subset reports whether every tag of l is also in other. Both slices are
-// sorted, so this is a single merge walk.
+// Subset reports whether every tag of l is also in other. Both tag sets are
+// sorted, so this is a single merge walk; interned tag IDs make the common
+// "same tag on both sides" step an integer comparison.
 func (l Label) Subset(other Label) bool {
-	if len(l.tags) > len(other.tags) {
+	if l.rec == nil {
+		return true
+	}
+	if other.rec == nil {
+		return false
+	}
+	if l.rec == other.rec {
+		return true
+	}
+	a, b := l.rec, other.rec
+	n, m := len(a.tags), len(b.tags)
+	if n > m {
 		return false
 	}
 	j := 0
-	for _, t := range l.tags {
-		for j < len(other.tags) && other.tags[j] < t {
-			j++
-		}
-		if j == len(other.tags) || other.tags[j] != t {
+	for i := 0; i < n; i++ {
+		for {
+			if j == m {
+				return false
+			}
+			if a.ids[i] == b.ids[j] {
+				break
+			}
+			if b.tags[j] < a.tags[i] {
+				j++
+				continue
+			}
 			return false
 		}
 		j++
@@ -123,81 +174,108 @@ func (l Label) Subset(other Label) bool {
 	return true
 }
 
-// Equal reports whether both labels contain exactly the same tags.
+// Equal reports whether both labels contain exactly the same tags. Interning
+// makes this a pointer comparison.
 func (l Label) Equal(other Label) bool {
-	if len(l.tags) != len(other.tags) {
-		return false
-	}
-	for i, t := range l.tags {
-		if other.tags[i] != t {
-			return false
-		}
-	}
-	return true
+	return l.rec == other.rec
 }
 
 // Union returns the label containing every tag of l and other.
 func (l Label) Union(other Label) Label {
-	if l.IsEmpty() {
+	if l.IsEmpty() || l.rec == other.rec {
 		return other
 	}
 	if other.IsEmpty() {
 		return l
 	}
-	merged := make([]Tag, 0, len(l.tags)+len(other.tags))
+	a, b := l.rec, other.rec
+	tags := make([]Tag, 0, len(a.tags)+len(b.tags))
+	ids := make([]uint32, 0, len(a.tags)+len(b.tags))
 	i, j := 0, 0
-	for i < len(l.tags) && j < len(other.tags) {
+	for i < len(a.tags) && j < len(b.tags) {
 		switch {
-		case l.tags[i] < other.tags[j]:
-			merged = append(merged, l.tags[i])
+		case a.ids[i] == b.ids[j]:
+			tags = append(tags, a.tags[i])
+			ids = append(ids, a.ids[i])
 			i++
-		case l.tags[i] > other.tags[j]:
-			merged = append(merged, other.tags[j])
 			j++
-		default:
-			merged = append(merged, l.tags[i])
+		case a.tags[i] < b.tags[j]:
+			tags = append(tags, a.tags[i])
+			ids = append(ids, a.ids[i])
 			i++
+		default:
+			tags = append(tags, b.tags[j])
+			ids = append(ids, b.ids[j])
 			j++
 		}
 	}
-	merged = append(merged, l.tags[i:]...)
-	merged = append(merged, other.tags[j:]...)
-	return Label{tags: merged}
+	tags = append(tags, a.tags[i:]...)
+	ids = append(ids, a.ids[i:]...)
+	tags = append(tags, b.tags[j:]...)
+	ids = append(ids, b.ids[j:]...)
+	return makeLabel(tags, ids)
 }
 
 // Intersect returns the label containing the tags present in both l and other.
 func (l Label) Intersect(other Label) Label {
-	var out []Tag
+	if l.rec == other.rec {
+		return l
+	}
+	if l.rec == nil || other.rec == nil {
+		return Label{}
+	}
+	a, b := l.rec, other.rec
+	var tags []Tag
+	var ids []uint32
 	i, j := 0, 0
-	for i < len(l.tags) && j < len(other.tags) {
+	for i < len(a.tags) && j < len(b.tags) {
 		switch {
-		case l.tags[i] < other.tags[j]:
+		case a.ids[i] == b.ids[j]:
+			tags = append(tags, a.tags[i])
+			ids = append(ids, a.ids[i])
 			i++
-		case l.tags[i] > other.tags[j]:
 			j++
-		default:
-			out = append(out, l.tags[i])
+		case a.tags[i] < b.tags[j]:
 			i++
+		default:
 			j++
 		}
 	}
-	return Label{tags: out}
+	if tags == nil {
+		return Label{}
+	}
+	return makeLabel(tags, ids)
 }
 
 // Diff returns the tags in l that are not in other.
 func (l Label) Diff(other Label) Label {
-	var out []Tag
+	if l.rec == nil || l.rec == other.rec {
+		return Label{}
+	}
+	if other.rec == nil {
+		return l
+	}
+	a, b := l.rec, other.rec
+	var tags []Tag
+	var ids []uint32
 	j := 0
-	for _, t := range l.tags {
-		for j < len(other.tags) && other.tags[j] < t {
+	for i := range a.tags {
+		for j < len(b.tags) && b.tags[j] < a.tags[i] {
 			j++
 		}
-		if j < len(other.tags) && other.tags[j] == t {
+		if j < len(b.tags) && a.ids[i] == b.ids[j] {
 			continue
 		}
-		out = append(out, t)
+		tags = append(tags, a.tags[i])
+		ids = append(ids, a.ids[i])
 	}
-	return Label{tags: out}
+	if tags == nil {
+		return Label{}
+	}
+	if len(tags) == len(a.tags) {
+		return l
+	}
+	return makeLabel(tags, ids)
 }
 
 // With returns a copy of the label with the tags added.
@@ -217,22 +295,13 @@ func (l Label) Without(tags ...Tag) Label {
 }
 
 // String renders the canonical form, e.g. "{ann,medical}", or "∅" for the
-// empty label, matching the notation used in the paper's figures.
+// empty label, matching the notation used in the paper's figures. The form
+// is rendered once per distinct label and shared thereafter.
 func (l Label) String() string {
-	if len(l.tags) == 0 {
+	if l.rec == nil {
 		return "∅"
 	}
-	var b strings.Builder
-	b.Grow(2 + len(l.tags)*8)
-	b.WriteByte('{')
-	for i, t := range l.tags {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		b.WriteString(string(t))
-	}
-	b.WriteByte('}')
-	return b.String()
+	return l.rec.str
 }
 
 // MarshalText implements encoding.TextMarshaler using the canonical form.

@@ -183,14 +183,17 @@ func (k *Kernel) hook(op string, src, dst *ifc.Entity, dataID string) error {
 	}
 	srcCtx, dstCtx := src.Context(), dst.Context()
 	if err := ifc.EnforceFlow(srcCtx, dstCtx); err != nil {
-		k.log.Append(audit.Record{
+		k.log.AppendAsync(audit.Record{
 			Kind: audit.FlowDenied, Layer: audit.LayerKernel, Domain: k.name,
 			Src: src.ID(), Dst: dst.ID(), SrcCtx: srcCtx, DstCtx: dstCtx,
 			DataID: dataID, Note: op + " denied: " + err.Error(),
 		})
 		return fmt.Errorf("%s: %w", op, err)
 	}
-	k.log.Append(audit.Record{
+	// The hook runs on every data-moving kernel operation; the audit
+	// record is batched onto the background hasher (audit.Log.AppendAsync)
+	// so enforcement does not serialise behind the hash chain.
+	k.log.AppendAsync(audit.Record{
 		Kind: audit.FlowAllowed, Layer: audit.LayerKernel, Domain: k.name,
 		Src: src.ID(), Dst: dst.ID(), SrcCtx: srcCtx, DstCtx: dstCtx,
 		DataID: dataID, Note: op,
@@ -361,7 +364,7 @@ func (k *Kernel) ExternalSend(pid PID, data []byte) error {
 	ctx := p.entity.Context()
 	if ctx.IsPublic() || p.substrateDelegate {
 		if k.hooksEnabled {
-			k.log.Append(audit.Record{
+			k.log.AppendAsync(audit.Record{
 				Kind: audit.FlowAllowed, Layer: audit.LayerKernel, Domain: k.name,
 				Src: p.entity.ID(), Dst: "external", SrcCtx: ctx, Note: "external send",
 			})
@@ -369,7 +372,7 @@ func (k *Kernel) ExternalSend(pid PID, data []byte) error {
 		return nil
 	}
 	if k.hooksEnabled {
-		k.log.Append(audit.Record{
+		k.log.AppendAsync(audit.Record{
 			Kind: audit.FlowDenied, Layer: audit.LayerKernel, Domain: k.name,
 			Src: p.entity.ID(), Dst: "external", SrcCtx: ctx,
 			Note: "unmediated external communication prevented",

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"lciot/internal/ac"
 	"lciot/internal/audit"
@@ -19,10 +20,91 @@ type channelKey struct {
 }
 
 // A channel is an established flow path from a source endpoint to a sink.
+// The endpoints are resolved once, at establishment: components are never
+// deregistered and endpoint specs are immutable after registration, so the
+// cached pointers stay valid for the channel's lifetime, and every dynamic
+// property (context, clearance, quarantine) is re-read per delivery.
 type channel struct {
 	key channelKey
-	// remoteBus is non-empty when the sink lives on a linked bus.
+	// remoteBus/remoteDst are set when the sink lives on a linked bus.
 	remoteBus string
+	remoteDst string
+	// dstComp/dstEP are set for local sinks.
+	dstComp *Component
+	dstEP   EndpointSpec
+}
+
+// routing is the bus's immutable routing state. Mutations (component
+// registration, channel establishment/teardown, link changes) build a new
+// snapshot under the bus's write lock and publish it atomically, so the
+// message hot path (publish → deliverLocal) reads routing state without
+// taking any lock and never contends with reconfiguration.
+type routing struct {
+	components map[string]*Component
+	channels   map[channelKey]*channel
+	// bySrc indexes channels by their source endpoint ("component.endpoint"),
+	// making publish O(fan-out) instead of O(total channels).
+	bySrc map[string][]*channel
+	links map[string]*link
+}
+
+// clone copies the snapshot's maps (the referenced components, channels and
+// links are shared — they are immutable or internally synchronised).
+func (r *routing) clone() *routing {
+	next := &routing{
+		components: make(map[string]*Component, len(r.components)+1),
+		channels:   make(map[channelKey]*channel, len(r.channels)+1),
+		bySrc:      make(map[string][]*channel, len(r.bySrc)+1),
+		links:      make(map[string]*link, len(r.links)+1),
+	}
+	for k, v := range r.components {
+		next.components[k] = v
+	}
+	for k, v := range r.channels {
+		next.channels[k] = v
+	}
+	for k, v := range r.bySrc {
+		next.bySrc[k] = v
+	}
+	for k, v := range r.links {
+		next.links[k] = v
+	}
+	return next
+}
+
+// addChannel inserts ch into the snapshot's channel table and source index,
+// replacing any existing channel with the same key (a repeated Connect must
+// not leave a second route in the index). The bySrc slice is copy-on-write:
+// readers may hold the old slice.
+func (r *routing) addChannel(ch *channel) {
+	r.removeChannel(ch.key)
+	r.channels[ch.key] = ch
+	old := r.bySrc[ch.key.src]
+	next := make([]*channel, len(old), len(old)+1)
+	copy(next, old)
+	r.bySrc[ch.key.src] = append(next, ch)
+}
+
+// removeChannel deletes the channel with the given key, if present.
+func (r *routing) removeChannel(key channelKey) bool {
+	ch, ok := r.channels[key]
+	if !ok {
+		return false
+	}
+	delete(r.channels, key)
+	old := r.bySrc[key.src]
+	next := make([]*channel, 0, len(old))
+	for _, c := range old {
+		if c != ch {
+			next = append(next, c)
+		}
+	}
+	if len(next) == 0 {
+		delete(r.bySrc, key.src)
+	} else {
+		r.bySrc[key.src] = next
+	}
+	return true
 }
 
 // A Bus is one messaging substrate instance: the per-machine process that
@@ -33,17 +115,19 @@ type Bus struct {
 	acl   *ac.ACL
 	store *ctxmodel.Store
 	log   *audit.Log
+	gates ifc.GateRegistry
 
-	mu         sync.RWMutex
-	components map[string]*Component
-	channels   map[channelKey]*channel
-	links      map[string]*link
+	// writeMu serialises routing mutations; routing holds the current
+	// immutable snapshot, read lock-free by the message path.
+	writeMu sync.Mutex
+	routing atomic.Pointer[routing]
+
 	// admission, when non-nil, is consulted with the advertised security
 	// context of every cross-bus ingress (connect and message): federated
 	// peers may present tags this domain has never seen, and the admission
 	// policy decides whether they are meaningful here (Challenge 1 —
 	// typically by resolving each tag through the global namespace).
-	admission func(ifc.SecurityContext) error
+	admission atomic.Pointer[func(ifc.SecurityContext) error]
 }
 
 // NewBus builds a bus. The ACL governs the control plane (who may
@@ -59,15 +143,19 @@ func NewBus(name string, acl *ac.ACL, store *ctxmodel.Store, log *audit.Log) *Bu
 	if log == nil {
 		log = audit.NewLog(nil)
 	}
-	return &Bus{
-		name:       name,
-		acl:        acl,
-		store:      store,
-		log:        log,
-		components: make(map[string]*Component),
-		channels:   make(map[channelKey]*channel),
-		links:      make(map[string]*link),
+	b := &Bus{
+		name:  name,
+		acl:   acl,
+		store: store,
+		log:   log,
 	}
+	b.routing.Store(&routing{
+		components: map[string]*Component{},
+		channels:   map[channelKey]*channel{},
+		bySrc:      map[string][]*channel{},
+		links:      map[string]*link{},
+	})
+	return b
 }
 
 // Name returns the bus name (used in cross-bus addresses).
@@ -76,20 +164,20 @@ func (b *Bus) Name() string { return b.name }
 // SetAdmissionPolicy installs the cross-bus ingress filter (see the
 // admission field). A nil policy admits any well-formed context.
 func (b *Bus) SetAdmissionPolicy(fn func(ifc.SecurityContext) error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.admission = fn
+	if fn == nil {
+		b.admission.Store(nil)
+		return
+	}
+	b.admission.Store(&fn)
 }
 
 // admit applies the admission policy to an advertised foreign context.
 func (b *Bus) admit(ctx ifc.SecurityContext) error {
-	b.mu.RLock()
-	fn := b.admission
-	b.mu.RUnlock()
+	fn := b.admission.Load()
 	if fn == nil {
 		return nil
 	}
-	return fn(ctx)
+	return (*fn)(ctx)
 }
 
 // Log exposes the bus's audit log.
@@ -100,6 +188,10 @@ func (b *Bus) Store() *ctxmodel.Store { return b.store }
 
 // ACL exposes the bus's access-control list.
 func (b *Bus) ACL() *ac.ACL { return b.acl }
+
+// Gates exposes the bus's gate registry (declassifiers/endorsers installed
+// in this domain).
+func (b *Bus) Gates() *ifc.GateRegistry { return &b.gates }
 
 // Register attaches a component to the bus.
 func (b *Bus) Register(name string, principal ifc.PrincipalID, ctx ifc.SecurityContext,
@@ -124,20 +216,21 @@ func (b *Bus) Register(name string, principal ifc.PrincipalID, ctx ifc.SecurityC
 		}
 		c.endpoints[ep.Name] = ep
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if _, dup := b.components[name]; dup {
+	b.writeMu.Lock()
+	defer b.writeMu.Unlock()
+	cur := b.routing.Load()
+	if _, dup := cur.components[name]; dup {
 		return nil, fmt.Errorf("%w: %q", ErrDupComponent, name)
 	}
-	b.components[name] = c
+	next := cur.clone()
+	next.components[name] = c
+	b.routing.Store(next)
 	return c, nil
 }
 
 // Component looks a component up by name.
 func (b *Bus) Component(name string) (*Component, error) {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	c, ok := b.components[name]
+	c, ok := b.routing.Load().components[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoComponent, name)
 	}
@@ -146,10 +239,9 @@ func (b *Bus) Component(name string) (*Component, error) {
 
 // Components lists component names, sorted.
 func (b *Bus) Components() []string {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	out := make([]string, 0, len(b.components))
-	for n := range b.components {
+	r := b.routing.Load()
+	out := make([]string, 0, len(r.components))
+	for n := range r.components {
 		out = append(out, n)
 	}
 	sort.Strings(out)
@@ -176,13 +268,18 @@ func splitRemoteAddr(addr string) (bus, rest string) {
 // resolveLocal returns the component and endpoint spec for a local address,
 // checking the expected direction.
 func (b *Bus) resolveLocal(addr string, wantDir Direction) (*Component, EndpointSpec, error) {
+	return b.routing.Load().resolve(addr, wantDir)
+}
+
+// resolve looks a local address up in the snapshot.
+func (r *routing) resolve(addr string, wantDir Direction) (*Component, EndpointSpec, error) {
 	compName, epName, err := splitEndpointAddr(addr)
 	if err != nil {
 		return nil, EndpointSpec{}, err
 	}
-	c, err := b.Component(compName)
-	if err != nil {
-		return nil, EndpointSpec{}, err
+	c, ok := r.components[compName]
+	if !ok {
+		return nil, EndpointSpec{}, fmt.Errorf("%w: %q", ErrNoComponent, compName)
 	}
 	ep, ok := c.Endpoint(epName)
 	if !ok {
@@ -236,15 +333,22 @@ func (b *Bus) Connect(by ifc.PrincipalID, src, dst string) error {
 			ErrSchema, src, srcEP.Schema.Name, dst, dstEP.Schema.Name)
 	}
 	if err := ifc.EnforceFlow(srcComp.Context(), dstComp.Context()); err != nil {
+		note := "connect denied by IFC: " + err.Error()
+		if via, ok := b.gates.Route(srcComp.Context(), dstComp.Context()); ok && via != "" {
+			note += "; installed gate " + via + " could bridge this flow"
+		}
 		b.auditDenied(srcComp.entity.ID(), dstComp.entity.ID(), srcComp.Context(),
-			dstComp.Context(), by, "", "connect denied by IFC: "+err.Error())
+			dstComp.Context(), by, "", note)
 		return err
 	}
 
 	key := channelKey{src: src, dst: rest}
-	b.mu.Lock()
-	b.channels[key] = &channel{key: key}
-	b.mu.Unlock()
+	ch := &channel{key: key, dstComp: dstComp, dstEP: dstEP}
+	b.writeMu.Lock()
+	next := b.routing.Load().clone()
+	next.addChannel(ch)
+	b.routing.Store(next)
+	b.writeMu.Unlock()
 
 	b.log.Append(audit.Record{
 		Kind: audit.Reconfiguration, Layer: audit.LayerMessaging, Domain: b.name,
@@ -265,12 +369,13 @@ func (b *Bus) Disconnect(by ifc.PrincipalID, src, dst string) error {
 	if remote, _ := splitRemoteAddr(dst); remote != "" && remote != b.name {
 		key.dst = dst
 	}
-	b.mu.Lock()
-	_, ok := b.channels[key]
+	b.writeMu.Lock()
+	next := b.routing.Load().clone()
+	ok := next.removeChannel(key)
 	if ok {
-		delete(b.channels, key)
+		b.routing.Store(next)
 	}
-	b.mu.Unlock()
+	b.writeMu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %s -> %s", ErrNoChannel, src, dst)
 	}
@@ -284,10 +389,9 @@ func (b *Bus) Disconnect(by ifc.PrincipalID, src, dst string) error {
 
 // Channels lists established channels as "src -> dst", sorted.
 func (b *Bus) Channels() []string {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	out := make([]string, 0, len(b.channels))
-	for k := range b.channels {
+	r := b.routing.Load()
+	out := make([]string, 0, len(r.channels))
+	for k := range r.channels {
 		out = append(out, k.src+" -> "+k.dst)
 	}
 	sort.Strings(out)
@@ -295,6 +399,8 @@ func (b *Bus) Channels() []string {
 }
 
 // publish delivers a message from a source endpoint down every channel.
+// The routing snapshot is read without locks, so publication never contends
+// with registration, connection or re-evaluation.
 func (b *Bus) publish(c *Component, endpoint string, m *msg.Message) (int, error) {
 	ep, ok := c.Endpoint(endpoint)
 	if !ok {
@@ -310,26 +416,17 @@ func (b *Bus) publish(c *Component, endpoint string, m *msg.Message) (int, error
 		return 0, err
 	}
 
-	src := c.Name() + "." + endpoint
-	b.mu.RLock()
-	var outs []*channel
-	for k, ch := range b.channels {
-		if k.src == src {
-			outs = append(outs, ch)
-		}
-	}
-	b.mu.RUnlock()
+	outs := b.routing.Load().bySrc[c.Name()+"."+endpoint]
 
 	delivered := 0
 	for _, ch := range outs {
-		remoteBus, rest := splitRemoteAddr(ch.key.dst)
-		if remoteBus != "" && remoteBus != b.name {
-			if err := b.sendRemote(c, ep, remoteBus, rest, m); err == nil {
+		if ch.remoteBus != "" {
+			if err := b.sendRemote(c, ep, ch.remoteBus, ch.remoteDst, m); err == nil {
 				delivered++
 			}
 			continue
 		}
-		if b.deliverLocal(c, ep, ch.key.dst, m) {
+		if b.deliverLocal(c, ep, ch, m) {
 			delivered++
 		}
 	}
@@ -339,12 +436,10 @@ func (b *Bus) publish(c *Component, endpoint string, m *msg.Message) (int, error
 // deliverLocal enforces per-message policy and invokes the sink handler.
 // The delivery pipeline (Section 8.2.2): OS-level IFC re-check (contexts
 // may have changed since establishment), message-type clearance, attribute
-// quenching, then handler invocation. Every outcome is audited.
-func (b *Bus) deliverLocal(srcComp *Component, srcEP EndpointSpec, dst string, m *msg.Message) bool {
-	dstComp, dstEP, err := b.resolveLocal(dst, Sink)
-	if err != nil {
-		return false
-	}
+// quenching, then handler invocation. Every outcome is audited (the audit
+// records are batched off the delivery path; see audit.Log.AppendAsync).
+func (b *Bus) deliverLocal(srcComp *Component, srcEP EndpointSpec, ch *channel, m *msg.Message) bool {
+	dstComp, dstEP := ch.dstComp, ch.dstEP
 	srcCtx, dstCtx := srcComp.Context(), dstComp.Context()
 
 	if dstComp.Quarantined() {
@@ -352,7 +447,7 @@ func (b *Bus) deliverLocal(srcComp *Component, srcEP EndpointSpec, dst string, m
 			srcComp.principal, m.DataID, "delivery denied: destination quarantined")
 		return false
 	}
-	// OS-level IFC re-check on every message.
+	// OS-level IFC re-check on every message (cached per context pair).
 	if err := ifc.EnforceFlow(srcCtx, dstCtx); err != nil {
 		b.auditDenied(srcComp.entity.ID(), dstComp.entity.ID(), srcCtx, dstCtx,
 			srcComp.principal, m.DataID, "delivery denied by IFC: "+err.Error())
@@ -369,7 +464,7 @@ func (b *Bus) deliverLocal(srcComp *Component, srcEP EndpointSpec, dst string, m
 	// Attribute-level source quenching.
 	out, quenched := srcEP.Schema.Quench(m, clearance)
 
-	b.log.Append(audit.Record{
+	b.log.AppendAsync(audit.Record{
 		Kind: audit.FlowAllowed, Layer: audit.LayerMessaging, Domain: b.name,
 		Src: srcComp.entity.ID(), Dst: dstComp.entity.ID(),
 		SrcCtx: srcCtx, DstCtx: dstCtx,
@@ -383,7 +478,6 @@ func (b *Bus) deliverLocal(srcComp *Component, srcEP EndpointSpec, dst string, m
 			Quenched: quenched,
 		})
 	}
-	_ = dstEP
 	return true
 }
 
@@ -397,32 +491,32 @@ func deliveryNote(quenched []string) string {
 // reevaluate re-checks every channel touching the named component and tears
 // down those the current contexts no longer permit.
 func (b *Bus) reevaluate(component string) {
-	b.mu.Lock()
+	b.writeMu.Lock()
+	cur := b.routing.Load()
 	var torn []channelKey
-	for k := range b.channels {
-		srcComp, _, err1 := b.resolveLocalLocked(k.src, Source)
-		if err1 != nil {
-			continue
-		}
-		remoteBus, rest := splitRemoteAddr(k.dst)
-		if remoteBus != "" && remoteBus != b.name {
+	for k, ch := range cur.channels {
+		if ch.remoteBus != "" {
 			continue // the remote bus re-checks on ingress
 		}
-		dstComp, _, err2 := b.resolveLocalLocked(rest, Sink)
-		if err2 != nil {
+		srcComp, _, err := cur.resolve(k.src, Source)
+		if err != nil {
 			continue
 		}
-		if srcComp.Name() != component && dstComp.Name() != component {
+		if srcComp.Name() != component && ch.dstComp.Name() != component {
 			continue
 		}
-		if !srcComp.Context().CanFlowTo(dstComp.Context()) {
+		if !srcComp.Context().CanFlowTo(ch.dstComp.Context()) {
 			torn = append(torn, k)
 		}
 	}
-	for _, k := range torn {
-		delete(b.channels, k)
+	if len(torn) > 0 {
+		next := cur.clone()
+		for _, k := range torn {
+			next.removeChannel(k)
+		}
+		b.routing.Store(next)
 	}
-	b.mu.Unlock()
+	b.writeMu.Unlock()
 
 	for _, k := range torn {
 		b.log.Append(audit.Record{
@@ -433,30 +527,10 @@ func (b *Bus) reevaluate(component string) {
 	}
 }
 
-// resolveLocalLocked is resolveLocal without re-taking the bus lock.
-func (b *Bus) resolveLocalLocked(addr string, wantDir Direction) (*Component, EndpointSpec, error) {
-	compName, epName, err := splitEndpointAddr(addr)
-	if err != nil {
-		return nil, EndpointSpec{}, err
-	}
-	c, ok := b.components[compName]
-	if !ok {
-		return nil, EndpointSpec{}, fmt.Errorf("%w: %q", ErrNoComponent, compName)
-	}
-	ep, ok := c.Endpoint(epName)
-	if !ok {
-		return nil, EndpointSpec{}, fmt.Errorf("%w: %q on %q", ErrNoEndpoint, epName, compName)
-	}
-	if ep.Dir != wantDir {
-		return nil, EndpointSpec{}, fmt.Errorf("%w: %q is %s", ErrDirection, addr, ep.Dir)
-	}
-	return c, ep, nil
-}
-
-// auditDenied appends a denial record.
+// auditDenied appends a denial record (batched off the enforcement path).
 func (b *Bus) auditDenied(src, dst ifc.EntityID, srcCtx, dstCtx ifc.SecurityContext,
 	agent ifc.PrincipalID, dataID, note string) {
-	b.log.Append(audit.Record{
+	b.log.AppendAsync(audit.Record{
 		Kind: audit.FlowDenied, Layer: audit.LayerMessaging, Domain: b.name,
 		Src: src, Dst: dst, SrcCtx: srcCtx, DstCtx: dstCtx,
 		DataID: dataID, Agent: agent, Note: note,

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"lciot/internal/ifc"
 	"lciot/internal/msg"
@@ -74,11 +75,13 @@ type Component struct {
 	entity    *ifc.Entity
 	principal ifc.PrincipalID
 	handler   Handler
+	// endpoints is immutable after registration and so read without locks
+	// on the publish/delivery hot path.
+	endpoints map[string]EndpointSpec
 
 	mu          sync.RWMutex
-	endpoints   map[string]EndpointSpec
 	clearance   ifc.Label
-	quarantined bool
+	quarantined atomic.Bool
 }
 
 // Name returns the component's bus-local name.
@@ -109,30 +112,22 @@ func (c *Component) SetClearance(l ifc.Label) {
 
 // Quarantined reports whether the component has been isolated.
 func (c *Component) Quarantined() bool {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.quarantined
+	return c.quarantined.Load()
 }
 
 // setQuarantined flips isolation (bus-internal; reached via control plane).
 func (c *Component) setQuarantined(q bool) {
-	c.mu.Lock()
-	c.quarantined = q
-	c.mu.Unlock()
+	c.quarantined.Store(q)
 }
 
 // Endpoint returns the endpoint spec.
 func (c *Component) Endpoint(name string) (EndpointSpec, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	ep, ok := c.endpoints[name]
 	return ep, ok
 }
 
 // Endpoints lists endpoint names, sorted.
 func (c *Component) Endpoints() []string {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	out := make([]string, 0, len(c.endpoints))
 	for n := range c.endpoints {
 		out = append(out, n)

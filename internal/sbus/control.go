@@ -54,10 +54,48 @@ func (b *Bus) GrantPrivileges(by ifc.PrincipalID, component string, p ifc.Privil
 	if err := c.entity.GrantPrivileges(p); err != nil {
 		return err
 	}
+	// GrantPrivileges advanced the entity's privilege generation and the
+	// process-wide flow-cache generation: every cached decision derived
+	// from the old privilege sets is now stale and will be re-derived.
 	b.log.Append(audit.Record{
 		Kind: audit.PrivilegeGrant, Layer: audit.LayerMessaging, Domain: b.name,
 		Src: c.entity.ID(), Agent: by,
 		Note: "privileges granted: " + p.String(),
+	})
+	return nil
+}
+
+// InstallGate installs a declassifier/endorser gate into the bus's gate
+// registry on behalf of a third party. Installation invalidates every
+// cached flow-routability decision (the registry's generation advances), so
+// a previously denied route becomes available immediately.
+func (b *Bus) InstallGate(by ifc.PrincipalID, g *ifc.Gate) error {
+	if g == nil || g.Name == "" {
+		return fmt.Errorf("sbus: gate needs a name")
+	}
+	if err := b.acl.Authorize(by, "installgate", "gate/"+g.Name, b.store.Snapshot()); err != nil {
+		return err
+	}
+	b.gates.Install(g)
+	b.log.Append(audit.Record{
+		Kind: audit.Reconfiguration, Layer: audit.LayerMessaging, Domain: b.name,
+		Agent: by, Note: fmt.Sprintf("gate %q installed (%s): %s -> %s",
+			g.Name, g.Kind(), g.Input, g.Output),
+	})
+	return nil
+}
+
+// RemoveGate removes an installed gate on behalf of a third party.
+func (b *Bus) RemoveGate(by ifc.PrincipalID, name string) error {
+	if err := b.acl.Authorize(by, "removegate", "gate/"+name, b.store.Snapshot()); err != nil {
+		return err
+	}
+	if !b.gates.Remove(name) {
+		return fmt.Errorf("sbus: no gate %q installed", name)
+	}
+	b.log.Append(audit.Record{
+		Kind: audit.Reconfiguration, Layer: audit.LayerMessaging, Domain: b.name,
+		Agent: by, Note: fmt.Sprintf("gate %q removed", name),
 	})
 	return nil
 }

@@ -171,9 +171,7 @@ func TestLinkDropOnConnectionClose(t *testing.T) {
 	waitFor(t, func() bool { return len(b.Links()) == 1 }, "link establishment")
 
 	// Kill the transport: both sides drop the link.
-	a.mu.RLock()
-	link := a.links["b"]
-	a.mu.RUnlock()
+	link := a.routing.Load().links["b"]
 	link.conn.Close()
 	waitFor(t, func() bool { return len(a.Links()) == 0 }, "initiator drop")
 	waitFor(t, func() bool { return len(b.Links()) == 0 }, "acceptor drop")
@@ -185,9 +183,7 @@ func TestSendRemoteWithLinkDown(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Tear the link down under the channel.
-	home.mu.RLock()
-	link := home.links["cloud-bus"]
-	home.mu.RUnlock()
+	link := home.routing.Load().links["cloud-bus"]
 	link.conn.Close()
 	waitFor(t, func() bool { return len(home.Links()) == 0 }, "link drop")
 

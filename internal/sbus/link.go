@@ -130,20 +130,21 @@ func (b *Bus) addLink(peer string, conn transport.Conn) *link {
 		pending: make(map[uint64]chan linkFrame),
 		ingress: make(map[channelKey]struct{}),
 	}
-	b.mu.Lock()
-	if old, ok := b.links[peer]; ok {
+	b.writeMu.Lock()
+	cur := b.routing.Load()
+	if old, ok := cur.links[peer]; ok {
 		old.conn.Close()
 	}
-	b.links[peer] = l
-	b.mu.Unlock()
+	next := cur.clone()
+	next.links[peer] = l
+	b.routing.Store(next)
+	b.writeMu.Unlock()
 	return l
 }
 
 // linkFor returns the live link to a peer.
 func (b *Bus) linkFor(peer string) (*link, error) {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	l, ok := b.links[peer]
+	l, ok := b.routing.Load().links[peer]
 	if !ok {
 		return nil, fmt.Errorf("%w: no link to bus %q", ErrLinkDown, peer)
 	}
@@ -152,10 +153,9 @@ func (b *Bus) linkFor(peer string) (*link, error) {
 
 // Links lists connected peer bus names.
 func (b *Bus) Links() []string {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	out := make([]string, 0, len(b.links))
-	for p := range b.links {
+	r := b.routing.Load()
+	out := make([]string, 0, len(r.links))
+	for p := range r.links {
 		out = append(out, p)
 	}
 	return out
@@ -186,9 +186,12 @@ func (b *Bus) connectRemote(by ifc.PrincipalID, srcComp *Component, srcEP Endpoi
 		return fmt.Errorf("sbus: remote bus %q refused connect: %s", remoteBus, resp.Err)
 	}
 	key := channelKey{src: src, dst: remoteBus + ":" + remoteDst}
-	b.mu.Lock()
-	b.channels[key] = &channel{key: key, remoteBus: remoteBus}
-	b.mu.Unlock()
+	ch := &channel{key: key, remoteBus: remoteBus, remoteDst: remoteDst}
+	b.writeMu.Lock()
+	next := b.routing.Load().clone()
+	next.addChannel(ch)
+	b.routing.Store(next)
+	b.writeMu.Unlock()
 	b.log.Append(audit.Record{
 		Kind: audit.Reconfiguration, Layer: audit.LayerMessaging, Domain: b.name,
 		Src: srcComp.entity.ID(), Dst: ifc.EntityID(remoteBus + ":" + remoteDst),
@@ -222,7 +225,7 @@ func (b *Bus) sendRemote(srcComp *Component, srcEP EndpointSpec, remoteBus, remo
 	}); err != nil {
 		return err
 	}
-	b.log.Append(audit.Record{
+	b.log.AppendAsync(audit.Record{
 		Kind: audit.FlowAllowed, Layer: audit.LayerMessaging, Domain: b.name,
 		Src: srcComp.entity.ID(), Dst: ifc.EntityID(remoteBus + ":" + remoteDst),
 		SrcCtx: ctx, DataID: m.DataID, Agent: srcComp.principal,
@@ -315,11 +318,14 @@ func (l *link) readLoop() {
 
 // dropLink removes a dead link.
 func (b *Bus) dropLink(l *link) {
-	b.mu.Lock()
-	if cur, ok := b.links[l.peer]; ok && cur == l {
-		delete(b.links, l.peer)
+	b.writeMu.Lock()
+	cur := b.routing.Load()
+	if live, ok := cur.links[l.peer]; ok && live == l {
+		next := cur.clone()
+		delete(next.links, l.peer)
+		b.routing.Store(next)
 	}
-	b.mu.Unlock()
+	b.writeMu.Unlock()
 	l.conn.Close()
 }
 
@@ -412,7 +418,7 @@ func (l *link) deliverIngress(f linkFrame) {
 	}
 	out, quenched := dstEP.Schema.Quench(m, clearance)
 
-	b.log.Append(audit.Record{
+	b.log.AppendAsync(audit.Record{
 		Kind: audit.FlowAllowed, Layer: audit.LayerMessaging, Domain: b.name,
 		Src: ifc.EntityID(f.Src), Dst: dstComp.entity.ID(),
 		SrcCtx: srcCtx, DstCtx: dstCtx, DataID: m.DataID, Agent: f.Agent,

@@ -62,6 +62,9 @@ type (
 	Privileges = ifc.Privileges
 	// Gate bridges security context domains (declassifier/endorser).
 	Gate = ifc.Gate
+	// GateRegistry holds a domain's installed gates and answers cached
+	// routability queries.
+	GateRegistry = ifc.GateRegistry
 	// Entity is a labelled active or passive entity.
 	Entity = ifc.Entity
 	// PrincipalID identifies a principal (person, organisation, service).
@@ -93,6 +96,9 @@ var (
 	NewEntity = ifc.NewEntity
 	// ErrFlowDenied matches IFC denials via errors.Is.
 	ErrFlowDenied = ifc.ErrFlowDenied
+	// InvalidateFlowCache retires every cached flow decision in the
+	// process; control planes call it when privileges or gates change.
+	InvalidateFlowCache = ifc.InvalidateFlowCache
 )
 
 // --- Middleware core ---
