@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"runtime"
 	"strconv"
 	"time"
 
@@ -21,6 +22,13 @@ import (
 // timeOp measures the mean time of one op over enough iterations to be
 // stable without a testing.B harness.
 func timeOp(f func()) time.Duration {
+	d, _ := timeOpAllocs(f)
+	return d
+}
+
+// timeOpAllocs additionally reports mean heap allocations per op, read from
+// the runtime outside the timed window.
+func timeOpAllocs(f func()) (time.Duration, float64) {
 	const (
 		warmup = 100
 		runs   = 5000
@@ -28,29 +36,43 @@ func timeOp(f func()) time.Duration {
 	for i := 0; i < warmup; i++ {
 		f()
 	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
 	start := time.Now()
 	for i := 0; i < runs; i++ {
 		f()
 	}
-	return time.Since(start) / runs
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return elapsed / runs, float64(after.Mallocs-before.Mallocs) / runs
 }
 
 // A benchRow is one measured workload, also emitted to the -json baseline
 // file so successive PRs leave a perf trajectory (BENCH_1.json, ...).
+// AllocsPerOp is -1 for workloads that don't report allocations.
 type benchRow struct {
-	Table    string `json:"table"`
-	Workload string `json:"workload"`
-	NsPerOp  int64  `json:"ns_per_op"`
-	Note     string `json:"note,omitempty"`
+	Table       string  `json:"table"`
+	Workload    string  `json:"workload"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Note        string  `json:"note,omitempty"`
 }
 
 var benchRows []benchRow
 
 func row(table, workload string, perOp time.Duration, note string) {
 	benchRows = append(benchRows, benchRow{
-		Table: table, Workload: workload, NsPerOp: perOp.Nanoseconds(), Note: note,
+		Table: table, Workload: workload, NsPerOp: perOp.Nanoseconds(), AllocsPerOp: -1, Note: note,
 	})
-	fmt.Printf("%-4s %-38s %12s/op  %s\n", table, workload, perOp, note)
+	fmt.Printf("%-4s %-44s %12s/op  %s\n", table, workload, perOp, note)
+}
+
+// rowAllocs is row for workloads measured with timeOpAllocs.
+func rowAllocs(table, workload string, perOp time.Duration, allocs float64, note string) {
+	benchRows = append(benchRows, benchRow{
+		Table: table, Workload: workload, NsPerOp: perOp.Nanoseconds(), AllocsPerOp: allocs, Note: note,
+	})
+	fmt.Printf("%-4s %-44s %12s/op  %6.1f allocs/op  %s\n", table, workload, perOp, allocs, note)
 }
 
 func runMeasurements() {
@@ -182,14 +204,14 @@ func measureB3() {
 	}
 	src := build()
 	m := msg.New("vitals").Set("patient", msg.Str("ann")).Set("heart-rate", msg.Float(72))
-	d := timeOp(func() {
+	d, da := timeOpAllocs(func() {
 		if _, err := src.Publish("out", m); err != nil {
 			panic(err)
 		}
 	})
-	row("B3", "local delivery (IFC + audit)", d, "per message, one sink")
+	rowAllocs("B3", "local delivery (IFC + audit)", d, da, "per message, one sink")
 
-	jd := timeOp(func() {
+	jd, ja := timeOpAllocs(func() {
 		b, err := msg.EncodeJSON(m)
 		if err != nil {
 			panic(err)
@@ -198,7 +220,7 @@ func measureB3() {
 			panic(err)
 		}
 	})
-	bd := timeOp(func() {
+	bd, ba := timeOpAllocs(func() {
 		b, err := msg.EncodeBinary(m)
 		if err != nil {
 			panic(err)
@@ -207,23 +229,44 @@ func measureB3() {
 			panic(err)
 		}
 	})
-	row("B3", "codec round trip, JSON", jd, "")
-	row("B3", "codec round trip, binary", bd,
+	rowAllocs("B3", "codec round trip, JSON", jd, ja, "pooled encode scratch")
+	rowAllocs("B3", "codec round trip, binary", bd, ba,
 		fmt.Sprintf("%.1fx faster than JSON", float64(jd)/float64(bd)))
+
+	ed, ea := timeOpAllocs(func() {
+		if _, err := msg.EncodeBinary(m); err != nil {
+			panic(err)
+		}
+	})
+	rowAllocs("B3", "binary encode only", ed, ea, "1 alloc: the returned buffer")
+
+	jed, jea := timeOpAllocs(func() {
+		if _, err := msg.EncodeJSON(m); err != nil {
+			panic(err)
+		}
+	})
+	rowAllocs("B3", "JSON encode only", jed, jea, "hand-rolled in pooled scratch (was map+reflection)")
 }
 
-// B4: context-change re-evaluation vs channel fan-out.
+// B4: context-change re-evaluation. Two scalings: against the changed
+// component's own fan-out (inherent work — each of its channels must be
+// re-checked), and against *unaffected* channels between other components,
+// which the byComp index must never visit.
 func measureB4() {
 	schema := msg.MustSchema("vitals", ifc.EmptyLabel,
 		msg.Field{Name: "patient", Type: msg.TString},
 	)
-	for _, fanout := range []int{1, 10, 100} {
+	ctxA := ifc.MustContext([]ifc.Tag{"a"}, nil)
+	ctxB := ifc.MustContext([]ifc.Tag{"a", "b"}, nil)
+
+	// build returns a bus with one source whose fan-out channels are all
+	// legal in both ctxA and ctxB, plus `spectators` channel pairs between
+	// other components.
+	build := func(fanout, spectators int) (*sbus.Bus, *sbus.Component) {
 		bus := sbus.NewBus("bench", benchACL(), nil, nil)
 		// Sinks live in the more constrained {a,b} domain so both source
 		// states keep every channel legal; each SetContext re-evaluates
 		// the full fan-out without teardown.
-		ctxA := ifc.MustContext([]ifc.Tag{"a"}, nil)
-		ctxB := ifc.MustContext([]ifc.Tag{"a", "b"}, nil)
 		src, err := bus.Register("src", "p", ctxA, nil,
 			sbus.EndpointSpec{Name: "out", Dir: sbus.Source, Schema: schema})
 		if err != nil {
@@ -242,8 +285,27 @@ func measureB4() {
 				panic(err)
 			}
 		}
+		for i := 0; i < spectators; i++ {
+			so := "so" + strconv.Itoa(i)
+			si := "si" + strconv.Itoa(i)
+			if _, err := bus.Register(so, "p", ctxA, nil,
+				sbus.EndpointSpec{Name: "out", Dir: sbus.Source, Schema: schema}); err != nil {
+				panic(err)
+			}
+			if _, err := bus.Register(si, "p", ctxA, nil,
+				sbus.EndpointSpec{Name: "in", Dir: sbus.Sink, Schema: schema}); err != nil {
+				panic(err)
+			}
+			if err := bus.Connect("p", so+".out", si+".in"); err != nil {
+				panic(err)
+			}
+		}
+		return bus, src
+	}
+
+	measure := func(bus *sbus.Bus, src *sbus.Component, want int) (time.Duration, float64) {
 		cur := false
-		d := timeOp(func() {
+		d, allocs := timeOpAllocs(func() {
 			target := ctxB
 			if cur {
 				target = ctxA
@@ -253,10 +315,23 @@ func measureB4() {
 				panic(err)
 			}
 		})
-		if got := len(bus.Channels()); got != fanout {
-			panic(fmt.Sprintf("B4: channels fell to %d", got))
+		if got := len(bus.Channels()); got != want {
+			panic(fmt.Sprintf("B4: channels fell to %d, want %d", got, want))
 		}
-		row("B4", fmt.Sprintf("context change, %d channels", fanout), d, "re-evaluates every channel")
+		return d, allocs
+	}
+
+	for _, fanout := range []int{1, 10, 100, 1000} {
+		bus, src := build(fanout, 0)
+		d, allocs := measure(bus, src, fanout)
+		rowAllocs("B4", fmt.Sprintf("context change, %d channels", fanout), d, allocs,
+			"re-evaluates only the changed component's channels")
+	}
+	for _, spectators := range []int{0, 99, 999} {
+		bus, src := build(1, spectators)
+		d, allocs := measure(bus, src, 1+spectators)
+		rowAllocs("B4", fmt.Sprintf("context change, 1 affected + %d unaffected", spectators), d, allocs,
+			"byComp index: unaffected channels never visited")
 	}
 }
 
@@ -277,14 +352,29 @@ func measureB5() {
 				DataID: "datum" + strconv.Itoa(i),
 			})
 		}
-		g := audit.BuildGraph(lg.Select(nil))
+		records := lg.Select(nil)
+		g := audit.BuildGraph(records)
 		leaf := "proc" + strconv.Itoa(depth)
 		q := timeOp(func() {
 			if _, err := g.Ancestry(leaf); err != nil {
 				panic(err)
 			}
 		})
-		row("B5", fmt.Sprintf("ancestry query, %d-hop chain", depth), q, "grows with history depth")
+		row("B5", fmt.Sprintf("ancestry query, %d-hop chain", depth), q,
+			"repeated queries served from the epoch-stamped memo")
+
+		if depth == 1000 {
+			// Cold cost per query when every query follows an append — the
+			// pre-memo behaviour, retained for an honest comparison.
+			cold := timeOp(func() {
+				fresh := audit.BuildGraph(records)
+				if _, err := fresh.Ancestry(leaf); err != nil {
+					panic(err)
+				}
+			})
+			row("B5", "build graph + first ancestry, 1000 records", cold,
+				"cold path: one full walk per topology change")
+		}
 	}
 }
 
@@ -319,42 +409,88 @@ func measureB6() {
 		fmt.Sprintf("%.1fx faster — caching makes global tags viable", float64(cold)/float64(cached)))
 }
 
-// B7: CEP throughput vs pattern count.
+// B7: CEP throughput vs pattern count. Typed patterns exercise the by-type
+// index (one pattern subscribed to the fed type, the rest registered but
+// never touched); the untyped row keeps the old linear catch-all behaviour
+// measurable for comparison.
 func measureB7() {
-	for _, patterns := range []int{1, 10, 100} {
+	for _, patterns := range []int{1, 10, 100, 1000} {
 		e := cep.NewEngine(func(cep.Detection) {})
 		for i := 0; i < patterns; i++ {
 			e.Register(&cep.Threshold{
 				PatternName: "p" + strconv.Itoa(i),
+				Types:       []string{"t" + strconv.Itoa(i)},
 				Match:       func(ev cep.Event) bool { return ev.Value > 1e12 },
 				Count:       3, Window: time.Minute,
 			})
 		}
 		t0 := time.Unix(0, 0)
 		i := 0
-		d := timeOp(func() {
+		d, allocs := timeOpAllocs(func() {
 			i++
-			e.Feed(cep.Event{Type: "hr", Time: t0.Add(time.Duration(i) * time.Millisecond), Value: 70})
+			e.Feed(cep.Event{Type: "t0", Time: t0.Add(time.Duration(i) * time.Millisecond), Value: 70})
 		})
-		row("B7", fmt.Sprintf("event feed, %d patterns", patterns), d, "linear in registered patterns")
+		rowAllocs("B7", fmt.Sprintf("event feed, %d typed patterns (1 matching)", patterns), d, allocs,
+			"by-type index: cost tracks matching, not registered")
 	}
+	e := cep.NewEngine(func(cep.Detection) {})
+	for i := 0; i < 100; i++ {
+		e.Register(&cep.Threshold{
+			PatternName: "p" + strconv.Itoa(i),
+			Match:       func(ev cep.Event) bool { return ev.Value > 1e12 },
+			Count:       3, Window: time.Minute,
+		})
+	}
+	t0 := time.Unix(0, 0)
+	i := 0
+	d, allocs := timeOpAllocs(func() {
+		i++
+		e.Feed(cep.Event{Type: "hr", Time: t0.Add(time.Duration(i) * time.Millisecond), Value: 70})
+	})
+	rowAllocs("B7", "event feed, 100 untyped patterns", d, allocs,
+		"catch-all bucket: linear, as before the index")
 }
 
-// B8: policy evaluation vs rule count.
+// B8: policy evaluation vs rule count. Each rule triggers on its own
+// pattern except three on the hot one, so dispatch cost should track the
+// matching bucket (≤3 rules), not the loaded rule count. The all-matching
+// row keeps the worst case (every rule in one bucket) measurable.
 func measureB8() {
 	for _, rules := range []int{1, 10, 100, 1000} {
 		src := ""
+		matching := 0
 		for i := 0; i < rules; i++ {
-			src += fmt.Sprintf("rule \"r%d\" { on event \"hr\" when event.value > 1000 do alert \"x\" }\n", i)
+			pattern := "p" + strconv.Itoa(i)
+			if i < 3 {
+				pattern = "hr"
+				matching++
+			}
+			src += fmt.Sprintf("rule \"r%d\" { on event %q when event.value > 1000 do alert \"x\" }\n", i, pattern)
 		}
 		eng := policy.NewEngine(ctxmodel.NewStore(nil), nil)
 		eng.Load(policy.MustParse(src))
 		det := cep.Detection{Pattern: "hr", Value: 70}
-		d := timeOp(func() {
+		d, allocs := timeOpAllocs(func() {
 			if errs := eng.HandleDetection(det); len(errs) != 0 {
 				panic(errs[0])
 			}
 		})
-		row("B8", fmt.Sprintf("detection dispatch, %d rules", rules), d, "guards evaluated in priority order")
+		rowAllocs("B8", fmt.Sprintf("detection dispatch, %d rules (%d matching)", rules, matching), d, allocs,
+			"trigger index: only the pattern's bucket evaluated")
 	}
+
+	src := ""
+	for i := 0; i < 1000; i++ {
+		src += fmt.Sprintf("rule \"r%d\" { on event \"hr\" when event.value > 1000 do alert \"x\" }\n", i)
+	}
+	eng := policy.NewEngine(ctxmodel.NewStore(nil), nil)
+	eng.Load(policy.MustParse(src))
+	det := cep.Detection{Pattern: "hr", Value: 70}
+	d, allocs := timeOpAllocs(func() {
+		if errs := eng.HandleDetection(det); len(errs) != 0 {
+			panic(errs[0])
+		}
+	})
+	rowAllocs("B8", "detection dispatch, 1000 rules (1000 matching)", d, allocs,
+		"worst case: every rule in the hot bucket")
 }

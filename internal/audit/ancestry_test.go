@@ -1,0 +1,229 @@
+package audit
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strconv"
+	"sync"
+	"testing"
+
+	"lciot/internal/ifc"
+)
+
+// bruteReach recomputes a reachability set from scratch, bypassing the
+// memo — the reference the memoized path must match after any interleaving
+// of mutations and queries.
+func bruteReach(g *Graph, id string, outgoing bool) []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.walkLocked(id, outgoing)
+}
+
+// TestAncestryMemoMatchesBruteForce interleaves random node/edge insertions
+// with ancestry and descendants queries, checking every memoized answer
+// against a fresh walk.
+func TestAncestryMemoMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		g := &Graph{}
+		var ids []string
+		addNode := func() {
+			id := "n" + strconv.Itoa(len(ids))
+			g.AddNode(Node{ID: id, Kind: NodeData})
+			ids = append(ids, id)
+		}
+		for i := 0; i < 5; i++ {
+			addNode()
+		}
+		for step := 0; step < 300; step++ {
+			switch r.Intn(5) {
+			case 0:
+				addNode()
+			case 1, 2:
+				src := ids[r.Intn(len(ids))]
+				dst := ids[r.Intn(len(ids))]
+				if err := g.AddEdge(Edge{Src: src, Dst: dst, Kind: EdgeDerivedFrom}); err != nil {
+					t.Fatal(err)
+				}
+			default:
+				id := ids[r.Intn(len(ids))]
+				outgoing := r.Intn(2) == 0
+				var got []string
+				var err error
+				if outgoing {
+					got, err = g.Ancestry(id)
+				} else {
+					got, err = g.Descendants(id)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := bruteReach(g, id, outgoing)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed %d step %d: query(%s, out=%v) = %v, brute force %v",
+						seed, step, id, outgoing, got, want)
+				}
+				// Query again: the memoized answer must be identical.
+				var again []string
+				if outgoing {
+					again, _ = g.Ancestry(id)
+				} else {
+					again, _ = g.Descendants(id)
+				}
+				if !reflect.DeepEqual(again, want) {
+					t.Fatalf("seed %d step %d: memoized repeat diverged: %v vs %v", seed, step, again, want)
+				}
+			}
+		}
+	}
+}
+
+// TestAncestryMemoInvalidatedByAddEdge: an ancestry set computed before an
+// AddEdge must not be served after it.
+func TestAncestryMemoInvalidatedByAddEdge(t *testing.T) {
+	g := &Graph{}
+	for _, id := range []string{"a", "b", "c"} {
+		g.AddNode(Node{ID: id, Kind: NodeData})
+	}
+	if err := g.AddEdge(Edge{Src: "a", Dst: "b", Kind: EdgeDerivedFrom}); err != nil {
+		t.Fatal(err)
+	}
+	anc, err := g.Ancestry("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(anc, []string{"b"}) {
+		t.Fatalf("ancestry before extension = %v", anc)
+	}
+	if err := g.AddEdge(Edge{Src: "b", Dst: "c", Kind: EdgeDerivedFrom}); err != nil {
+		t.Fatal(err)
+	}
+	anc, err = g.Ancestry("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(anc, []string{"b", "c"}) {
+		t.Fatalf("ancestry after extension = %v (stale memo served?)", anc)
+	}
+}
+
+// TestAncestryResultIsACopy: mutating a returned set must not corrupt the
+// memo for subsequent callers.
+func TestAncestryResultIsACopy(t *testing.T) {
+	g := &Graph{}
+	for _, id := range []string{"a", "b", "c"} {
+		g.AddNode(Node{ID: id, Kind: NodeData})
+	}
+	for _, e := range []Edge{{Src: "a", Dst: "b"}, {Src: "a", Dst: "c"}} {
+		e.Kind = EdgeDerivedFrom
+		if err := g.AddEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first, _ := g.Ancestry("a")
+	first[0] = "corrupted"
+	second, _ := g.Ancestry("a")
+	if !reflect.DeepEqual(second, []string{"b", "c"}) {
+		t.Fatalf("memo corrupted through a returned slice: %v", second)
+	}
+}
+
+// TestAppendMatchesBuildGraph: building once and appending in batches must
+// yield a graph answering identically to a full rebuild.
+func TestAppendMatchesBuildGraph(t *testing.T) {
+	mkRecords := func(n, off int) []Record {
+		var recs []Record
+		for i := 0; i < n; i++ {
+			recs = append(recs, Record{
+				Kind:   FlowAllowed,
+				Src:    entityID("p", off+i),
+				Dst:    entityID("p", off+i+1),
+				DataID: "d" + strconv.Itoa(off+i),
+				Agent:  "agent",
+			})
+		}
+		return recs
+	}
+	batch1, batch2 := mkRecords(20, 0), mkRecords(20, 20)
+
+	incremental := BuildGraph(batch1)
+	// Interleave queries so the memo is warm when batch2 lands.
+	if _, err := incremental.Ancestry("p20"); err != nil {
+		t.Fatal(err)
+	}
+	incremental.Append(batch2)
+
+	full := BuildGraph(append(append([]Record(nil), batch1...), batch2...))
+
+	in, ie := incremental.Len()
+	fn, fe := full.Len()
+	if in != fn || ie != fe {
+		t.Fatalf("incremental graph %d/%d, full rebuild %d/%d", in, ie, fn, fe)
+	}
+	for _, probe := range []string{"p40", "p0", "d39", "agent"} {
+		a, err := incremental.Ancestry(probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := full.Ancestry(probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("ancestry(%s): incremental %v, full %v", probe, a, b)
+		}
+		da, _ := incremental.Descendants(probe)
+		db, _ := full.Descendants(probe)
+		if !reflect.DeepEqual(da, db) {
+			t.Fatalf("descendants(%s): incremental %v, full %v", probe, da, db)
+		}
+	}
+}
+
+func entityID(prefix string, i int) ifc.EntityID {
+	return ifc.EntityID(fmt.Sprintf("%s%d", prefix, i))
+}
+
+// TestAncestryConcurrentQueriesAndAppends: memo fills and epoch bumps under
+// concurrent load must be race-clean (run with -race).
+func TestAncestryConcurrentQueriesAndAppends(t *testing.T) {
+	g := &Graph{}
+	for i := 0; i < 50; i++ {
+		g.AddNode(Node{ID: "n" + strconv.Itoa(i), Kind: NodeProcess})
+	}
+	for i := 0; i < 49; i++ {
+		if err := g.AddEdge(Edge{Src: "n" + strconv.Itoa(i), Dst: "n" + strconv.Itoa(i+1), Kind: EdgeInformedBy}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 200; i++ {
+				switch {
+				case w == 0 && i%10 == 0:
+					_ = g.AddEdge(Edge{
+						Src:  "n" + strconv.Itoa(r.Intn(50)),
+						Dst:  "n" + strconv.Itoa(r.Intn(50)),
+						Kind: EdgeInformedBy,
+					})
+				case i%2 == 0:
+					if _, err := g.Ancestry("n" + strconv.Itoa(r.Intn(50))); err != nil {
+						t.Error(err)
+						return
+					}
+				default:
+					if _, err := g.Descendants("n" + strconv.Itoa(r.Intn(50))); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -15,9 +15,27 @@ import (
 // Agents attach via wasControlledBy when the record names one.
 func BuildGraph(records []Record) *Graph {
 	g := &Graph{}
+	g.Append(records)
+	return g
+}
+
+// Append ingests more flow records into an existing graph — the
+// build-once/append-many path. Instead of rebuilding the whole graph when
+// the audit log grows, callers derive it once with BuildGraph and Append
+// each new batch; queries between batches are then served from the
+// reachability memo, and only records appended since the last query force
+// a recomputation. The whole batch is ingested under one lock acquisition.
+func (g *Graph) Append(records []Record) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.nodes == nil {
+		g.nodes = make(map[string]Node)
+		g.out = make(map[string][]Edge)
+		g.in = make(map[string][]Edge)
+	}
 	ensure := func(id string, kind NodeKind, attrs map[string]string) {
-		if _, ok := g.Node(id); !ok {
-			g.AddNode(Node{ID: id, Kind: kind, Attrs: attrs})
+		if _, ok := g.nodes[id]; !ok {
+			g.nodes[id] = Node{ID: id, Kind: kind, Attrs: attrs}
 		}
 	}
 	for _, r := range records {
@@ -31,18 +49,17 @@ func BuildGraph(records []Record) *Graph {
 		ensure(src, NodeProcess, map[string]string{"ctx": r.SrcCtx.String()})
 		ensure(dst, NodeProcess, map[string]string{"ctx": r.DstCtx.String()})
 		// Process-to-process information flow.
-		_ = g.AddEdge(Edge{Src: dst, Dst: src, Kind: EdgeInformedBy})
+		_ = g.addEdgeLocked(Edge{Src: dst, Dst: src, Kind: EdgeInformedBy})
 		if r.DataID != "" {
 			ensure(r.DataID, NodeData, nil)
-			_ = g.AddEdge(Edge{Src: src, Dst: r.DataID, Kind: EdgeUsed})
-			_ = g.AddEdge(Edge{Src: r.DataID, Dst: dst, Kind: EdgeGeneratedBy})
+			_ = g.addEdgeLocked(Edge{Src: src, Dst: r.DataID, Kind: EdgeUsed})
+			_ = g.addEdgeLocked(Edge{Src: r.DataID, Dst: dst, Kind: EdgeGeneratedBy})
 		}
 		if r.Agent != "" {
 			ensure(string(r.Agent), NodeAgent, nil)
-			_ = g.AddEdge(Edge{Src: src, Dst: string(r.Agent), Kind: EdgeControlledBy})
+			_ = g.addEdgeLocked(Edge{Src: src, Dst: string(r.Agent), Kind: EdgeControlledBy})
 		}
 	}
-	return g
 }
 
 // DOT renders the graph in Graphviz format, with the Fig. 11 conventions:

@@ -1,0 +1,18 @@
+// Package audit implements the paper's audit plane (Section 8.3): a
+// tamper-evident, hash-chained log of every enforcement decision, and the
+// provenance graph derived from it — "the logs generated during IFC
+// enforcement are a natural source of provenance information" — following
+// the Open Provenance Model conventions of Fig. 11.
+//
+// # Incremental provenance
+//
+// Graphs are built for querying: Ancestry and Descendants memoize each
+// node's reachability set, stamped with a graph epoch that advances on
+// every AddEdge. The first query after a topology change walks the
+// history; repeats are served from the memo in time proportional to the
+// answer, not to the history depth. Graph.Append ingests new audit
+// records into an existing graph — the build-once/append-many path — so a
+// growing log never forces a full rebuild: append the new batch, let the
+// epoch retire the memo, and pay one walk per queried node per batch
+// rather than per query.
+package audit

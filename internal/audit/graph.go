@@ -81,12 +81,50 @@ type Edge struct {
 var ErrUnknownNode = errors.New("audit: unknown node")
 
 // A Graph is a provenance graph. The zero value is ready to use.
+//
+// Reachability queries (Ancestry, Descendants, and everything built on
+// them) are memoized: the first query for a node walks the graph, repeated
+// queries return the memoized set in time proportional to the answer, not
+// to the history. The memo is epoch-stamped — AddEdge advances the graph
+// epoch, and a memo from an older epoch is discarded wholesale on the next
+// query — so audit workloads that build once (or append in bursts) and then
+// query repeatedly never pay the walk twice for the same topology.
 type Graph struct {
 	mu    sync.RWMutex
 	nodes map[string]Node
 	// out[src] lists edges leaving src; in[dst] lists edges entering dst.
 	out map[string][]Edge
 	in  map[string][]Edge
+	// epoch advances on every AddEdge; reachability memos are only valid
+	// while their stamped epoch matches.
+	epoch uint64
+	// anc and desc memoize Ancestry and Descendants results per node.
+	anc  reachMemo
+	desc reachMemo
+}
+
+// A reachMemo holds reachability sets computed at one graph epoch.
+type reachMemo struct {
+	epoch uint64
+	sets  map[string][]string
+}
+
+// lookup returns the memoized set for id, if still valid at epoch.
+func (m *reachMemo) lookup(epoch uint64, id string) ([]string, bool) {
+	if m.epoch != epoch || m.sets == nil {
+		return nil, false
+	}
+	s, ok := m.sets[id]
+	return s, ok
+}
+
+// store records a computed set, discarding any stale-epoch memo first.
+func (m *reachMemo) store(epoch uint64, id string, set []string) {
+	if m.epoch != epoch || m.sets == nil {
+		m.epoch = epoch
+		m.sets = make(map[string][]string)
+	}
+	m.sets[id] = set
 }
 
 // AddNode inserts or updates a node.
@@ -101,10 +139,15 @@ func (g *Graph) AddNode(n Node) {
 	g.nodes[n.ID] = n
 }
 
-// AddEdge inserts a directed edge; both endpoints must exist.
+// AddEdge inserts a directed edge; both endpoints must exist. Adding an
+// edge advances the graph epoch, retiring every memoized reachability set.
 func (g *Graph) AddEdge(e Edge) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	return g.addEdgeLocked(e)
+}
+
+func (g *Graph) addEdgeLocked(e Edge) error {
 	if _, ok := g.nodes[e.Src]; !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownNode, e.Src)
 	}
@@ -113,6 +156,7 @@ func (g *Graph) AddEdge(e Edge) error {
 	}
 	g.out[e.Src] = append(g.out[e.Src], e)
 	g.in[e.Dst] = append(g.in[e.Dst], e)
+	g.epoch++
 	return nil
 }
 
@@ -136,33 +180,52 @@ func (g *Graph) Len() (nodes, edges int) {
 
 // Ancestry returns every node reachable from id along outgoing edges — for
 // a data item: the processes that generated it, the data they used, and so
-// on back to the sources. This answers "how was this file generated?".
+// on back to the sources. This answers "how was this file generated?". The
+// first query for a node walks the history; repeats are served from the
+// epoch-stamped memo until the next AddEdge.
 func (g *Graph) Ancestry(id string) ([]string, error) {
-	return g.walk(id, func(n string) []Edge {
-		g.mu.RLock()
-		defer g.mu.RUnlock()
-		return g.out[n]
-	})
+	return g.reach(id, &g.anc, true)
 }
 
 // Descendants returns every node that transitively depends on id (walks
 // incoming edges). This answers "where did this sensor's data end up?" —
-// the taint/impact query behind Concern 5.
+// the taint/impact query behind Concern 5. Memoized like Ancestry.
 func (g *Graph) Descendants(id string) ([]string, error) {
-	return g.walk(id, func(n string) []Edge {
-		g.mu.RLock()
-		defer g.mu.RUnlock()
-		return g.in[n]
-	})
+	return g.reach(id, &g.desc, false)
 }
 
-// walk BFSes from id using the supplied adjacency, excluding id itself.
-func (g *Graph) walk(id string, adj func(string) []Edge) ([]string, error) {
+// reach serves one reachability query through the given memo, computing and
+// memoizing the set on a miss. Callers receive a fresh copy, so memoized
+// sets are never aliased by callers.
+func (g *Graph) reach(id string, memo *reachMemo, outgoing bool) ([]string, error) {
 	g.mu.RLock()
-	_, ok := g.nodes[id]
-	g.mu.RUnlock()
-	if !ok {
+	if _, ok := g.nodes[id]; !ok {
+		g.mu.RUnlock()
 		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, id)
+	}
+	if set, hit := memo.lookup(g.epoch, id); hit {
+		g.mu.RUnlock()
+		return append([]string(nil), set...), nil
+	}
+	g.mu.RUnlock()
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	// Another goroutine may have filled the memo while we upgraded the lock.
+	if set, hit := memo.lookup(g.epoch, id); hit {
+		return append([]string(nil), set...), nil
+	}
+	set := g.walkLocked(id, outgoing)
+	memo.store(g.epoch, id, set)
+	return append([]string(nil), set...), nil
+}
+
+// walkLocked BFSes from id (excluding id itself) over out- or in-edges.
+// The caller holds g.mu.
+func (g *Graph) walkLocked(id string, outgoing bool) []string {
+	adj := g.out
+	if !outgoing {
+		adj = g.in
 	}
 	seen := map[string]struct{}{id: {}}
 	frontier := []string{id}
@@ -170,7 +233,9 @@ func (g *Graph) walk(id string, adj func(string) []Edge) ([]string, error) {
 	for len(frontier) > 0 {
 		var next []string
 		for _, n := range frontier {
-			for _, e := range adj(n) {
+			for _, e := range adj[n] {
+				// e.Dst is the far endpoint of an out-edge, e.Src of an
+				// in-edge; the comparison picks it regardless of direction.
 				other := e.Dst
 				if other == n {
 					other = e.Src
@@ -186,11 +251,8 @@ func (g *Graph) walk(id string, adj func(string) []Edge) ([]string, error) {
 		frontier = next
 	}
 	sort.Strings(out)
-	return out, nil
+	return out
 }
-
-// walk uses e.Dst for out-edges and e.Src for in-edges; the trick above
-// ("other == n") picks the far endpoint regardless of direction map used.
 
 // PathExists reports whether dst is in src's ancestry closure.
 func (g *Graph) PathExists(src, dst string) (bool, error) {

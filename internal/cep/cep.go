@@ -1,11 +1,3 @@
-// Package cep is a small complex-event-processing engine, the "detect" half
-// of the paper's detect/respond architecture (Section 5): "actions are taken
-// on patterns of events, e.g. detected by complex-event methods". The
-// policy engine subscribes to detections and responds with reconfiguration.
-//
-// The engine is deterministic and single-threaded by design: callers feed
-// events and advance time explicitly, so simulations and tests are exactly
-// reproducible.
 package cep
 
 import (
@@ -47,10 +39,43 @@ type Pattern interface {
 	OnTick(now time.Time) (Detection, bool)
 }
 
+// A TypedPattern is a Pattern that declares the event types it subscribes
+// to. The Engine uses the declaration to index the pattern by type, so
+// feeding an event costs work proportional to the patterns that can match
+// it, not to every registered pattern. An empty (or nil) declaration means
+// "all types": the pattern lands in the engine's catch-all bucket and sees
+// every event, exactly like a plain Pattern.
+//
+// Declaring types is a contract: a TypedPattern's OnEvent must ignore
+// events whose Type is outside its declaration (the built-in patterns
+// enforce this themselves), so indexed delivery is observably identical to
+// feeding every pattern linearly.
+type TypedPattern interface {
+	Pattern
+	// EventTypes lists the event types the pattern subscribes to; empty
+	// means every type.
+	EventTypes() []string
+}
+
+// An indexed is one registered pattern plus its registration sequence
+// number, which fixes delivery order when merging index buckets.
+type indexed struct {
+	seq int
+	p   Pattern
+}
+
 // An Engine multiplexes events over registered patterns and delivers
-// detections to a handler.
+// detections to a handler. Patterns declaring event types (TypedPattern)
+// are indexed by type; the rest live in a catch-all bucket. Feed merges the
+// event type's bucket with the catch-all bucket in registration order, so
+// detections arrive exactly as they would from a linear walk over every
+// pattern.
 type Engine struct {
+	// patterns holds every registered pattern in registration order; Advance
+	// iterates it so tick delivery is deterministic.
 	patterns []Pattern
+	byType   map[string][]indexed
+	catchAll []indexed
 	handler  func(Detection)
 }
 
@@ -59,17 +84,49 @@ func NewEngine(handler func(Detection)) *Engine {
 	if handler == nil {
 		handler = func(Detection) {}
 	}
-	return &Engine{handler: handler}
+	return &Engine{handler: handler, byType: make(map[string][]indexed)}
 }
 
-// Register adds a pattern.
+// Register adds a pattern. Patterns implementing TypedPattern with a
+// non-empty declaration are indexed under each declared type; all others
+// see every event.
 func (e *Engine) Register(p Pattern) {
+	entry := indexed{seq: len(e.patterns), p: p}
 	e.patterns = append(e.patterns, p)
+	if tp, ok := p.(TypedPattern); ok {
+		types := tp.EventTypes()
+		if len(types) > 0 {
+			seen := make(map[string]struct{}, len(types))
+			for _, t := range types {
+				if _, dup := seen[t]; dup {
+					continue // a duplicate declaration must not double-deliver
+				}
+				seen[t] = struct{}{}
+				e.byType[t] = append(e.byType[t], entry)
+			}
+			return
+		}
+	}
+	e.catchAll = append(e.catchAll, entry)
 }
 
-// Feed processes one event through every pattern.
+// Feed processes one event through the patterns subscribed to its type
+// (plus the catch-all bucket), in registration order.
 func (e *Engine) Feed(ev Event) {
-	for _, p := range e.patterns {
+	typed := e.byType[ev.Type]
+	all := e.catchAll
+	// Merge the two seq-sorted buckets so delivery order matches a linear
+	// walk over every registered pattern.
+	i, j := 0, 0
+	for i < len(typed) || j < len(all) {
+		var p Pattern
+		if j >= len(all) || (i < len(typed) && typed[i].seq < all[j].seq) {
+			p = typed[i].p
+			i++
+		} else {
+			p = all[j].p
+			j++
+		}
 		if d, ok := p.OnEvent(ev); ok {
 			e.handler(d)
 		}
@@ -77,7 +134,8 @@ func (e *Engine) Feed(ev Event) {
 }
 
 // Advance moves the engine clock forward, giving time-driven patterns a
-// chance to fire.
+// chance to fire. Patterns tick in registration order, so delivery is
+// deterministic across runs regardless of how patterns are indexed.
 func (e *Engine) Advance(now time.Time) {
 	for _, p := range e.patterns {
 		if d, ok := p.OnTick(now); ok {
@@ -86,25 +144,48 @@ func (e *Engine) Advance(now time.Time) {
 	}
 }
 
+// typeMatch reports whether an event type is within a declaration; an empty
+// declaration admits everything.
+func typeMatch(types []string, t string) bool {
+	if len(types) == 0 {
+		return true
+	}
+	for _, x := range types {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
 // Threshold fires when at least Count events satisfying Match arrive within
 // Window. After firing it resets, so sustained conditions re-fire once per
 // window's worth of events.
 type Threshold struct {
 	PatternName string
-	Match       func(Event) bool
-	Count       int
-	Window      time.Duration
+	// Types optionally restricts the pattern to these event types; empty
+	// means every type. Declared types let the Engine index the pattern.
+	Types  []string
+	Match  func(Event) bool
+	Count  int
+	Window time.Duration
 
 	buf []Event
 }
 
-var _ Pattern = (*Threshold)(nil)
+var _ TypedPattern = (*Threshold)(nil)
 
 // Name implements Pattern.
 func (t *Threshold) Name() string { return t.PatternName }
 
+// EventTypes implements TypedPattern.
+func (t *Threshold) EventTypes() []string { return t.Types }
+
 // OnEvent implements Pattern.
 func (t *Threshold) OnEvent(e Event) (Detection, bool) {
+	if !typeMatch(t.Types, e.Type) {
+		return Detection{}, false
+	}
 	if t.Match != nil && !t.Match(e) {
 		return Detection{}, false
 	}
@@ -132,19 +213,28 @@ func (t *Threshold) OnTick(time.Time) (Detection, bool) { return Detection{}, fa
 // the first step. Out-of-order events do not reset progress; expiry does.
 type Sequence struct {
 	PatternName string
-	Steps       []func(Event) bool
-	Window      time.Duration
+	// Types optionally restricts the pattern to these event types; empty
+	// means every type. Declared types let the Engine index the pattern.
+	Types  []string
+	Steps  []func(Event) bool
+	Window time.Duration
 
 	matched []Event
 }
 
-var _ Pattern = (*Sequence)(nil)
+var _ TypedPattern = (*Sequence)(nil)
 
 // Name implements Pattern.
 func (s *Sequence) Name() string { return s.PatternName }
 
+// EventTypes implements TypedPattern.
+func (s *Sequence) EventTypes() []string { return s.Types }
+
 // OnEvent implements Pattern.
 func (s *Sequence) OnEvent(e Event) (Detection, bool) {
+	if !typeMatch(s.Types, e.Type) {
+		return Detection{}, false
+	}
 	if len(s.Steps) == 0 {
 		return Detection{}, false
 	}
@@ -174,20 +264,29 @@ func (s *Sequence) OnTick(time.Time) (Detection, bool) { return Detection{}, fal
 // the first matching event and re-fires at most once per silence.
 type Absence struct {
 	PatternName string
-	Match       func(Event) bool
-	Timeout     time.Duration
+	// Types optionally restricts the pattern to these event types; empty
+	// means every type. Declared types let the Engine index the pattern.
+	Types   []string
+	Match   func(Event) bool
+	Timeout time.Duration
 
 	lastSeen time.Time
 	armed    bool
 }
 
-var _ Pattern = (*Absence)(nil)
+var _ TypedPattern = (*Absence)(nil)
 
 // Name implements Pattern.
 func (a *Absence) Name() string { return a.PatternName }
 
+// EventTypes implements TypedPattern.
+func (a *Absence) EventTypes() []string { return a.Types }
+
 // OnEvent implements Pattern.
 func (a *Absence) OnEvent(e Event) (Detection, bool) {
+	if !typeMatch(a.Types, e.Type) {
+		return Detection{}, false
+	}
 	if a.Match != nil && !a.Match(e) {
 		return Detection{}, false
 	}
@@ -235,23 +334,32 @@ func (k AggKind) String() string {
 // outlier.
 type Aggregate struct {
 	PatternName string
-	Match       func(Event) bool
-	Kind        AggKind
-	Window      time.Duration
-	Limit       float64
-	Above       bool
-	MinCount    int
+	// Types optionally restricts the pattern to these event types; empty
+	// means every type. Declared types let the Engine index the pattern.
+	Types    []string
+	Match    func(Event) bool
+	Kind     AggKind
+	Window   time.Duration
+	Limit    float64
+	Above    bool
+	MinCount int
 
 	buf []Event
 }
 
-var _ Pattern = (*Aggregate)(nil)
+var _ TypedPattern = (*Aggregate)(nil)
 
 // Name implements Pattern.
 func (a *Aggregate) Name() string { return a.PatternName }
 
+// EventTypes implements TypedPattern.
+func (a *Aggregate) EventTypes() []string { return a.Types }
+
 // OnEvent implements Pattern.
 func (a *Aggregate) OnEvent(e Event) (Detection, bool) {
+	if !typeMatch(a.Types, e.Type) {
+		return Detection{}, false
+	}
 	if a.Match != nil && !a.Match(e) {
 		return Detection{}, false
 	}

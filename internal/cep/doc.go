@@ -1,0 +1,22 @@
+// Package cep is a small complex-event-processing engine, the "detect" half
+// of the paper's detect/respond architecture (Section 5): "actions are taken
+// on patterns of events, e.g. detected by complex-event methods". The
+// policy engine subscribes to detections and responds with reconfiguration.
+//
+// The engine is deterministic and single-threaded by design: callers feed
+// events and advance time explicitly, so simulations and tests are exactly
+// reproducible.
+//
+// # Type-indexed dispatch
+//
+// Feeding an event costs work proportional to the patterns that can match
+// it, not to every registered pattern. Patterns that implement
+// TypedPattern (the built-in Threshold, Sequence, Absence and Aggregate do,
+// via their Types field) are indexed by declared event type at Register
+// time; patterns without a declaration land in a catch-all bucket that
+// sees every event. Feed merges the event type's bucket with the catch-all
+// bucket in registration order, so detections are delivered exactly as a
+// linear walk over every pattern would deliver them — the index prunes
+// work, never reorders or drops it. Advance always ticks patterns in
+// registration order, keeping time-driven delivery deterministic too.
+package cep

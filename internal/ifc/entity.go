@@ -23,6 +23,11 @@ type Entity struct {
 	mu    sync.RWMutex
 	ctx   SecurityContext
 	privs Privileges
+	// ctxGen advances on every effective context change; layers that cache
+	// decisions derived from this entity's context (channel legality in
+	// sbus) stamp them with it, so an unchanged generation proves the cached
+	// decision is still about the current context.
+	ctxGen uint64
 	// privGen advances on every privilege change; cached transition
 	// decisions are stamped with it so a grant or revoke instantly retires
 	// every decision derived from the old privilege sets.
@@ -71,6 +76,17 @@ func (e *Entity) Context() SecurityContext {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.ctx
+}
+
+// ContextAndGen returns the entity's current security context together with
+// its context generation, read atomically. The generation advances on every
+// effective SetContext, so a decision derived from the returned context may
+// be cached stamped with the returned generation: as long as the generation
+// is unchanged, the decision still describes the entity's live context.
+func (e *Entity) ContextAndGen() (SecurityContext, uint64) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.ctx, e.ctxGen
 }
 
 // Privileges returns the entity's current privilege sets.
@@ -122,7 +138,10 @@ func (e *Entity) SetContext(to SecurityContext) error {
 	if err := e.authoriseLocked(e.ctx, to); err != nil {
 		return fmt.Errorf("entity %q: %w", e.id, err)
 	}
-	e.ctx = to
+	if !e.ctx.Equal(to) {
+		e.ctx = to
+		e.ctxGen++
+	}
 	return nil
 }
 

@@ -7,14 +7,62 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"unicode/utf8"
 )
 
 // This file provides the two wire encodings: JSON for interoperability and
 // debugging, and a compact binary TLV encoding for the data path (benchmark
-// B3 compares them).
+// B3 compares them). Both encoders build their output in pooled scratch
+// buffers — the returned slice is an exact-size copy, so steady-state
+// encoding costs one allocation per message regardless of growth history.
 
 // ErrCodec is the sentinel for malformed wire data.
 var ErrCodec = errors.New("msg: malformed encoding")
+
+// encScratch is the per-encode working set: the byte buffer the message is
+// assembled in and the sorted field-name slice. Pooling both keeps encode
+// allocations flat at one (the returned copy) per call.
+type encScratch struct {
+	buf   []byte
+	names []string
+}
+
+var encPool = sync.Pool{New: func() any { return new(encScratch) }}
+
+// maxPooledScratch and maxPooledNames bound retained scratch capacity so
+// one huge message cannot pin a large buffer (or its attribute-name
+// strings) in the pool forever.
+const (
+	maxPooledScratch = 1 << 16
+	maxPooledNames   = 1 << 10
+)
+
+func putScratch(s *encScratch) {
+	if cap(s.buf) > maxPooledScratch {
+		s.buf = nil
+	}
+	if cap(s.names) > maxPooledNames {
+		s.names = nil
+	} else {
+		// Drop the string headers so pooled scratch does not keep the last
+		// message's attribute names reachable.
+		clear(s.names[:cap(s.names)])
+	}
+	encPool.Put(s)
+}
+
+// sortedFieldNames fills dst with the message's attribute names, sorted.
+func sortedFieldNames(dst []string, m *Message) []string {
+	dst = dst[:0]
+	for k := range m.Attrs {
+		dst = append(dst, k)
+	}
+	sort.Strings(dst)
+	return dst
+}
 
 // jsonMessage is the JSON wire schema.
 type jsonMessage struct {
@@ -32,28 +80,148 @@ type jsonValue struct {
 	D string  `json:"d,omitempty"` // base64 bytes
 }
 
-// EncodeJSON renders the message as JSON.
-func EncodeJSON(m *Message) ([]byte, error) {
-	out := jsonMessage{Type: m.Type, DataID: m.DataID, Attrs: make(map[string]jsonValue, len(m.Attrs))}
-	for k, v := range m.Attrs {
-		jv := jsonValue{}
+// EncodeJSON renders the message as JSON on the same wire schema
+// encoding/json produced for jsonMessage (attributes sorted by name, zero
+// value members omitted), built by hand in a pooled buffer to avoid the
+// intermediate map and reflection allocations of json.Marshal.
+func (m *Message) appendJSON(buf []byte, names []string) ([]byte, []string, error) {
+	buf = append(buf, `{"type":`...)
+	buf = appendJSONString(buf, m.Type)
+	if m.DataID != "" {
+		buf = append(buf, `,"data_id":`...)
+		buf = appendJSONString(buf, m.DataID)
+	}
+	buf = append(buf, `,"attrs":{`...)
+	names = sortedFieldNames(names, m)
+	for i, name := range names {
+		v := m.Attrs[name]
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = appendJSONString(buf, name)
 		switch v.Type {
 		case TString:
-			jv.T, jv.S = "s", v.Str
+			buf = append(buf, `:{"t":"s"`...)
+			if v.Str != "" {
+				buf = append(buf, `,"s":`...)
+				buf = appendJSONString(buf, v.Str)
+			}
 		case TFloat:
-			jv.T, jv.F = "f", v.Float
+			buf = append(buf, `:{"t":"f"`...)
+			if v.Float != 0 {
+				if math.IsNaN(v.Float) || math.IsInf(v.Float, 0) {
+					return nil, names, fmt.Errorf("msg: field %q: unsupported float value %v", name, v.Float)
+				}
+				buf = append(buf, `,"f":`...)
+				buf = appendJSONFloat(buf, v.Float)
+			}
 		case TInt:
-			jv.T, jv.I = "i", v.Int
+			buf = append(buf, `:{"t":"i"`...)
+			if v.Int != 0 {
+				buf = append(buf, `,"i":`...)
+				buf = strconv.AppendInt(buf, v.Int, 10)
+			}
 		case TBool:
-			jv.T, jv.B = "b", v.Bool
+			buf = append(buf, `:{"t":"b"`...)
+			if v.Bool {
+				buf = append(buf, `,"b":true`...)
+			}
 		case TBytes:
-			jv.T, jv.D = "d", base64.StdEncoding.EncodeToString(v.Bytes)
+			buf = append(buf, `:{"t":"d"`...)
+			if len(v.Bytes) > 0 {
+				buf = append(buf, `,"d":"`...)
+				buf = appendBase64(buf, v.Bytes)
+				buf = append(buf, '"')
+			}
 		default:
-			return nil, fmt.Errorf("msg: field %q has invalid type %d", k, v.Type)
+			return nil, names, fmt.Errorf("msg: field %q has invalid type %d", name, v.Type)
 		}
-		out.Attrs[k] = jv
+		buf = append(buf, '}')
 	}
-	return json.Marshal(out)
+	buf = append(buf, "}}"...)
+	return buf, names, nil
+}
+
+// EncodeJSON renders the message as JSON.
+func EncodeJSON(m *Message) ([]byte, error) {
+	s := encPool.Get().(*encScratch)
+	buf, names, err := m.appendJSON(s.buf[:0], s.names)
+	s.buf, s.names = buf, names
+	if err != nil {
+		putScratch(s)
+		return nil, err
+	}
+	out := make([]byte, len(buf))
+	copy(out, buf)
+	putScratch(s)
+	return out, nil
+}
+
+// appendJSONString appends s as a JSON string literal with the escaping
+// json.Unmarshal round-trips: quote, backslash and control characters are
+// escaped, invalid UTF-8 is replaced by U+FFFD (as encoding/json does).
+func appendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			if c >= 0x20 && c != '"' && c != '\\' {
+				i++
+				continue
+			}
+			buf = append(buf, s[start:i]...)
+			switch c {
+			case '"':
+				buf = append(buf, '\\', '"')
+			case '\\':
+				buf = append(buf, '\\', '\\')
+			case '\n':
+				buf = append(buf, '\\', 'n')
+			case '\r':
+				buf = append(buf, '\\', 'r')
+			case '\t':
+				buf = append(buf, '\\', 't')
+			default:
+				buf = append(buf, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			buf = append(buf, s[start:i]...)
+			buf = append(buf, "�"...)
+			i++
+			start = i
+			continue
+		}
+		i += size
+	}
+	buf = append(buf, s[start:]...)
+	return append(buf, '"')
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONFloat appends a finite float in the shortest round-trippable
+// decimal form; "e" exponents are valid JSON numbers.
+func appendJSONFloat(buf []byte, f float64) []byte {
+	return strconv.AppendFloat(buf, f, 'g', -1, 64)
+}
+
+// appendBase64 appends the standard base64 encoding of b without an
+// intermediate string.
+func appendBase64(buf []byte, b []byte) []byte {
+	n := base64.StdEncoding.EncodedLen(len(b))
+	off := len(buf)
+	for cap(buf) < off+n {
+		buf = append(buf[:cap(buf)], 0)
+	}
+	buf = buf[:off+n]
+	base64.StdEncoding.Encode(buf[off:], b)
+	return buf
 }
 
 // DecodeJSON parses a JSON-encoded message.
@@ -95,10 +263,17 @@ func DecodeJSON(data []byte) (*Message, error) {
 // 8-byte two's complement (int), 1 byte (bool). Field order is sorted by
 // name so the encoding is canonical.
 
-// EncodeBinary renders the message in the compact binary form.
-func EncodeBinary(m *Message) ([]byte, error) {
-	names := m.FieldNames()
-	buf := make([]byte, 0, 64+len(names)*16)
+// AppendBinary appends the compact binary form of m to dst and returns the
+// extended slice, using the caller-supplied (possibly nil) names scratch
+// for field sorting. Callers owning a reusable buffer encode with zero
+// amortised allocations; EncodeBinary wraps this with a pooled scratch.
+func AppendBinary(dst []byte, m *Message) ([]byte, error) {
+	buf, _, err := appendBinary(dst, nil, m)
+	return buf, err
+}
+
+func appendBinary(buf []byte, names []string, m *Message) ([]byte, []string, error) {
+	names = sortedFieldNames(names, m)
 	buf = appendString16(buf, m.Type)
 	buf = appendString16(buf, m.DataID)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(names)))
@@ -124,10 +299,25 @@ func EncodeBinary(m *Message) ([]byte, error) {
 			buf = binary.BigEndian.AppendUint32(buf, uint32(len(v.Bytes)))
 			buf = append(buf, v.Bytes...)
 		default:
-			return nil, fmt.Errorf("msg: field %q has invalid type %d", name, v.Type)
+			return nil, names, fmt.Errorf("msg: field %q has invalid type %d", name, v.Type)
 		}
 	}
-	return buf, nil
+	return buf, names, nil
+}
+
+// EncodeBinary renders the message in the compact binary form.
+func EncodeBinary(m *Message) ([]byte, error) {
+	s := encPool.Get().(*encScratch)
+	buf, names, err := appendBinary(s.buf[:0], s.names, m)
+	s.buf, s.names = buf, names
+	if err != nil {
+		putScratch(s)
+		return nil, err
+	}
+	out := make([]byte, len(buf))
+	copy(out, buf)
+	putScratch(s)
+	return out, nil
 }
 
 // DecodeBinary parses the compact binary form.

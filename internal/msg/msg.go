@@ -204,12 +204,7 @@ func (m *Message) Get(field string) (Value, bool) {
 
 // FieldNames returns the message's populated attribute names, sorted.
 func (m *Message) FieldNames() []string {
-	out := make([]string, 0, len(m.Attrs))
-	for k := range m.Attrs {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
+	return sortedFieldNames(make([]string, 0, len(m.Attrs)), m)
 }
 
 // Clone returns a deep copy; quenching mutates copies, never originals.

@@ -1,0 +1,8 @@
+//go:build !race
+
+package msg
+
+// raceEnabled reports that the race detector is on; sync.Pool deliberately
+// randomises item reuse under -race, so allocation-count assertions are
+// skipped there.
+const raceEnabled = false

@@ -27,4 +27,18 @@
 // are *descriptions* handed to an executor — the policy engine decides,
 // the middleware enforces, matching the paper's separation between policy
 // engines and the reconfiguration mechanism.
+//
+// # Trigger-indexed dispatch
+//
+// Load buckets the sorted rule list by trigger — event rules by pattern
+// name, context rules by attribute key, timer rules in their own list —
+// with each bucket in evaluation order (priority descending, name
+// ascending). HandleDetection and HandleContextChange then evaluate only
+// the matching bucket, so dispatch cost tracks the rules a trigger can
+// fire rather than the loaded rule count: 1000 loaded rules of which
+// three trigger on a pattern cost three guard evaluations. Buckets are
+// rebuilt wholesale on Load/AddRules and immutable between rebuilds,
+// which keeps the dispatch path lock-free over the bucket contents.
+// Conflict resolution and priority order within a dispatch are
+// unchanged from the linear scan.
 package policy

@@ -42,10 +42,18 @@ type Engine struct {
 	onConflict func(Conflict)
 	now        func() time.Time
 
-	mu       sync.Mutex
-	rules    []*Rule // sorted by descending priority, then name
-	store    *ctxmodel.Store
-	override *Override
+	mu    sync.Mutex
+	rules []*Rule // sorted by descending priority, then name
+	// Trigger index: rules bucketed by what fires them, each bucket in
+	// evaluation (priority) order. Dispatching a detection or context change
+	// then costs work proportional to the rules that can match it, not to
+	// every loaded rule. The buckets are rebuilt wholesale by Load and never
+	// mutated afterwards, so holders of a bucket slice may read it lock-free.
+	byPattern map[string][]*Rule // TriggerEvent rules by pattern name
+	byKey     map[string][]*Rule // TriggerContext rules by attribute key
+	timers    []*Rule            // TriggerTimer rules
+	store     *ctxmodel.Store
+	override  *Override
 	// firedCount is per-rule observability.
 	firedCount map[string]uint64
 }
@@ -83,7 +91,9 @@ func NewEngine(store *ctxmodel.Store, exec func(Action) error, opts ...EngineOpt
 }
 
 // Load installs a policy set, replacing any previous rules. Rules are
-// ordered by descending priority; ties break by name for determinism.
+// ordered by descending priority; ties break by name for determinism. Load
+// also rebuilds the trigger index, so dispatch after Load touches only the
+// rules a trigger can fire.
 func (e *Engine) Load(set *PolicySet) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -94,6 +104,21 @@ func (e *Engine) Load(set *PolicySet) {
 		}
 		return e.rules[i].Name < e.rules[j].Name
 	})
+	// Rebuild the trigger index from the sorted order, so every bucket is
+	// itself in evaluation order.
+	e.byPattern = make(map[string][]*Rule)
+	e.byKey = make(map[string][]*Rule)
+	e.timers = nil
+	for _, r := range e.rules {
+		switch r.Trigger.Kind {
+		case TriggerEvent:
+			e.byPattern[r.Trigger.Pattern] = append(e.byPattern[r.Trigger.Pattern], r)
+		case TriggerContext:
+			e.byKey[r.Trigger.Key] = append(e.byKey[r.Trigger.Key], r)
+		case TriggerTimer:
+			e.timers = append(e.timers, r)
+		}
+	}
 }
 
 // AddRules appends rules from another set, re-sorting.
@@ -136,7 +161,15 @@ func (e *Engine) OverrideActive() (string, bool) {
 }
 
 // HandleDetection evaluates all rules triggered by the detection's pattern.
+// The trigger index narrows the work to that pattern's bucket: 1000 loaded
+// rules of which three trigger on the pattern cost three evaluations.
 func (e *Engine) HandleDetection(d cep.Detection) []Error {
+	e.mu.Lock()
+	bucket := e.byPattern[d.Pattern]
+	e.mu.Unlock()
+	if len(bucket) == 0 {
+		return nil
+	}
 	env := &Env{
 		Ctx: e.snapshot(),
 		Event: EventView{
@@ -146,9 +179,7 @@ func (e *Engine) HandleDetection(d cep.Detection) []Error {
 			Present: true,
 		},
 	}
-	return e.evaluate(func(r *Rule) bool {
-		return r.Trigger.Kind == TriggerEvent && r.Trigger.Pattern == d.Pattern
-	}, env)
+	return e.evaluate(bucket, nil, env)
 }
 
 // eventSource picks the source of the last contributing event.
@@ -159,12 +190,17 @@ func eventSource(d cep.Detection) string {
 	return d.Events[len(d.Events)-1].Source
 }
 
-// HandleContextChange evaluates rules triggered by the changed attribute.
+// HandleContextChange evaluates rules triggered by the changed attribute,
+// found through the trigger index rather than a scan over every rule.
 func (e *Engine) HandleContextChange(ch ctxmodel.Change) []Error {
+	e.mu.Lock()
+	bucket := e.byKey[ch.Key]
+	e.mu.Unlock()
+	if len(bucket) == 0 {
+		return nil
+	}
 	env := &Env{Ctx: e.snapshot()}
-	return e.evaluate(func(r *Rule) bool {
-		return r.Trigger.Kind == TriggerContext && r.Trigger.Key == ch.Key
-	}, env)
+	return e.evaluate(bucket, nil, env)
 }
 
 // Tick drives timer rules and break-glass expiry; call it periodically (the
@@ -187,15 +223,18 @@ func (e *Engine) Tick() []Error {
 		}
 	}
 
+	e.mu.Lock()
+	timers := e.timers
+	e.mu.Unlock()
+	if len(timers) == 0 {
+		return errs
+	}
 	env := &Env{Ctx: e.snapshot()}
-	errs = append(errs, e.evaluate(func(r *Rule) bool {
-		if r.Trigger.Kind != TriggerTimer {
-			return false
-		}
-		if !r.lastFired.IsZero() && now.Sub(r.lastFired) < r.Trigger.Every {
-			return false
-		}
-		return true
+	errs = append(errs, e.evaluate(timers, func(r *Rule) bool {
+		e.mu.Lock()
+		last := r.lastFired
+		e.mu.Unlock()
+		return last.IsZero() || now.Sub(last) >= r.Trigger.Every
 	}, env)...)
 	return errs
 }
@@ -225,9 +264,12 @@ func (e *Engine) snapshot() ctxmodel.Snapshot {
 	return e.store.Snapshot()
 }
 
-// evaluate runs matching rules in priority order, collects their actions,
-// resolves conflicts, then executes the surviving actions in order.
-func (e *Engine) evaluate(match func(*Rule) bool, env *Env) []Error {
+// evaluate runs the rules of one trigger bucket in priority order, collects
+// their actions, resolves conflicts, then executes the surviving actions in
+// order. The optional filter prunes rules before guard evaluation (timer
+// cadence); nil means every rule in the bucket is considered. Buckets are
+// immutable after Load, so iterating without the engine lock is safe.
+func (e *Engine) evaluate(rules []*Rule, filter func(*Rule) bool, env *Env) []Error {
 	now := e.now()
 	var errs []Error
 
@@ -237,12 +279,8 @@ func (e *Engine) evaluate(match func(*Rule) bool, env *Env) []Error {
 	}
 	var selected []pending
 
-	e.mu.Lock()
-	rules := e.rules
-	e.mu.Unlock()
-
 	for _, r := range rules {
-		if !match(r) {
+		if filter != nil && !filter(r) {
 			continue
 		}
 		if r.When != nil {

@@ -1,0 +1,209 @@
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"lciot/internal/cep"
+	"lciot/internal/ctxmodel"
+)
+
+// genRuleSource builds a randomized policy set over a small universe of
+// event patterns and context keys. Guards compare event.value or a context
+// attribute against a random limit, so the brute-force reference below can
+// evaluate them independently.
+func genRuleSource(r *rand.Rand, nRules int) string {
+	var b strings.Builder
+	for i := 0; i < nRules; i++ {
+		prio := r.Intn(5)
+		switch r.Intn(3) {
+		case 0: // event trigger, value guard
+			fmt.Fprintf(&b, "rule \"r%d\" priority %d { on event \"p%d\" when event.value > %d do alert \"e%d\" }\n",
+				i, prio, r.Intn(4), r.Intn(100), i)
+		case 1: // event trigger, unguarded
+			fmt.Fprintf(&b, "rule \"r%d\" priority %d { on event \"p%d\" do alert \"e%d\" }\n",
+				i, prio, r.Intn(4), i)
+		default: // context trigger, attribute guard
+			fmt.Fprintf(&b, "rule \"r%d\" priority %d { on context k%d when ctx.k%d > %d do alert \"c%d\" }\n",
+				i, prio, r.Intn(3), r.Intn(3), r.Intn(100), i)
+		}
+	}
+	return b.String()
+}
+
+// bruteForceAlerts computes the alerts a detection must raise: scan every
+// rule linearly in evaluation order (priority desc, name asc), keep event
+// rules on the detection's pattern whose guard passes. This is the pre-index
+// dispatch semantics the indexed engine must reproduce exactly.
+func bruteForceAlerts(set *PolicySet, snap ctxmodel.Snapshot, d cep.Detection) []string {
+	rules := append([]*Rule(nil), set.Rules...)
+	sort.SliceStable(rules, func(i, j int) bool {
+		if rules[i].Priority != rules[j].Priority {
+			return rules[i].Priority > rules[j].Priority
+		}
+		return rules[i].Name < rules[j].Name
+	})
+	env := &Env{Ctx: snap, Event: EventView{Pattern: d.Pattern, Value: d.Value, Present: true}}
+	var out []string
+	for _, r := range rules {
+		if r.Trigger.Kind != TriggerEvent || r.Trigger.Pattern != d.Pattern {
+			continue
+		}
+		if r.When != nil {
+			ok, err := evalBool(r.When, env)
+			if err != nil || !ok {
+				continue
+			}
+		}
+		for _, a := range r.Do {
+			out = append(out, a.(AlertAction).Message)
+		}
+	}
+	return out
+}
+
+// bruteForceCtxAlerts is bruteForceAlerts for a context-change trigger.
+func bruteForceCtxAlerts(set *PolicySet, snap ctxmodel.Snapshot, key string) []string {
+	rules := append([]*Rule(nil), set.Rules...)
+	sort.SliceStable(rules, func(i, j int) bool {
+		if rules[i].Priority != rules[j].Priority {
+			return rules[i].Priority > rules[j].Priority
+		}
+		return rules[i].Name < rules[j].Name
+	})
+	env := &Env{Ctx: snap}
+	var out []string
+	for _, r := range rules {
+		if r.Trigger.Kind != TriggerContext || r.Trigger.Key != key {
+			continue
+		}
+		if r.When != nil {
+			ok, err := evalBool(r.When, env)
+			if err != nil || !ok {
+				continue
+			}
+		}
+		for _, a := range r.Do {
+			out = append(out, a.(AlertAction).Message)
+		}
+	}
+	return out
+}
+
+// TestDispatchIndexedMatchesBruteForce drives randomized rule sets through
+// the indexed engine and checks every emitted action against a linear scan
+// over all rules.
+func TestDispatchIndexedMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		set := MustParse(genRuleSource(r, r.Intn(30)+5))
+
+		store := ctxmodel.NewStore(nil)
+		for k := 0; k < 3; k++ {
+			store.Set(fmt.Sprintf("k%d", k), ctxmodel.Number(float64(r.Intn(200))))
+		}
+
+		var got []string
+		eng := NewEngine(store, func(a Action) error {
+			got = append(got, a.(AlertAction).Message)
+			return nil
+		})
+		eng.Load(set)
+
+		// Event dispatch.
+		for trial := 0; trial < 20; trial++ {
+			d := cep.Detection{
+				Pattern: fmt.Sprintf("p%d", r.Intn(5)), // p4 matches no rule
+				Value:   float64(r.Intn(200)),
+			}
+			got = nil
+			if errs := eng.HandleDetection(d); len(errs) != 0 {
+				t.Fatalf("seed %d: unexpected errors %v", seed, errs)
+			}
+			want := bruteForceAlerts(set, store.Snapshot(), d)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d: detection %+v dispatched %v, brute force says %v", seed, d, got, want)
+			}
+		}
+
+		// Context dispatch.
+		for trial := 0; trial < 10; trial++ {
+			key := fmt.Sprintf("k%d", r.Intn(4)) // k3 matches no rule
+			got = nil
+			eng.HandleContextChange(ctxmodel.Change{Key: key})
+			want := bruteForceCtxAlerts(set, store.Snapshot(), key)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d: context change %q dispatched %v, brute force says %v", seed, key, got, want)
+			}
+		}
+	}
+}
+
+// TestIndexRebuiltOnLoadAndAddRules: dispatch must see rules added after the
+// first Load, and must stop seeing replaced rules.
+func TestIndexRebuiltOnLoadAndAddRules(t *testing.T) {
+	var got []string
+	eng := NewEngine(ctxmodel.NewStore(nil), func(a Action) error {
+		got = append(got, a.(AlertAction).Message)
+		return nil
+	})
+	eng.Load(MustParse(`rule "a" { on event "hr" do alert "first" }`))
+	eng.HandleDetection(cep.Detection{Pattern: "hr"})
+	if !reflect.DeepEqual(got, []string{"first"}) {
+		t.Fatalf("initial dispatch = %v", got)
+	}
+
+	eng.AddRules(MustParse(`rule "b" priority 1 { on event "hr" do alert "second" }`))
+	got = nil
+	eng.HandleDetection(cep.Detection{Pattern: "hr"})
+	if !reflect.DeepEqual(got, []string{"second", "first"}) {
+		t.Fatalf("after AddRules dispatch = %v (priority order within bucket broken?)", got)
+	}
+
+	eng.Load(MustParse(`rule "c" { on event "hr" do alert "only" }`))
+	got = nil
+	eng.HandleDetection(cep.Detection{Pattern: "hr"})
+	if !reflect.DeepEqual(got, []string{"only"}) {
+		t.Fatalf("after replacing Load dispatch = %v", got)
+	}
+}
+
+// TestConcurrentDispatchAndLoad exercises the index under -race: concurrent
+// detections, context changes, ticks and reloads must not race.
+func TestConcurrentDispatchAndLoad(t *testing.T) {
+	store := ctxmodel.NewStore(nil)
+	store.Set("k0", ctxmodel.Number(1))
+	eng := NewEngine(store, func(Action) error { return nil })
+	src := `
+rule "e" { on event "hr" when event.value > 10 do alert "e" }
+rule "c" { on context k0 do alert "c" }
+rule "t" { on timer 1ms do alert "t" }
+`
+	eng.Load(MustParse(src))
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				switch w {
+				case 0:
+					eng.HandleDetection(cep.Detection{Pattern: "hr", Value: float64(i)})
+				case 1:
+					eng.HandleContextChange(ctxmodel.Change{Key: "k0"})
+				case 2:
+					eng.Tick()
+				default:
+					eng.Load(MustParse(src))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

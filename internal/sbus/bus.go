@@ -26,12 +26,28 @@ type channelKey struct {
 // property (context, clearance, quarantine) is re-read per delivery.
 type channel struct {
 	key channelKey
+	// srcComp is the source component (resolved at establishment).
+	srcComp *Component
 	// remoteBus/remoteDst are set when the sink lives on a linked bus.
 	remoteBus string
 	remoteDst string
 	// dstComp/dstEP are set for local sinks.
 	dstComp *Component
 	dstEP   EndpointSpec
+	// verified caches the generations at which this channel's flow legality
+	// was last confirmed; see chanStamp. Written by Connect and reevaluate,
+	// read by reevaluate to skip checks no generation has invalidated.
+	verified atomic.Pointer[chanStamp]
+}
+
+// A chanStamp records the invalidation generations a channel-legality check
+// was derived from: the two endpoint entities' context generations and the
+// process-wide flow-cache generation (which advances on privilege and gate
+// changes). While all three are unchanged, the channel's last verdict still
+// describes the live configuration and re-evaluation may skip it — the same
+// generation-stamping discipline as the ifc flow cache.
+type chanStamp struct {
+	srcGen, dstGen, flowGen uint64
 }
 
 // routing is the bus's immutable routing state. Mutations (component
@@ -45,7 +61,11 @@ type routing struct {
 	// bySrc indexes channels by their source endpoint ("component.endpoint"),
 	// making publish O(fan-out) instead of O(total channels).
 	bySrc map[string][]*channel
-	links map[string]*link
+	// byComp indexes channels by the *components* they touch (source, and
+	// local sink when it differs), so a context change re-evaluates only the
+	// changed component's channels instead of every channel on the bus.
+	byComp map[string][]*channel
+	links  map[string]*link
 }
 
 // clone copies the snapshot's maps (the referenced components, channels and
@@ -55,6 +75,7 @@ func (r *routing) clone() *routing {
 		components: make(map[string]*Component, len(r.components)+1),
 		channels:   make(map[channelKey]*channel, len(r.channels)+1),
 		bySrc:      make(map[string][]*channel, len(r.bySrc)+1),
+		byComp:     make(map[string][]*channel, len(r.byComp)+1),
 		links:      make(map[string]*link, len(r.links)+1),
 	}
 	for k, v := range r.components {
@@ -66,10 +87,22 @@ func (r *routing) clone() *routing {
 	for k, v := range r.bySrc {
 		next.bySrc[k] = v
 	}
+	for k, v := range r.byComp {
+		next.byComp[k] = v
+	}
 	for k, v := range r.links {
 		next.links[k] = v
 	}
 	return next
+}
+
+// compNames lists the distinct local component names a channel touches.
+func (ch *channel) compNames() []string {
+	src := ch.srcComp.Name()
+	if ch.dstComp != nil && ch.dstComp.Name() != src {
+		return []string{src, ch.dstComp.Name()}
+	}
+	return []string{src}
 }
 
 // addChannel inserts ch into the snapshot's channel table and source index,
@@ -83,6 +116,12 @@ func (r *routing) addChannel(ch *channel) {
 	next := make([]*channel, len(old), len(old)+1)
 	copy(next, old)
 	r.bySrc[ch.key.src] = append(next, ch)
+	for _, name := range ch.compNames() {
+		oldC := r.byComp[name]
+		nextC := make([]*channel, len(oldC), len(oldC)+1)
+		copy(nextC, oldC)
+		r.byComp[name] = append(nextC, ch)
+	}
 }
 
 // removeChannel deletes the channel with the given key, if present.
@@ -103,6 +142,20 @@ func (r *routing) removeChannel(key channelKey) bool {
 		delete(r.bySrc, key.src)
 	} else {
 		r.bySrc[key.src] = next
+	}
+	for _, name := range ch.compNames() {
+		oldC := r.byComp[name]
+		nextC := make([]*channel, 0, len(oldC))
+		for _, c := range oldC {
+			if c != ch {
+				nextC = append(nextC, c)
+			}
+		}
+		if len(nextC) == 0 {
+			delete(r.byComp, name)
+		} else {
+			r.byComp[name] = nextC
+		}
 	}
 	return true
 }
@@ -153,6 +206,7 @@ func NewBus(name string, acl *ac.ACL, store *ctxmodel.Store, log *audit.Log) *Bu
 		components: map[string]*Component{},
 		channels:   map[channelKey]*channel{},
 		bySrc:      map[string][]*channel{},
+		byComp:     map[string][]*channel{},
 		links:      map[string]*link{},
 	})
 	return b
@@ -332,18 +386,25 @@ func (b *Bus) Connect(by ifc.PrincipalID, src, dst string) error {
 		return fmt.Errorf("%w: %q emits %q, %q accepts %q",
 			ErrSchema, src, srcEP.Schema.Name, dst, dstEP.Schema.Name)
 	}
-	if err := ifc.EnforceFlow(srcComp.Context(), dstComp.Context()); err != nil {
+	// Read the generations before the contexts they stamp: a concurrent
+	// SetContext can then only make the stamp stale (forcing a re-check),
+	// never let it vouch for a context it did not see.
+	srcCtx, srcGen := srcComp.entity.ContextAndGen()
+	dstCtx, dstGen := dstComp.entity.ContextAndGen()
+	flowGen := ifc.FlowCacheGeneration()
+	if err := ifc.EnforceFlow(srcCtx, dstCtx); err != nil {
 		note := "connect denied by IFC: " + err.Error()
-		if via, ok := b.gates.Route(srcComp.Context(), dstComp.Context()); ok && via != "" {
+		if via, ok := b.gates.Route(srcCtx, dstCtx); ok && via != "" {
 			note += "; installed gate " + via + " could bridge this flow"
 		}
-		b.auditDenied(srcComp.entity.ID(), dstComp.entity.ID(), srcComp.Context(),
-			dstComp.Context(), by, "", note)
+		b.auditDenied(srcComp.entity.ID(), dstComp.entity.ID(), srcCtx,
+			dstCtx, by, "", note)
 		return err
 	}
 
 	key := channelKey{src: src, dst: rest}
-	ch := &channel{key: key, dstComp: dstComp, dstEP: dstEP}
+	ch := &channel{key: key, srcComp: srcComp, dstComp: dstComp, dstEP: dstEP}
+	ch.verified.Store(&chanStamp{srcGen: srcGen, dstGen: dstGen, flowGen: flowGen})
 	b.writeMu.Lock()
 	next := b.routing.Load().clone()
 	next.addChannel(ch)
@@ -488,25 +549,32 @@ func deliveryNote(quenched []string) string {
 	return "delivered with quenched attributes: " + strings.Join(quenched, ",")
 }
 
-// reevaluate re-checks every channel touching the named component and tears
-// down those the current contexts no longer permit.
+// reevaluate re-checks the channels touching the named component and tears
+// down those the current contexts no longer permit. The byComp index keeps
+// the cost proportional to the component's own channels — channels between
+// unaffected components are never visited — and the per-channel generation
+// stamp skips even a touched channel when no generation it depends on has
+// moved (e.g. a SetContext to the identical context).
 func (b *Bus) reevaluate(component string) {
 	b.writeMu.Lock()
 	cur := b.routing.Load()
 	var torn []channelKey
-	for k, ch := range cur.channels {
+	for _, ch := range cur.byComp[component] {
 		if ch.remoteBus != "" {
 			continue // the remote bus re-checks on ingress
 		}
-		srcComp, _, err := cur.resolve(k.src, Source)
-		if err != nil {
-			continue
+		// Generations before contexts: a concurrent change then at worst
+		// leaves a stale stamp, never a stamp vouching for unseen contexts.
+		srcCtx, srcGen := ch.srcComp.entity.ContextAndGen()
+		dstCtx, dstGen := ch.dstComp.entity.ContextAndGen()
+		stamp := chanStamp{srcGen: srcGen, dstGen: dstGen, flowGen: ifc.FlowCacheGeneration()}
+		if v := ch.verified.Load(); v != nil && *v == stamp {
+			continue // legality already confirmed for these exact generations
 		}
-		if srcComp.Name() != component && ch.dstComp.Name() != component {
-			continue
-		}
-		if !srcComp.Context().CanFlowTo(ch.dstComp.Context()) {
-			torn = append(torn, k)
+		if srcCtx.CanFlowTo(dstCtx) {
+			ch.verified.Store(&stamp)
+		} else {
+			torn = append(torn, ch.key)
 		}
 	}
 	if len(torn) > 0 {

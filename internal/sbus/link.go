@@ -186,7 +186,7 @@ func (b *Bus) connectRemote(by ifc.PrincipalID, srcComp *Component, srcEP Endpoi
 		return fmt.Errorf("sbus: remote bus %q refused connect: %s", remoteBus, resp.Err)
 	}
 	key := channelKey{src: src, dst: remoteBus + ":" + remoteDst}
-	ch := &channel{key: key, remoteBus: remoteBus, remoteDst: remoteDst}
+	ch := &channel{key: key, srcComp: srcComp, remoteBus: remoteBus, remoteDst: remoteDst}
 	b.writeMu.Lock()
 	next := b.routing.Load().clone()
 	next.addChannel(ch)
