@@ -1,28 +1,63 @@
-// Command auditview inspects exported lciot audit logs (the JSON produced
-// by audit.ExportJSON / lciotd's shutdown export): verification of the
-// tamper-evident chain, compliance reporting, provenance graph export, and
-// the forensic queries of the paper's Section 8.3.
+// Command auditview inspects lciot audit trails — either the JSON
+// produced by audit.ExportJSON / lciotd's shutdown export, or a durable
+// store directory written by lciotd -data-dir (the directory itself or
+// its audit/ subdirectory): verification of the tamper-evident chain,
+// compliance reporting, provenance graph export, and the forensic queries
+// of the paper's Section 8.3. Provenance queries over a store directory
+// span every persisted record, including segments retired from process
+// memory by pruning.
 //
 // Usage:
 //
-//	auditview verify <log.json>              check the hash chain
-//	auditview report <log.json>              print a compliance summary
-//	auditview dot <log.json>                 emit the provenance graph (DOT)
-//	auditview ancestry <log.json> <node>     how was this produced?
-//	auditview descendants <log.json> <node>  where did this end up?
-//	auditview agents <log.json> <node>       who is responsible for it?
+//	auditview verify <log.json|dir>              check the hash chain
+//	auditview report <log.json|dir>              print a compliance summary
+//	auditview dot <log.json|dir>                 emit the provenance graph (DOT)
+//	auditview ancestry <log.json|dir> <node>     how was this produced?
+//	auditview descendants <log.json|dir> <node>  where did this end up?
+//	auditview agents <log.json|dir> <node>       who is responsible for it?
 package main
 
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"lciot/internal/audit"
+	"lciot/internal/store"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:]))
+}
+
+// loadRecords reads records from an exported JSON file or a durable store
+// directory. For directories the store's recovery already verifies the
+// whole persisted chain — a failure there is reported as a broken chain.
+func loadRecords(path string) (recs []audit.Record, fromStore bool, err error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, false, err
+	}
+	if fi.IsDir() {
+		dir := path
+		if sub := filepath.Join(path, "audit"); store.IsWALDir(sub) {
+			dir = sub
+		}
+		s, err := store.OpenAudit(dir, store.Options{})
+		if err != nil {
+			return nil, true, err
+		}
+		defer s.Close()
+		recs, err := s.Records(0, 0)
+		return recs, true, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, err
+	}
+	recs, err = audit.ImportRecords(data)
+	return recs, false, err
 }
 
 func run(args []string) int {
@@ -31,13 +66,19 @@ func run(args []string) int {
 		return 2
 	}
 	cmd, path := args[0], args[1]
-	data, err := os.ReadFile(path)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "auditview:", err)
-		return 1
+	// verify over a store directory streams: recovery chain-verifies the
+	// whole store in bounded memory, so nothing needs materialising.
+	if cmd == "verify" {
+		if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+			return verifyStoreDir(path)
+		}
 	}
-	recs, err := audit.ImportRecords(data)
+	recs, fromStore, err := loadRecords(path)
 	if err != nil {
+		if fromStore {
+			fmt.Println("chain BROKEN:", err)
+			return 1
+		}
 		fmt.Fprintln(os.Stderr, "auditview:", err)
 		return 1
 	}
@@ -48,11 +89,16 @@ func run(args []string) int {
 			fmt.Println("chain BROKEN:", err)
 			return 1
 		}
-		fmt.Printf("chain intact: %d records\n", len(recs))
+		if fromStore {
+			fmt.Printf("chain intact: %d records (store verified on recovery)\n", len(recs))
+		} else {
+			fmt.Printf("chain intact: %d records\n", len(recs))
+		}
 		return 0
 	case "report":
 		return report(recs)
 	case "dot":
+		printChainStatus(os.Stderr, recs, fromStore)
 		fmt.Print(audit.BuildGraph(recs).DOT())
 		return 0
 	case "ancestry", "descendants", "agents":
@@ -60,6 +106,7 @@ func run(args []string) int {
 			usage()
 			return 2
 		}
+		printChainStatus(os.Stderr, recs, fromStore)
 		return query(recs, cmd, args[2])
 	default:
 		usage()
@@ -67,9 +114,41 @@ func run(args []string) int {
 	}
 }
 
+// verifyStoreDir opens (and thereby chain-verifies) a store directory
+// without materialising its records.
+func verifyStoreDir(path string) int {
+	dir := path
+	if sub := filepath.Join(path, "audit"); store.IsWALDir(sub) {
+		dir = sub
+	}
+	s, err := store.OpenAudit(dir, store.Options{})
+	if err != nil {
+		fmt.Println("chain BROKEN:", err)
+		return 1
+	}
+	n := s.Len()
+	s.Close()
+	fmt.Printf("chain intact: %d records (store verified on recovery)\n", n)
+	return 0
+}
+
+// printChainStatus reports the chain-verification outcome alongside graph
+// output (on stderr, so stdout stays machine-consumable).
+func printChainStatus(w *os.File, recs []audit.Record, fromStore bool) {
+	source := "export"
+	if fromStore {
+		source = "store"
+	}
+	if err := audit.VerifySegment(recs, nil); err != nil {
+		fmt.Fprintf(w, "chain BROKEN (%s): %v\n", source, err)
+		return
+	}
+	fmt.Fprintf(w, "chain intact (%s): %d records\n", source, len(recs))
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr,
-		"usage: auditview verify|report|dot <log.json> | auditview ancestry|descendants|agents <log.json> <node>")
+		"usage: auditview verify|report|dot <log.json|store-dir> | auditview ancestry|descendants|agents <log.json|store-dir> <node>")
 }
 
 func report(recs []audit.Record) int {

@@ -7,6 +7,7 @@ import (
 
 	"lciot/internal/audit"
 	"lciot/internal/ifc"
+	"lciot/internal/store"
 )
 
 // writeLog exports a small log with one allowed flow, one denial and one
@@ -109,5 +110,88 @@ func TestRunUsageErrors(t *testing.T) {
 	}
 	if code := run([]string{"bogus", writeLog(t)}); code != 2 {
 		t.Fatalf("unknown cmd = %d", code)
+	}
+}
+
+// writeStore persists the same small trail into a durable store directory
+// (under an audit/ subdirectory, as lciotd lays it out).
+func writeStore(t *testing.T) string {
+	t.Helper()
+	dataDir := t.TempDir()
+	// Tiny segments so the trail spans several files (sealed + active).
+	s, err := store.OpenAudit(filepath.Join(dataDir, "audit"), store.Options{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := audit.NewLog(nil)
+	if err := s.AttachLog(l); err != nil {
+		t.Fatal(err)
+	}
+	l.Append(audit.Record{
+		Kind: audit.FlowAllowed, Layer: audit.LayerMessaging,
+		Src: "sensor", Dst: "analyser", DataID: "r1", Agent: ifc.PrincipalID("hospital"),
+	})
+	l.Append(audit.Record{
+		Kind: audit.FlowDenied, Layer: audit.LayerMessaging,
+		Src: "sensor", Dst: "advertiser", DataID: "r1", Note: "IFC denial",
+	})
+	for i := 0; i < 10; i++ {
+		l.Append(audit.Record{
+			Kind: audit.FlowAllowed, Layer: audit.LayerMessaging,
+			Src: "analyser", Dst: "archive", DataID: "r1", Note: "padding so segments rotate",
+		})
+	}
+	l.Flush()
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if s.WAL().Segments() < 2 {
+		t.Fatal("test store did not rotate; tamper test needs a sealed segment")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dataDir
+}
+
+func TestRunStoreDirectory(t *testing.T) {
+	dir := writeStore(t)
+	// Both the data dir and the audit/ subdirectory are accepted.
+	if code := run([]string{"verify", dir}); code != 0 {
+		t.Fatalf("verify store dir exit = %d", code)
+	}
+	if code := run([]string{"verify", filepath.Join(dir, "audit")}); code != 0 {
+		t.Fatalf("verify audit subdir exit = %d", code)
+	}
+	if code := run([]string{"report", dir}); code != 0 {
+		t.Fatalf("report store dir exit = %d", code)
+	}
+	if code := run([]string{"dot", dir}); code != 0 {
+		t.Fatalf("dot store dir exit = %d", code)
+	}
+	if code := run([]string{"descendants", dir, "r1"}); code != 0 {
+		t.Fatalf("descendants store dir exit = %d", code)
+	}
+}
+
+func TestRunStoreDirectoryTampered(t *testing.T) {
+	dir := writeStore(t)
+	// Flip one byte in a *sealed* segment: only the final segment may
+	// carry a torn tail, so recovery must refuse the store outright.
+	seg := filepath.Join(dir, "audit")
+	names, err := filepath.Glob(filepath.Join(seg, "wal-*.seg"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	data, err := os.ReadFile(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(names[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"verify", dir}); code != 1 {
+		t.Fatalf("tampered store verify exit = %d", code)
 	}
 }

@@ -1,8 +1,8 @@
-// Command benchharness regenerates every experiment in EXPERIMENTS.md: the
-// eleven figure reproductions E1-E11 (scenario checks with observable
-// outcomes) and the quantitative tables B1-B8. Absolute numbers depend on
-// the host; the *shapes* (who wins, what scales how) are the reproduction
-// targets.
+// Command benchharness regenerates the experiment suite (see DESIGN.md,
+// "Experiments"): the eleven figure reproductions E1-E11 (scenario checks
+// with observable outcomes) and the quantitative tables B1-B11. Absolute
+// numbers depend on the host; the *shapes* (who wins, what scales how)
+// are the reproduction targets.
 //
 // Usage:
 //

@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"strconv"
 	"time"
@@ -17,6 +18,7 @@ import (
 	"lciot/internal/policy"
 	"lciot/internal/sbus"
 	"lciot/internal/sticky"
+	"lciot/internal/store"
 )
 
 // timeOp measures the mean time of one op over enough iterations to be
@@ -29,10 +31,13 @@ func timeOp(f func()) time.Duration {
 // timeOpAllocs additionally reports mean heap allocations per op, read from
 // the runtime outside the timed window.
 func timeOpAllocs(f func()) (time.Duration, float64) {
-	const (
-		warmup = 100
-		runs   = 5000
-	)
+	return timeOpAllocsN(100, 5000, f)
+}
+
+// timeOpAllocsN is timeOpAllocs with explicit warmup/run counts, for
+// workloads (fsync-bound, bulk I/O) where 5000 iterations would be
+// wasteful.
+func timeOpAllocsN(warmup, runs int, f func()) (time.Duration, float64) {
 	for i := 0; i < warmup; i++ {
 		f()
 	}
@@ -44,7 +49,7 @@ func timeOpAllocs(f func()) (time.Duration, float64) {
 	}
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
-	return elapsed / runs, float64(after.Mallocs-before.Mallocs) / runs
+	return elapsed / time.Duration(runs), float64(after.Mallocs-before.Mallocs) / float64(runs)
 }
 
 // A benchRow is one measured workload, also emitted to the -json baseline
@@ -85,13 +90,119 @@ func runMeasurements() {
 	measureB7()
 	measureB8()
 	measureB9()
+	measureB10()
+	measureB11()
 }
 
-// B9: sticky-policy baseline vs IFC per-datum protection. The comparison
+// B9: durable audit append throughput vs commit batch size. Records flow
+// through the full pipeline — audit.Log async hashing, ordered sink,
+// WAL framing, group commit — with one fsync per batch, so per-record
+// cost drops as the batch amortises the sync.
+func measureB9() {
+	rec := audit.Record{
+		Kind: audit.FlowAllowed, Layer: audit.LayerMessaging,
+		Src: "sensor", Dst: "analyser",
+		SrcCtx: ifc.MustContext([]ifc.Tag{"medical", "ann"}, nil),
+		DstCtx: ifc.MustContext([]ifc.Tag{"medical", "ann"}, nil),
+		DataID: "reading-1", Agent: "hospital",
+	}
+	for _, batch := range []int{1, 64, 1024} {
+		dir, err := os.MkdirTemp("", "lciot-bench-b9-")
+		if err != nil {
+			panic(err)
+		}
+		s, err := store.OpenAudit(dir, store.Options{})
+		if err != nil {
+			panic(err)
+		}
+		l := audit.NewLog(nil)
+		if err := s.AttachLog(l); err != nil {
+			panic(err)
+		}
+		// Scale iteration counts so every batch size writes a comparable
+		// volume; each iteration ends in exactly one Sync (group commit).
+		runs := 2048 / batch
+		if runs < 16 {
+			runs = 16
+		}
+		d, allocs := timeOpAllocsN(2, runs, func() {
+			for i := 0; i < batch; i++ {
+				l.AppendAsync(rec)
+			}
+			l.Flush()
+			if err := s.Sync(); err != nil {
+				panic(err)
+			}
+		})
+		perRec := d / time.Duration(batch)
+		rate := float64(time.Second) / float64(perRec)
+		rowAllocs("B9", fmt.Sprintf("durable append, batch %d", batch), perRec, allocs/float64(batch),
+			fmt.Sprintf("%.0fk records/s, 1 fsync per batch", rate/1000))
+		if err := s.Close(); err != nil {
+			panic(err)
+		}
+		os.RemoveAll(dir)
+	}
+}
+
+// B10: crash-recovery replay time for a 1M-record store: segment scan,
+// CRC validation, record decode and full hash-chain verification — the
+// cost of the first boot after a crash. The store is built with periodic
+// Offload so the builder's memory stays flat.
+func measureB10() {
+	const n = 1_000_000
+	dir, err := os.MkdirTemp("", "lciot-bench-b10-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	s, err := store.OpenAudit(dir, store.Options{NoSync: true})
+	if err != nil {
+		panic(err)
+	}
+	l := audit.NewLog(nil)
+	if err := s.AttachLog(l); err != nil {
+		panic(err)
+	}
+	rec := audit.Record{
+		Kind: audit.FlowAllowed, Layer: audit.LayerMessaging,
+		Src: "sensor", Dst: "analyser",
+		SrcCtx: ifc.MustContext([]ifc.Tag{"medical", "ann"}, nil),
+		DstCtx: ifc.MustContext([]ifc.Tag{"medical", "ann"}, nil),
+		DataID: "reading", Agent: "hospital",
+	}
+	for i := 0; i < n; i++ {
+		l.AppendAsync(rec)
+		if i%100000 == 99999 {
+			if _, err := s.Offload(l); err != nil {
+				panic(err)
+			}
+		}
+	}
+	l.Flush()
+	if err := s.Close(); err != nil {
+		panic(err)
+	}
+
+	startAt := time.Now()
+	s2, err := store.OpenAudit(dir, store.Options{})
+	if err != nil {
+		panic(err)
+	}
+	elapsed := time.Since(startAt)
+	if got := s2.NextSeq(); got != n {
+		panic(fmt.Sprintf("B10: recovered %d records, want %d", got, n))
+	}
+	s2.Close()
+	row("B10", "recovery replay, 1M-record store", elapsed,
+		fmt.Sprintf("%.2f M records/s; includes CRC + full chain verify", n/elapsed.Seconds()/1e6))
+}
+
+// B11: sticky-policy baseline vs IFC per-datum protection. The comparison
 // the paper makes qualitatively (Section 10.2): sticky pays cryptography
 // that scales with payload size and loses all control after decryption;
 // IFC pays a size-independent label check per flow and keeps control.
-func measureB9() {
+func measureB11() {
 	for _, size := range []int{32, 64 * 1024} {
 		data := make([]byte, size)
 		for i := range data {
@@ -128,8 +239,8 @@ func measureB9() {
 				panic(err)
 			}
 		})
-		row("B9", fmt.Sprintf("sticky seal+agree+open, %dB", size), sd, "crypto scales with payload; no post-open control")
-		row("B9", fmt.Sprintf("IFC enforced hand-over, %dB", size), id,
+		row("B11", fmt.Sprintf("sticky seal+agree+open, %dB", size), sd, "crypto scales with payload; no post-open control")
+		row("B11", fmt.Sprintf("IFC enforced hand-over, %dB", size), id,
 			fmt.Sprintf("%.1fx vs sticky; control persists after delivery", float64(sd)/float64(id)))
 	}
 }

@@ -6,7 +6,18 @@
 //
 // Usage:
 //
-//	lciotd -config node.json
+//	lciotd -config node.json [-data-dir DIR] [-pump comp.endpoint=HZ]
+//
+// With -data-dir (or "data_dir" in the configuration) the audit trail is
+// durable: records are group-committed to a segmented hash-chained store
+// under DIR/audit, and on boot the store is recovered — torn tail
+// truncated, chain verified — and the in-memory log resumes the persisted
+// chain, so a crash (even SIGKILL) loses at most the uncommitted tail.
+// Inspect or verify the directory offline with "auditview verify DIR".
+//
+// -pump publishes synthetic messages on a configured source endpoint at
+// the given rate — a self-contained ingest driver for soak and
+// crash-recovery testing (the CI kill test uses it).
 //
 // A minimal configuration:
 //
@@ -39,7 +50,11 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"syscall"
+	"time"
 
 	"lciot"
 	"lciot/internal/audit"
@@ -51,6 +66,7 @@ type config struct {
 	Listen      string            `json:"listen,omitempty"`
 	PolicyFile  string            `json:"policy_file,omitempty"`
 	AuditExport string            `json:"audit_export,omitempty"`
+	DataDir     string            `json:"data_dir,omitempty"`
 	Schemas     []schemaConfig    `json:"schemas"`
 	Components  []componentConfig `json:"components"`
 	Channels    []channelConfig   `json:"channels"`
@@ -91,17 +107,19 @@ type channelConfig struct {
 
 func main() {
 	configPath := flag.String("config", "", "path to node configuration (JSON)")
+	dataDir := flag.String("data-dir", "", "durable audit store directory (overrides config data_dir)")
+	pump := flag.String("pump", "", "publish synthetic messages: component.endpoint=hz")
 	flag.Parse()
 	if *configPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*configPath); err != nil {
+	if err := run(*configPath, *dataDir, *pump); err != nil {
 		log.Fatal("lciotd: ", err)
 	}
 }
 
-func run(configPath string) error {
+func run(configPath, dataDir, pump string) error {
 	raw, err := os.ReadFile(configPath)
 	if err != nil {
 		return err
@@ -113,12 +131,36 @@ func run(configPath string) error {
 	if cfg.Domain == "" {
 		return fmt.Errorf("config: domain is required")
 	}
+	// Relative paths in the configuration resolve against the config
+	// file's directory, so lciotd runs the same from any working dir.
+	cfgDir := filepath.Dir(configPath)
+	resolve := func(p string) string {
+		if p == "" || filepath.IsAbs(p) {
+			return p
+		}
+		return filepath.Join(cfgDir, p)
+	}
+	cfg.PolicyFile = resolve(cfg.PolicyFile)
+	cfg.AuditExport = resolve(cfg.AuditExport)
+	cfg.DataDir = resolve(cfg.DataDir)
+	if dataDir != "" {
+		cfg.DataDir = dataDir // flag paths are relative to the caller's cwd
+	}
 
 	domain, err := lciot.NewDomain(cfg.Domain, lciot.Options{
 		OnAlert: func(m string) { log.Printf("alert: %s", m) },
+		DataDir: cfg.DataDir,
 	})
 	if err != nil {
 		return err
+	}
+	// Error-path safety net; the normal path closes explicitly below so a
+	// sticky store I/O error (the only place a WAL write failure
+	// surfaces) fails the daemon loudly instead of vanishing in a defer.
+	defer domain.Close()
+	if st := domain.AuditStore(); st != nil {
+		log.Printf("audit store %s: recovered %d records, chain intact, resuming at seq %d",
+			cfg.DataDir, st.Len(), st.NextSeq())
 	}
 
 	schemas, err := buildSchemas(cfg.Schemas)
@@ -157,9 +199,17 @@ func run(configPath string) error {
 		log.Printf("domain %q running (no listener configured)", cfg.Domain)
 	}
 
+	stopPump := make(chan struct{})
+	if pump != "" {
+		if err := startPump(domain, cfg, schemas, pump, stopPump); err != nil {
+			return err
+		}
+	}
+
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
+	close(stopPump)
 
 	if cfg.AuditExport != "" {
 		data, err := audit.ExportJSON(domain.Log())
@@ -170,6 +220,9 @@ func run(configPath string) error {
 			return err
 		}
 		log.Printf("audit log exported to %s (%d records)", cfg.AuditExport, domain.Log().Len())
+	}
+	if err := domain.Close(); err != nil {
+		return fmt.Errorf("audit store shutdown: %w", err)
 	}
 	return nil
 }
@@ -256,6 +309,80 @@ func registerComponents(domain *lciot.Domain, cfgs []componentConfig, schemas ma
 		}
 	}
 	return nil
+}
+
+// startPump launches a synthetic publisher on a configured source
+// endpoint: a self-contained ingest driver so soak and crash-recovery
+// tests need no external client. Messages are synthesised from the
+// endpoint's schema (every field populated with a deterministic value).
+func startPump(domain *lciot.Domain, cfg config, schemas map[string]*lciot.Schema, spec string, stop <-chan struct{}) error {
+	target, rateStr, ok := strings.Cut(spec, "=")
+	if !ok {
+		return fmt.Errorf("pump: want component.endpoint=hz, got %q", spec)
+	}
+	hz, err := strconv.Atoi(rateStr)
+	if err != nil || hz <= 0 {
+		return fmt.Errorf("pump: bad rate %q", rateStr)
+	}
+	compName, epName, ok := strings.Cut(target, ".")
+	if !ok {
+		return fmt.Errorf("pump: want component.endpoint=hz, got %q", spec)
+	}
+	var schema *lciot.Schema
+	for _, cc := range cfg.Components {
+		if cc.Name != compName {
+			continue
+		}
+		for _, ec := range cc.Endpoints {
+			if ec.Name == epName && ec.Dir == "source" {
+				schema = schemas[ec.Schema]
+			}
+		}
+	}
+	if schema == nil {
+		return fmt.Errorf("pump: no configured source endpoint %q", target)
+	}
+	comp, err := domain.Bus().Component(compName)
+	if err != nil {
+		return err
+	}
+	go func() {
+		t := time.NewTicker(time.Second / time.Duration(hz))
+		defer t.Stop()
+		for i := int64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+			}
+			if _, err := comp.Publish(epName, syntheticMessage(schema, i)); err != nil {
+				log.Printf("pump: publish: %v", err)
+			}
+		}
+	}()
+	log.Printf("pump: publishing on %s at %d msg/s", target, hz)
+	return nil
+}
+
+// syntheticMessage fills every schema field with a deterministic value.
+func syntheticMessage(schema *lciot.Schema, i int64) *lciot.Message {
+	m := lciot.NewMessage(schema.Name)
+	for _, f := range schema.Fields {
+		switch f.Type {
+		case lciot.TString:
+			m.Set(f.Name, lciot.Str(fmt.Sprintf("pump-%d", i)))
+		case lciot.TFloat:
+			m.Set(f.Name, lciot.Float(float64(i%100)))
+		case lciot.TInt:
+			m.Set(f.Name, lciot.Int(i))
+		case lciot.TBool:
+			m.Set(f.Name, lciot.Bool(i%2 == 0))
+		case lciot.TBytes:
+			m.Set(f.Name, lciot.Bytes([]byte{byte(i)}))
+		}
+	}
+	m.DataID = fmt.Sprintf("pump/%s/%d", schema.Name, i)
+	return m
 }
 
 func toTags(ss []string) []lciot.Tag {

@@ -1,6 +1,8 @@
 // Command quickstart is the smallest complete lciot program: one domain,
 // a labelled sensor, a matching analyser, a public sink that the flow rule
-// refuses, and the audit trail that proves both outcomes.
+// refuses, the audit trail that proves both outcomes — and, since the
+// trail is durable, a simulated restart after which the provenance query
+// still answers from the recovered store.
 //
 // Run with:
 //
@@ -10,6 +12,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"lciot"
 )
@@ -21,11 +24,30 @@ func main() {
 }
 
 func run() error {
-	// A domain bundles a bus, policy engine, context store and audit log.
-	domain, err := lciot.NewDomain("demo", lciot.Options{})
+	// The audit trail persists here: a segmented, hash-chained,
+	// group-committed store under dataDir/audit.
+	dataDir, err := os.MkdirTemp("", "lciot-quickstart-")
 	if err != nil {
 		return err
 	}
+	defer os.RemoveAll(dataDir)
+
+	if err := firstRun(dataDir); err != nil {
+		return err
+	}
+	// The first process is gone; everything in memory with it. The
+	// evidence is not.
+	return replayAfterRestart(dataDir)
+}
+
+func firstRun(dataDir string) error {
+	// A domain bundles a bus, policy engine, context store and audit log;
+	// DataDir makes the audit log durable.
+	domain, err := lciot.NewDomain("demo", lciot.Options{DataDir: dataDir})
+	if err != nil {
+		return err
+	}
+	defer domain.Close()
 
 	// A strongly-typed message schema (paper Section 8.2.2).
 	vitals := lciot.MustSchema("vitals", lciot.Label{},
@@ -79,5 +101,38 @@ func run() error {
 	rep := lciot.Report(domain.Log())
 	fmt.Printf("audit: %d records, chain intact: %v, denials: %d\n",
 		rep.Total, rep.ChainIntact, len(rep.Denials))
+
+	// Ask the provenance graph how reading-1 travelled, while the
+	// original process is still alive.
+	g := lciot.BuildProvenance(domain.Log().Select(nil))
+	desc, err := g.Descendants("reading-1")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("before restart: reading-1 reached %v\n", desc)
+	return nil // deferred Close flushes the store
+}
+
+// replayAfterRestart opens the store a fresh process would find, verifies
+// the recovered chain, and re-runs the provenance query purely from disk.
+func replayAfterRestart(dataDir string) error {
+	st, err := lciot.OpenAuditStore(dataDir+"/audit", lciot.AuditStoreOptions{})
+	if err != nil {
+		return fmt.Errorf("recovery: %w", err)
+	}
+	defer st.Close()
+
+	recs, err := st.Records(0, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("after restart: recovered %d records, chain verified on open\n", len(recs))
+
+	g := lciot.BuildProvenance(recs)
+	desc, err := g.Descendants("reading-1")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("after restart: reading-1 reached %v — the evidence survived\n", desc)
 	return nil
 }

@@ -1,0 +1,135 @@
+package audit
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"lciot/internal/ifc"
+)
+
+// This file is the binary wire form of a Record for durable storage
+// (internal/store) and any other consumer that needs a compact, canonical
+// encoding with the hashes preserved. It follows the zero-alloc append
+// style of msg.AppendBinary: the encoder appends to a caller-owned buffer,
+// so steady-state encoding allocates nothing.
+//
+// Layout (all integers big-endian):
+//
+//	u8  version (recordWireV1)
+//	u64 seq | s64 unixSec | u32 nsec | u8 kind | u8 layer
+//	10 × (u32 len | bytes): domain, src, dst, srcS, srcI, dstS, dstI,
+//	                        dataID, agent, note
+//	32B prevHash | 32B hash
+//
+// Security-context labels travel as their canonical String forms (labels
+// are interned, so String is a pointer read) and are re-interned by
+// ifc.ParseLabel on decode; the hashes are carried verbatim, so a decoded
+// record verifies against the same chain it was encoded from.
+
+// recordWireV1 is the current binary record version byte.
+const recordWireV1 = 1
+
+// ErrRecordCodec is the sentinel for malformed binary records.
+var ErrRecordCodec = errors.New("audit: malformed binary record")
+
+// HashRecord recomputes the chained hash of r from its content and
+// PrevHash. Verifiers that stream records from storage use it to check
+// each record without materialising a whole segment.
+func HashRecord(r *Record) [32]byte { return computeHash(r) }
+
+// AppendRecordBinary appends the binary form of r to dst and returns the
+// extended slice.
+func AppendRecordBinary(dst []byte, r *Record) []byte {
+	dst = append(dst, recordWireV1)
+	dst = binary.BigEndian.AppendUint64(dst, r.Seq)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(r.Time.Unix()))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(r.Time.Nanosecond()))
+	dst = append(dst, byte(r.Kind), byte(r.Layer))
+	for _, f := range [...]string{
+		r.Domain, string(r.Src), string(r.Dst),
+		r.SrcCtx.Secrecy.String(), r.SrcCtx.Integrity.String(),
+		r.DstCtx.Secrecy.String(), r.DstCtx.Integrity.String(),
+		r.DataID, string(r.Agent), r.Note,
+	} {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(f)))
+		dst = append(dst, f...)
+	}
+	dst = append(dst, r.PrevHash[:]...)
+	dst = append(dst, r.Hash[:]...)
+	return dst
+}
+
+// DecodeRecordBinary parses one binary record produced by
+// AppendRecordBinary, consuming the whole input.
+func DecodeRecordBinary(data []byte) (Record, error) {
+	var r Record
+	if len(data) < 1 || data[0] != recordWireV1 {
+		return r, fmt.Errorf("%w: bad version byte", ErrRecordCodec)
+	}
+	off := 1
+	need := func(n int) error {
+		if off+n > len(data) {
+			return fmt.Errorf("%w: truncated at offset %d", ErrRecordCodec, off)
+		}
+		return nil
+	}
+	if err := need(8 + 8 + 4 + 2); err != nil {
+		return r, err
+	}
+	r.Seq = binary.BigEndian.Uint64(data[off:])
+	off += 8
+	sec := int64(binary.BigEndian.Uint64(data[off:]))
+	off += 8
+	nsec := binary.BigEndian.Uint32(data[off:])
+	off += 4
+	r.Time = time.Unix(sec, int64(nsec)).UTC()
+	r.Kind = EventKind(data[off])
+	r.Layer = Layer(data[off+1])
+	off += 2
+
+	var fields [10]string
+	for i := range fields {
+		if err := need(4); err != nil {
+			return r, err
+		}
+		n := int(binary.BigEndian.Uint32(data[off:]))
+		off += 4
+		if err := need(n); err != nil {
+			return r, err
+		}
+		fields[i] = string(data[off : off+n])
+		off += n
+	}
+	r.Domain = fields[0]
+	r.Src = ifc.EntityID(fields[1])
+	r.Dst = ifc.EntityID(fields[2])
+	var err error
+	if r.SrcCtx.Secrecy, err = ifc.ParseLabel(fields[3]); err != nil {
+		return r, fmt.Errorf("%w: src secrecy: %v", ErrRecordCodec, err)
+	}
+	if r.SrcCtx.Integrity, err = ifc.ParseLabel(fields[4]); err != nil {
+		return r, fmt.Errorf("%w: src integrity: %v", ErrRecordCodec, err)
+	}
+	if r.DstCtx.Secrecy, err = ifc.ParseLabel(fields[5]); err != nil {
+		return r, fmt.Errorf("%w: dst secrecy: %v", ErrRecordCodec, err)
+	}
+	if r.DstCtx.Integrity, err = ifc.ParseLabel(fields[6]); err != nil {
+		return r, fmt.Errorf("%w: dst integrity: %v", ErrRecordCodec, err)
+	}
+	r.DataID = fields[7]
+	r.Agent = ifc.PrincipalID(fields[8])
+	r.Note = fields[9]
+
+	if err := need(64); err != nil {
+		return r, err
+	}
+	copy(r.PrevHash[:], data[off:off+32])
+	copy(r.Hash[:], data[off+32:off+64])
+	off += 64
+	if off != len(data) {
+		return r, fmt.Errorf("%w: %d trailing bytes", ErrRecordCodec, len(data)-off)
+	}
+	return r, nil
+}

@@ -42,11 +42,16 @@ type Log struct {
 	lastHash [32]byte
 	now      func() time.Time
 	// sinks receive a copy of each appended record (e.g. a domain-wide
-	// collector). They must not block, and must not call back into this
-	// log's blocking methods (Append, Flush or any read-side method):
-	// async-path sinks run on the hasher goroutine, where such a call
-	// would self-deadlock. Appending to a *different* log is fine.
+	// collector, or a durable store). They must not block for long, and
+	// must not call back into this log's blocking methods (Append, Flush
+	// or any read-side method): async-path sinks run on the hasher
+	// goroutine, where such a call would self-deadlock. Appending to a
+	// *different* log is fine.
 	sinks []func(Record)
+	// sinkMu serialises commit+deliver so sinks observe records in exactly
+	// chain order even under concurrent Append calls — durable sinks
+	// (internal/store) rely on this to persist a contiguous chain.
+	sinkMu sync.Mutex
 
 	// pendMu guards the async ingest ring.
 	pendMu   sync.Mutex
@@ -104,6 +109,7 @@ func (l *Log) Append(r Record) Record {
 	if r.Time.IsZero() {
 		r.Time = l.clock()
 	}
+	l.sinkMu.Lock()
 	l.mu.Lock()
 	l.commitLocked(&r)
 	sinks := l.sinks
@@ -112,6 +118,7 @@ func (l *Log) Append(r Record) Record {
 	for _, s := range sinks {
 		s(r)
 	}
+	l.sinkMu.Unlock()
 	return r
 }
 
@@ -177,6 +184,7 @@ func (l *Log) drain() {
 		l.condLocked().Broadcast() // release writers blocked on backpressure
 		l.pendMu.Unlock()
 
+		l.sinkMu.Lock()
 		l.mu.Lock()
 		for i := range batch {
 			l.commitLocked(&batch[i])
@@ -188,6 +196,7 @@ func (l *Log) drain() {
 				s(batch[i])
 			}
 		}
+		l.sinkMu.Unlock()
 
 		l.pendMu.Lock()
 		l.completed += uint64(len(batch))
@@ -204,6 +213,37 @@ func (l *Log) commitLocked(r *Record) {
 	l.records = append(l.records, *r)
 	l.nextSeq++
 	l.lastHash = r.Hash
+}
+
+// Restore primes an empty log with a recovery checkpoint: the next
+// sequence number to assign and the hash of the last record committed
+// before the process died. Subsequent appends continue the persisted
+// chain exactly as Prune-retained logs do — the first new record carries
+// lastHash as its PrevHash, so the chain verifies across the restart
+// boundary. Restoring a log that has already committed records is an
+// error; recovery happens before ingest begins.
+func (l *Log) Restore(nextSeq uint64, lastHash [32]byte) error {
+	l.Flush()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.nextSeq != 0 || len(l.records) != 0 {
+		return errors.New("audit: Restore on a log that already has records")
+	}
+	l.firstSeq = nextSeq
+	l.nextSeq = nextSeq
+	l.lastHash = lastHash
+	return nil
+}
+
+// Checkpoint returns the log's chain head: the next sequence number and
+// the hash of the last committed record (the pruned checkpoint's hash when
+// everything has been pruned). A durable store resuming this chain after a
+// restart feeds these back through Restore.
+func (l *Log) Checkpoint() (nextSeq uint64, lastHash [32]byte) {
+	l.Flush()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq, l.lastHash
 }
 
 // Len returns the number of retained records.

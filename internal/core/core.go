@@ -16,6 +16,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -29,6 +30,7 @@ import (
 	"lciot/internal/names"
 	"lciot/internal/policy"
 	"lciot/internal/sbus"
+	"lciot/internal/store"
 	"lciot/internal/transport"
 )
 
@@ -55,6 +57,12 @@ type Options struct {
 	OnAlert func(message string)
 	// OnConflict receives policy conflicts; nil discards (still counted).
 	OnConflict func(policy.Conflict)
+	// DataDir, when non-empty, makes the domain's audit log durable: a
+	// segmented hash-chained store (internal/store) is opened under
+	// DataDir/audit, recovered and chain-verified, the in-memory log is
+	// primed with the recovered head, and every subsequent record is
+	// persisted with batched group commit. Call Close on shutdown.
+	DataDir string
 }
 
 // A Domain is one administrative domain of the IoT: a hospital, a home, a
@@ -72,6 +80,8 @@ type Domain struct {
 	verifier *attest.Verifier
 	resolver *names.Resolver
 	clock    func() time.Time
+	// auditStore is the disk tier of the audit log (nil without DataDir).
+	auditStore *store.AuditStore
 
 	mu        sync.Mutex
 	alerts    []string
@@ -102,9 +112,24 @@ func NewDomain(name string, opts Options) (*Domain, error) {
 		return nil, err
 	}
 
-	store := ctxmodel.NewStore(clock)
+	ctxStore := ctxmodel.NewStore(clock)
 	log := audit.NewLog(clock)
-	bus := sbus.NewBus(name, acl, store, log)
+	var auditStore *store.AuditStore
+	if opts.DataDir != "" {
+		var err error
+		auditStore, err = store.OpenAudit(filepath.Join(opts.DataDir, "audit"), store.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("core: audit store: %w", err)
+		}
+		// Prime the fresh log with the recovered chain head and persist
+		// everything it commits from here on: the tamper-evident chain is
+		// contiguous across the restart.
+		if err := auditStore.AttachLog(log); err != nil {
+			auditStore.Close()
+			return nil, fmt.Errorf("core: audit store: %w", err)
+		}
+	}
+	bus := sbus.NewBus(name, acl, ctxStore, log)
 	if opts.Resolver != nil {
 		// Challenge 1: federated peers may advertise tags this domain has
 		// never encountered. Admit an inbound context only when every tag
@@ -122,24 +147,31 @@ func NewDomain(name string, opts Options) (*Domain, error) {
 
 	tpm, err := attest.NewTPM(name)
 	if err != nil {
+		if auditStore != nil {
+			auditStore.Close()
+		}
 		return nil, err
 	}
 	if err := tpm.Extend(0, []byte("lciot-domain:"+name)); err != nil {
+		if auditStore != nil {
+			auditStore.Close()
+		}
 		return nil, err
 	}
 
 	d := &Domain{
-		name:     name,
-		bus:      bus,
-		store:    store,
-		log:      log,
-		tpm:      tpm,
-		verifier: attest.NewVerifier(1),
-		resolver: opts.Resolver,
-		clock:    clock,
-		onAlert:  opts.OnAlert,
+		name:       name,
+		bus:        bus,
+		store:      ctxStore,
+		log:        log,
+		tpm:        tpm,
+		verifier:   attest.NewVerifier(1),
+		resolver:   opts.Resolver,
+		clock:      clock,
+		onAlert:    opts.OnAlert,
+		auditStore: auditStore,
 	}
-	d.eng = policy.NewEngine(store, d.execute,
+	d.eng = policy.NewEngine(ctxStore, d.execute,
 		policy.WithEngineClock(clock),
 		policy.WithConflictHandler(func(c policy.Conflict) {
 			d.mu.Lock()
@@ -159,7 +191,7 @@ func NewDomain(name string, opts Options) (*Domain, error) {
 	// Context changes feed the policy engine synchronously (deterministic
 	// evaluation order); a rule that sets an attribute it triggers on must
 	// converge through its own guard, as in the paper's feedback loop.
-	store.AddHook(func(change ctxmodel.Change) {
+	ctxStore.AddHook(func(change ctxmodel.Change) {
 		for _, e := range d.eng.HandleContextChange(change) {
 			d.auditPolicyError(e)
 		}
@@ -178,6 +210,31 @@ func (d *Domain) Store() *ctxmodel.Store { return d.store }
 
 // Log exposes the domain's audit log.
 func (d *Domain) Log() *audit.Log { return d.log }
+
+// AuditStore exposes the durable audit store (nil unless Options.DataDir
+// was set).
+func (d *Domain) AuditStore() *store.AuditStore { return d.auditStore }
+
+// OffloadAudit moves the in-memory audit records to the disk tier: it
+// waits until everything the log has committed is durable, then prunes
+// the log. Without a DataDir it is a no-op returning 0.
+func (d *Domain) OffloadAudit() (int, error) {
+	if d.auditStore == nil {
+		return 0, nil
+	}
+	return d.auditStore.Offload(d.log)
+}
+
+// Close flushes and closes the domain's durable resources. The domain
+// remains usable for in-memory work afterwards, but nothing further is
+// persisted; call it once, on shutdown.
+func (d *Domain) Close() error {
+	if d.auditStore == nil {
+		return nil
+	}
+	d.log.Flush()
+	return d.auditStore.Close()
+}
 
 // PolicyEngine exposes the domain's policy engine.
 func (d *Domain) PolicyEngine() *policy.Engine { return d.eng }

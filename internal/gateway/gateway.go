@@ -9,15 +9,18 @@
 package gateway
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"lciot/internal/audit"
 	"lciot/internal/device"
 	"lciot/internal/ifc"
 	"lciot/internal/msg"
 	"lciot/internal/sbus"
+	"lciot/internal/store"
 )
 
 // Errors reported by gateways.
@@ -55,11 +58,30 @@ type Gateway struct {
 	buffer  []pendingReading
 	bufMax  int
 	uplinkU bool
+	// journal, when non-nil, persists the store-and-forward buffer so an
+	// outage that outlives the gateway process no longer loses readings.
+	journal *store.WAL
 }
 
 type pendingReading struct {
 	r   device.Reading
 	ctx ifc.SecurityContext
+	// jseq is the reading's journal sequence number (meaningful only while
+	// a journal is enabled); Flush prunes the journal up to the last
+	// forwarded reading's jseq.
+	jseq uint64
+}
+
+// journalEntry is the JSON wire form of one buffered reading. Labels
+// travel as their canonical String forms and are re-interned on decode.
+type journalEntry struct {
+	Device    string  `json:"device"`
+	Metric    string  `json:"metric"`
+	Value     float64 `json:"value"`
+	AtNano    int64   `json:"at"`
+	Seq       uint64  `json:"seq"`
+	Secrecy   string  `json:"secrecy"`
+	Integrity string  `json:"integrity"`
 }
 
 // New registers a gateway component on the bus and returns the gateway.
@@ -108,6 +130,96 @@ func (g *Gateway) SetUplink(up bool) {
 	g.uplinkU = up
 }
 
+// EnableJournal opens (creating or recovering) a durable journal for the
+// store-and-forward buffer in dir. Readings journaled by a previous
+// process — buffered when it died — are recovered into the buffer and
+// forwarded on the next Flush, so an uplink outage that outlives the
+// gateway process no longer loses data (Challenge 6's intermittently
+// connected things, made restart-proof). It returns the number of
+// readings recovered.
+//
+// Delivery is at-least-once: the journal is pruned at segment
+// granularity after a successful Flush, so a crash between forwarding and
+// pruning can re-forward readings on restart. Readings carry stable
+// DataIDs (device/metric/seq), so downstream provenance deduplicates.
+func (g *Gateway) EnableJournal(dir string) (int, error) {
+	w, err := store.Open(dir, store.Options{SegmentBytes: 256 << 10})
+	if err != nil {
+		return 0, err
+	}
+	var recovered []pendingReading
+	err = w.ReadSeq(0, 0, func(e store.Entry) error {
+		var je journalEntry
+		if err := json.Unmarshal(e.Payload, &je); err != nil {
+			return fmt.Errorf("gateway: journal entry %d: %w", e.Seq, err)
+		}
+		secrecy, err := ifc.ParseLabel(je.Secrecy)
+		if err != nil {
+			return fmt.Errorf("gateway: journal entry %d: %w", e.Seq, err)
+		}
+		integrity, err := ifc.ParseLabel(je.Integrity)
+		if err != nil {
+			return fmt.Errorf("gateway: journal entry %d: %w", e.Seq, err)
+		}
+		recovered = append(recovered, pendingReading{
+			r: device.Reading{
+				DeviceID: je.Device, Metric: je.Metric, Value: je.Value,
+				At: time.Unix(0, je.AtNano), Seq: je.Seq,
+			},
+			ctx:  ifc.SecurityContext{Secrecy: secrecy, Integrity: integrity},
+			jseq: e.Seq,
+		})
+		return nil
+	})
+	if err != nil {
+		w.Close()
+		return 0, err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.journal != nil {
+		w.Close()
+		return 0, errors.New("gateway: journal already enabled")
+	}
+	g.journal = w
+	g.buffer = append(recovered, g.buffer...)
+	return len(recovered), nil
+}
+
+// CloseJournal syncs and closes the journal (no-op without one).
+func (g *Gateway) CloseJournal() error {
+	g.mu.Lock()
+	j := g.journal
+	g.journal = nil
+	g.mu.Unlock()
+	if j == nil {
+		return nil
+	}
+	return j.Close()
+}
+
+// journalLocked persists one buffered reading; g.mu must be held. The
+// Sync makes the reading durable before Ingest returns — buffering only
+// happens while the uplink is down, where disk latency is irrelevant.
+func (g *Gateway) journalLocked(p *pendingReading) error {
+	je := journalEntry{
+		Device: p.r.DeviceID, Metric: p.r.Metric, Value: p.r.Value,
+		AtNano: p.r.At.UnixNano(), Seq: p.r.Seq,
+		Secrecy:   p.ctx.Secrecy.String(),
+		Integrity: p.ctx.Integrity.String(),
+	}
+	payload, err := json.Marshal(je)
+	if err != nil {
+		return fmt.Errorf("gateway: journal encode: %w", err)
+	}
+	seq, err := g.journal.Append(p.r.At, payload)
+	if err != nil {
+		return err
+	}
+	p.jseq = seq
+	return g.journal.Sync()
+}
+
 // Buffered returns the number of readings waiting for the uplink.
 func (g *Gateway) Buffered() int {
 	g.mu.Lock()
@@ -148,7 +260,13 @@ func (g *Gateway) Ingest(r device.Reading) error {
 		if len(g.buffer) >= g.bufMax {
 			return fmt.Errorf("%w: %d readings", ErrBufferFull, len(g.buffer))
 		}
-		g.buffer = append(g.buffer, pendingReading{r: r, ctx: entry.Ctx})
+		p := pendingReading{r: r, ctx: entry.Ctx}
+		if g.journal != nil {
+			if err := g.journalLocked(&p); err != nil {
+				return err
+			}
+		}
+		g.buffer = append(g.buffer, p)
 		return nil
 	}
 	return g.forward(r, entry.Ctx)
@@ -160,6 +278,7 @@ func (g *Gateway) Flush() (int, error) {
 	g.mu.Lock()
 	pending := g.buffer
 	g.buffer = nil
+	journal := g.journal
 	g.mu.Unlock()
 
 	for i, p := range pending {
@@ -168,6 +287,14 @@ func (g *Gateway) Flush() (int, error) {
 			g.buffer = append(pending[i:], g.buffer...)
 			g.mu.Unlock()
 			return i, err
+		}
+	}
+	if journal != nil && len(pending) > 0 {
+		// Everything up to the last forwarded reading is delivered; drop
+		// the sealed journal segments covering it. Readings buffered while
+		// we were forwarding have higher jseqs and survive.
+		if _, err := journal.Prune(pending[len(pending)-1].jseq + 1); err != nil {
+			return len(pending), err
 		}
 	}
 	return len(pending), nil

@@ -13,7 +13,7 @@
 //     freely, which the IFC middleware would deny and audit.
 //  2. Heavyweight per-datum machinery: every protected datum costs an
 //     AES-256-GCM encryption plus an authority round trip for the first
-//     access — benchmark B9 compares this with the middleware's label
+//     access — benchmark B11 compares this with the middleware's label
 //     checks.
 //
 // The implementation uses stdlib AES-GCM with random nonces and per-bundle

@@ -1,0 +1,683 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Errors reported by the WAL.
+var (
+	ErrClosed = errors.New("store: wal closed")
+)
+
+// Options configures a WAL. The zero value is ready for production use.
+type Options struct {
+	// SegmentBytes is the rotation threshold: once the active segment
+	// exceeds it, the next batch opens a new segment. 0 means 64 MiB.
+	SegmentBytes int64
+	// MaxSegments, when > 0, bounds retention: after a rotation the oldest
+	// sealed segments are deleted until at most MaxSegments files remain.
+	// Audit stores leave this 0 (history is the point); bounded journals
+	// (gateway store-and-forward) set it.
+	MaxSegments int
+	// NoSync skips fsync on commit — bulk loads and tests only. Committed
+	// records may be lost on crash; Sync still waits for the write.
+	NoSync bool
+}
+
+// An Entry is one record read back from the log. Payload aliases an
+// internal read buffer and is only valid for the duration of the callback
+// it is handed to.
+type Entry struct {
+	Seq     uint64
+	Time    time.Time
+	Payload []byte
+}
+
+// segment is the in-memory metadata for one segment file.
+type segment struct {
+	firstSeq  uint64
+	count     uint64
+	firstNano int64
+	lastNano  int64
+	path      string
+	size      int64
+}
+
+func (s *segment) endSeq() uint64 { return s.firstSeq + s.count }
+
+// A WAL is a segmented, CRC-framed, append-only log with batched group
+// commit. Append assigns a sequence number, enqueues the framed record and
+// returns; a committer goroutine (started on demand, exiting when idle)
+// writes each accumulated batch with a single fsync. Sync waits on the
+// enqueued/committed watermark, so it is bounded even under sustained
+// ingest — the same design as audit.Log's AppendAsync/Flush pair, extended
+// with durability.
+type WAL struct {
+	dir  string
+	opts Options
+
+	// mu guards segment metadata and the active file. Only the committer
+	// writes; readers snapshot metadata under mu and open files read-only.
+	mu     sync.Mutex
+	segs   []*segment
+	active *os.File
+
+	// pendMu guards the pending batch and the commit watermark.
+	pendMu   sync.Mutex
+	pendCond *sync.Cond
+	pending  []byte // encoded frames awaiting commit
+	pendN    int    // records in pending
+	pendLo   int64  // min/max unixNano in pending
+	pendHi   int64
+	nextSeq  uint64 // next sequence number to assign
+	// enqueued/completed count records over the WAL's lifetime; Sync waits
+	// for completed to reach enqueued-as-of-the-call.
+	enqueued  uint64
+	completed uint64
+	// durableSeq is the boundary of durability: every record with
+	// Seq < durableSeq has been written (and, unless NoSync, fsynced).
+	durableSeq uint64
+	draining   bool
+	err        error // sticky I/O error
+	closed     bool
+}
+
+// maxPendingBytes bounds the in-memory batch; appenders beyond it block
+// until the committer catches up (backpressure rather than unbounded
+// memory).
+const maxPendingBytes = 8 << 20
+
+// Open opens (creating if necessary) a WAL in dir, replaying existing
+// segments: every frame is CRC-checked, sequence continuity is enforced,
+// and a torn tail — the expected state after a crash mid-write — is
+// truncated from the final segment. Corruption anywhere else is reported
+// as ErrCorrupt, never repaired silently.
+func Open(dir string, opts Options) (*WAL, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 64 << 20
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	w := &WAL{dir: dir, opts: opts}
+	w.pendCond = sync.NewCond(&w.pendMu)
+	if err := w.recover(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// recover scans the directory, validates every segment and prepares the
+// active one for appending.
+func (w *WAL) recover() error {
+	names, err := filepath.Glob(filepath.Join(w.dir, "wal-*.seg"))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	sort.Strings(names)
+
+	var expected uint64
+	for i, path := range names {
+		last := i == len(names)-1
+		seg, next, err := w.recoverSegment(path, i == 0, expected, last)
+		if err != nil {
+			return err
+		}
+		expected = next
+		w.segs = append(w.segs, seg)
+	}
+
+	if len(w.segs) == 0 {
+		seg, f, err := w.createSegment(0)
+		if err != nil {
+			return err
+		}
+		w.segs = []*segment{seg}
+		w.active = f
+		w.nextSeq, w.durableSeq = 0, 0
+		return nil
+	}
+
+	tail := w.segs[len(w.segs)-1]
+	f, err := os.OpenFile(tail.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Seek(tail.size, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	w.active = f
+	w.nextSeq, w.durableSeq = expected, expected
+	return nil
+}
+
+// recoverSegment validates one segment file. first marks the oldest
+// segment (whose header firstSeq is trusted — earlier segments may have
+// been pruned); last marks the newest, the only one allowed a torn tail.
+// It returns the segment metadata and the sequence expected next.
+func (w *WAL) recoverSegment(path string, first bool, expected uint64, last bool) (*segment, uint64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: %w", err)
+	}
+	firstSeq, err := parseSegHeader(data)
+	if err != nil {
+		if last {
+			// A crash between file creation and the first committed header
+			// write leaves a short or garbled header; rebuild the segment.
+			if werr := w.rewriteHeader(path, expected); werr != nil {
+				return nil, 0, werr
+			}
+			return &segment{firstSeq: expected, path: path, size: segHeaderLen}, expected, nil
+		}
+		return nil, 0, fmt.Errorf("%s: %w", path, err)
+	}
+	if !first && firstSeq != expected {
+		return nil, 0, fmt.Errorf("%w: %s starts at seq %d, want %d", ErrCorrupt, path, firstSeq, expected)
+	}
+	seg := &segment{firstSeq: firstSeq, path: path, size: segHeaderLen}
+	seq := firstSeq
+	off := segHeaderLen
+	for off < len(data) {
+		fr, err := parseFrame(data[off:])
+		if err != nil {
+			if !last {
+				return nil, 0, fmt.Errorf("%w: %s: bad frame at offset %d", ErrCorrupt, path, off)
+			}
+			// Torn tail: drop everything from the first bad frame on.
+			if terr := w.truncateTo(path, int64(off)); terr != nil {
+				return nil, 0, terr
+			}
+			break
+		}
+		if fr.seq != seq {
+			return nil, 0, fmt.Errorf("%w: %s: frame seq %d, want %d", ErrCorrupt, path, fr.seq, seq)
+		}
+		if seg.count == 0 {
+			seg.firstNano = fr.unixNano
+		}
+		seg.lastNano = fr.unixNano
+		seg.count++
+		seq++
+		off += fr.size
+		seg.size = int64(off)
+	}
+	return seg, seq, nil
+}
+
+// rewriteHeader rebuilds path as an empty segment starting at firstSeq.
+func (w *WAL) rewriteHeader(path string, firstSeq uint64) error {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(appendSegHeader(nil, firstSeq)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return w.syncFile(f)
+}
+
+// truncateTo cuts path at off and fsyncs the repair.
+func (w *WAL) truncateTo(path string, off int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	if err := f.Truncate(off); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return w.syncFile(f)
+}
+
+// createSegment creates and syncs a new segment file starting at firstSeq.
+func (w *WAL) createSegment(firstSeq uint64) (*segment, *os.File, error) {
+	path := filepath.Join(w.dir, segName(firstSeq))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Write(appendSegHeader(nil, firstSeq)); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	if err := w.syncFile(f); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if err := w.syncDir(); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &segment{firstSeq: firstSeq, path: path, size: segHeaderLen}, f, nil
+}
+
+func (w *WAL) syncFile(f *os.File) error {
+	if w.opts.NoSync {
+		return nil
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// syncDir persists directory entries (segment creation and deletion).
+func (w *WAL) syncDir() error {
+	if w.opts.NoSync {
+		return nil
+	}
+	d, err := os.Open(w.dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Append assigns the next sequence number to the payload, enqueues the
+// framed record for group commit and returns immediately. The record is
+// durable once Sync returns (or once DurableSeq passes its seq). Append
+// never touches the disk itself, so callers on enforcement hot paths do
+// not block on I/O (beyond bounded backpressure when the committer falls
+// behind).
+func (w *WAL) Append(t time.Time, payload []byte) (uint64, error) {
+	if t.IsZero() {
+		t = time.Now()
+	}
+	nano := t.UnixNano()
+	w.pendMu.Lock()
+	for len(w.pending) >= maxPendingBytes && w.err == nil && !w.closed {
+		w.pendCond.Wait()
+	}
+	if w.err != nil || w.closed {
+		err := w.err
+		w.pendMu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return 0, err
+	}
+	seq := w.nextSeq
+	w.nextSeq++
+	if w.pendN == 0 {
+		w.pendLo, w.pendHi = nano, nano
+	} else {
+		if nano < w.pendLo {
+			w.pendLo = nano
+		}
+		if nano > w.pendHi {
+			w.pendHi = nano
+		}
+	}
+	w.pending = appendFrame(w.pending, seq, nano, payload)
+	w.pendN++
+	w.enqueued++
+	start := !w.draining
+	w.draining = true
+	w.pendMu.Unlock()
+	if start {
+		go w.drain()
+	}
+	return seq, nil
+}
+
+// Sync blocks until every record enqueued before the call is committed —
+// written and (unless NoSync) fsynced — and returns the first I/O error
+// the committer hit, if any. Records enqueued after the call are not
+// waited for, so Sync is bounded under sustained ingest.
+func (w *WAL) Sync() error {
+	w.pendMu.Lock()
+	defer w.pendMu.Unlock()
+	target := w.enqueued
+	for w.completed < target && w.err == nil {
+		w.pendCond.Wait()
+	}
+	return w.err
+}
+
+// drain is the committer: it repeatedly swaps out the pending batch and
+// commits it with one write and one fsync, then exits once the batch
+// stays empty.
+func (w *WAL) drain() {
+	for {
+		w.pendMu.Lock()
+		batch, n := w.pending, w.pendN
+		lo, hi := w.pendLo, w.pendHi
+		batchEnd := w.nextSeq
+		sticky := w.err
+		w.pending, w.pendN = nil, 0
+		if n == 0 {
+			w.draining = false
+			w.pendCond.Broadcast()
+			w.pendMu.Unlock()
+			return
+		}
+		w.pendCond.Broadcast() // release writers blocked on backpressure
+		w.pendMu.Unlock()
+
+		// After a commit error the file tail is undefined (a write may
+		// have landed partially); committing further batches on top would
+		// advance the durable boundary past records recovery will discard.
+		// Drop the batch and let the sticky error surface via Sync.
+		err := sticky
+		if err == nil {
+			err = w.commitBatch(batch, uint64(n), batchEnd, lo, hi)
+		}
+
+		w.pendMu.Lock()
+		if err != nil && w.err == nil {
+			w.err = err
+		}
+		w.completed += uint64(n)
+		if err == nil {
+			w.durableSeq = batchEnd
+		}
+		w.pendCond.Broadcast()
+		w.pendMu.Unlock()
+	}
+}
+
+// commitBatch writes one encoded batch and fsyncs once per touched
+// segment — in steady state exactly one fsync for the whole batch, the
+// group commit that amortises durability across every record that arrived
+// while the previous fsync was in flight. Batches larger than the
+// remaining segment room are split at frame boundaries across a rotation.
+func (w *WAL) commitBatch(batch []byte, n, batchEnd uint64, lo, hi int64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	seq := batchEnd - n // first sequence number in the batch
+	off := 0
+	for off < len(batch) {
+		seg := w.segs[len(w.segs)-1]
+		// Take the largest frame-aligned run that fits the segment. An
+		// empty segment always accepts at least one frame, so oversized
+		// records still commit.
+		start := off
+		var count uint64
+		for off < len(batch) {
+			size := frameOverhead + int(binary.BigEndian.Uint32(batch[off:]))
+			if (count > 0 || seg.count > 0) && seg.size+int64(off-start+size) > w.opts.SegmentBytes {
+				break
+			}
+			off += size
+			count++
+		}
+		if count == 0 {
+			if err := w.rotateLocked(seq); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := w.active.Write(batch[start:off]); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if err := w.syncFile(w.active); err != nil {
+			return err
+		}
+		// Batch-wide time bounds are applied to each touched segment:
+		// conservative (a segment may claim a slightly wider range than it
+		// holds), which only ever costs ReadTime an extra scan.
+		if seg.count == 0 {
+			seg.firstNano = lo
+		} else if lo < seg.firstNano {
+			seg.firstNano = lo
+		}
+		if hi > seg.lastNano {
+			seg.lastNano = hi
+		}
+		seg.count += count
+		seg.size += int64(off - start)
+		seq += count
+	}
+	return nil
+}
+
+// rotateLocked seals the active segment and opens a fresh one starting at
+// nextSeq; w.mu must be held. Retention (MaxSegments) is applied here.
+func (w *WAL) rotateLocked(nextSeq uint64) error {
+	if err := w.syncFile(w.active); err != nil {
+		return err
+	}
+	if err := w.active.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	seg, f, err := w.createSegment(nextSeq)
+	if err != nil {
+		return err
+	}
+	w.segs = append(w.segs, seg)
+	w.active = f
+	if w.opts.MaxSegments > 0 {
+		for len(w.segs) > w.opts.MaxSegments {
+			old := w.segs[0]
+			if err := os.Remove(old.path); err != nil {
+				return fmt.Errorf("store: %w", err)
+			}
+			w.segs = w.segs[1:]
+		}
+		if err := w.syncDir(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FirstSeq returns the sequence number of the oldest retained record.
+func (w *WAL) FirstSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.segs[0].firstSeq
+}
+
+// NextSeq returns the sequence number the next Append will be assigned.
+func (w *WAL) NextSeq() uint64 {
+	w.pendMu.Lock()
+	defer w.pendMu.Unlock()
+	return w.nextSeq
+}
+
+// DurableSeq returns the durability boundary: every record with a smaller
+// sequence number has been committed to disk.
+func (w *WAL) DurableSeq() uint64 {
+	w.pendMu.Lock()
+	defer w.pendMu.Unlock()
+	return w.durableSeq
+}
+
+// Segments returns the number of on-disk segment files.
+func (w *WAL) Segments() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.segs)
+}
+
+// snapshotSegs returns a copy of the segment metadata slice.
+func (w *WAL) snapshotSegs() []*segment {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]*segment, len(w.segs))
+	copy(out, w.segs)
+	return out
+}
+
+// ReadSeq streams every committed record with from <= Seq < to (to == 0
+// means "to the end") through fn in sequence order. It syncs first, so a
+// preceding Append is always visible. fn returning an error stops the
+// scan and surfaces the error.
+func (w *WAL) ReadSeq(from, to uint64, fn func(Entry) error) error {
+	if err := w.Sync(); err != nil {
+		return err
+	}
+	limit := w.DurableSeq()
+	if to == 0 || to > limit {
+		to = limit
+	}
+	for _, seg := range w.snapshotSegs() {
+		if seg.endSeq() <= from || seg.firstSeq >= to {
+			continue
+		}
+		if err := scanSegment(seg.path, func(e Entry) error {
+			if e.Seq < from || e.Seq >= to {
+				return nil
+			}
+			return fn(e)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadTime streams every committed record with from <= Time < to through
+// fn in sequence order. Time ranges use the per-segment min/max stamps to
+// skip segments wholesale; within a candidate segment each record's own
+// timestamp decides.
+func (w *WAL) ReadTime(from, to time.Time, fn func(Entry) error) error {
+	if err := w.Sync(); err != nil {
+		return err
+	}
+	limit := w.DurableSeq()
+	lo, hi := from.UnixNano(), to.UnixNano()
+	for _, seg := range w.snapshotSegs() {
+		if seg.count == 0 || seg.lastNano < lo || seg.firstNano >= hi {
+			continue
+		}
+		if err := scanSegment(seg.path, func(e Entry) error {
+			if e.Seq >= limit {
+				return errStopScan
+			}
+			if n := e.Time.UnixNano(); n < lo || n >= hi {
+				return nil
+			}
+			return fn(e)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// errStopScan terminates a scan early without surfacing an error.
+var errStopScan = errors.New("store: stop scan")
+
+// scanSegment reads one segment file and streams its frames. A torn frame
+// ends the scan silently: it is either the in-flight tail of the active
+// segment or a tail the next Open will truncate.
+func scanSegment(path string, fn func(Entry) error) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := parseSegHeader(data); err != nil {
+		return err
+	}
+	off := segHeaderLen
+	for off < len(data) {
+		fr, err := parseFrame(data[off:])
+		if err != nil {
+			return nil // torn tail of the active segment
+		}
+		e := Entry{Seq: fr.seq, Time: time.Unix(0, fr.unixNano), Payload: fr.payload}
+		if err := fn(e); err != nil {
+			if errors.Is(err, errStopScan) {
+				return nil
+			}
+			return err
+		}
+		off += fr.size
+	}
+	return nil
+}
+
+// Prune deletes whole segments whose every record has Seq < upto — the
+// disk-tier analogue of audit.Log.Prune. The active segment is first
+// rotated away when it holds prunable records, so Prune(NextSeq()) after a
+// Sync empties the log down to one fresh segment. It returns the number
+// of segment files removed.
+func (w *WAL) Prune(upto uint64) (int, error) {
+	if err := w.Sync(); err != nil {
+		return 0, err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	active := w.segs[len(w.segs)-1]
+	if active.count > 0 && active.endSeq() <= upto {
+		if err := w.rotateLocked(active.endSeq()); err != nil {
+			return 0, err
+		}
+	}
+	removed := 0
+	for len(w.segs) > 1 && w.segs[0].endSeq() <= upto {
+		if err := os.Remove(w.segs[0].path); err != nil {
+			return removed, fmt.Errorf("store: %w", err)
+		}
+		w.segs = w.segs[1:]
+		removed++
+	}
+	if removed > 0 {
+		if err := w.syncDir(); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}
+
+// Close syncs and closes the WAL. Further appends fail with ErrClosed.
+func (w *WAL) Close() error {
+	err := w.Sync()
+	w.pendMu.Lock()
+	if w.closed {
+		w.pendMu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.pendCond.Broadcast()
+	w.pendMu.Unlock()
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if cerr := w.active.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("store: %w", cerr)
+	}
+	return err
+}
+
+// Dir returns the directory the WAL lives in.
+func (w *WAL) Dir() string { return w.dir }
+
+// IsWALDir reports whether dir looks like a WAL directory (contains at
+// least one segment file). Tools use it to distinguish a store directory
+// from an exported JSON file.
+func IsWALDir(dir string) bool {
+	names, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	return err == nil && len(names) > 0
+}
+
+// walFiles returns the sorted segment file names in dir (test helper and
+// tooling support).
+func walFiles(dir string) ([]string, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		names[i] = strings.TrimPrefix(n, dir+string(filepath.Separator))
+	}
+	return names, nil
+}

@@ -1,0 +1,324 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func appendN(t *testing.T, w *WAL, start, n int) {
+	t.Helper()
+	for i := start; i < start+n; i++ {
+		if _, err := w.Append(time.Unix(int64(1000+i), 0), []byte(fmt.Sprintf("payload-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func collect(t *testing.T, w *WAL, from, to uint64) []Entry {
+	t.Helper()
+	var out []Entry
+	if err := w.ReadSeq(from, to, func(e Entry) error {
+		out = append(out, Entry{Seq: e.Seq, Time: e.Time, Payload: append([]byte(nil), e.Payload...)})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestWALAppendReadRoundTrip(t *testing.T) {
+	w, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	appendN(t, w, 0, 100)
+
+	got := collect(t, w, 0, 0)
+	if len(got) != 100 {
+		t.Fatalf("read %d entries, want 100", len(got))
+	}
+	for i, e := range got {
+		if e.Seq != uint64(i) {
+			t.Fatalf("entry %d has seq %d", i, e.Seq)
+		}
+		if want := fmt.Sprintf("payload-%04d", i); string(e.Payload) != want {
+			t.Fatalf("entry %d payload %q, want %q", i, e.Payload, want)
+		}
+		if e.Time.Unix() != int64(1000+i) {
+			t.Fatalf("entry %d time %v", i, e.Time)
+		}
+	}
+
+	// Range reads.
+	mid := collect(t, w, 10, 20)
+	if len(mid) != 10 || mid[0].Seq != 10 || mid[9].Seq != 19 {
+		t.Fatalf("range read = %d entries [%d..%d]", len(mid), mid[0].Seq, mid[len(mid)-1].Seq)
+	}
+}
+
+func TestWALReadTime(t *testing.T) {
+	w, err := Open(t.TempDir(), Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	appendN(t, w, 0, 50) // times 1000..1049, several segments
+
+	var got []uint64
+	err = w.ReadTime(time.Unix(1010, 0), time.Unix(1020, 0), func(e Entry) error {
+		got = append(got, e.Seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Fatalf("time range = %v", got)
+	}
+}
+
+func TestWALReopenResumesSequence(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 40)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := Open(dir, Options{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if w2.NextSeq() != 40 {
+		t.Fatalf("reopened NextSeq = %d, want 40", w2.NextSeq())
+	}
+	appendN(t, w2, 40, 10)
+	got := collect(t, w2, 0, 0)
+	if len(got) != 50 || got[49].Seq != 49 {
+		t.Fatalf("after reopen+append: %d entries", len(got))
+	}
+}
+
+func TestWALRotationAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	appendN(t, w, 0, 100)
+	if w.Segments() < 3 {
+		t.Fatalf("expected rotation, got %d segments", w.Segments())
+	}
+
+	removed, err := w.Prune(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("prune removed nothing")
+	}
+	first := w.FirstSeq()
+	if first == 0 || first > 50 {
+		t.Fatalf("FirstSeq after prune = %d", first)
+	}
+	// Retained records still read back; pruned ones are gone.
+	got := collect(t, w, 0, 0)
+	if got[0].Seq != first || got[len(got)-1].Seq != 99 {
+		t.Fatalf("after prune entries span [%d..%d], want [%d..99]", got[0].Seq, got[len(got)-1].Seq, first)
+	}
+
+	// Prune everything: rotates the active segment away and leaves an
+	// empty log that still resumes at 100.
+	if _, err := w.Prune(w.NextSeq()); err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, w, 0, 0); len(got) != 0 {
+		t.Fatalf("fully pruned log still returns %d entries", len(got))
+	}
+	appendN(t, w, 100, 1)
+	if got := collect(t, w, 0, 0); len(got) != 1 || got[0].Seq != 100 {
+		t.Fatalf("append after full prune = %+v", got)
+	}
+}
+
+func TestWALRetentionMaxSegments(t *testing.T) {
+	w, err := Open(t.TempDir(), Options{SegmentBytes: 256, MaxSegments: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	appendN(t, w, 0, 200)
+	if got := w.Segments(); got > 3 {
+		t.Fatalf("retention kept %d segments, want <= 3", got)
+	}
+	if w.FirstSeq() == 0 {
+		t.Fatal("retention deleted nothing")
+	}
+}
+
+// TestWALTornTailTruncation is the torn-tail property test: whatever byte
+// offset a crash tears the final segment at, recovery keeps exactly the
+// records whose frames survive intact and loses only the tail.
+func TestWALTornTailTruncation(t *testing.T) {
+	master := t.TempDir()
+	w, err := Open(master, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 20)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files, err := walFiles(master)
+	if err != nil || len(files) != 1 {
+		t.Fatalf("files = %v, %v", files, err)
+	}
+	data, err := os.ReadFile(filepath.Join(master, files[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Frame boundaries: offset after header, then each frame.
+	var bounds []int
+	off := segHeaderLen
+	for off < len(data) {
+		fr, err := parseFrame(data[off:])
+		if err != nil {
+			t.Fatalf("master segment torn at %d: %v", off, err)
+		}
+		off += fr.size
+		bounds = append(bounds, off)
+	}
+
+	for cut := segHeaderLen; cut <= len(data); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, files[0]), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w2, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		want := 0
+		for _, b := range bounds {
+			if b <= cut {
+				want++
+			}
+		}
+		got := collect(t, w2, 0, 0)
+		if len(got) != want {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, len(got), want)
+		}
+		if w2.NextSeq() != uint64(want) {
+			t.Fatalf("cut %d: NextSeq %d, want %d", cut, w2.NextSeq(), want)
+		}
+		// The log must accept appends after repair.
+		if _, err := w2.Append(time.Unix(2000, 0), []byte("resume")); err != nil {
+			t.Fatalf("cut %d: append after repair: %v", cut, err)
+		}
+		if err := w2.Sync(); err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		w2.Close()
+	}
+}
+
+func TestWALCorruptionInSealedSegmentRefusesOpen(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 0, 60)
+	if w.Segments() < 2 {
+		t.Fatalf("need at least 2 segments, have %d", w.Segments())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	files, err := walFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, files[0]) // a sealed (non-final) segment
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{SegmentBytes: 256}); err == nil {
+		t.Fatal("corrupted sealed segment opened without error")
+	}
+}
+
+func TestWALBackpressureAndConcurrentAppend(t *testing.T) {
+	w, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	const (
+		goroutines = 8
+		perG       = 500
+	)
+	done := make(chan error, goroutines)
+	payload := bytes.Repeat([]byte("x"), 64)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			for i := 0; i < perG; i++ {
+				if _, err := w.Append(time.Time{}, payload); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < goroutines; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, w, 0, 0)
+	if len(got) != goroutines*perG {
+		t.Fatalf("read %d entries, want %d", len(got), goroutines*perG)
+	}
+	for i, e := range got {
+		if e.Seq != uint64(i) {
+			t.Fatalf("gap at %d: seq %d", i, e.Seq)
+		}
+	}
+}
+
+func TestWALClosedAppendFails(t *testing.T) {
+	w, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(time.Time{}, []byte("x")); err == nil {
+		t.Fatal("append on closed WAL succeeded")
+	}
+}

@@ -28,9 +28,9 @@
 //	d, err := lciot.NewDomain("hospital", lciot.Options{})
 //	// register components on d.Bus(), load policy with d.LoadPolicy(...)
 //
-// See examples/quickstart for a complete runnable program, and DESIGN.md /
-// EXPERIMENTS.md for the mapping from the paper's figures to this
-// implementation.
+// See examples/quickstart for a complete runnable program, and DESIGN.md
+// for the layer map, the substitution table and the mapping from the
+// paper's figures to this implementation.
 package lciot
 
 import (
@@ -46,6 +46,7 @@ import (
 	"lciot/internal/names"
 	"lciot/internal/policy"
 	"lciot/internal/sbus"
+	"lciot/internal/store"
 	"lciot/internal/transport"
 )
 
@@ -248,6 +249,11 @@ type (
 	ProvenanceGraph = audit.Graph
 	// ComplianceReport summarises a log for a regulator.
 	ComplianceReport = audit.ComplianceReport
+	// AuditStoreOptions configures a durable store (segment size, retention).
+	AuditStoreOptions = store.Options
+	// DurableAuditStore is the disk tier of the audit log: a segmented,
+	// hash-chained WAL with group commit and crash recovery.
+	DurableAuditStore = store.AuditStore
 )
 
 var (
@@ -255,6 +261,9 @@ var (
 	BuildProvenance = audit.BuildGraph
 	// Report builds a compliance report over a log.
 	Report = audit.Report
+	// OpenAuditStore opens and recovers a durable audit store directory
+	// (Domains with Options.DataDir do this automatically).
+	OpenAuditStore = store.OpenAudit
 )
 
 // --- Access control, naming, attestation, transport ---
