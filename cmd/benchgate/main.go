@@ -1,0 +1,204 @@
+// Command benchgate compares a fresh benchharness -json run against a
+// checked-in BENCH_<n>.json baseline and exits non-zero when selected
+// rows regress beyond a tolerance — turning the bench artifacts CI has
+// been archiving into an enforced gate.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_4.json -current bench1.json,bench2.json \
+//	          [-tables B3,B7,B9,B12] [-tol 0.30] [-alloc-tol 0.10] \
+//	          [-min-ns 100] [-no-normalize]
+//
+// Baselines are recorded on whatever machine produced them, so absolute
+// ns/op comparisons across hosts would gate on hardware, not code. Unless
+// -no-normalize is given, benchgate first scales the baseline by the
+// median ns/op ratio across every compared row (the "this host is ~1.7x
+// slower" factor), then applies the tolerance to the normalized values:
+// a row regresses when it slows down relative to the rest of the suite.
+// Allocations per op are hardware-independent and are compared without
+// normalization, with their own (tighter) tolerance.
+//
+// Two further defenses against scheduler noise: -current accepts several
+// runs (comma-separated) and takes the per-row minimum — interference
+// only ever slows a row down, so the min across runs estimates the true
+// cost — and rows whose baseline is under -min-ns nanoseconds skip the
+// ns comparison entirely (a 30ns row regressing by 15ns is jitter, and
+// a real regression that small is invisible at this resolution; their
+// allocs are still gated).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// benchRow mirrors the benchharness JSON schema.
+type benchRow struct {
+	Table       string  `json:"table"`
+	Workload    string  `json:"workload"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Note        string  `json:"note,omitempty"`
+}
+
+type baselineFile struct {
+	GoVersion string     `json:"go_version"`
+	Rows      []benchRow `json:"rows"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "checked-in baseline JSON (required)")
+	currentPath := flag.String("current", "", "fresh benchharness -json outputs, comma-separated; per-row min is compared (required)")
+	tables := flag.String("tables", "B3,B7,B9,B12", "comma-separated tables to gate on")
+	tol := flag.Float64("tol", 0.30, "allowed fractional ns/op regression after normalization")
+	allocTol := flag.Float64("alloc-tol", 0.10, "allowed fractional allocs/op regression")
+	minNs := flag.Int64("min-ns", 100, "skip the ns comparison for rows whose baseline is below this (jitter floor)")
+	noNormalize := flag.Bool("no-normalize", false, "compare raw ns/op (same-host baselines only)")
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := readRows(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	var cur []benchRow
+	for _, path := range strings.Split(*currentPath, ",") {
+		rows, err := readRows(strings.TrimSpace(path))
+		if err != nil {
+			fatal(err)
+		}
+		cur = mergeMin(cur, rows)
+	}
+
+	selected := map[string]bool{}
+	for _, t := range strings.Split(*tables, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			selected[t] = true
+		}
+	}
+	baseByKey := map[string]benchRow{}
+	for _, r := range base {
+		baseByKey[r.Table+"|"+r.Workload] = r
+	}
+
+	type pair struct{ base, cur benchRow }
+	var pairs []pair
+	var ratios []float64
+	gatedTables := map[string]bool{}
+	for _, r := range cur {
+		if !selected[r.Table] {
+			continue
+		}
+		b, ok := baseByKey[r.Table+"|"+r.Workload]
+		if !ok {
+			continue // new workload: no baseline yet
+		}
+		pairs = append(pairs, pair{base: b, cur: r})
+		if b.NsPerOp > 0 && r.NsPerOp > 0 {
+			ratios = append(ratios, float64(r.NsPerOp)/float64(b.NsPerOp))
+		}
+		gatedTables[r.Table] = true
+	}
+	if len(pairs) == 0 {
+		fatal(fmt.Errorf("no comparable rows for tables %s", *tables))
+	}
+	for t := range selected {
+		if !gatedTables[t] {
+			fmt.Printf("warning: table %s has no comparable rows\n", t)
+		}
+	}
+
+	scale := 1.0
+	if !*noNormalize && len(ratios) > 0 {
+		sort.Float64s(ratios)
+		scale = ratios[len(ratios)/2]
+	}
+	fmt.Printf("benchgate: %d rows, host scale %.2fx, ns tolerance %.0f%%, alloc tolerance %.0f%%\n",
+		len(pairs), scale, *tol*100, *allocTol*100)
+
+	var regressions []string
+	for _, p := range pairs {
+		normBase := float64(p.base.NsPerOp) * scale
+		nsDelta := float64(p.cur.NsPerOp)/normBase - 1
+		status := "ok"
+		if p.base.NsPerOp < *minNs {
+			status = "ok (under jitter floor)"
+		} else if float64(p.cur.NsPerOp) > normBase*(1+*tol) {
+			status = "REGRESSION"
+			regressions = append(regressions, fmt.Sprintf("%s %q: %dns/op vs normalized baseline %.0fns/op (%+.0f%%)",
+				p.base.Table, p.base.Workload, p.cur.NsPerOp, normBase, nsDelta*100))
+		}
+		// Allocations are deterministic per code path: compare unscaled.
+		// The +0.5 absolute slack forgives sub-allocation jitter from
+		// pooling warmup on rows with a handful of allocs.
+		if p.base.AllocsPerOp >= 0 && p.cur.AllocsPerOp > p.base.AllocsPerOp*(1+*allocTol)+0.5 {
+			status = "REGRESSION"
+			regressions = append(regressions, fmt.Sprintf("%s %q: %.1f allocs/op vs baseline %.1f",
+				p.base.Table, p.base.Workload, p.cur.AllocsPerOp, p.base.AllocsPerOp))
+		}
+		fmt.Printf("  %-4s %-46s %8dns (base %8dns, norm %+5.0f%%) %6.1f allocs (base %6.1f)  %s\n",
+			p.base.Table, p.base.Workload, p.cur.NsPerOp, p.base.NsPerOp, nsDelta*100,
+			p.cur.AllocsPerOp, p.base.AllocsPerOp, status)
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d regression(s):\n", len(regressions))
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "  "+r)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: no regressions")
+}
+
+// mergeMin folds rows into acc keyed by table+workload, keeping the
+// minimum ns/op and allocs/op seen for each row across runs.
+func mergeMin(acc, rows []benchRow) []benchRow {
+	if acc == nil {
+		return append(acc, rows...)
+	}
+	index := map[string]int{}
+	for i, r := range acc {
+		index[r.Table+"|"+r.Workload] = i
+	}
+	for _, r := range rows {
+		i, ok := index[r.Table+"|"+r.Workload]
+		if !ok {
+			index[r.Table+"|"+r.Workload] = len(acc)
+			acc = append(acc, r)
+			continue
+		}
+		if r.NsPerOp < acc[i].NsPerOp {
+			acc[i].NsPerOp = r.NsPerOp
+		}
+		if r.AllocsPerOp < acc[i].AllocsPerOp {
+			acc[i].AllocsPerOp = r.AllocsPerOp
+		}
+	}
+	return acc
+}
+
+func readRows(path string) ([]benchRow, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f baselineFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.Rows) == 0 {
+		return nil, fmt.Errorf("%s: no rows", path)
+	}
+	return f.Rows, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate: ", err)
+	os.Exit(1)
+}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
@@ -18,6 +19,7 @@ import (
 	"lciot/internal/policy"
 	"lciot/internal/sbus"
 	"lciot/internal/sticky"
+	"lciot/internal/transport"
 	"lciot/internal/store"
 )
 
@@ -92,6 +94,163 @@ func runMeasurements() {
 	measureB9()
 	measureB10()
 	measureB11()
+	measureB12()
+}
+
+// B12: the cross-bus path (link protocol v2). The codec rows compare the
+// binary v2 frame encoding against the legacy per-frame JSON of v1; the
+// delivery rows measure the full federated pipeline — egress stamping,
+// bounded queue, writer batching, transport, ingress re-validation —
+// over the in-memory network (zero latency, so the numbers are protocol
+// cost, not wire time), 1-hop and through a relay bus (2 hops).
+func measureB12() {
+	schema := msg.MustSchema("vitals", ifc.EmptyLabel,
+		msg.Field{Name: "patient", Type: msg.TString, Required: true},
+		msg.Field{Name: "heart-rate", Type: msg.TFloat, Required: true},
+	)
+	m := msg.New("vitals").Set("patient", msg.Str("ann")).Set("heart-rate", msg.Float(72))
+	payload, err := msg.EncodeBinary(m)
+	if err != nil {
+		panic(err)
+	}
+	frame := &sbus.LinkFrame{
+		Kind: "message", ID: 7,
+		Src: "home-bus:ann-device.out", Dst: "ann-analyser.in",
+		SrcSecrecy:   ifc.MustLabel("medical", "ann"),
+		SrcIntegrity: ifc.MustLabel("hosp-dev"),
+		Schema:       "vitals", Payload: payload, Agent: "hospital",
+	}
+	jd, ja := timeOpAllocs(func() {
+		b, err := json.Marshal(frame)
+		if err != nil {
+			panic(err)
+		}
+		var f sbus.LinkFrame
+		if err := json.Unmarshal(b, &f); err != nil {
+			panic(err)
+		}
+	})
+	var buf []byte
+	bd, ba := timeOpAllocs(func() {
+		buf = sbus.AppendBatchHeader(buf[:0], 1)
+		var err error
+		if buf, err = sbus.AppendLinkFrame(buf, frame); err != nil {
+			panic(err)
+		}
+		if _, err := sbus.DecodeBatch(buf); err != nil {
+			panic(err)
+		}
+	})
+	rowAllocs("B12", "link frame codec, JSON (v1 wire)", jd, ja, "legacy: one JSON object per frame")
+	rowAllocs("B12", "link frame codec, binary v2", bd, ba,
+		fmt.Sprintf("%.1fx faster than v1 JSON", float64(jd)/float64(bd)))
+
+	ctx := ifc.MustContext([]ifc.Tag{"medical"}, nil)
+	// buildNode registers a bus named `name` on the shared network, serving
+	// on its own address.
+	net := transport.NewMemNetwork()
+	buildNode := func(name string) *sbus.Bus {
+		bus := sbus.NewBus(name, benchACL(), nil, nil)
+		l, err := net.Listen(name + "-addr")
+		if err != nil {
+			panic(err)
+		}
+		go bus.Serve(l)
+		return bus
+	}
+	home := buildNode("home")
+	cloud := buildNode("cloud")
+	relay := buildNode("relay")
+
+	delivered := make(chan struct{}, 16384)
+	if _, err := home.Register("dev", "p", ctx, nil,
+		sbus.EndpointSpec{Name: "out", Dir: sbus.Source, Schema: schema}); err != nil {
+		panic(err)
+	}
+	if _, err := cloud.Register("analyser", "p", ctx,
+		func(*msg.Message, sbus.Delivery) { delivered <- struct{}{} },
+		sbus.EndpointSpec{Name: "in", Dir: sbus.Sink, Schema: schema}); err != nil {
+		panic(err)
+	}
+	if _, err := home.LinkTo(net, "cloud-addr"); err != nil {
+		panic(err)
+	}
+	if err := home.Connect("p", "dev.out", "cloud:analyser.in"); err != nil {
+		panic(err)
+	}
+	dev, _ := home.Component("dev")
+
+	// 1-hop round-trip latency: publish, then wait for the remote handler.
+	d, allocs := timeOpAllocs(func() {
+		if _, err := dev.Publish("out", m); err != nil {
+			panic(err)
+		}
+		<-delivered
+	})
+	rowAllocs("B12", "cross-bus delivery, 1 hop (latency)", d, allocs,
+		"publish -> remote ingress re-check -> handler")
+
+	// 1-hop pipelined throughput: a burst outruns the round trip; the
+	// writer goroutine coalesces it into batched transport frames.
+	const burst = 5000
+	start := time.Now()
+	for i := 0; i < burst; i++ {
+		if _, err := dev.Publish("out", m); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < burst; i++ {
+		<-delivered
+	}
+	per := time.Since(start) / burst
+	row("B12", "cross-bus delivery, 1 hop (pipelined)", per,
+		fmt.Sprintf("%.0fk msg/s; egress batching amortises the transport", float64(time.Second)/float64(per)/1000))
+
+	// Relay: home -> relay (re-publish) -> cloud, i.e. two federated hops.
+	relayDone := make(chan struct{}, 16384)
+	var relayComp *sbus.Component
+	rc, err := relay.Register("fwd", "p", ctx,
+		func(fm *msg.Message, _ sbus.Delivery) {
+			if _, err := relayComp.Publish("out", fm); err != nil {
+				panic(err)
+			}
+		},
+		sbus.EndpointSpec{Name: "in", Dir: sbus.Sink, Schema: schema},
+		sbus.EndpointSpec{Name: "out", Dir: sbus.Source, Schema: schema})
+	if err != nil {
+		panic(err)
+	}
+	relayComp = rc
+	if _, err := cloud.Register("archive", "p", ctx,
+		func(*msg.Message, sbus.Delivery) { relayDone <- struct{}{} },
+		sbus.EndpointSpec{Name: "in", Dir: sbus.Sink, Schema: schema}); err != nil {
+		panic(err)
+	}
+	if _, err := home.LinkTo(net, "relay-addr"); err != nil {
+		panic(err)
+	}
+	if _, err := relay.LinkTo(net, "cloud-addr"); err != nil {
+		panic(err)
+	}
+	if _, err := home.Register("dev2", "p", ctx, nil,
+		sbus.EndpointSpec{Name: "out", Dir: sbus.Source, Schema: schema}); err != nil {
+		panic(err)
+	}
+	if err := home.Connect("p", "dev2.out", "relay:fwd.in"); err != nil {
+		panic(err)
+	}
+	if err := relay.Connect("p", "fwd.out", "cloud:archive.in"); err != nil {
+		panic(err)
+	}
+	dev2, _ := home.Component("dev2")
+	rd, rAllocs := timeOpAllocs(func() {
+		if _, err := dev2.Publish("out", m); err != nil {
+			panic(err)
+		}
+		<-relayDone
+	})
+	rowAllocs("B12", "cross-bus delivery, relay (2 hops, latency)", rd, rAllocs,
+		"each hop re-validates ingress independently")
 }
 
 // B9: durable audit append throughput vs commit batch size. Records flow

@@ -7,6 +7,16 @@
 // Usage:
 //
 //	lciotd -config node.json [-data-dir DIR] [-pump comp.endpoint=HZ]
+//	       [-listen HOST:PORT] [-peer HOST:PORT ...]
+//
+// Two daemons federate over real TCP: one listens (-listen or "listen" in
+// the configuration), the other dials it (-peer or "peers"). Peer links
+// speak link protocol v2 (binary framed, batched) and self-heal: if the
+// peer dies, the dialing side reconnects with exponential backoff and
+// resumes the session — re-establishing every cross-node channel through
+// the peer's ingress re-validation — and the daemon logs each link state
+// transition. Channels whose "dst" names a peer bus ("peerdomain:comp.ep")
+// are established after the links come up.
 //
 // With -data-dir (or "data_dir" in the configuration) the audit trail is
 // durable: records are group-committed to a segmented hash-chained store
@@ -45,6 +55,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -64,6 +75,7 @@ import (
 type config struct {
 	Domain      string            `json:"domain"`
 	Listen      string            `json:"listen,omitempty"`
+	Peers       []string          `json:"peers,omitempty"`
 	PolicyFile  string            `json:"policy_file,omitempty"`
 	AuditExport string            `json:"audit_export,omitempty"`
 	DataDir     string            `json:"data_dir,omitempty"`
@@ -109,17 +121,33 @@ func main() {
 	configPath := flag.String("config", "", "path to node configuration (JSON)")
 	dataDir := flag.String("data-dir", "", "durable audit store directory (overrides config data_dir)")
 	pump := flag.String("pump", "", "publish synthetic messages: component.endpoint=hz")
+	listen := flag.String("listen", "", "federation listen address (overrides config listen)")
+	var peers peerList
+	flag.Var(&peers, "peer", "peer bus address to federate with (repeatable; adds to config peers)")
 	flag.Parse()
 	if *configPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*configPath, *dataDir, *pump); err != nil {
+	if err := run(*configPath, *dataDir, *pump, *listen, peers); err != nil {
 		log.Fatal("lciotd: ", err)
 	}
 }
 
-func run(configPath, dataDir, pump string) error {
+// peerList collects repeated -peer flags.
+type peerList []string
+
+func (p *peerList) String() string { return strings.Join(*p, ",") }
+
+func (p *peerList) Set(v string) error {
+	if v == "" {
+		return fmt.Errorf("empty peer address")
+	}
+	*p = append(*p, v)
+	return nil
+}
+
+func run(configPath, dataDir, pump, listen string, peers []string) error {
 	raw, err := os.ReadFile(configPath)
 	if err != nil {
 		return err
@@ -146,6 +174,10 @@ func run(configPath, dataDir, pump string) error {
 	if dataDir != "" {
 		cfg.DataDir = dataDir // flag paths are relative to the caller's cwd
 	}
+	if listen != "" {
+		cfg.Listen = listen
+	}
+	cfg.Peers = append(cfg.Peers, peers...)
 
 	domain, err := lciot.NewDomain(cfg.Domain, lciot.Options{
 		OnAlert: func(m string) { log.Printf("alert: %s", m) },
@@ -180,7 +212,14 @@ func run(configPath, dataDir, pump string) error {
 		}
 		log.Printf("policy loaded from %s", cfg.PolicyFile)
 	}
+	// Local channels first; channels whose sink names a peer bus
+	// ("bus:comp.ep") wait until the links are up.
+	var remoteChannels []channelConfig
 	for _, ch := range cfg.Channels {
+		if strings.Contains(ch.Dst, ":") {
+			remoteChannels = append(remoteChannels, ch)
+			continue
+		}
 		if err := domain.Bus().Connect(lciot.PolicyEnginePrincipal, ch.Src, ch.Dst); err != nil {
 			return fmt.Errorf("channel %s -> %s: %w", ch.Src, ch.Dst, err)
 		}
@@ -197,6 +236,43 @@ func run(configPath, dataDir, pump string) error {
 		log.Printf("domain %q serving federation links on %s", cfg.Domain, listener.Addr())
 	} else {
 		log.Printf("domain %q running (no listener configured)", cfg.Domain)
+	}
+
+	if len(cfg.Peers) > 0 {
+		// A daemon should ride out peer restarts measured in minutes, not
+		// the default seconds-scale budget.
+		domain.Bus().SetLinkConfig(lciot.LinkConfig{RetryBudget: 60})
+		for _, addr := range cfg.Peers {
+			peer, err := domain.LinkPeer(lciot.TCP, addr, 30*time.Second)
+			if err != nil {
+				return fmt.Errorf("peer %s: %w", addr, err)
+			}
+			log.Printf("link to %s: up (bus %q)", addr, peer)
+		}
+	}
+	for _, ch := range remoteChannels {
+		// The peer bus may not be linked yet — on a listen-only node the
+		// link appears when the peer dials in — so wait for ErrLinkDown to
+		// clear instead of failing the boot.
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			err := domain.Bus().Connect(lciot.PolicyEnginePrincipal, ch.Src, ch.Dst)
+			if err == nil {
+				log.Printf("cross-bus channel established: %s -> %s", ch.Src, ch.Dst)
+				break
+			}
+			if !errors.Is(err, lciot.ErrLinkDown) || !time.Now().Before(deadline) {
+				return fmt.Errorf("channel %s -> %s: %w", ch.Src, ch.Dst, err)
+			}
+			log.Printf("channel %s -> %s: waiting for link (%v)", ch.Src, ch.Dst, err)
+			time.Sleep(500 * time.Millisecond)
+		}
+	}
+
+	stopWatch := make(chan struct{})
+	defer close(stopWatch)
+	if len(cfg.Peers) > 0 || cfg.Listen != "" {
+		go watchLinks(domain, stopWatch)
 	}
 
 	stopPump := make(chan struct{})
@@ -309,6 +385,38 @@ func registerComponents(domain *lciot.Domain, cfgs []componentConfig, schemas ma
 		}
 	}
 	return nil
+}
+
+// watchLinks polls the domain's link table and logs state transitions —
+// up, reconnecting, resumed, removed — so an operator (and the CI
+// federation smoke test) can follow link health from the daemon's log.
+func watchLinks(domain *lciot.Domain, stop <-chan struct{}) {
+	t := time.NewTicker(250 * time.Millisecond)
+	defer t.Stop()
+	last := map[string]lciot.LinkStatus{}
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		seen := map[string]bool{}
+		for _, st := range domain.LinkStatus() {
+			seen[st.Peer] = true
+			prev, known := last[st.Peer]
+			if !known || prev.State != st.State || prev.Reconnects != st.Reconnects {
+				log.Printf("link to bus %q: %s (queue %d/%d, resumes %d)",
+					st.Peer, st.State, st.QueueDepth, st.QueueCap, st.Reconnects)
+			}
+			last[st.Peer] = st
+		}
+		for peer := range last {
+			if !seen[peer] {
+				log.Printf("link to bus %q: removed", peer)
+				delete(last, peer)
+			}
+		}
+	}
 }
 
 // startPump launches a synthetic publisher on a configured source

@@ -421,3 +421,34 @@ func (d *Domain) Federate(network transport.Network, addr string,
 
 // Serve accepts federation links from peers on the listener.
 func (d *Domain) Serve(listener transport.Listener) { d.bus.Serve(listener) }
+
+// LinkStatus snapshots the domain's cross-bus links: state (up /
+// reconnecting / closed), egress queue depth and resume count per peer.
+func (d *Domain) LinkStatus() []sbus.LinkStatus { return d.bus.LinkStatus() }
+
+// LinkPeer dials a peer domain's bus, retrying with a linear backoff until
+// the peer answers or the wait budget runs out — at boot, federated nodes
+// come up in arbitrary order. Once established, the link self-heals (see
+// sbus link protocol v2); LinkPeer only covers the initial dial. Unlike
+// Federate it performs no attestation, which is what a deployment without
+// provisioned TPM endorsement keys (e.g. the lciotd daemon) uses.
+func (d *Domain) LinkPeer(network transport.Network, addr string, wait time.Duration) (string, error) {
+	// Wall-clock deliberately, not d.clock(): the retry loop paces itself
+	// with real sleeps, and a simulated domain clock would never move the
+	// deadline.
+	deadline := time.Now().Add(wait)
+	for {
+		peer, err := d.bus.LinkTo(network, addr)
+		if err == nil {
+			d.log.Append(audit.Record{
+				Kind: audit.Reconfiguration, Layer: audit.LayerPolicy, Domain: d.name,
+				Dst: ifc.EntityID(peer), Note: "federated with peer domain (unattested link)",
+			})
+			return peer, nil
+		}
+		if !time.Now().Before(deadline) {
+			return "", fmt.Errorf("core: link to %s: %w", addr, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

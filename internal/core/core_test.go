@@ -654,3 +654,55 @@ func TestOnAlertCallback(t *testing.T) {
 		t.Fatalf("alerts = %v", got)
 	}
 }
+
+// TestLinkPeerAndStatus covers the unattested daemon-style federation
+// path: LinkPeer retries until the peer's listener appears, and LinkStatus
+// reflects the live link.
+func TestLinkPeerAndStatus(t *testing.T) {
+	net := transport.NewMemNetwork()
+	a, err := NewDomain("alpha", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewDomain("beta", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := b.LinkStatus(); len(st) != 0 {
+		t.Fatalf("links before federation = %v", st)
+	}
+
+	// Start the dial *before* the listener exists: LinkPeer must retry.
+	done := make(chan error, 1)
+	go func() {
+		peer, err := b.LinkPeer(net, "alpha-addr", 10*time.Second)
+		if err == nil && peer != "alpha" {
+			err = errors.New("unexpected peer name " + peer)
+		}
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	listener, err := net.Listen("alpha-addr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { listener.Close() })
+	go a.Serve(listener)
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("LinkPeer did not complete")
+	}
+	st := b.LinkStatus()
+	if len(st) != 1 || st[0].Peer != "alpha" || st[0].State != sbus.LinkUp || !st[0].Dialer {
+		t.Fatalf("LinkStatus = %+v", st)
+	}
+	// LinkPeer to a missing address with no wait budget fails cleanly.
+	if _, err := b.LinkPeer(net, "nowhere", 0); err == nil {
+		t.Fatal("LinkPeer to missing address succeeded")
+	}
+}

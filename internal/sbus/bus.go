@@ -28,9 +28,13 @@ type channel struct {
 	key channelKey
 	// srcComp is the source component (resolved at establishment).
 	srcComp *Component
-	// remoteBus/remoteDst are set when the sink lives on a linked bus.
+	// remoteBus/remoteDst are set when the sink lives on a linked bus, along
+	// with srcEP and agent, which the link layer needs to replay the connect
+	// handshake when a broken link resumes.
 	remoteBus string
 	remoteDst string
+	srcEP     EndpointSpec
+	agent     ifc.PrincipalID
 	// dstComp/dstEP are set for local sinks.
 	dstComp *Component
 	dstEP   EndpointSpec
@@ -181,6 +185,10 @@ type Bus struct {
 	// policy decides whether they are meaningful here (Challenge 1 —
 	// typically by resolving each tag through the global namespace).
 	admission atomic.Pointer[func(ifc.SecurityContext) error]
+
+	// linkCfg is the tuning applied to links established by this bus; nil
+	// means the defaults (see LinkConfig.withDefaults).
+	linkCfg atomic.Pointer[LinkConfig]
 }
 
 // NewBus builds a bus. The ACL governs the control plane (who may

@@ -155,9 +155,10 @@ func TestServeLinkBadHello(t *testing.T) {
 	}
 }
 
-func TestLinkDropOnConnectionClose(t *testing.T) {
+func TestLinkReconnectOnConnectionClose(t *testing.T) {
 	net := transport.NewMemNetwork()
 	a := NewBus("a", openACL(), nil, nil)
+	a.SetLinkConfig(LinkConfig{BackoffBase: time.Millisecond, BackoffMax: 5 * time.Millisecond})
 	b := NewBus("b", openACL(), nil, nil)
 	l, err := net.Listen("b")
 	if err != nil {
@@ -170,21 +171,57 @@ func TestLinkDropOnConnectionClose(t *testing.T) {
 	}
 	waitFor(t, func() bool { return len(b.Links()) == 1 }, "link establishment")
 
-	// Kill the transport: both sides drop the link.
+	// Kill the transport: the dialer redials, and the link self-heals on
+	// both sides instead of dropping (protocol v2 semantics).
 	link := a.routing.Load().links["b"]
-	link.conn.Close()
-	waitFor(t, func() bool { return len(a.Links()) == 0 }, "initiator drop")
-	waitFor(t, func() bool { return len(b.Links()) == 0 }, "acceptor drop")
+	link.mu.Lock()
+	conn := link.conn
+	link.mu.Unlock()
+	conn.Close()
+	waitFor(t, func() bool {
+		st := a.LinkStatus()
+		return len(st) == 1 && st[0].State == LinkUp && st[0].Reconnects >= 1
+	}, "initiator reconnect")
+	waitFor(t, func() bool { return len(b.Links()) == 1 }, "acceptor re-link")
 }
 
 func TestSendRemoteWithLinkDown(t *testing.T) {
-	home, _, _ := linkedBuses(t)
+	net := transport.NewMemNetwork()
+	home := NewBus("home-bus", openACL(), nil, nil)
+	// A tiny retry budget so the link gives up quickly once the peer is
+	// unreachable for good.
+	home.SetLinkConfig(LinkConfig{
+		RetryBudget: 2, BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond,
+	})
+	cloud := NewBus("cloud-bus", openACL(), nil, nil)
+	listener, err := net.Listen("cloud-addr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go cloud.Serve(listener)
+	if _, err := home.Register("ann-device", "hospital", annCtx(), nil,
+		EndpointSpec{Name: "out", Dir: Source, Schema: vitalsSchema()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cloud.Register("ann-analyser", "hospital", annCtx(), nil,
+		EndpointSpec{Name: "in", Dir: Sink, Schema: vitalsSchema()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := home.LinkTo(net, "cloud-addr"); err != nil {
+		t.Fatal(err)
+	}
 	if err := home.Connect("hospital", "ann-device.out", "cloud-bus:ann-analyser.in"); err != nil {
 		t.Fatal(err)
 	}
-	// Tear the link down under the channel.
+	// Take the peer away for good and tear the connection down: once the
+	// retry budget is exhausted the link is dropped.
+	listener.Close()
+	net.SetDown("cloud-addr", true)
 	link := home.routing.Load().links["cloud-bus"]
-	link.conn.Close()
+	link.mu.Lock()
+	conn := link.conn
+	link.mu.Unlock()
+	conn.Close()
 	waitFor(t, func() bool { return len(home.Links()) == 0 }, "link drop")
 
 	annDev, _ := home.Component("ann-device")

@@ -1,9 +1,9 @@
 package sbus
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -19,130 +19,439 @@ import (
 // connection time; the receiver's bus re-validates ingress on every
 // message against its *own* current view of the destination — neither side
 // trusts the other's enforcement blindly.
+//
+// Link protocol v2 (see wire.go for the frame encoding) adds the
+// machine-to-machine resilience the v1 JSON protocol lacked:
+//
+//   - One writer goroutine per link drains a bounded send queue and
+//     coalesces bursts into batched transport frames (pipelining: a
+//     publisher never waits for a network round trip, and a burst costs
+//     one syscall, not one per message).
+//   - The bounded queue applies backpressure: when the peer cannot drain
+//     fast enough, enqueueing blocks up to LinkConfig.SendTimeout and then
+//     fails with ErrBackpressure instead of buffering without bound.
+//   - Outbound (dialed) links are self-healing: when the connection dies
+//     the supervisor redials with exponential backoff and, on success,
+//     resumes the session — replaying the connect handshake for every
+//     egress channel routed to the peer *before* any queued traffic, so
+//     the receiving bus re-validates ingress exactly as it did originally.
+//     ErrLinkDown is only reported once the retry budget is exhausted.
+//
+// Delivery across a reconnect is at-least-once: a batch whose send failed
+// mid-flight is retransmitted on the next connection, so a frame that did
+// reach the peer before the failure can be delivered twice. The receiving
+// bus enforces (and audits) each copy independently.
 
-// ErrLinkDown is returned when a cross-bus operation has no live link.
+// ErrLinkDown is returned when a cross-bus operation has no live link and
+// no prospect of one: the peer was never linked, the retry budget is
+// exhausted, or the link was replaced or closed.
 var ErrLinkDown = errors.New("sbus: link down")
 
-// linkFrame is the wire protocol between buses.
-type linkFrame struct {
-	Kind string `json:"kind"` // hello, connect, result, message, disconnect
-	ID   uint64 `json:"id,omitempty"`
-	Bus  string `json:"bus,omitempty"`
-
-	Src string `json:"src,omitempty"` // fully qualified "bus:comp.ep"
-	Dst string `json:"dst,omitempty"` // receiver-local "comp.ep"
-
-	SrcSecrecy   ifc.Label `json:"src_s,omitempty"`
-	SrcIntegrity ifc.Label `json:"src_i,omitempty"`
-
-	Schema  string `json:"schema,omitempty"`
-	Payload []byte `json:"payload,omitempty"` // msg.EncodeBinary
-
-	OK  bool   `json:"ok,omitempty"`
-	Err string `json:"err,omitempty"`
-
-	Agent ifc.PrincipalID `json:"agent,omitempty"`
-}
-
-// A link is a live connection to a peer bus.
-type link struct {
-	bus    *Bus
-	peer   string
-	conn   transport.Conn
-	sendMu sync.Mutex
-
-	mu      sync.Mutex
-	nextID  uint64
-	pending map[uint64]chan linkFrame
-
-	// ingress records remotely-established channels into this bus:
-	// key = {remote src full addr, local dst}.
-	ingress map[channelKey]struct{}
-}
+// ErrBackpressure is returned when a link's bounded send queue stays full
+// for longer than LinkConfig.SendTimeout — the peer (or the network) is
+// not draining egress fast enough.
+var ErrBackpressure = errors.New("sbus: link send queue full")
 
 // connectTimeout bounds cross-bus connect handshakes.
 const connectTimeout = 10 * time.Second
 
-// LinkTo dials a peer bus and performs the hello exchange. It returns the
-// peer's bus name.
-func (b *Bus) LinkTo(network transport.Network, addr string) (string, error) {
+// maxBatchBytes caps the payload bytes coalesced into one transport frame
+// so a batch normally stays far below transport.MaxFrameSize.
+const maxBatchBytes = 1 << 20
+
+// maxEgressFrame is the largest single encoded frame a link accepts:
+// anything bigger could never cross the transport, so it is rejected at
+// enqueue time instead of poisoning a coalesced batch at send time.
+const maxEgressFrame = transport.MaxFrameSize - batchHeaderLen
+
+// LinkConfig tunes link behaviour for a bus. The zero value selects the
+// defaults; set it with Bus.SetLinkConfig before establishing links.
+type LinkConfig struct {
+	// QueueLen bounds the per-link egress queue, in frames (default 1024).
+	QueueLen int
+	// SendTimeout is how long an egress operation may wait for queue space
+	// before failing with ErrBackpressure (default 2s).
+	SendTimeout time.Duration
+	// MaxBatch caps the frames coalesced into one transport frame
+	// (default 64).
+	MaxBatch int
+	// RetryBudget is the number of consecutive failed reconnect attempts
+	// after which an outbound link gives up and reports ErrLinkDown
+	// (default 8).
+	RetryBudget int
+	// BackoffBase and BackoffMax shape the exponential reconnect backoff
+	// (defaults 50ms and 5s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+}
+
+// withDefaults fills zero fields with the default tuning.
+func (c LinkConfig) withDefaults() LinkConfig {
+	if c.QueueLen <= 0 {
+		c.QueueLen = 1024
+	}
+	if c.SendTimeout <= 0 {
+		c.SendTimeout = 2 * time.Second
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 8
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 50 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 5 * time.Second
+	}
+	return c
+}
+
+// SetLinkConfig installs the link tuning used by links established from
+// now on; existing links keep the configuration they were created with.
+func (b *Bus) SetLinkConfig(cfg LinkConfig) {
+	c := cfg.withDefaults()
+	b.linkCfg.Store(&c)
+}
+
+// linkConfig returns the bus's current link tuning.
+func (b *Bus) linkConfig() LinkConfig {
+	if c := b.linkCfg.Load(); c != nil {
+		return *c
+	}
+	return LinkConfig{}.withDefaults()
+}
+
+// LinkState is the lifecycle state of a link.
+type LinkState int
+
+const (
+	// LinkUp: a live connection is attached.
+	LinkUp LinkState = iota
+	// LinkReconnecting: the connection died and the supervisor is redialing.
+	LinkReconnecting
+	// LinkClosed: the link was replaced, closed, or gave up reconnecting.
+	LinkClosed
+)
+
+// String renders the state for status displays.
+func (s LinkState) String() string {
+	switch s {
+	case LinkUp:
+		return "up"
+	case LinkReconnecting:
+		return "reconnecting"
+	case LinkClosed:
+		return "closed"
+	}
+	return fmt.Sprintf("LinkState(%d)", int(s))
+}
+
+// LinkStatus is a point-in-time snapshot of one link, for operators
+// (lciotd logs it) and tests.
+type LinkStatus struct {
+	// Peer is the remote bus name.
+	Peer string
+	// Addr is the dial address for outbound links, the remote address of
+	// the accepted connection otherwise.
+	Addr string
+	// Dialer reports whether this side dialed the link (and therefore owns
+	// reconnection); accepted links heal when the peer redials.
+	Dialer bool
+	// State is the current lifecycle state.
+	State LinkState
+	// QueueDepth and QueueCap describe the egress queue.
+	QueueDepth int
+	QueueCap   int
+	// Reconnects counts successful session resumptions.
+	Reconnects uint64
+}
+
+// A link is a connection to a peer bus. For outbound links the identity is
+// stable across reconnects: the conn changes underneath while the send
+// queue, pending requests and routing entry survive, so traffic buffered
+// during an outage flows once the session resumes.
+type link struct {
+	bus  *Bus
+	peer string
+	cfg  LinkConfig
+
+	// network/addr are the dialer's reconnect coordinates; network is nil
+	// for accepted (inbound) links, which cannot redial — the peer does.
+	network transport.Network
+	addr    string
+
+	// sendQ carries encoded frames (no batch header) to the writer.
+	sendQ chan []byte
+	// done is closed on shutdown to release enqueuers and the writer.
+	done chan struct{}
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// conn is the live connection, nil while reconnecting.
+	conn   transport.Conn
+	state  LinkState
+	closed bool
+	nextID uint64
+	// pending maps request IDs to reply channels; closed (not replied) when
+	// the link shuts down so callers fail fast instead of timing out.
+	pending map[uint64]chan LinkFrame
+	// ingress records remotely-established channels into this bus:
+	// key = {remote src full addr, local dst}.
+	ingress    map[channelKey]struct{}
+	reconnects uint64
+}
+
+// newLink builds a link shell (no connection attached yet).
+func (b *Bus) newLink(peer string, network transport.Network, addr string) *link {
+	cfg := b.linkConfig()
+	l := &link{
+		bus:     b,
+		peer:    peer,
+		cfg:     cfg,
+		network: network,
+		addr:    addr,
+		sendQ:   make(chan []byte, cfg.QueueLen),
+		done:    make(chan struct{}),
+		state:   LinkReconnecting,
+		pending: make(map[uint64]chan LinkFrame),
+		ingress: make(map[channelKey]struct{}),
+	}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// dialHello dials a peer and performs the v2 hello exchange, returning the
+// live connection and the peer's bus name.
+func dialHello(b *Bus, network transport.Network, addr string) (transport.Conn, string, error) {
 	conn, err := network.Dial(addr)
 	if err != nil {
-		return "", err
+		return nil, "", err
 	}
-	if err := sendFrame(conn, linkFrame{Kind: "hello", Bus: b.name}); err != nil {
-		conn.Close()
-		return "", err
-	}
-	f, err := recvFrame(conn)
+	hello := LinkFrame{Kind: "hello", Bus: b.name}
+	buf, err := encodeSingle(&hello)
 	if err != nil {
 		conn.Close()
+		return nil, "", err
+	}
+	if err := conn.Send(buf); err != nil {
+		conn.Close()
+		return nil, "", err
+	}
+	raw, err := conn.Recv()
+	if err != nil {
+		conn.Close()
+		return nil, "", err
+	}
+	frames, err := DecodeBatch(raw)
+	if err != nil {
+		conn.Close()
+		return nil, "", fmt.Errorf("sbus: hello from %s: %w", addr, err)
+	}
+	if len(frames) != 1 || frames[0].Kind != "hello" || frames[0].Bus == "" {
+		conn.Close()
+		return nil, "", fmt.Errorf("%w: bad hello from %s", ErrProtocol, addr)
+	}
+	return conn, frames[0].Bus, nil
+}
+
+// LinkTo dials a peer bus, performs the hello exchange and starts the
+// link's writer and supervisor. It returns the peer's bus name. Any egress
+// channels already routed to that peer (from an earlier link) are replayed
+// so the session resumes where it left off.
+func (b *Bus) LinkTo(network transport.Network, addr string) (string, error) {
+	conn, peer, err := dialHello(b, network, addr)
+	if err != nil {
 		return "", err
 	}
-	if f.Kind != "hello" || f.Bus == "" {
-		conn.Close()
-		return "", fmt.Errorf("sbus: bad hello from %s", addr)
-	}
-	l := b.addLink(f.Bus, conn)
-	go l.readLoop()
-	return f.Bus, nil
+	l := b.newLink(peer, network, addr)
+	// Replay any surviving egress channels *before* addLink makes the
+	// link routable: once publishers can reach the queue, their message
+	// frames must never get ahead of the connect handshakes.
+	l.replayEgress(conn)
+	l.setConn(conn)
+	b.addLink(l)
+	go l.writeLoop()
+	go l.supervise(conn)
+	return peer, nil
 }
 
 // ServeLink handles one inbound link connection (blocking until the hello
-// completes; the read loop then runs in the background).
+// completes; the read loop then runs in the background). A peer speaking
+// an incompatible protocol version — including legacy v1 JSON — is
+// rejected with ErrProtocol.
 func (b *Bus) ServeLink(conn transport.Conn) error {
-	f, err := recvFrame(conn)
+	raw, err := conn.Recv()
 	if err != nil {
 		conn.Close()
 		return err
 	}
-	if f.Kind != "hello" || f.Bus == "" {
+	frames, err := DecodeBatch(raw)
+	if err != nil {
 		conn.Close()
-		return fmt.Errorf("sbus: bad hello")
+		return fmt.Errorf("sbus: link handshake: %w", err)
 	}
-	if err := sendFrame(conn, linkFrame{Kind: "hello", Bus: b.name}); err != nil {
+	if len(frames) != 1 || frames[0].Kind != "hello" || frames[0].Bus == "" {
+		conn.Close()
+		return fmt.Errorf("%w: handshake did not open with hello", ErrProtocol)
+	}
+	reply := LinkFrame{Kind: "hello", Bus: b.name}
+	buf, err := encodeSingle(&reply)
+	if err != nil {
 		conn.Close()
 		return err
 	}
-	l := b.addLink(f.Bus, conn)
-	go l.readLoop()
+	if err := conn.Send(buf); err != nil {
+		conn.Close()
+		return err
+	}
+	l := b.newLink(frames[0].Bus, nil, conn.RemoteAddr())
+	// As in LinkTo: re-establish this bus's own egress channels over the
+	// fresh inbound link before it becomes routable.
+	l.replayEgress(conn)
+	l.setConn(conn)
+	b.addLink(l)
+	go l.writeLoop()
+	go l.supervise(conn)
 	return nil
 }
 
-// Serve accepts link connections until the listener closes.
+// Serve accepts link connections until the listener closes. Handshake
+// failures (version mismatches, malformed hellos) are audited; they never
+// stop the accept loop.
 func (b *Bus) Serve(listener transport.Listener) {
 	for {
 		conn, err := listener.Accept()
 		if err != nil {
 			return
 		}
-		// Handshake errors on one connection must not stop the accept loop.
-		go func() { _ = b.ServeLink(conn) }()
+		go func() {
+			if err := b.ServeLink(conn); err != nil {
+				b.log.Append(audit.Record{
+					Kind: audit.FlowDenied, Layer: audit.LayerMessaging, Domain: b.name,
+					Note: "link handshake rejected: " + err.Error(),
+				})
+			}
+		}()
 	}
 }
 
-// addLink registers a link, replacing any prior link to the same peer.
-func (b *Bus) addLink(peer string, conn transport.Conn) *link {
-	l := &link{
-		bus:     b,
-		peer:    peer,
-		conn:    conn,
-		pending: make(map[uint64]chan linkFrame),
-		ingress: make(map[channelKey]struct{}),
-	}
+// addLink publishes a link, replacing any prior link to the same peer. The
+// replaced link is shut down: its pending requests fail immediately with
+// ErrLinkDown rather than waiting out their timeouts.
+func (b *Bus) addLink(l *link) {
 	b.writeMu.Lock()
 	cur := b.routing.Load()
-	if old, ok := cur.links[peer]; ok {
-		old.conn.Close()
-	}
+	old := cur.links[l.peer]
 	next := cur.clone()
-	next.links[peer] = l
+	next.links[l.peer] = l
 	b.routing.Store(next)
 	b.writeMu.Unlock()
-	return l
+	if old != nil {
+		old.shutdown()
+	}
+	b.log.Append(audit.Record{
+		Kind: audit.Reconfiguration, Layer: audit.LayerMessaging, Domain: b.name,
+		Dst: ifc.EntityID(l.peer), Note: "link established to peer bus",
+	})
 }
 
-// linkFor returns the live link to a peer.
+// removeLink retires a dead link: it is dropped from routing (unless a
+// replacement already took its slot) and shut down. Channels routed to the
+// peer stay in the table — a later LinkTo resumes them.
+func (b *Bus) removeLink(l *link, note string) {
+	b.writeMu.Lock()
+	cur := b.routing.Load()
+	if live, ok := cur.links[l.peer]; ok && live == l {
+		next := cur.clone()
+		delete(next.links, l.peer)
+		b.routing.Store(next)
+	}
+	b.writeMu.Unlock()
+	l.shutdown()
+	b.log.Append(audit.Record{
+		Kind: audit.Reconfiguration, Layer: audit.LayerMessaging, Domain: b.name,
+		Dst: ifc.EntityID(l.peer), Note: "link closed: " + note,
+	})
+}
+
+// shutdown closes the link: the conn is torn down, enqueuers and the
+// writer are released, and every pending request fails fast.
+func (l *link) shutdown() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	l.state = LinkClosed
+	conn := l.conn
+	l.conn = nil
+	for id, ch := range l.pending {
+		close(ch)
+		delete(l.pending, id)
+	}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	close(l.done)
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// setConn attaches a live connection and wakes the writer.
+func (l *link) setConn(conn transport.Conn) {
+	l.mu.Lock()
+	l.conn = conn
+	l.state = LinkUp
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// noteConnDead detaches conn if it is still current and closes it, moving
+// the link to reconnecting; idempotent across the writer and reader both
+// observing the same failure.
+func (l *link) noteConnDead(conn transport.Conn) {
+	l.mu.Lock()
+	if l.conn == conn {
+		l.conn = nil
+		if !l.closed {
+			l.state = LinkReconnecting
+		}
+	}
+	l.mu.Unlock()
+	conn.Close()
+}
+
+// waitConn blocks until a live connection is attached, returning nil once
+// the link is closed.
+func (l *link) waitConn() transport.Conn {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.conn == nil && !l.closed {
+		l.cond.Wait()
+	}
+	return l.conn
+}
+
+// status snapshots the link for LinkStatus.
+func (l *link) status() LinkStatus {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LinkStatus{
+		Peer:       l.peer,
+		Addr:       l.addr,
+		Dialer:     l.network != nil,
+		State:      l.state,
+		QueueDepth: len(l.sendQ),
+		QueueCap:   cap(l.sendQ),
+		Reconnects: l.reconnects,
+	}
+}
+
+// linkFor returns the link to a peer (which may be mid-reconnect: egress
+// enqueued then flows when the session resumes).
 func (b *Bus) linkFor(peer string) (*link, error) {
 	l, ok := b.routing.Load().links[peer]
 	if !ok {
@@ -158,7 +467,325 @@ func (b *Bus) Links() []string {
 	for p := range r.links {
 		out = append(out, p)
 	}
+	sort.Strings(out)
 	return out
+}
+
+// LinkStatus snapshots every link, sorted by peer name.
+func (b *Bus) LinkStatus() []LinkStatus {
+	r := b.routing.Load()
+	out := make([]LinkStatus, 0, len(r.links))
+	for _, l := range r.links {
+		out = append(out, l.status())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}
+
+// --- egress ---
+
+// enqueue hands one encoded frame to the writer, blocking up to
+// SendTimeout for queue space (backpressure) before failing.
+func (l *link) enqueue(frame []byte) error {
+	if len(frame) > maxEgressFrame {
+		return fmt.Errorf("%w: %d byte frame", transport.ErrFrameSize, len(frame))
+	}
+	select {
+	case <-l.done:
+		return fmt.Errorf("%w: to bus %q", ErrLinkDown, l.peer)
+	default:
+	}
+	select {
+	case l.sendQ <- frame:
+		return nil
+	default:
+	}
+	t := time.NewTimer(l.cfg.SendTimeout)
+	defer t.Stop()
+	select {
+	case l.sendQ <- frame:
+		return nil
+	case <-l.done:
+		return fmt.Errorf("%w: to bus %q", ErrLinkDown, l.peer)
+	case <-t.C:
+		return fmt.Errorf("%w: bus %q has not drained %d frames in %v",
+			ErrBackpressure, l.peer, cap(l.sendQ), l.cfg.SendTimeout)
+	}
+}
+
+// sendFrame encodes one frame and enqueues it.
+func (l *link) sendFrame(f *LinkFrame) error {
+	buf, err := AppendLinkFrame(nil, f)
+	if err != nil {
+		return err
+	}
+	return l.enqueue(buf)
+}
+
+// writeLoop is the link's single writer: it drains the queue, coalesces
+// bursts into one batched transport frame, and retransmits a batch whose
+// send failed once the supervisor attaches a fresh connection.
+func (l *link) writeLoop() {
+	var batch [][]byte
+	// carry holds a frame taken off the queue that would overflow the
+	// current batch; it opens the next one.
+	var carry []byte
+	var buf []byte
+	for {
+		// Wait for a live conn *before* draining the queue: while the link
+		// is reconnecting, frames stay on the bounded queue where they
+		// exert backpressure, instead of hiding in the writer's batch.
+		conn := l.waitConn()
+		if conn == nil {
+			return // link closed
+		}
+		if len(batch) == 0 {
+			if carry != nil {
+				batch = append(batch, carry)
+				carry = nil
+			} else {
+				select {
+				case f := <-l.sendQ:
+					batch = append(batch, f)
+				case <-l.done:
+					return
+				}
+			}
+			size := len(batch[0])
+		coalesce:
+			for len(batch) < l.cfg.MaxBatch && size < maxBatchBytes {
+				select {
+				case f := <-l.sendQ:
+					// Enqueue bounds each frame to maxEgressFrame, so any
+					// single frame fits in a batch of one; a frame that
+					// would push this batch past the transport limit waits
+					// in carry and opens the next one.
+					if size+len(f) > maxEgressFrame {
+						carry = f
+						break coalesce
+					}
+					batch = append(batch, f)
+					size += len(f)
+				default:
+					break coalesce
+				}
+			}
+		}
+		buf = AppendBatchHeader(buf[:0], len(batch))
+		for _, f := range batch {
+			buf = append(buf, f...)
+		}
+		if err := conn.Send(buf); err != nil {
+			// The conn died mid-send: keep the batch for retransmission on
+			// the next connection and kick the supervisor via the closed
+			// conn (its Recv fails immediately).
+			l.noteConnDead(conn)
+			continue
+		}
+		batch = batch[:0]
+	}
+}
+
+// --- reconnect & resume ---
+
+// supervise owns the link's connection lifecycle: it runs the read loop
+// until the conn dies, then — for outbound links — redials with backoff
+// and resumes the session. Inbound links are retired on failure; the peer
+// owns redialing.
+func (l *link) supervise(conn transport.Conn) {
+	for {
+		l.readLoop(conn)
+		l.mu.Lock()
+		closed := l.closed
+		l.mu.Unlock()
+		if closed {
+			return
+		}
+		if l.network == nil {
+			l.bus.removeLink(l, "peer connection lost")
+			return
+		}
+		l.bus.log.Append(audit.Record{
+			Kind: audit.Reconfiguration, Layer: audit.LayerMessaging, Domain: l.bus.name,
+			Dst: ifc.EntityID(l.peer), Note: "link lost, reconnecting",
+		})
+		next, attempts, err := l.redial()
+		if next == nil {
+			detail := "link retry budget exhausted"
+			if err != nil {
+				detail += ": " + err.Error()
+			}
+			l.bus.removeLink(l, detail)
+			return
+		}
+		l.mu.Lock()
+		l.reconnects++
+		nth := l.reconnects
+		l.mu.Unlock()
+		replayed := l.replayEgress(next)
+		l.setConn(next)
+		l.bus.log.Append(audit.Record{
+			Kind: audit.Reconfiguration, Layer: audit.LayerMessaging, Domain: l.bus.name,
+			Dst: ifc.EntityID(l.peer),
+			Note: fmt.Sprintf("link resumed after %d attempts (reconnect #%d), %d channels replayed",
+				attempts, nth, replayed),
+		})
+		conn = next
+	}
+}
+
+// redial attempts to re-establish the connection with exponential backoff,
+// up to the retry budget.
+func (l *link) redial() (transport.Conn, int, error) {
+	backoff := l.cfg.BackoffBase
+	var lastErr error
+	for attempt := 1; attempt <= l.cfg.RetryBudget; attempt++ {
+		select {
+		case <-l.done:
+			return nil, attempt - 1, nil
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > l.cfg.BackoffMax {
+			backoff = l.cfg.BackoffMax
+		}
+		conn, peer, err := dialHello(l.bus, l.network, l.addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if peer != l.peer {
+			conn.Close()
+			lastErr = fmt.Errorf("address %q now answers as bus %q, expected %q", l.addr, peer, l.peer)
+			continue
+		}
+		return conn, attempt, nil
+	}
+	return nil, l.cfg.RetryBudget, lastErr
+}
+
+// replayEgress re-establishes every egress channel routed to this peer by
+// replaying its connect handshake, so the remote bus re-runs its ingress
+// validation (admission, schema, IFC) against current state. The frames
+// are written directly to conn before the writer is released (and before
+// a fresh link is even routable), so traffic queued during an outage —
+// or published concurrently — can never arrive ahead of the channels it
+// needs. Channels the peer now refuses are torn down and audited.
+// Returns the number of channels replayed.
+func (l *link) replayEgress(conn transport.Conn) int {
+	b := l.bus
+	r := b.routing.Load()
+	type waiter struct {
+		key channelKey
+		ch  chan LinkFrame
+	}
+	var frames []LinkFrame
+	var waiters []waiter
+	var ids []uint64
+	for _, ch := range r.channels {
+		if ch.remoteBus != l.peer {
+			continue
+		}
+		ctx := ch.srcComp.Context()
+		f := LinkFrame{
+			Kind:         "connect",
+			Src:          b.name + ":" + ch.key.src,
+			Dst:          ch.remoteDst,
+			SrcSecrecy:   ctx.Secrecy,
+			SrcIntegrity: ctx.Integrity,
+			Schema:       ch.srcEP.Schema.Name,
+			Agent:        ch.agent,
+		}
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			return 0
+		}
+		l.nextID++
+		f.ID = l.nextID
+		rc := make(chan LinkFrame, 1)
+		l.pending[f.ID] = rc
+		l.mu.Unlock()
+		frames = append(frames, f)
+		waiters = append(waiters, waiter{key: ch.key, ch: rc})
+		ids = append(ids, f.ID)
+	}
+	if len(frames) == 0 {
+		return 0
+	}
+	// Chunk the handshakes into writer-sized batches — a federation can
+	// route more channels than one transport frame (or the u16 batch
+	// count) holds. A send failure closes the conn so the supervisor's
+	// read loop fails immediately and the next reconnect replays from
+	// scratch — never a half-resumed session that looks up. Unencodable
+	// connects (>64KiB field) are skipped; their waiters time out.
+	count := 0
+	var body []byte
+	flush := func() bool {
+		if count == 0 {
+			return true
+		}
+		packed := AppendBatchHeader(nil, count)
+		packed = append(packed, body...)
+		count, body = 0, body[:0]
+		if err := conn.Send(packed); err != nil {
+			conn.Close()
+			return false
+		}
+		return true
+	}
+	for i := range frames {
+		next, err := AppendLinkFrame(body, &frames[i])
+		if err != nil {
+			continue
+		}
+		body = next
+		count++
+		if count >= l.cfg.MaxBatch || len(body) >= maxBatchBytes {
+			if !flush() {
+				break
+			}
+		}
+	}
+	flush()
+	go func() {
+		defer func() {
+			l.mu.Lock()
+			for _, id := range ids {
+				delete(l.pending, id)
+			}
+			l.mu.Unlock()
+		}()
+		timeout := time.After(connectTimeout)
+		for _, w := range waiters {
+			select {
+			case resp, ok := <-w.ch:
+				if ok && !resp.OK {
+					// The peer's current state refuses this channel: keeping
+					// it routed would silently drop every message.
+					b.writeMu.Lock()
+					next := b.routing.Load().clone()
+					removed := next.removeChannel(w.key)
+					if removed {
+						b.routing.Store(next)
+					}
+					b.writeMu.Unlock()
+					if removed {
+						b.log.Append(audit.Record{
+							Kind: audit.Reconfiguration, Layer: audit.LayerMessaging, Domain: b.name,
+							Src: ifc.EntityID(b.name + ":" + w.key.src), Dst: ifc.EntityID(w.key.dst),
+							Note: "cross-bus channel torn down: resume refused: " + resp.Err,
+						})
+					}
+				}
+			case <-timeout:
+				return
+			case <-l.done:
+				return
+			}
+		}
+	}()
+	return len(frames)
 }
 
 // connectRemote establishes a channel whose sink lives on a peer bus. The
@@ -170,7 +797,7 @@ func (b *Bus) connectRemote(by ifc.PrincipalID, srcComp *Component, srcEP Endpoi
 		return err
 	}
 	ctx := srcComp.Context()
-	resp, err := l.request(linkFrame{
+	resp, err := l.request(LinkFrame{
 		Kind:         "connect",
 		Src:          b.name + ":" + src,
 		Dst:          remoteDst,
@@ -186,7 +813,10 @@ func (b *Bus) connectRemote(by ifc.PrincipalID, srcComp *Component, srcEP Endpoi
 		return fmt.Errorf("sbus: remote bus %q refused connect: %s", remoteBus, resp.Err)
 	}
 	key := channelKey{src: src, dst: remoteBus + ":" + remoteDst}
-	ch := &channel{key: key, srcComp: srcComp, remoteBus: remoteBus, remoteDst: remoteDst}
+	ch := &channel{
+		key: key, srcComp: srcComp, srcEP: srcEP, agent: by,
+		remoteBus: remoteBus, remoteDst: remoteDst,
+	}
 	b.writeMu.Lock()
 	next := b.routing.Load().clone()
 	next.addChannel(ch)
@@ -202,27 +832,29 @@ func (b *Bus) connectRemote(by ifc.PrincipalID, srcComp *Component, srcEP Endpoi
 
 // sendRemote ships one message down a cross-bus channel. The sender stamps
 // the message with the source's *current* security context; the receiver
-// enforces against it.
+// enforces against it. The frame — header fields and the message's binary
+// payload — is encoded in one pass into a single buffer that the writer
+// goroutine takes ownership of.
 func (b *Bus) sendRemote(srcComp *Component, srcEP EndpointSpec, remoteBus, remoteDst string, m *msg.Message) error {
 	l, err := b.linkFor(remoteBus)
 	if err != nil {
 		return err
 	}
-	payload, err := msg.EncodeBinary(m)
-	if err != nil {
-		return err
-	}
 	ctx := srcComp.Context()
-	if err := l.send(linkFrame{
+	f := LinkFrame{
 		Kind:         "message",
 		Src:          b.name + ":" + srcComp.Name() + "." + srcEP.Name,
 		Dst:          remoteDst,
 		SrcSecrecy:   ctx.Secrecy,
 		SrcIntegrity: ctx.Integrity,
 		Schema:       srcEP.Schema.Name,
-		Payload:      payload,
 		Agent:        srcComp.principal,
-	}); err != nil {
+	}
+	buf, err := appendMessageFrame(nil, &f, m)
+	if err != nil {
+		return err
+	}
+	if err := l.enqueue(buf); err != nil {
 		return err
 	}
 	b.log.AppendAsync(audit.Record{
@@ -234,12 +866,17 @@ func (b *Bus) sendRemote(srcComp *Component, srcEP EndpointSpec, remoteBus, remo
 	return nil
 }
 
-// request performs a round trip over the link.
-func (l *link) request(f linkFrame) (linkFrame, error) {
+// request performs a round trip over the link. It fails fast — not by
+// timeout — when the link shuts down while the reply is pending.
+func (l *link) request(f LinkFrame) (LinkFrame, error) {
 	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return LinkFrame{}, fmt.Errorf("%w: to bus %q", ErrLinkDown, l.peer)
+	}
 	l.nextID++
 	f.ID = l.nextID
-	ch := make(chan linkFrame, 1)
+	ch := make(chan LinkFrame, 1)
 	l.pending[f.ID] = ch
 	l.mu.Unlock()
 
@@ -249,90 +886,78 @@ func (l *link) request(f linkFrame) (linkFrame, error) {
 		l.mu.Unlock()
 	}()
 
-	if err := l.send(f); err != nil {
-		return linkFrame{}, err
+	if err := l.sendFrame(&f); err != nil {
+		return LinkFrame{}, err
 	}
 	select {
-	case resp := <-ch:
+	case resp, ok := <-ch:
+		if !ok {
+			return LinkFrame{}, fmt.Errorf("%w: link to bus %q closed awaiting reply", ErrLinkDown, l.peer)
+		}
 		return resp, nil
 	case <-time.After(connectTimeout):
-		return linkFrame{}, fmt.Errorf("%w: request timed out", ErrLinkDown)
+		return LinkFrame{}, fmt.Errorf("%w: request timed out", ErrLinkDown)
 	}
-}
-
-// send serialises one frame.
-func (l *link) send(f linkFrame) error {
-	l.sendMu.Lock()
-	defer l.sendMu.Unlock()
-	return sendFrame(l.conn, f)
-}
-
-func sendFrame(conn transport.Conn, f linkFrame) error {
-	b, err := json.Marshal(f)
-	if err != nil {
-		return fmt.Errorf("sbus: encode frame: %w", err)
-	}
-	return conn.Send(b)
-}
-
-func recvFrame(conn transport.Conn) (linkFrame, error) {
-	raw, err := conn.Recv()
-	if err != nil {
-		return linkFrame{}, err
-	}
-	var f linkFrame
-	if err := json.Unmarshal(raw, &f); err != nil {
-		return linkFrame{}, fmt.Errorf("sbus: decode frame: %w", err)
-	}
-	return f, nil
 }
 
 // readLoop dispatches inbound frames until the connection dies.
-func (l *link) readLoop() {
+func (l *link) readLoop(conn transport.Conn) {
 	for {
-		f, err := recvFrame(l.conn)
+		raw, err := conn.Recv()
 		if err != nil {
-			l.bus.dropLink(l)
+			l.noteConnDead(conn)
 			return
 		}
-		switch f.Kind {
-		case "result":
-			l.mu.Lock()
-			ch, ok := l.pending[f.ID]
-			l.mu.Unlock()
-			if ok {
-				ch <- f
-			}
-		case "connect":
-			resp := linkFrame{Kind: "result", ID: f.ID, OK: true}
-			if err := l.acceptIngress(f); err != nil {
-				resp.OK = false
-				resp.Err = err.Error()
-			}
-			_ = l.send(resp)
-		case "message":
-			l.deliverIngress(f)
+		frames, err := DecodeBatch(raw)
+		if err != nil {
+			// Mid-session garbage: drop the conn; the supervisor (or the
+			// peer) re-establishes a clean session.
+			l.noteConnDead(conn)
+			return
+		}
+		for i := range frames {
+			l.dispatch(conn, &frames[i])
 		}
 	}
 }
 
-// dropLink removes a dead link.
-func (b *Bus) dropLink(l *link) {
-	b.writeMu.Lock()
-	cur := b.routing.Load()
-	if live, ok := cur.links[l.peer]; ok && live == l {
-		next := cur.clone()
-		delete(next.links, l.peer)
-		b.routing.Store(next)
+// dispatch handles one inbound frame read from conn.
+func (l *link) dispatch(conn transport.Conn, f *LinkFrame) {
+	switch f.Kind {
+	case "result":
+		l.mu.Lock()
+		if ch, ok := l.pending[f.ID]; ok {
+			select {
+			case ch <- *f:
+			default:
+			}
+		}
+		l.mu.Unlock()
+	case "connect":
+		resp := LinkFrame{Kind: "result", ID: f.ID, OK: true}
+		if err := l.acceptIngress(*f); err != nil {
+			resp.OK = false
+			resp.Err = err.Error()
+		}
+		// Reply directly on the conn the request arrived on (transports
+		// serialise concurrent Sends): control-plane replies must not
+		// contend with — or be dropped by — the backpressured data queue,
+		// where a full queue would stall this read loop and strand the
+		// peer's request until its timeout.
+		if buf, err := encodeSingle(&resp); err == nil {
+			if err := conn.Send(buf); err != nil {
+				l.noteConnDead(conn)
+			}
+		}
+	case "message":
+		l.deliverIngress(*f)
 	}
-	b.writeMu.Unlock()
-	l.conn.Close()
 }
 
 // acceptIngress validates a remote connect request against the local sink:
 // schema compatibility and IFC from the advertised remote context into the
 // local component's context.
-func (l *link) acceptIngress(f linkFrame) error {
+func (l *link) acceptIngress(f LinkFrame) error {
 	b := l.bus
 	dstComp, dstEP, err := b.resolveLocal(f.Dst, Sink)
 	if err != nil {
@@ -368,7 +993,7 @@ func (l *link) acceptIngress(f linkFrame) error {
 }
 
 // deliverIngress enforces and delivers one inbound cross-bus message.
-func (l *link) deliverIngress(f linkFrame) {
+func (l *link) deliverIngress(f LinkFrame) {
 	b := l.bus
 	l.mu.Lock()
 	_, established := l.ingress[channelKey{src: f.Src, dst: f.Dst}]

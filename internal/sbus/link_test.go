@@ -165,7 +165,7 @@ func TestCrossBusMessageWithoutChannelDropped(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctx := annCtx()
-	if err := l.send(linkFrame{
+	if err := l.sendFrame(&LinkFrame{
 		Kind: "message", Src: "home-bus:ann-device.out", Dst: "ann-analyser.in",
 		SrcSecrecy: ctx.Secrecy, SrcIntegrity: ctx.Integrity,
 		Schema: "vitals", Payload: payload,

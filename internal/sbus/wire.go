@@ -1,0 +1,359 @@
+package sbus
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"lciot/internal/ifc"
+	"lciot/internal/msg"
+)
+
+// This file is link protocol v2: the binary wire form of cross-bus frames.
+//
+// Protocol v1 shipped one JSON object per transport frame. v2 replaces it
+// with a compact binary encoding in the msg.AppendBinary append style plus
+// *batching*: one transport frame carries a batch of link frames, so the
+// per-peer writer goroutine (link.go) can coalesce a burst of messages into
+// a single syscall/packet. Layout (all integers big-endian):
+//
+//	batch  := u8 magic 'L' | u8 version (2) | u16 count | count × frame
+//	frame  := u8 kind | u64 id | u8 flags |
+//	          str16 bus | str16 src | str16 dst |
+//	          str16 srcSecrecy | str16 srcIntegrity |   (canonical label form)
+//	          str16 schema | str16 agent | str16 err |
+//	          bytes32 payload
+//	str16  := u16 len | bytes      bytes32 := u32 len | bytes
+//
+// Labels travel as their canonical String form (a pointer read on interned
+// labels) and are re-interned by ifc.ParseLabel on decode — the same idiom
+// as audit's binary record codec.
+//
+// Version negotiation: the first batch on a connection must contain exactly
+// one hello frame. The magic and version bytes come first so an acceptor
+// can reject a mismatched peer before parsing anything else; a v1 peer's
+// JSON ('{' = 0x7B) is detected explicitly and refused with a clear error
+// rather than a decode failure.
+
+const (
+	// linkMagic is the first byte of every v2 batch ('L' for link).
+	linkMagic = 0x4C
+	// linkVersion is the protocol version this bus speaks.
+	linkVersion = 2
+	// batchHeaderLen is magic + version + count.
+	batchHeaderLen = 4
+)
+
+// Frame kinds. The wire carries the byte; LinkFrame carries the string
+// (stable across v1/v2, and what tests and switch statements read).
+const (
+	kindHello      = 1
+	kindConnect    = 2
+	kindResult     = 3
+	kindMessage    = 4
+	kindDisconnect = 5
+)
+
+// frame flag bits.
+const flagOK = 1 << 0
+
+// Errors reported by the wire codec.
+var (
+	// ErrWire is the sentinel for malformed v2 wire data.
+	ErrWire = errors.New("sbus: malformed link frame")
+	// ErrProtocol is returned when a peer speaks an incompatible link
+	// protocol version (including legacy v1 JSON).
+	ErrProtocol = errors.New("sbus: link protocol mismatch")
+)
+
+// A LinkFrame is one unit of the cross-bus wire protocol. The JSON tags are
+// the legacy v1 wire schema, retained so the benchharness can measure the
+// v1 baseline against the v2 binary codec honestly.
+type LinkFrame struct {
+	Kind string `json:"kind"` // hello, connect, result, message, disconnect
+	ID   uint64 `json:"id,omitempty"`
+	Bus  string `json:"bus,omitempty"`
+
+	Src string `json:"src,omitempty"` // fully qualified "bus:comp.ep"
+	Dst string `json:"dst,omitempty"` // receiver-local "comp.ep"
+
+	SrcSecrecy   ifc.Label `json:"src_s,omitempty"`
+	SrcIntegrity ifc.Label `json:"src_i,omitempty"`
+
+	Schema  string `json:"schema,omitempty"`
+	Payload []byte `json:"payload,omitempty"` // msg.AppendBinary
+
+	OK  bool   `json:"ok,omitempty"`
+	Err string `json:"err,omitempty"`
+
+	Agent ifc.PrincipalID `json:"agent,omitempty"`
+}
+
+// kindByte maps the frame kind string to its wire byte.
+func kindByte(kind string) (byte, error) {
+	switch kind {
+	case "hello":
+		return kindHello, nil
+	case "connect":
+		return kindConnect, nil
+	case "result":
+		return kindResult, nil
+	case "message":
+		return kindMessage, nil
+	case "disconnect":
+		return kindDisconnect, nil
+	}
+	return 0, fmt.Errorf("%w: unknown kind %q", ErrWire, kind)
+}
+
+// kindString is the inverse of kindByte.
+func kindString(k byte) (string, error) {
+	switch k {
+	case kindHello:
+		return "hello", nil
+	case kindConnect:
+		return "connect", nil
+	case kindResult:
+		return "result", nil
+	case kindMessage:
+		return "message", nil
+	case kindDisconnect:
+		return "disconnect", nil
+	}
+	return "", fmt.Errorf("%w: unknown kind byte %d", ErrWire, k)
+}
+
+// AppendBatchHeader appends the v2 batch header for count frames.
+func AppendBatchHeader(dst []byte, count int) []byte {
+	dst = append(dst, linkMagic, linkVersion)
+	return binary.BigEndian.AppendUint16(dst, uint16(count))
+}
+
+// appendFramePrefix appends every frame field up to (but excluding) the
+// payload.
+func appendFramePrefix(dst []byte, f *LinkFrame) ([]byte, error) {
+	k, err := kindByte(f.Kind)
+	if err != nil {
+		return dst, err
+	}
+	dst = append(dst, k)
+	dst = binary.BigEndian.AppendUint64(dst, f.ID)
+	var flags byte
+	if f.OK {
+		flags |= flagOK
+	}
+	dst = append(dst, flags)
+	for _, s := range [...]string{
+		f.Bus, f.Src, f.Dst,
+		f.SrcSecrecy.String(), f.SrcIntegrity.String(),
+		f.Schema, string(f.Agent), f.Err,
+	} {
+		if len(s) > 0xFFFF {
+			return dst, fmt.Errorf("%w: field of %d bytes exceeds 64 KiB", ErrWire, len(s))
+		}
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(s)))
+		dst = append(dst, s...)
+	}
+	return dst, nil
+}
+
+// AppendLinkFrame appends the binary form of f to dst and returns the
+// extended slice. Encoding into a caller-owned buffer keeps the steady
+// state allocation-free; the writer goroutine reuses one batch buffer for
+// its whole life.
+func AppendLinkFrame(dst []byte, f *LinkFrame) ([]byte, error) {
+	dst, err := appendFramePrefix(dst, f)
+	if err != nil {
+		return dst, err
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(f.Payload)))
+	dst = append(dst, f.Payload...)
+	return dst, nil
+}
+
+// appendMessageFrame is AppendLinkFrame with the payload encoded straight
+// from the message: the frame fields and msg.AppendBinary land in one
+// buffer in one pass, with the payload length backfilled — no intermediate
+// payload slice on the per-message egress path.
+func appendMessageFrame(dst []byte, f *LinkFrame, m *msg.Message) ([]byte, error) {
+	dst, err := appendFramePrefix(dst, f)
+	if err != nil {
+		return dst, err
+	}
+	lenAt := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst, err = msg.AppendBinary(dst, m)
+	if err != nil {
+		return dst, err
+	}
+	binary.BigEndian.PutUint32(dst[lenAt:], uint32(len(dst)-lenAt-4))
+	return dst, nil
+}
+
+// wireDecoder is a bounds-checked cursor over one received batch.
+type wireDecoder struct {
+	buf []byte
+	off int
+}
+
+func (d *wireDecoder) need(n int) error {
+	if d.off+n > len(d.buf) {
+		return fmt.Errorf("%w: truncated at offset %d", ErrWire, d.off)
+	}
+	return nil
+}
+
+func (d *wireDecoder) byte() (byte, error) {
+	if err := d.need(1); err != nil {
+		return 0, err
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b, nil
+}
+
+func (d *wireDecoder) uint16() (uint16, error) {
+	if err := d.need(2); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint16(d.buf[d.off:])
+	d.off += 2
+	return v, nil
+}
+
+func (d *wireDecoder) uint64() (uint64, error) {
+	if err := d.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+func (d *wireDecoder) string16() (string, error) {
+	n, err := d.uint16()
+	if err != nil {
+		return "", err
+	}
+	if err := d.need(int(n)); err != nil {
+		return "", err
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+// decodeFrame parses one frame at the cursor.
+func (d *wireDecoder) decodeFrame() (LinkFrame, error) {
+	var f LinkFrame
+	k, err := d.byte()
+	if err != nil {
+		return f, err
+	}
+	if f.Kind, err = kindString(k); err != nil {
+		return f, err
+	}
+	if f.ID, err = d.uint64(); err != nil {
+		return f, err
+	}
+	flags, err := d.byte()
+	if err != nil {
+		return f, err
+	}
+	f.OK = flags&flagOK != 0
+	if f.Bus, err = d.string16(); err != nil {
+		return f, err
+	}
+	if f.Src, err = d.string16(); err != nil {
+		return f, err
+	}
+	if f.Dst, err = d.string16(); err != nil {
+		return f, err
+	}
+	srcS, err := d.string16()
+	if err != nil {
+		return f, err
+	}
+	if f.SrcSecrecy, err = ifc.ParseLabel(srcS); err != nil {
+		return f, fmt.Errorf("%w: src secrecy: %v", ErrWire, err)
+	}
+	srcI, err := d.string16()
+	if err != nil {
+		return f, err
+	}
+	if f.SrcIntegrity, err = ifc.ParseLabel(srcI); err != nil {
+		return f, fmt.Errorf("%w: src integrity: %v", ErrWire, err)
+	}
+	if f.Schema, err = d.string16(); err != nil {
+		return f, err
+	}
+	agent, err := d.string16()
+	if err != nil {
+		return f, err
+	}
+	f.Agent = ifc.PrincipalID(agent)
+	if f.Err, err = d.string16(); err != nil {
+		return f, err
+	}
+	if err := d.need(4); err != nil {
+		return f, err
+	}
+	n := binary.BigEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	if err := d.need(int(n)); err != nil {
+		return f, err
+	}
+	if n > 0 {
+		// The payload escapes the read buffer (handlers may retain the
+		// decoded message's bytes), so copy it out.
+		f.Payload = make([]byte, n)
+		copy(f.Payload, d.buf[d.off:])
+	}
+	d.off += int(n)
+	return f, nil
+}
+
+// DecodeBatch parses one received transport frame into its link frames.
+// Version mismatches — including a legacy v1 JSON peer — are reported as
+// ErrProtocol with an actionable message; anything else malformed is
+// ErrWire.
+func DecodeBatch(data []byte) ([]LinkFrame, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("%w: empty frame", ErrWire)
+	}
+	if data[0] != linkMagic {
+		if data[0] == '{' {
+			return nil, fmt.Errorf("%w: peer speaks legacy JSON link protocol v1; this bus requires v%d",
+				ErrProtocol, linkVersion)
+		}
+		return nil, fmt.Errorf("%w: bad magic byte 0x%02x", ErrWire, data[0])
+	}
+	if len(data) < batchHeaderLen {
+		return nil, fmt.Errorf("%w: short batch header", ErrWire)
+	}
+	if v := data[1]; v != linkVersion {
+		return nil, fmt.Errorf("%w: peer speaks link protocol v%d, this bus requires v%d",
+			ErrProtocol, v, linkVersion)
+	}
+	count := int(binary.BigEndian.Uint16(data[2:]))
+	d := &wireDecoder{buf: data, off: batchHeaderLen}
+	frames := make([]LinkFrame, 0, count)
+	for i := 0; i < count; i++ {
+		f, err := d.decodeFrame()
+		if err != nil {
+			return nil, err
+		}
+		frames = append(frames, f)
+	}
+	if d.off != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrWire, len(data)-d.off)
+	}
+	return frames, nil
+}
+
+// encodeSingle packs one frame as a one-element batch (handshake helpers
+// and tests; the data path batches through the writer goroutine).
+func encodeSingle(f *LinkFrame) ([]byte, error) {
+	buf := AppendBatchHeader(nil, 1)
+	return AppendLinkFrame(buf, f)
+}

@@ -134,6 +134,13 @@ type (
 	Delivery = sbus.Delivery
 	// ControlOp is a serialisable reconfiguration instruction (Fig. 8).
 	ControlOp = sbus.ControlOp
+	// LinkConfig tunes cross-bus link behaviour (queue bound, backpressure
+	// timeout, reconnect backoff and budget).
+	LinkConfig = sbus.LinkConfig
+	// LinkStatus is a point-in-time snapshot of one cross-bus link.
+	LinkStatus = sbus.LinkStatus
+	// LinkState is a link lifecycle state (up / reconnecting / closed).
+	LinkState = sbus.LinkState
 	// Message is a typed message instance.
 	Message = msg.Message
 	// Schema declares a message type.
@@ -146,6 +153,13 @@ type (
 const (
 	Source = sbus.Source
 	Sink   = sbus.Sink
+)
+
+// Link lifecycle states.
+const (
+	LinkUp           = sbus.LinkUp
+	LinkReconnecting = sbus.LinkReconnecting
+	LinkClosed       = sbus.LinkClosed
 )
 
 // Message field types.
@@ -300,3 +314,8 @@ var (
 
 // TCP is the production transport over real sockets.
 var TCP transport.Network = transport.TCPNetwork{}
+
+// ErrLinkDown is returned when a cross-bus operation has no live link and
+// no prospect of one (peer never linked, retry budget exhausted, or link
+// closed).
+var ErrLinkDown = sbus.ErrLinkDown
