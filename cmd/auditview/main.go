@@ -15,6 +15,14 @@
 //	auditview ancestry <log.json|dir> <node>     how was this produced?
 //	auditview descendants <log.json|dir> <node>  where did this end up?
 //	auditview agents <log.json|dir> <node>       who is responsible for it?
+//	auditview retention <log.json|dir> <tag> <age>
+//	                                             prove "all data under <tag>
+//	                                             older than <age> is gone or
+//	                                             tombstoned"
+//
+// Chains containing tombstones (records redacted in place by erasure
+// obligations) verify by linkage: the payload is gone — that is the point
+// — while the sequence of hashes still proves nothing else was touched.
 package main
 
 import (
@@ -22,8 +30,10 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"lciot/internal/audit"
+	"lciot/internal/ifc"
 	"lciot/internal/store"
 )
 
@@ -108,10 +118,39 @@ func run(args []string) int {
 		}
 		printChainStatus(os.Stderr, recs, fromStore)
 		return query(recs, cmd, args[2])
+	case "retention":
+		if len(args) != 4 {
+			usage()
+			return 2
+		}
+		age, err := time.ParseDuration(args[3])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "auditview: bad age:", err)
+			return 2
+		}
+		return retention(recs, ifc.Tag(args[2]), age)
 	default:
 		usage()
 		return 2
 	}
+}
+
+// retention prints the regulator-facing retention proof for one tag.
+func retention(recs []audit.Record, tag ifc.Tag, age time.Duration) int {
+	rep := audit.RetentionReport(recs, tag, time.Now().Add(-age))
+	fmt.Printf("retention report: tag %s, cutoff %s\n", rep.Tag, rep.Cutoff.UTC().Format(time.RFC3339))
+	fmt.Printf("  checked: %d records older than cutoff (tombstoned: %d)\n", rep.Checked, rep.Tombstoned)
+	if rep.Compliant {
+		fmt.Println("retention compliant: all data under the tag is gone or tombstoned")
+		return 0
+	}
+	fmt.Printf("retention VIOLATIONS: %d live records under %s older than the cutoff\n",
+		len(rep.Violations), rep.Tag)
+	for _, r := range rep.Violations {
+		fmt.Printf("  seq=%d time=%s data=%s %s -> %s\n",
+			r.Seq, r.Time.UTC().Format(time.RFC3339), r.DataID, r.Src, r.Dst)
+	}
+	return 1
 }
 
 // verifyStoreDir opens (and thereby chain-verifies) a store directory
@@ -148,17 +187,21 @@ func printChainStatus(w *os.File, recs []audit.Record, fromStore bool) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr,
-		"usage: auditview verify|report|dot <log.json|store-dir> | auditview ancestry|descendants|agents <log.json|store-dir> <node>")
+		"usage: auditview verify|report|dot <log.json|store-dir> | auditview ancestry|descendants|agents <log.json|store-dir> <node> | auditview retention <log.json|store-dir> <tag> <age>")
 }
 
 func report(recs []audit.Record) int {
 	byKind := map[string]int{}
 	byLayer := map[string]int{}
+	redacted := 0
 	for _, r := range recs {
 		byKind[r.Kind.String()]++
 		byLayer[r.Layer.String()]++
+		if r.Redacted {
+			redacted++
+		}
 	}
-	fmt.Printf("records: %d\n", len(recs))
+	fmt.Printf("records: %d (tombstoned: %d)\n", len(recs), redacted)
 	printCounts("by kind", byKind)
 	printCounts("by layer", byLayer)
 	if err := audit.VerifySegment(recs, nil); err != nil {
@@ -167,11 +210,17 @@ func report(recs []audit.Record) int {
 	}
 	fmt.Println("chain: intact")
 	for _, r := range recs {
-		if r.Kind == audit.FlowDenied {
+		switch {
+		case r.Redacted:
+			// Tombstones are listed nowhere else: their remaining metadata
+			// (seq, time, why) is exactly the erasure evidence.
+			fmt.Printf("tombstone seq=%d: %s\n", r.Seq, r.Note)
+		case r.Kind == audit.FlowDenied:
 			fmt.Printf("denial seq=%d %s -> %s: %s\n", r.Seq, r.Src, r.Dst, r.Note)
-		}
-		if r.Kind == audit.BreakGlass {
+		case r.Kind == audit.BreakGlass:
 			fmt.Printf("break-glass seq=%d: %s\n", r.Seq, r.Note)
+		case r.Kind == audit.ObligationExecuted || r.Kind == audit.ObligationRefused:
+			fmt.Printf("obligation seq=%d: %s\n", r.Seq, r.Note)
 		}
 	}
 	return 0

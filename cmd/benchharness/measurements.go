@@ -15,12 +15,13 @@ import (
 	"lciot/internal/ifc"
 	"lciot/internal/msg"
 	"lciot/internal/names"
+	"lciot/internal/obligation"
 	"lciot/internal/oskernel"
 	"lciot/internal/policy"
 	"lciot/internal/sbus"
 	"lciot/internal/sticky"
-	"lciot/internal/transport"
 	"lciot/internal/store"
+	"lciot/internal/transport"
 )
 
 // timeOp measures the mean time of one op over enough iterations to be
@@ -95,6 +96,140 @@ func runMeasurements() {
 	measureB10()
 	measureB11()
 	measureB12()
+	measureB13()
+}
+
+// B13: the obligations engine. The flow-check rows show the hot-path cost
+// of residency/purpose facets (the acceptance target: within 15% of the
+// facet-free B2 check — same cache, two more label keys); the sweep row
+// measures the sharded timer wheel popping one million scheduled retention
+// deadlines; the redaction row measures chain-preserving tombstoning
+// through the batched segment rewrite.
+func measureB13() {
+	// Facet-carrying flow check vs the plain check on identical tag sets.
+	tags := make([]ifc.Tag, 10)
+	for i := range tags {
+		tags[i] = ifc.Tag("t" + strconv.Itoa(i))
+	}
+	plainSrc := ifc.SecurityContext{Secrecy: ifc.MustLabel(tags...)}
+	plainDst := ifc.SecurityContext{Secrecy: ifc.MustLabel(tags...).With("x")}
+	pd := timeOp(func() { ifc.CheckFlow(plainSrc, plainDst) })
+	row("B13", "flow check, 10 tags, no facets", pd, "B2 workload re-measured as the baseline")
+
+	jur := ifc.MustLabel("eu", "uk")
+	pur := ifc.MustLabel("research", "treatment")
+	facetSrc := plainSrc.WithJurisdiction(jur).WithPurpose(pur)
+	facetDst := plainDst.WithJurisdiction(ifc.MustLabel("eu")).WithPurpose(ifc.MustLabel("research"))
+	fd := timeOp(func() { ifc.CheckFlow(facetSrc, facetDst) })
+	row("B13", "flow check, 10 tags + residency/purpose facets", fd,
+		"residency+purpose checked by the same cached flow rule")
+
+	denySrc := facetSrc
+	denyDst := plainDst.WithJurisdiction(ifc.MustLabel("us")).WithPurpose(ifc.MustLabel("research"))
+	dd := timeOp(func() { ifc.CheckFlow(denySrc, denyDst) })
+	row("B13", "flow check, residency violation (cached deny)", dd,
+		"denied like a secrecy violation, same cache")
+
+	// Sweep throughput: one million scheduled deadlines popped in batches
+	// (min of 2 full passes, like the one-shot B10/B12 measurements).
+	const deadlines = 1_000_000
+	base := time.Unix(3_000_000, 0)
+	var sweepBest time.Duration
+	for attempt := 0; attempt < 2; attempt++ {
+		sched := obligation.NewScheduler(time.Second, 16)
+		for i := 0; i < deadlines; i++ {
+			sched.Schedule(obligation.Entry{
+				Tag:    ifc.Tag("telemetry"),
+				DataID: "dev" + strconv.Itoa(i%1024) + "/m/" + strconv.Itoa(i),
+				Due:    base.Add(time.Duration(i%3600) * time.Second),
+			})
+		}
+		if sched.Len() != deadlines {
+			panic("B13: scheduler lost deadlines")
+		}
+		start := time.Now()
+		popped := 0
+		for {
+			batch := sched.Due(base.Add(2*time.Hour), 4096)
+			if len(batch) == 0 {
+				break
+			}
+			popped += len(batch)
+		}
+		elapsed := time.Since(start)
+		if popped != deadlines {
+			panic(fmt.Sprintf("B13: swept %d of %d deadlines", popped, deadlines))
+		}
+		if attempt == 0 || elapsed < sweepBest {
+			sweepBest = elapsed
+		}
+	}
+	row("B13", "sweep pop, 1M scheduled deadlines", sweepBest/time.Duration(deadlines),
+		fmt.Sprintf("%.1fM deadlines/s in 4096-entry batches, 16 shards, min of 2",
+			float64(deadlines)/sweepBest.Seconds()/1e6))
+
+	// Redaction rate: tombstone half of a 20k-record store in one batched
+	// segment-rewrite pass, chain verified afterwards. NoSync isolates the
+	// decode/rewrite/rename cost — fsync pricing is B9's job — so the row
+	// is stable enough to gate.
+	dir, err := os.MkdirTemp("", "lciot-bench-b13-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	s, err := store.OpenAudit(dir, store.Options{SegmentBytes: 4 << 20, NoSync: true})
+	if err != nil {
+		panic(err)
+	}
+	l := audit.NewLog(nil)
+	if err := s.AttachLog(l); err != nil {
+		panic(err)
+	}
+	const records = 20_000
+	rec := audit.Record{
+		Kind: audit.FlowAllowed, Layer: audit.LayerMessaging,
+		Src: "sensor", Dst: "analyser",
+		SrcCtx: ifc.MustContext([]ifc.Tag{"telemetry"}, nil),
+		Agent:  "plant",
+	}
+	for i := 0; i < records; i++ {
+		rec.DataID = "dev/m/" + strconv.Itoa(i)
+		l.AppendAsync(rec)
+	}
+	l.Flush()
+	if err := s.Sync(); err != nil {
+		panic(err)
+	}
+	// Two equal-sized passes (even seqs, then odd) over the same store;
+	// min of the two smooths fsync jitter, as elsewhere in the one-shot
+	// I/O measurements.
+	var redactBest time.Duration
+	half := records / 2
+	for pass := 0; pass < 2; pass++ {
+		seqs := make([]uint64, 0, half)
+		for i := pass; i < records; i += 2 {
+			seqs = append(seqs, uint64(i))
+		}
+		start := time.Now()
+		n, err := s.RedactMany(seqs, "retention expired")
+		elapsed := time.Since(start)
+		if err != nil || n != len(seqs) {
+			panic(fmt.Sprintf("B13: redacted %d (%v)", n, err))
+		}
+		if pass == 0 || elapsed < redactBest {
+			redactBest = elapsed
+		}
+	}
+	if bad, err := s.Verify(); err != nil {
+		panic(fmt.Sprintf("B13: chain broken at %d after redaction: %v", bad, err))
+	}
+	row("B13", fmt.Sprintf("redaction, %d of %d records", half, records),
+		redactBest/time.Duration(half),
+		fmt.Sprintf("%.0fk records/s, one rewrite per segment, chain verified, min of 2, excl. fsync (B9 prices durability)",
+			float64(half)/redactBest.Seconds()/1000))
+	if err := s.Close(); err != nil {
+		panic(err)
+	}
 }
 
 // B12: the cross-bus path (link protocol v2). The codec rows compare the

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	lciotd -config node.json [-data-dir DIR] [-pump comp.endpoint=HZ]
-//	       [-listen HOST:PORT] [-peer HOST:PORT ...]
+//	       [-listen HOST:PORT] [-peer HOST:PORT ...] [-sweep-every DUR]
 //
 // Two daemons federate over real TCP: one listens (-listen or "listen" in
 // the configuration), the other dials it (-peer or "peers"). Peer links
@@ -28,6 +28,14 @@
 // -pump publishes synthetic messages on a configured source endpoint at
 // the given rate — a self-contained ingest driver for soak and
 // crash-recovery testing (the CI kill test uses it).
+//
+// Obligation clauses in the policy file (retention, erasure, residency,
+// purpose) are compiled on load; "jurisdiction" declares where the node
+// resides (sent to federation peers for residency enforcement), and
+// "sweep_every"/-sweep-every runs the retention sweep on a cadence. On
+// boot, outstanding retention deadlines are rescheduled from the durable
+// store, so an interrupted sweep resumes from the WAL. Verify erasure
+// offline with "auditview retention DIR <tag> <age>".
 //
 // A minimal configuration:
 //
@@ -73,15 +81,23 @@ import (
 
 // config is the lciotd configuration file schema.
 type config struct {
-	Domain      string            `json:"domain"`
-	Listen      string            `json:"listen,omitempty"`
-	Peers       []string          `json:"peers,omitempty"`
-	PolicyFile  string            `json:"policy_file,omitempty"`
-	AuditExport string            `json:"audit_export,omitempty"`
-	DataDir     string            `json:"data_dir,omitempty"`
-	Schemas     []schemaConfig    `json:"schemas"`
-	Components  []componentConfig `json:"components"`
-	Channels    []channelConfig   `json:"channels"`
+	Domain      string   `json:"domain"`
+	Listen      string   `json:"listen,omitempty"`
+	Peers       []string `json:"peers,omitempty"`
+	PolicyFile  string   `json:"policy_file,omitempty"`
+	AuditExport string   `json:"audit_export,omitempty"`
+	DataDir     string   `json:"data_dir,omitempty"`
+	// Jurisdiction declares where this node resides; it travels in the
+	// federation hello so peers can enforce residency obligations before
+	// data leaves a region.
+	Jurisdiction []string `json:"jurisdiction,omitempty"`
+	// SweepEvery is the obligation sweep cadence as a Go duration string
+	// ("1s", "30s"); empty disables the background sweep loop (Tick-style
+	// callers may still sweep manually).
+	SweepEvery string            `json:"sweep_every,omitempty"`
+	Schemas    []schemaConfig    `json:"schemas"`
+	Components []componentConfig `json:"components"`
+	Channels   []channelConfig   `json:"channels"`
 }
 
 type schemaConfig struct {
@@ -97,10 +113,15 @@ type fieldConfig struct {
 }
 
 type componentConfig struct {
-	Name          string           `json:"name"`
-	Principal     string           `json:"principal"`
-	Secrecy       []string         `json:"secrecy"`
-	Integrity     []string         `json:"integrity"`
+	Name      string   `json:"name"`
+	Principal string   `json:"principal"`
+	Secrecy   []string `json:"secrecy"`
+	Integrity []string `json:"integrity"`
+	// Jurisdiction and Purposes are the component's declared obligation
+	// facets (where it resides, what it processes for); obligated data
+	// only flows to components declaring facets within the allowed sets.
+	Jurisdiction  []string         `json:"jurisdiction,omitempty"`
+	Purposes      []string         `json:"purposes,omitempty"`
 	Clearance     []string         `json:"clearance,omitempty"`
 	LogDeliveries bool             `json:"log_deliveries,omitempty"`
 	Endpoints     []endpointConfig `json:"endpoints"`
@@ -122,6 +143,7 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable audit store directory (overrides config data_dir)")
 	pump := flag.String("pump", "", "publish synthetic messages: component.endpoint=hz")
 	listen := flag.String("listen", "", "federation listen address (overrides config listen)")
+	sweepEvery := flag.String("sweep-every", "", "obligation sweep cadence, e.g. 1s (overrides config sweep_every)")
 	var peers peerList
 	flag.Var(&peers, "peer", "peer bus address to federate with (repeatable; adds to config peers)")
 	flag.Parse()
@@ -129,7 +151,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*configPath, *dataDir, *pump, *listen, peers); err != nil {
+	if err := run(*configPath, *dataDir, *pump, *listen, *sweepEvery, peers); err != nil {
 		log.Fatal("lciotd: ", err)
 	}
 }
@@ -147,7 +169,7 @@ func (p *peerList) Set(v string) error {
 	return nil
 }
 
-func run(configPath, dataDir, pump, listen string, peers []string) error {
+func run(configPath, dataDir, pump, listen, sweepEvery string, peers []string) error {
 	raw, err := os.ReadFile(configPath)
 	if err != nil {
 		return err
@@ -177,11 +199,19 @@ func run(configPath, dataDir, pump, listen string, peers []string) error {
 	if listen != "" {
 		cfg.Listen = listen
 	}
+	if sweepEvery != "" {
+		cfg.SweepEvery = sweepEvery
+	}
 	cfg.Peers = append(cfg.Peers, peers...)
 
+	jurisdiction := make([]lciot.Tag, 0, len(cfg.Jurisdiction))
+	for _, j := range cfg.Jurisdiction {
+		jurisdiction = append(jurisdiction, lciot.Tag(j))
+	}
 	domain, err := lciot.NewDomain(cfg.Domain, lciot.Options{
-		OnAlert: func(m string) { log.Printf("alert: %s", m) },
-		DataDir: cfg.DataDir,
+		OnAlert:      func(m string) { log.Printf("alert: %s", m) },
+		DataDir:      cfg.DataDir,
+		Jurisdiction: jurisdiction,
 	})
 	if err != nil {
 		return err
@@ -199,9 +229,11 @@ func run(configPath, dataDir, pump, listen string, peers []string) error {
 	if err != nil {
 		return err
 	}
-	if err := registerComponents(domain, cfg.Components, schemas); err != nil {
-		return err
-	}
+	// Policy before components: obligation clauses must be compiled when
+	// component contexts are built, so obligated tags carry their
+	// residency/purpose facets from the first registration. Loading also
+	// reschedules retention deadlines from the recovered store, so an
+	// interrupted sweep resumes from the WAL.
 	if cfg.PolicyFile != "" {
 		src, err := os.ReadFile(cfg.PolicyFile)
 		if err != nil {
@@ -211,6 +243,13 @@ func run(configPath, dataDir, pump, listen string, peers []string) error {
 			return err
 		}
 		log.Printf("policy loaded from %s", cfg.PolicyFile)
+		if tab := domain.ObligationTable(); tab != nil {
+			log.Printf("obligations: %d tags under management, %d retention deadlines resumed",
+				tab.Len(), domain.ObligationBacklog())
+		}
+	}
+	if err := registerComponents(domain, cfg.Components, schemas); err != nil {
+		return err
 	}
 	// Local channels first; channels whose sink names a peer bus
 	// ("bus:comp.ep") wait until the links are up.
@@ -273,6 +312,29 @@ func run(configPath, dataDir, pump, listen string, peers []string) error {
 	defer close(stopWatch)
 	if len(cfg.Peers) > 0 || cfg.Listen != "" {
 		go watchLinks(domain, stopWatch)
+	}
+
+	if cfg.SweepEvery != "" {
+		every, err := time.ParseDuration(cfg.SweepEvery)
+		if err != nil {
+			return fmt.Errorf("sweep_every: %w", err)
+		}
+		log.Printf("obligation sweep loop: every %s", every)
+		go func() {
+			t := time.NewTicker(every)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopWatch:
+					return
+				case <-t.C:
+					if n := domain.SweepObligations(); n > 0 {
+						log.Printf("obligation sweep: executed %d (backlog %d)",
+							n, domain.ObligationBacklog())
+					}
+				}
+			}
+		}()
 	}
 
 	stopPump := make(chan struct{})
@@ -348,6 +410,24 @@ func registerComponents(domain *lciot.Domain, cfgs []componentConfig, schemas ma
 		if err != nil {
 			return fmt.Errorf("component %q: %w", cc.Name, err)
 		}
+		if len(cc.Jurisdiction) > 0 {
+			jur, err := lciot.NewLabel(toTags(cc.Jurisdiction)...)
+			if err != nil {
+				return fmt.Errorf("component %q jurisdiction: %w", cc.Name, err)
+			}
+			ctx = ctx.WithJurisdiction(jur)
+		}
+		if len(cc.Purposes) > 0 {
+			pur, err := lciot.NewLabel(toTags(cc.Purposes)...)
+			if err != nil {
+				return fmt.Errorf("component %q purposes: %w", cc.Name, err)
+			}
+			ctx = ctx.WithPurpose(pur)
+		}
+		// Obligated tags attach their compiled residency/purpose facets
+		// here, at the labelling point — policy is loaded before
+		// registration, so the hot path enforces them from the first flow.
+		ctx = domain.ApplyObligations(ctx)
 		specs := make([]lciot.EndpointSpec, 0, len(cc.Endpoints))
 		for _, ec := range cc.Endpoints {
 			schema, ok := schemas[ec.Schema]

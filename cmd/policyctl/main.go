@@ -2,20 +2,33 @@
 //
 // Usage:
 //
-//	policyctl validate <file.lcp>   parse and report rule statistics
-//	policyctl show <file.lcp>       print the normalised rules
-//	policyctl lint <file.lcp>       warn about statically detectable
-//	                                conflicts (two rules on the same
-//	                                trigger claiming the same resource)
+//	policyctl [flags] validate <file.lcp>   parse and report rule statistics
+//	policyctl [flags] show <file.lcp>       print the normalised rules and obligations
+//	policyctl [flags] lint <file.lcp>       warn about statically detectable
+//	                                        conflicts (two rules on the same
+//	                                        trigger claiming the same resource)
+//	                                        and ill-formed obligation clauses
+//	                                        (unknown jurisdiction, zero
+//	                                        retention, unregistered purpose)
+//
+// Flags:
+//
+//	-explain          print the compiled obligation set per tag
+//	-purposes a,b,c   extra purpose tags to treat as registered (stands in
+//	                  for the global names registry when linting offline)
 //
 // Exit status is non-zero on parse errors or (for lint) findings.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
+	"lciot/internal/ifc"
+	"lciot/internal/obligation"
 	"lciot/internal/policy"
 )
 
@@ -23,12 +36,24 @@ func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: policyctl [-explain] [-purposes a,b,c] validate|show|lint <file.lcp>")
+}
+
 func run(args []string) int {
-	if len(args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: policyctl validate|show|lint <file.lcp>")
+	fs := flag.NewFlagSet("policyctl", flag.ContinueOnError)
+	explain := fs.Bool("explain", false, "print the compiled obligation set per tag")
+	purposes := fs.String("purposes", "", "comma-separated purpose tags to treat as registered")
+	fs.Usage = usage
+	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	cmd, path := args[0], args[1]
+	rest := fs.Args()
+	if len(rest) != 2 {
+		usage()
+		return 2
+	}
+	cmd, path := rest[0], rest[1]
 	src, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "policyctl:", err)
@@ -40,29 +65,39 @@ func run(args []string) int {
 		return 1
 	}
 
+	status := 0
 	switch cmd {
 	case "validate":
 		validate(set)
-		return 0
 	case "show":
 		for _, r := range set.Rules {
 			fmt.Println(r)
 		}
-		return 0
+		for _, o := range set.Obligations {
+			fmt.Println(o)
+		}
 	case "lint":
 		findings := lint(set)
+		findings = append(findings, lintObligations(set, *purposes)...)
 		for _, f := range findings {
 			fmt.Println("warning:", f)
 		}
 		if len(findings) > 0 {
-			return 1
+			status = 1
+		} else {
+			fmt.Println("no conflicts found")
 		}
-		fmt.Println("no conflicts found")
-		return 0
 	default:
 		fmt.Fprintf(os.Stderr, "policyctl: unknown command %q\n", cmd)
 		return 2
 	}
+	if *explain {
+		if err := explainObligations(set); err != nil {
+			fmt.Fprintln(os.Stderr, "policyctl:", err)
+			return 1
+		}
+	}
+	return status
 }
 
 // validate prints summary statistics.
@@ -77,7 +112,8 @@ func validate(set *policy.PolicySet) {
 			guarded++
 		}
 	}
-	fmt.Printf("rules: %d (guarded: %d), actions: %d\n", len(set.Rules), guarded, actions)
+	fmt.Printf("rules: %d (guarded: %d), actions: %d, obligations: %d\n",
+		len(set.Rules), guarded, actions, len(set.Obligations))
 	kinds := make([]string, 0, len(triggers))
 	for k := range triggers {
 		kinds = append(kinds, k)
@@ -86,6 +122,64 @@ func validate(set *policy.PolicySet) {
 	for _, k := range kinds {
 		fmt.Printf("  on %s: %d\n", k, triggers[k])
 	}
+}
+
+// explainObligations compiles the obligation clauses and prints the
+// per-tag obligation set — what the middleware will actually enforce.
+func explainObligations(set *policy.PolicySet) error {
+	if len(set.Obligations) == 0 {
+		fmt.Println("obligations: none")
+		return nil
+	}
+	tab, err := obligation.Compile(set.Obligations)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("obligations: %d tags under management\n", tab.Len())
+	for _, tag := range tab.Tags() {
+		s, _ := tab.Lookup(tag)
+		fmt.Println(" ", s)
+	}
+	return nil
+}
+
+// lintObligations runs the obligation linter. The purpose-tag "registry"
+// is the union of tags referenced anywhere in the policy file plus the
+// -purposes flag — an offline stand-in for the global names registry.
+func lintObligations(set *policy.PolicySet, extra string) []string {
+	known := map[ifc.Tag]bool{}
+	for _, p := range strings.Split(extra, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			known[ifc.Tag(p)] = true
+		}
+	}
+	for _, r := range set.Rules {
+		for _, a := range r.Do {
+			switch x := a.(type) {
+			case policy.SetContextAction:
+				for _, t := range x.Ctx.Secrecy.Tags() {
+					known[t] = true
+				}
+				for _, t := range x.Ctx.Integrity.Tags() {
+					known[t] = true
+				}
+			case policy.GrantAction:
+				for _, l := range []ifc.Label{
+					x.Privs.AddSecrecy, x.Privs.RemoveSecrecy,
+					x.Privs.AddIntegrity, x.Privs.RemoveIntegrity,
+				} {
+					for _, t := range l.Tags() {
+						known[t] = true
+					}
+				}
+			}
+		}
+	}
+	opts := obligation.LintOptions{}
+	if len(known) > 0 {
+		opts.KnownPurposes = known
+	}
+	return obligation.Lint(set, opts)
 }
 
 // lint reports pairs of rules that share a trigger and claim the same

@@ -89,3 +89,45 @@ rule "b" { on event "e" do set y = 1 }
 		t.Fatalf("spurious findings = %v", findings)
 	}
 }
+
+const obligationPolicy = `
+rule "r" { on timer 5m do alert "tick" }
+obligation "gdpr" on medical {
+  retain 720h;
+  erase on "subject-erasure";
+  residency eu uk;
+  purpose research;
+}
+`
+
+func TestRunLintObligations(t *testing.T) {
+	// Clean declarations (purpose registered via -purposes) lint clean.
+	path := writeTemp(t, obligationPolicy)
+	if code := run([]string{"-purposes", "research", "lint", path}); code != 0 {
+		t.Fatalf("clean obligations lint exit = %d", code)
+	}
+	// Unknown jurisdiction, zero retention and unregistered purpose are
+	// each flagged.
+	bad := writeTemp(t, `
+obligation "a" on x { retain 0s; residency atlantis; purpose unheard-of; }
+`)
+	if code := run([]string{"-purposes", "research", "lint", bad}); code != 1 {
+		t.Fatalf("bad obligations lint exit = %d, want 1", code)
+	}
+	findings := lintObligations(policy.MustParse(`
+obligation "a" on x { retain 0s; residency atlantis; purpose unheard-of; }
+`), "research")
+	joined := strings.Join(findings, "\n")
+	for _, want := range []string{"retain 0s", "atlantis", "unheard-of"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("lint findings missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	path := writeTemp(t, obligationPolicy)
+	if code := run([]string{"-explain", "validate", path}); code != 0 {
+		t.Fatalf("-explain validate exit = %d", code)
+	}
+}

@@ -190,7 +190,9 @@ func run() error {
 	graph := lciot.BuildProvenance(domain.Log().Select(nil))
 	nodes, edges := graph.Len()
 	fmt.Printf("provenance graph: %d nodes, %d edges\n", nodes, edges)
-	return nil
+
+	// --- §3/§7: the obligations engine — GDPR-style lifecycle duties ---
+	return gdprScenario(domain)
 }
 
 // registerAnalyser creates a patient data analyser that prints deliveries.

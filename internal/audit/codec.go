@@ -17,19 +17,27 @@ import (
 //
 // Layout (all integers big-endian):
 //
-//	u8  version (recordWireV1)
-//	u64 seq | s64 unixSec | u32 nsec | u8 kind | u8 layer
-//	10 × (u32 len | bytes): domain, src, dst, srcS, srcI, dstS, dstI,
+//	u8  version (recordWireV2)
+//	u64 seq | s64 unixSec | u32 nsec | u8 kind | u8 layer | u8 flags
+//	14 × (u32 len | bytes): domain, src, dst,
+//	                        srcS, srcI, srcJ, srcP, dstS, dstI, dstJ, dstP,
 //	                        dataID, agent, note
 //	32B prevHash | 32B hash
+//
+// v2 extends v1 with the obligation facet labels of both contexts and a
+// flags byte whose low bit marks a chain-preserving tombstone (a record
+// redacted in place by an erasure obligation).
 //
 // Security-context labels travel as their canonical String forms (labels
 // are interned, so String is a pointer read) and are re-interned by
 // ifc.ParseLabel on decode; the hashes are carried verbatim, so a decoded
 // record verifies against the same chain it was encoded from.
 
-// recordWireV1 is the current binary record version byte.
-const recordWireV1 = 1
+// recordWireV2 is the current binary record version byte.
+const recordWireV2 = 2
+
+// recordFlagRedacted marks a tombstone in the record flags byte.
+const recordFlagRedacted = 1 << 0
 
 // ErrRecordCodec is the sentinel for malformed binary records.
 var ErrRecordCodec = errors.New("audit: malformed binary record")
@@ -42,15 +50,21 @@ func HashRecord(r *Record) [32]byte { return computeHash(r) }
 // AppendRecordBinary appends the binary form of r to dst and returns the
 // extended slice.
 func AppendRecordBinary(dst []byte, r *Record) []byte {
-	dst = append(dst, recordWireV1)
+	dst = append(dst, recordWireV2)
 	dst = binary.BigEndian.AppendUint64(dst, r.Seq)
 	dst = binary.BigEndian.AppendUint64(dst, uint64(r.Time.Unix()))
 	dst = binary.BigEndian.AppendUint32(dst, uint32(r.Time.Nanosecond()))
-	dst = append(dst, byte(r.Kind), byte(r.Layer))
+	var flags byte
+	if r.Redacted {
+		flags |= recordFlagRedacted
+	}
+	dst = append(dst, byte(r.Kind), byte(r.Layer), flags)
 	for _, f := range [...]string{
 		r.Domain, string(r.Src), string(r.Dst),
 		r.SrcCtx.Secrecy.String(), r.SrcCtx.Integrity.String(),
+		r.SrcCtx.Jurisdiction.String(), r.SrcCtx.Purpose.String(),
 		r.DstCtx.Secrecy.String(), r.DstCtx.Integrity.String(),
+		r.DstCtx.Jurisdiction.String(), r.DstCtx.Purpose.String(),
 		r.DataID, string(r.Agent), r.Note,
 	} {
 		dst = binary.BigEndian.AppendUint32(dst, uint32(len(f)))
@@ -65,8 +79,15 @@ func AppendRecordBinary(dst []byte, r *Record) []byte {
 // AppendRecordBinary, consuming the whole input.
 func DecodeRecordBinary(data []byte) (Record, error) {
 	var r Record
-	if len(data) < 1 || data[0] != recordWireV1 {
-		return r, fmt.Errorf("%w: bad version byte", ErrRecordCodec)
+	if len(data) < 1 {
+		return r, fmt.Errorf("%w: empty record", ErrRecordCodec)
+	}
+	if data[0] != recordWireV2 {
+		// The hash preimage changes with the record layout (see record.go),
+		// so a cross-version decode could never chain-verify anyway: stores
+		// written by another version must be read with that version.
+		return r, fmt.Errorf("%w: record version %d, this build reads v%d (verify old stores with the lciot version that wrote them)",
+			ErrRecordCodec, data[0], recordWireV2)
 	}
 	off := 1
 	need := func(n int) error {
@@ -75,7 +96,7 @@ func DecodeRecordBinary(data []byte) (Record, error) {
 		}
 		return nil
 	}
-	if err := need(8 + 8 + 4 + 2); err != nil {
+	if err := need(8 + 8 + 4 + 3); err != nil {
 		return r, err
 	}
 	r.Seq = binary.BigEndian.Uint64(data[off:])
@@ -87,9 +108,10 @@ func DecodeRecordBinary(data []byte) (Record, error) {
 	r.Time = time.Unix(sec, int64(nsec)).UTC()
 	r.Kind = EventKind(data[off])
 	r.Layer = Layer(data[off+1])
-	off += 2
+	r.Redacted = data[off+2]&recordFlagRedacted != 0
+	off += 3
 
-	var fields [10]string
+	var fields [14]string
 	for i := range fields {
 		if err := need(4); err != nil {
 			return r, err
@@ -105,22 +127,19 @@ func DecodeRecordBinary(data []byte) (Record, error) {
 	r.Domain = fields[0]
 	r.Src = ifc.EntityID(fields[1])
 	r.Dst = ifc.EntityID(fields[2])
-	var err error
-	if r.SrcCtx.Secrecy, err = ifc.ParseLabel(fields[3]); err != nil {
-		return r, fmt.Errorf("%w: src secrecy: %v", ErrRecordCodec, err)
+	for i, dst := range [...]*ifc.Label{
+		&r.SrcCtx.Secrecy, &r.SrcCtx.Integrity, &r.SrcCtx.Jurisdiction, &r.SrcCtx.Purpose,
+		&r.DstCtx.Secrecy, &r.DstCtx.Integrity, &r.DstCtx.Jurisdiction, &r.DstCtx.Purpose,
+	} {
+		l, err := ifc.ParseLabel(fields[3+i])
+		if err != nil {
+			return r, fmt.Errorf("%w: context label %d: %v", ErrRecordCodec, i, err)
+		}
+		*dst = l
 	}
-	if r.SrcCtx.Integrity, err = ifc.ParseLabel(fields[4]); err != nil {
-		return r, fmt.Errorf("%w: src integrity: %v", ErrRecordCodec, err)
-	}
-	if r.DstCtx.Secrecy, err = ifc.ParseLabel(fields[5]); err != nil {
-		return r, fmt.Errorf("%w: dst secrecy: %v", ErrRecordCodec, err)
-	}
-	if r.DstCtx.Integrity, err = ifc.ParseLabel(fields[6]); err != nil {
-		return r, fmt.Errorf("%w: dst integrity: %v", ErrRecordCodec, err)
-	}
-	r.DataID = fields[7]
-	r.Agent = ifc.PrincipalID(fields[8])
-	r.Note = fields[9]
+	r.DataID = fields[11]
+	r.Agent = ifc.PrincipalID(fields[12])
+	r.Note = fields[13]
 
 	if err := need(64); err != nil {
 		return r, err

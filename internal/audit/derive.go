@@ -144,14 +144,18 @@ func (g *Graph) MarshalJSON() ([]byte, error) {
 }
 
 // ComplianceReport summarises a log for a regulator: totals by kind, denial
-// details, and any break-glass activations.
+// details, break-glass activations, and the erasure evidence (obligation
+// actions and tombstones).
 type ComplianceReport struct {
 	Total       int            `json:"total"`
 	ByKind      map[string]int `json:"by_kind"`
 	Denials     []Record       `json:"denials,omitempty"`
 	BreakGlass  []Record       `json:"break_glass,omitempty"`
-	ChainIntact bool           `json:"chain_intact"`
-	FirstBadSeq int64          `json:"first_bad_seq"` // -1 when intact
+	Obligations []Record       `json:"obligations,omitempty"`
+	// Redacted counts chain-preserving tombstones in the log.
+	Redacted    int   `json:"redacted"`
+	ChainIntact bool  `json:"chain_intact"`
+	FirstBadSeq int64 `json:"first_bad_seq"` // -1 when intact
 }
 
 // Report builds a compliance report over the log's retained records.
@@ -160,11 +164,16 @@ func Report(l *Log) ComplianceReport {
 	for _, r := range l.Select(nil) {
 		rep.Total++
 		rep.ByKind[r.Kind.String()]++
+		if r.Redacted {
+			rep.Redacted++
+		}
 		switch r.Kind {
 		case FlowDenied:
 			rep.Denials = append(rep.Denials, r)
 		case BreakGlass:
 			rep.BreakGlass = append(rep.BreakGlass, r)
+		case ObligationScheduled, ObligationExecuted, ObligationRefused, Redaction:
+			rep.Obligations = append(rep.Obligations, r)
 		}
 	}
 	bad, err := l.Verify()

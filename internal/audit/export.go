@@ -3,6 +3,9 @@ package audit
 import (
 	"encoding/json"
 	"fmt"
+	"time"
+
+	"lciot/internal/ifc"
 )
 
 // ExportJSON serialises the log's retained records for offload or
@@ -27,4 +30,54 @@ func ImportRecords(data []byte) ([]Record, error) {
 		return nil, fmt.Errorf("audit: parse records: %w", err)
 	}
 	return recs, nil
+}
+
+// RetentionCompliance is the regulator-facing proof obligation for one tag:
+// "all data under tag T older than D is gone or tombstoned". It is built by
+// RetentionReport over a full record set (in-memory log, durable store, or
+// an export) and lists every violation it finds, so a clean report is
+// positive evidence and a dirty one is an actionable worklist.
+type RetentionCompliance struct {
+	Tag    string    `json:"tag"`
+	Cutoff time.Time `json:"cutoff"`
+	// Checked counts records older than the cutoff that carry a DataID.
+	Checked int `json:"checked"`
+	// UnderTag counts checked records whose either context carried the tag.
+	UnderTag int `json:"under_tag"`
+	// Tombstoned counts redacted records older than the cutoff.
+	Tombstoned int `json:"tombstoned"`
+	// Violations are live (non-tombstoned) data records under the tag older
+	// than the cutoff — each one is a retention breach.
+	Violations []Record `json:"violations,omitempty"`
+	Compliant  bool     `json:"compliant"`
+}
+
+// RetentionReport proves (or refutes) that every datum that flowed under
+// the given tag before the cutoff has been erased: a data record (one with
+// a DataID) older than the cutoff whose source or destination context
+// carried the tag must be tombstoned. Records redacted in place no longer
+// reveal their tags — that is what erasure means — and count as
+// tombstoned.
+func RetentionReport(recs []Record, tag ifc.Tag, cutoff time.Time) RetentionCompliance {
+	rep := RetentionCompliance{Tag: string(tag), Cutoff: cutoff}
+	for _, r := range recs {
+		if !r.Time.Before(cutoff) {
+			continue
+		}
+		if r.Redacted {
+			rep.Checked++
+			rep.Tombstoned++
+			continue
+		}
+		if r.DataID == "" {
+			continue
+		}
+		rep.Checked++
+		if r.SrcCtx.Secrecy.Has(tag) || r.DstCtx.Secrecy.Has(tag) {
+			rep.UnderTag++
+			rep.Violations = append(rep.Violations, r)
+		}
+	}
+	rep.Compliant = len(rep.Violations) == 0
+	return rep
 }

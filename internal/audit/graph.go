@@ -160,6 +160,50 @@ func (g *Graph) addEdgeLocked(e Edge) error {
 	return nil
 }
 
+// RemoveNodes deletes the given nodes and every edge touching them — the
+// provenance half of erasure: an erased datum must not remain queryable
+// from live state (tombstoned records no longer back it, and the graph
+// must agree). Removal advances the epoch, retiring memoized reachability
+// sets. Returns the number of nodes removed.
+func (g *Graph) RemoveNodes(ids map[string]bool) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	removed := 0
+	dropTouching := func(edges []Edge) []Edge {
+		kept := edges[:0]
+		for _, e := range edges {
+			if !ids[e.Src] && !ids[e.Dst] {
+				kept = append(kept, e)
+			}
+		}
+		clear(edges[len(kept):])
+		return kept
+	}
+	for id := range ids {
+		if _, ok := g.nodes[id]; !ok {
+			continue
+		}
+		delete(g.nodes, id)
+		removed++
+		for _, e := range g.out[id] {
+			if !ids[e.Dst] {
+				g.in[e.Dst] = dropTouching(g.in[e.Dst])
+			}
+		}
+		for _, e := range g.in[id] {
+			if !ids[e.Src] {
+				g.out[e.Src] = dropTouching(g.out[e.Src])
+			}
+		}
+		delete(g.out, id)
+		delete(g.in, id)
+	}
+	if removed > 0 {
+		g.epoch++
+	}
+	return removed
+}
+
 // Node returns the node with the given ID.
 func (g *Graph) Node(id string) (Node, bool) {
 	g.mu.RLock()

@@ -294,7 +294,9 @@ func (l *Log) Select(filter func(Record) bool) []Record {
 
 // Verify walks the retained chain, checking every record's hash and
 // linkage. It returns the sequence number of the first bad record, or -1
-// with a nil error when the chain is intact.
+// with a nil error when the chain is intact. Tombstones (Redacted records)
+// are checked for linkage only: their payload is gone by design, but they
+// still carry the original hash, so the chain continues through them.
 func (l *Log) Verify() (int64, error) {
 	l.Flush()
 	l.mu.Lock()
@@ -308,12 +310,67 @@ func (l *Log) Verify() (int64, error) {
 		if r.PrevHash != prev {
 			return int64(r.Seq), fmt.Errorf("%w: record %d links to wrong predecessor", ErrChainBroken, r.Seq)
 		}
-		if computeHash(&r) != r.Hash {
+		if r.Redacted {
+			// A tombstone must actually be one: payload fields zeroed. The
+			// flag exempts a record from the content-hash check, so any
+			// surviving payload under it is a forgery, not an erasure.
+			if !ValidTombstone(&r) {
+				return int64(r.Seq), fmt.Errorf("%w: record %d marked redacted but carries payload", ErrChainBroken, r.Seq)
+			}
+		} else if computeHash(&r) != r.Hash {
 			return int64(r.Seq), fmt.Errorf("%w: record %d content hash mismatch", ErrChainBroken, r.Seq)
 		}
 		prev = r.Hash
 	}
 	return -1, nil
+}
+
+// Redact replaces the retained record with the given sequence number by
+// its chain-preserving tombstone (see Record.Redact): the payload fields
+// are zeroed while linkage survives, so Verify still passes end to end.
+// Redacting an already-redacted record is a no-op. This is the in-memory
+// half of erasure; the disk tier redacts through store.AuditStore.
+func (l *Log) Redact(seq uint64, note string) error {
+	l.Flush()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq < l.firstSeq {
+		return fmt.Errorf("%w: seq %d < first retained %d", ErrPruned, seq, l.firstSeq)
+	}
+	idx := seq - l.firstSeq
+	if idx >= uint64(len(l.records)) {
+		return fmt.Errorf("audit: seq %d beyond head %d", seq, l.nextSeq)
+	}
+	if !l.records[idx].Redacted {
+		l.records[idx] = l.records[idx].Redact(note)
+	}
+	return nil
+}
+
+// RedactMany tombstones every listed retained record with one flush and
+// one lock acquisition (a batch erasure would otherwise pay a hasher
+// round trip per record). Sequence numbers outside the retained window
+// and already-redacted records are skipped. Returns the number of records
+// newly tombstoned.
+func (l *Log) RedactMany(seqs []uint64, note string) int {
+	l.Flush()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, seq := range seqs {
+		if seq < l.firstSeq {
+			continue
+		}
+		idx := seq - l.firstSeq
+		if idx >= uint64(len(l.records)) {
+			continue
+		}
+		if !l.records[idx].Redacted {
+			l.records[idx] = l.records[idx].Redact(note)
+			n++
+		}
+	}
+	return n
 }
 
 // Prune discards records with Seq < upto, returning the discarded segment
@@ -339,6 +396,7 @@ func (l *Log) Prune(upto uint64) []Record {
 
 // VerifySegment checks an offloaded segment against itself and, when the
 // follower's first retained record is supplied, against the retained chain.
+// Tombstones verify by linkage only, as in Log.Verify.
 func VerifySegment(segment []Record, next *Record) error {
 	for i := 1; i < len(segment); i++ {
 		if segment[i].PrevHash != segment[i-1].Hash {
@@ -347,6 +405,12 @@ func VerifySegment(segment []Record, next *Record) error {
 	}
 	for i := range segment {
 		r := segment[i]
+		if r.Redacted {
+			if !ValidTombstone(&r) {
+				return fmt.Errorf("%w: segment record %d marked redacted but carries payload", ErrChainBroken, r.Seq)
+			}
+			continue
+		}
 		if computeHash(&r) != r.Hash {
 			return fmt.Errorf("%w: segment record %d hash mismatch", ErrChainBroken, r.Seq)
 		}

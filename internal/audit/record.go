@@ -31,6 +31,18 @@ const (
 	Reconfiguration
 	GateCrossing
 	BreakGlass
+	// ObligationScheduled records a data-management obligation (retention
+	// deadline, erasure trigger) being registered for a datum.
+	ObligationScheduled
+	// ObligationExecuted records an obligation carried out (retention
+	// expiry swept, erasure propagated).
+	ObligationExecuted
+	// ObligationRefused records an obligation the middleware could not
+	// carry out (and why) — refusals are evidence too.
+	ObligationRefused
+	// Redaction records a tombstone being written over an earlier record:
+	// the evidence that erasure reached the audit trail itself.
+	Redaction
 )
 
 // String implements fmt.Stringer.
@@ -50,6 +62,14 @@ func (k EventKind) String() string {
 		return "gate-crossing"
 	case BreakGlass:
 		return "break-glass"
+	case ObligationScheduled:
+		return "obligation-scheduled"
+	case ObligationExecuted:
+		return "obligation-executed"
+	case ObligationRefused:
+		return "obligation-refused"
+	case Redaction:
+		return "redaction"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -107,10 +127,40 @@ type Record struct {
 	// Note carries a human-readable explanation (e.g. the denial reason).
 	Note string `json:"note,omitempty"`
 
+	// Redacted marks a chain-preserving tombstone: the record's payload
+	// fields were zeroed by an erasure obligation while Seq, PrevHash and
+	// the *original* Hash survive, so the chain still links through it.
+	// A tombstone's content hash is unverifiable by construction — that is
+	// the point — so verifiers check linkage only. Redacted is not part of
+	// the hash preimage (the original hash predates the redaction).
+	Redacted bool `json:"redacted,omitempty"`
+
 	// PrevHash chains this record to its predecessor; Hash covers the whole
 	// record including PrevHash, making any retrospective edit detectable.
 	PrevHash [32]byte `json:"prev_hash"`
 	Hash     [32]byte `json:"hash"`
+}
+
+// Redact returns the chain-preserving tombstone of r: Seq, Time, Kind,
+// Layer, Domain, PrevHash and the original Hash survive so the chain still
+// verifies end to end, while every payload field — entities, contexts,
+// data id, agent, note — is zeroed. note records why ("retention expired",
+// "erasure request"), which is obligation evidence, not payload.
+func (r Record) Redact(note string) Record {
+	return Record{
+		Seq: r.Seq, Time: r.Time, Kind: r.Kind, Layer: r.Layer, Domain: r.Domain,
+		Note: note, Redacted: true, PrevHash: r.PrevHash, Hash: r.Hash,
+	}
+}
+
+// ValidTombstone reports whether a redacted record is structurally a
+// tombstone: every payload field zeroed, exactly as Redact produces.
+// Verifiers enforce this — a tombstone's content hash is unverifiable by
+// design, so the Redacted flag may only ever *destroy* content; a record
+// carrying payload under the flag is a forgery attempt, not an erasure.
+func ValidTombstone(r *Record) bool {
+	return r.Redacted && r.Src == "" && r.Dst == "" && r.DataID == "" && r.Agent == "" &&
+		r.SrcCtx.IsPublic() && r.DstCtx.IsPublic()
 }
 
 // hashScratch bundles a reusable SHA-256 state with a reusable encoding
@@ -144,7 +194,9 @@ func computeHash(r *Record) [32]byte {
 	for _, f := range [...]string{
 		r.Domain, string(r.Src), string(r.Dst),
 		r.SrcCtx.Secrecy.String(), r.SrcCtx.Integrity.String(),
+		r.SrcCtx.Jurisdiction.String(), r.SrcCtx.Purpose.String(),
 		r.DstCtx.Secrecy.String(), r.DstCtx.Integrity.String(),
+		r.DstCtx.Jurisdiction.String(), r.DstCtx.Purpose.String(),
 		r.DataID, string(r.Agent), r.Note,
 	} {
 		b = binary.BigEndian.AppendUint32(b, uint32(len(f)))

@@ -144,6 +144,46 @@ func (e *Engine) Advance(now time.Time) {
 	}
 }
 
+// A Purger is a Pattern that can drop buffered events matching a
+// predicate. The built-in windowed patterns implement it, so an erasure
+// obligation can purge an erased subject's events from live detection
+// windows — otherwise a pattern could still fire on (and thereby leak)
+// data that is legally gone.
+type Purger interface {
+	// PurgeEvents drops buffered events the predicate accepts and returns
+	// how many were dropped.
+	PurgeEvents(match func(Event) bool) int
+}
+
+// Purge drops matching events from every registered pattern's window and
+// returns the total dropped. Patterns that buffer no events (or do not
+// implement Purger) are unaffected.
+func (e *Engine) Purge(match func(Event) bool) int {
+	n := 0
+	for _, p := range e.patterns {
+		if pr, ok := p.(Purger); ok {
+			n += pr.PurgeEvents(match)
+		}
+	}
+	return n
+}
+
+// purgeEvents filters buf in place, dropping events the predicate accepts.
+// The freed tail is zeroed so erased event values do not linger in the
+// backing array (erasure means gone from memory too, not just unreachable
+// through the slice header).
+func purgeEvents(buf []Event, match func(Event) bool) ([]Event, int) {
+	kept := buf[:0]
+	for _, ev := range buf {
+		if !match(ev) {
+			kept = append(kept, ev)
+		}
+	}
+	n := len(buf) - len(kept)
+	clear(buf[len(kept):])
+	return kept, n
+}
+
 // typeMatch reports whether an event type is within a declaration; an empty
 // declaration admits everything.
 func typeMatch(types []string, t string) bool {
@@ -209,6 +249,13 @@ func (t *Threshold) OnEvent(e Event) (Detection, bool) {
 // OnTick implements Pattern; thresholds are purely event-driven.
 func (t *Threshold) OnTick(time.Time) (Detection, bool) { return Detection{}, false }
 
+// PurgeEvents implements Purger.
+func (t *Threshold) PurgeEvents(match func(Event) bool) int {
+	var n int
+	t.buf, n = purgeEvents(t.buf, match)
+	return n
+}
+
 // Sequence fires when events matching Steps occur in order within Window of
 // the first step. Out-of-order events do not reset progress; expiry does.
 type Sequence struct {
@@ -257,6 +304,19 @@ func (s *Sequence) OnEvent(e Event) (Detection, bool) {
 
 // OnTick implements Pattern.
 func (s *Sequence) OnTick(time.Time) (Detection, bool) { return Detection{}, false }
+
+// PurgeEvents implements Purger. Dropping a matched step resets the whole
+// partial match: the remaining steps alone no longer witness the sequence.
+func (s *Sequence) PurgeEvents(match func(Event) bool) int {
+	for _, ev := range s.matched {
+		if match(ev) {
+			n := len(s.matched)
+			s.matched = s.matched[:0]
+			return n
+		}
+	}
+	return 0
+}
 
 // Absence fires when no matching event has been seen for Timeout — the
 // heartbeat-loss detector ("how to deal with components no longer
@@ -407,3 +467,10 @@ func (a *Aggregate) OnEvent(e Event) (Detection, bool) {
 
 // OnTick implements Pattern.
 func (a *Aggregate) OnTick(time.Time) (Detection, bool) { return Detection{}, false }
+
+// PurgeEvents implements Purger.
+func (a *Aggregate) PurgeEvents(match func(Event) bool) int {
+	var n int
+	a.buf, n = purgeEvents(a.buf, match)
+	return n
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lciot/internal/ac"
@@ -26,8 +27,10 @@ import (
 	"lciot/internal/cep"
 	"lciot/internal/ctxmodel"
 	"lciot/internal/device"
+	"lciot/internal/gateway"
 	"lciot/internal/ifc"
 	"lciot/internal/names"
+	"lciot/internal/obligation"
 	"lciot/internal/policy"
 	"lciot/internal/sbus"
 	"lciot/internal/store"
@@ -63,6 +66,11 @@ type Options struct {
 	// primed with the recovered head, and every subsequent record is
 	// persisted with batched group commit. Call Close on shutdown.
 	DataDir string
+	// Jurisdiction declares the jurisdictions this domain's machine
+	// resides in. The declaration travels in the federation hello, where
+	// peer buses gate egress of residency-constrained data against it
+	// (and this bus gates its own egress against peers' declarations).
+	Jurisdiction []ifc.Tag
 }
 
 // A Domain is one administrative domain of the IoT: a hospital, a home, a
@@ -83,10 +91,31 @@ type Domain struct {
 	// auditStore is the disk tier of the audit log (nil without DataDir).
 	auditStore *store.AuditStore
 
+	// Obligation engine state (see obligations.go): the compiled per-tag
+	// obligation table (swapped atomically on policy load), the sharded
+	// retention-deadline scheduler, and the incrementally maintained
+	// provenance graph that guides erasure.
+	oblTab   atomic.Pointer[obligation.Table]
+	oblSched *obligation.Scheduler
+	prov     *audit.Graph
+
+	// cepMu serialises every access to the CEP engine (Feed, Advance,
+	// Register, Purge): patterns are stateful and unsynchronised, and the
+	// obligation sweep may purge windows from a background goroutine
+	// while sensors feed events. The erase-trigger path (detection →
+	// erasure → purge) already runs inside the lock, so eraseMany only
+	// takes it when entered from outside the CEP handler.
+	cepMu sync.Mutex
+
 	mu        sync.Mutex
 	alerts    []string
 	conflicts []policy.Conflict
 	onAlert   func(string)
+	// oblPending queues scheduled deadlines announced by the audit sink
+	// until the sweep loop turns them into ObligationScheduled records.
+	oblPending []obligation.Entry
+	// oblGateways are the gateways erasure propagates into.
+	oblGateways []*gateway.Gateway
 }
 
 // NewDomain assembles a domain. The returned domain owns its bus, stores,
@@ -170,7 +199,22 @@ func NewDomain(name string, opts Options) (*Domain, error) {
 		clock:      clock,
 		onAlert:    opts.OnAlert,
 		auditStore: auditStore,
+		oblSched:   obligation.NewScheduler(time.Second, 16),
+		prov:       &audit.Graph{},
 	}
+	if len(opts.Jurisdiction) > 0 {
+		jur, err := ifc.NewLabel(opts.Jurisdiction...)
+		if err != nil {
+			if auditStore != nil {
+				auditStore.Close()
+			}
+			return nil, fmt.Errorf("core: jurisdiction: %w", err)
+		}
+		bus.SetJurisdiction(jur)
+	}
+	// The obligation sink feeds the provenance graph and schedules
+	// retention deadlines off every allowed flow (see obligations.go).
+	log.AddSink(d.obligationSink)
 	d.eng = policy.NewEngine(ctxStore, d.execute,
 		policy.WithEngineClock(clock),
 		policy.WithConflictHandler(func(c policy.Conflict) {
@@ -183,6 +227,10 @@ func NewDomain(name string, opts Options) (*Domain, error) {
 		}),
 	)
 	d.cep = cep.NewEngine(func(det cep.Detection) {
+		// Erasure triggers first: a pattern like "subject-erasure" must
+		// purge before any rule reacts to (and possibly re-propagates)
+		// the detection.
+		d.handleEraseTriggers(det.Pattern)
 		for _, e := range d.eng.HandleDetection(det) {
 			d.auditPolicyError(e)
 		}
@@ -245,18 +293,31 @@ func (d *Domain) Devices() *device.Registry { return &d.devices }
 // TPM exposes the domain's trusted platform module.
 func (d *Domain) TPM() *attest.TPM { return d.tpm }
 
-// LoadPolicy parses and installs policy source.
+// LoadPolicy parses and installs policy source: ECA rules go to the
+// policy engine; obligation clauses are compiled into the obligation
+// table, with retention deadlines for already-persisted data rescheduled
+// from the durable store.
 func (d *Domain) LoadPolicy(src string) error {
 	set, err := policy.Parse(src)
+	if err != nil {
+		return err
+	}
+	// Compile before installing anything: a compile error must leave the
+	// engine, the obligation table and the audit trail untouched — a
+	// half-installed policy that the caller believes failed is worse than
+	// either outcome. Loading *replaces* both halves: the rule set (as it
+	// always did) and the obligation table, so removing a clause from the
+	// source actually retires the duty.
+	tab, err := obligation.Compile(set.Obligations)
 	if err != nil {
 		return err
 	}
 	d.eng.Load(set)
 	d.log.Append(audit.Record{
 		Kind: audit.Reconfiguration, Layer: audit.LayerPolicy, Domain: d.name,
-		Note: fmt.Sprintf("policy loaded: %d rules", len(set.Rules)),
+		Note: fmt.Sprintf("policy loaded: %d rules, %d obligations", len(set.Rules), len(set.Obligations)),
 	})
-	return nil
+	return d.installObligations(tab)
 }
 
 // InstallGate installs a declassifier/endorser gate into the domain's bus
@@ -278,19 +339,31 @@ func (d *Domain) RemoveGate(name string) error {
 func (d *Domain) Gates() *ifc.GateRegistry { return d.bus.Gates() }
 
 // RegisterPattern adds a CEP pattern whose detections drive policy.
-func (d *Domain) RegisterPattern(p cep.Pattern) { d.cep.Register(p) }
+func (d *Domain) RegisterPattern(p cep.Pattern) {
+	d.cepMu.Lock()
+	defer d.cepMu.Unlock()
+	d.cep.Register(p)
+}
 
 // FeedEvent pushes one event into detection (and so, possibly, into
 // policy-driven reconfiguration).
-func (d *Domain) FeedEvent(e cep.Event) { d.cep.Feed(e) }
+func (d *Domain) FeedEvent(e cep.Event) {
+	d.cepMu.Lock()
+	defer d.cepMu.Unlock()
+	d.cep.Feed(e)
+}
 
 // Tick advances time-driven machinery: CEP absence patterns, policy
-// timers, break-glass expiry.
+// timers, break-glass expiry, and the obligation sweep (retention expiry
+// and the erasure it triggers).
 func (d *Domain) Tick() {
+	d.cepMu.Lock()
 	d.cep.Advance(d.clock())
+	d.cepMu.Unlock()
 	for _, e := range d.eng.Tick() {
 		d.auditPolicyError(e)
 	}
+	d.SweepObligations()
 }
 
 // Alerts returns the policy alerts raised so far.

@@ -183,6 +183,28 @@ func (s *Store) Delete(key string) {
 	s.version++
 }
 
+// DeleteMatching removes every attribute whose key the predicate accepts,
+// returning how many were dropped. Erasure obligations use it to purge
+// context state derived from an erased subject (attributes are keyed by
+// subject-prefixed names by convention, e.g. "ann/heart-rate"). Hooks and
+// subscribers are deliberately not notified: erasure removes facts, it
+// must not look like new context to react to.
+func (s *Store) DeleteMatching(match func(key string) bool) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for k := range s.values {
+		if match(k) {
+			delete(s.values, k)
+			n++
+		}
+	}
+	if n > 0 {
+		s.version++
+	}
+	return n
+}
+
 // Get returns the current value of one attribute.
 func (s *Store) Get(key string) (Value, bool) {
 	s.mu.RLock()

@@ -74,14 +74,17 @@ type pendingReading struct {
 
 // journalEntry is the JSON wire form of one buffered reading. Labels
 // travel as their canonical String forms and are re-interned on decode.
+// An entry with Erased set is an erasure marker: every earlier journaled
+// reading of the device is void, so recovery drops rather than replays it.
 type journalEntry struct {
 	Device    string  `json:"device"`
-	Metric    string  `json:"metric"`
-	Value     float64 `json:"value"`
-	AtNano    int64   `json:"at"`
-	Seq       uint64  `json:"seq"`
-	Secrecy   string  `json:"secrecy"`
-	Integrity string  `json:"integrity"`
+	Metric    string  `json:"metric,omitempty"`
+	Value     float64 `json:"value,omitempty"`
+	AtNano    int64   `json:"at,omitempty"`
+	Seq       uint64  `json:"seq,omitempty"`
+	Secrecy   string  `json:"secrecy,omitempty"`
+	Integrity string  `json:"integrity,omitempty"`
+	Erased    bool    `json:"erased,omitempty"`
 }
 
 // New registers a gateway component on the bus and returns the gateway.
@@ -153,6 +156,19 @@ func (g *Gateway) EnableJournal(dir string) (int, error) {
 		if err := json.Unmarshal(e.Payload, &je); err != nil {
 			return fmt.Errorf("gateway: journal entry %d: %w", e.Seq, err)
 		}
+		if je.Erased {
+			// Erasure marker: journaled readings of the device up to here
+			// are legally gone — drop them instead of replaying them.
+			kept := recovered[:0]
+			for _, p := range recovered {
+				if p.r.DeviceID != je.Device {
+					kept = append(kept, p)
+				}
+			}
+			clear(recovered[len(kept):])
+			recovered = kept
+			return nil
+		}
 		secrecy, err := ifc.ParseLabel(je.Secrecy)
 		if err != nil {
 			return fmt.Errorf("gateway: journal entry %d: %w", e.Seq, err)
@@ -218,6 +234,67 @@ func (g *Gateway) journalLocked(p *pendingReading) error {
 	}
 	p.jseq = seq
 	return g.journal.Sync()
+}
+
+// EraseDevice executes an erasure obligation against the gateway's live
+// state: buffered (store-and-forward) readings of the device are dropped,
+// and — when a journal is enabled — its journaled readings are redacted
+// in place (payloads rewritten to erasure markers, segments rewritten via
+// the WAL's batched redaction), so neither a restart nor the journal
+// files themselves can resurrect the values. The device table entry is
+// untouched: erasure removes collected data, not the enrollment. Returns
+// the number of buffered readings dropped.
+func (g *Gateway) EraseDevice(deviceID string) (int, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	kept := g.buffer[:0]
+	dropped := 0
+	for _, p := range g.buffer {
+		if p.r.DeviceID == deviceID {
+			dropped++
+			continue
+		}
+		kept = append(kept, p)
+	}
+	clear(g.buffer[len(kept):]) // erased readings must not linger in memory
+	g.buffer = kept
+	redacted := 0
+	if g.journal != nil {
+		marker, err := json.Marshal(journalEntry{Device: deviceID, Erased: true})
+		if err != nil {
+			return dropped, fmt.Errorf("gateway: erasure marker: %w", err)
+		}
+		// Find every journaled reading of the device and rewrite its
+		// payload to the marker — recovery then skips it, and the
+		// plaintext values are gone from the segment files too.
+		var seqs []uint64
+		err = g.journal.ReadSeq(0, 0, func(e store.Entry) error {
+			var je journalEntry
+			if jerr := json.Unmarshal(e.Payload, &je); jerr != nil {
+				return fmt.Errorf("gateway: journal entry %d: %w", e.Seq, jerr)
+			}
+			if je.Device == deviceID && !je.Erased {
+				seqs = append(seqs, e.Seq)
+			}
+			return nil
+		})
+		if err != nil {
+			return dropped, err
+		}
+		if err := g.journal.RedactMany(seqs, func(uint64, []byte) ([]byte, error) {
+			return marker, nil
+		}); err != nil {
+			return dropped, err
+		}
+		redacted = len(seqs)
+	}
+	g.log.Append(audit.Record{
+		Kind: audit.ObligationExecuted, Layer: audit.LayerMessaging,
+		Src: ifc.EntityID(deviceID), Dst: g.comp.Entity().ID(),
+		Note: fmt.Sprintf("gateway erasure: %d buffered readings dropped, %d journal entries redacted",
+			dropped, redacted),
+	})
+	return dropped, nil
 }
 
 // Buffered returns the number of readings waiting for the uplink.

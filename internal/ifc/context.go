@@ -5,12 +5,21 @@ import (
 	"fmt"
 )
 
-// A SecurityContext is the pair of labels carried by every entity: S for
-// secrecy and I for integrity. The zero value (both labels empty) is the
-// public, unendorsed context.
+// A SecurityContext is the set of labels carried by every entity: S for
+// secrecy, I for integrity, plus the two obligation facets J (jurisdiction)
+// and P (purpose) — see facet.go. The zero value (all labels empty) is the
+// public, unendorsed, unconstrained context.
 type SecurityContext struct {
 	Secrecy   Label
 	Integrity Label
+	// Jurisdiction is the set of jurisdictions the data may reside in (an
+	// entity declares the jurisdictions it occupies). Empty means
+	// unconstrained; see facet.go for the flow semantics.
+	Jurisdiction Label
+	// Purpose is the set of purposes the data may be processed for (an
+	// entity declares the purposes it processes for). Empty means
+	// unconstrained.
+	Purpose Label
 }
 
 // NewContext builds a security context from secrecy and integrity tags.
@@ -39,27 +48,43 @@ func MustContext(secrecy, integrity []Tag) SecurityContext {
 // Equal reports whether both contexts carry identical labels, i.e. belong
 // to the same security context domain.
 func (c SecurityContext) Equal(other SecurityContext) bool {
-	return c.Secrecy.Equal(other.Secrecy) && c.Integrity.Equal(other.Integrity)
+	return c.Secrecy.Equal(other.Secrecy) && c.Integrity.Equal(other.Integrity) &&
+		c.Jurisdiction.Equal(other.Jurisdiction) && c.Purpose.Equal(other.Purpose)
 }
 
 // IsPublic reports whether the context is entirely unconstrained.
 func (c SecurityContext) IsPublic() bool {
-	return c.Secrecy.IsEmpty() && c.Integrity.IsEmpty()
+	return c.Secrecy.IsEmpty() && c.Integrity.IsEmpty() &&
+		c.Jurisdiction.IsEmpty() && c.Purpose.IsEmpty()
 }
 
-// CanFlowTo applies the paper's flow rule:
+// CanFlowTo applies the paper's flow rule, extended with the obligation
+// facets:
 //
 //	A → B  ⇔  S(A) ⊆ S(B) ∧ I(B) ⊆ I(A)
+//	        ∧ (J(A) = ∅ ∨ (J(B) ≠ ∅ ∧ J(B) ⊆ J(A)))
+//	        ∧ (P(A) = ∅ ∨ (P(B) ≠ ∅ ∧ P(B) ⊆ P(A)))
 //
-// Data moves only towards equally or more constrained entities.
+// Data moves only towards equally or more constrained entities, and a
+// residency or purpose constraint only towards entities declaring facets
+// within the allowed sets.
 func (c SecurityContext) CanFlowTo(dst SecurityContext) bool {
-	return c.Secrecy.Subset(dst.Secrecy) && dst.Integrity.Subset(c.Integrity)
+	return c.Secrecy.Subset(dst.Secrecy) && dst.Integrity.Subset(c.Integrity) &&
+		facetOK(c.Jurisdiction, dst.Jurisdiction) && facetOK(c.Purpose, dst.Purpose)
 }
 
 // String renders the context in the paper's figure notation,
-// e.g. "S={ann,medical} I={consent,hosp-dev}".
+// e.g. "S={ann,medical} I={consent,hosp-dev}". The obligation facets are
+// appended only when set, so facet-free contexts render exactly as before.
 func (c SecurityContext) String() string {
-	return "S=" + c.Secrecy.String() + " I=" + c.Integrity.String()
+	s := "S=" + c.Secrecy.String() + " I=" + c.Integrity.String()
+	if !c.Jurisdiction.IsEmpty() {
+		s += " J=" + c.Jurisdiction.String()
+	}
+	if !c.Purpose.IsEmpty() {
+		s += " P=" + c.Purpose.String()
+	}
+	return s
 }
 
 // FlowDecision explains the outcome of a flow check between two contexts.
@@ -73,6 +98,12 @@ type FlowDecision struct {
 	// MissingIntegrity holds tags in I(dst) absent from I(src): the source
 	// does not carry the guarantees the destination demands.
 	MissingIntegrity Label
+	// DisallowedJurisdiction holds the destination jurisdictions outside
+	// the source's allowed residency set — or, when the destination
+	// declares no jurisdiction at all, the unmet allowed set itself.
+	DisallowedJurisdiction Label
+	// DisallowedPurpose is the same for the purpose-limitation facet.
+	DisallowedPurpose Label
 }
 
 // ErrFlowDenied is the sentinel wrapped by FlowError.
@@ -94,6 +125,14 @@ func (e *FlowError) Error() string {
 	}
 	if !e.Decision.MissingIntegrity.IsEmpty() {
 		msg += "; source I lacks " + e.Decision.MissingIntegrity.String()
+	}
+	if !e.Decision.DisallowedJurisdiction.IsEmpty() {
+		msg += "; residency restricted to " + e.Src.Jurisdiction.String() +
+			", destination declares " + e.Dst.Jurisdiction.String()
+	}
+	if !e.Decision.DisallowedPurpose.IsEmpty() {
+		msg += "; purpose limited to " + e.Src.Purpose.String() +
+			", destination processes for " + e.Dst.Purpose.String()
 	}
 	return msg
 }
@@ -122,11 +161,18 @@ func checkFlowUncached(src, dst SecurityContext) FlowDecision {
 	if src.CanFlowTo(dst) {
 		return FlowDecision{Allowed: true}
 	}
-	return FlowDecision{
+	d := FlowDecision{
 		Allowed:          false,
 		MissingSecrecy:   src.Secrecy.Diff(dst.Secrecy),
 		MissingIntegrity: dst.Integrity.Diff(src.Integrity),
 	}
+	if !facetOK(src.Jurisdiction, dst.Jurisdiction) {
+		d.DisallowedJurisdiction = facetViolation(src.Jurisdiction, dst.Jurisdiction)
+	}
+	if !facetOK(src.Purpose, dst.Purpose) {
+		d.DisallowedPurpose = facetViolation(src.Purpose, dst.Purpose)
+	}
+	return d
 }
 
 // EnforceFlow returns nil when src may flow to dst and a *FlowError
@@ -150,7 +196,10 @@ func CreationContext(creator SecurityContext) SecurityContext {
 // MergeContexts returns the least restrictive context into which data from
 // all the given contexts may legally flow: the union of the secrecy labels
 // and the intersection of the integrity labels. This is the context an
-// aggregator (Fig. 6's statistics generator input side) must adopt.
+// aggregator (Fig. 6's statistics generator input side) must adopt. The
+// obligation facets merge by narrowing — constrained sets intersect, and
+// disjoint constraints collapse to {~none} (allowed nowhere) — so merged
+// data never silently sheds a residency or purpose obligation.
 func MergeContexts(contexts ...SecurityContext) SecurityContext {
 	if len(contexts) == 0 {
 		return SecurityContext{}
@@ -159,6 +208,8 @@ func MergeContexts(contexts ...SecurityContext) SecurityContext {
 	for _, c := range contexts[1:] {
 		merged.Secrecy = merged.Secrecy.Union(c.Secrecy)
 		merged.Integrity = merged.Integrity.Intersect(c.Integrity)
+		merged.Jurisdiction = MergeFacet(merged.Jurisdiction, c.Jurisdiction)
+		merged.Purpose = MergeFacet(merged.Purpose, c.Purpose)
 	}
 	return merged
 }

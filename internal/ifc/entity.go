@@ -36,9 +36,11 @@ type Entity struct {
 }
 
 // transKey identifies a from→to context transition by the shared interned
-// label records of the four labels involved.
+// label records of the labels involved (secrecy, integrity and the two
+// obligation facets on each side).
 type transKey struct {
-	fs, fi, ts, ti *labelRec
+	fs, fi, fj, fp *labelRec
+	ts, ti, tj, tp *labelRec
 }
 
 // transEntry is one cached transition authorisation, valid only while the
@@ -161,7 +163,9 @@ func (e *Entity) AuthoriseTransition(from, to SecurityContext) error {
 func (e *Entity) authoriseLocked(from, to SecurityContext) error {
 	k := transKey{
 		fs: from.Secrecy.rec, fi: from.Integrity.rec,
+		fj: from.Jurisdiction.rec, fp: from.Purpose.rec,
 		ts: to.Secrecy.rec, ti: to.Integrity.rec,
+		tj: to.Jurisdiction.rec, tp: to.Purpose.rec,
 	}
 	if ent, ok := e.trans[k]; ok && ent.gen == e.privGen {
 		return ent.err

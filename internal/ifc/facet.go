@@ -1,0 +1,107 @@
+package ifc
+
+// Obligation facets. Beyond secrecy and integrity, every security context
+// carries two *data-management* facets derived from legal obligations
+// (Singh et al. §3/§7: residency and purpose limitation):
+//
+//   - Jurisdiction is the set of jurisdictions the data may reside in
+//     (for passive data and the components holding it) or that a platform
+//     declares it resides in. Empty means unconstrained.
+//   - Purpose is the set of purposes the data may be processed for, or
+//     that a component declares it processes for. Empty means
+//     unconstrained.
+//
+// Both facets are *allowed sets* that may only narrow as data flows: a
+// destination must declare facets within the source's allowed sets, so a
+// residency or purpose violation is denied by CheckFlow exactly like a
+// secrecy violation — same cache, same audit treatment. Facet labels are
+// interned Labels, so the extended flow rule still costs integer compares
+// on the hot path.
+
+// FacetNone is the sentinel jurisdiction/purpose tag meaning "allowed
+// nowhere / for nothing": merging two contexts whose allowed sets are
+// disjoint yields it, so over-merged data can no longer flow anywhere
+// rather than silently losing its constraints.
+const FacetNone Tag = "~none"
+
+// facetNoneLabel is the interned {~none} label.
+var facetNoneLabel = MustLabel(FacetNone)
+
+// facetOK applies the facet half of the flow rule: data whose allowed set
+// is src may flow to an entity declaring dst iff src is unconstrained, or
+// dst declares a non-empty set within src. An entity that declares nothing
+// cannot receive constrained data (fail closed: accepting it would drop
+// the constraint).
+func facetOK(src, dst Label) bool {
+	if src.IsEmpty() {
+		return true
+	}
+	return !dst.IsEmpty() && dst.Subset(src)
+}
+
+// facetViolation explains a facetOK failure: the destination facet tags
+// outside the allowed set, or — when the destination declares nothing —
+// the unmet allowed set itself.
+func facetViolation(src, dst Label) Label {
+	if dst.IsEmpty() {
+		return src
+	}
+	return dst.Diff(src)
+}
+
+// MergeFacet combines two allowed-set facets — the single home of the
+// facet-merge law, used by MergeContexts here and by the obligation
+// compiler when attaching per-tag constraints: unconstrained adopts the
+// other side's constraint; two constraints intersect; disjoint
+// constraints collapse to {~none} — the merged data may not reside
+// anywhere (or be used for anything), which is the only sound reading.
+func MergeFacet(a, b Label) Label {
+	if a.IsEmpty() {
+		return b
+	}
+	if b.IsEmpty() {
+		return a
+	}
+	m := a.Intersect(b)
+	if m.IsEmpty() {
+		return facetNoneLabel
+	}
+	return m
+}
+
+// WithJurisdiction returns a copy of the context with the jurisdiction
+// facet replaced.
+func (c SecurityContext) WithJurisdiction(l Label) SecurityContext {
+	c.Jurisdiction = l
+	return c
+}
+
+// WithPurpose returns a copy of the context with the purpose facet
+// replaced.
+func (c SecurityContext) WithPurpose(l Label) SecurityContext {
+	c.Purpose = l
+	return c
+}
+
+// authoriseFacet checks a from→to facet change under the transition
+// discipline: narrowing (tightening the constraint) is always permitted —
+// self-confinement is safe — while widening drops a legal constraint, a
+// declassification-class operation. Each facet tag allowed anew (and, when
+// clearing the facet entirely, every previously allowed tag) must be
+// covered by the remove privilege, exactly as removing a secrecy tag
+// would be.
+func authoriseFacet(op string, from, to, remove Label) error {
+	if from.IsEmpty() {
+		return nil // unconstrained → anything is narrowing
+	}
+	if to.IsEmpty() {
+		if !from.Subset(remove) {
+			return &PrivilegeError{Op: op, Tags: from.Diff(remove)}
+		}
+		return nil
+	}
+	if widened := to.Diff(from); !widened.Subset(remove) {
+		return &PrivilegeError{Op: op, Tags: widened.Diff(remove)}
+	}
+	return nil
+}

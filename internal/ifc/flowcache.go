@@ -23,9 +23,10 @@ import (
 // turns over together.
 
 // flowKey identifies an ordered pair of security contexts by interned label
-// keys (secrecy and integrity of src, then of dst).
+// keys (secrecy, integrity, jurisdiction and purpose of src, then of dst).
 type flowKey struct {
-	ss, si, ds, di uint64
+	ss, si, sj, sp uint64
+	ds, di, dj, dp uint64
 }
 
 // flowEntry is one cached decision. Entries are immutable once published.
@@ -47,14 +48,20 @@ var (
 func contextKey(src, dst SecurityContext) flowKey {
 	return flowKey{
 		ss: src.Secrecy.key(), si: src.Integrity.key(),
+		sj: src.Jurisdiction.key(), sp: src.Purpose.key(),
 		ds: dst.Secrecy.key(), di: dst.Integrity.key(),
+		dj: dst.Jurisdiction.key(), dp: dst.Purpose.key(),
 	}
 }
 
-// slot hashes the key into the direct-mapped table.
+// slot hashes the key into the direct-mapped table. The facet keys are
+// folded in with their own multipliers; facet-free contexts contribute
+// zeros, so their distribution is unchanged.
 func (k flowKey) slot() *atomic.Pointer[flowEntry] {
 	h := k.ss*0x9e3779b97f4a7c15 ^ k.si*0xc2b2ae3d27d4eb4f ^
-		k.ds*0x165667b19e3779f9 ^ k.di*0x27d4eb2f165667c5
+		k.ds*0x165667b19e3779f9 ^ k.di*0x27d4eb2f165667c5 ^
+		k.sj*0x85ebca77c2b2ae63 ^ k.sp*0xff51afd7ed558ccd ^
+		k.dj*0xc4ceb9fe1a85ec53 ^ k.dp*0x2545f4914f6cdd1d
 	h ^= h >> 29
 	return &flowTable[h&(flowTableSize-1)]
 }

@@ -93,6 +93,15 @@ func (p Privileges) AuthoriseTransition(from, to SecurityContext) error {
 	if removed := from.Integrity.Diff(to.Integrity); !removed.Subset(p.RemoveIntegrity) {
 		return &PrivilegeError{Op: "remove-integrity", Tags: removed.Diff(p.RemoveIntegrity)}
 	}
+	// Obligation facets: narrowing is free (self-confinement), widening
+	// sheds a legal constraint and therefore rides the declassification
+	// privilege on the facet tags being allowed anew (see facet.go).
+	if err := authoriseFacet("widen-jurisdiction", from.Jurisdiction, to.Jurisdiction, p.RemoveSecrecy); err != nil {
+		return err
+	}
+	if err := authoriseFacet("widen-purpose", from.Purpose, to.Purpose, p.RemoveSecrecy); err != nil {
+		return err
+	}
 	return nil
 }
 

@@ -1,0 +1,289 @@
+// Package obligation is the data-management layer the paper's legal
+// analysis demands (Singh et al. §3/§7, Challenge 6): policy must express
+// not only who may see a flow now, but what must happen to data *after* it
+// flows — retention limits, the right to erasure, jurisdictional residency,
+// purpose limitation — and the middleware must both enforce those duties
+// and demonstrate enforcement through audit.
+//
+// The package compiles obligation clauses (an extension of the policy
+// language, see policy.Obligation) into per-tag obligation sets and
+// supports the three enforcement layers:
+//
+//   - Hot path: Apply attaches the compiled residency/purpose facets to a
+//     security context, so violations are denied by the ordinary cached
+//     flow check (ifc.CheckFlow) at no extra cost.
+//   - Background path: Scheduler (scheduler.go) tracks retention deadlines
+//     per tag in a sharded timer wheel; the domain core sweeps it and
+//     executes expiry and erasure.
+//   - Evidence path: the core records every obligation action in the audit
+//     log, and audit.RetentionReport proves the outcome.
+package obligation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"lciot/internal/ifc"
+	"lciot/internal/policy"
+)
+
+// A Set is the compiled obligation set for one tag: everything the
+// middleware must do to (and may never do with) data carrying the tag.
+type Set struct {
+	Tag ifc.Tag
+	// Retain bounds how long data under the tag may be kept; 0 means no
+	// retention limit.
+	Retain time.Duration
+	// EraseOn lists detection pattern names whose firing erases the tag.
+	EraseOn []string
+	// Residency is the allowed-jurisdiction facet (empty = anywhere).
+	Residency ifc.Label
+	// Purpose is the allowed-purpose facet (empty = any purpose).
+	Purpose ifc.Label
+}
+
+// String renders the compiled set for operators (policyctl -explain).
+func (s *Set) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tag %s:", s.Tag)
+	if s.Retain > 0 {
+		fmt.Fprintf(&b, " retain %s;", s.Retain)
+	}
+	for _, ev := range s.EraseOn {
+		fmt.Fprintf(&b, " erase on %q;", ev)
+	}
+	if !s.Residency.IsEmpty() {
+		fmt.Fprintf(&b, " residency %s;", s.Residency)
+	}
+	if !s.Purpose.IsEmpty() {
+		fmt.Fprintf(&b, " purpose %s;", s.Purpose)
+	}
+	if s.Retain == 0 && len(s.EraseOn) == 0 && s.Residency.IsEmpty() && s.Purpose.IsEmpty() {
+		b.WriteString(" (no duties)")
+	}
+	return b.String()
+}
+
+// A Table holds the compiled obligation sets of one domain, immutable
+// after Compile (the core swaps whole tables atomically on policy load).
+type Table struct {
+	sets map[ifc.Tag]*Set
+	// eraseOn indexes tags by the detection pattern that erases them.
+	eraseOn map[string][]ifc.Tag
+}
+
+// Compile builds a table from parsed obligation declarations. Declaring
+// two obligations for the same tag is an error: obligations are legal
+// duties, and silently merging two sources of law invites exactly the
+// ambiguity the linter exists to prevent.
+func Compile(decls []*policy.Obligation) (*Table, error) {
+	t := &Table{sets: make(map[ifc.Tag]*Set, len(decls)), eraseOn: make(map[string][]ifc.Tag)}
+	for _, d := range decls {
+		if _, dup := t.sets[d.Tag]; dup {
+			return nil, fmt.Errorf("obligation: duplicate obligation for tag %q", d.Tag)
+		}
+		if d.HasRetain && d.Retain <= 0 {
+			return nil, fmt.Errorf("obligation: %q: retain %v is not a retention period", d.Name, d.Retain)
+		}
+		residency, err := ifc.NewLabel(d.Residency...)
+		if err != nil {
+			return nil, fmt.Errorf("obligation: %q: residency: %w", d.Name, err)
+		}
+		purpose, err := ifc.NewLabel(d.Purpose...)
+		if err != nil {
+			return nil, fmt.Errorf("obligation: %q: purpose: %w", d.Name, err)
+		}
+		s := &Set{
+			Tag:       d.Tag,
+			EraseOn:   append([]string(nil), d.EraseOn...),
+			Residency: residency,
+			Purpose:   purpose,
+		}
+		if d.HasRetain {
+			s.Retain = d.Retain
+		}
+		t.sets[d.Tag] = s
+		for _, ev := range d.EraseOn {
+			t.eraseOn[ev] = append(t.eraseOn[ev], d.Tag)
+		}
+	}
+	return t, nil
+}
+
+// Lookup returns the obligation set for a tag.
+func (t *Table) Lookup(tag ifc.Tag) (*Set, bool) {
+	if t == nil {
+		return nil, false
+	}
+	s, ok := t.sets[tag]
+	return s, ok
+}
+
+// Len returns the number of obligated tags.
+func (t *Table) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.sets)
+}
+
+// HasRetention reports whether any obligated tag carries a retention
+// limit (whether a store rescan on policy load could schedule anything).
+func (t *Table) HasRetention() bool {
+	if t == nil {
+		return false
+	}
+	for _, s := range t.sets {
+		if s.Retain > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Tags returns the obligated tags in sorted order.
+func (t *Table) Tags() []ifc.Tag {
+	if t == nil {
+		return nil
+	}
+	out := make([]ifc.Tag, 0, len(t.sets))
+	for tag := range t.sets {
+		out = append(out, tag)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EraseTriggers returns the tags whose obligations erase on the given
+// detection pattern, in sorted order.
+func (t *Table) EraseTriggers(pattern string) []ifc.Tag {
+	if t == nil {
+		return nil
+	}
+	tags := append([]ifc.Tag(nil), t.eraseOn[pattern]...)
+	sort.Slice(tags, func(i, j int) bool { return tags[i] < tags[j] })
+	return tags
+}
+
+// Apply attaches the obligations of every secrecy tag in ctx to the
+// context's facets: residency and purpose constraints of all obligated
+// tags narrow whatever facets the context already carries. Contexts
+// without obligated tags are returned unchanged, so unobligated domains
+// pay a label walk and nothing else.
+func (t *Table) Apply(ctx ifc.SecurityContext) ifc.SecurityContext {
+	if t == nil || len(t.sets) == 0 {
+		return ctx
+	}
+	for _, tag := range ctx.Secrecy.Tags() {
+		s, ok := t.sets[tag]
+		if !ok {
+			continue
+		}
+		if !s.Residency.IsEmpty() {
+			ctx.Jurisdiction = ifc.MergeFacet(ctx.Jurisdiction, s.Residency)
+		}
+		if !s.Purpose.IsEmpty() {
+			ctx.Purpose = ifc.MergeFacet(ctx.Purpose, s.Purpose)
+		}
+	}
+	return ctx
+}
+
+// Retention returns the tightest retention limit any secrecy tag of the
+// label carries, together with the tag imposing it; ok is false when no
+// tag is retention-limited.
+func (t *Table) Retention(secrecy ifc.Label) (d time.Duration, tag ifc.Tag, ok bool) {
+	if t == nil || len(t.sets) == 0 {
+		return 0, "", false
+	}
+	for _, candidate := range secrecy.Tags() {
+		s, found := t.sets[candidate]
+		if !found || s.Retain <= 0 {
+			continue
+		}
+		if !ok || s.Retain < d {
+			d, tag, ok = s.Retain, candidate, true
+		}
+	}
+	return d, tag, ok
+}
+
+// DefaultJurisdictions returns the jurisdictions the linter recognises out
+// of the box. Callers extend the returned map (it is a fresh copy) with
+// deployment-specific regions via LintOptions.
+func DefaultJurisdictions() map[ifc.Tag]bool {
+	out := make(map[ifc.Tag]bool, 16)
+	for _, j := range []ifc.Tag{
+		"eu", "eea", "uk", "us", "ca", "ch", "jp", "au", "nz", "sg", "kr", "br", "in", "global",
+	} {
+		out[j] = true
+	}
+	return out
+}
+
+// LintOptions configures Lint.
+type LintOptions struct {
+	// KnownJurisdictions is the recognised jurisdiction registry; nil means
+	// DefaultJurisdictions().
+	KnownJurisdictions map[ifc.Tag]bool
+	// KnownPurposes, when non-nil, is the purpose-tag registry (typically
+	// the tags registered in the names zone tree, or referenced elsewhere
+	// in the policy set); purposes outside it are flagged. Nil skips the
+	// registry check.
+	KnownPurposes map[ifc.Tag]bool
+}
+
+// Lint statically checks the obligation declarations of a policy set:
+// zero retention periods, unknown jurisdictions, purposes missing from the
+// registry, duplicate declarations, and reserved facet tags. Findings are
+// warnings in sorted order — guards and context cannot be evaluated
+// statically, so none of this replaces runtime enforcement.
+func Lint(set *policy.PolicySet, opts LintOptions) []string {
+	jur := opts.KnownJurisdictions
+	if jur == nil {
+		jur = DefaultJurisdictions()
+	}
+	var findings []string
+	seen := make(map[ifc.Tag]string)
+	for _, d := range set.Obligations {
+		if prev, dup := seen[d.Tag]; dup {
+			findings = append(findings, fmt.Sprintf(
+				"obligations %q and %q both bind tag %q (duties must have one source)", prev, d.Name, d.Tag))
+		} else {
+			seen[d.Tag] = d.Name
+		}
+		if d.HasRetain && d.Retain <= 0 {
+			findings = append(findings, fmt.Sprintf(
+				"obligation %q: retain %v keeps nothing — use erase, or drop the clause", d.Name, d.Retain))
+		}
+		for _, j := range d.Residency {
+			if j == ifc.FacetNone {
+				findings = append(findings, fmt.Sprintf(
+					"obligation %q: residency %s is the reserved deny-everywhere sentinel", d.Name, j))
+				continue
+			}
+			if !jur[j] {
+				findings = append(findings, fmt.Sprintf(
+					"obligation %q: unknown jurisdiction %q", d.Name, j))
+			}
+		}
+		for _, p := range d.Purpose {
+			if p == ifc.FacetNone {
+				findings = append(findings, fmt.Sprintf(
+					"obligation %q: purpose %s is the reserved deny-everything sentinel", d.Name, p))
+				continue
+			}
+			if opts.KnownPurposes != nil && !opts.KnownPurposes[p] {
+				findings = append(findings, fmt.Sprintf(
+					"obligation %q: purpose tag %q not in names registry", d.Name, p))
+			}
+		}
+		if !d.HasRetain && len(d.EraseOn) == 0 && len(d.Residency) == 0 && len(d.Purpose) == 0 {
+			findings = append(findings, fmt.Sprintf("obligation %q declares no duties", d.Name))
+		}
+	}
+	sort.Strings(findings)
+	return findings
+}

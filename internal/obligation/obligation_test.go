@@ -1,0 +1,161 @@
+package obligation
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"lciot/internal/ifc"
+	"lciot/internal/policy"
+)
+
+const gdprSrc = `
+obligation "gdpr-medical" on medical {
+  retain 720h;
+  erase on "subject-erasure";
+  residency eu uk;
+  purpose research treatment;
+}
+obligation "telemetry" on telemetry {
+  retain 24h;
+}
+`
+
+func compile(t *testing.T, src string) *Table {
+	t.Helper()
+	set := policy.MustParse(src)
+	tab, err := Compile(set.Obligations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestCompileAndLookup(t *testing.T) {
+	tab := compile(t, gdprSrc)
+	if tab.Len() != 2 {
+		t.Fatalf("table holds %d tags", tab.Len())
+	}
+	s, ok := tab.Lookup("medical")
+	if !ok {
+		t.Fatal("medical not compiled")
+	}
+	if s.Retain != 720*time.Hour || !s.Residency.Equal(ifc.MustLabel("eu", "uk")) ||
+		!s.Purpose.Equal(ifc.MustLabel("research", "treatment")) {
+		t.Fatalf("set = %s", s)
+	}
+	if got := tab.EraseTriggers("subject-erasure"); len(got) != 1 || got[0] != "medical" {
+		t.Fatalf("erase triggers = %v", got)
+	}
+	if got := tab.EraseTriggers("nothing"); got != nil {
+		t.Fatalf("phantom triggers = %v", got)
+	}
+}
+
+func TestCompileRejectsDuplicatesAndZeroRetain(t *testing.T) {
+	set := policy.MustParse(`
+obligation "a" on x { retain 1h; }
+obligation "b" on x { retain 2h; }`)
+	if _, err := Compile(set.Obligations); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate compile = %v", err)
+	}
+	set2 := policy.MustParse(`obligation "a" on x { retain 0s; }`)
+	if _, err := Compile(set2.Obligations); err == nil {
+		t.Fatal("retain 0 compiled")
+	}
+}
+
+func TestApplyAttachesFacets(t *testing.T) {
+	tab := compile(t, gdprSrc)
+	ctx := ifc.MustContext([]ifc.Tag{"ann", "medical"}, nil)
+	got := tab.Apply(ctx)
+	if !got.Jurisdiction.Equal(ifc.MustLabel("eu", "uk")) {
+		t.Fatalf("jurisdiction = %s", got.Jurisdiction)
+	}
+	if !got.Purpose.Equal(ifc.MustLabel("research", "treatment")) {
+		t.Fatalf("purpose = %s", got.Purpose)
+	}
+	// Unobligated contexts come back unchanged.
+	plain := ifc.MustContext([]ifc.Tag{"ann"}, nil)
+	if !tab.Apply(plain).Equal(plain) {
+		t.Fatal("unobligated context changed")
+	}
+	// An existing narrower facet narrows further, never widens.
+	narrowed := ctx.WithJurisdiction(ifc.MustLabel("eu"))
+	if got := tab.Apply(narrowed); !got.Jurisdiction.Equal(ifc.MustLabel("eu")) {
+		t.Fatalf("pre-narrowed jurisdiction widened to %s", got.Jurisdiction)
+	}
+	// Disjoint constraints collapse to the deny-everywhere sentinel.
+	offshore := ctx.WithJurisdiction(ifc.MustLabel("us"))
+	if got := tab.Apply(offshore); !got.Jurisdiction.Equal(ifc.MustLabel(ifc.FacetNone)) {
+		t.Fatalf("disjoint jurisdictions = %s", got.Jurisdiction)
+	}
+}
+
+func TestFacetFlowDenial(t *testing.T) {
+	tab := compile(t, gdprSrc)
+	src := tab.Apply(ifc.MustContext([]ifc.Tag{"medical"}, nil))
+	inEU := ifc.MustContext([]ifc.Tag{"medical"}, nil).
+		WithJurisdiction(ifc.MustLabel("eu")).WithPurpose(ifc.MustLabel("research"))
+	inUS := ifc.MustContext([]ifc.Tag{"medical"}, nil).
+		WithJurisdiction(ifc.MustLabel("us")).WithPurpose(ifc.MustLabel("research"))
+	adTech := ifc.MustContext([]ifc.Tag{"medical"}, nil).
+		WithJurisdiction(ifc.MustLabel("eu")).WithPurpose(ifc.MustLabel("advertising"))
+	undeclared := ifc.MustContext([]ifc.Tag{"medical"}, nil)
+
+	if d := ifc.CheckFlow(src, inEU); !d.Allowed {
+		t.Fatalf("eu/research flow denied: %+v", d)
+	}
+	if d := ifc.CheckFlow(src, inUS); d.Allowed || d.DisallowedJurisdiction.IsEmpty() {
+		t.Fatalf("us flow = %+v, want residency denial", d)
+	}
+	if d := ifc.CheckFlow(src, adTech); d.Allowed || d.DisallowedPurpose.IsEmpty() {
+		t.Fatalf("advertising flow = %+v, want purpose denial", d)
+	}
+	// Fail closed: a destination declaring nothing cannot hold
+	// residency-constrained data.
+	if d := ifc.CheckFlow(src, undeclared); d.Allowed {
+		t.Fatalf("undeclared destination accepted constrained data: %+v", d)
+	}
+	if err := ifc.EnforceFlow(src, inUS); err == nil ||
+		!strings.Contains(err.Error(), "residency restricted") {
+		t.Fatalf("residency error = %v", err)
+	}
+}
+
+func TestRetention(t *testing.T) {
+	tab := compile(t, gdprSrc)
+	d, tag, ok := tab.Retention(ifc.MustLabel("ann", "medical", "telemetry"))
+	if !ok || tag != "telemetry" || d != 24*time.Hour {
+		t.Fatalf("retention = %v %q %v", d, tag, ok)
+	}
+	if _, _, ok := tab.Retention(ifc.MustLabel("ann")); ok {
+		t.Fatal("unobligated label has retention")
+	}
+}
+
+func TestLint(t *testing.T) {
+	set := policy.MustParse(`
+obligation "a" on x { residency atlantis; }
+obligation "b" on x { retain 1h; }
+obligation "c" on y { purpose undeclared-purpose; }
+obligation "d" on z { }
+`)
+	findings := Lint(set, LintOptions{KnownPurposes: map[ifc.Tag]bool{"research": true}})
+	joined := strings.Join(findings, "\n")
+	for _, want := range []string{
+		`unknown jurisdiction "atlantis"`,
+		`both bind tag "x"`,
+		`purpose tag "undeclared-purpose" not in names registry`,
+		`"d" declares no duties`,
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("lint findings missing %q:\n%s", want, joined)
+		}
+	}
+	// A clean declaration lints clean.
+	clean := policy.MustParse(`obligation "g" on medical { retain 1h; residency eu; purpose research; }`)
+	if got := Lint(clean, LintOptions{KnownPurposes: map[ifc.Tag]bool{"research": true}}); len(got) != 0 {
+		t.Fatalf("clean set flagged: %v", got)
+	}
+}

@@ -1,0 +1,282 @@
+package obligation
+
+import (
+	"sync"
+	"time"
+
+	"lciot/internal/ifc"
+)
+
+// An Entry is one scheduled obligation deadline: at Due, the datum
+// identified by DataID (ingested under Tag, audited at sequence Seq) must
+// be erased.
+type Entry struct {
+	Tag    ifc.Tag
+	DataID string
+	// Seq is the audit sequence number of the record that scheduled the
+	// deadline — the redaction sweep's starting hint.
+	Seq uint64
+	Due time.Time
+}
+
+// entryKey identifies a deadline by what it erases.
+type entryKey struct {
+	tag    ifc.Tag
+	dataID string
+}
+
+// A Scheduler is a sharded hashed timer wheel over tag→deadline sets.
+// Deadlines land in coarse time buckets (Granularity wide); each shard
+// keeps a min-heap of bucket indexes, so a sweep pops whole buckets in
+// deadline order and stops at the first future one — cost proportional
+// to due work plus entries popped, never to the total backlog — while
+// the shard map keeps concurrent ingest from serialising on one lock. A
+// (tag, dataID) pair is scheduled at most once, at its earliest deadline
+// — retention runs from first collection, and re-observing a datum must
+// not extend its life.
+//
+// The scheduler is in-memory state rebuilt from the audit WAL on boot
+// (core.Domain does the rebuild), so deadlines survive crashes without a
+// second durability mechanism.
+type Scheduler struct {
+	granularity time.Duration
+	shards      []schedShard
+}
+
+type schedShard struct {
+	mu sync.Mutex
+	// buckets maps bucket index (unixNano / granularity) to its entries.
+	buckets map[int64][]Entry
+	// byKey maps a scheduled datum to its bucket, for dedup and Cancel.
+	byKey map[entryKey]int64
+	// order is a min-heap of bucket indexes, pushed when a bucket is
+	// created and lazily popped by Due: a sweep inspects buckets in
+	// deadline order and stops at the first future one, so its cost is
+	// proportional to due work, never to the total backlog. Cancel may
+	// leave a stale index (bucket already deleted); Due skips it on pop.
+	order []int64
+}
+
+// heapPush inserts b into the shard's bucket-order heap.
+func (sh *schedShard) heapPush(b int64) {
+	sh.order = append(sh.order, b)
+	i := len(sh.order) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if sh.order[parent] <= sh.order[i] {
+			break
+		}
+		sh.order[parent], sh.order[i] = sh.order[i], sh.order[parent]
+		i = parent
+	}
+}
+
+// heapPop removes the smallest bucket index.
+func (sh *schedShard) heapPop() {
+	n := len(sh.order) - 1
+	sh.order[0] = sh.order[n]
+	sh.order = sh.order[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && sh.order[l] < sh.order[small] {
+			small = l
+		}
+		if r < n && sh.order[r] < sh.order[small] {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		sh.order[i], sh.order[small] = sh.order[small], sh.order[i]
+		i = small
+	}
+}
+
+// NewScheduler builds a scheduler with the given bucket width and shard
+// count. granularity <= 0 means one second; shards <= 0 means 16.
+func NewScheduler(granularity time.Duration, shards int) *Scheduler {
+	if granularity <= 0 {
+		granularity = time.Second
+	}
+	if shards <= 0 {
+		shards = 16
+	}
+	s := &Scheduler{granularity: granularity, shards: make([]schedShard, shards)}
+	for i := range s.shards {
+		s.shards[i].buckets = make(map[int64][]Entry)
+		s.shards[i].byKey = make(map[entryKey]int64)
+	}
+	return s
+}
+
+// shardFor hashes a key onto its shard (FNV-1a over tag and dataID).
+func (s *Scheduler) shardFor(k entryKey) *schedShard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(k.tag); i++ {
+		h = (h ^ uint64(k.tag[i])) * 1099511628211
+	}
+	for i := 0; i < len(k.dataID); i++ {
+		h = (h ^ uint64(k.dataID[i])) * 1099511628211
+	}
+	return &s.shards[h%uint64(len(s.shards))]
+}
+
+// bucketOf maps a deadline to its wheel bucket.
+func (s *Scheduler) bucketOf(t time.Time) int64 {
+	return t.UnixNano() / int64(s.granularity)
+}
+
+// Schedule registers a deadline. Returns true when the entry was newly
+// scheduled, false when the datum was already tracked (the earlier
+// deadline wins; an earlier re-schedule moves the entry).
+func (s *Scheduler) Schedule(e Entry) bool {
+	k := entryKey{tag: e.Tag, dataID: e.DataID}
+	sh := s.shardFor(k)
+	b := s.bucketOf(e.Due)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if prev, ok := sh.byKey[k]; ok {
+		if b >= prev {
+			return false // existing (earlier or equal) deadline wins
+		}
+		sh.removeLocked(k, prev)
+	}
+	if _, exists := sh.buckets[b]; !exists {
+		sh.heapPush(b)
+	}
+	sh.buckets[b] = append(sh.buckets[b], e)
+	sh.byKey[k] = b
+	return true
+}
+
+// Cancel drops a scheduled deadline (the datum was erased early), and
+// reports whether it was tracked.
+func (s *Scheduler) Cancel(tag ifc.Tag, dataID string) bool {
+	k := entryKey{tag: tag, dataID: dataID}
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	b, ok := sh.byKey[k]
+	if !ok {
+		return false
+	}
+	sh.removeLocked(k, b)
+	return true
+}
+
+// removeLocked deletes the entry for k from bucket b; the shard lock must
+// be held.
+func (sh *schedShard) removeLocked(k entryKey, b int64) {
+	entries := sh.buckets[b]
+	for i := range entries {
+		if entries[i].Tag == k.tag && entries[i].DataID == k.dataID {
+			entries[i] = entries[len(entries)-1]
+			entries = entries[:len(entries)-1]
+			break
+		}
+	}
+	if len(entries) == 0 {
+		delete(sh.buckets, b)
+	} else {
+		sh.buckets[b] = entries
+	}
+	delete(sh.byKey, k)
+}
+
+// PurgeIf drops every tracked deadline the predicate accepts (e.g. the
+// obligations it was scheduled under were retired by a policy reload),
+// returning how many were dropped. Emptied buckets leave stale heap
+// indexes behind; Due skips them lazily.
+func (s *Scheduler) PurgeIf(drop func(Entry) bool) int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for b, entries := range sh.buckets {
+			kept := entries[:0]
+			for _, e := range entries {
+				if drop(e) {
+					delete(sh.byKey, entryKey{tag: e.Tag, dataID: e.DataID})
+					n++
+					continue
+				}
+				kept = append(kept, e)
+			}
+			if len(kept) == 0 {
+				delete(sh.buckets, b)
+			} else {
+				clear(entries[len(kept):])
+				sh.buckets[b] = kept
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Len returns the number of tracked deadlines.
+func (s *Scheduler) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.byKey)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Due pops up to max entries whose deadline has passed at now (max <= 0
+// means all). The sweep visits whole buckets — the wheel's batched-sweep
+// property: cost is proportional to elapsed buckets plus entries popped,
+// never to the total backlog. Entries popped are no longer tracked; the
+// caller owns executing (and auditing) them.
+func (s *Scheduler) Due(now time.Time, max int) []Entry {
+	nowBucket := s.bucketOf(now)
+	var out []Entry
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for len(sh.order) > 0 {
+			b := sh.order[0]
+			if b > nowBucket {
+				break // everything else in this shard is in the future
+			}
+			entries, live := sh.buckets[b]
+			if !live {
+				sh.heapPop() // stale index: Cancel emptied the bucket
+				continue
+			}
+			// Partition the bucket: entries still ahead of now
+			// (sub-granularity skew) or beyond the max cut stay tracked.
+			kept := entries[:0]
+			for _, e := range entries {
+				if e.Due.After(now) || (max > 0 && len(out) >= max) {
+					kept = append(kept, e)
+					continue
+				}
+				delete(sh.byKey, entryKey{tag: e.Tag, dataID: e.DataID})
+				out = append(out, e)
+			}
+			if len(kept) == 0 {
+				delete(sh.buckets, b)
+				sh.heapPop()
+			} else {
+				// Skew or max cut left residents: keep the index and stop
+				// here — the next sweep retries this bucket first.
+				sh.buckets[b] = kept
+				break
+			}
+			if max > 0 && len(out) >= max {
+				break
+			}
+		}
+		sh.mu.Unlock()
+		if max > 0 && len(out) >= max {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package obligation
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSchedulerSweep(t *testing.T) {
+	s := NewScheduler(time.Second, 4)
+	base := time.Unix(1000, 0)
+	for i := 0; i < 100; i++ {
+		s.Schedule(Entry{
+			Tag: "medical", DataID: fmt.Sprintf("d-%d", i), Seq: uint64(i),
+			Due: base.Add(time.Duration(i) * time.Second),
+		})
+	}
+	if s.Len() != 100 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	due := s.Due(base.Add(9*time.Second), 0)
+	if len(due) != 10 {
+		t.Fatalf("due popped %d entries, want 10", len(due))
+	}
+	for _, e := range due {
+		if e.Due.After(base.Add(9 * time.Second)) {
+			t.Fatalf("popped future entry %+v", e)
+		}
+	}
+	if s.Len() != 90 {
+		t.Fatalf("len after sweep = %d", s.Len())
+	}
+	// Nothing else is due yet.
+	if again := s.Due(base.Add(9*time.Second), 0); len(again) != 0 {
+		t.Fatalf("second sweep popped %d", len(again))
+	}
+	// Batched sweeps honour max and leave the remainder tracked.
+	batch := s.Due(base.Add(time.Hour), 25)
+	if len(batch) != 25 || s.Len() != 65 {
+		t.Fatalf("batched sweep = %d popped, %d left", len(batch), s.Len())
+	}
+	rest := s.Due(base.Add(time.Hour), 0)
+	if len(rest) != 65 || s.Len() != 0 {
+		t.Fatalf("final sweep = %d popped, %d left", len(rest), s.Len())
+	}
+}
+
+func TestSchedulerDedupEarliestWins(t *testing.T) {
+	s := NewScheduler(time.Second, 4)
+	base := time.Unix(2000, 0)
+	if !s.Schedule(Entry{Tag: "t", DataID: "d", Due: base.Add(10 * time.Second)}) {
+		t.Fatal("first schedule rejected")
+	}
+	// A later deadline for the same datum must not extend its life.
+	if s.Schedule(Entry{Tag: "t", DataID: "d", Due: base.Add(time.Hour)}) {
+		t.Fatal("later re-schedule accepted")
+	}
+	// An earlier one moves it forward.
+	if !s.Schedule(Entry{Tag: "t", DataID: "d", Due: base.Add(2 * time.Second)}) {
+		t.Fatal("earlier re-schedule rejected")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	due := s.Due(base.Add(5*time.Second), 0)
+	if len(due) != 1 {
+		t.Fatalf("entry not due at moved deadline (%d popped)", len(due))
+	}
+}
+
+func TestSchedulerCancel(t *testing.T) {
+	s := NewScheduler(time.Second, 4)
+	base := time.Unix(3000, 0)
+	s.Schedule(Entry{Tag: "t", DataID: "d", Due: base})
+	if !s.Cancel("t", "d") {
+		t.Fatal("cancel missed tracked entry")
+	}
+	if s.Cancel("t", "d") {
+		t.Fatal("double cancel reported tracked")
+	}
+	if got := s.Due(base.Add(time.Hour), 0); len(got) != 0 {
+		t.Fatalf("cancelled entry swept: %v", got)
+	}
+}
+
+func TestSchedulerConcurrent(t *testing.T) {
+	s := NewScheduler(time.Millisecond, 8)
+	base := time.Unix(4000, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Schedule(Entry{
+					Tag: "t", DataID: fmt.Sprintf("g%d-%d", g, i),
+					Due: base.Add(time.Duration(i) * time.Millisecond),
+				})
+			}
+		}(g)
+	}
+	var popped sync.Map
+	var sweeps sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		sweeps.Add(1)
+		go func() {
+			defer sweeps.Done()
+			for i := 0; i < 50; i++ {
+				for _, e := range s.Due(base.Add(time.Hour), 100) {
+					if _, dup := popped.LoadOrStore(string(e.Tag)+"/"+e.DataID, true); dup {
+						t.Errorf("entry %s/%s popped twice", e.Tag, e.DataID)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	sweeps.Wait()
+	for _, e := range s.Due(base.Add(time.Hour), 0) {
+		if _, dup := popped.LoadOrStore(string(e.Tag)+"/"+e.DataID, true); dup {
+			t.Errorf("entry %s/%s popped twice", e.Tag, e.DataID)
+		}
+	}
+	n := 0
+	popped.Range(func(_, _ any) bool { n++; return true })
+	if n != 8000 {
+		t.Fatalf("popped %d distinct entries, want 8000", n)
+	}
+}

@@ -58,9 +58,70 @@ type Rule struct {
 	lastFired time.Time
 }
 
-// A PolicySet is a parsed collection of rules.
+// A PolicySet is a parsed collection of rules and obligations.
 type PolicySet struct {
 	Rules []*Rule
+	// Obligations are the data-management declarations (retention, erasure,
+	// residency, purpose limitation) attached to tags; the obligation
+	// engine (internal/obligation) compiles and enforces them.
+	Obligations []*Obligation
+}
+
+// An Obligation declares the data-management duties attached to one tag
+// (Singh et al. §3/§7: retention limits, the right to erasure,
+// jurisdictional residency, purpose limitation):
+//
+//	obligation "gdpr-medical" on medical {
+//	  retain 720h;
+//	  erase on "subject-erasure";
+//	  residency eu uk;
+//	  purpose research treatment;
+//	}
+type Obligation struct {
+	Name string
+	Tag  ifc.Tag
+	// Retain bounds how long data under the tag may be kept; HasRetain
+	// distinguishes "no retain clause" from an explicit zero (which the
+	// linter rejects as meaningless).
+	Retain    time.Duration
+	HasRetain bool
+	// EraseOn lists detection pattern names whose firing triggers erasure
+	// of every datum under the tag.
+	EraseOn []string
+	// Residency lists the jurisdictions data under the tag may reside in
+	// (compiled to the context's Jurisdiction facet).
+	Residency []ifc.Tag
+	// Purpose lists the processing purposes data under the tag permits
+	// (compiled to the context's Purpose facet).
+	Purpose []ifc.Tag
+}
+
+// String renders the obligation back to (normalised) source.
+func (o *Obligation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "obligation %q on %s {", o.Name, o.Tag)
+	if o.HasRetain {
+		fmt.Fprintf(&b, " retain %s;", o.Retain)
+	}
+	for _, ev := range o.EraseOn {
+		fmt.Fprintf(&b, " erase on %q;", ev)
+	}
+	if len(o.Residency) > 0 {
+		b.WriteString(" residency")
+		for _, j := range o.Residency {
+			fmt.Fprintf(&b, " %s", j)
+		}
+		b.WriteString(";")
+	}
+	if len(o.Purpose) > 0 {
+		b.WriteString(" purpose")
+		for _, p := range o.Purpose {
+			fmt.Fprintf(&b, " %s", p)
+		}
+		b.WriteString(";")
+	}
+	b.WriteString(" }")
+	return b.String()
 }
 
 // Expr is a boolean/value expression over the evaluation environment.

@@ -94,11 +94,22 @@ func lex(src string) ([]token, error) {
 			}
 			numText := src[i:j]
 			// A trailing duration unit turns the number into a duration.
+			// After the first unit character, further digit/unit runs stay
+			// part of the same literal, so compound durations like
+			// "1h30m" or time.Duration's "720h0m0s" lex as one token.
 			k := j
-			for k < n && (src[k] == 's' || src[k] == 'm' || src[k] == 'h' ||
-				src[k] == 'n' || src[k] == 'u') {
-				k++
+			for k < n {
+				c := src[k]
+				switch {
+				case c == 's' || c == 'm' || c == 'h' || c == 'n' || c == 'u':
+					k++
+				case k > j && (c >= '0' && c <= '9' || c == '.'):
+					k++
+				default:
+					goto unitsDone
+				}
 			}
+		unitsDone:
 			if k > j {
 				d, err := time.ParseDuration(src[i:k])
 				if err != nil {

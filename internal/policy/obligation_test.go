@@ -1,0 +1,76 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseObligation(t *testing.T) {
+	set := MustParse(`
+# GDPR-style duties for medical data.
+obligation "gdpr-medical" on medical {
+  retain 720h;
+  erase on "subject-erasure";
+  erase on "consent-withdrawn";
+  residency eu uk;
+  purpose research, treatment;
+}
+rule "r" { on timer 1s do alert "tick" }
+`)
+	if len(set.Obligations) != 1 || len(set.Rules) != 1 {
+		t.Fatalf("parsed %d obligations, %d rules", len(set.Obligations), len(set.Rules))
+	}
+	o := set.Obligations[0]
+	if o.Name != "gdpr-medical" || o.Tag != "medical" {
+		t.Fatalf("decl = %+v", o)
+	}
+	if !o.HasRetain || o.Retain != 720*time.Hour {
+		t.Fatalf("retain = %v (has %v)", o.Retain, o.HasRetain)
+	}
+	if len(o.EraseOn) != 2 || o.EraseOn[0] != "subject-erasure" || o.EraseOn[1] != "consent-withdrawn" {
+		t.Fatalf("eraseOn = %v", o.EraseOn)
+	}
+	if len(o.Residency) != 2 || o.Residency[0] != "eu" || o.Residency[1] != "uk" {
+		t.Fatalf("residency = %v", o.Residency)
+	}
+	if len(o.Purpose) != 2 || o.Purpose[0] != "research" || o.Purpose[1] != "treatment" {
+		t.Fatalf("purpose = %v", o.Purpose)
+	}
+}
+
+func TestParseObligationOnly(t *testing.T) {
+	set := MustParse(`obligation "r" on sensor-data { retain 24h }`)
+	if len(set.Obligations) != 1 {
+		t.Fatalf("obligations = %d", len(set.Obligations))
+	}
+}
+
+func TestParseObligationErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{`obligation on medical { retain 1h; }`, "expected string"},
+		{`obligation "x" medical { retain 1h; }`, `expected "on"`},
+		{`obligation "x" on medical { retain; }`, "expected retention duration"},
+		{`obligation "x" on medical { retain 1h; retain 2h; }`, "duplicate retain"},
+		{`obligation "x" on medical { shred now; }`, "expected retain, erase, residency or purpose"},
+		{`obligation "x" on medical { erase "e"; }`, `expected "on"`},
+		{`obligation "x" on "bad tag" { retain 1h; }`, "invalid tag"},
+		{`obligation "x" on medical { residency; }`, "expected tag"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) = %v, want error containing %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestObligationStringRoundTrips(t *testing.T) {
+	src := `obligation "g" on medical { retain 1h; erase on "e"; residency eu; purpose research; }`
+	set := MustParse(src)
+	again := MustParse(set.Obligations[0].String())
+	if got, want := again.Obligations[0].String(), set.Obligations[0].String(); got != want {
+		t.Fatalf("round trip:\n got %s\nwant %s", got, want)
+	}
+}

@@ -11,10 +11,14 @@ import (
 //
 // Grammar (see package documentation for an example):
 //
-//	policyset := rule*
-//	rule      := "rule" STRING ["priority" NUMBER] "{" trigger ["when" expr] "do" actions "}"
-//	trigger   := "on" "event" STRING | "on" "context" IDENT | "on" "timer" DURATION
-//	actions   := action (";" action)* [";"]
+//	policyset  := (rule | obligation)*
+//	rule       := "rule" STRING ["priority" NUMBER] "{" trigger ["when" expr] "do" actions "}"
+//	trigger    := "on" "event" STRING | "on" "context" IDENT | "on" "timer" DURATION
+//	actions    := action (";" action)* [";"]
+//	obligation := "obligation" STRING "on" tag "{" obclause* "}"
+//	obclause   := "retain" DURATION ";" | "erase" "on" STRING ";"
+//	            | "residency" tag+ ";" | "purpose" tag+ ";"
+//	tag        := IDENT | STRING
 func Parse(src string) (*PolicySet, error) {
 	toks, err := lex(src)
 	if err != nil {
@@ -23,14 +27,22 @@ func Parse(src string) (*PolicySet, error) {
 	p := &parser{toks: toks}
 	set := &PolicySet{}
 	for !p.at(tokEOF) {
+		if p.atKeyword("obligation") {
+			o, err := p.obligation()
+			if err != nil {
+				return nil, err
+			}
+			set.Obligations = append(set.Obligations, o)
+			continue
+		}
 		r, err := p.rule()
 		if err != nil {
 			return nil, err
 		}
 		set.Rules = append(set.Rules, r)
 	}
-	if len(set.Rules) == 0 {
-		return nil, fmt.Errorf("policy: no rules in source")
+	if len(set.Rules) == 0 && len(set.Obligations) == 0 {
+		return nil, fmt.Errorf("policy: no rules or obligations in source")
 	}
 	return set, nil
 }
@@ -152,6 +164,118 @@ func (p *parser) rule() (*Rule, error) {
 		return nil, err
 	}
 	return r, nil
+}
+
+// obligation parses one obligation declaration (the keyword is current).
+func (p *parser) obligation() (*Obligation, error) {
+	p.next() // consume "obligation"
+	name, err := p.expectString()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("on"); err != nil {
+		return nil, err
+	}
+	tag, err := p.tag()
+	if err != nil {
+		return nil, err
+	}
+	o := &Obligation{Name: name, Tag: tag}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	for !p.atPunct("}") {
+		if err := p.obligationClause(o); err != nil {
+			return nil, err
+		}
+		if p.atPunct(";") {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct("}"); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// obligationClause parses one clause body (without its terminator).
+func (p *parser) obligationClause(o *Obligation) error {
+	switch {
+	case p.atKeyword("retain"):
+		p.next()
+		if !p.at(tokDuration) {
+			return p.errf("expected retention duration, found %s", p.cur())
+		}
+		if o.HasRetain {
+			return p.errf("duplicate retain clause")
+		}
+		o.Retain = p.next().dur
+		o.HasRetain = true
+	case p.atKeyword("erase"):
+		p.next()
+		if err := p.expectKeyword("on"); err != nil {
+			return err
+		}
+		ev, err := p.expectString()
+		if err != nil {
+			return err
+		}
+		o.EraseOn = append(o.EraseOn, ev)
+	case p.atKeyword("residency"):
+		p.next()
+		tags, err := p.tagList()
+		if err != nil {
+			return err
+		}
+		o.Residency = append(o.Residency, tags...)
+	case p.atKeyword("purpose"):
+		p.next()
+		tags, err := p.tagList()
+		if err != nil {
+			return err
+		}
+		o.Purpose = append(o.Purpose, tags...)
+	default:
+		return p.errf("expected retain, erase, residency or purpose, found %s", p.cur())
+	}
+	return nil
+}
+
+// tag parses a single tag (identifier or string) and validates it.
+func (p *parser) tag() (ifc.Tag, error) {
+	t := p.cur()
+	if t.kind != tokIdent && t.kind != tokString {
+		return "", p.errf("expected tag, found %s", t)
+	}
+	p.next()
+	tag := ifc.Tag(t.text)
+	if err := tag.Validate(); err != nil {
+		return "", fmt.Errorf("policy: line %d: %w", t.line, err)
+	}
+	return tag, nil
+}
+
+// tagList parses one or more tags, optionally comma-separated, up to the
+// clause terminator.
+func (p *parser) tagList() ([]ifc.Tag, error) {
+	var tags []ifc.Tag
+	for {
+		tag, err := p.tag()
+		if err != nil {
+			return nil, err
+		}
+		tags = append(tags, tag)
+		if p.atPunct(",") {
+			p.next()
+			continue
+		}
+		if p.at(tokIdent) || p.at(tokString) {
+			continue
+		}
+		return tags, nil
+	}
 }
 
 func (p *parser) trigger() (Trigger, error) {

@@ -189,6 +189,13 @@ type Bus struct {
 	// linkCfg is the tuning applied to links established by this bus; nil
 	// means the defaults (see LinkConfig.withDefaults).
 	linkCfg atomic.Pointer[LinkConfig]
+
+	// jurisdiction is the set of jurisdictions this bus (machine) resides
+	// in, declared to peers in the federation hello so their link egress
+	// can enforce residency obligations before data leaves the region.
+	// Empty means undeclared — residency-constrained data will then never
+	// be sent to (or accepted by) this bus.
+	jurisdiction atomic.Pointer[ifc.Label]
 }
 
 // NewBus builds a bus. The ACL governs the control plane (who may
@@ -222,6 +229,22 @@ func NewBus(name string, acl *ac.ACL, store *ctxmodel.Store, log *audit.Log) *Bu
 
 // Name returns the bus name (used in cross-bus addresses).
 func (b *Bus) Name() string { return b.name }
+
+// SetJurisdiction declares the jurisdictions this bus resides in. The
+// declaration travels in the federation hello (wire protocol v3), where
+// peer buses use it to gate egress of residency-constrained data; links
+// established before the call keep the jurisdiction they greeted with
+// until their next reconnect.
+func (b *Bus) SetJurisdiction(l ifc.Label) { b.jurisdiction.Store(&l) }
+
+// Jurisdiction returns the declared jurisdiction set (empty when
+// undeclared).
+func (b *Bus) Jurisdiction() ifc.Label {
+	if l := b.jurisdiction.Load(); l != nil {
+		return *l
+	}
+	return ifc.EmptyLabel
+}
 
 // SetAdmissionPolicy installs the cross-bus ingress filter (see the
 // admission field). A nil policy admits any well-formed context.

@@ -52,6 +52,12 @@ var ErrLinkDown = errors.New("sbus: link down")
 // not draining egress fast enough.
 var ErrBackpressure = errors.New("sbus: link send queue full")
 
+// ErrResidency is returned when link egress would move
+// residency-constrained data to a peer bus outside the data's allowed
+// jurisdictions (or to one that declared none). Denials are audited like
+// any other flow denial.
+var ErrResidency = errors.New("sbus: residency violation")
+
 // connectTimeout bounds cross-bus connect handshakes.
 const connectTimeout = 10 * time.Second
 
@@ -166,6 +172,9 @@ type LinkStatus struct {
 	QueueCap   int
 	// Reconnects counts successful session resumptions.
 	Reconnects uint64
+	// PeerJurisdiction is the jurisdiction set the peer declared in its
+	// hello (empty = undeclared: residency-constrained egress is denied).
+	PeerJurisdiction ifc.Label
 }
 
 // A link is a connection to a peer bus. For outbound links the identity is
@@ -194,6 +203,9 @@ type link struct {
 	state  LinkState
 	closed bool
 	nextID uint64
+	// peerJur is the jurisdiction set the peer declared in its hello,
+	// refreshed on every (re)connect; the egress residency gate reads it.
+	peerJur ifc.Label
 	// pending maps request IDs to reply channels; closed (not replied) when
 	// the link shuts down so callers fail fast instead of timing out.
 	pending map[uint64]chan LinkFrame
@@ -222,38 +234,38 @@ func (b *Bus) newLink(peer string, network transport.Network, addr string) *link
 	return l
 }
 
-// dialHello dials a peer and performs the v2 hello exchange, returning the
-// live connection and the peer's bus name.
-func dialHello(b *Bus, network transport.Network, addr string) (transport.Conn, string, error) {
+// dialHello dials a peer and performs the hello exchange, returning the
+// live connection, the peer's bus name and its declared jurisdiction.
+func dialHello(b *Bus, network transport.Network, addr string) (transport.Conn, string, ifc.Label, error) {
 	conn, err := network.Dial(addr)
 	if err != nil {
-		return nil, "", err
+		return nil, "", ifc.EmptyLabel, err
 	}
-	hello := LinkFrame{Kind: "hello", Bus: b.name}
+	hello := LinkFrame{Kind: "hello", Bus: b.name, SrcJurisdiction: b.Jurisdiction()}
 	buf, err := encodeSingle(&hello)
 	if err != nil {
 		conn.Close()
-		return nil, "", err
+		return nil, "", ifc.EmptyLabel, err
 	}
 	if err := conn.Send(buf); err != nil {
 		conn.Close()
-		return nil, "", err
+		return nil, "", ifc.EmptyLabel, err
 	}
 	raw, err := conn.Recv()
 	if err != nil {
 		conn.Close()
-		return nil, "", err
+		return nil, "", ifc.EmptyLabel, err
 	}
 	frames, err := DecodeBatch(raw)
 	if err != nil {
 		conn.Close()
-		return nil, "", fmt.Errorf("sbus: hello from %s: %w", addr, err)
+		return nil, "", ifc.EmptyLabel, fmt.Errorf("sbus: hello from %s: %w", addr, err)
 	}
 	if len(frames) != 1 || frames[0].Kind != "hello" || frames[0].Bus == "" {
 		conn.Close()
-		return nil, "", fmt.Errorf("%w: bad hello from %s", ErrProtocol, addr)
+		return nil, "", ifc.EmptyLabel, fmt.Errorf("%w: bad hello from %s", ErrProtocol, addr)
 	}
-	return conn, frames[0].Bus, nil
+	return conn, frames[0].Bus, frames[0].SrcJurisdiction, nil
 }
 
 // LinkTo dials a peer bus, performs the hello exchange and starts the
@@ -261,11 +273,12 @@ func dialHello(b *Bus, network transport.Network, addr string) (transport.Conn, 
 // channels already routed to that peer (from an earlier link) are replayed
 // so the session resumes where it left off.
 func (b *Bus) LinkTo(network transport.Network, addr string) (string, error) {
-	conn, peer, err := dialHello(b, network, addr)
+	conn, peer, peerJur, err := dialHello(b, network, addr)
 	if err != nil {
 		return "", err
 	}
 	l := b.newLink(peer, network, addr)
+	l.peerJur = peerJur
 	// Replay any surviving egress channels *before* addLink makes the
 	// link routable: once publishers can reach the queue, their message
 	// frames must never get ahead of the connect handshakes.
@@ -296,7 +309,7 @@ func (b *Bus) ServeLink(conn transport.Conn) error {
 		conn.Close()
 		return fmt.Errorf("%w: handshake did not open with hello", ErrProtocol)
 	}
-	reply := LinkFrame{Kind: "hello", Bus: b.name}
+	reply := LinkFrame{Kind: "hello", Bus: b.name, SrcJurisdiction: b.Jurisdiction()}
 	buf, err := encodeSingle(&reply)
 	if err != nil {
 		conn.Close()
@@ -307,6 +320,7 @@ func (b *Bus) ServeLink(conn transport.Conn) error {
 		return err
 	}
 	l := b.newLink(frames[0].Bus, nil, conn.RemoteAddr())
+	l.peerJur = frames[0].SrcJurisdiction
 	// As in LinkTo: re-establish this bus's own egress channels over the
 	// fresh inbound link before it becomes routable.
 	l.replayEgress(conn)
@@ -440,14 +454,22 @@ func (l *link) status() LinkStatus {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return LinkStatus{
-		Peer:       l.peer,
-		Addr:       l.addr,
-		Dialer:     l.network != nil,
-		State:      l.state,
-		QueueDepth: len(l.sendQ),
-		QueueCap:   cap(l.sendQ),
-		Reconnects: l.reconnects,
+		Peer:             l.peer,
+		Addr:             l.addr,
+		Dialer:           l.network != nil,
+		State:            l.state,
+		QueueDepth:       len(l.sendQ),
+		QueueCap:         cap(l.sendQ),
+		Reconnects:       l.reconnects,
+		PeerJurisdiction: l.peerJur,
 	}
+}
+
+// peerJurisdiction reads the peer's declared jurisdiction.
+func (l *link) peerJurisdiction() ifc.Label {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.peerJur
 }
 
 // linkFor returns the link to a peer (which may be mid-reconnect: egress
@@ -649,7 +671,7 @@ func (l *link) redial() (transport.Conn, int, error) {
 		if backoff > l.cfg.BackoffMax {
 			backoff = l.cfg.BackoffMax
 		}
-		conn, peer, err := dialHello(l.bus, l.network, l.addr)
+		conn, peer, peerJur, err := dialHello(l.bus, l.network, l.addr)
 		if err != nil {
 			lastErr = err
 			continue
@@ -659,6 +681,9 @@ func (l *link) redial() (transport.Conn, int, error) {
 			lastErr = fmt.Errorf("address %q now answers as bus %q, expected %q", l.addr, peer, l.peer)
 			continue
 		}
+		l.mu.Lock()
+		l.peerJur = peerJur // the peer may have redeclared (e.g. migrated)
+		l.mu.Unlock()
 		return conn, attempt, nil
 	}
 	return nil, l.cfg.RetryBudget, lastErr
@@ -688,13 +713,15 @@ func (l *link) replayEgress(conn transport.Conn) int {
 		}
 		ctx := ch.srcComp.Context()
 		f := LinkFrame{
-			Kind:         "connect",
-			Src:          b.name + ":" + ch.key.src,
-			Dst:          ch.remoteDst,
-			SrcSecrecy:   ctx.Secrecy,
-			SrcIntegrity: ctx.Integrity,
-			Schema:       ch.srcEP.Schema.Name,
-			Agent:        ch.agent,
+			Kind:            "connect",
+			Src:             b.name + ":" + ch.key.src,
+			Dst:             ch.remoteDst,
+			SrcSecrecy:      ctx.Secrecy,
+			SrcIntegrity:    ctx.Integrity,
+			SrcJurisdiction: ctx.Jurisdiction,
+			SrcPurpose:      ctx.Purpose,
+			Schema:          ch.srcEP.Schema.Name,
+			Agent:           ch.agent,
 		}
 		l.mu.Lock()
 		if l.closed {
@@ -788,8 +815,34 @@ func (l *link) replayEgress(conn transport.Conn) int {
 	return len(frames)
 }
 
+// checkEgressResidency is the residency gate on link egress: data whose
+// context constrains jurisdiction may only leave for a peer bus that
+// declared itself inside the allowed set in its federation hello. The
+// denial is audited like an ordinary flow denial — "data never leaves an
+// allowed region" is precisely the evidence a regulator asks for.
+func (b *Bus) checkEgressResidency(l *link, src ifc.EntityID, ctx ifc.SecurityContext,
+	agent ifc.PrincipalID, dataID string) error {
+	if ctx.Jurisdiction.IsEmpty() {
+		return nil
+	}
+	peerJur := l.peerJurisdiction()
+	if !peerJur.IsEmpty() && peerJur.Subset(ctx.Jurisdiction) {
+		return nil
+	}
+	declared := peerJur.String()
+	if peerJur.IsEmpty() {
+		declared = "none"
+	}
+	b.auditDenied(src, ifc.EntityID(l.peer), ctx, ifc.SecurityContext{Jurisdiction: peerJur},
+		agent, dataID, fmt.Sprintf("egress denied: residency restricted to %s, peer bus %q declares %s",
+			ctx.Jurisdiction, l.peer, declared))
+	return fmt.Errorf("%w: data restricted to %s, peer bus %q declares %s",
+		ErrResidency, ctx.Jurisdiction, l.peer, declared)
+}
+
 // connectRemote establishes a channel whose sink lives on a peer bus. The
-// remote bus performs the authoritative ingress checks and replies.
+// remote bus performs the authoritative ingress checks and replies; the
+// local bus enforces residency before the request even leaves.
 func (b *Bus) connectRemote(by ifc.PrincipalID, srcComp *Component, srcEP EndpointSpec,
 	src, remoteBus, remoteDst string) error {
 	l, err := b.linkFor(remoteBus)
@@ -797,14 +850,19 @@ func (b *Bus) connectRemote(by ifc.PrincipalID, srcComp *Component, srcEP Endpoi
 		return err
 	}
 	ctx := srcComp.Context()
+	if err := b.checkEgressResidency(l, srcComp.entity.ID(), ctx, by, ""); err != nil {
+		return err
+	}
 	resp, err := l.request(LinkFrame{
-		Kind:         "connect",
-		Src:          b.name + ":" + src,
-		Dst:          remoteDst,
-		SrcSecrecy:   ctx.Secrecy,
-		SrcIntegrity: ctx.Integrity,
-		Schema:       srcEP.Schema.Name,
-		Agent:        by,
+		Kind:            "connect",
+		Src:             b.name + ":" + src,
+		Dst:             remoteDst,
+		SrcSecrecy:      ctx.Secrecy,
+		SrcIntegrity:    ctx.Integrity,
+		SrcJurisdiction: ctx.Jurisdiction,
+		SrcPurpose:      ctx.Purpose,
+		Schema:          srcEP.Schema.Name,
+		Agent:           by,
 	})
 	if err != nil {
 		return err
@@ -841,14 +899,22 @@ func (b *Bus) sendRemote(srcComp *Component, srcEP EndpointSpec, remoteBus, remo
 		return err
 	}
 	ctx := srcComp.Context()
+	// Residency gate: constrained data never leaves an allowed region,
+	// checked per message because the source's context (and the peer's
+	// declaration, across reconnects) may have changed since connect.
+	if err := b.checkEgressResidency(l, srcComp.entity.ID(), ctx, srcComp.principal, m.DataID); err != nil {
+		return err
+	}
 	f := LinkFrame{
-		Kind:         "message",
-		Src:          b.name + ":" + srcComp.Name() + "." + srcEP.Name,
-		Dst:          remoteDst,
-		SrcSecrecy:   ctx.Secrecy,
-		SrcIntegrity: ctx.Integrity,
-		Schema:       srcEP.Schema.Name,
-		Agent:        srcComp.principal,
+		Kind:            "message",
+		Src:             b.name + ":" + srcComp.Name() + "." + srcEP.Name,
+		Dst:             remoteDst,
+		SrcSecrecy:      ctx.Secrecy,
+		SrcIntegrity:    ctx.Integrity,
+		SrcJurisdiction: ctx.Jurisdiction,
+		SrcPurpose:      ctx.Purpose,
+		Schema:          srcEP.Schema.Name,
+		Agent:           srcComp.principal,
 	}
 	buf, err := appendMessageFrame(nil, &f, m)
 	if err != nil {
@@ -969,7 +1035,10 @@ func (l *link) acceptIngress(f LinkFrame) error {
 	if dstEP.Schema.Name != f.Schema {
 		return fmt.Errorf("%w: remote emits %q, local accepts %q", ErrSchema, f.Schema, dstEP.Schema.Name)
 	}
-	srcCtx := ifc.SecurityContext{Secrecy: f.SrcSecrecy, Integrity: f.SrcIntegrity}
+	srcCtx := ifc.SecurityContext{
+		Secrecy: f.SrcSecrecy, Integrity: f.SrcIntegrity,
+		Jurisdiction: f.SrcJurisdiction, Purpose: f.SrcPurpose,
+	}
 	if err := b.admit(srcCtx); err != nil {
 		b.auditDenied(ifc.EntityID(f.Src), dstComp.entity.ID(), srcCtx, dstComp.Context(),
 			f.Agent, "", "ingress connect refused by admission policy: "+err.Error())
@@ -1003,7 +1072,10 @@ func (l *link) deliverIngress(f LinkFrame) {
 	if err != nil {
 		return
 	}
-	srcCtx := ifc.SecurityContext{Secrecy: f.SrcSecrecy, Integrity: f.SrcIntegrity}
+	srcCtx := ifc.SecurityContext{
+		Secrecy: f.SrcSecrecy, Integrity: f.SrcIntegrity,
+		Jurisdiction: f.SrcJurisdiction, Purpose: f.SrcPurpose,
+	}
 	dstCtx := dstComp.Context()
 
 	if !established {

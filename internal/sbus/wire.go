@@ -17,13 +17,19 @@ import (
 // per-peer writer goroutine (link.go) can coalesce a burst of messages into
 // a single syscall/packet. Layout (all integers big-endian):
 //
-//	batch  := u8 magic 'L' | u8 version (2) | u16 count | count × frame
+//	batch  := u8 magic 'L' | u8 version (3) | u16 count | count × frame
 //	frame  := u8 kind | u64 id | u8 flags |
 //	          str16 bus | str16 src | str16 dst |
 //	          str16 srcSecrecy | str16 srcIntegrity |   (canonical label form)
+//	          str16 srcJurisdiction | str16 srcPurpose |
 //	          str16 schema | str16 agent | str16 err |
 //	          bytes32 payload
 //	str16  := u16 len | bytes      bytes32 := u32 len | bytes
+//
+// v3 extends v2 with the obligation facets (jurisdiction and purpose) of
+// the source context on every frame; on hello frames the jurisdiction
+// field carries the *bus's* declared jurisdiction, which the peer's
+// egress path uses to enforce residency before data leaves a region.
 //
 // Labels travel as their canonical String form (a pointer read on interned
 // labels) and are re-interned by ifc.ParseLabel on decode — the same idiom
@@ -39,7 +45,7 @@ const (
 	// linkMagic is the first byte of every v2 batch ('L' for link).
 	linkMagic = 0x4C
 	// linkVersion is the protocol version this bus speaks.
-	linkVersion = 2
+	linkVersion = 3
 	// batchHeaderLen is magic + version + count.
 	batchHeaderLen = 4
 )
@@ -79,6 +85,11 @@ type LinkFrame struct {
 
 	SrcSecrecy   ifc.Label `json:"src_s,omitempty"`
 	SrcIntegrity ifc.Label `json:"src_i,omitempty"`
+	// SrcJurisdiction and SrcPurpose are the obligation facets of the
+	// source context; on hello frames SrcJurisdiction is the sending bus's
+	// declared jurisdiction.
+	SrcJurisdiction ifc.Label `json:"src_j,omitempty"`
+	SrcPurpose      ifc.Label `json:"src_p,omitempty"`
 
 	Schema  string `json:"schema,omitempty"`
 	Payload []byte `json:"payload,omitempty"` // msg.AppendBinary
@@ -146,6 +157,7 @@ func appendFramePrefix(dst []byte, f *LinkFrame) ([]byte, error) {
 	for _, s := range [...]string{
 		f.Bus, f.Src, f.Dst,
 		f.SrcSecrecy.String(), f.SrcIntegrity.String(),
+		f.SrcJurisdiction.String(), f.SrcPurpose.String(),
 		f.Schema, string(f.Agent), f.Err,
 	} {
 		if len(s) > 0xFFFF {
@@ -283,6 +295,20 @@ func (d *wireDecoder) decodeFrame() (LinkFrame, error) {
 	}
 	if f.SrcIntegrity, err = ifc.ParseLabel(srcI); err != nil {
 		return f, fmt.Errorf("%w: src integrity: %v", ErrWire, err)
+	}
+	srcJ, err := d.string16()
+	if err != nil {
+		return f, err
+	}
+	if f.SrcJurisdiction, err = ifc.ParseLabel(srcJ); err != nil {
+		return f, fmt.Errorf("%w: src jurisdiction: %v", ErrWire, err)
+	}
+	srcP, err := d.string16()
+	if err != nil {
+		return f, err
+	}
+	if f.SrcPurpose, err = ifc.ParseLabel(srcP); err != nil {
+		return f, fmt.Errorf("%w: src purpose: %v", ErrWire, err)
 	}
 	if f.Schema, err = d.string16(); err != nil {
 		return f, err

@@ -107,7 +107,7 @@ func TestWireRejectsLegacyJSONCleanly(t *testing.T) {
 	if !errors.Is(err, ErrProtocol) {
 		t.Fatalf("v1 JSON frame: err = %v, want ErrProtocol", err)
 	}
-	if got := err.Error(); got == "" || !containsAll(got, "v1", "v2") {
+	if got := err.Error(); got == "" || !containsAll(got, "v1", "v3") {
 		t.Fatalf("rejection message should name both versions, got %q", got)
 	}
 }

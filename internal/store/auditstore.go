@@ -72,7 +72,16 @@ func (s *AuditStore) verifyRange(from, to uint64, head *[32]byte) (uint64, error
 			bad = e.Seq
 			return fmt.Errorf("%w: record %d links to wrong predecessor", audit.ErrChainBroken, r.Seq)
 		}
-		if audit.HashRecord(&r) != r.Hash {
+		// Tombstones carry the original hash but no payload: linkage (above
+		// and via the next record's PrevHash) is all that remains checkable
+		// — provided they really are payload-free, else the flag would be a
+		// forgery vector.
+		if r.Redacted {
+			if !audit.ValidTombstone(&r) {
+				bad = e.Seq
+				return fmt.Errorf("%w: record %d marked redacted but carries payload", audit.ErrChainBroken, r.Seq)
+			}
+		} else if audit.HashRecord(&r) != r.Hash {
 			bad = e.Seq
 			return fmt.Errorf("%w: record %d content hash mismatch", audit.ErrChainBroken, r.Seq)
 		}
@@ -122,6 +131,43 @@ func (s *AuditStore) Append(r audit.Record) error {
 
 // Sync blocks until every appended record is durable.
 func (s *AuditStore) Sync() error { return s.w.Sync() }
+
+// Redact overwrites the persisted record at seq with its chain-preserving
+// tombstone (see audit.Record.Redact): payload zeroed, sequence and hashes
+// intact, so Verify still passes end to end while the data is gone. It
+// returns the number of records actually tombstoned (0 when the record was
+// already redacted). note is retained in the tombstone as erasure
+// evidence.
+func (s *AuditStore) Redact(seq uint64, note string) (int, error) {
+	return s.RedactMany([]uint64{seq}, note)
+}
+
+// RedactMany tombstones every listed record in one pass — each affected
+// WAL segment is rewritten once, so batch erasures (a retention sweep, a
+// whole-tag erasure request) stay proportional to segment count, not
+// record count. Already-redacted records are skipped. Returns the number
+// of records newly tombstoned.
+func (s *AuditStore) RedactMany(seqs []uint64, note string) (int, error) {
+	changed := 0
+	err := s.w.RedactMany(seqs, func(_ uint64, old []byte) ([]byte, error) {
+		r, err := audit.DecodeRecordBinary(old)
+		if err != nil {
+			return nil, err
+		}
+		if r.Redacted {
+			return old, nil
+		}
+		t := r.Redact(note)
+		changed++
+		return audit.AppendRecordBinary(nil, &t), nil
+	})
+	return changed, err
+}
+
+// Pin protects the segment holding seq from retention until the returned
+// release runs — the guard a pending (scheduled but not yet executed)
+// tombstone takes so MaxSegments pruning cannot race it.
+func (s *AuditStore) Pin(seq uint64) (release func()) { return s.w.Pin(seq) }
 
 // AttachLog wires the store under an in-memory audit.Log: the log is
 // primed with the recovered chain head (so its first new record links to

@@ -1,0 +1,242 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"lciot/internal/audit"
+)
+
+// fillSegments appends records until the WAL has rotated into at least n
+// segments.
+func fillSegments(t *testing.T, w *WAL, n int) {
+	t.Helper()
+	payload := bytes.Repeat([]byte{0xAB}, 256)
+	for i := 0; w.Segments() < n; i++ {
+		if _, err := w.Append(time.Unix(int64(i), 0), payload); err != nil {
+			t.Fatal(err)
+		}
+		if i%16 == 15 {
+			if err := w.Sync(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i > 100000 {
+			t.Fatal("segments never rotated")
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALRedactRewritesInPlace checks that Redact replaces exactly the
+// targeted payload, preserves every other frame, and survives reopen.
+func TestWALRedactRewritesInPlace(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SegmentBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := w.Append(time.Unix(int64(i), 0), []byte(fmt.Sprintf("payload-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Redact(17, func(old []byte) ([]byte, error) {
+		if string(old) != "payload-017" {
+			return nil, fmt.Errorf("redact saw %q", old)
+		}
+		return []byte("tombstone"), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	check := func(w *WAL, want int) {
+		t.Helper()
+		seen := 0
+		err := w.ReadSeq(0, 0, func(e Entry) error {
+			wantP := fmt.Sprintf("payload-%03d", e.Seq)
+			if e.Seq == 17 {
+				wantP = "tombstone"
+			}
+			if string(e.Payload) != wantP {
+				return fmt.Errorf("seq %d: payload %q, want %q", e.Seq, e.Payload, wantP)
+			}
+			seen++
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen != want {
+			t.Fatalf("saw %d records, want %d", seen, want)
+		}
+	}
+	check(w, 40)
+	// Appending after a redaction of the active segment must still work:
+	// the active handle was reattached at the rewritten tail.
+	if _, err := w.Append(time.Unix(40, 0), []byte("payload-040")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Recovery must accept the rewritten segment.
+	w2, err := Open(dir, Options{SegmentBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	check(w2, 41)
+}
+
+// TestWALRedactRange rejects uncommitted and pruned targets.
+func TestWALRedactRange(t *testing.T) {
+	w, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.Append(time.Now(), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Redact(99, func(b []byte) ([]byte, error) { return b, nil }); !errors.Is(err, ErrNotRetained) {
+		t.Fatalf("redact beyond head = %v, want ErrNotRetained", err)
+	}
+}
+
+// TestMaxSegmentsRespectsPins is the regression test for the
+// retention/redaction interplay: MaxSegments pruning must not drop a
+// segment still referenced by a pending tombstone.
+func TestMaxSegmentsRespectsPins(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SegmentBytes: 2 << 10, MaxSegments: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	fillSegments(t, w, 2)
+	// Pin a record in the oldest segment, then keep appending far past the
+	// retention bound.
+	pinned := w.FirstSeq()
+	release := w.Pin(pinned)
+	fillSegments(t, w, 8)
+	if got := w.FirstSeq(); got > pinned {
+		t.Fatalf("retention dropped pinned seq %d (first retained now %d)", pinned, got)
+	}
+	// The pinned record must still be readable (and redactable).
+	found := false
+	if err := w.ReadSeq(pinned, pinned+1, func(e Entry) error { found = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatalf("pinned seq %d unreadable", pinned)
+	}
+	// Releasing the pin lets the next rotation apply retention again: keep
+	// appending until a rotation happens and check the backlog collapsed
+	// back to the bound.
+	release()
+	release() // idempotent
+	before := w.Segments()
+	payload := bytes.Repeat([]byte{0xCD}, 256)
+	for i := 0; w.Segments() >= before; i++ {
+		if _, err := w.Append(time.Now(), payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if i > 100000 {
+			t.Fatalf("retention never resumed after release: %d segments", w.Segments())
+		}
+	}
+	if got := w.Segments(); got > 3 {
+		t.Fatalf("retention resumed but kept %d segments, want <= 3", got)
+	}
+	// Prune must honour pins the same way.
+	p := w.Pin(w.FirstSeq())
+	defer p()
+	if _, err := w.Prune(w.NextSeq()); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.FirstSeq(); got != 0 && w.Segments() > 0 {
+		// The pinned front segment must have survived the prune.
+		first := w.FirstSeq()
+		if first > w.NextSeq() {
+			t.Fatalf("prune dropped pinned segment: first %d", first)
+		}
+	}
+}
+
+// TestAuditStoreRedactTombstone checks the full disk-tier erasure: redact
+// a record, verify the chain end to end, reopen, verify again.
+func TestAuditStoreRedactTombstone(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenAudit(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := audit.NewLog(nil)
+	if err := s.AttachLog(log); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		log.Append(audit.Record{
+			Kind: audit.FlowAllowed, Layer: audit.LayerMessaging, Domain: "d",
+			Src: "sensor", Dst: "analyser", DataID: fmt.Sprintf("datum-%d", i),
+			Note: "delivery",
+		})
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.Redact(7, "retention expired")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("redacted %d records, want 1", n)
+	}
+	// Idempotent.
+	if n, err = s.Redact(7, "again"); err != nil || n != 0 {
+		t.Fatalf("second redaction = (%d, %v), want (0, nil)", n, err)
+	}
+	if bad, err := s.Verify(); err != nil {
+		t.Fatalf("chain broken at %d after redaction: %v", bad, err)
+	}
+	recs, err := s.Records(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recs[7].Redacted || recs[7].DataID != "" || recs[7].Src != "" {
+		t.Fatalf("record 7 not tombstoned: %+v", recs[7])
+	}
+	if recs[8].PrevHash != recs[7].Hash {
+		t.Fatal("tombstone broke the chain linkage")
+	}
+	if err := audit.VerifySegment(recs, nil); err != nil {
+		t.Fatalf("VerifySegment over tombstoned set: %v", err)
+	}
+	s.Close()
+
+	// Recovery must verify the redacted chain and keep appending on it.
+	s2, err := OpenAudit(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after redaction: %v", err)
+	}
+	defer s2.Close()
+	log2 := audit.NewLog(nil)
+	if err := s2.AttachLog(log2); err != nil {
+		t.Fatal(err)
+	}
+	log2.Append(audit.Record{Kind: audit.Reconfiguration, Domain: "d", Note: "post-redaction boot"})
+	if err := s2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if bad, err := s2.Verify(); err != nil {
+		t.Fatalf("chain broken at %d after reopen+append: %v", bad, err)
+	}
+}

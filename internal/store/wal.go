@@ -16,6 +16,9 @@ import (
 // Errors reported by the WAL.
 var (
 	ErrClosed = errors.New("store: wal closed")
+	// ErrNotRetained reports a redaction target outside the retained,
+	// committed sequence range.
+	ErrNotRetained = errors.New("store: seq not retained")
 )
 
 // Options configures a WAL. The zero value is ready for production use.
@@ -70,6 +73,16 @@ type WAL struct {
 	mu     sync.Mutex
 	segs   []*segment
 	active *os.File
+	// pins refcounts sequence numbers that retention must not drop:
+	// a pending tombstone (a scheduled redaction that has not executed
+	// yet) pins its target so MaxSegments rotation and Prune keep the
+	// segment holding it until the pin is released. pinMin caches the
+	// smallest pinned seq (the only one front-only removal cares about);
+	// pinMinStale marks it for lazy recomputation after a release, so
+	// rotation checks stay O(1) however many data are pinned.
+	pins        map[uint64]int
+	pinMin      uint64
+	pinMinStale bool
 
 	// pendMu guards the pending batch and the commit watermark.
 	pendMu   sync.Mutex
@@ -463,18 +476,89 @@ func (w *WAL) rotateLocked(nextSeq uint64) error {
 	w.segs = append(w.segs, seg)
 	w.active = f
 	if w.opts.MaxSegments > 0 {
+		removed := false
 		for len(w.segs) > w.opts.MaxSegments {
 			old := w.segs[0]
+			// A segment referenced by a pending tombstone must survive
+			// retention: dropping it would turn a scheduled redaction into
+			// silent data loss (and break the erasure evidence). The pin
+			// also blocks everything behind it — segments are removed
+			// strictly from the front to keep recovery's continuity check.
+			if w.pinnedLocked(old.firstSeq, old.endSeq()) {
+				break
+			}
 			if err := os.Remove(old.path); err != nil {
 				return fmt.Errorf("store: %w", err)
 			}
 			w.segs = w.segs[1:]
+			removed = true
 		}
-		if err := w.syncDir(); err != nil {
-			return err
+		if removed {
+			if err := w.syncDir(); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
+}
+
+// pinnedLocked reports whether a pinned seq blocks removal of the front
+// segment covering [from, to); w.mu must be held. Segments are removed
+// strictly from the front, so the cached minimum pinned seq decides: any
+// pin below `to` (including a stale pin referencing an already-pruned
+// record, conservatively) keeps the segment.
+func (w *WAL) pinnedLocked(from, to uint64) bool {
+	_ = from
+	if len(w.pins) == 0 {
+		return false
+	}
+	if w.pinMinStale {
+		first := true
+		for seq := range w.pins {
+			if first || seq < w.pinMin {
+				w.pinMin = seq
+				first = false
+			}
+		}
+		w.pinMinStale = false
+	}
+	return w.pinMin < to
+}
+
+// Pin marks a committed record as referenced (typically by a pending
+// tombstone): retention (MaxSegments) and Prune will not drop the segment
+// holding it until the returned release function is called. Pins nest;
+// releasing is idempotent.
+func (w *WAL) Pin(seq uint64) (release func()) {
+	w.mu.Lock()
+	if w.pins == nil {
+		w.pins = make(map[uint64]int)
+	}
+	if len(w.pins) == 0 || (!w.pinMinStale && seq < w.pinMin) {
+		w.pinMin = seq
+	}
+	w.pins[seq]++
+	w.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			w.mu.Lock()
+			if w.pins[seq]--; w.pins[seq] <= 0 {
+				delete(w.pins, seq)
+				if seq == w.pinMin {
+					w.pinMinStale = true
+				}
+			}
+			w.mu.Unlock()
+		})
+	}
+}
+
+// Pinned returns the number of distinct pinned sequence numbers.
+func (w *WAL) Pinned() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.pins)
 }
 
 // FirstSeq returns the sequence number of the oldest retained record.
@@ -623,6 +707,9 @@ func (w *WAL) Prune(upto uint64) (int, error) {
 	}
 	removed := 0
 	for len(w.segs) > 1 && w.segs[0].endSeq() <= upto {
+		if w.pinnedLocked(w.segs[0].firstSeq, w.segs[0].endSeq()) {
+			break // pending tombstone: keep the segment (and the front order)
+		}
 		if err := os.Remove(w.segs[0].path); err != nil {
 			return removed, fmt.Errorf("store: %w", err)
 		}
@@ -635,6 +722,171 @@ func (w *WAL) Prune(upto uint64) (int, error) {
 		}
 	}
 	return removed, nil
+}
+
+// Redact rewrites the committed record with the given sequence number,
+// replacing its payload with whatever replace returns — the WAL half of
+// chain-preserving tombstones. See RedactMany for the mechanism.
+func (w *WAL) Redact(seq uint64, replace func(old []byte) ([]byte, error)) error {
+	return w.RedactMany([]uint64{seq}, func(_ uint64, old []byte) ([]byte, error) {
+		return replace(old)
+	})
+}
+
+// RedactMany rewrites the committed records with the given sequence
+// numbers, replacing each payload with whatever replace returns. Each
+// affected segment is rewritten exactly once — to a temporary file,
+// fsynced and atomically renamed into place (frame sizes may change) — so
+// a crash mid-redaction leaves either the old or the new segment, never a
+// torn one, and a 10k-record erasure costs one rewrite per segment, not
+// per record. Sequence numbers, timestamps and untargeted frames are
+// preserved byte for byte. replace returning the payload unchanged makes
+// that record a no-op.
+func (w *WAL) RedactMany(seqs []uint64, replace func(seq uint64, old []byte) ([]byte, error)) error {
+	if len(seqs) == 0 {
+		return nil
+	}
+	if err := w.Sync(); err != nil {
+		return err
+	}
+	w.pendMu.Lock()
+	durable := w.durableSeq
+	w.pendMu.Unlock()
+	want := make(map[uint64]bool, len(seqs))
+	for _, seq := range seqs {
+		if seq >= durable {
+			return fmt.Errorf("%w: seq %d not committed (durable through %d)", ErrNotRetained, seq, durable)
+		}
+		want[seq] = true
+	}
+
+	// Hold w.mu for the whole rewrite: the committer also writes under
+	// w.mu, so the active file never moves underneath us.
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	matched := 0
+	for segIdx, seg := range w.segs {
+		hit := false
+		for seq := range want {
+			if seq >= seg.firstSeq && seq < seg.endSeq() {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			continue
+		}
+		n, err := w.redactSegmentLocked(segIdx, want, replace)
+		if err != nil {
+			return err
+		}
+		matched += n
+	}
+	if matched != len(want) {
+		return fmt.Errorf("%w: %d of %d target records not found (pruned?)",
+			ErrNotRetained, len(want)-matched, len(want))
+	}
+	return nil
+}
+
+// redactSegmentLocked rewrites one segment, replacing every frame whose
+// seq is in want; w.mu must be held. Returns the number of frames
+// replaced.
+func (w *WAL) redactSegmentLocked(segIdx int, want map[uint64]bool,
+	replace func(seq uint64, old []byte) ([]byte, error)) (int, error) {
+	seg := w.segs[segIdx]
+	data, err := os.ReadFile(seg.path)
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	if _, err := parseSegHeader(data); err != nil {
+		return 0, err
+	}
+	out := make([]byte, 0, len(data))
+	out = append(out, data[:segHeaderLen]...)
+	off := segHeaderLen
+	matched := 0
+	for off < len(data) {
+		fr, err := parseFrame(data[off:])
+		if err != nil {
+			return 0, fmt.Errorf("%w: %s: bad frame at offset %d", ErrCorrupt, seg.path, off)
+		}
+		if want[fr.seq] {
+			next, err := replace(fr.seq, fr.payload)
+			if err != nil {
+				return 0, err
+			}
+			out = appendFrame(out, fr.seq, fr.unixNano, next)
+			matched++
+		} else {
+			out = append(out, data[off:off+fr.size]...)
+		}
+		off += fr.size
+	}
+	if matched == 0 {
+		return 0, nil
+	}
+
+	tmp := seg.path + ".redact"
+	if err := os.WriteFile(tmp, out, 0o644); err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	if !w.opts.NoSync {
+		f, err := os.Open(tmp)
+		if err != nil {
+			return 0, fmt.Errorf("store: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return 0, fmt.Errorf("store: %w", err)
+		}
+		f.Close()
+	}
+	activeSeg := segIdx == len(w.segs)-1
+	// reattach reopens the (possibly rewritten) segment as the active file
+	// at the given tail offset. It runs on every path after the close
+	// below — including error paths, where leaving w.active closed would
+	// wedge all future appends over a transient I/O failure.
+	reattach := func(size int64) error {
+		if !activeSeg {
+			return nil
+		}
+		f, err := os.OpenFile(seg.path, os.O_RDWR, 0o644)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if _, err := f.Seek(size, io.SeekStart); err != nil {
+			f.Close()
+			return fmt.Errorf("store: %w", err)
+		}
+		w.active = f
+		return nil
+	}
+	if activeSeg {
+		// The rename is about to pull the file out from under the active
+		// handle.
+		if err := w.active.Close(); err != nil {
+			return 0, fmt.Errorf("store: %w", err)
+		}
+	}
+	if err := os.Rename(tmp, seg.path); err != nil {
+		// The old segment is still in place; restore the handle on it.
+		if rerr := reattach(seg.size); rerr != nil {
+			return 0, fmt.Errorf("store: rename: %v; reattach: %w", err, rerr)
+		}
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	seg.size = int64(len(out))
+	if err := w.syncDir(); err != nil {
+		if rerr := reattach(seg.size); rerr != nil {
+			return 0, fmt.Errorf("store: dir sync: %v; reattach: %w", err, rerr)
+		}
+		return 0, err
+	}
+	if err := reattach(seg.size); err != nil {
+		return 0, err
+	}
+	return matched, nil
 }
 
 // Close syncs and closes the WAL. Further appends fail with ErrClosed.

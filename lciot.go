@@ -41,9 +41,11 @@ import (
 	"lciot/internal/core"
 	"lciot/internal/ctxmodel"
 	"lciot/internal/device"
+	"lciot/internal/gateway"
 	"lciot/internal/ifc"
 	"lciot/internal/msg"
 	"lciot/internal/names"
+	"lciot/internal/obligation"
 	"lciot/internal/policy"
 	"lciot/internal/sbus"
 	"lciot/internal/store"
@@ -279,6 +281,43 @@ var (
 	// (Domains with Options.DataDir do this automatically).
 	OpenAuditStore = store.OpenAudit
 )
+
+// --- Obligations: retention, erasure, residency, purpose limitation ---
+
+type (
+	// ObligationTable is a domain's compiled per-tag obligation sets.
+	ObligationTable = obligation.Table
+	// ObligationSet is the compiled duties attached to one tag.
+	ObligationSet = obligation.Set
+	// ObligationLintOptions configures LintObligations.
+	ObligationLintOptions = obligation.LintOptions
+	// RetentionCompliance is the regulator-facing retention proof for one
+	// tag: "all data under T older than D is gone or tombstoned".
+	RetentionCompliance = audit.RetentionCompliance
+	// Gateway bridges constrained devices onto a bus (re-exported so
+	// erasure propagation can be wired with Domain.AttachGateway).
+	Gateway = gateway.Gateway
+)
+
+var (
+	// CompileObligations builds an obligation table from parsed clauses.
+	CompileObligations = obligation.Compile
+	// LintObligations statically checks obligation declarations.
+	LintObligations = obligation.Lint
+	// DefaultJurisdictions is the linter's built-in jurisdiction registry.
+	DefaultJurisdictions = obligation.DefaultJurisdictions
+	// RetentionReport proves (or refutes) retention compliance for a tag.
+	RetentionReport = audit.RetentionReport
+	// NewGateway registers a gateway component on a bus.
+	NewGateway = gateway.New
+	// ErrResidency matches link-egress residency denials via errors.Is.
+	ErrResidency = sbus.ErrResidency
+)
+
+// FacetNone is the reserved jurisdiction/purpose tag meaning "allowed
+// nowhere": disjoint obligation constraints collapse to it when contexts
+// merge.
+const FacetNone = ifc.FacetNone
 
 // --- Access control, naming, attestation, transport ---
 
