@@ -1,4 +1,4 @@
-// Benchmarks regenerating the quantitative tables B1-B11 (see DESIGN.md).
+// Benchmarks regenerating the quantitative tables B1-B14 (see DESIGN.md).
 // The paper (a vision paper) reports no absolute numbers; these benches
 // substantiate its performance *claims* — principally "we have shown the
 // LSM performance overhead to be minimal" (Section 8.2.1) — and expose the

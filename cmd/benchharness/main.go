@@ -1,6 +1,6 @@
 // Command benchharness regenerates the experiment suite (see DESIGN.md,
 // "Experiments"): the eleven figure reproductions E1-E11 (scenario checks
-// with observable outcomes) and the quantitative tables B1-B11. Absolute
+// with observable outcomes) and the quantitative tables B1-B14. Absolute
 // numbers depend on the host; the *shapes* (who wins, what scales how)
 // are the reproduction targets.
 //
@@ -12,6 +12,10 @@
 //	benchharness -json F    also write the B-series rows to F as JSON
 //	                        (the repo keeps BENCH_<n>.json baselines so
 //	                        successive PRs have a perf trajectory)
+//	benchharness -shards L  shard counts for B14's aggregate rows as a
+//	                        comma list (default "1,4,32"); on multi-core
+//	                        hosts each count also sweeps GOMAXPROCS up to
+//	                        the lane count
 package main
 
 import (
@@ -20,13 +24,26 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 )
 
 func main() {
 	eOnly := flag.Bool("e", false, "run only the E-series figure reproductions")
 	bOnly := flag.Bool("b", false, "run only the B-series measurements")
 	jsonPath := flag.String("json", "", "write B-series measurements to this file as JSON")
+	shards := flag.String("shards", "", "comma-separated shard counts for the B14 aggregate rows (default 1,4,32)")
 	flag.Parse()
+	if *shards != "" {
+		for _, part := range strings.Split(*shards, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "benchharness: bad -shards entry %q\n", part)
+				os.Exit(2)
+			}
+			shardCountsFlag = append(shardCountsFlag, n)
+		}
+	}
 
 	failed := 0
 	if !*bOnly {

@@ -97,6 +97,7 @@ func runMeasurements() {
 	measureB11()
 	measureB12()
 	measureB13()
+	measureB14()
 }
 
 // B13: the obligations engine. The flow-check rows show the hot-path cost
@@ -255,26 +256,30 @@ func measureB12() {
 		SrcIntegrity: ifc.MustLabel("hosp-dev"),
 		Schema:       "vitals", Payload: payload, Agent: "hospital",
 	}
-	jd, ja := timeOpAllocs(func() {
-		b, err := json.Marshal(frame)
-		if err != nil {
-			panic(err)
-		}
-		var f sbus.LinkFrame
-		if err := json.Unmarshal(b, &f); err != nil {
-			panic(err)
-		}
+	jd, ja := minOf5(func() (time.Duration, float64) {
+		return timeOpAllocs(func() {
+			b, err := json.Marshal(frame)
+			if err != nil {
+				panic(err)
+			}
+			var f sbus.LinkFrame
+			if err := json.Unmarshal(b, &f); err != nil {
+				panic(err)
+			}
+		})
 	})
 	var buf []byte
-	bd, ba := timeOpAllocs(func() {
-		buf = sbus.AppendBatchHeader(buf[:0], 1)
-		var err error
-		if buf, err = sbus.AppendLinkFrame(buf, frame); err != nil {
-			panic(err)
-		}
-		if _, err := sbus.DecodeBatch(buf); err != nil {
-			panic(err)
-		}
+	bd, ba := minOf5(func() (time.Duration, float64) {
+		return timeOpAllocs(func() {
+			buf = sbus.AppendBatchHeader(buf[:0], 1)
+			var err error
+			if buf, err = sbus.AppendLinkFrame(buf, frame); err != nil {
+				panic(err)
+			}
+			if _, err := sbus.DecodeBatch(buf); err != nil {
+				panic(err)
+			}
+		})
 	})
 	rowAllocs("B12", "link frame codec, JSON (v1 wire)", jd, ja, "legacy: one JSON object per frame")
 	rowAllocs("B12", "link frame codec, binary v2", bd, ba,
@@ -419,14 +424,18 @@ func measureB9() {
 		if runs < 16 {
 			runs = 16
 		}
-		d, allocs := timeOpAllocsN(2, runs, func() {
-			for i := 0; i < batch; i++ {
-				l.AppendAsync(rec)
-			}
-			l.Flush()
-			if err := s.Sync(); err != nil {
-				panic(err)
-			}
+		// fsync latency on shared storage is bursty; take the best of five
+		// short windows so the row tracks the code path, not the neighbors.
+		d, allocs := minOf5(func() (time.Duration, float64) {
+			return timeOpAllocsN(2, runs, func() {
+				for i := 0; i < batch; i++ {
+					l.AppendAsync(rec)
+				}
+				l.Flush()
+				if err := s.Sync(); err != nil {
+					panic(err)
+				}
+			})
 		})
 		perRec := d / time.Duration(batch)
 		rate := float64(time.Second) / float64(perRec)
@@ -616,39 +625,47 @@ func measureB3() {
 	})
 	rowAllocs("B3", "local delivery (IFC + audit)", d, da, "per message, one sink")
 
-	jd, ja := timeOpAllocs(func() {
-		b, err := msg.EncodeJSON(m)
-		if err != nil {
-			panic(err)
-		}
-		if _, err := msg.DecodeJSON(b); err != nil {
-			panic(err)
-		}
+	jd, ja := minOf5(func() (time.Duration, float64) {
+		return timeOpAllocs(func() {
+			b, err := msg.EncodeJSON(m)
+			if err != nil {
+				panic(err)
+			}
+			if _, err := msg.DecodeJSON(b); err != nil {
+				panic(err)
+			}
+		})
 	})
-	bd, ba := timeOpAllocs(func() {
-		b, err := msg.EncodeBinary(m)
-		if err != nil {
-			panic(err)
-		}
-		if _, err := msg.DecodeBinary(b); err != nil {
-			panic(err)
-		}
+	bd, ba := minOf5(func() (time.Duration, float64) {
+		return timeOpAllocs(func() {
+			b, err := msg.EncodeBinary(m)
+			if err != nil {
+				panic(err)
+			}
+			if _, err := msg.DecodeBinary(b); err != nil {
+				panic(err)
+			}
+		})
 	})
 	rowAllocs("B3", "codec round trip, JSON", jd, ja, "pooled encode scratch")
 	rowAllocs("B3", "codec round trip, binary", bd, ba,
 		fmt.Sprintf("%.1fx faster than JSON", float64(jd)/float64(bd)))
 
-	ed, ea := timeOpAllocs(func() {
-		if _, err := msg.EncodeBinary(m); err != nil {
-			panic(err)
-		}
+	ed, ea := minOf5(func() (time.Duration, float64) {
+		return timeOpAllocs(func() {
+			if _, err := msg.EncodeBinary(m); err != nil {
+				panic(err)
+			}
+		})
 	})
 	rowAllocs("B3", "binary encode only", ed, ea, "1 alloc: the returned buffer")
 
-	jed, jea := timeOpAllocs(func() {
-		if _, err := msg.EncodeJSON(m); err != nil {
-			panic(err)
-		}
+	jed, jea := minOf5(func() (time.Duration, float64) {
+		return timeOpAllocs(func() {
+			if _, err := msg.EncodeJSON(m); err != nil {
+				panic(err)
+			}
+		})
 	})
 	rowAllocs("B3", "JSON encode only", jed, jea, "hand-rolled in pooled scratch (was map+reflection)")
 }
@@ -708,22 +725,33 @@ func measureB4() {
 		return bus, src
 	}
 
+	// Min of 5 passes, audit backlog flushed between them: re-evaluation
+	// cost couples to the async audit drain once its bounded queue fills,
+	// which makes single-pass numbers bimodal on a busy host.
 	measure := func(bus *sbus.Bus, src *sbus.Component, want int) (time.Duration, float64) {
 		cur := false
-		d, allocs := timeOpAllocs(func() {
-			target := ctxB
-			if cur {
-				target = ctxA
+		var best time.Duration
+		var allocs float64
+		for rep := 0; rep < 5; rep++ {
+			bus.Log().Flush()
+			d, a := timeOpAllocs(func() {
+				target := ctxB
+				if cur {
+					target = ctxA
+				}
+				cur = !cur
+				if err := src.SetContext(target); err != nil {
+					panic(err)
+				}
+			})
+			if rep == 0 || d < best {
+				best, allocs = d, a
 			}
-			cur = !cur
-			if err := src.SetContext(target); err != nil {
-				panic(err)
-			}
-		})
+		}
 		if got := len(bus.Channels()); got != want {
 			panic(fmt.Sprintf("B4: channels fell to %d, want %d", got, want))
 		}
-		return d, allocs
+		return best, allocs
 	}
 
 	for _, fanout := range []int{1, 10, 100, 1000} {
@@ -875,10 +903,12 @@ func measureB8() {
 		eng := policy.NewEngine(ctxmodel.NewStore(nil), nil)
 		eng.Load(policy.MustParse(src))
 		det := cep.Detection{Pattern: "hr", Value: 70}
-		d, allocs := timeOpAllocs(func() {
-			if errs := eng.HandleDetection(det); len(errs) != 0 {
-				panic(errs[0])
-			}
+		d, allocs := minOf5(func() (time.Duration, float64) {
+			return timeOpAllocs(func() {
+				if errs := eng.HandleDetection(det); len(errs) != 0 {
+					panic(errs[0])
+				}
+			})
 		})
 		rowAllocs("B8", fmt.Sprintf("detection dispatch, %d rules (%d matching)", rules, matching), d, allocs,
 			"trigger index: only the pattern's bucket evaluated")
@@ -891,11 +921,28 @@ func measureB8() {
 	eng := policy.NewEngine(ctxmodel.NewStore(nil), nil)
 	eng.Load(policy.MustParse(src))
 	det := cep.Detection{Pattern: "hr", Value: 70}
-	d, allocs := timeOpAllocs(func() {
-		if errs := eng.HandleDetection(det); len(errs) != 0 {
-			panic(errs[0])
-		}
+	d, allocs := minOf5(func() (time.Duration, float64) {
+		return timeOpAllocs(func() {
+			if errs := eng.HandleDetection(det); len(errs) != 0 {
+				panic(errs[0])
+			}
+		})
 	})
 	rowAllocs("B8", "detection dispatch, 1000 rules (1000 matching)", d, allocs,
 		"worst case: every rule in the hot bucket")
+}
+
+// minOf5 repeats a measurement five times and keeps the fastest pass —
+// for pure-CPU sub-µs rows whose single-pass numbers are dominated by
+// host scheduling noise.
+func minOf5(measure func() (time.Duration, float64)) (time.Duration, float64) {
+	var best time.Duration
+	var allocs float64
+	for rep := 0; rep < 5; rep++ {
+		d, a := measure()
+		if rep == 0 || d < best {
+			best, allocs = d, a
+		}
+	}
+	return best, allocs
 }

@@ -1,0 +1,360 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lciot/internal/ifc"
+	"lciot/internal/msg"
+	"lciot/internal/sbus"
+)
+
+// shardCountsFlag holds the -shards override for B14's aggregate rows
+// (nil means the default 1/4/32 sweep).
+var shardCountsFlag []int
+
+// nameOnShard generates a component name with the given prefix that the
+// bus homes on the wanted shard (placement is a pure function of the
+// name, so trial names converge quickly).
+func nameOnShard(bus *sbus.Bus, prefix string, shard int) string {
+	for k := 0; ; k++ {
+		name := prefix + strconv.Itoa(k)
+		if bus.ShardOf(name) == shard {
+			return name
+		}
+	}
+}
+
+// nameOffShard generates a name homed on any shard except the given one.
+func nameOffShard(bus *sbus.Bus, prefix string, notShard int) string {
+	for k := 0; ; k++ {
+		name := prefix + strconv.Itoa(k)
+		if bus.ShardOf(name) != notShard {
+			return name
+		}
+	}
+}
+
+// B14: the sharded bus core. Aggregate delivery capacity at several shard
+// counts, cross-shard handoff cost, and the two flatness claims: publish
+// and context-change latency must not grow with channels on other shards.
+func measureB14() {
+	schema := msg.MustSchema("vitals", ifc.EmptyLabel,
+		msg.Field{Name: "patient", Type: msg.TString, Required: true},
+		msg.Field{Name: "heart-rate", Type: msg.TFloat, Required: true},
+	)
+	ctx := ifc.MustContext([]ifc.Tag{"medical"}, nil)
+	mkMsg := func() *msg.Message {
+		return msg.New("vitals").Set("patient", msg.Str("ann")).Set("heart-rate", msg.Float(72))
+	}
+
+	// buildLanes returns one source per shard, each connected to a sink on
+	// its own shard: S independent delivery lanes through one bus, sharing
+	// no routing state (only the process-wide audit queue).
+	buildLanes := func(shards int) (*sbus.Bus, []*sbus.Component, *atomic.Uint64) {
+		bus := sbus.NewShardedBus("bench", shards, benchACL(), nil, nil)
+		var delivered atomic.Uint64
+		handler := func(*msg.Message, sbus.Delivery) { delivered.Add(1) }
+		srcs := make([]*sbus.Component, shards)
+		for i := 0; i < shards; i++ {
+			srcName := nameOnShard(bus, fmt.Sprintf("src-%d-", i), i)
+			dstName := nameOnShard(bus, fmt.Sprintf("dst-%d-", i), i)
+			src, err := bus.Register(srcName, "p", ctx, nil,
+				sbus.EndpointSpec{Name: "out", Dir: sbus.Source, Schema: schema})
+			if err != nil {
+				panic(err)
+			}
+			if _, err := bus.Register(dstName, "p", ctx, handler,
+				sbus.EndpointSpec{Name: "in", Dir: sbus.Sink, Schema: schema}); err != nil {
+				panic(err)
+			}
+			if err := bus.Connect("p", srcName+".out", dstName+".in"); err != nil {
+				panic(err)
+			}
+			srcs[i] = src
+		}
+		return bus, srcs, &delivered
+	}
+
+	// Aggregate delivery capacity. The gated ns/op is the per-lane cost
+	// divided across lanes (each lane measured alone, rates summed) —
+	// deterministic on any host, so baseline and CI rows stay comparable.
+	// That sum is valid as capacity because the lanes share no mutable
+	// routing state; on multi-core hosts a second, concurrent pass with
+	// GOMAXPROCS swept to the lane count demonstrates it and its measured
+	// parallel rate is appended to the row's note. All shard counts'
+	// lanes are measured interleaved (3 round-robin passes, best kept),
+	// so slow phases of the host hit every row equally and the
+	// N-vs-1-shard ratio isn't skewed by when each row happened to run.
+	// Every audit backlog is flushed before each lane: publish cost is
+	// coupled to the async audit drain once its bounded queue fills, so
+	// lanes must start from the same queue state and run long enough
+	// (4x the queue bound) that the steady state dominates — the same
+	// regime B3 measures.
+	const perLane = 20000
+	counts := shardCountsFlag
+	if counts == nil {
+		counts = []int{1, 4, 32}
+	}
+	buses := make([]*sbus.Bus, len(counts))
+	lanes := make([][]*sbus.Component, len(counts))
+	for ci, shards := range counts {
+		buses[ci], lanes[ci], _ = buildLanes(shards)
+	}
+	best := make([][]time.Duration, len(counts))
+	type laneRef struct{ ci, li int }
+	var order []laneRef
+	for ci := range counts {
+		best[ci] = make([]time.Duration, len(lanes[ci]))
+		for li := range lanes[ci] {
+			order = append(order, laneRef{ci, li})
+		}
+	}
+	runtime.GC() // don't let earlier tables' garbage tax the lanes
+	const reps = 5
+	for rep := 0; rep < reps; rep++ {
+		// Rotate the starting lane each pass so no lane is pinned to one
+		// position in the cycle (host slow phases are position-correlated).
+		off := rep * len(order) / reps
+		for k := 0; k < len(order); k++ {
+			ref := order[(k+off)%len(order)]
+			src := lanes[ref.ci][ref.li]
+			for _, b := range buses {
+				b.Log().Flush() // no bus hashes a backlog during another lane's run
+			}
+			m := mkMsg()
+			d, _ := timeOpAllocsN(200, perLane, func() {
+				if _, err := src.Publish("out", m); err != nil {
+					panic(err)
+				}
+			})
+			if rep == 0 || d < best[ref.ci][ref.li] {
+				best[ref.ci][ref.li] = d
+			}
+		}
+	}
+	var baseRate float64
+	for ci, shards := range counts {
+		var aggregate float64 // deliveries per second, capacity sum
+		for _, d := range best[ci] {
+			aggregate += 1e9 / float64(d.Nanoseconds())
+		}
+		mode := "per-lane rates summed, lanes interleaved, best of 5 (lanes share no routing state)"
+		if runtime.NumCPU() >= 2 && shards > 1 {
+			buses[ci].Log().Flush()
+			procs := runtime.NumCPU()
+			if shards < procs {
+				procs = shards
+			}
+			prev := runtime.GOMAXPROCS(procs)
+			var wg sync.WaitGroup
+			start := time.Now()
+			for _, src := range lanes[ci] {
+				wg.Add(1)
+				go func(c *sbus.Component) {
+					defer wg.Done()
+					lm := mkMsg()
+					for i := 0; i < perLane; i++ {
+						if _, err := c.Publish("out", lm); err != nil {
+							panic(err)
+						}
+					}
+				}(src)
+			}
+			wg.Wait()
+			wall := time.Since(start)
+			runtime.GOMAXPROCS(prev)
+			concRate := float64(shards*perLane) / wall.Seconds()
+			mode = fmt.Sprintf("%s; concurrent pass at GOMAXPROCS=%d measured %.2fM/s",
+				mode, procs, concRate/1e6)
+		}
+		perOp := time.Duration(1e9 / aggregate)
+		note := fmt.Sprintf("%.2fM deliveries/s aggregate; %s", aggregate/1e6, mode)
+		if shards == 1 {
+			baseRate = aggregate
+		} else if baseRate > 0 {
+			note = fmt.Sprintf("%.2fx vs 1 shard; %s", aggregate/baseRate, note)
+		}
+		row("B14", fmt.Sprintf("aggregate local delivery, %d shards", shards), perOp, note)
+		buses[ci].Close()
+	}
+
+	// Cross-shard handoff: source and sink on different shards, end-to-end
+	// through the destination shard's ring and dispatcher. Publishes are
+	// paced in ring-sized batches so the measurement covers queued
+	// dispatch, not the overflow fallback.
+	{
+		bus := sbus.NewShardedBus("bench", 4, benchACL(), nil, nil)
+		var delivered atomic.Uint64
+		srcName := nameOnShard(bus, "xsrc-", 0)
+		dstName := nameOnShard(bus, "xdst-", 2)
+		src, err := bus.Register(srcName, "p", ctx, nil,
+			sbus.EndpointSpec{Name: "out", Dir: sbus.Source, Schema: schema})
+		if err != nil {
+			panic(err)
+		}
+		if _, err := bus.Register(dstName, "p", ctx,
+			func(*msg.Message, sbus.Delivery) { delivered.Add(1) },
+			sbus.EndpointSpec{Name: "in", Dir: sbus.Sink, Schema: schema}); err != nil {
+			panic(err)
+		}
+		if err := bus.Connect("p", srcName+".out", dstName+".in"); err != nil {
+			panic(err)
+		}
+		m := mkMsg()
+		const total, batch = 20000, 2000
+		for i := 0; i < 500; i++ { // warmup
+			src.Publish("out", m)
+		}
+		for delivered.Load() < 500 {
+			time.Sleep(time.Millisecond)
+		}
+		var wall time.Duration // min of 3: handoff wakeups are scheduler-noisy
+		for rep := 0; rep < 3; rep++ {
+			delivered.Store(0)
+			start := time.Now()
+			sent := 0
+			for sent < total {
+				for i := 0; i < batch; i++ {
+					if _, err := src.Publish("out", m); err != nil {
+						panic(err)
+					}
+				}
+				sent += batch
+				for delivered.Load() < uint64(sent) {
+					runtime.Gosched()
+				}
+			}
+			if w := time.Since(start); rep == 0 || w < wall {
+				wall = w
+			}
+		}
+		stats := bus.ShardStats()
+		row("B14", "cross-shard handoff, end-to-end", wall/total,
+			fmt.Sprintf("publish on shard 0, deliver on shard 2; %d ring overflows; min of 3", stats[2].Overflow))
+		bus.Close()
+	}
+
+	// Flatness at scale: a 16-shard bus carrying one million registered
+	// channels. Neither a single publish nor one component's context
+	// change may scale with the channels held by other shards.
+	{
+		const shards = 16
+		const specSrcs, specSinks = 1000, 1000 // bipartite: 1M spectator channels
+		bus := sbus.NewShardedBus("bench", shards, benchACL(), nil, nil)
+		var delivered atomic.Uint64
+		handler := func(*msg.Message, sbus.Delivery) { delivered.Add(1) }
+
+		// The hot components live on shard 0; every spectator component is
+		// homed elsewhere, so shard 0 owns only the hot channels.
+		probeSrcName := nameOnShard(bus, "probe-src-", 0)
+		probeDstName := nameOnShard(bus, "probe-dst-", 0)
+		probe, err := bus.Register(probeSrcName, "p", ctx, nil,
+			sbus.EndpointSpec{Name: "out", Dir: sbus.Source, Schema: schema})
+		if err != nil {
+			panic(err)
+		}
+		if _, err := bus.Register(probeDstName, "p", ctx, handler,
+			sbus.EndpointSpec{Name: "in", Dir: sbus.Sink, Schema: schema}); err != nil {
+			panic(err)
+		}
+
+		ctxA := ifc.MustContext([]ifc.Tag{"a"}, nil)
+		ctxB := ifc.MustContext([]ifc.Tag{"a", "b"}, nil)
+		hotName := nameOnShard(bus, "hot-src-", 0)
+		hot, err := bus.Register(hotName, "p", ctxA, nil,
+			sbus.EndpointSpec{Name: "out", Dir: sbus.Source, Schema: schema})
+		if err != nil {
+			panic(err)
+		}
+		if err := hot.Entity().GrantPrivileges(ifc.OwnerPrivileges("a", "b")); err != nil {
+			panic(err)
+		}
+		const hotFanout = 1000
+		hotPairs := make([][2]string, 0, hotFanout)
+		for i := 0; i < hotFanout; i++ {
+			name := "hot-dst" + strconv.Itoa(i)
+			if _, err := bus.Register(name, "p", ctxB, nil,
+				sbus.EndpointSpec{Name: "in", Dir: sbus.Sink, Schema: schema}); err != nil {
+				panic(err)
+			}
+			hotPairs = append(hotPairs, [2]string{hotName + ".out", name + ".in"})
+		}
+
+		buildStart := time.Now()
+		srcNames := make([]string, specSrcs)
+		sinkNames := make([]string, specSinks)
+		for i := range srcNames {
+			srcNames[i] = nameOffShard(bus, fmt.Sprintf("spec-src-%d-", i), 0)
+			if _, err := bus.Register(srcNames[i], "p", ctx, nil,
+				sbus.EndpointSpec{Name: "out", Dir: sbus.Source, Schema: schema}); err != nil {
+				panic(err)
+			}
+		}
+		for i := range sinkNames {
+			sinkNames[i] = nameOffShard(bus, fmt.Sprintf("spec-dst-%d-", i), 0)
+			if _, err := bus.Register(sinkNames[i], "p", ctx, nil,
+				sbus.EndpointSpec{Name: "in", Dir: sbus.Sink, Schema: schema}); err != nil {
+				panic(err)
+			}
+		}
+		pairs := make([][2]string, 0, specSrcs*specSinks)
+		for _, s := range srcNames {
+			for _, d := range sinkNames {
+				pairs = append(pairs, [2]string{s + ".out", d + ".in"})
+			}
+		}
+		if err := bus.ConnectMany("p", pairs); err != nil {
+			panic(err)
+		}
+		if err := bus.ConnectMany("p", hotPairs); err != nil {
+			panic(err)
+		}
+		if err := bus.ConnectMany("p", [][2]string{{probeSrcName + ".out", probeDstName + ".in"}}); err != nil {
+			panic(err)
+		}
+		buildWall := time.Since(buildStart)
+		totalChannels := specSrcs*specSinks + hotFanout + 1
+
+		// The bulk build leaves a concurrent mark cycle in flight over the
+		// ~GB heap; let it finish so mark assists don't tax the probes.
+		runtime.GC()
+		bus.Log().Flush()
+
+		m := mkMsg()
+		d, da := timeOpAllocs(func() {
+			if _, err := probe.Publish("out", m); err != nil {
+				panic(err)
+			}
+		})
+		rowAllocs("B14", fmt.Sprintf("local delivery, %dk registered channels", totalChannels/1000), d, da,
+			fmt.Sprintf("per-shard latency flat vs B3's 1-channel bus; bulk build %.1fs", buildWall.Seconds()))
+
+		cur := false
+		var cd time.Duration
+		var ca float64
+		for rep := 0; rep < 3; rep++ { // min of 3, audit backlog flushed between
+			bus.Log().Flush()
+			d2, a2 := timeOpAllocsN(10, 300, func() {
+				target := ctxB
+				if cur {
+					target = ctxA
+				}
+				cur = !cur
+				if err := hot.SetContext(target); err != nil {
+					panic(err)
+				}
+			})
+			if rep == 0 || d2 < cd {
+				cd, ca = d2, a2
+			}
+		}
+		rowAllocs("B14", fmt.Sprintf("context change, %d channels + %dk on other shards", hotFanout, (specSrcs*specSinks)/1000),
+			cd, ca, "re-evaluation never visits other shards' channels; min of 3")
+		bus.Close()
+	}
+}

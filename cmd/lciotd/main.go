@@ -70,6 +70,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
@@ -94,7 +95,11 @@ type config struct {
 	// SweepEvery is the obligation sweep cadence as a Go duration string
 	// ("1s", "30s"); empty disables the background sweep loop (Tick-style
 	// callers may still sweep manually).
-	SweepEvery string            `json:"sweep_every,omitempty"`
+	SweepEvery string `json:"sweep_every,omitempty"`
+	// Shards partitions the bus's routing and dispatch across that many
+	// shards (see the README scaling guide). 0 or 1 keeps the classic
+	// single-shard bus.
+	Shards     int               `json:"shards,omitempty"`
 	Schemas    []schemaConfig    `json:"schemas"`
 	Components []componentConfig `json:"components"`
 	Channels   []channelConfig   `json:"channels"`
@@ -144,6 +149,7 @@ func main() {
 	pump := flag.String("pump", "", "publish synthetic messages: component.endpoint=hz")
 	listen := flag.String("listen", "", "federation listen address (overrides config listen)")
 	sweepEvery := flag.String("sweep-every", "", "obligation sweep cadence, e.g. 1s (overrides config sweep_every)")
+	shards := flag.Int("shards", 0, "bus shard count, 0 = config shards or single-shard (set near the core count on busy multi-core nodes)")
 	var peers peerList
 	flag.Var(&peers, "peer", "peer bus address to federate with (repeatable; adds to config peers)")
 	flag.Parse()
@@ -151,7 +157,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*configPath, *dataDir, *pump, *listen, *sweepEvery, peers); err != nil {
+	if err := run(*configPath, *dataDir, *pump, *listen, *sweepEvery, *shards, peers); err != nil {
 		log.Fatal("lciotd: ", err)
 	}
 }
@@ -169,7 +175,7 @@ func (p *peerList) Set(v string) error {
 	return nil
 }
 
-func run(configPath, dataDir, pump, listen, sweepEvery string, peers []string) error {
+func run(configPath, dataDir, pump, listen, sweepEvery string, shards int, peers []string) error {
 	raw, err := os.ReadFile(configPath)
 	if err != nil {
 		return err
@@ -202,6 +208,9 @@ func run(configPath, dataDir, pump, listen, sweepEvery string, peers []string) e
 	if sweepEvery != "" {
 		cfg.SweepEvery = sweepEvery
 	}
+	if shards != 0 {
+		cfg.Shards = shards
+	}
 	cfg.Peers = append(cfg.Peers, peers...)
 
 	jurisdiction := make([]lciot.Tag, 0, len(cfg.Jurisdiction))
@@ -212,9 +221,13 @@ func run(configPath, dataDir, pump, listen, sweepEvery string, peers []string) e
 		OnAlert:      func(m string) { log.Printf("alert: %s", m) },
 		DataDir:      cfg.DataDir,
 		Jurisdiction: jurisdiction,
+		Shards:       cfg.Shards,
 	})
 	if err != nil {
 		return err
+	}
+	if n := domain.Bus().NumShards(); n > 1 {
+		log.Printf("bus sharded across %d shards (GOMAXPROCS %d)", n, runtime.GOMAXPROCS(0))
 	}
 	// Error-path safety net; the normal path closes explicitly below so a
 	// sticky store I/O error (the only place a WAL write failure

@@ -71,6 +71,13 @@ type Options struct {
 	// peer buses gate egress of residency-constrained data against it
 	// (and this bus gates its own egress against peers' declarations).
 	Jurisdiction []ifc.Tag
+	// Shards partitions the domain bus's routing state and dispatch
+	// across that many shards (component-name hash; see internal/sbus).
+	// Zero or one keeps the classic single-shard bus, where every
+	// delivery is synchronous on the publisher's goroutine. Multi-core
+	// hosts serving many components should set this near the core count
+	// (see the README scaling guide).
+	Shards int
 }
 
 // A Domain is one administrative domain of the IoT: a hospital, a home, a
@@ -158,7 +165,7 @@ func NewDomain(name string, opts Options) (*Domain, error) {
 			return nil, fmt.Errorf("core: audit store: %w", err)
 		}
 	}
-	bus := sbus.NewBus(name, acl, ctxStore, log)
+	bus := sbus.NewShardedBus(name, opts.Shards, acl, ctxStore, log)
 	if opts.Resolver != nil {
 		// Challenge 1: federated peers may advertise tags this domain has
 		// never encountered. Admit an inbound context only when every tag
@@ -277,6 +284,7 @@ func (d *Domain) OffloadAudit() (int, error) {
 // remains usable for in-memory work afterwards, but nothing further is
 // persisted; call it once, on shutdown.
 func (d *Domain) Close() error {
+	d.bus.Close()
 	if d.auditStore == nil {
 		return nil
 	}

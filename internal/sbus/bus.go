@@ -38,6 +38,11 @@ type channel struct {
 	// dstComp/dstEP are set for local sinks.
 	dstComp *Component
 	dstEP   EndpointSpec
+	// srcShard/dstShard cache the home shards of the two endpoints (equal
+	// for same-shard and remote channels), so publish decides inline
+	// delivery versus ring handoff without hashing.
+	srcShard int
+	dstShard int
 	// verified caches the generations at which this channel's flow legality
 	// was last confirmed; see chanStamp. Written by Connect and reevaluate,
 	// read by reevaluate to skip checks no generation has invalidated.
@@ -54,33 +59,40 @@ type chanStamp struct {
 	srcGen, dstGen, flowGen uint64
 }
 
-// routing is the bus's immutable routing state. Mutations (component
-// registration, channel establishment/teardown, link changes) build a new
-// snapshot under the bus's write lock and publish it atomically, so the
-// message hot path (publish → deliverLocal) reads routing state without
-// taking any lock and never contends with reconfiguration.
+// routing is one shard's immutable routing state. Mutations (component
+// registration, channel establishment/teardown) build a new snapshot under
+// the shard's write lock and publish it atomically, so the message hot
+// path (publish → deliverLocal) reads routing state without taking any
+// lock and never contends with reconfiguration — and reconfiguration of
+// one shard never contends with any other shard.
 type routing struct {
+	// components maps the names that hash to this shard to their components.
 	components map[string]*Component
-	channels   map[channelKey]*channel
-	// bySrc indexes channels by their source endpoint ("component.endpoint"),
-	// making publish O(fan-out) instead of O(total channels).
+	// channels holds the channels this shard owns: those whose source
+	// component is homed here.
+	channels map[channelKey]*channel
+	// bySrc indexes owned channels by their source endpoint
+	// ("component.endpoint"), making publish O(fan-out) instead of
+	// O(total channels).
 	bySrc map[string][]*channel
-	// byComp indexes channels by the *components* they touch (source, and
+	// byComp indexes channels by this shard's *components* (source, and
 	// local sink when it differs), so a context change re-evaluates only the
-	// changed component's channels instead of every channel on the bus.
+	// changed component's channels instead of every channel on the bus. A
+	// cross-shard channel therefore appears in its sink's home shard under
+	// byComp even though the source's shard owns it.
 	byComp map[string][]*channel
-	links  map[string]*link
 }
 
-// clone copies the snapshot's maps (the referenced components, channels and
-// links are shared — they are immutable or internally synchronised).
+// clone copies the snapshot's maps (the referenced components and channels
+// are shared — they are immutable or internally synchronised). Slice
+// values are shared too and copied on first write (see addOwned and
+// friends).
 func (r *routing) clone() *routing {
 	next := &routing{
 		components: make(map[string]*Component, len(r.components)+1),
 		channels:   make(map[channelKey]*channel, len(r.channels)+1),
 		bySrc:      make(map[string][]*channel, len(r.bySrc)+1),
 		byComp:     make(map[string][]*channel, len(r.byComp)+1),
-		links:      make(map[string]*link, len(r.links)+1),
 	}
 	for k, v := range r.components {
 		next.components[k] = v
@@ -94,45 +106,26 @@ func (r *routing) clone() *routing {
 	for k, v := range r.byComp {
 		next.byComp[k] = v
 	}
-	for k, v := range r.links {
-		next.links[k] = v
-	}
 	return next
 }
 
-// compNames lists the distinct local component names a channel touches.
-func (ch *channel) compNames() []string {
-	src := ch.srcComp.Name()
-	if ch.dstComp != nil && ch.dstComp.Name() != src {
-		return []string{src, ch.dstComp.Name()}
-	}
-	return []string{src}
-}
-
-// addChannel inserts ch into the snapshot's channel table and source index,
-// replacing any existing channel with the same key (a repeated Connect must
-// not leave a second route in the index). The bySrc slice is copy-on-write:
-// readers may hold the old slice.
-func (r *routing) addChannel(ch *channel) {
-	r.removeChannel(ch.key)
+// addOwned inserts ch into the shard's channel table and source index. The
+// bySrc slice is copy-on-write: readers may hold the old slice. The caller
+// must have removed any predecessor with the same key first.
+func (r *routing) addOwned(ch *channel) {
 	r.channels[ch.key] = ch
 	old := r.bySrc[ch.key.src]
 	next := make([]*channel, len(old), len(old)+1)
 	copy(next, old)
 	r.bySrc[ch.key.src] = append(next, ch)
-	for _, name := range ch.compNames() {
-		oldC := r.byComp[name]
-		nextC := make([]*channel, len(oldC), len(oldC)+1)
-		copy(nextC, oldC)
-		r.byComp[name] = append(nextC, ch)
-	}
 }
 
-// removeChannel deletes the channel with the given key, if present.
-func (r *routing) removeChannel(key channelKey) bool {
+// removeOwned deletes the channel with the given key from the channel
+// table and source index, returning it (nil if absent).
+func (r *routing) removeOwned(key channelKey) *channel {
 	ch, ok := r.channels[key]
 	if !ok {
-		return false
+		return nil
 	}
 	delete(r.channels, key)
 	old := r.bySrc[key.src]
@@ -147,26 +140,48 @@ func (r *routing) removeChannel(key channelKey) bool {
 	} else {
 		r.bySrc[key.src] = next
 	}
-	for _, name := range ch.compNames() {
-		oldC := r.byComp[name]
-		nextC := make([]*channel, 0, len(oldC))
-		for _, c := range oldC {
-			if c != ch {
-				nextC = append(nextC, c)
-			}
-		}
-		if len(nextC) == 0 {
-			delete(r.byComp, name)
-		} else {
-			r.byComp[name] = nextC
+	return ch
+}
+
+// addByComp appends ch to the named component's re-evaluation index entry
+// (copy-on-write).
+func (r *routing) addByComp(name string, ch *channel) {
+	old := r.byComp[name]
+	next := make([]*channel, len(old), len(old)+1)
+	copy(next, old)
+	r.byComp[name] = append(next, ch)
+}
+
+// removeByComp deletes ch from the named component's re-evaluation entry.
+func (r *routing) removeByComp(name string, ch *channel) {
+	old := r.byComp[name]
+	next := make([]*channel, 0, len(old))
+	for _, c := range old {
+		if c != ch {
+			next = append(next, c)
 		}
 	}
-	return true
+	if len(next) == 0 {
+		delete(r.byComp, name)
+	} else {
+		r.byComp[name] = next
+	}
+}
+
+// compNames lists the distinct local component names a channel touches.
+func (ch *channel) compNames() []string {
+	src := ch.srcComp.Name()
+	if ch.dstComp != nil && ch.dstComp.Name() != src {
+		return []string{src, ch.dstComp.Name()}
+	}
+	return []string{src}
 }
 
 // A Bus is one messaging substrate instance: the per-machine process that
 // mediates all component interactions (Fig. 9). It owns the component
 // table, the channel table, the audit log, and the links to other buses.
+// The tables are partitioned across shards by component-name hash; see
+// the package documentation for the sharding model.
 type Bus struct {
 	name  string
 	acl   *ac.ACL
@@ -174,10 +189,20 @@ type Bus struct {
 	log   *audit.Log
 	gates ifc.GateRegistry
 
-	// writeMu serialises routing mutations; routing holds the current
-	// immutable snapshot, read lock-free by the message path.
-	writeMu sync.Mutex
-	routing atomic.Pointer[routing]
+	// shards partition routing state and dispatch by component hash.
+	// len(shards) >= 1 and is fixed at construction.
+	shards []*shard
+
+	// quit, closed by Close, stops the shard dispatchers.
+	quit      chan struct{}
+	closeOnce sync.Once
+
+	// links maps peer bus names to live links. Links are bus-global (a
+	// link serves channels from every shard), so they live outside the
+	// shard snapshots: linkMu serialises mutations, the pointer is read
+	// lock-free.
+	linkMu sync.Mutex
+	links  atomic.Pointer[map[string]*link]
 
 	// admission, when non-nil, is consulted with the advertised security
 	// context of every cross-bus ingress (connect and message): federated
@@ -198,10 +223,22 @@ type Bus struct {
 	jurisdiction atomic.Pointer[ifc.Label]
 }
 
-// NewBus builds a bus. The ACL governs the control plane (who may
-// reconfigure what); the context store supplies snapshots for contextual
-// AC conditions; the audit log receives every enforcement decision.
+// NewBus builds a single-shard bus. The ACL governs the control plane (who
+// may reconfigure what); the context store supplies snapshots for
+// contextual AC conditions; the audit log receives every enforcement
+// decision. On a single-shard bus every delivery is executed inline on the
+// publisher's goroutine, exactly as before sharding existed.
 func NewBus(name string, acl *ac.ACL, store *ctxmodel.Store, log *audit.Log) *Bus {
+	return NewShardedBus(name, 1, acl, store, log)
+}
+
+// NewShardedBus builds a bus whose routing state and dispatch are
+// partitioned into the given number of shards (clamped to [1, 1024]).
+// Components are assigned to shards by name hash; same-shard deliveries
+// run inline on the publisher's goroutine, cross-shard deliveries hand
+// off to the destination shard's dispatcher. Call Close to stop the
+// dispatchers when the bus is discarded.
+func NewShardedBus(name string, shards int, acl *ac.ACL, store *ctxmodel.Store, log *audit.Log) *Bus {
 	if acl == nil {
 		acl = &ac.ACL{}
 	}
@@ -211,19 +248,37 @@ func NewBus(name string, acl *ac.ACL, store *ctxmodel.Store, log *audit.Log) *Bu
 	if log == nil {
 		log = audit.NewLog(nil)
 	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > maxShards {
+		shards = maxShards
+	}
 	b := &Bus{
 		name:  name,
 		acl:   acl,
 		store: store,
 		log:   log,
+		quit:  make(chan struct{}),
 	}
-	b.routing.Store(&routing{
-		components: map[string]*Component{},
-		channels:   map[channelKey]*channel{},
-		bySrc:      map[string][]*channel{},
-		byComp:     map[string][]*channel{},
-		links:      map[string]*link{},
-	})
+	empty := map[string]*link{}
+	b.links.Store(&empty)
+	b.shards = make([]*shard, shards)
+	for i := range b.shards {
+		sh := &shard{idx: i, ring: make(chan handoff, handoffRingSize)}
+		sh.routing.Store(&routing{
+			components: map[string]*Component{},
+			channels:   map[channelKey]*channel{},
+			bySrc:      map[string][]*channel{},
+			byComp:     map[string][]*channel{},
+		})
+		b.shards[i] = sh
+	}
+	if shards > 1 {
+		for _, sh := range b.shards {
+			go sh.dispatch(b)
+		}
+	}
 	return b
 }
 
@@ -278,15 +333,18 @@ func (b *Bus) ACL() *ac.ACL { return b.acl }
 // in this domain).
 func (b *Bus) Gates() *ifc.GateRegistry { return &b.gates }
 
-// Register attaches a component to the bus.
+// Register attaches a component to the bus, homing it on the shard its
+// name hashes to.
 func (b *Bus) Register(name string, principal ifc.PrincipalID, ctx ifc.SecurityContext,
 	handler Handler, endpoints ...EndpointSpec) (*Component, error) {
 	if name == "" || strings.ContainsAny(name, ".:") {
 		return nil, fmt.Errorf("sbus: invalid component name %q", name)
 	}
+	idx := b.shardIdx(name)
 	c := &Component{
 		name:      name,
 		bus:       b,
+		shard:     idx,
 		entity:    ifc.NewEntity(ifc.EntityID(b.name+":"+name), ctx),
 		principal: principal,
 		handler:   handler,
@@ -301,33 +359,37 @@ func (b *Bus) Register(name string, principal ifc.PrincipalID, ctx ifc.SecurityC
 		}
 		c.endpoints[ep.Name] = ep
 	}
-	b.writeMu.Lock()
-	defer b.writeMu.Unlock()
-	cur := b.routing.Load()
-	if _, dup := cur.components[name]; dup {
+	var dup bool
+	b.mutate1(idx, func(r *routing) bool {
+		if _, dup = r.components[name]; dup {
+			return false
+		}
+		r.components[name] = c
+		return true
+	})
+	if dup {
 		return nil, fmt.Errorf("%w: %q", ErrDupComponent, name)
 	}
-	next := cur.clone()
-	next.components[name] = c
-	b.routing.Store(next)
 	return c, nil
 }
 
-// Component looks a component up by name.
+// Component looks a component up by name. Names map to exactly one shard,
+// so the lookup reads a single snapshot, lock-free.
 func (b *Bus) Component(name string) (*Component, error) {
-	c, ok := b.routing.Load().components[name]
+	c, ok := b.shardFor(name).routing.Load().components[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoComponent, name)
 	}
 	return c, nil
 }
 
-// Components lists component names, sorted.
+// Components lists component names across all shards, sorted.
 func (b *Bus) Components() []string {
-	r := b.routing.Load()
-	out := make([]string, 0, len(r.components))
-	for n := range r.components {
-		out = append(out, n)
+	var out []string
+	for _, sh := range b.shards {
+		for n := range sh.routing.Load().components {
+			out = append(out, n)
+		}
 	}
 	sort.Strings(out)
 	return out
@@ -353,16 +415,11 @@ func splitRemoteAddr(addr string) (bus, rest string) {
 // resolveLocal returns the component and endpoint spec for a local address,
 // checking the expected direction.
 func (b *Bus) resolveLocal(addr string, wantDir Direction) (*Component, EndpointSpec, error) {
-	return b.routing.Load().resolve(addr, wantDir)
-}
-
-// resolve looks a local address up in the snapshot.
-func (r *routing) resolve(addr string, wantDir Direction) (*Component, EndpointSpec, error) {
 	compName, epName, err := splitEndpointAddr(addr)
 	if err != nil {
 		return nil, EndpointSpec{}, err
 	}
-	c, ok := r.components[compName]
+	c, ok := b.shardFor(compName).routing.Load().components[compName]
 	if !ok {
 		return nil, EndpointSpec{}, fmt.Errorf("%w: %q", ErrNoComponent, compName)
 	}
@@ -406,16 +463,36 @@ func (b *Bus) Connect(by ifc.PrincipalID, src, dst string) error {
 		return b.connectRemote(by, srcComp, srcEP, src, remoteBus, rest)
 	}
 
-	dstComp, dstEP, err := b.resolveLocal(rest, Sink)
+	ch, err := b.buildLocalChannel(by, srcComp, srcEP, src, rest)
 	if err != nil {
 		return err
 	}
+	b.installChannel(ch)
+
+	b.log.Append(audit.Record{
+		Kind: audit.Reconfiguration, Layer: audit.LayerMessaging, Domain: b.name,
+		Src: srcComp.entity.ID(), Dst: ch.dstComp.entity.ID(),
+		SrcCtx: srcComp.Context(), DstCtx: ch.dstComp.Context(),
+		Agent: by, Note: "channel established",
+	})
+	return nil
+}
+
+// buildLocalChannel resolves and polices one local channel (schema
+// compatibility, quarantine, IFC) and returns it stamped and ready to
+// install. Shared by Connect and ConnectMany.
+func (b *Bus) buildLocalChannel(by ifc.PrincipalID, srcComp *Component, srcEP EndpointSpec,
+	src, rest string) (*channel, error) {
+	dstComp, dstEP, err := b.resolveLocal(rest, Sink)
+	if err != nil {
+		return nil, err
+	}
 	if dstComp.Quarantined() {
-		return fmt.Errorf("%w: %q", ErrQuarantined, dstComp.Name())
+		return nil, fmt.Errorf("%w: %q", ErrQuarantined, dstComp.Name())
 	}
 	if srcEP.Schema.Name != dstEP.Schema.Name {
-		return fmt.Errorf("%w: %q emits %q, %q accepts %q",
-			ErrSchema, src, srcEP.Schema.Name, dst, dstEP.Schema.Name)
+		return nil, fmt.Errorf("%w: %q emits %q, %q accepts %q",
+			ErrSchema, src, srcEP.Schema.Name, rest, dstEP.Schema.Name)
 	}
 	// Read the generations before the contexts they stamp: a concurrent
 	// SetContext can then only make the stamp stale (forcing a re-check),
@@ -430,23 +507,140 @@ func (b *Bus) Connect(by ifc.PrincipalID, src, dst string) error {
 		}
 		b.auditDenied(srcComp.entity.ID(), dstComp.entity.ID(), srcCtx,
 			dstCtx, by, "", note)
-		return err
+		return nil, err
 	}
 
-	key := channelKey{src: src, dst: rest}
-	ch := &channel{key: key, srcComp: srcComp, dstComp: dstComp, dstEP: dstEP}
+	ch := &channel{
+		key:     channelKey{src: src, dst: rest},
+		srcComp: srcComp, dstComp: dstComp, dstEP: dstEP,
+	}
 	ch.verified.Store(&chanStamp{srcGen: srcGen, dstGen: dstGen, flowGen: flowGen})
-	b.writeMu.Lock()
-	next := b.routing.Load().clone()
-	next.addChannel(ch)
-	b.routing.Store(next)
-	b.writeMu.Unlock()
+	return ch, nil
+}
+
+// ConnectMany establishes many local channels in one pass, with one
+// routing-snapshot swap per touched shard instead of one per channel —
+// the bulk path for bootstrapping large topologies (a million registered
+// channels clone each shard's index once, not a million times). Every
+// pair is individually policed exactly as Connect polices it (AC, schema,
+// IFC, quarantine); the first failure aborts the whole batch before any
+// routing state changes. One summary audit record is appended per batch.
+//
+// Unlike Connect, the batch is atomic per shard but not across shards:
+// a concurrent reader may briefly observe one shard's channels without
+// another's. Remote destinations are not supported here.
+func (b *Bus) ConnectMany(by ifc.PrincipalID, pairs [][2]string) error {
+	if len(pairs) == 0 {
+		return nil
+	}
+	snap := b.store.Snapshot()
+	chans := make([]*channel, 0, len(pairs))
+	authorized := make(map[string]bool, 64)
+	for _, p := range pairs {
+		src, dst := p[0], p[1]
+		srcComp, srcEP, err := b.resolveLocal(src, Source)
+		if err != nil {
+			return err
+		}
+		resource := "channel/" + srcEP.Schema.Name + "/" + src + "/" + dst
+		if !authorized[resource] {
+			if err := b.acl.Authorize(by, "connect", resource, snap); err != nil {
+				b.auditDenied(srcComp.entity.ID(), ifc.EntityID(dst), srcComp.Context(),
+					ifc.SecurityContext{}, by, "", "connect denied by AC: "+err.Error())
+				return err
+			}
+			authorized[resource] = true
+		}
+		if srcComp.Quarantined() {
+			return fmt.Errorf("%w: %q", ErrQuarantined, srcComp.Name())
+		}
+		if remote, _ := splitRemoteAddr(dst); remote != "" && remote != b.name {
+			return fmt.Errorf("sbus: ConnectMany: remote destination %q not supported", dst)
+		}
+		_, rest := splitRemoteAddr(dst)
+		ch, err := b.buildLocalChannel(by, srcComp, srcEP, src, rest)
+		if err != nil {
+			return err
+		}
+		chans = append(chans, ch)
+	}
+
+	// Dedup by key (last wins, like repeated Connect) and retire any
+	// pre-existing channels these keys replace, so the bulk install below
+	// is pure insertion.
+	byKey := make(map[channelKey]*channel, len(chans))
+	ordered := chans[:0]
+	for _, ch := range chans {
+		if _, dup := byKey[ch.key]; !dup {
+			ordered = append(ordered, ch)
+		}
+		byKey[ch.key] = ch
+	}
+	for key := range byKey {
+		if b.channelByKey(key) != nil {
+			b.uninstallChannel(key, nil)
+		}
+	}
+
+	// Group the owned-index work by source shard and the byComp work by
+	// each touched component's home shard, then apply one snapshot swap per
+	// shard: each touched slice is copied once per batch, then extended in
+	// place.
+	ownedByShard := make(map[int][]*channel)
+	compByShard := make(map[int]map[string][]*channel)
+	for _, ch := range ordered {
+		ch := byKey[ch.key]
+		i, j, _, _ := b.channelShards(ch.key)
+		ch.srcShard, ch.dstShard = i, j
+		ownedByShard[i] = append(ownedByShard[i], ch)
+		for _, name := range ch.compNames() {
+			home := b.shardIdx(name)
+			m := compByShard[home]
+			if m == nil {
+				m = make(map[string][]*channel)
+				compByShard[home] = m
+			}
+			m[name] = append(m[name], ch)
+		}
+	}
+	idxs := make(map[int]bool, len(b.shards))
+	for i := range ownedByShard {
+		idxs[i] = true
+	}
+	for i := range compByShard {
+		idxs[i] = true
+	}
+	order := make([]int, 0, len(idxs))
+	for i := range idxs {
+		order = append(order, i)
+	}
+	sort.Ints(order)
+	for _, i := range order {
+		adds, comps := ownedByShard[i], compByShard[i]
+		b.mutate1(i, func(r *routing) bool {
+			grownSrc := make(map[string][]*channel)
+			for _, ch := range adds {
+				r.channels[ch.key] = ch
+				s, ok := grownSrc[ch.key.src]
+				if !ok {
+					s = append(make([]*channel, 0, len(r.bySrc[ch.key.src])+4), r.bySrc[ch.key.src]...)
+				}
+				grownSrc[ch.key.src] = append(s, ch)
+			}
+			for k, s := range grownSrc {
+				r.bySrc[k] = s
+			}
+			for name, chs := range comps {
+				s := append(make([]*channel, 0, len(r.byComp[name])+len(chs)), r.byComp[name]...)
+				r.byComp[name] = append(s, chs...)
+			}
+			return true
+		})
+	}
 
 	b.log.Append(audit.Record{
 		Kind: audit.Reconfiguration, Layer: audit.LayerMessaging, Domain: b.name,
-		Src: srcComp.entity.ID(), Dst: dstComp.entity.ID(),
-		SrcCtx: srcComp.Context(), DstCtx: dstComp.Context(),
-		Agent: by, Note: "channel established",
+		Agent: by, Note: fmt.Sprintf("bulk channel establishment: %d channels", len(chans)),
 	})
 	return nil
 }
@@ -461,14 +655,7 @@ func (b *Bus) Disconnect(by ifc.PrincipalID, src, dst string) error {
 	if remote, _ := splitRemoteAddr(dst); remote != "" && remote != b.name {
 		key.dst = dst
 	}
-	b.writeMu.Lock()
-	next := b.routing.Load().clone()
-	ok := next.removeChannel(key)
-	if ok {
-		b.routing.Store(next)
-	}
-	b.writeMu.Unlock()
-	if !ok {
+	if !b.uninstallChannel(key, nil) {
 		return fmt.Errorf("%w: %s -> %s", ErrNoChannel, src, dst)
 	}
 	b.log.Append(audit.Record{
@@ -479,20 +666,28 @@ func (b *Bus) Disconnect(by ifc.PrincipalID, src, dst string) error {
 	return nil
 }
 
-// Channels lists established channels as "src -> dst", sorted.
+// Channels lists established channels across all shards as "src -> dst",
+// sorted.
 func (b *Bus) Channels() []string {
-	r := b.routing.Load()
-	out := make([]string, 0, len(r.channels))
-	for k := range r.channels {
-		out = append(out, k.src+" -> "+k.dst)
+	var out []string
+	for _, sh := range b.shards {
+		for k := range sh.routing.Load().channels {
+			out = append(out, k.src+" -> "+k.dst)
+		}
 	}
 	sort.Strings(out)
 	return out
 }
 
 // publish delivers a message from a source endpoint down every channel.
-// The routing snapshot is read without locks, so publication never contends
-// with registration, connection or re-evaluation.
+// The owning shard's routing snapshot is read without locks, so
+// publication never contends with registration, connection or
+// re-evaluation — on any shard. Same-shard sinks are delivered inline on
+// the caller's goroutine; sinks homed on another shard are handed off to
+// that shard's dispatcher through its ring (counted as delivered when
+// accepted; per-message policy is still enforced, and denials audited, on
+// the dispatching shard). If a ring is full the delivery runs inline
+// instead, so publishers never block on a slow shard.
 func (b *Bus) publish(c *Component, endpoint string, m *msg.Message) (int, error) {
 	ep, ok := c.Endpoint(endpoint)
 	if !ok {
@@ -508,7 +703,7 @@ func (b *Bus) publish(c *Component, endpoint string, m *msg.Message) (int, error
 		return 0, err
 	}
 
-	outs := b.routing.Load().bySrc[c.Name()+"."+endpoint]
+	outs := b.shards[c.shard].routing.Load().bySrc[c.Name()+"."+endpoint]
 
 	delivered := 0
 	for _, ch := range outs {
@@ -518,8 +713,22 @@ func (b *Bus) publish(c *Component, endpoint string, m *msg.Message) (int, error
 			}
 			continue
 		}
-		if b.deliverLocal(c, ep, ch, m) {
+		if ch.dstShard == c.shard {
+			if b.deliverLocal(c, ep, ch, m) {
+				delivered++
+			}
+			continue
+		}
+		dst := b.shards[ch.dstShard]
+		select {
+		case dst.ring <- handoff{srcComp: c, srcEP: ep, ch: ch, m: m}:
+			dst.handoffsIn.Add(1)
 			delivered++
+		default:
+			dst.overflow.Add(1)
+			if b.deliverLocal(c, ep, ch, m) {
+				delivered++
+			}
 		}
 	}
 	return delivered, nil
@@ -530,6 +739,8 @@ func (b *Bus) publish(c *Component, endpoint string, m *msg.Message) (int, error
 // may have changed since establishment), message-type clearance, attribute
 // quenching, then handler invocation. Every outcome is audited (the audit
 // records are batched off the delivery path; see audit.Log.AppendAsync).
+// Runs on the publisher's goroutine for same-shard sinks and on the
+// destination shard's dispatcher for cross-shard handoffs.
 func (b *Bus) deliverLocal(srcComp *Component, srcEP EndpointSpec, ch *channel, m *msg.Message) bool {
 	dstComp, dstEP := ch.dstComp, ch.dstEP
 	srcCtx, dstCtx := srcComp.Context(), dstComp.Context()
@@ -570,6 +781,7 @@ func (b *Bus) deliverLocal(srcComp *Component, srcEP EndpointSpec, ch *channel, 
 			Quenched: quenched,
 		})
 	}
+	b.shards[ch.dstShard].delivered.Add(1)
 	return true
 }
 
@@ -581,15 +793,20 @@ func deliveryNote(quenched []string) string {
 }
 
 // reevaluate re-checks the channels touching the named component and tears
-// down those the current contexts no longer permit. The byComp index keeps
-// the cost proportional to the component's own channels — channels between
-// unaffected components are never visited — and the per-channel generation
-// stamp skips even a touched channel when no generation it depends on has
-// moved (e.g. a SetContext to the identical context).
+// down those the current contexts no longer permit. The byComp index on
+// the component's home shard keeps the cost proportional to the
+// component's own channels — channels between unaffected components, on
+// this shard or any other, are never visited — and the per-channel
+// generation stamp skips even a touched channel when no generation it
+// depends on has moved (e.g. a SetContext to the identical context). The
+// scan itself is lock-free (it reads the immutable snapshot and atomic
+// stamps), so concurrent re-evaluations on different components — even on
+// the same shard — only contend when a teardown actually mutates routing.
 func (b *Bus) reevaluate(component string) {
-	b.writeMu.Lock()
-	cur := b.routing.Load()
-	var torn []channelKey
+	sh := b.shardFor(component)
+	sh.reevals.Add(1)
+	cur := sh.routing.Load()
+	var torn []*channel
 	for _, ch := range cur.byComp[component] {
 		if ch.remoteBus != "" {
 			continue // the remote bus re-checks on ingress
@@ -605,22 +822,18 @@ func (b *Bus) reevaluate(component string) {
 		if srcCtx.CanFlowTo(dstCtx) {
 			ch.verified.Store(&stamp)
 		} else {
-			torn = append(torn, ch.key)
+			torn = append(torn, ch)
 		}
 	}
-	if len(torn) > 0 {
-		next := cur.clone()
-		for _, k := range torn {
-			next.removeChannel(k)
+	for _, ch := range torn {
+		// Identity-checked removal: never tear down a replacement channel
+		// connected after this scan condemned the old one.
+		if !b.uninstallChannel(ch.key, ch) {
+			continue
 		}
-		b.routing.Store(next)
-	}
-	b.writeMu.Unlock()
-
-	for _, k := range torn {
 		b.log.Append(audit.Record{
 			Kind: audit.Reconfiguration, Layer: audit.LayerMessaging, Domain: b.name,
-			Src: ifc.EntityID(b.name + ":" + k.src), Dst: ifc.EntityID(k.dst),
+			Src: ifc.EntityID(b.name + ":" + ch.key.src), Dst: ifc.EntityID(ch.key.dst),
 			Note: "channel torn down: context change made flow illegal",
 		})
 	}

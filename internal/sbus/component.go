@@ -70,8 +70,12 @@ type EndpointSpec struct {
 // security context and privileges), a principal identity for access
 // control, and a message-layer clearance label (Fig. 10).
 type Component struct {
-	name      string
-	bus       *Bus
+	name string
+	bus  *Bus
+	// shard is the index of the component's home shard — a pure function
+	// of the name and the bus's shard count, cached at registration so the
+	// publish hot path never hashes.
+	shard     int
 	entity    *ifc.Entity
 	principal ifc.PrincipalID
 	handler   Handler
@@ -140,7 +144,9 @@ func (c *Component) Endpoints() []string {
 // privileges) and then asks the bus to re-evaluate every channel touching
 // this component, tearing down those the new context makes illegal — the
 // "monitored throughout the connection's lifetime" behaviour of
-// Section 8.2.2.
+// Section 8.2.2. Re-evaluation reads only this component's home shard, so
+// concurrent context changes on components homed elsewhere proceed
+// without any shared lock.
 func (c *Component) SetContext(to ifc.SecurityContext) error {
 	if err := c.entity.SetContext(to); err != nil {
 		return err
@@ -151,7 +157,10 @@ func (c *Component) SetContext(to ifc.SecurityContext) error {
 
 // Publish emits a message from one of the component's source endpoints to
 // every connected sink, enforcing IFC and message-layer policy per
-// delivery. It returns the number of successful deliveries.
+// delivery. It returns the number of successful deliveries; a sink homed
+// on another shard counts as delivered when its shard accepts the handoff
+// (policy is then enforced, and any denial audited, on that shard's
+// dispatcher). On a single-shard bus every delivery is synchronous.
 func (c *Component) Publish(endpoint string, m *msg.Message) (int, error) {
 	return c.bus.publish(c, endpoint, m)
 }

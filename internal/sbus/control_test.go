@@ -173,7 +173,7 @@ func TestLinkReconnectOnConnectionClose(t *testing.T) {
 
 	// Kill the transport: the dialer redials, and the link self-heals on
 	// both sides instead of dropping (protocol v2 semantics).
-	link := a.routing.Load().links["b"]
+	link := a.linkTo("b")
 	link.mu.Lock()
 	conn := link.conn
 	link.mu.Unlock()
@@ -217,7 +217,7 @@ func TestSendRemoteWithLinkDown(t *testing.T) {
 	// retry budget is exhausted the link is dropped.
 	listener.Close()
 	net.SetDown("cloud-addr", true)
-	link := home.routing.Load().links["cloud-bus"]
+	link := home.linkTo("cloud-bus")
 	link.mu.Lock()
 	conn := link.conn
 	link.mu.Unlock()

@@ -23,6 +23,41 @@
 //     reconnect with exponential backoff, then resume the session by
 //     replaying every egress channel's connect handshake (link.go).
 //
+// # Sharded core
+//
+// The bus partitions its routing state into N shards (NewShardedBus;
+// NewBus is the single-shard special case). A component's home shard is a
+// pure function of its name (FNV-1a hash), so placement is deterministic
+// and discoverable via Bus.ShardOf before registration. Each shard owns:
+//
+//   - an independent copy-on-write routing snapshot (components, channels
+//     keyed by owning source, by-component channel index), read lock-free
+//     by the hot path and cloned under the shard's own mutex by mutations;
+//   - a bounded handoff ring and a dispatcher goroutine (started only when
+//     N > 1) that delivers messages whose sink lives on that shard.
+//
+// A channel is owned by its source's shard. Deliveries whose sink shares
+// the source's shard run inline in the publisher's goroutine, exactly as
+// on a single-shard bus. Cross-shard deliveries enqueue a handoff onto
+// the sink shard's ring — lock-free, never blocking the publisher — and
+// the sink shard's dispatcher applies the full enforcement pipeline
+// (generation-stamp check, flow re-check, quenching, audit). If a ring is
+// full the publisher delivers inline instead, trading ordering for
+// liveness under overload; the fallback is counted in ShardStats.
+//
+// Ordering semantics: deliveries on one channel from one publishing
+// goroutine are FIFO while the sink shard's ring has capacity (one
+// dispatcher drains each ring in arrival order). Cross-channel and
+// cross-publisher ordering is unspecified, as it already was on the
+// single-shard bus.
+//
+// Shard affinity is the scaling contract: operations touch only the home
+// shards of the components involved. Registration, connection, teardown
+// and context re-evaluation on one shard never contend with publishes or
+// reconfiguration on another; SetContext re-evaluates only the channels
+// indexed on the component's home shard. Cross-bus links and the
+// obligations egress gate sit above the shards and are unaffected by N.
+//
 // Every attempted flow — permitted or denied — is appended to the bus's
 // audit log.
 package sbus

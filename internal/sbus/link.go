@@ -355,13 +355,16 @@ func (b *Bus) Serve(listener transport.Listener) {
 // replaced link is shut down: its pending requests fail immediately with
 // ErrLinkDown rather than waiting out their timeouts.
 func (b *Bus) addLink(l *link) {
-	b.writeMu.Lock()
-	cur := b.routing.Load()
-	old := cur.links[l.peer]
-	next := cur.clone()
-	next.links[l.peer] = l
-	b.routing.Store(next)
-	b.writeMu.Unlock()
+	b.linkMu.Lock()
+	cur := *b.links.Load()
+	old := cur[l.peer]
+	next := make(map[string]*link, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[l.peer] = l
+	b.links.Store(&next)
+	b.linkMu.Unlock()
 	if old != nil {
 		old.shutdown()
 	}
@@ -375,14 +378,18 @@ func (b *Bus) addLink(l *link) {
 // replacement already took its slot) and shut down. Channels routed to the
 // peer stay in the table — a later LinkTo resumes them.
 func (b *Bus) removeLink(l *link, note string) {
-	b.writeMu.Lock()
-	cur := b.routing.Load()
-	if live, ok := cur.links[l.peer]; ok && live == l {
-		next := cur.clone()
-		delete(next.links, l.peer)
-		b.routing.Store(next)
+	b.linkMu.Lock()
+	cur := *b.links.Load()
+	if live, ok := cur[l.peer]; ok && live == l {
+		next := make(map[string]*link, len(cur))
+		for k, v := range cur {
+			if k != l.peer {
+				next[k] = v
+			}
+		}
+		b.links.Store(&next)
 	}
-	b.writeMu.Unlock()
+	b.linkMu.Unlock()
 	l.shutdown()
 	b.log.Append(audit.Record{
 		Kind: audit.Reconfiguration, Layer: audit.LayerMessaging, Domain: b.name,
@@ -475,18 +482,23 @@ func (l *link) peerJurisdiction() ifc.Label {
 // linkFor returns the link to a peer (which may be mid-reconnect: egress
 // enqueued then flows when the session resumes).
 func (b *Bus) linkFor(peer string) (*link, error) {
-	l, ok := b.routing.Load().links[peer]
+	l, ok := (*b.links.Load())[peer]
 	if !ok {
 		return nil, fmt.Errorf("%w: no link to bus %q", ErrLinkDown, peer)
 	}
 	return l, nil
 }
 
+// linkTo returns the live link to a peer, or nil (internal; tests).
+func (b *Bus) linkTo(peer string) *link {
+	return (*b.links.Load())[peer]
+}
+
 // Links lists connected peer bus names.
 func (b *Bus) Links() []string {
-	r := b.routing.Load()
-	out := make([]string, 0, len(r.links))
-	for p := range r.links {
+	m := *b.links.Load()
+	out := make([]string, 0, len(m))
+	for p := range m {
 		out = append(out, p)
 	}
 	sort.Strings(out)
@@ -495,9 +507,9 @@ func (b *Bus) Links() []string {
 
 // LinkStatus snapshots every link, sorted by peer name.
 func (b *Bus) LinkStatus() []LinkStatus {
-	r := b.routing.Load()
-	out := make([]LinkStatus, 0, len(r.links))
-	for _, l := range r.links {
+	m := *b.links.Load()
+	out := make([]LinkStatus, 0, len(m))
+	for _, l := range m {
 		out = append(out, l.status())
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
@@ -699,7 +711,6 @@ func (l *link) redial() (transport.Conn, int, error) {
 // Returns the number of channels replayed.
 func (l *link) replayEgress(conn transport.Conn) int {
 	b := l.bus
-	r := b.routing.Load()
 	type waiter struct {
 		key channelKey
 		ch  chan LinkFrame
@@ -707,7 +718,7 @@ func (l *link) replayEgress(conn transport.Conn) int {
 	var frames []LinkFrame
 	var waiters []waiter
 	var ids []uint64
-	for _, ch := range r.channels {
+	for _, ch := range b.ownedChannels() {
 		if ch.remoteBus != l.peer {
 			continue
 		}
@@ -790,14 +801,7 @@ func (l *link) replayEgress(conn transport.Conn) int {
 				if ok && !resp.OK {
 					// The peer's current state refuses this channel: keeping
 					// it routed would silently drop every message.
-					b.writeMu.Lock()
-					next := b.routing.Load().clone()
-					removed := next.removeChannel(w.key)
-					if removed {
-						b.routing.Store(next)
-					}
-					b.writeMu.Unlock()
-					if removed {
+					if b.uninstallChannel(w.key, nil) {
 						b.log.Append(audit.Record{
 							Kind: audit.Reconfiguration, Layer: audit.LayerMessaging, Domain: b.name,
 							Src: ifc.EntityID(b.name + ":" + w.key.src), Dst: ifc.EntityID(w.key.dst),
@@ -875,11 +879,7 @@ func (b *Bus) connectRemote(by ifc.PrincipalID, srcComp *Component, srcEP Endpoi
 		key: key, srcComp: srcComp, srcEP: srcEP, agent: by,
 		remoteBus: remoteBus, remoteDst: remoteDst,
 	}
-	b.writeMu.Lock()
-	next := b.routing.Load().clone()
-	next.addChannel(ch)
-	b.routing.Store(next)
-	b.writeMu.Unlock()
+	b.installChannel(ch)
 	b.log.Append(audit.Record{
 		Kind: audit.Reconfiguration, Layer: audit.LayerMessaging, Domain: b.name,
 		Src: srcComp.entity.ID(), Dst: ifc.EntityID(remoteBus + ":" + remoteDst),

@@ -75,7 +75,7 @@ func TestPartitionHealResume(t *testing.T) {
 	net.SetDown("cloud-addr", true)
 	// Force the failure to be noticed immediately rather than on the next
 	// keepalive-less write.
-	link := home.routing.Load().links["cloud-bus"]
+	link := home.linkTo("cloud-bus")
 	link.mu.Lock()
 	conn := link.conn
 	link.mu.Unlock()
@@ -131,7 +131,7 @@ func TestResumeRefusedTearsChannelDown(t *testing.T) {
 	waitFor(t, func() bool { return rec.count() == 1 }, "pre-partition delivery")
 
 	net.SetDown("cloud-addr", true)
-	link := home.routing.Load().links["cloud-bus"]
+	link := home.linkTo("cloud-bus")
 	link.mu.Lock()
 	conn := link.conn
 	link.mu.Unlock()
@@ -170,7 +170,7 @@ func TestRetryBudgetExhaustedReportsLinkDown(t *testing.T) {
 	annDev, _ := home.Component("ann-device")
 
 	net.SetDown("cloud-addr", true)
-	link := home.routing.Load().links["cloud-bus"]
+	link := home.linkTo("cloud-bus")
 	link.mu.Lock()
 	conn := link.conn
 	link.mu.Unlock()
@@ -207,7 +207,7 @@ func TestBackpressureBoundsEgress(t *testing.T) {
 	net, home, _, _ := fedPair(t, cfg)
 
 	net.SetDown("cloud-addr", true)
-	link := home.routing.Load().links["cloud-bus"]
+	link := home.linkTo("cloud-bus")
 	link.mu.Lock()
 	conn := link.conn
 	link.mu.Unlock()
@@ -244,7 +244,7 @@ func TestBackpressureBoundsEgress(t *testing.T) {
 // immediately with ErrLinkDown.
 func TestLinkReplaceFailsPending(t *testing.T) {
 	net, home, _, _ := fedPair(t, fastLinkConfig())
-	link := home.routing.Load().links["cloud-bus"]
+	link := home.linkTo("cloud-bus")
 
 	// A request the peer will never answer: "result" frames with unknown
 	// IDs are dispatched into the void.
@@ -290,7 +290,7 @@ func TestConnectDuringOutageCompletesAfterResume(t *testing.T) {
 	}
 
 	net.SetDown("cloud-addr", true)
-	link := home.routing.Load().links["cloud-bus"]
+	link := home.linkTo("cloud-bus")
 	link.mu.Lock()
 	conn := link.conn
 	link.mu.Unlock()

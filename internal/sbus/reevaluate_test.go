@@ -25,8 +25,19 @@ func permissiveACL() *ac.ACL {
 // TestReevaluateIndexedMatchesBruteForce builds randomized topologies, walks
 // the components through random context transitions, and after every change
 // compares the bus's surviving channel set against a brute-force model that
-// re-checks every channel's flow legality from scratch.
+// re-checks every channel's flow legality from scratch. It runs at several
+// shard counts: the aggregated channel listing and the per-shard byComp
+// indexes must agree with the model regardless of how components hash
+// across shards.
 func TestReevaluateIndexedMatchesBruteForce(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			testReevaluateIndexedMatchesBruteForce(t, shards)
+		})
+	}
+}
+
+func testReevaluateIndexedMatchesBruteForce(t *testing.T, shards int) {
 	schema := msg.MustSchema("m", ifc.EmptyLabel, msg.Field{Name: "v", Type: msg.TFloat})
 	// A small lattice of contexts over tags {a, b}: public ⊑ {a} ⊑ {a,b}.
 	ctxs := []ifc.SecurityContext{
@@ -37,7 +48,8 @@ func TestReevaluateIndexedMatchesBruteForce(t *testing.T) {
 
 	for seed := int64(0); seed < 30; seed++ {
 		r := rand.New(rand.NewSource(seed))
-		bus := NewBus("bench", permissiveACL(), nil, nil)
+		bus := NewShardedBus("bench", shards, permissiveACL(), nil, nil)
+		defer bus.Close()
 
 		nComp := r.Intn(8) + 4
 		comps := make([]*Component, nComp)
@@ -144,7 +156,7 @@ func TestReevaluateSkipsUnaffectedChannels(t *testing.T) {
 		}
 	}
 
-	spectator := bus.routing.Load().channels[channelKey{src: "s1.out", dst: "s2.in"}]
+	spectator := bus.channelByKey(channelKey{src: "s1.out", dst: "s2.in"})
 	before := spectator.verified.Load()
 
 	for i := 0; i < 10; i++ {
@@ -186,7 +198,7 @@ func TestReevaluateNoOpContextChangeSkipsChecks(t *testing.T) {
 	if err := bus.Connect("p", "src.out", "dst.in"); err != nil {
 		t.Fatal(err)
 	}
-	ch := bus.routing.Load().channels[channelKey{src: "src.out", dst: "dst.in"}]
+	ch := bus.channelByKey(channelKey{src: "src.out", dst: "dst.in"})
 	before := ch.verified.Load()
 	if err := src.SetContext(ctxA); err != nil { // identical context
 		t.Fatal(err)

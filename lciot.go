@@ -143,6 +143,8 @@ type (
 	LinkStatus = sbus.LinkStatus
 	// LinkState is a link lifecycle state (up / reconnecting / closed).
 	LinkState = sbus.LinkState
+	// ShardStats is a point-in-time view of one bus shard.
+	ShardStats = sbus.ShardStats
 	// Message is a typed message instance.
 	Message = msg.Message
 	// Schema declares a message type.
@@ -175,8 +177,11 @@ const (
 
 // Messaging constructors.
 var (
-	// NewBus builds a standalone bus (Domains build their own).
+	// NewBus builds a standalone single-shard bus (Domains build their own).
 	NewBus = sbus.NewBus
+	// NewShardedBus builds a standalone bus with routing and dispatch
+	// partitioned across the given number of shards.
+	NewShardedBus = sbus.NewShardedBus
 	// NewSchema builds a validated message schema.
 	NewSchema = msg.NewSchema
 	// MustSchema builds a schema from constant fields.
