@@ -193,8 +193,12 @@ type Bus struct {
 	// len(shards) >= 1 and is fixed at construction.
 	shards []*shard
 
-	// quit, closed by Close, stops the shard dispatchers.
+	// quit, closed by Close, stops the shard dispatchers; closed is the
+	// flag publishers consult (under the shard's enqMu read lock) before
+	// attempting a ring handoff, so no message is enqueued after the
+	// dispatchers' final drain.
 	quit      chan struct{}
+	closed    atomic.Bool
 	closeOnce sync.Once
 
 	// links maps peer bus names to live links. Links are bus-global (a
@@ -526,9 +530,12 @@ func (b *Bus) buildLocalChannel(by ifc.PrincipalID, srcComp *Component, srcEP En
 // IFC, quarantine); the first failure aborts the whole batch before any
 // routing state changes. One summary audit record is appended per batch.
 //
-// Unlike Connect, the batch is atomic per shard but not across shards:
-// a concurrent reader may briefly observe one shard's channels without
-// another's. Remote destinations are not supported here.
+// The batch holds every touched shard's write lock while it retires
+// replaced channels and installs the new ones, so it serialises against
+// concurrent Connect/Disconnect on overlapping keys exactly like
+// repeated Connect would. Lock-free readers may still briefly observe
+// one shard's new snapshot alongside another's old one (snapshots swap
+// per shard). Remote destinations are not supported here.
 func (b *Bus) ConnectMany(by ifc.PrincipalID, pairs [][2]string) error {
 	if len(pairs) == 0 {
 		return nil
@@ -565,9 +572,7 @@ func (b *Bus) ConnectMany(by ifc.PrincipalID, pairs [][2]string) error {
 		chans = append(chans, ch)
 	}
 
-	// Dedup by key (last wins, like repeated Connect) and retire any
-	// pre-existing channels these keys replace, so the bulk install below
-	// is pure insertion.
+	// Dedup by key (last wins, like repeated Connect).
 	byKey := make(map[channelKey]*channel, len(chans))
 	ordered := chans[:0]
 	for _, ch := range chans {
@@ -576,16 +581,10 @@ func (b *Bus) ConnectMany(by ifc.PrincipalID, pairs [][2]string) error {
 		}
 		byKey[ch.key] = ch
 	}
-	for key := range byKey {
-		if b.channelByKey(key) != nil {
-			b.uninstallChannel(key, nil)
-		}
-	}
 
 	// Group the owned-index work by source shard and the byComp work by
-	// each touched component's home shard, then apply one snapshot swap per
-	// shard: each touched slice is copied once per batch, then extended in
-	// place.
+	// each touched component's home shard: each touched slice is copied
+	// once per batch, then extended in place.
 	ownedByShard := make(map[int][]*channel)
 	compByShard := make(map[int]map[string][]*channel)
 	for _, ch := range ordered {
@@ -615,9 +614,25 @@ func (b *Bus) ConnectMany(by ifc.PrincipalID, pairs [][2]string) error {
 		order = append(order, i)
 	}
 	sort.Ints(order)
-	for _, i := range order {
-		adds, comps := ownedByShard[i], compByShard[i]
-		b.mutate1(i, func(r *routing) bool {
+
+	// Retire predecessors and bulk-install inside ONE critical section
+	// spanning every touched shard. A predecessor shares its key — and
+	// therefore its shards — with its replacement, so its indexes are all
+	// under these locks; doing both halves under them means a concurrent
+	// Connect on an overlapping key either completes before the batch (its
+	// channel is retired here) or after it (retiring the batch's channel),
+	// never interleaving in a way that strands a live bySrc entry.
+	b.mutateN(order, func(rs map[int]*routing) bool {
+		for _, ch := range ordered {
+			ch := byKey[ch.key]
+			if old := rs[ch.srcShard].removeOwned(ch.key); old != nil {
+				for _, name := range old.compNames() {
+					rs[b.shardIdx(name)].removeByComp(name, old)
+				}
+			}
+		}
+		for i, adds := range ownedByShard {
+			r := rs[i]
 			grownSrc := make(map[string][]*channel)
 			for _, ch := range adds {
 				r.channels[ch.key] = ch
@@ -630,13 +645,16 @@ func (b *Bus) ConnectMany(by ifc.PrincipalID, pairs [][2]string) error {
 			for k, s := range grownSrc {
 				r.bySrc[k] = s
 			}
+		}
+		for i, comps := range compByShard {
+			r := rs[i]
 			for name, chs := range comps {
 				s := append(make([]*channel, 0, len(r.byComp[name])+len(chs)), r.byComp[name]...)
 				r.byComp[name] = append(s, chs...)
 			}
-			return true
-		})
-	}
+		}
+		return true
+	})
 
 	b.log.Append(audit.Record{
 		Kind: audit.Reconfiguration, Layer: audit.LayerMessaging, Domain: b.name,
@@ -686,8 +704,10 @@ func (b *Bus) Channels() []string {
 // the caller's goroutine; sinks homed on another shard are handed off to
 // that shard's dispatcher through its ring (counted as delivered when
 // accepted; per-message policy is still enforced, and denials audited, on
-// the dispatching shard). If a ring is full the delivery runs inline
-// instead, so publishers never block on a slow shard.
+// the dispatching shard). If a ring is full, or the bus is closed and no
+// dispatcher will drain it, the delivery runs inline instead, so
+// publishers never block on a slow shard and never lose messages to a
+// stopped one.
 func (b *Bus) publish(c *Component, endpoint string, m *msg.Message) (int, error) {
 	ep, ok := c.Endpoint(endpoint)
 	if !ok {
@@ -719,16 +739,10 @@ func (b *Bus) publish(c *Component, endpoint string, m *msg.Message) (int, error
 			}
 			continue
 		}
-		dst := b.shards[ch.dstShard]
-		select {
-		case dst.ring <- handoff{srcComp: c, srcEP: ep, ch: ch, m: m}:
-			dst.handoffsIn.Add(1)
+		if b.shards[ch.dstShard].tryHandoff(b, handoff{srcComp: c, srcEP: ep, ch: ch, m: m}) {
 			delivered++
-		default:
-			dst.overflow.Add(1)
-			if b.deliverLocal(c, ep, ch, m) {
-				delivered++
-			}
+		} else if b.deliverLocal(c, ep, ch, m) {
+			delivered++
 		}
 	}
 	return delivered, nil
@@ -774,6 +788,10 @@ func (b *Bus) deliverLocal(srcComp *Component, srcEP EndpointSpec, ch *channel, 
 		DataID: m.DataID, Agent: srcComp.principal,
 		Note: deliveryNote(quenched),
 	})
+	// Count before invoking the handler: the delivery is decided once
+	// policy passes, and anything the handler unblocks (tests, examples
+	// waiting on a message) must already see it in ShardStats.
+	b.shards[ch.dstShard].delivered.Add(1)
 	if dstComp.handler != nil {
 		dstComp.handler(out, Delivery{
 			From:     b.name + ":" + srcComp.Name() + "." + srcEP.Name,
@@ -781,7 +799,6 @@ func (b *Bus) deliverLocal(srcComp *Component, srcEP EndpointSpec, ch *channel, 
 			Quenched: quenched,
 		})
 	}
-	b.shards[ch.dstShard].delivered.Add(1)
 	return true
 }
 

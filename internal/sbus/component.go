@@ -157,10 +157,18 @@ func (c *Component) SetContext(to ifc.SecurityContext) error {
 
 // Publish emits a message from one of the component's source endpoints to
 // every connected sink, enforcing IFC and message-layer policy per
-// delivery. It returns the number of successful deliveries; a sink homed
-// on another shard counts as delivered when its shard accepts the handoff
-// (policy is then enforced, and any denial audited, on that shard's
-// dispatcher). On a single-shard bus every delivery is synchronous.
+// delivery. It returns the number of successful deliveries. On a
+// single-shard bus every delivery is synchronous and the count is exact.
+// On a multi-shard bus a sink homed on another shard counts as delivered
+// when its shard accepts the handoff — quarantine, IFC and clearance are
+// then enforced, and any denial audited, asynchronously on that shard's
+// dispatcher — so the count is an upper bound on actual deliveries and
+// must not be used as synchronous enforcement feedback; watch the audit
+// log for denials instead.
+//
+// The message must be treated as immutable once handed to Publish: a
+// cross-shard handoff retains it after Publish returns, and mutating it
+// afterwards races with the delivering dispatcher.
 func (c *Component) Publish(endpoint string, m *msg.Message) (int, error) {
 	return c.bus.publish(c, endpoint, m)
 }

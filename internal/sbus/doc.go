@@ -42,14 +42,21 @@
 // the sink shard's ring — lock-free, never blocking the publisher — and
 // the sink shard's dispatcher applies the full enforcement pipeline
 // (generation-stamp check, flow re-check, quenching, audit). If a ring is
-// full the publisher delivers inline instead, trading ordering for
-// liveness under overload; the fallback is counted in ShardStats.
+// full, or the bus has been Closed (so no dispatcher will drain the
+// ring), the publisher delivers inline instead, trading ordering for
+// liveness; the ring-full fallback is counted in ShardStats.
 //
 // Ordering semantics: deliveries on one channel from one publishing
 // goroutine are FIFO while the sink shard's ring has capacity (one
 // dispatcher drains each ring in arrival order). Cross-channel and
 // cross-publisher ordering is unspecified, as it already was on the
-// single-shard bus.
+// single-shard bus. Under overload the inline fallback weakens even the
+// per-channel guarantee: the overflowed message can overtake older
+// messages still queued on the ring, and the sink handler can run on the
+// publisher's goroutine concurrently with the dispatcher — handlers on a
+// multi-shard bus must tolerate both. Because a handoff retains the
+// published message after Publish returns, messages are immutable once
+// published; see Component.Publish.
 //
 // Shard affinity is the scaling contract: operations touch only the home
 // shards of the components involved. Registration, connection, teardown

@@ -1,0 +1,78 @@
+package sbus_test
+
+import (
+	"fmt"
+
+	"lciot/internal/ac"
+	"lciot/internal/ifc"
+	"lciot/internal/msg"
+	"lciot/internal/sbus"
+)
+
+// Example_shardedBus builds a 4-shard bus, places a sensor and an
+// analyser on different shards (placement is a pure function of the
+// component name, inspectable via ShardOf before anything is
+// registered), publishes one reading across the shard boundary, and
+// reads the per-shard stats an operator would watch to see how load
+// spreads — the workflow the README's scaling guide describes.
+func Example_shardedBus() {
+	acl := &ac.ACL{}
+	acl.DefineRole(ac.Role{Name: "admin", Grants: []ac.Permission{{Action: "*", Resource: "**"}}})
+	if err := acl.Assign(ac.Assignment{Principal: "op", Role: "admin", Args: map[string]string{}}); err != nil {
+		panic(err)
+	}
+
+	bus := sbus.NewShardedBus("home", 4, acl, nil, nil)
+	defer bus.Close()
+
+	// Shard placement is deterministic, so an operator (or a test) can
+	// pick names with known affinity: keep renaming the analyser until it
+	// lands on a different shard than the sensor.
+	sensor, analyser := "sensor", "analyser-0"
+	for i := 1; bus.ShardOf(analyser) == bus.ShardOf(sensor); i++ {
+		analyser = fmt.Sprintf("analyser-%d", i)
+	}
+
+	schema := msg.MustSchema("reading", ifc.EmptyLabel,
+		msg.Field{Name: "celsius", Type: msg.TFloat, Required: true})
+
+	got := make(chan float64, 1)
+	src, err := bus.Register(sensor, "op", ifc.SecurityContext{}, nil,
+		sbus.EndpointSpec{Name: "out", Dir: sbus.Source, Schema: schema})
+	if err != nil {
+		panic(err)
+	}
+	if _, err := bus.Register(analyser, "op", ifc.SecurityContext{},
+		func(m *msg.Message, _ sbus.Delivery) {
+			v, _ := m.Get("celsius")
+			got <- v.Float
+		},
+		sbus.EndpointSpec{Name: "in", Dir: sbus.Sink, Schema: schema}); err != nil {
+		panic(err)
+	}
+	if err := bus.Connect("op", sensor+".out", analyser+".in"); err != nil {
+		panic(err)
+	}
+
+	// The delivery crosses a shard boundary: Publish enqueues a handoff
+	// and the analyser shard's dispatcher runs the enforcement pipeline
+	// (IFC re-check, clearance, quenching, audit) on its own goroutine.
+	if _, err := src.Publish("out", msg.New("reading").Set("celsius", msg.Float(21.5))); err != nil {
+		panic(err)
+	}
+	fmt.Printf("delivered %.1f\n", <-got)
+
+	// Per-shard stats show where the work landed; a delivery is recorded
+	// before its handler runs, so the stats are current once the reading
+	// arrives.
+	sinkShard := bus.ShardOf(analyser)
+	s := bus.ShardStats()[sinkShard]
+	fmt.Printf("sink shard: components=%d delivered=%d handoffs=%d\n",
+		s.Components, s.Delivered, s.HandoffsIn)
+	fmt.Printf("shards=%d crossShard=%v\n", bus.NumShards(), bus.ShardOf(sensor) != sinkShard)
+
+	// Output:
+	// delivered 21.5
+	// sink shard: components=1 delivered=1 handoffs=1
+	// shards=4 crossShard=true
+}

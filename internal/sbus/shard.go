@@ -10,7 +10,11 @@ import (
 // handoffRingSize bounds each shard's cross-shard delivery ring. While the
 // ring has free slots, handoffs preserve per-source FIFO order; when it is
 // full the publisher delivers inline instead (see publish), trading
-// ordering for liveness under overload.
+// ordering for liveness under overload: the inline message can overtake
+// older messages for the same channel still queued on the ring, and the
+// sink's handler can run on the publisher's goroutine concurrently with
+// the shard's dispatcher. Sink handlers on a multi-shard bus must
+// tolerate both (see the package documentation's ordering semantics).
 const handoffRingSize = 4096
 
 // maxShards bounds the shard count a bus can be built with. The cap is a
@@ -47,6 +51,14 @@ type shard struct {
 	// components; drained by the shard's dispatch goroutine.
 	ring chan handoff
 
+	// enqMu fences ring enqueues against Close. Publishers hold the read
+	// side across the closed-flag check and the enqueue; Close sets the
+	// flag and then takes the write side once as a barrier, after which no
+	// new handoff can reach the ring — everything the ring holds was
+	// accepted before the barrier and is drained by the dispatcher's
+	// shutdown pass.
+	enqMu sync.RWMutex
+
 	// Stats, all monotonic.
 	delivered  atomic.Uint64 // successful deliveries to sinks on this shard
 	handoffsIn atomic.Uint64 // cross-shard deliveries accepted onto the ring
@@ -73,6 +85,30 @@ func (sh *shard) dispatch(b *Bus) {
 				}
 			}
 		}
+	}
+}
+
+// tryHandoff attempts to park a cross-shard delivery on the shard's ring,
+// reporting whether the shard's dispatcher now owns it. It refuses — and
+// the caller must deliver inline — when the bus is closed (no dispatcher
+// will drain the ring again) or the ring is full. The read lock pairs
+// with the write-side barrier in Close: an enqueue that wins the race
+// against Close lands on the ring before the barrier completes, so the
+// dispatcher's shutdown drain still delivers it; an enqueue that loses
+// observes the closed flag and falls back.
+func (sh *shard) tryHandoff(b *Bus, h handoff) bool {
+	sh.enqMu.RLock()
+	defer sh.enqMu.RUnlock()
+	if b.closed.Load() {
+		return false
+	}
+	select {
+	case sh.ring <- h:
+		sh.handoffsIn.Add(1)
+		return true
+	default:
+		sh.overflow.Add(1)
+		return false
 	}
 }
 
@@ -159,9 +195,24 @@ func (b *Bus) ShardStats() []ShardStats {
 // accepted onto the rings. Close is idempotent and only affects
 // cross-shard dispatch: the bus remains usable, with cross-shard
 // deliveries falling back to inline execution on the publisher's
-// goroutine. Links are shut down separately (Unlink/removeLink).
+// goroutine (publishers observe the closed flag and never enqueue onto
+// an undrained ring). Links are shut down separately (Unlink/removeLink).
 func (b *Bus) Close() {
-	b.closeOnce.Do(func() { close(b.quit) })
+	b.closeOnce.Do(func() {
+		b.closed.Store(true)
+		// Barrier: wait out every in-flight tryHandoff. Once every write
+		// lock is held, every publisher sees the closed flag before
+		// touching a ring, so the rings only hold handoffs accepted before
+		// this point — all of which the dispatchers' shutdown drain below
+		// delivers.
+		for _, sh := range b.shards {
+			sh.enqMu.Lock()
+		}
+		close(b.quit)
+		for _, sh := range b.shards {
+			sh.enqMu.Unlock()
+		}
+	})
 }
 
 // mutate1 clones shard i's snapshot, applies fn, and publishes the result
@@ -201,6 +252,35 @@ func (b *Bus) mutate2(i, j int, fn func(ri, rj *routing) bool) bool {
 	}
 	b.shards[i].routing.Store(ri)
 	b.shards[j].routing.Store(rj)
+	return true
+}
+
+// mutateN locks every shard in idxs (which must be sorted ascending and
+// duplicate-free — the same ascending order mutate1/mutate2 use, keeping
+// all three deadlock-free against each other), clones each snapshot,
+// applies fn to the clones, and publishes them all if fn reports success.
+// Bulk operations use it when retire-and-replace of many keys must be
+// atomic with respect to concurrent single-channel mutations on the same
+// keys.
+func (b *Bus) mutateN(idxs []int, fn func(rs map[int]*routing) bool) bool {
+	for _, i := range idxs {
+		b.shards[i].mu.Lock()
+	}
+	defer func() {
+		for _, i := range idxs {
+			b.shards[i].mu.Unlock()
+		}
+	}()
+	rs := make(map[int]*routing, len(idxs))
+	for _, i := range idxs {
+		rs[i] = b.shards[i].routing.Load().clone()
+	}
+	if !fn(rs) {
+		return false
+	}
+	for _, i := range idxs {
+		b.shards[i].routing.Store(rs[i])
+	}
 	return true
 }
 

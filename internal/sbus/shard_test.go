@@ -319,6 +319,119 @@ func TestShardedConcurrentPublishAndReconfigure(t *testing.T) {
 	}
 }
 
+// TestPublishAfterCloseDeliversInline pins Close's usability contract:
+// after Close the shard dispatchers are gone, so cross-shard deliveries
+// must fall back to inline execution on the publisher's goroutine. A
+// post-Close publish must never park messages on an undrained ring while
+// reporting them delivered — the regression this guards against lost up
+// to a full ring per shard silently.
+func TestPublishAfterCloseDeliversInline(t *testing.T) {
+	const shards = 4
+	bus := NewShardedBus("sharded", shards, permissiveACL(), nil, nil)
+	rec := &seqRecorder{}
+	sink := nameOnShard(bus, "sink-", 0)
+	if _, err := bus.Register(sink, "p", ifc.SecurityContext{}, rec.handler(),
+		EndpointSpec{Name: "in", Dir: Sink, Schema: seqSchema()}); err != nil {
+		t.Fatal(err)
+	}
+	src, err := bus.Register(nameOnShard(bus, "src-", 1), "p", ifc.SecurityContext{}, nil,
+		EndpointSpec{Name: "out", Dir: Source, Schema: seqSchema()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Connect("p", src.Name()+".out", sink+".in"); err != nil {
+		t.Fatal(err)
+	}
+
+	bus.Close()
+	bus.Close() // idempotent
+
+	// Publish more than a ring could absorb: if any message were still
+	// being enqueued the count below could not be reached synchronously.
+	const n = 2 * handoffRingSize
+	for i := 0; i < n; i++ {
+		m := msg.New("seq").Set("src", msg.Str(src.Name())).Set("n", msg.Float(float64(i)))
+		got, err := src.Publish("out", m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 1 {
+			t.Fatalf("post-Close publish reported %d deliveries, want 1", got)
+		}
+	}
+	// Inline deliveries are synchronous — no waitFor: every message must
+	// already have reached the handler.
+	if got := rec.count(); got != n {
+		t.Fatalf("post-Close bus delivered %d of %d messages — handoffs stranded on a dead ring", got, n)
+	}
+}
+
+// TestConnectManyConcurrentConnectNoDuplicates races the bulk path
+// against single Connects on the same keys, with predecessors installed
+// so both sides retire-and-replace. Whatever interleaving wins, each key
+// must end with exactly one live bySrc entry — one delivery per publish
+// — and Disconnect must remove it completely. Run under -race this also
+// pins mutateN's locking against mutate2's.
+func TestConnectManyConcurrentConnectNoDuplicates(t *testing.T) {
+	const shards = 4
+	const comps = 8
+	for round := 0; round < 20; round++ {
+		bus := NewShardedBus("sharded", shards, permissiveACL(), nil, nil)
+		schema := seqSchema()
+		var pairs [][2]string
+		for i := 0; i < comps; i++ {
+			name := "c" + strconv.Itoa(i)
+			if _, err := bus.Register(name, "p", ifc.SecurityContext{}, nil,
+				EndpointSpec{Name: "out", Dir: Source, Schema: schema},
+				EndpointSpec{Name: "in", Dir: Sink, Schema: schema}); err != nil {
+				t.Fatal(err)
+			}
+			pairs = append(pairs, [2]string{name + ".out", "c" + strconv.Itoa((i+1)%comps) + ".in"})
+		}
+		// Pre-install every channel so both racers have predecessors to retire.
+		if err := bus.ConnectMany("p", pairs); err != nil {
+			t.Fatal(err)
+		}
+
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if err := bus.ConnectMany("p", pairs); err != nil {
+				t.Error(err)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for _, p := range pairs {
+				if err := bus.Connect("p", p[0], p[1]); err != nil {
+					t.Error(err)
+				}
+			}
+		}()
+		wg.Wait()
+
+		m := msg.New("seq").Set("src", msg.Str("x")).Set("n", msg.Float(0))
+		for i, p := range pairs {
+			c, _ := bus.Component("c" + strconv.Itoa(i))
+			got, err := c.Publish("out", m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != 1 {
+				t.Fatalf("round %d: publish on %s hit %d channels, want 1 — duplicate bySrc entry", round, p[0], got)
+			}
+			if err := bus.Disconnect("p", p[0], p[1]); err != nil {
+				t.Fatal(err)
+			}
+			if got, _ := c.Publish("out", m); got != 0 {
+				t.Fatalf("round %d: %d deliveries after Disconnect — orphaned bySrc entry survived", round, got)
+			}
+		}
+		bus.Close()
+	}
+}
+
 // TestConnectManyMatchesConnect checks the bulk establishment path against
 // the one-at-a-time path: same channel set, same routing behaviour, and
 // publish traverses bulk-established channels normally.
