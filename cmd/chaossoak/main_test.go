@@ -1,0 +1,77 @@
+package main
+
+import (
+	"log"
+	"os"
+	"os/exec"
+	"strconv"
+	"testing"
+	"time"
+
+	"lciot/internal/chaos"
+)
+
+// TestChaosSoak is the integration soak: it re-execs this test binary as
+// the sacrificial child for each phase (the same pattern as the store's
+// SIGKILL crash test), kills it on schedule, and requires the final
+// drain to exit cleanly and both chains plus the retention report to
+// verify. The schedule is seeded, so a failure here reproduces exactly.
+func TestChaosSoak(t *testing.T) {
+	if os.Getenv("CHAOS_SOAK_CHILD") != "" {
+		t.Skip("child mode is driven via TestChaosSoakChild")
+	}
+	if testing.Short() {
+		t.Skip("multi-second subprocess soak")
+	}
+	dir := t.TempDir()
+	const seed, phases = 42, 3
+	phaseDur := 1500 * time.Millisecond
+	rep, err := chaos.RunSoak(chaos.Options{
+		Seed: seed, Phases: phases, PhaseDur: phaseDur, Dir: dir,
+		Child: func(phase int) *exec.Cmd {
+			cmd := exec.Command(os.Args[0], "-test.run", "TestChaosSoakChild$")
+			cmd.Env = append(os.Environ(),
+				"CHAOS_SOAK_CHILD=1",
+				"CHAOS_SOAK_DIR="+dir,
+				"CHAOS_SOAK_SEED="+strconv.Itoa(seed),
+				"CHAOS_SOAK_PHASES="+strconv.Itoa(phases),
+				"CHAOS_SOAK_PHASE_DUR="+phaseDur.String(),
+				"CHAOS_SOAK_PHASE="+strconv.Itoa(phase),
+			)
+			cmd.Stdout = os.Stdout
+			cmd.Stderr = os.Stderr
+			return cmd
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range rep.Nodes {
+		if n.Records == 0 {
+			t.Errorf("%s: empty chain after soak", n.Node)
+		}
+		if n.Tombstoned == 0 {
+			t.Errorf("%s: no retention tombstones after soak", n.Node)
+		}
+	}
+}
+
+// TestChaosSoakChild is the re-exec entry point: in child mode it runs
+// one phase of the soak and exits with RunChild's verdict (kill phases
+// never reach the exit — the parent SIGKILLs them mid-flight).
+func TestChaosSoakChild(t *testing.T) {
+	if os.Getenv("CHAOS_SOAK_CHILD") == "" {
+		t.Skip("re-exec child; driven by TestChaosSoak")
+	}
+	seed, _ := strconv.ParseInt(os.Getenv("CHAOS_SOAK_SEED"), 10, 64)
+	phases, _ := strconv.Atoi(os.Getenv("CHAOS_SOAK_PHASES"))
+	phaseDur, _ := time.ParseDuration(os.Getenv("CHAOS_SOAK_PHASE_DUR"))
+	phase, _ := strconv.Atoi(os.Getenv("CHAOS_SOAK_PHASE"))
+	sched := chaos.Generate(seed, phases, phaseDur)
+	if err := chaos.RunChild(os.Getenv("CHAOS_SOAK_DIR"), sched, phase, log.Printf); err != nil {
+		log.Print("chaos child: ", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}

@@ -8,6 +8,7 @@
 //
 //	lciotd -config node.json [-data-dir DIR] [-pump comp.endpoint=HZ]
 //	       [-listen HOST:PORT] [-peer HOST:PORT ...] [-sweep-every DUR]
+//	       [-faults SPEC]
 //
 // Two daemons federate over real TCP: one listens (-listen or "listen" in
 // the configuration), the other dials it (-peer or "peers"). Peer links
@@ -28,6 +29,15 @@
 // -pump publishes synthetic messages on a configured source endpoint at
 // the given rate — a self-contained ingest driver for soak and
 // crash-recovery testing (the CI kill test uses it).
+//
+// -faults arms deterministic failpoints for chaos drills ("name=mode(args)"
+// specs separated by ';', e.g. "store.wal.fsync=everyN(10,eio)"): the daemon
+// then exercises its degradation ladder — a WAL failure flips the audit
+// store to degraded in-memory buffering instead of wedging ingest — and
+// every subsystem health transition (ok/degraded/failed) is logged. The
+// periodic status line reports the overload counters (bus handoff
+// overflows, per-link send-queue depth and high-water) so an operator can
+// see pressure building before a rung drops.
 //
 // Obligation clauses in the policy file (retention, erasure, residency,
 // purpose) are compiled on load; "jurisdiction" declares where the node
@@ -150,6 +160,7 @@ func main() {
 	listen := flag.String("listen", "", "federation listen address (overrides config listen)")
 	sweepEvery := flag.String("sweep-every", "", "obligation sweep cadence, e.g. 1s (overrides config sweep_every)")
 	shards := flag.Int("shards", 0, "bus shard count, 0 = config shards or single-shard (set near the core count on busy multi-core nodes)")
+	faults := flag.String("faults", "", "arm deterministic failpoints for a chaos drill: name=mode(args);... (see internal/fault)")
 	var peers peerList
 	flag.Var(&peers, "peer", "peer bus address to federate with (repeatable; adds to config peers)")
 	flag.Parse()
@@ -157,7 +168,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*configPath, *dataDir, *pump, *listen, *sweepEvery, *shards, peers); err != nil {
+	if err := run(*configPath, *dataDir, *pump, *listen, *sweepEvery, *faults, *shards, peers); err != nil {
 		log.Fatal("lciotd: ", err)
 	}
 }
@@ -175,7 +186,19 @@ func (p *peerList) Set(v string) error {
 	return nil
 }
 
-func run(configPath, dataDir, pump, listen, sweepEvery string, shards int, peers []string) error {
+func run(configPath, dataDir, pump, listen, sweepEvery, faults string, shards int, peers []string) error {
+	// Failpoints arm before the domain exists so boot-path points (store
+	// recovery, the first WAL writes) are already live.
+	if faults != "" {
+		if err := lciot.SetFaults(faults); err != nil {
+			return fmt.Errorf("-faults: %w", err)
+		}
+		for _, p := range lciot.FaultSnapshot() {
+			if p.Armed {
+				log.Printf("failpoint armed: %s = %s", p.Name, p.Spec)
+			}
+		}
+	}
 	raw, err := os.ReadFile(configPath)
 	if err != nil {
 		return err
@@ -326,6 +349,8 @@ func run(configPath, dataDir, pump, listen, sweepEvery string, shards int, peers
 	if len(cfg.Peers) > 0 || cfg.Listen != "" {
 		go watchLinks(domain, stopWatch)
 	}
+	go watchHealth(domain, stopWatch)
+	go statusLoop(domain, stopWatch)
 
 	if cfg.SweepEvery != "" {
 		every, err := time.ParseDuration(cfg.SweepEvery)
@@ -498,8 +523,8 @@ func watchLinks(domain *lciot.Domain, stop <-chan struct{}) {
 			seen[st.Peer] = true
 			prev, known := last[st.Peer]
 			if !known || prev.State != st.State || prev.Reconnects != st.Reconnects {
-				log.Printf("link to bus %q: %s (queue %d/%d, resumes %d)",
-					st.Peer, st.State, st.QueueDepth, st.QueueCap, st.Reconnects)
+				log.Printf("link to bus %q: %s (queue %d/%d, high-water %d, resumes %d)",
+					st.Peer, st.State, st.QueueDepth, st.QueueCap, st.QueueHighWater, st.Reconnects)
 			}
 			last[st.Peer] = st
 		}
@@ -509,6 +534,68 @@ func watchLinks(domain *lciot.Domain, stop <-chan struct{}) {
 				delete(last, peer)
 			}
 		}
+	}
+}
+
+// watchHealth polls the domain's degradation ladder and logs every
+// subsystem state transition (ok -> degraded -> failed and back), so an
+// operator tailing the log sees a WAL failure flip the audit store to
+// in-memory buffering the moment it happens — not when ingest wedges.
+func watchHealth(domain *lciot.Domain, stop <-chan struct{}) {
+	t := time.NewTicker(500 * time.Millisecond)
+	defer t.Stop()
+	last := map[string]lciot.HealthState{}
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		for _, h := range domain.Health() {
+			prev, known := last[h.Subsystem]
+			switch {
+			case !known && h.State != lciot.HealthOK:
+				// Already off the ok rung at first sight (e.g. a -faults
+				// drill that bites during boot): log it as a finding, not
+				// silently as the baseline.
+				log.Printf("health: %s %s: %s", h.Subsystem, h.State, h.Detail)
+			case known && prev != h.State:
+				log.Printf("health: %s %s -> %s: %s", h.Subsystem, prev, h.State, h.Detail)
+			}
+			last[h.Subsystem] = h.State
+		}
+	}
+}
+
+// statusLoop periodically logs the overload counters an operator needs to
+// see pressure building: shard handoff overflows (deliveries falling back
+// inline), per-link send-queue depth and high-water, and any subsystem off
+// the ok rung.
+func statusLoop(domain *lciot.Domain, stop <-chan struct{}) {
+	t := time.NewTicker(10 * time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		var delivered, overflow uint64
+		for _, s := range domain.Bus().ShardStats() {
+			delivered += s.Delivered
+			overflow += s.Overflow
+		}
+		line := fmt.Sprintf("status: bus delivered=%d overflow=%d shards=%d",
+			delivered, overflow, domain.Bus().NumShards())
+		for _, st := range domain.LinkStatus() {
+			line += fmt.Sprintf("; link %s queue=%d/%d hw=%d", st.Peer, st.QueueDepth, st.QueueCap, st.QueueHighWater)
+		}
+		for _, h := range domain.Health() {
+			if h.State != lciot.HealthOK {
+				line += fmt.Sprintf("; %s=%s", h.Subsystem, h.State)
+			}
+		}
+		log.Print(line)
 	}
 }
 

@@ -5,7 +5,15 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"lciot/internal/fault"
 )
+
+// fpSinkStall is the chaos seam in the async ingest pipeline: an armed
+// delay stalls the hasher goroutine once per drained batch — publishers
+// on the AppendAsync hot path then back up against the bounded ring,
+// which is exactly the backpressure behaviour soak drills verify.
+var fpSinkStall = fault.New("audit.sink.stall")
 
 // Errors reported by Log.
 var (
@@ -184,6 +192,9 @@ func (l *Log) drain() {
 		l.condLocked().Broadcast() // release writers blocked on backpressure
 		l.pendMu.Unlock()
 
+		if act := fpSinkStall.Check(); act != nil {
+			act.Wait()
+		}
 		l.sinkMu.Lock()
 		l.mu.Lock()
 		for i := range batch {

@@ -1,0 +1,177 @@
+// Package chaos is the seeded chaos-soak harness: it derives a fully
+// deterministic failure schedule from one integer seed, drives a two-node
+// federated domain through it — failpoints arming and disarming, network
+// partitions opening and healing, SIGKILL mid-phase — and then verifies
+// that the system kept its promises: both audit chains verify, the
+// retention report is clean, and shutdown does not deadlock.
+//
+// The package is split the way the process tree is split: Generate and
+// Schedule are pure (shared by parent and child, so both sides agree on
+// the schedule without communicating); RunChild runs one phase of the
+// node pair inside a sacrificial process; RunSoak is the parent that
+// spawns a child per phase, kills it on cue, and audits the wreckage.
+// cmd/chaossoak and the integration test are thin shells over these.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// EventKind says what a scheduled event does to the running node pair.
+type EventKind int
+
+const (
+	// EventFault arms failpoints from a Spec in the fault.Set grammar.
+	EventFault EventKind = iota
+	// EventPartition cuts the network between the two nodes.
+	EventPartition
+	// EventHeal restores the network.
+	EventHeal
+)
+
+// String renders the kind for schedule listings.
+func (k EventKind) String() string {
+	switch k {
+	case EventFault:
+		return "fault"
+	case EventPartition:
+		return "partition"
+	case EventHeal:
+		return "heal"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// An Event is one scheduled action within a phase, at a fixed offset from
+// the phase's start.
+type Event struct {
+	At   time.Duration
+	Kind EventKind
+	// Spec is the fault.Set program for EventFault ("" otherwise).
+	Spec string
+}
+
+// A Phase is one child-process lifetime. Kill phases end in SIGKILL at
+// KillAt; the final phase instead runs a graceful drain-and-verify
+// shutdown, which is where deadlocks would surface.
+type Phase struct {
+	Index  int
+	Dur    time.Duration
+	Kill   bool
+	KillAt time.Duration
+	Events []Event
+}
+
+// A Schedule is the complete, reproducible failure plan for one soak.
+type Schedule struct {
+	Seed     int64
+	PhaseDur time.Duration
+	Phases   []Phase
+}
+
+// killFaults are the failure programs only injected into phases that end
+// in SIGKILL: they corrupt or refuse durable I/O, and the point of the
+// drill is proving recovery repairs the damage on the next boot. Each
+// entry is a template instantiated with deterministic parameters.
+func killFaults(rng *rand.Rand) string {
+	switch rng.Intn(5) {
+	case 0:
+		return fmt.Sprintf("store.wal.fsync=every(%d,eio)", 4+rng.Intn(8))
+	case 1:
+		return fmt.Sprintf("store.wal.write=after(%d,enospc+partial:%d)",
+			50+rng.Intn(300), 1+rng.Intn(24))
+	case 2:
+		return "store.wal.rotate=once(enospc)"
+	case 3:
+		return fmt.Sprintf("store.wal.write=after(%d,enospc)", 50+rng.Intn(300))
+	default:
+		return fmt.Sprintf("store.wal.fsync=times(%d,%dms+eio)", 2+rng.Intn(4), 5+rng.Intn(40))
+	}
+}
+
+// benignFaults are survivable programs safe in any phase, including the
+// final one: stalls, dropped frames, forced handoff overflow, deferred
+// sweeps. They degrade service but never durability, so the final phase's
+// retention report stays clean.
+func benignFaults(rng *rand.Rand) string {
+	switch rng.Intn(5) {
+	case 0:
+		return fmt.Sprintf("sbus.link.send=times(%d,%dms)", 2+rng.Intn(5), 20+rng.Intn(100))
+	case 1:
+		return fmt.Sprintf("sbus.link.send=every(%d,drop)", 7+rng.Intn(14))
+	case 2:
+		return fmt.Sprintf("sbus.shard.handoff=times(%d)", 50+rng.Intn(350))
+	case 3:
+		return fmt.Sprintf("audit.sink.stall=times(%d,%dms)", 2+rng.Intn(5), 10+rng.Intn(50))
+	default:
+		return fmt.Sprintf("core.obligation.sweep=times(%d,err)", 1+rng.Intn(4))
+	}
+}
+
+// Generate derives the soak's complete failure schedule from the seed.
+// Same seed, phase count and duration — same schedule, byte for byte
+// (assert with String); that is the property that makes a chaos failure
+// reproducible by rerunning with the seed from the log.
+func Generate(seed int64, phases int, phaseDur time.Duration) Schedule {
+	if phases < 2 {
+		phases = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := Schedule{Seed: seed, PhaseDur: phaseDur}
+	for i := 0; i < phases; i++ {
+		ph := Phase{Index: i, Dur: phaseDur, Kill: i < phases-1, KillAt: phaseDur}
+		offset := func(lo, hi float64) time.Duration {
+			f := lo + rng.Float64()*(hi-lo)
+			return time.Duration(f * float64(phaseDur)).Truncate(time.Millisecond)
+		}
+		n := 2 + rng.Intn(3)
+		for e := 0; e < n; e++ {
+			ev := Event{At: offset(0.1, 0.8), Kind: EventFault}
+			if ph.Kill && rng.Intn(2) == 0 {
+				ev.Spec = killFaults(rng)
+			} else {
+				ev.Spec = benignFaults(rng)
+			}
+			ph.Events = append(ph.Events, ev)
+		}
+		// Roughly every other phase also suffers a partition, healed a
+		// deterministic slice of the phase later (the final phase always
+		// heals well before its graceful drain begins).
+		if rng.Intn(2) == 0 {
+			at := offset(0.1, 0.5)
+			ph.Events = append(ph.Events,
+				Event{At: at, Kind: EventPartition},
+				Event{At: at + offset(0.05, 0.25), Kind: EventHeal})
+		}
+		sort.SliceStable(ph.Events, func(a, b int) bool { return ph.Events[a].At < ph.Events[b].At })
+		s.Phases = append(s.Phases, ph)
+	}
+	return s
+}
+
+// String renders the schedule in a stable, diffable form. Two soaks ran
+// with the same seed print identical schedules — the reproducibility
+// contract, checked by tests and the CI smoke step.
+func (s Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule seed=%d phases=%d phase-dur=%s\n", s.Seed, len(s.Phases), s.PhaseDur)
+	for _, ph := range s.Phases {
+		end := "graceful drain"
+		if ph.Kill {
+			end = fmt.Sprintf("SIGKILL@%s", ph.KillAt)
+		}
+		fmt.Fprintf(&b, "phase %d (%s, %s):\n", ph.Index, ph.Dur, end)
+		for _, ev := range ph.Events {
+			if ev.Kind == EventFault {
+				fmt.Fprintf(&b, "  +%-8s fault %s\n", ev.At, ev.Spec)
+			} else {
+				fmt.Fprintf(&b, "  +%-8s %s\n", ev.At, ev.Kind)
+			}
+		}
+	}
+	return b.String()
+}

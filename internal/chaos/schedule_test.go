@@ -1,0 +1,62 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"lciot/internal/fault"
+)
+
+// TestScheduleDeterministic is the reproducibility contract: the same
+// seed derives the same failure schedule, byte for byte, while a
+// different seed diverges. This is what lets a soak failure be re-run
+// exactly from the seed in its log.
+func TestScheduleDeterministic(t *testing.T) {
+	a := Generate(42, 4, 2*time.Second).String()
+	b := Generate(42, 4, 2*time.Second).String()
+	if a != b {
+		t.Fatalf("same seed, different schedules:\n%s\nvs\n%s", a, b)
+	}
+	if c := Generate(43, 4, 2*time.Second).String(); c == a {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestScheduleShape checks the generator's invariants across many seeds:
+// every phase but the last kills; events are ordered and fall inside the
+// phase; every emitted fault spec parses in the fault.Set grammar; and
+// durable-store faults never land in the final (graceful, verified)
+// phase, whose retention report must come out clean.
+func TestScheduleShape(t *testing.T) {
+	defer fault.DisarmAll()
+	for seed := int64(0); seed < 200; seed++ {
+		s := Generate(seed, 4, 2*time.Second)
+		if len(s.Phases) != 4 {
+			t.Fatalf("seed %d: %d phases", seed, len(s.Phases))
+		}
+		for i, ph := range s.Phases {
+			final := i == len(s.Phases)-1
+			if ph.Kill == final {
+				t.Fatalf("seed %d phase %d: Kill=%v", seed, i, ph.Kill)
+			}
+			last := time.Duration(0)
+			for _, ev := range ph.Events {
+				if ev.At < last || ev.At > ph.Dur {
+					t.Fatalf("seed %d phase %d: event at %s out of order/range", seed, i, ev.At)
+				}
+				last = ev.At
+				if ev.Kind != EventFault {
+					continue
+				}
+				if err := fault.Set(ev.Spec); err != nil {
+					t.Fatalf("seed %d phase %d: generated unparsable spec %q: %v", seed, i, ev.Spec, err)
+				}
+				if final && strings.HasPrefix(ev.Spec, "store.") {
+					t.Fatalf("seed %d: durable-store fault %q scheduled in the graceful phase", seed, ev.Spec)
+				}
+			}
+		}
+		fault.DisarmAll()
+	}
+}

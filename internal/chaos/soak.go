@@ -1,0 +1,132 @@
+package chaos
+
+import (
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"time"
+
+	"lciot/internal/audit"
+	"lciot/internal/store"
+)
+
+// Options configures one soak run.
+type Options struct {
+	Seed     int64
+	Phases   int
+	PhaseDur time.Duration
+	// Dir is the persistent root shared by every phase's child: each node
+	// keeps its durable store under Dir/<node>, surviving the kills.
+	Dir string
+	// Child builds the command that runs RunChild for the given phase in a
+	// fresh process (cmd/chaossoak re-execs itself; the integration test
+	// re-execs the test binary). The command must exit 0 only when
+	// RunChild returned nil.
+	Child func(phase int) *exec.Cmd
+	// Logf receives progress lines (required).
+	Logf func(string, ...any)
+}
+
+// NodeReport is the post-mortem verdict for one node's durable store.
+type NodeReport struct {
+	Node string
+	// Records is the persisted chain length at verification.
+	Records int
+	// Tombstoned counts retention tombstones among them.
+	Tombstoned int
+}
+
+// Report is the soak's overall verdict; RunSoak only returns one when
+// every assertion held.
+type Report struct {
+	Schedule Schedule
+	Nodes    []NodeReport
+}
+
+// RunSoak drives the full soak: generate the seeded schedule, run one
+// child process per phase — SIGKILLing every phase but the last at its
+// scheduled instant, requiring a clean, deadlock-free exit from the final
+// drain — then open both nodes' stores offline and assert the soak's
+// postconditions: chains verify end to end and the retention report is
+// clean.
+func RunSoak(o Options) (*Report, error) {
+	sched := Generate(o.Seed, o.Phases, o.PhaseDur)
+	o.Logf("%s", sched.String())
+	for _, ph := range sched.Phases {
+		cmd := o.Child(ph.Index)
+		begin := time.Now()
+		if err := cmd.Start(); err != nil {
+			return nil, fmt.Errorf("chaos: start phase %d child: %w", ph.Index, err)
+		}
+		if ph.Kill {
+			if d := time.Until(begin.Add(ph.KillAt)); d > 0 {
+				time.Sleep(d)
+			}
+			o.Logf("phase %d: SIGKILL (pid %d)", ph.Index, cmd.Process.Pid)
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait() // reaps; a kill-phase child never exits cleanly
+			continue
+		}
+		// Final phase: the child must exit on its own. Its internal
+		// watchdog fires at 45s past the drain; the outer budget here only
+		// trips if the child is wedged too hard even to dump stacks.
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				return nil, fmt.Errorf("chaos: final phase child failed: %w", err)
+			}
+		case <-time.After(ph.Dur + 90*time.Second):
+			_ = cmd.Process.Kill()
+			<-done
+			return nil, fmt.Errorf("chaos: final phase deadlocked (child never exited)")
+		}
+	}
+
+	cutoff, err := readCutoff(o.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: final child left no cutoff marker: %w", err)
+	}
+	rep := &Report{Schedule: sched}
+	for _, node := range []string{"alpha", "beta"} {
+		nr, err := verifyNode(filepath.Join(o.Dir, node, "audit"), node, cutoff)
+		if err != nil {
+			return nil, err
+		}
+		o.Logf("%s: chain verified (%d records, %d tombstoned), retention clean", node, nr.Records, nr.Tombstoned)
+		rep.Nodes = append(rep.Nodes, nr)
+	}
+	return rep, nil
+}
+
+// verifyNode opens one node's store offline (recovering any tail the last
+// kill left torn), re-checks the whole hash chain, and audits retention:
+// every telemetry record older than the cutoff must be tombstoned.
+func verifyNode(dir, node string, cutoff time.Time) (NodeReport, error) {
+	nr := NodeReport{Node: node}
+	st, err := store.OpenAudit(dir, store.Options{})
+	if err != nil {
+		return nr, fmt.Errorf("chaos: reopen %s: %w", node, err)
+	}
+	defer st.Close()
+	if bad, err := st.Verify(); err != nil || bad != -1 {
+		return nr, fmt.Errorf("chaos: %s chain verify failed at seq %d: %v", node, bad, err)
+	}
+	recs, err := st.Records(st.FirstSeq(), 0)
+	if err != nil {
+		return nr, fmt.Errorf("chaos: read %s records: %w", node, err)
+	}
+	nr.Records = len(recs)
+	for _, r := range recs {
+		if r.Redacted {
+			nr.Tombstoned++
+		}
+	}
+	comp := audit.RetentionReport(recs, "telemetry", cutoff)
+	if !comp.Compliant {
+		return nr, fmt.Errorf("chaos: %s retention report dirty: %d violations (checked %d under tag, %d tombstoned)",
+			node, len(comp.Violations), comp.UnderTag, comp.Tombstoned)
+	}
+	return nr, nil
+}

@@ -123,6 +123,16 @@ type Domain struct {
 	oblPending []obligation.Entry
 	// oblGateways are the gateways erasure propagates into.
 	oblGateways []*gateway.Gateway
+
+	// Shutdown state. closed flips first; Close then takes sweepMu once as
+	// a barrier (mirroring sbus.Bus.Close's enqMu barrier), so any sweep
+	// in flight finishes before the durable store goes away and any sweep
+	// started after observes the flag and returns without touching it.
+	closeOnce sync.Once
+	closed    atomic.Bool
+	closeErr  error
+	// sweepMu serialises SweepObligations against Close.
+	sweepMu sync.Mutex
 }
 
 // NewDomain assembles a domain. The returned domain owns its bus, stores,
@@ -282,14 +292,26 @@ func (d *Domain) OffloadAudit() (int, error) {
 
 // Close flushes and closes the domain's durable resources. The domain
 // remains usable for in-memory work afterwards, but nothing further is
-// persisted; call it once, on shutdown.
+// persisted. Close is idempotent and safe against concurrent Tick /
+// SweepObligations: it waits out any in-flight sweep before closing the
+// store, and later sweeps observe the closed flag and do nothing. Repeat
+// calls return the first call's result.
 func (d *Domain) Close() error {
-	d.bus.Close()
-	if d.auditStore == nil {
-		return nil
-	}
-	d.log.Flush()
-	return d.auditStore.Close()
+	d.closeOnce.Do(func() {
+		d.closed.Store(true)
+		// Barrier: an in-flight sweep holds sweepMu; once we acquire and
+		// release it, every subsequent sweep sees the closed flag before
+		// touching the store.
+		d.sweepMu.Lock()
+		d.sweepMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
+		d.bus.Close()
+		if d.auditStore == nil {
+			return
+		}
+		d.log.Flush()
+		d.closeErr = d.auditStore.Close()
+	})
+	return d.closeErr
 }
 
 // PolicyEngine exposes the domain's policy engine.
@@ -363,8 +385,11 @@ func (d *Domain) FeedEvent(e cep.Event) {
 
 // Tick advances time-driven machinery: CEP absence patterns, policy
 // timers, break-glass expiry, and the obligation sweep (retention expiry
-// and the erasure it triggers).
+// and the erasure it triggers). Ticking a closed domain is a no-op.
 func (d *Domain) Tick() {
+	if d.closed.Load() {
+		return
+	}
 	d.cepMu.Lock()
 	d.cep.Advance(d.clock())
 	d.cepMu.Unlock()

@@ -8,10 +8,17 @@ import (
 
 	"lciot/internal/audit"
 	"lciot/internal/cep"
+	"lciot/internal/fault"
 	"lciot/internal/gateway"
 	"lciot/internal/ifc"
 	"lciot/internal/obligation"
 )
+
+// fpSweep is the chaos seam in the obligation sweep: a delay stalls the
+// sweep mid-Tick; an error (or Drop) skips the pass entirely — deadlines
+// stay scheduled and must be executed by a later sweep, which is the
+// at-least-once property soak drills assert.
+var fpSweep = fault.New("core.obligation.sweep")
 
 // This file is the domain-side obligation engine: the glue that turns the
 // compiled obligation table (internal/obligation) into enforcement and
@@ -163,8 +170,22 @@ func (d *Domain) rebuildObligations(tab *obligation.Table) error {
 // SweepObligations drains scheduling announcements into the audit log and
 // executes every retention deadline due at the domain clock, in batches.
 // It returns the number of deadlines executed. Tick calls it; daemons may
-// also call it directly on their own cadence.
+// also call it directly on their own cadence. Sweeping a closed domain is
+// a no-op: sweepMu pairs with the barrier in Close, so a sweep never
+// touches a store that is shutting down underneath it.
 func (d *Domain) SweepObligations() int {
+	d.sweepMu.Lock()
+	defer d.sweepMu.Unlock()
+	if d.closed.Load() {
+		return 0
+	}
+	if act := fpSweep.Check(); act != nil {
+		act.Wait()
+		if act.Err != nil || act.Drop {
+			// Skipped pass: deadlines stay scheduled for the next sweep.
+			return 0
+		}
+	}
 	d.mu.Lock()
 	pending := d.oblPending
 	d.oblPending = nil

@@ -1,0 +1,478 @@
+// Package fault is a deterministic failpoint framework: named injection
+// points compiled into the risky seams of the system (WAL writes, link
+// sends, handoff rings, sink drains), armed at run time with counted
+// trigger programs. The design goals, in order:
+//
+//  1. Zero overhead when disabled. A disarmed point costs one atomic
+//     pointer load per Check — no map lookup, no lock, no allocation —
+//     so failpoints can live permanently in production code paths.
+//  2. Determinism. Trigger programs are pure counter machines (fire
+//     once, every Nth, after N, N times, always); given the same
+//     sequence of Check calls they fire at exactly the same hits. All
+//     randomness lives in the caller's schedule (cmd/chaossoak derives
+//     its whole failure schedule from a seed), never in this package.
+//  3. Operability. Programs have a string form ("store.wal.write=
+//     once(enospc)") parsed by Set, so a daemon flag (lciotd -faults)
+//     can arm any point for a drill, and Snapshot renders the armed
+//     state back for status displays.
+//
+// A site declares its point once and consults it on the hot path:
+//
+//	var fpWrite = fault.New("store.wal.write")
+//
+//	if act := fpWrite.Check(); act != nil {
+//		act.Wait()                 // optional injected delay
+//		if act.Err != nil { ... }  // injected failure
+//	}
+//
+// Check returns nil (one atomic load) unless the point is armed and the
+// program fires. Actions carry an error to inject, a delay to impose, a
+// partial-write byte cap, and a drop marker; each site interprets the
+// fields it understands and ignores the rest.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// ErrInjected is the sentinel wrapped into every injected error, so code
+// and tests can distinguish a drill from a real failure with errors.Is.
+var ErrInjected = errors.New("fault: injected")
+
+// An Action is what a firing failpoint tells its site to do. Sites read
+// the fields they understand:
+//
+//   - Err: fail the operation with this error (already wrapped with
+//     ErrInjected by the parser; Wrap does the same for API callers).
+//   - Delay: sleep this long first (a stall). Delay composes with the
+//     other fields: stall-then-fail is Delay+Err.
+//   - Bytes: for write sites, perform a partial write of at most Bytes
+//     bytes before failing (0 = write nothing). Only meaningful when > 0.
+//   - Drop: for delivery sites, silently discard the unit of work
+//     (a frame, a batch) instead of failing loudly.
+type Action struct {
+	Err   error
+	Delay time.Duration
+	Bytes int
+	Drop  bool
+}
+
+// Wait imposes the action's injected delay, if any.
+func (a *Action) Wait() {
+	if a != nil && a.Delay > 0 {
+		time.Sleep(a.Delay)
+	}
+}
+
+// trigger modes: pure counter machines over the point's hit count.
+type mode int
+
+const (
+	modeOnce mode = iota
+	modeEvery
+	modeAfter
+	modeTimes
+	modeAlways
+)
+
+// A Program pairs a trigger mode with the action it injects. Build one
+// with Once/EveryN/AfterN/TimesN/Always and arm it with Arm.
+type Program struct {
+	m   mode
+	n   uint64
+	act Action
+}
+
+// Once fires on the first hit only.
+func Once(act Action) Program { return Program{m: modeOnce, act: act} }
+
+// EveryN fires on every nth hit (n >= 1).
+func EveryN(n uint64, act Action) Program {
+	if n == 0 {
+		n = 1
+	}
+	return Program{m: modeEvery, n: n, act: act}
+}
+
+// AfterN fires on every hit after the first n.
+func AfterN(n uint64, act Action) Program { return Program{m: modeAfter, n: n, act: act} }
+
+// TimesN fires on the first n hits.
+func TimesN(n uint64, act Action) Program { return Program{m: modeTimes, n: n, act: act} }
+
+// Always fires on every hit.
+func Always(act Action) Program { return Program{m: modeAlways, act: act} }
+
+// program is an armed Program plus its private hit counter. Re-arming
+// swaps in a fresh program, so counters restart — deterministic per arm.
+type program struct {
+	Program
+	spec string // rendered form for Snapshot
+	hits atomic.Uint64
+}
+
+// A Point is one named failpoint. Sites hold the pointer returned by New
+// (never look points up on the hot path) and call Check per operation.
+type Point struct {
+	name  string
+	prog  atomic.Pointer[program]
+	fires atomic.Uint64
+}
+
+// Name returns the point's registered name.
+func (p *Point) Name() string { return p.name }
+
+// Check consults the point: nil means "proceed normally" (the common
+// case: one atomic load), a non-nil Action means the armed program fired
+// this hit. The returned Action is shared and must be treated read-only.
+func (p *Point) Check() *Action {
+	pr := p.prog.Load()
+	if pr == nil {
+		return nil
+	}
+	return p.eval(pr)
+}
+
+// eval runs the armed trigger program for one hit (cold path).
+func (p *Point) eval(pr *program) *Action {
+	hit := pr.hits.Add(1)
+	fire := false
+	switch pr.m {
+	case modeOnce:
+		fire = hit == 1
+	case modeEvery:
+		fire = hit%pr.n == 0
+	case modeAfter:
+		fire = hit > pr.n
+	case modeTimes:
+		fire = hit <= pr.n
+	case modeAlways:
+		fire = true
+	}
+	if !fire {
+		return nil
+	}
+	p.fires.Add(1)
+	return &pr.act
+}
+
+// Fires returns how many times this point has fired since process start.
+func (p *Point) Fires() uint64 { return p.fires.Load() }
+
+// arm installs a program on this point (replacing any armed one and
+// restarting its counters).
+func (p *Point) arm(pr Program, spec string) {
+	p.prog.Store(&program{Program: pr, spec: spec})
+}
+
+// disarm removes any armed program; subsequent Checks are free again.
+func (p *Point) disarm() { p.prog.Store(nil) }
+
+// --- registry ---
+
+var (
+	regMu sync.Mutex
+	reg   = map[string]*Point{}
+)
+
+// New registers (or returns the existing) point with the given name.
+// Sites call it once at init; Arm may also create points by name before
+// the site's package is touched, and both get the same Point.
+func New(name string) *Point {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if p, ok := reg[name]; ok {
+		return p
+	}
+	p := &Point{name: name}
+	reg[name] = p
+	return p
+}
+
+// Lookup returns the named point, or nil if it was never created.
+func Lookup(name string) *Point {
+	regMu.Lock()
+	defer regMu.Unlock()
+	return reg[name]
+}
+
+// Arm installs a trigger program on the named point, creating the point
+// if no site has registered it yet (arming before init order reaches the
+// site is fine). Re-arming replaces the program and restarts counters.
+func Arm(name string, pr Program) {
+	New(name).arm(pr, renderProgram(pr))
+}
+
+// Disarm removes the program from the named point, reporting whether one
+// was armed.
+func Disarm(name string) bool {
+	p := Lookup(name)
+	if p == nil {
+		return false
+	}
+	armed := p.prog.Load() != nil
+	p.disarm()
+	return armed
+}
+
+// DisarmAll disarms every registered point (tests and drill teardown).
+func DisarmAll() {
+	regMu.Lock()
+	pts := make([]*Point, 0, len(reg))
+	for _, p := range reg {
+		pts = append(pts, p)
+	}
+	regMu.Unlock()
+	for _, p := range pts {
+		p.disarm()
+	}
+}
+
+// PointState is one point's snapshot for status displays.
+type PointState struct {
+	Name  string
+	Armed bool
+	// Spec is the armed program in the Set grammar ("" when disarmed).
+	Spec string
+	// Fires counts how many times the point has fired since process start
+	// (across re-arms).
+	Fires uint64
+}
+
+// Snapshot lists every registered point, sorted by name.
+func Snapshot() []PointState {
+	regMu.Lock()
+	pts := make([]*Point, 0, len(reg))
+	for _, p := range reg {
+		pts = append(pts, p)
+	}
+	regMu.Unlock()
+	out := make([]PointState, 0, len(pts))
+	for _, p := range pts {
+		st := PointState{Name: p.name, Fires: p.fires.Load()}
+		if pr := p.prog.Load(); pr != nil {
+			st.Armed = true
+			st.Spec = pr.spec
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Wrap marks an error as injected: the result matches both the original
+// error and ErrInjected via errors.Is.
+func Wrap(cause error) error {
+	if cause == nil {
+		return ErrInjected
+	}
+	return fmt.Errorf("%w: %w", ErrInjected, cause)
+}
+
+// --- string grammar ---
+
+// namedErrors is the error vocabulary of the Set grammar. Each injects
+// the matching syscall (or io) error, wrapped with ErrInjected, so site
+// code reacting to e.g. errors.Is(err, syscall.ENOSPC) behaves exactly
+// as it would on the real failure.
+var namedErrors = map[string]error{
+	"enospc":     syscall.ENOSPC,
+	"eio":        syscall.EIO,
+	"epipe":      syscall.EPIPE,
+	"econnreset": syscall.ECONNRESET,
+	"shortwrite": io.ErrShortWrite,
+	"err":        nil, // bare ErrInjected
+}
+
+// Set arms points from a spec string — the lciotd -faults grammar:
+//
+//	spec     := entry (';' entry)*
+//	entry    := point '=' prog | point '=off'
+//	prog     := mode | mode '(' args ')'
+//	mode     := 'once' | 'every' | 'after' | 'times' | 'always'
+//	args     := [count ','] action | count
+//	action   := token ('+' token)*
+//	token    := named-error | duration | 'partial:' bytes | 'drop'
+//
+// Examples:
+//
+//	store.wal.write=once(enospc)         fail the first write with ENOSPC
+//	store.wal.write=once(partial:7+enospc)  7-byte torn write, then ENOSPC
+//	store.wal.fsync=every(5,eio)         every 5th fsync fails with EIO
+//	sbus.link.send=times(3,200ms)        stall the first 3 sends 200ms
+//	sbus.link.send=once(drop)            silently lose one egress batch
+//	sbus.shard.handoff=always            force every handoff to overflow
+//	store.wal.write=off                  disarm
+//
+// Entries are applied left to right; the first malformed entry aborts
+// with an error (earlier entries stay armed).
+func Set(specs string) error {
+	for _, entry := range strings.Split(specs, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, prog, ok := strings.Cut(entry, "=")
+		name, prog = strings.TrimSpace(name), strings.TrimSpace(prog)
+		if !ok || name == "" || prog == "" {
+			return fmt.Errorf("fault: bad entry %q (want point=prog)", entry)
+		}
+		if prog == "off" {
+			Disarm(name)
+			continue
+		}
+		pr, err := parseProgram(prog)
+		if err != nil {
+			return fmt.Errorf("fault: %s: %w", name, err)
+		}
+		New(name).arm(pr, prog)
+	}
+	return nil
+}
+
+// parseProgram parses one prog in the Set grammar.
+func parseProgram(s string) (Program, error) {
+	mod := s
+	args := ""
+	if i := strings.IndexByte(s, '('); i >= 0 {
+		if !strings.HasSuffix(s, ")") {
+			return Program{}, fmt.Errorf("bad program %q", s)
+		}
+		mod, args = s[:i], s[i+1:len(s)-1]
+	}
+	var m mode
+	needN := false
+	switch mod {
+	case "once":
+		m = modeOnce
+	case "every":
+		m, needN = modeEvery, true
+	case "after":
+		m, needN = modeAfter, true
+	case "times":
+		m, needN = modeTimes, true
+	case "always":
+		m = modeAlways
+	default:
+		return Program{}, fmt.Errorf("unknown mode %q", mod)
+	}
+	var n uint64
+	action := args
+	if needN {
+		count, rest, _ := strings.Cut(args, ",")
+		v, err := strconv.ParseUint(strings.TrimSpace(count), 10, 64)
+		if err != nil {
+			return Program{}, fmt.Errorf("mode %s needs a count: %q", mod, args)
+		}
+		n, action = v, strings.TrimSpace(rest)
+		if m == modeEvery && n == 0 {
+			return Program{}, fmt.Errorf("every(0) never fires")
+		}
+	}
+	act, err := parseAction(action)
+	if err != nil {
+		return Program{}, err
+	}
+	return Program{m: m, n: n, act: act}, nil
+}
+
+// parseAction parses a '+'-joined token list into an Action. An empty
+// action is a bare fire (Err = ErrInjected), which generic sites treat
+// as a failure and marker-driven sites interpret themselves.
+func parseAction(s string) (Action, error) {
+	act := Action{}
+	if s == "" {
+		act.Err = ErrInjected
+		return act, nil
+	}
+	marked := false
+	for _, tok := range strings.Split(s, "+") {
+		tok = strings.TrimSpace(tok)
+		switch {
+		case tok == "drop":
+			act.Drop = true
+			marked = true
+		case strings.HasPrefix(tok, "partial:"):
+			v, err := strconv.Atoi(tok[len("partial:"):])
+			if err != nil || v < 0 {
+				return Action{}, fmt.Errorf("bad partial token %q", tok)
+			}
+			act.Bytes = v
+			marked = true
+		default:
+			if cause, ok := namedErrors[tok]; ok {
+				act.Err = Wrap(cause)
+				marked = true
+				break
+			}
+			d, err := time.ParseDuration(tok)
+			if err != nil || d < 0 {
+				return Action{}, fmt.Errorf("unknown action token %q", tok)
+			}
+			act.Delay = d
+			marked = true
+		}
+	}
+	// partial writes are failures: a short write with no error would be
+	// silent corruption, which no real disk produces.
+	if act.Bytes > 0 && act.Err == nil {
+		act.Err = Wrap(io.ErrShortWrite)
+	}
+	if !marked {
+		act.Err = ErrInjected
+	}
+	return act, nil
+}
+
+// renderProgram renders a Program built through the API back into the
+// grammar, best effort, for Snapshot.
+func renderProgram(pr Program) string {
+	var mod string
+	switch pr.m {
+	case modeOnce:
+		mod = "once"
+	case modeEvery:
+		mod = "every"
+	case modeAfter:
+		mod = "after"
+	case modeTimes:
+		mod = "times"
+	case modeAlways:
+		mod = "always"
+	}
+	var toks []string
+	if pr.act.Bytes > 0 {
+		toks = append(toks, "partial:"+strconv.Itoa(pr.act.Bytes))
+	}
+	if pr.act.Delay > 0 {
+		toks = append(toks, pr.act.Delay.String())
+	}
+	if pr.act.Drop {
+		toks = append(toks, "drop")
+	}
+	if pr.act.Err != nil {
+		toks = append(toks, pr.act.Err.Error())
+	}
+	args := strings.Join(toks, "+")
+	switch pr.m {
+	case modeEvery, modeAfter, modeTimes:
+		if args != "" {
+			args = strconv.FormatUint(pr.n, 10) + "," + args
+		} else {
+			args = strconv.FormatUint(pr.n, 10)
+		}
+	}
+	if args == "" {
+		return mod
+	}
+	return mod + "(" + args + ")"
+}

@@ -1,0 +1,227 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// points get process-global state; every test disarms what it arms.
+
+func TestDisarmedCheckIsNil(t *testing.T) {
+	p := New("test.disarmed")
+	for i := 0; i < 100; i++ {
+		if act := p.Check(); act != nil {
+			t.Fatalf("disarmed point fired: %+v", act)
+		}
+	}
+	if p.Fires() != 0 {
+		t.Fatalf("fires = %d, want 0", p.Fires())
+	}
+}
+
+func TestTriggerPrograms(t *testing.T) {
+	cases := []struct {
+		name string
+		prog Program
+		want []bool // fire pattern over sequential hits
+	}{
+		{"once", Once(Action{}), []bool{true, false, false, false}},
+		{"every3", EveryN(3, Action{}), []bool{false, false, true, false, false, true}},
+		{"after2", AfterN(2, Action{}), []bool{false, false, true, true, true}},
+		{"times2", TimesN(2, Action{}), []bool{true, true, false, false}},
+		{"always", Always(Action{}), []bool{true, true, true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := New("test.prog." + tc.name)
+			defer p.disarm()
+			p.arm(tc.prog, tc.name)
+			for i, want := range tc.want {
+				got := p.Check() != nil
+				if got != want {
+					t.Fatalf("hit %d: fired=%v, want %v", i+1, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestRearmRestartsCounters(t *testing.T) {
+	p := New("test.rearm")
+	defer p.disarm()
+	p.arm(Once(Action{}), "once")
+	if p.Check() == nil || p.Check() != nil {
+		t.Fatal("once program misfired")
+	}
+	p.arm(Once(Action{}), "once")
+	if p.Check() == nil {
+		t.Fatal("re-armed once program did not fire on first hit")
+	}
+}
+
+func TestDeterministicUnderIdenticalSequences(t *testing.T) {
+	run := func() []bool {
+		p := New("test.determinism")
+		p.arm(EveryN(7, Action{}), "every(7)")
+		out := make([]bool, 100)
+		for i := range out {
+			out[i] = p.Check() != nil
+		}
+		p.disarm()
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at hit %d", i)
+		}
+	}
+}
+
+func TestSetGrammar(t *testing.T) {
+	defer DisarmAll()
+	err := Set("test.set.a=once(enospc); test.set.b=every(5,eio); " +
+		"test.set.c=times(3,200ms); test.set.d=once(partial:7+enospc); " +
+		"test.set.e=once(drop); test.set.f=always")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	act := Lookup("test.set.a").Check()
+	if act == nil || !errors.Is(act.Err, syscall.ENOSPC) || !errors.Is(act.Err, ErrInjected) {
+		t.Fatalf("enospc action = %+v", act)
+	}
+	b := Lookup("test.set.b")
+	for i := 1; i <= 10; i++ {
+		act := b.Check()
+		if (i%5 == 0) != (act != nil) {
+			t.Fatalf("every(5): hit %d fired=%v", i, act != nil)
+		}
+		if act != nil && !errors.Is(act.Err, syscall.EIO) {
+			t.Fatalf("every(5) err = %v", act.Err)
+		}
+	}
+	if act := Lookup("test.set.c").Check(); act == nil || act.Delay != 200*time.Millisecond || act.Err != nil {
+		t.Fatalf("stall action = %+v", act)
+	}
+	if act := Lookup("test.set.d").Check(); act == nil || act.Bytes != 7 || !errors.Is(act.Err, syscall.ENOSPC) {
+		t.Fatalf("partial action = %+v", act)
+	}
+	if act := Lookup("test.set.e").Check(); act == nil || !act.Drop {
+		t.Fatalf("drop action = %+v", act)
+	}
+	if act := Lookup("test.set.f").Check(); act == nil || !errors.Is(act.Err, ErrInjected) {
+		t.Fatalf("bare action = %+v", act)
+	}
+}
+
+func TestSetPartialWithoutErrorFailsShortWrite(t *testing.T) {
+	defer DisarmAll()
+	if err := Set("test.set.partial=once(partial:3)"); err != nil {
+		t.Fatal(err)
+	}
+	act := Lookup("test.set.partial").Check()
+	if act == nil || act.Bytes != 3 || !errors.Is(act.Err, io.ErrShortWrite) {
+		t.Fatalf("partial-only action = %+v", act)
+	}
+}
+
+func TestSetOff(t *testing.T) {
+	defer DisarmAll()
+	if err := Set("test.set.off=always"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Set("test.set.off=off"); err != nil {
+		t.Fatal(err)
+	}
+	if act := Lookup("test.set.off").Check(); act != nil {
+		t.Fatalf("disarmed point fired: %+v", act)
+	}
+}
+
+func TestSetErrors(t *testing.T) {
+	for _, bad := range []string{
+		"noequals", "x=", "x=bogus", "x=every", "x=every(zero)",
+		"x=every(0)", "x=once(wat)", "x=once(partial:-1)", "x=once(enospc",
+	} {
+		if err := Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+	DisarmAll()
+}
+
+func TestSnapshot(t *testing.T) {
+	defer DisarmAll()
+	New("test.snap.idle")
+	if err := Set("test.snap.armed=every(2,eio)"); err != nil {
+		t.Fatal(err)
+	}
+	Lookup("test.snap.armed").Check()
+	Lookup("test.snap.armed").Check() // second hit fires
+	var armed, idle *PointState
+	for i, st := range Snapshot() {
+		switch st.Name {
+		case "test.snap.armed":
+			armed = &Snapshot()[i]
+		case "test.snap.idle":
+			idle = &Snapshot()[i]
+		}
+	}
+	if armed == nil || !armed.Armed || armed.Spec != "every(2,eio)" || armed.Fires != 1 {
+		t.Fatalf("armed state = %+v", armed)
+	}
+	if idle == nil || idle.Armed || idle.Fires != 0 {
+		t.Fatalf("idle state = %+v", idle)
+	}
+}
+
+func TestConcurrentCheckArmRace(t *testing.T) {
+	p := New("test.race")
+	defer p.disarm()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					if act := p.Check(); act != nil {
+						act.Wait()
+						_ = act.Err
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		p.arm(EveryN(3, Action{Err: ErrInjected}), "every(3)")
+		p.disarm()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestArmBeforeSiteRegisters(t *testing.T) {
+	defer DisarmAll()
+	Arm("test.early", Once(Action{Err: Wrap(syscall.EIO)}))
+	// The "site" registers afterwards and must see the armed program.
+	p := New("test.early")
+	if act := p.Check(); act == nil || !errors.Is(act.Err, syscall.EIO) {
+		t.Fatalf("early-armed point did not fire: %+v", act)
+	}
+}
+
+func TestWrapNil(t *testing.T) {
+	if !errors.Is(Wrap(nil), ErrInjected) {
+		t.Fatal("Wrap(nil) does not match ErrInjected")
+	}
+}

@@ -5,13 +5,23 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lciot/internal/audit"
+	"lciot/internal/fault"
 	"lciot/internal/ifc"
 	"lciot/internal/msg"
 	"lciot/internal/transport"
 )
+
+// fpLinkSend is the chaos seam in the link writer, checked once per
+// coalesced batch before the transport send. A delay stalls the writer
+// (frames pile onto the bounded queue and exert backpressure); an error
+// simulates the connection dying mid-send (the batch is retained and
+// retransmitted after reconnect); Drop discards the batch outright — the
+// silent mid-batch frame loss at-least-once delivery must tolerate.
+var fpLinkSend = fault.New("sbus.link.send")
 
 // This file implements cross-bus links: the Fig. 9 architecture where each
 // machine's messaging substrate enforces IFC in its dealings with the
@@ -167,9 +177,12 @@ type LinkStatus struct {
 	Dialer bool
 	// State is the current lifecycle state.
 	State LinkState
-	// QueueDepth and QueueCap describe the egress queue.
-	QueueDepth int
-	QueueCap   int
+	// QueueDepth and QueueCap describe the egress queue; QueueHighWater
+	// is the deepest the queue has ever been on this link — sustained
+	// values near QueueCap forewarn of ErrBackpressure.
+	QueueDepth     int
+	QueueCap       int
+	QueueHighWater uint64
 	// Reconnects counts successful session resumptions.
 	Reconnects uint64
 	// PeerJurisdiction is the jurisdiction set the peer declared in its
@@ -213,6 +226,23 @@ type link struct {
 	// key = {remote src full addr, local dst}.
 	ingress    map[channelKey]struct{}
 	reconnects uint64
+
+	// highWater tracks the deepest the send queue has been — the overload
+	// indicator operators watch (LinkStatus.QueueHighWater): a depth that
+	// keeps touching QueueCap means egress is about to hit backpressure.
+	highWater atomic.Uint64
+}
+
+// noteDepth folds the current queue depth into the high-water mark; called
+// after each successful enqueue.
+func (l *link) noteDepth() {
+	d := uint64(len(l.sendQ))
+	for {
+		hw := l.highWater.Load()
+		if d <= hw || l.highWater.CompareAndSwap(hw, d) {
+			return
+		}
+	}
 }
 
 // newLink builds a link shell (no connection attached yet).
@@ -467,6 +497,7 @@ func (l *link) status() LinkStatus {
 		State:            l.state,
 		QueueDepth:       len(l.sendQ),
 		QueueCap:         cap(l.sendQ),
+		QueueHighWater:   l.highWater.Load(),
 		Reconnects:       l.reconnects,
 		PeerJurisdiction: l.peerJur,
 	}
@@ -531,6 +562,7 @@ func (l *link) enqueue(frame []byte) error {
 	}
 	select {
 	case l.sendQ <- frame:
+		l.noteDepth()
 		return nil
 	default:
 	}
@@ -538,6 +570,7 @@ func (l *link) enqueue(frame []byte) error {
 	defer t.Stop()
 	select {
 	case l.sendQ <- frame:
+		l.noteDepth()
 		return nil
 	case <-l.done:
 		return fmt.Errorf("%w: to bus %q", ErrLinkDown, l.peer)
@@ -603,6 +636,21 @@ func (l *link) writeLoop() {
 				default:
 					break coalesce
 				}
+			}
+		}
+		if act := fpLinkSend.Check(); act != nil {
+			act.Wait() // stall: queued frames back up and exert backpressure
+			if act.Drop {
+				// Mid-batch frame drop: the coalesced batch vanishes without
+				// ever reaching the transport.
+				batch = batch[:0]
+				continue
+			}
+			if act.Err != nil {
+				// Injected connection death: keep the batch and let the
+				// supervisor redial, exercising the retransmit path.
+				l.noteConnDead(conn)
+				continue
 			}
 		}
 		buf = AppendBatchHeader(buf[:0], len(batch))

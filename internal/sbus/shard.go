@@ -4,8 +4,16 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"lciot/internal/fault"
 	"lciot/internal/msg"
 )
+
+// fpHandoff is the chaos seam for the handoff rings: an armed program
+// forces the overflow path — the delivery is refused as if the ring were
+// full, so the publisher falls back to inline execution. Drills use it to
+// provoke the relaxed ordering semantics overload produces without having
+// to actually fill a 4096-slot ring.
+var fpHandoff = fault.New("sbus.shard.handoff")
 
 // handoffRingSize bounds each shard's cross-shard delivery ring. While the
 // ring has free slots, handoffs preserve per-source FIFO order; when it is
@@ -97,6 +105,11 @@ func (sh *shard) dispatch(b *Bus) {
 // dispatcher's shutdown drain still delivers it; an enqueue that loses
 // observes the closed flag and falls back.
 func (sh *shard) tryHandoff(b *Bus, h handoff) bool {
+	if act := fpHandoff.Check(); act != nil {
+		act.Wait()
+		sh.overflow.Add(1)
+		return false // forced overflow: caller delivers inline
+	}
 	sh.enqMu.RLock()
 	defer sh.enqMu.RUnlock()
 	if b.closed.Load() {

@@ -13,6 +13,21 @@ import (
 // persisted chain — the memory/disk boundary was broken.
 var ErrChainBoundary = errors.New("store: audit chain boundary mismatch")
 
+// ErrDegraded reports that the audit store has entered degraded mode: a
+// WAL I/O error (full disk, failed fsync) made further persistence
+// impossible, and incoming chain records are being held in a bounded
+// in-memory buffer instead of being written. The error is sticky for the
+// life of the process and wraps the root cause, so
+// errors.Is(err, ErrDegraded) and errors.Is(err, syscall.ENOSPC) both
+// work. Recovery is by restart: the WAL's recovery truncates the torn
+// tail and the chain resumes from the durable boundary.
+var ErrDegraded = errors.New("store: audit store degraded")
+
+// maxDegradedBuffer bounds the records a degraded store holds in memory.
+// Beyond it records are shed (counted, never silent): bounded memory is
+// the point of degrading gracefully instead of wedging group commit.
+const maxDegradedBuffer = 4096
+
 // An AuditStore is the disk tier of the tamper-evident audit log: a WAL of
 // audit.Record values in their binary wire form, with the hash chain kept
 // contiguous across the memory/disk boundary. Open recovers and verifies
@@ -30,6 +45,14 @@ type AuditStore struct {
 	nextSeq  uint64
 	lastHash [32]byte
 	buf      []byte // encode scratch, reused across appends
+
+	// Degradation state (sticky; see ErrDegraded). cause is the root WAL
+	// error; buffered holds chain records accepted after degradation
+	// (bounded by maxDegradedBuffer); shed counts records dropped beyond
+	// the bound. All under mu.
+	cause    error
+	buffered []audit.Record
+	shed     uint64
 }
 
 // OpenAudit opens (creating if necessary) a durable audit store in dir and
@@ -109,6 +132,13 @@ func (s *AuditStore) Verify() (int64, error) {
 // continue the persisted chain: its Seq and PrevHash are checked against
 // the store head before it is enqueued. Durability follows on the next
 // group commit; call Sync to wait for it.
+//
+// A WAL I/O failure does not wedge the caller: the store degrades (see
+// ErrDegraded) — the record is held in a bounded in-memory buffer (shed
+// with a counter beyond the bound), the chain head still advances so
+// subsequent records keep linking, and the sticky degraded error is
+// returned (and from every later Append and Sync) so callers learn the
+// evidence trail is no longer durable.
 func (s *AuditStore) Append(r audit.Record) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -120,17 +150,92 @@ func (s *AuditStore) Append(r audit.Record) error {
 		// zero PrevHash, which is exactly the zero-value head.
 		return fmt.Errorf("%w: record %d does not link to persisted head", ErrChainBoundary, r.Seq)
 	}
-	s.buf = audit.AppendRecordBinary(s.buf[:0], &r)
-	if _, err := s.w.Append(r.Time, s.buf); err != nil {
-		return err
+	if s.cause == nil {
+		s.buf = audit.AppendRecordBinary(s.buf[:0], &r)
+		if _, err := s.w.Append(r.Time, s.buf); err != nil {
+			if errors.Is(err, ErrClosed) {
+				return err // normal shutdown, not degradation
+			}
+			s.degradeLocked(err)
+		}
 	}
 	s.nextSeq = r.Seq + 1
 	s.lastHash = r.Hash
+	if s.cause != nil {
+		if len(s.buffered) < maxDegradedBuffer {
+			s.buffered = append(s.buffered, r)
+		} else {
+			s.shed++
+		}
+		return s.degradedErrLocked()
+	}
 	return nil
 }
 
-// Sync blocks until every appended record is durable.
-func (s *AuditStore) Sync() error { return s.w.Sync() }
+// Sync blocks until every appended record is durable. On a degraded
+// store it returns the sticky typed ErrDegraded wrapping the root cause,
+// so waiters that believed their records durable find out they are not.
+func (s *AuditStore) Sync() error {
+	err := s.w.Sync()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil && !errors.Is(err, ErrClosed) {
+		s.degradeLocked(err)
+	}
+	if s.cause != nil {
+		return s.degradedErrLocked()
+	}
+	return err
+}
+
+// degradeLocked flips the store into degraded mode (first cause wins);
+// s.mu must be held.
+func (s *AuditStore) degradeLocked(cause error) {
+	if s.cause == nil {
+		s.cause = cause
+	}
+}
+
+// degradedErrLocked renders the sticky typed error; s.mu must be held
+// and s.cause non-nil.
+func (s *AuditStore) degradedErrLocked() error {
+	return fmt.Errorf("%w: %w", ErrDegraded, s.cause)
+}
+
+// Health describes the store's degradation state for the operator-facing
+// health ladder (core.Domain.Health aggregates it).
+type Health struct {
+	// Degraded reports that persistence has failed and the store is
+	// buffering in memory; Cause is the root I/O error.
+	Degraded bool
+	Cause    error
+	// Buffered counts chain records held only in memory; Shed counts
+	// records dropped because the buffer was full.
+	Buffered int
+	Shed     uint64
+}
+
+// Health snapshots the store's degradation state.
+func (s *AuditStore) Health() Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Health{
+		Degraded: s.cause != nil,
+		Cause:    s.cause,
+		Buffered: len(s.buffered),
+		Shed:     s.shed,
+	}
+}
+
+// BufferedRecords returns a copy of the records a degraded store is
+// holding in memory (tooling and tests; empty on a healthy store).
+func (s *AuditStore) BufferedRecords() []audit.Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]audit.Record, len(s.buffered))
+	copy(out, s.buffered)
+	return out
+}
 
 // Redact overwrites the persisted record at seq with its chain-preserving
 // tombstone (see audit.Record.Redact): payload zeroed, sequence and hashes

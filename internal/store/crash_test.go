@@ -2,6 +2,7 @@ package store
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -9,10 +10,12 @@ import (
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"testing"
 	"time"
 
 	"lciot/internal/audit"
+	"lciot/internal/fault"
 )
 
 // TestCrashRecoverySIGKILL is the crash-recovery property test: a child
@@ -61,6 +64,84 @@ func TestCrashRecoverySIGKILL(t *testing.T) {
 			t.Fatalf("iter %d: %v", iter, err)
 		}
 		t.Logf("iter %d: killed after %v, acked %d, recovered %d", iter, killAfter, acked, recovered)
+	}
+}
+
+// TestDiskFullRecovery is the disk-full analogue of the SIGKILL test,
+// driven by the store.wal.write failpoint instead of a signal: ENOSPC
+// strikes mid-batch after a partial write, leaving a torn frame on disk.
+// The contract: Sync waiters see the sticky degraded error wrapping
+// ENOSPC, nothing past the durable boundary is claimed, and a restart
+// truncates the torn tail and verifies clean, with the chain continuing
+// across the boundary.
+func TestDiskFullRecovery(t *testing.T) {
+	defer fault.DisarmAll()
+	dir := t.TempDir()
+
+	s, err := OpenAudit(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := audit.NewLog(nil)
+	if err := s.AttachLog(l); err != nil {
+		t.Fatal(err)
+	}
+	// A durable prefix the failure must not touch.
+	for i := 0; i < 20; i++ {
+		l.Append(flowRec("ingest", "store"))
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	durable := s.WAL().DurableSeq()
+
+	// The disk "fills" mid-batch: the next commit lands a 20-byte prefix
+	// of the batch — a torn frame — then fails with ENOSPC.
+	fault.Arm("store.wal.write",
+		fault.Always(fault.Action{Bytes: 20, Err: fault.Wrap(syscall.ENOSPC)}))
+	for i := 0; i < 20; i++ {
+		l.Append(flowRec("ingest", "store"))
+	}
+	err = s.Sync()
+	if !errors.Is(err, ErrDegraded) || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Sync = %v, want ErrDegraded wrapping ENOSPC", err)
+	}
+	if got := s.WAL().DurableSeq(); got != durable {
+		t.Fatalf("durable boundary moved across the failure: %d -> %d", durable, got)
+	}
+	// Ingest continues on the degraded store: records buffer in memory
+	// instead of vanishing or wedging the appender.
+	for i := 0; i < 5; i++ {
+		l.Append(flowRec("ingest", "store"))
+	}
+	if h := s.Health(); !h.Degraded || h.Buffered == 0 {
+		t.Fatalf("health = %+v, want degraded with buffered records", h)
+	}
+	_ = s.Close()
+	fault.DisarmAll()
+
+	// Restart: recovery must truncate the torn tail back to the durable
+	// boundary and the chain must verify and continue.
+	s2, err := OpenAudit(dir, Options{})
+	if err != nil {
+		t.Fatalf("recovery after disk-full: %v", err)
+	}
+	if got := s2.NextSeq(); got != durable {
+		t.Fatalf("recovered to seq %d, want durable boundary %d", got, durable)
+	}
+	if bad, err := s2.Verify(); err != nil || bad != -1 {
+		t.Fatalf("recovered chain broken at %d: %v", bad, err)
+	}
+	l2 := audit.NewLog(nil)
+	if err := s2.AttachLog(l2); err != nil {
+		t.Fatal(err)
+	}
+	l2.Append(flowRec("post-enospc", "sink"))
+	if err := s2.VerifyAgainst(l2); err != nil {
+		t.Fatalf("boundary verify after restart: %v", err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 

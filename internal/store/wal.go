@@ -11,6 +11,19 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"lciot/internal/fault"
+)
+
+// Failpoints on the WAL's risky I/O seams (internal/fault; free when
+// disarmed). They let tests and chaos drills provoke exactly the disk
+// failures the recovery and degradation machinery claims to survive:
+// ENOSPC and torn (partial) writes on commit, fsync errors, and rotation
+// failures.
+var (
+	fpWalWrite  = fault.New("store.wal.write")
+	fpWalFsync  = fault.New("store.wal.fsync")
+	fpWalRotate = fault.New("store.wal.rotate")
 )
 
 // Errors reported by the WAL.
@@ -277,6 +290,12 @@ func (w *WAL) createSegment(firstSeq uint64) (*segment, *os.File, error) {
 }
 
 func (w *WAL) syncFile(f *os.File) error {
+	if act := fpWalFsync.Check(); act != nil {
+		act.Wait()
+		if act.Err != nil {
+			return fmt.Errorf("store: fsync: %w", act.Err)
+		}
+	}
 	if w.opts.NoSync {
 		return nil
 	}
@@ -436,7 +455,7 @@ func (w *WAL) commitBatch(batch []byte, n, batchEnd uint64, lo, hi int64) error 
 			}
 			continue
 		}
-		if _, err := w.active.Write(batch[start:off]); err != nil {
+		if _, err := w.writeActive(batch[start:off]); err != nil {
 			return fmt.Errorf("store: %w", err)
 		}
 		if err := w.syncFile(w.active); err != nil {
@@ -460,9 +479,39 @@ func (w *WAL) commitBatch(batch []byte, n, batchEnd uint64, lo, hi int64) error 
 	return nil
 }
 
+// writeActive writes b to the active segment file, honouring the
+// store.wal.write failpoint: an armed partial-write action lands only the
+// injected byte prefix before failing — exactly the torn tail a real
+// crash mid-write leaves, which recovery must truncate.
+func (w *WAL) writeActive(b []byte) (int, error) {
+	if act := fpWalWrite.Check(); act != nil {
+		act.Wait()
+		n := 0
+		if act.Bytes > 0 {
+			short := b
+			if act.Bytes < len(short) {
+				short = short[:act.Bytes]
+			}
+			n, _ = w.active.Write(short)
+		}
+		err := act.Err
+		if err == nil {
+			err = fault.ErrInjected
+		}
+		return n, err
+	}
+	return w.active.Write(b)
+}
+
 // rotateLocked seals the active segment and opens a fresh one starting at
 // nextSeq; w.mu must be held. Retention (MaxSegments) is applied here.
 func (w *WAL) rotateLocked(nextSeq uint64) error {
+	if act := fpWalRotate.Check(); act != nil {
+		act.Wait()
+		if act.Err != nil {
+			return fmt.Errorf("store: rotate: %w", act.Err)
+		}
+	}
 	if err := w.syncFile(w.active); err != nil {
 		return err
 	}
@@ -590,12 +639,17 @@ func (w *WAL) Segments() int {
 	return len(w.segs)
 }
 
-// snapshotSegs returns a copy of the segment metadata slice.
-func (w *WAL) snapshotSegs() []*segment {
+// snapshotSegs returns the segment metadata as value copies taken under
+// the lock: the committer keeps mutating the live *segment structs
+// (count, size, time bounds) while readers iterate, so handing out the
+// pointers would race.
+func (w *WAL) snapshotSegs() []segment {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	out := make([]*segment, len(w.segs))
-	copy(out, w.segs)
+	out := make([]segment, len(w.segs))
+	for i, s := range w.segs {
+		out[i] = *s
+	}
 	return out
 }
 

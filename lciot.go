@@ -41,6 +41,7 @@ import (
 	"lciot/internal/core"
 	"lciot/internal/ctxmodel"
 	"lciot/internal/device"
+	"lciot/internal/fault"
 	"lciot/internal/gateway"
 	"lciot/internal/ifc"
 	"lciot/internal/msg"
@@ -112,6 +113,18 @@ type (
 	Domain = core.Domain
 	// Options configures a Domain.
 	Options = core.Options
+	// SubsystemHealth is one subsystem's position on the degradation
+	// ladder (Domain.Health reports them).
+	SubsystemHealth = core.SubsystemHealth
+	// HealthState is one rung of the ladder: ok, degraded or failed.
+	HealthState = core.HealthState
+)
+
+// Degradation-ladder rungs.
+const (
+	HealthOK       = core.HealthOK
+	HealthDegraded = core.HealthDegraded
+	HealthFailed   = core.HealthFailed
 )
 
 var (
@@ -285,6 +298,36 @@ var (
 	// OpenAuditStore opens and recovers a durable audit store directory
 	// (Domains with Options.DataDir do this automatically).
 	OpenAuditStore = store.OpenAudit
+	// ErrAuditDegraded matches the durable store's sticky degraded-mode
+	// error via errors.Is; it wraps the root I/O cause (e.g. ENOSPC).
+	ErrAuditDegraded = store.ErrDegraded
+)
+
+// --- Fault injection (chaos drills, robustness tests) ---
+
+type (
+	// FaultAction is what an armed failpoint does when it fires: inject an
+	// error, delay, cap a write, or drop the operation.
+	FaultAction = fault.Action
+	// FaultProgram is a deterministic trigger program (once, every-N, ...).
+	FaultProgram = fault.Program
+	// FaultPointState snapshots one registered failpoint for status output.
+	FaultPointState = fault.PointState
+)
+
+var (
+	// SetFaults arms failpoints from a spec string — the same grammar as
+	// lciotd's -faults flag, e.g. "store.wal.write=once(enospc)".
+	SetFaults = fault.Set
+	// ArmFault arms one named failpoint with a trigger program.
+	ArmFault = fault.Arm
+	// DisarmFaults disarms every armed failpoint.
+	DisarmFaults = fault.DisarmAll
+	// FaultSnapshot lists every registered failpoint and its state.
+	FaultSnapshot = fault.Snapshot
+	// ErrInjected matches injected failures via errors.Is (injected errors
+	// also match their root cause, e.g. syscall.ENOSPC).
+	ErrInjected = fault.ErrInjected
 )
 
 // --- Obligations: retention, erasure, residency, purpose limitation ---
