@@ -1,6 +1,6 @@
 // Command benchharness regenerates the experiment suite (see DESIGN.md,
 // "Experiments"): the eleven figure reproductions E1-E11 (scenario checks
-// with observable outcomes) and the quantitative tables B1-B14. Absolute
+// with observable outcomes) and the quantitative tables B1-B15. Absolute
 // numbers depend on the host; the *shapes* (who wins, what scales how)
 // are the reproduction targets.
 //
@@ -26,6 +26,8 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+
+	"lciot/internal/telemetry"
 )
 
 func main() {
@@ -80,20 +82,25 @@ func main() {
 }
 
 // writeBaseline records the B-series rows with enough host context to make
-// cross-PR comparisons honest.
+// cross-PR comparisons honest, plus the run's own telemetry snapshot (the
+// func-backed series stay live even though the B-series runs dark, so the
+// baseline records what the harness actually did — deliveries, WAL
+// appends, flow-cache traffic).
 func writeBaseline(path string) error {
 	out := struct {
-		GoVersion string     `json:"go_version"`
-		GOOS      string     `json:"goos"`
-		GOARCH    string     `json:"goarch"`
-		NumCPU    int        `json:"num_cpu"`
-		Rows      []benchRow `json:"rows"`
+		GoVersion string             `json:"go_version"`
+		GOOS      string             `json:"goos"`
+		GOARCH    string             `json:"goarch"`
+		NumCPU    int                `json:"num_cpu"`
+		Rows      []benchRow         `json:"rows"`
+		Telemetry []telemetry.Metric `json:"telemetry,omitempty"`
 	}{
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		NumCPU:    runtime.NumCPU(),
 		Rows:      benchRows,
+		Telemetry: telemetry.Snapshot(),
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

@@ -98,6 +98,7 @@ func runMeasurements() {
 	measureB12()
 	measureB13()
 	measureB14()
+	measureB15()
 }
 
 // B13: the obligations engine. The flow-check rows show the hot-path cost

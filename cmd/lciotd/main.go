@@ -8,7 +8,7 @@
 //
 //	lciotd -config node.json [-data-dir DIR] [-pump comp.endpoint=HZ]
 //	       [-listen HOST:PORT] [-peer HOST:PORT ...] [-sweep-every DUR]
-//	       [-faults SPEC]
+//	       [-faults SPEC] [-metrics-addr HOST:PORT] [-trace-sample N]
 //
 // Two daemons federate over real TCP: one listens (-listen or "listen" in
 // the configuration), the other dials it (-peer or "peers"). Peer links
@@ -38,6 +38,15 @@
 // periodic status line reports the overload counters (bus handoff
 // overflows, per-link send-queue depth and high-water) so an operator can
 // see pressure building before a rung drops.
+//
+// -metrics-addr starts the operator surface: an HTTP listener serving
+// /metrics (Prometheus text), /healthz (the degradation ladder as JSON;
+// 503 once any subsystem has failed), /traces (recent sampled flow traces
+// as JSON) and net/http/pprof under /debug/pprof/. Telemetry recording is
+// enabled at boot either way — the flag only controls the listener.
+// -trace-sample N samples one publish in N into an end-to-end flow trace
+// (0, the default, disables head sampling; denials and degradations are
+// always traced).
 //
 // Obligation clauses in the policy file (retention, erasure, residency,
 // purpose) are compiled on load; "jurisdiction" declares where the node
@@ -77,10 +86,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -109,7 +122,13 @@ type config struct {
 	// Shards partitions the bus's routing and dispatch across that many
 	// shards (see the README scaling guide). 0 or 1 keeps the classic
 	// single-shard bus.
-	Shards     int               `json:"shards,omitempty"`
+	Shards int `json:"shards,omitempty"`
+	// MetricsAddr starts the operator HTTP surface (/metrics, /healthz,
+	// /traces, pprof) on this address; empty disables the listener.
+	MetricsAddr string `json:"metrics_addr,omitempty"`
+	// TraceSample samples one publish in N into a flow trace; 0 disables
+	// head sampling (error spans still record).
+	TraceSample int               `json:"trace_sample,omitempty"`
 	Schemas    []schemaConfig    `json:"schemas"`
 	Components []componentConfig `json:"components"`
 	Channels   []channelConfig   `json:"channels"`
@@ -161,6 +180,8 @@ func main() {
 	sweepEvery := flag.String("sweep-every", "", "obligation sweep cadence, e.g. 1s (overrides config sweep_every)")
 	shards := flag.Int("shards", 0, "bus shard count, 0 = config shards or single-shard (set near the core count on busy multi-core nodes)")
 	faults := flag.String("faults", "", "arm deterministic failpoints for a chaos drill: name=mode(args);... (see internal/fault)")
+	metricsAddr := flag.String("metrics-addr", "", "operator HTTP surface address: /metrics, /healthz, /traces, /debug/pprof (overrides config metrics_addr)")
+	traceSample := flag.Int("trace-sample", 0, "sample one publish in N into a flow trace, 0 = off (overrides config trace_sample)")
 	var peers peerList
 	flag.Var(&peers, "peer", "peer bus address to federate with (repeatable; adds to config peers)")
 	flag.Parse()
@@ -168,7 +189,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*configPath, *dataDir, *pump, *listen, *sweepEvery, *faults, *shards, peers); err != nil {
+	if err := run(*configPath, *dataDir, *pump, *listen, *sweepEvery, *faults, *metricsAddr, *shards, *traceSample, peers); err != nil {
 		log.Fatal("lciotd: ", err)
 	}
 }
@@ -186,7 +207,7 @@ func (p *peerList) Set(v string) error {
 	return nil
 }
 
-func run(configPath, dataDir, pump, listen, sweepEvery, faults string, shards int, peers []string) error {
+func run(configPath, dataDir, pump, listen, sweepEvery, faults, metricsAddr string, shards, traceSample int, peers []string) error {
 	// Failpoints arm before the domain exists so boot-path points (store
 	// recovery, the first WAL writes) are already live.
 	if faults != "" {
@@ -234,7 +255,21 @@ func run(configPath, dataDir, pump, listen, sweepEvery, faults string, shards in
 	if shards != 0 {
 		cfg.Shards = shards
 	}
+	if metricsAddr != "" {
+		cfg.MetricsAddr = metricsAddr
+	}
+	if traceSample != 0 {
+		cfg.TraceSample = traceSample
+	}
 	cfg.Peers = append(cfg.Peers, peers...)
+
+	// Telemetry is compiled into every layer but off by default (one
+	// atomic load per instrument); the daemon is the opt-in point.
+	lciot.EnableTelemetry()
+	lciot.SetTraceSampling(cfg.TraceSample)
+	if cfg.TraceSample > 0 {
+		log.Printf("flow tracing: sampling 1 in %d publishes", cfg.TraceSample)
+	}
 
 	jurisdiction := make([]lciot.Tag, 0, len(cfg.Jurisdiction))
 	for _, j := range cfg.Jurisdiction {
@@ -259,6 +294,11 @@ func run(configPath, dataDir, pump, listen, sweepEvery, faults string, shards in
 	if st := domain.AuditStore(); st != nil {
 		log.Printf("audit store %s: recovered %d records, chain intact, resuming at seq %d",
 			cfg.DataDir, st.Len(), st.NextSeq())
+	}
+	if cfg.MetricsAddr != "" {
+		if err := serveMetrics(domain, cfg.MetricsAddr); err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
 	}
 
 	schemas, err := buildSchemas(cfg.Schemas)
@@ -570,7 +610,9 @@ func watchHealth(domain *lciot.Domain, stop <-chan struct{}) {
 // statusLoop periodically logs the overload counters an operator needs to
 // see pressure building: shard handoff overflows (deliveries falling back
 // inline), per-link send-queue depth and high-water, and any subsystem off
-// the ok rung.
+// the ok rung. The line is built from the same telemetry registry snapshot
+// /metrics serves, so the log and the scrape can never disagree; the
+// format is kept grep-stable for the soak harnesses.
 func statusLoop(domain *lciot.Domain, stop <-chan struct{}) {
 	t := time.NewTicker(10 * time.Second)
 	defer t.Stop()
@@ -580,23 +622,123 @@ func statusLoop(domain *lciot.Domain, stop <-chan struct{}) {
 			return
 		case <-t.C:
 		}
-		var delivered, overflow uint64
-		for _, s := range domain.Bus().ShardStats() {
-			delivered += s.Delivered
-			overflow += s.Overflow
-		}
-		line := fmt.Sprintf("status: bus delivered=%d overflow=%d shards=%d",
-			delivered, overflow, domain.Bus().NumShards())
-		for _, st := range domain.LinkStatus() {
-			line += fmt.Sprintf("; link %s queue=%d/%d hw=%d", st.Peer, st.QueueDepth, st.QueueCap, st.QueueHighWater)
-		}
-		for _, h := range domain.Health() {
-			if h.State != lciot.HealthOK {
-				line += fmt.Sprintf("; %s=%s", h.Subsystem, h.State)
-			}
-		}
-		log.Print(line)
+		log.Print(statusLine(domain))
 	}
+}
+
+// statusLine renders one status line from a telemetry registry snapshot.
+func statusLine(domain *lciot.Domain) string {
+	bus := domain.Bus().Name()
+	snap := domain.Metrics().Snapshot()
+	var delivered, overflow, shards float64
+	type linkStat struct{ depth, qcap, hw float64 }
+	links := map[string]*linkStat{}
+	linkFor := func(m lciot.Metric) *linkStat {
+		peer := m.Label("peer")
+		st := links[peer]
+		if st == nil {
+			st = &linkStat{}
+			links[peer] = st
+		}
+		return st
+	}
+	for _, m := range snap {
+		if m.Label("bus") != bus {
+			continue
+		}
+		switch m.Name {
+		case "sbus_shard_delivered_total":
+			delivered += m.Value
+		case "sbus_shard_overflow_total":
+			overflow += m.Value
+		case "sbus_shards":
+			shards = m.Value
+		case "sbus_link_queue_depth":
+			linkFor(m).depth = m.Value
+		case "sbus_link_queue_cap":
+			linkFor(m).qcap = m.Value
+		case "sbus_link_queue_highwater":
+			linkFor(m).hw = m.Value
+		}
+	}
+	line := fmt.Sprintf("status: bus delivered=%d overflow=%d shards=%d",
+		uint64(delivered), uint64(overflow), int(shards))
+	peers := make([]string, 0, len(links))
+	for p := range links {
+		peers = append(peers, p)
+	}
+	sort.Strings(peers)
+	for _, p := range peers {
+		st := links[p]
+		line += fmt.Sprintf("; link %s queue=%d/%d hw=%d", p, int(st.depth), int(st.qcap), uint64(st.hw))
+	}
+	for _, h := range domain.Health() {
+		if h.State != lciot.HealthOK {
+			line += fmt.Sprintf("; %s=%s", h.Subsystem, h.State)
+		}
+	}
+	return line
+}
+
+// serveMetrics starts the operator HTTP surface: Prometheus metrics, the
+// degradation ladder as JSON, recent flow traces, and pprof. It runs on
+// its own mux so the pprof registration does not leak onto
+// http.DefaultServeMux.
+func serveMetrics(domain *lciot.Domain, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := domain.Metrics().WritePrometheus(w); err != nil {
+			log.Printf("metrics: write: %v", err)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		type sub struct {
+			Subsystem string `json:"subsystem"`
+			State     string `json:"state"`
+			Detail    string `json:"detail"`
+		}
+		report := domain.Health()
+		worst := lciot.HealthOK
+		subs := make([]sub, 0, len(report))
+		for _, h := range report {
+			if h.State > worst {
+				worst = h.State
+			}
+			subs = append(subs, sub{Subsystem: h.Subsystem, State: h.State.String(), Detail: h.Detail})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if worst == lciot.HealthFailed {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(map[string]any{
+			"state":      worst.String(),
+			"subsystems": subs,
+		})
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"sample_every": lciot.TraceSampling(),
+			"traces":       lciot.FlowTraces(),
+		})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			log.Printf("metrics: serve: %v", err)
+		}
+	}()
+	log.Printf("operator surface on http://%s (/metrics /healthz /traces /debug/pprof)", ln.Addr())
+	return nil
 }
 
 // startPump launches a synthetic publisher on a configured source

@@ -17,24 +17,26 @@ import (
 //
 // Layout (all integers big-endian):
 //
-//	u8  version (recordWireV2)
+//	u8  version (recordWireV3)
 //	u64 seq | s64 unixSec | u32 nsec | u8 kind | u8 layer | u8 flags
-//	14 × (u32 len | bytes): domain, src, dst,
+//	15 × (u32 len | bytes): domain, src, dst,
 //	                        srcS, srcI, srcJ, srcP, dstS, dstI, dstJ, dstP,
-//	                        dataID, agent, note
+//	                        dataID, agent, note, traceID
 //	32B prevHash | 32B hash
 //
-// v2 extends v1 with the obligation facet labels of both contexts and a
+// v2 extended v1 with the obligation facet labels of both contexts and a
 // flags byte whose low bit marks a chain-preserving tombstone (a record
-// redacted in place by an erasure obligation).
+// redacted in place by an erasure obligation). v3 extends v2 with the
+// flow-tracing ID, which is part of the hash preimage like every other
+// payload field.
 //
 // Security-context labels travel as their canonical String forms (labels
 // are interned, so String is a pointer read) and are re-interned by
 // ifc.ParseLabel on decode; the hashes are carried verbatim, so a decoded
 // record verifies against the same chain it was encoded from.
 
-// recordWireV2 is the current binary record version byte.
-const recordWireV2 = 2
+// recordWireV3 is the current binary record version byte.
+const recordWireV3 = 3
 
 // recordFlagRedacted marks a tombstone in the record flags byte.
 const recordFlagRedacted = 1 << 0
@@ -50,7 +52,7 @@ func HashRecord(r *Record) [32]byte { return computeHash(r) }
 // AppendRecordBinary appends the binary form of r to dst and returns the
 // extended slice.
 func AppendRecordBinary(dst []byte, r *Record) []byte {
-	dst = append(dst, recordWireV2)
+	dst = append(dst, recordWireV3)
 	dst = binary.BigEndian.AppendUint64(dst, r.Seq)
 	dst = binary.BigEndian.AppendUint64(dst, uint64(r.Time.Unix()))
 	dst = binary.BigEndian.AppendUint32(dst, uint32(r.Time.Nanosecond()))
@@ -65,7 +67,7 @@ func AppendRecordBinary(dst []byte, r *Record) []byte {
 		r.SrcCtx.Jurisdiction.String(), r.SrcCtx.Purpose.String(),
 		r.DstCtx.Secrecy.String(), r.DstCtx.Integrity.String(),
 		r.DstCtx.Jurisdiction.String(), r.DstCtx.Purpose.String(),
-		r.DataID, string(r.Agent), r.Note,
+		r.DataID, string(r.Agent), r.Note, r.TraceID,
 	} {
 		dst = binary.BigEndian.AppendUint32(dst, uint32(len(f)))
 		dst = append(dst, f...)
@@ -82,12 +84,12 @@ func DecodeRecordBinary(data []byte) (Record, error) {
 	if len(data) < 1 {
 		return r, fmt.Errorf("%w: empty record", ErrRecordCodec)
 	}
-	if data[0] != recordWireV2 {
+	if data[0] != recordWireV3 {
 		// The hash preimage changes with the record layout (see record.go),
 		// so a cross-version decode could never chain-verify anyway: stores
 		// written by another version must be read with that version.
 		return r, fmt.Errorf("%w: record version %d, this build reads v%d (verify old stores with the lciot version that wrote them)",
-			ErrRecordCodec, data[0], recordWireV2)
+			ErrRecordCodec, data[0], recordWireV3)
 	}
 	off := 1
 	need := func(n int) error {
@@ -111,7 +113,7 @@ func DecodeRecordBinary(data []byte) (Record, error) {
 	r.Redacted = data[off+2]&recordFlagRedacted != 0
 	off += 3
 
-	var fields [14]string
+	var fields [15]string
 	for i := range fields {
 		if err := need(4); err != nil {
 			return r, err
@@ -140,6 +142,7 @@ func DecodeRecordBinary(data []byte) (Record, error) {
 	r.DataID = fields[11]
 	r.Agent = ifc.PrincipalID(fields[12])
 	r.Note = fields[13]
+	r.TraceID = fields[14]
 
 	if err := need(64); err != nil {
 		return r, err

@@ -153,6 +153,15 @@ func (l *Log) AppendAsync(r Record) {
 	}
 }
 
+// IngestDepth reports how many AppendAsync records are enqueued but not
+// yet hashed and committed — the async ingest queue depth the telemetry
+// layer surfaces.
+func (l *Log) IngestDepth() int {
+	l.pendMu.Lock()
+	defer l.pendMu.Unlock()
+	return int(l.enqueued - l.completed)
+}
+
 // Flush blocks until every record enqueued via AppendAsync before the call
 // has been hashed, chained and delivered to sinks. Records enqueued after
 // the call are not waited for, so Flush is bounded even while other

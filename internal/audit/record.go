@@ -126,6 +126,11 @@ type Record struct {
 	Agent ifc.PrincipalID `json:"agent,omitempty"`
 	// Note carries a human-readable explanation (e.g. the denial reason).
 	Note string `json:"note,omitempty"`
+	// TraceID is the hex form of the flow-tracing context the message
+	// carried (empty when the flow was unsampled). It correlates this
+	// enforcement record with the performance spans in internal/telemetry:
+	// the same 128-bit ID appears at every node a traced message crossed.
+	TraceID string `json:"trace_id,omitempty"`
 
 	// Redacted marks a chain-preserving tombstone: the record's payload
 	// fields were zeroed by an erasure obligation while Seq, PrevHash and
@@ -160,7 +165,7 @@ func (r Record) Redact(note string) Record {
 // carrying payload under the flag is a forgery attempt, not an erasure.
 func ValidTombstone(r *Record) bool {
 	return r.Redacted && r.Src == "" && r.Dst == "" && r.DataID == "" && r.Agent == "" &&
-		r.SrcCtx.IsPublic() && r.DstCtx.IsPublic()
+		r.TraceID == "" && r.SrcCtx.IsPublic() && r.DstCtx.IsPublic()
 }
 
 // hashScratch bundles a reusable SHA-256 state with a reusable encoding
@@ -197,7 +202,7 @@ func computeHash(r *Record) [32]byte {
 		r.SrcCtx.Jurisdiction.String(), r.SrcCtx.Purpose.String(),
 		r.DstCtx.Secrecy.String(), r.DstCtx.Integrity.String(),
 		r.DstCtx.Jurisdiction.String(), r.DstCtx.Purpose.String(),
-		r.DataID, string(r.Agent), r.Note,
+		r.DataID, string(r.Agent), r.Note, r.TraceID,
 	} {
 		b = binary.BigEndian.AppendUint32(b, uint32(len(f)))
 		b = append(b, f...)

@@ -3,6 +3,8 @@ package cep
 import (
 	"fmt"
 	"time"
+
+	"lciot/internal/telemetry"
 )
 
 // An Event is one observation: a typed occurrence with a timestamp, a
@@ -110,9 +112,14 @@ func (e *Engine) Register(p Pattern) {
 	e.catchAll = append(e.catchAll, entry)
 }
 
+// cepFeedHist times Feed end to end — the per-event cost of complex event
+// processing (zero-cost while telemetry is disabled).
+var cepFeedHist = telemetry.NewHistogram("cep_feed_ns")
+
 // Feed processes one event through the patterns subscribed to its type
 // (plus the catch-all bucket), in registration order.
 func (e *Engine) Feed(ev Event) {
+	start := cepFeedHist.Start()
 	typed := e.byType[ev.Type]
 	all := e.catchAll
 	// Merge the two seq-sorted buckets so delivery order matches a linear
@@ -131,6 +138,7 @@ func (e *Engine) Feed(ev Event) {
 			e.handler(d)
 		}
 	}
+	cepFeedHist.ObserveSince(start)
 }
 
 // Advance moves the engine clock forward, giving time-driven patterns a

@@ -133,6 +133,15 @@ type Domain struct {
 	closeErr  error
 	// sweepMu serialises SweepObligations against Close.
 	sweepMu sync.Mutex
+
+	// Health cache (see health.go): healthMu guards the last built report
+	// and the fingerprint of the subsystem state it was built from, so
+	// polls only re-format details when something actually moved.
+	healthMu    sync.Mutex
+	healthFP    uint64
+	healthInit  bool
+	healthLast  [4]SubsystemHealth
+	healthWorst HealthState
 }
 
 // NewDomain assembles a domain. The returned domain owns its bus, stores,
@@ -261,6 +270,7 @@ func NewDomain(name string, opts Options) (*Domain, error) {
 			d.auditPolicyError(e)
 		}
 	})
+	registerDomainMetrics(d)
 	return d, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"lciot/internal/sbus"
+	"lciot/internal/telemetry"
 )
 
 // This file is the graceful-degradation ladder's reporting surface: a
@@ -60,13 +61,75 @@ type SubsystemHealth struct {
 // Health reports every subsystem's current state, sorted stably by
 // subsystem name order below. The worst rung across subsystems is the
 // domain's effective state.
+//
+// The report is cached behind a fingerprint of the counters it is built
+// from: polls while nothing changed return a copy of the last report (one
+// bounded allocation, no formatting), so a status loop or scrape endpoint
+// can call this every few seconds without rebuilding strings each time.
+// Safe concurrent with Close — the probes read atomics and their own
+// locks, never the stores Close tears down.
 func (d *Domain) Health() []SubsystemHealth {
-	return []SubsystemHealth{
+	fp := d.healthFingerprint()
+	d.healthMu.Lock()
+	defer d.healthMu.Unlock()
+	if d.healthInit && fp == d.healthFP {
+		out := make([]SubsystemHealth, len(d.healthLast))
+		copy(out, d.healthLast[:])
+		return out
+	}
+	report := [4]SubsystemHealth{
 		d.auditStoreHealth(),
 		d.linkHealth(),
 		d.busHealth(),
 		d.obligationHealth(),
 	}
+	worst := HealthOK
+	for _, h := range report {
+		if h.State > worst {
+			worst = h.State
+		}
+	}
+	// Degradation transitions always leave a trace (error spans bypass
+	// sampling), so a /traces read after an incident shows when the rung
+	// moved even if no sampled flow was in flight.
+	if d.healthInit && worst > d.healthWorst {
+		for _, h := range report {
+			if h.State > HealthOK {
+				telemetry.RecordSpan(telemetry.TraceContext{}, d.name, "health-"+h.State.String(),
+					h.Subsystem, "", h.Detail)
+			}
+		}
+	}
+	d.healthFP, d.healthLast, d.healthWorst, d.healthInit = fp, report, worst, true
+	out := make([]SubsystemHealth, len(report))
+	copy(out, report[:])
+	return out
+}
+
+// healthFingerprint folds every input the subsystem probes read into one
+// value, without allocating: equal fingerprints mean the cached report is
+// still accurate.
+func (d *Domain) healthFingerprint() uint64 {
+	const prime = 1099511628211
+	var h uint64 = 14695981039346656037
+	mix := func(v uint64) { h = (h ^ v) * prime }
+	if d.auditStore != nil {
+		sh := d.auditStore.Health()
+		mix(sh.Shed)
+		mix(uint64(sh.Buffered))
+		if sh.Degraded {
+			mix(1)
+		}
+	}
+	mix(d.bus.LinkHealthFingerprint())
+	delivered, overflow := d.bus.HealthTotals()
+	mix(delivered)
+	mix(overflow)
+	mix(uint64(d.oblSched.Len()))
+	if d.closed.Load() {
+		mix(1)
+	}
+	return h
 }
 
 // auditStoreHealth maps the durable store's degradation state onto the

@@ -12,6 +12,7 @@ import (
 	"lciot/internal/gateway"
 	"lciot/internal/ifc"
 	"lciot/internal/obligation"
+	"lciot/internal/telemetry"
 )
 
 // fpSweep is the chaos seam in the obligation sweep: a delay stalls the
@@ -167,6 +168,13 @@ func (d *Domain) rebuildObligations(tab *obligation.Table) error {
 	return nil
 }
 
+// Sweep telemetry: pass duration and deadlines executed. The backlog
+// gauge lives with the domain wiring since it is per-domain state.
+var (
+	sweepHist   = telemetry.NewHistogram("core_obligation_sweep_ns")
+	oblExecuted = telemetry.NewCounter("core_obligations_executed_total")
+)
+
 // SweepObligations drains scheduling announcements into the audit log and
 // executes every retention deadline due at the domain clock, in batches.
 // It returns the number of deadlines executed. Tick calls it; daemons may
@@ -174,6 +182,7 @@ func (d *Domain) rebuildObligations(tab *obligation.Table) error {
 // a no-op: sweepMu pairs with the barrier in Close, so a sweep never
 // touches a store that is shutting down underneath it.
 func (d *Domain) SweepObligations() int {
+	start := sweepHist.Start()
 	d.sweepMu.Lock()
 	defer d.sweepMu.Unlock()
 	if d.closed.Load() {
@@ -200,6 +209,10 @@ func (d *Domain) SweepObligations() int {
 
 	now := d.clock()
 	executed := 0
+	defer func() {
+		oblExecuted.Add(uint64(executed))
+		sweepHist.ObserveSince(start)
+	}()
 	for {
 		batch := d.oblSched.Due(now, obligationSweepBatch)
 		if len(batch) == 0 {

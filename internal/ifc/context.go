@@ -149,8 +149,10 @@ func CheckFlow(src, dst SecurityContext) FlowDecision {
 	slot := k.slot()
 	gen := flowGen.Load()
 	if e := slot.Load(); e != nil && e.key == k && e.gen == gen {
+		flowCacheHits.Add(1)
 		return e.d
 	}
+	flowCacheMisses.Add(1)
 	d := checkFlowUncached(src, dst)
 	slot.Store(&flowEntry{key: k, gen: gen, d: d})
 	return d

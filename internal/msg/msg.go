@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"lciot/internal/ifc"
+	"lciot/internal/telemetry"
 )
 
 // FieldType enumerates attribute types.
@@ -183,6 +184,12 @@ type Message struct {
 	Attrs map[string]Value
 	// DataID optionally identifies the datum for provenance tracking.
 	DataID string
+	// Trace is the flow-tracing context stamped at publish (zero when the
+	// flow is unsampled). It is message metadata, not payload: the wire
+	// codecs in this file do not carry it — the link protocol moves it in
+	// its own frame fields (sbus/wire.go, protocol v4) so a v3 peer can
+	// still decode the payload unchanged.
+	Trace telemetry.TraceContext
 }
 
 // New builds an empty message of the given type.
@@ -209,7 +216,7 @@ func (m *Message) FieldNames() []string {
 
 // Clone returns a deep copy; quenching mutates copies, never originals.
 func (m *Message) Clone() *Message {
-	cp := &Message{Type: m.Type, DataID: m.DataID, Attrs: make(map[string]Value, len(m.Attrs))}
+	cp := &Message{Type: m.Type, DataID: m.DataID, Trace: m.Trace, Attrs: make(map[string]Value, len(m.Attrs))}
 	for k, v := range m.Attrs {
 		if v.Type == TBytes {
 			b := make([]byte, len(v.Bytes))

@@ -12,6 +12,7 @@ import (
 	"lciot/internal/ctxmodel"
 	"lciot/internal/ifc"
 	"lciot/internal/msg"
+	"lciot/internal/telemetry"
 )
 
 // A channelKey identifies a channel by its fully-qualified endpoints.
@@ -225,6 +226,15 @@ type Bus struct {
 	// Empty means undeclared — residency-constrained data will then never
 	// be sent to (or accepted by) this bus.
 	jurisdiction atomic.Pointer[ifc.Label]
+
+	// pubHist times publish calls end to end (zero cost while telemetry
+	// is disabled: Start returns the zero time after one atomic load).
+	pubHist *telemetry.Histogram
+
+	// maxWireVer caps the link protocol version this bus advertises in
+	// hellos; 0 means the compiled-in maximum. Tests set it before
+	// linking to exercise v3 interop against a v4 build.
+	maxWireVer int
 }
 
 // NewBus builds a single-shard bus. The ACL governs the control plane (who
@@ -283,11 +293,22 @@ func NewShardedBus(name string, shards int, acl *ac.ACL, store *ctxmodel.Store, 
 			go sh.dispatch(b)
 		}
 	}
+	registerBusMetrics(b)
 	return b
 }
 
 // Name returns the bus name (used in cross-bus addresses).
 func (b *Bus) Name() string { return b.name }
+
+// maxWire is the highest link protocol version this bus advertises in
+// hellos (maxWireVer caps it for interop tests; 0 means the compiled-in
+// maximum).
+func (b *Bus) maxWire() byte {
+	if b.maxWireVer >= linkVersionMin && b.maxWireVer < int(linkVersion) {
+		return byte(b.maxWireVer)
+	}
+	return linkVersion
+}
 
 // SetJurisdiction declares the jurisdictions this bus resides in. The
 // declaration travels in the federation hello (wire protocol v3), where
@@ -709,6 +730,7 @@ func (b *Bus) Channels() []string {
 // publishers never block on a slow shard and never lose messages to a
 // stopped one.
 func (b *Bus) publish(c *Component, endpoint string, m *msg.Message) (int, error) {
+	start := b.pubHist.Start()
 	ep, ok := c.Endpoint(endpoint)
 	if !ok {
 		return 0, fmt.Errorf("%w: %q on %q", ErrNoEndpoint, endpoint, c.Name())
@@ -721,6 +743,19 @@ func (b *Bus) publish(c *Component, endpoint string, m *msg.Message) (int, error
 	}
 	if err := ep.Schema.Validate(m); err != nil {
 		return 0, err
+	}
+
+	// Flow tracing: a message that arrives untraced makes the head
+	// sampling decision here (hop 0); one that already carries a trace —
+	// relayed off a link ingress or re-published by a local component —
+	// keeps it, so a federated path stays one trace.
+	if m.Trace.IsZero() {
+		if tc, ok := telemetry.StartTrace(); ok {
+			m.Trace = tc
+			telemetry.RecordSpan(tc, b.name, "publish", c.Name()+"."+endpoint, "", "")
+		}
+	} else {
+		telemetry.RecordSpan(m.Trace, b.name, "relay", c.Name()+"."+endpoint, "", "")
 	}
 
 	outs := b.shards[c.shard].routing.Load().bySrc[c.Name()+"."+endpoint]
@@ -745,6 +780,7 @@ func (b *Bus) publish(c *Component, endpoint string, m *msg.Message) (int, error
 			delivered++
 		}
 	}
+	b.pubHist.ObserveSince(start)
 	return delivered, nil
 }
 
@@ -760,20 +796,20 @@ func (b *Bus) deliverLocal(srcComp *Component, srcEP EndpointSpec, ch *channel, 
 	srcCtx, dstCtx := srcComp.Context(), dstComp.Context()
 
 	if dstComp.Quarantined() {
-		b.auditDenied(srcComp.entity.ID(), dstComp.entity.ID(), srcCtx, dstCtx,
+		b.auditDeniedTrace(m.Trace, srcComp.entity.ID(), dstComp.entity.ID(), srcCtx, dstCtx,
 			srcComp.principal, m.DataID, "delivery denied: destination quarantined")
 		return false
 	}
 	// OS-level IFC re-check on every message (cached per context pair).
 	if err := ifc.EnforceFlow(srcCtx, dstCtx); err != nil {
-		b.auditDenied(srcComp.entity.ID(), dstComp.entity.ID(), srcCtx, dstCtx,
+		b.auditDeniedTrace(m.Trace, srcComp.entity.ID(), dstComp.entity.ID(), srcCtx, dstCtx,
 			srcComp.principal, m.DataID, "delivery denied by IFC: "+err.Error())
 		return false
 	}
 	// Message-layer type tags (Fig. 10): whole message needs clearance.
 	clearance := dstComp.Clearance()
 	if !srcEP.Schema.Secrecy.Subset(clearance) {
-		b.auditDenied(srcComp.entity.ID(), dstComp.entity.ID(), srcCtx, dstCtx,
+		b.auditDeniedTrace(m.Trace, srcComp.entity.ID(), dstComp.entity.ID(), srcCtx, dstCtx,
 			srcComp.principal, m.DataID,
 			fmt.Sprintf("delivery denied: type tags %s exceed clearance %s", srcEP.Schema.Secrecy, clearance))
 		return false
@@ -781,12 +817,16 @@ func (b *Bus) deliverLocal(srcComp *Component, srcEP EndpointSpec, ch *channel, 
 	// Attribute-level source quenching.
 	out, quenched := srcEP.Schema.Quench(m, clearance)
 
+	if !m.Trace.IsZero() { // guard: skip the src/dst formatting for untraced flows
+		telemetry.RecordSpan(m.Trace, b.name, "deliver",
+			srcComp.Name()+"."+srcEP.Name, dstComp.Name()+"."+dstEP.Name, "")
+	}
 	b.log.AppendAsync(audit.Record{
 		Kind: audit.FlowAllowed, Layer: audit.LayerMessaging, Domain: b.name,
 		Src: srcComp.entity.ID(), Dst: dstComp.entity.ID(),
 		SrcCtx: srcCtx, DstCtx: dstCtx,
 		DataID: m.DataID, Agent: srcComp.principal,
-		Note: deliveryNote(quenched),
+		Note: deliveryNote(quenched), TraceID: m.Trace.ID.String(),
 	})
 	// Count before invoking the handler: the delivery is decided once
 	// policy passes, and anything the handler unblocks (tests, examples
@@ -856,12 +896,24 @@ func (b *Bus) reevaluate(component string) {
 	}
 }
 
-// auditDenied appends a denial record (batched off the enforcement path).
+// auditDenied appends a denial record (batched off the enforcement path)
+// for a flow that carried no trace context.
 func (b *Bus) auditDenied(src, dst ifc.EntityID, srcCtx, dstCtx ifc.SecurityContext,
 	agent ifc.PrincipalID, dataID, note string) {
+	b.auditDeniedTrace(telemetry.TraceContext{}, src, dst, srcCtx, dstCtx, agent, dataID, note)
+}
+
+// auditDeniedTrace appends a denial record, recording a "deny" span first.
+// Denials are always traced (a trace ID is minted when the flow carried
+// none — always-sample-on-error), and the span's ID is stamped into the
+// audit record so the compliance evidence and the performance trace
+// correlate.
+func (b *Bus) auditDeniedTrace(tc telemetry.TraceContext, src, dst ifc.EntityID,
+	srcCtx, dstCtx ifc.SecurityContext, agent ifc.PrincipalID, dataID, note string) {
+	id := telemetry.RecordSpan(tc, b.name, "deny", string(src), string(dst), note)
 	b.log.AppendAsync(audit.Record{
 		Kind: audit.FlowDenied, Layer: audit.LayerMessaging, Domain: b.name,
 		Src: src, Dst: dst, SrcCtx: srcCtx, DstCtx: dstCtx,
-		DataID: dataID, Agent: agent, Note: note,
+		DataID: dataID, Agent: agent, Note: note, TraceID: id.String(),
 	})
 }

@@ -12,6 +12,7 @@ import (
 	"lciot/internal/fault"
 	"lciot/internal/ifc"
 	"lciot/internal/msg"
+	"lciot/internal/telemetry"
 	"lciot/internal/transport"
 )
 
@@ -231,6 +232,17 @@ type link struct {
 	// indicator operators watch (LinkStatus.QueueHighWater): a depth that
 	// keeps touching QueueCap means egress is about to hit backpressure.
 	highWater atomic.Uint64
+
+	// wireVer is the link protocol version negotiated with the peer at
+	// hello time (refreshed on every reconnect): frames queue in v4 form
+	// and the writer truncates their trace trailers when this is 3.
+	wireVer atomic.Uint32
+
+	// txBytes/rxBytes/batchFrames are the link's telemetry instruments
+	// (bytes on and off the wire, frames per coalesced batch).
+	txBytes     *telemetry.Counter
+	rxBytes     *telemetry.Counter
+	batchFrames *telemetry.Histogram
 }
 
 // noteDepth folds the current queue depth into the high-water mark; called
@@ -243,6 +255,15 @@ func (l *link) noteDepth() {
 			return
 		}
 	}
+}
+
+// wireVersion reads the negotiated protocol version (v3 until a hello
+// says otherwise).
+func (l *link) wireVersion() byte {
+	if v := l.wireVer.Load(); v >= linkVersionMin {
+		return byte(v)
+	}
+	return linkVersionMin
 }
 
 // newLink builds a link shell (no connection attached yet).
@@ -261,41 +282,75 @@ func (b *Bus) newLink(peer string, network transport.Network, addr string) *link
 		ingress: make(map[channelKey]struct{}),
 	}
 	l.cond = sync.NewCond(&l.mu)
+	reg := telemetry.Default()
+	l.txBytes = reg.Counter("sbus_link_tx_bytes_total", "bus", b.name, "peer", peer)
+	l.rxBytes = reg.Counter("sbus_link_rx_bytes_total", "bus", b.name, "peer", peer)
+	l.batchFrames = reg.Histogram("sbus_link_batch_frames", "bus", b.name, "peer", peer)
+	// Queue depth, high water and reconnects are state the link keeps
+	// anyway: registered func-backed, they cost the data path nothing. A
+	// replacement link to the same peer re-registers the series and takes
+	// them over.
+	reg.GaugeFunc("sbus_link_queue_depth", func() float64 { return float64(len(l.sendQ)) },
+		"bus", b.name, "peer", peer)
+	reg.GaugeFunc("sbus_link_queue_cap", func() float64 { return float64(cap(l.sendQ)) },
+		"bus", b.name, "peer", peer)
+	reg.GaugeFunc("sbus_link_queue_highwater", func() float64 { return float64(l.highWater.Load()) },
+		"bus", b.name, "peer", peer)
+	reg.CounterFunc("sbus_link_reconnects_total", func() float64 {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		return float64(l.reconnects)
+	}, "bus", b.name, "peer", peer)
 	return l
 }
 
+// negotiateWire folds a hello's version advertisement (the hello frame's
+// ID field; zero from a v3 build, which advertised nothing) into the
+// session version: min(ours, theirs), clamped to the supported range.
+func negotiateWire(local byte, advert uint64) byte {
+	theirs := byte(linkVersionMin)
+	if advert >= linkVersionMin && advert <= 0xFF {
+		theirs = byte(advert)
+	}
+	if theirs < local {
+		return theirs
+	}
+	return local
+}
+
 // dialHello dials a peer and performs the hello exchange, returning the
-// live connection, the peer's bus name and its declared jurisdiction.
-func dialHello(b *Bus, network transport.Network, addr string) (transport.Conn, string, ifc.Label, error) {
+// live connection, the peer's bus name, its declared jurisdiction and the
+// negotiated link protocol version.
+func dialHello(b *Bus, network transport.Network, addr string) (transport.Conn, string, ifc.Label, byte, error) {
 	conn, err := network.Dial(addr)
 	if err != nil {
-		return nil, "", ifc.EmptyLabel, err
+		return nil, "", ifc.EmptyLabel, 0, err
 	}
-	hello := LinkFrame{Kind: "hello", Bus: b.name, SrcJurisdiction: b.Jurisdiction()}
+	hello := LinkFrame{Kind: "hello", ID: uint64(b.maxWire()), Bus: b.name, SrcJurisdiction: b.Jurisdiction()}
 	buf, err := encodeSingle(&hello)
 	if err != nil {
 		conn.Close()
-		return nil, "", ifc.EmptyLabel, err
+		return nil, "", ifc.EmptyLabel, 0, err
 	}
 	if err := conn.Send(buf); err != nil {
 		conn.Close()
-		return nil, "", ifc.EmptyLabel, err
+		return nil, "", ifc.EmptyLabel, 0, err
 	}
 	raw, err := conn.Recv()
 	if err != nil {
 		conn.Close()
-		return nil, "", ifc.EmptyLabel, err
+		return nil, "", ifc.EmptyLabel, 0, err
 	}
 	frames, err := DecodeBatch(raw)
 	if err != nil {
 		conn.Close()
-		return nil, "", ifc.EmptyLabel, fmt.Errorf("sbus: hello from %s: %w", addr, err)
+		return nil, "", ifc.EmptyLabel, 0, fmt.Errorf("sbus: hello from %s: %w", addr, err)
 	}
 	if len(frames) != 1 || frames[0].Kind != "hello" || frames[0].Bus == "" {
 		conn.Close()
-		return nil, "", ifc.EmptyLabel, fmt.Errorf("%w: bad hello from %s", ErrProtocol, addr)
+		return nil, "", ifc.EmptyLabel, 0, fmt.Errorf("%w: bad hello from %s", ErrProtocol, addr)
 	}
-	return conn, frames[0].Bus, frames[0].SrcJurisdiction, nil
+	return conn, frames[0].Bus, frames[0].SrcJurisdiction, negotiateWire(b.maxWire(), frames[0].ID), nil
 }
 
 // LinkTo dials a peer bus, performs the hello exchange and starts the
@@ -303,12 +358,13 @@ func dialHello(b *Bus, network transport.Network, addr string) (transport.Conn, 
 // channels already routed to that peer (from an earlier link) are replayed
 // so the session resumes where it left off.
 func (b *Bus) LinkTo(network transport.Network, addr string) (string, error) {
-	conn, peer, peerJur, err := dialHello(b, network, addr)
+	conn, peer, peerJur, wireVer, err := dialHello(b, network, addr)
 	if err != nil {
 		return "", err
 	}
 	l := b.newLink(peer, network, addr)
 	l.peerJur = peerJur
+	l.wireVer.Store(uint32(wireVer))
 	// Replay any surviving egress channels *before* addLink makes the
 	// link routable: once publishers can reach the queue, their message
 	// frames must never get ahead of the connect handshakes.
@@ -339,7 +395,7 @@ func (b *Bus) ServeLink(conn transport.Conn) error {
 		conn.Close()
 		return fmt.Errorf("%w: handshake did not open with hello", ErrProtocol)
 	}
-	reply := LinkFrame{Kind: "hello", Bus: b.name, SrcJurisdiction: b.Jurisdiction()}
+	reply := LinkFrame{Kind: "hello", ID: uint64(b.maxWire()), Bus: b.name, SrcJurisdiction: b.Jurisdiction()}
 	buf, err := encodeSingle(&reply)
 	if err != nil {
 		conn.Close()
@@ -351,6 +407,7 @@ func (b *Bus) ServeLink(conn transport.Conn) error {
 	}
 	l := b.newLink(frames[0].Bus, nil, conn.RemoteAddr())
 	l.peerJur = frames[0].SrcJurisdiction
+	l.wireVer.Store(uint32(negotiateWire(b.maxWire(), frames[0].ID)))
 	// As in LinkTo: re-establish this bus's own egress channels over the
 	// fresh inbound link before it becomes routable.
 	l.replayEgress(conn)
@@ -536,6 +593,32 @@ func (b *Bus) Links() []string {
 	return out
 }
 
+// LinkHealthFingerprint folds every link's peer name and state into one
+// value that changes whenever link health changes. Unlike LinkStatus it
+// never allocates, so health polls can consult it cheaply and rebuild the
+// full status only when something actually moved.
+func (b *Bus) LinkHealthFingerprint() uint64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	// Per-link hashes are summed, not chained: map iteration order is
+	// random, and the fingerprint must not depend on it.
+	var h uint64
+	for peer, l := range *b.links.Load() {
+		ph := uint64(fnvOffset)
+		for i := 0; i < len(peer); i++ {
+			ph = (ph ^ uint64(peer[i])) * fnvPrime
+		}
+		l.mu.Lock()
+		st := l.state
+		l.mu.Unlock()
+		ph = (ph ^ (uint64(st) + 1)) * fnvPrime
+		h += ph
+	}
+	return h
+}
+
 // LinkStatus snapshots every link, sorted by peer name.
 func (b *Bus) LinkStatus() []LinkStatus {
 	m := *b.links.Load()
@@ -580,9 +663,10 @@ func (l *link) enqueue(frame []byte) error {
 	}
 }
 
-// sendFrame encodes one frame and enqueues it.
+// sendFrame encodes one frame (v4 form; the writer strips the trailer for
+// v3 peers) and enqueues it.
 func (l *link) sendFrame(f *LinkFrame) error {
-	buf, err := AppendLinkFrame(nil, f)
+	buf, err := appendLinkFrameV4(nil, f)
 	if err != nil {
 		return err
 	}
@@ -653,8 +737,16 @@ func (l *link) writeLoop() {
 				continue
 			}
 		}
-		buf = AppendBatchHeader(buf[:0], len(batch))
+		// Queued frames carry the v4 trace trailer; emit them as-is to a
+		// v4 peer, or with the fixed-size trailer truncated (traces
+		// dropped cleanly, nothing re-encoded) to a v3 peer. The version
+		// is re-read per batch: a reconnect may have renegotiated it.
+		ver := l.wireVersion()
+		buf = appendBatchHeaderV(buf[:0], ver, len(batch))
 		for _, f := range batch {
+			if ver < 4 {
+				f = f[:len(f)-traceTrailerLen]
+			}
 			buf = append(buf, f...)
 		}
 		if err := conn.Send(buf); err != nil {
@@ -664,6 +756,8 @@ func (l *link) writeLoop() {
 			l.noteConnDead(conn)
 			continue
 		}
+		l.txBytes.Add(uint64(len(buf)))
+		l.batchFrames.Observe(int64(len(batch)))
 		batch = batch[:0]
 	}
 }
@@ -731,7 +825,7 @@ func (l *link) redial() (transport.Conn, int, error) {
 		if backoff > l.cfg.BackoffMax {
 			backoff = l.cfg.BackoffMax
 		}
-		conn, peer, peerJur, err := dialHello(l.bus, l.network, l.addr)
+		conn, peer, peerJur, wireVer, err := dialHello(l.bus, l.network, l.addr)
 		if err != nil {
 			lastErr = err
 			continue
@@ -744,6 +838,7 @@ func (l *link) redial() (transport.Conn, int, error) {
 		l.mu.Lock()
 		l.peerJur = peerJur // the peer may have redeclared (e.g. migrated)
 		l.mu.Unlock()
+		l.wireVer.Store(uint32(wireVer)) // the peer may have up/downgraded
 		return conn, attempt, nil
 	}
 	return nil, l.cfg.RetryBudget, lastErr
@@ -806,22 +901,29 @@ func (l *link) replayEgress(conn transport.Conn) int {
 	// scratch — never a half-resumed session that looks up. Unencodable
 	// connects (>64KiB field) are skipped; their waiters time out.
 	count := 0
+	ver := l.wireVersion()
 	var body []byte
 	flush := func() bool {
 		if count == 0 {
 			return true
 		}
-		packed := AppendBatchHeader(nil, count)
+		packed := appendBatchHeaderV(nil, ver, count)
 		packed = append(packed, body...)
-		count, body = 0, body[:0]
 		if err := conn.Send(packed); err != nil {
 			conn.Close()
+			count, body = 0, body[:0]
 			return false
 		}
+		l.txBytes.Add(uint64(len(packed)))
+		count, body = 0, body[:0]
 		return true
 	}
+	appendFrame := AppendLinkFrame
+	if ver >= 4 {
+		appendFrame = appendLinkFrameV4
+	}
 	for i := range frames {
-		next, err := AppendLinkFrame(body, &frames[i])
+		next, err := appendFrame(body, &frames[i])
 		if err != nil {
 			continue
 		}
@@ -963,6 +1065,7 @@ func (b *Bus) sendRemote(srcComp *Component, srcEP EndpointSpec, remoteBus, remo
 		SrcPurpose:      ctx.Purpose,
 		Schema:          srcEP.Schema.Name,
 		Agent:           srcComp.principal,
+		Trace:           m.Trace,
 	}
 	buf, err := appendMessageFrame(nil, &f, m)
 	if err != nil {
@@ -971,11 +1074,14 @@ func (b *Bus) sendRemote(srcComp *Component, srcEP EndpointSpec, remoteBus, remo
 	if err := l.enqueue(buf); err != nil {
 		return err
 	}
+	if !m.Trace.IsZero() { // guard: skip the dst formatting for untraced flows
+		telemetry.RecordSpan(m.Trace, b.name, "egress", f.Src, remoteBus+":"+remoteDst, "")
+	}
 	b.log.AppendAsync(audit.Record{
 		Kind: audit.FlowAllowed, Layer: audit.LayerMessaging, Domain: b.name,
 		Src: srcComp.entity.ID(), Dst: ifc.EntityID(remoteBus + ":" + remoteDst),
 		SrcCtx: ctx, DataID: m.DataID, Agent: srcComp.principal,
-		Note: "egress to peer bus",
+		Note: "egress to peer bus", TraceID: m.Trace.ID.String(),
 	})
 	return nil
 }
@@ -1022,6 +1128,7 @@ func (l *link) readLoop(conn transport.Conn) {
 			l.noteConnDead(conn)
 			return
 		}
+		l.rxBytes.Add(uint64(len(raw)))
 		frames, err := DecodeBatch(raw)
 		if err != nil {
 			// Mid-session garbage: drop the conn; the supervisor (or the
@@ -1116,6 +1223,14 @@ func (l *link) deliverIngress(f LinkFrame) {
 	_, established := l.ingress[channelKey{src: f.Src, dst: f.Dst}]
 	l.mu.Unlock()
 
+	// A traced frame continues its trace here, one hop deeper: the hop
+	// counter increments at link ingress, so a two-link relay path reads
+	// 0/1/2 across the three buses.
+	var tc telemetry.TraceContext
+	if !f.Trace.IsZero() {
+		tc = telemetry.TraceContext{ID: f.Trace.ID, Hop: f.Trace.Hop + 1}
+	}
+
 	dstComp, dstEP, err := b.resolveLocal(f.Dst, Sink)
 	if err != nil {
 		return
@@ -1127,49 +1242,56 @@ func (l *link) deliverIngress(f LinkFrame) {
 	dstCtx := dstComp.Context()
 
 	if !established {
-		b.auditDenied(ifc.EntityID(f.Src), dstComp.entity.ID(), srcCtx, dstCtx,
+		b.auditDeniedTrace(tc, ifc.EntityID(f.Src), dstComp.entity.ID(), srcCtx, dstCtx,
 			f.Agent, "", "ingress denied: no established channel")
 		return
 	}
 	if dstComp.Quarantined() {
-		b.auditDenied(ifc.EntityID(f.Src), dstComp.entity.ID(), srcCtx, dstCtx,
+		b.auditDeniedTrace(tc, ifc.EntityID(f.Src), dstComp.entity.ID(), srcCtx, dstCtx,
 			f.Agent, "", "ingress denied: destination quarantined")
 		return
 	}
 	// The sender's context may have changed since the connect; re-admit it.
 	if err := b.admit(srcCtx); err != nil {
-		b.auditDenied(ifc.EntityID(f.Src), dstComp.entity.ID(), srcCtx, dstCtx,
+		b.auditDeniedTrace(tc, ifc.EntityID(f.Src), dstComp.entity.ID(), srcCtx, dstCtx,
 			f.Agent, "", "ingress refused by admission policy: "+err.Error())
 		return
 	}
 	// Ingress IFC re-check with the sender's *current* context.
 	if err := ifc.EnforceFlow(srcCtx, dstCtx); err != nil {
-		b.auditDenied(ifc.EntityID(f.Src), dstComp.entity.ID(), srcCtx, dstCtx,
+		b.auditDeniedTrace(tc, ifc.EntityID(f.Src), dstComp.entity.ID(), srcCtx, dstCtx,
 			f.Agent, "", "ingress denied by IFC: "+err.Error())
 		return
 	}
 	m, err := msg.DecodeBinary(f.Payload)
 	if err != nil {
-		b.auditDenied(ifc.EntityID(f.Src), dstComp.entity.ID(), srcCtx, dstCtx,
+		b.auditDeniedTrace(tc, ifc.EntityID(f.Src), dstComp.entity.ID(), srcCtx, dstCtx,
 			f.Agent, "", "ingress denied: undecodable payload")
 		return
 	}
+	m.Trace = tc
 	// Message-layer enforcement against the local schema definition.
 	clearance := dstComp.Clearance()
 	if !dstEP.Schema.Secrecy.Subset(clearance) {
-		b.auditDenied(ifc.EntityID(f.Src), dstComp.entity.ID(), srcCtx, dstCtx,
+		b.auditDeniedTrace(tc, ifc.EntityID(f.Src), dstComp.entity.ID(), srcCtx, dstCtx,
 			f.Agent, m.DataID, "ingress denied: type tags exceed clearance")
 		return
 	}
 	out, quenched := dstEP.Schema.Quench(m, clearance)
 
+	if !tc.IsZero() {
+		telemetry.RecordSpan(tc, b.name, "ingress", f.Src, string(dstComp.entity.ID()), "")
+	}
 	b.log.AppendAsync(audit.Record{
 		Kind: audit.FlowAllowed, Layer: audit.LayerMessaging, Domain: b.name,
 		Src: ifc.EntityID(f.Src), Dst: dstComp.entity.ID(),
 		SrcCtx: srcCtx, DstCtx: dstCtx, DataID: m.DataID, Agent: f.Agent,
-		Note: deliveryNote(quenched),
+		Note: deliveryNote(quenched), TraceID: tc.ID.String(),
 	})
 	if dstComp.handler != nil {
+		if !tc.IsZero() {
+			telemetry.RecordSpan(tc, b.name, "deliver", f.Src, string(dstComp.entity.ID()), "")
+		}
 		dstComp.handler(out, Delivery{From: f.Src, Endpoint: dstEP.Name, Quenched: quenched})
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"lciot/internal/ifc"
 	"lciot/internal/msg"
+	"lciot/internal/telemetry"
 )
 
 // This file is link protocol v2: the binary wire form of cross-bus frames.
@@ -35,19 +36,39 @@ import (
 // labels) and are re-interned by ifc.ParseLabel on decode — the same idiom
 // as audit's binary record codec.
 //
-// Version negotiation: the first batch on a connection must contain exactly
-// one hello frame. The magic and version bytes come first so an acceptor
-// can reject a mismatched peer before parsing anything else; a v1 peer's
-// JSON ('{' = 0x7B) is detected explicitly and refused with a clear error
+// v4 extends v3 with flow tracing: every frame in a version-4 batch ends
+// with a fixed 17-byte trace trailer (16-byte trace ID, big-endian Hi then
+// Lo, plus a hop count byte; all zero when the flow is unsampled). The
+// trailer is a suffix so the two layouts share every other byte: the link
+// writer encodes queued frames in v4 form and simply truncates the
+// trailer when the peer negotiated v3, dropping traces cleanly without
+// re-encoding.
+//
+// Version negotiation: the first batch on a connection must contain
+// exactly one hello frame. Hello batches are always sent in v3 form — the
+// newest layout both sides are guaranteed to parse — and each side
+// advertises the highest version it speaks in the hello frame's ID field
+// (a v3 build leaves ID zero, which reads as an advertisement of v3).
+// Both sides then speak min(local, advertised) for the rest of the
+// session, so v4↔v3 pairs interoperate with no frames rejected. The magic
+// and version bytes come first so an acceptor can reject a truly
+// incompatible peer before parsing anything else; a v1 peer's JSON
+// ('{' = 0x7B) is detected explicitly and refused with a clear error
 // rather than a decode failure.
 
 const (
-	// linkMagic is the first byte of every v2 batch ('L' for link).
+	// linkMagic is the first byte of every v2+ batch ('L' for link).
 	linkMagic = 0x4C
-	// linkVersion is the protocol version this bus speaks.
-	linkVersion = 3
+	// linkVersion is the newest protocol version this bus speaks;
+	// linkVersionMin is the oldest it still accepts and emits (for v3
+	// peers, negotiated at hello time).
+	linkVersion    = 4
+	linkVersionMin = 3
 	// batchHeaderLen is magic + version + count.
 	batchHeaderLen = 4
+	// traceTrailerLen is the per-frame trace suffix in a v4 batch:
+	// 16-byte trace ID + 1 hop byte.
+	traceTrailerLen = 17
 )
 
 // Frame kinds. The wire carries the byte; LinkFrame carries the string
@@ -98,6 +119,11 @@ type LinkFrame struct {
 	Err string `json:"err,omitempty"`
 
 	Agent ifc.PrincipalID `json:"agent,omitempty"`
+
+	// Trace is the flow-tracing context carried in the v4 frame trailer
+	// (zero when unsampled or when the peer negotiated v3). Not part of
+	// the legacy v1 JSON schema.
+	Trace telemetry.TraceContext `json:"-"`
 }
 
 // kindByte maps the frame kind string to its wire byte.
@@ -134,10 +160,24 @@ func kindString(k byte) (string, error) {
 	return "", fmt.Errorf("%w: unknown kind byte %d", ErrWire, k)
 }
 
-// AppendBatchHeader appends the v2 batch header for count frames.
+// AppendBatchHeader appends a v3 batch header for count frames (frames
+// without trace trailers — the handshake and single-frame helpers). The
+// link writer stamps v4 headers itself once the peer has negotiated v4.
 func AppendBatchHeader(dst []byte, count int) []byte {
-	dst = append(dst, linkMagic, linkVersion)
+	return appendBatchHeaderV(dst, linkVersionMin, count)
+}
+
+// appendBatchHeaderV appends a batch header carrying an explicit version.
+func appendBatchHeaderV(dst []byte, version byte, count int) []byte {
+	dst = append(dst, linkMagic, version)
 	return binary.BigEndian.AppendUint16(dst, uint16(count))
+}
+
+// appendTraceTrailer appends the fixed v4 trace suffix.
+func appendTraceTrailer(dst []byte, tc telemetry.TraceContext) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, tc.ID.Hi)
+	dst = binary.BigEndian.AppendUint64(dst, tc.ID.Lo)
+	return append(dst, tc.Hop)
 }
 
 // appendFramePrefix appends every frame field up to (but excluding) the
@@ -169,7 +209,7 @@ func appendFramePrefix(dst []byte, f *LinkFrame) ([]byte, error) {
 	return dst, nil
 }
 
-// AppendLinkFrame appends the binary form of f to dst and returns the
+// AppendLinkFrame appends the v3 binary form of f to dst and returns the
 // extended slice. Encoding into a caller-owned buffer keeps the steady
 // state allocation-free; the writer goroutine reuses one batch buffer for
 // its whole life.
@@ -183,10 +223,23 @@ func AppendLinkFrame(dst []byte, f *LinkFrame) ([]byte, error) {
 	return dst, nil
 }
 
+// appendLinkFrameV4 is AppendLinkFrame plus the v4 trace trailer. Every
+// frame handed to a link's send queue is encoded in this form; the writer
+// truncates the fixed-size trailer when the peer negotiated v3.
+func appendLinkFrameV4(dst []byte, f *LinkFrame) ([]byte, error) {
+	dst, err := AppendLinkFrame(dst, f)
+	if err != nil {
+		return dst, err
+	}
+	return appendTraceTrailer(dst, f.Trace), nil
+}
+
 // appendMessageFrame is AppendLinkFrame with the payload encoded straight
 // from the message: the frame fields and msg.AppendBinary land in one
 // buffer in one pass, with the payload length backfilled — no intermediate
 // payload slice on the per-message egress path.
+// The frame is produced in v4 form (trace trailer from the message's own
+// context) ready for the writer's per-version emit.
 func appendMessageFrame(dst []byte, f *LinkFrame, m *msg.Message) ([]byte, error) {
 	dst, err := appendFramePrefix(dst, f)
 	if err != nil {
@@ -199,13 +252,16 @@ func appendMessageFrame(dst []byte, f *LinkFrame, m *msg.Message) ([]byte, error
 		return dst, err
 	}
 	binary.BigEndian.PutUint32(dst[lenAt:], uint32(len(dst)-lenAt-4))
-	return dst, nil
+	return appendTraceTrailer(dst, m.Trace), nil
 }
 
-// wireDecoder is a bounds-checked cursor over one received batch.
+// wireDecoder is a bounds-checked cursor over one received batch; ver is
+// the batch header version, which decides whether frames carry the v4
+// trace trailer.
 type wireDecoder struct {
 	buf []byte
 	off int
+	ver byte
 }
 
 func (d *wireDecoder) need(n int) error {
@@ -336,6 +392,15 @@ func (d *wireDecoder) decodeFrame() (LinkFrame, error) {
 		copy(f.Payload, d.buf[d.off:])
 	}
 	d.off += int(n)
+	if d.ver >= 4 {
+		if err := d.need(traceTrailerLen); err != nil {
+			return f, err
+		}
+		f.Trace.ID.Hi = binary.BigEndian.Uint64(d.buf[d.off:])
+		f.Trace.ID.Lo = binary.BigEndian.Uint64(d.buf[d.off+8:])
+		f.Trace.Hop = d.buf[d.off+16]
+		d.off += traceTrailerLen
+	}
 	return f, nil
 }
 
@@ -349,20 +414,20 @@ func DecodeBatch(data []byte) ([]LinkFrame, error) {
 	}
 	if data[0] != linkMagic {
 		if data[0] == '{' {
-			return nil, fmt.Errorf("%w: peer speaks legacy JSON link protocol v1; this bus requires v%d",
-				ErrProtocol, linkVersion)
+			return nil, fmt.Errorf("%w: peer speaks legacy JSON link protocol v1; this bus accepts v%d-v%d",
+				ErrProtocol, linkVersionMin, linkVersion)
 		}
 		return nil, fmt.Errorf("%w: bad magic byte 0x%02x", ErrWire, data[0])
 	}
 	if len(data) < batchHeaderLen {
 		return nil, fmt.Errorf("%w: short batch header", ErrWire)
 	}
-	if v := data[1]; v != linkVersion {
-		return nil, fmt.Errorf("%w: peer speaks link protocol v%d, this bus requires v%d",
-			ErrProtocol, v, linkVersion)
+	if v := data[1]; v < linkVersionMin || v > linkVersion {
+		return nil, fmt.Errorf("%w: peer speaks link protocol v%d, this bus accepts v%d-v%d",
+			ErrProtocol, v, linkVersionMin, linkVersion)
 	}
 	count := int(binary.BigEndian.Uint16(data[2:]))
-	d := &wireDecoder{buf: data, off: batchHeaderLen}
+	d := &wireDecoder{buf: data, off: batchHeaderLen, ver: data[1]}
 	frames := make([]LinkFrame, 0, count)
 	for i := 0; i < count; i++ {
 		f, err := d.decodeFrame()

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"lciot/internal/audit"
+	"lciot/internal/telemetry"
 )
 
 // ErrChainBoundary reports a record whose hash chain does not continue the
@@ -71,6 +72,27 @@ func OpenAudit(dir string, opts Options) (*AuditStore, error) {
 		w.Close()
 		return nil, fmt.Errorf("recovered store seq %d: %w", bad, err)
 	}
+	// Degradation state, func-backed: the series read the fields the
+	// store maintains anyway, so the append path pays nothing.
+	reg := telemetry.Default()
+	reg.GaugeFunc("store_audit_degraded", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.cause != nil {
+			return 1
+		}
+		return 0
+	}, "dir", dir)
+	reg.GaugeFunc("store_audit_buffered", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.buffered))
+	}, "dir", dir)
+	reg.CounterFunc("store_audit_shed_total", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.shed)
+	}, "dir", dir)
 	return s, nil
 }
 

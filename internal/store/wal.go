@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"lciot/internal/fault"
+	"lciot/internal/telemetry"
 )
 
 // Failpoints on the WAL's risky I/O seams (internal/fault; free when
@@ -115,6 +116,12 @@ type WAL struct {
 	draining   bool
 	err        error // sticky I/O error
 	closed     bool
+
+	// appendHist/fsyncHist time the WAL's two latencies operators watch:
+	// the enqueue cost a caller pays and the fsync cost group commit pays.
+	// Both are zero-cost while telemetry is disabled.
+	appendHist *telemetry.Histogram
+	fsyncHist  *telemetry.Histogram
 }
 
 // maxPendingBytes bounds the in-memory batch; appenders beyond it block
@@ -139,6 +146,11 @@ func Open(dir string, opts Options) (*WAL, error) {
 	if err := w.recover(); err != nil {
 		return nil, err
 	}
+	reg := telemetry.Default()
+	w.appendHist = reg.Histogram("store_wal_append_ns", "dir", dir)
+	w.fsyncHist = reg.Histogram("store_wal_fsync_ns", "dir", dir)
+	reg.GaugeFunc("store_wal_segments", func() float64 { return float64(w.Segments()) },
+		"dir", dir)
 	return w, nil
 }
 
@@ -299,9 +311,11 @@ func (w *WAL) syncFile(f *os.File) error {
 	if w.opts.NoSync {
 		return nil
 	}
+	start := w.fsyncHist.Start()
 	if err := f.Sync(); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	w.fsyncHist.ObserveSince(start)
 	return nil
 }
 
@@ -328,6 +342,7 @@ func (w *WAL) syncDir() error {
 // not block on I/O (beyond bounded backpressure when the committer falls
 // behind).
 func (w *WAL) Append(t time.Time, payload []byte) (uint64, error) {
+	hstart := w.appendHist.Start()
 	if t.IsZero() {
 		t = time.Now()
 	}
@@ -365,6 +380,7 @@ func (w *WAL) Append(t time.Time, payload []byte) (uint64, error) {
 	if start {
 		go w.drain()
 	}
+	w.appendHist.ObserveSince(hstart)
 	return seq, nil
 }
 

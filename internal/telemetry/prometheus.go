@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). Counters and gauges emit one sample per series;
+// histograms emit the summary form — quantile samples plus _sum and
+// _count — because shipping every log-linear bucket would bloat the scrape
+// without adding precision a dashboard can use.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	var lastName string
+	for _, m := range snap {
+		if m.Name != lastName {
+			typ := "gauge"
+			switch m.Kind {
+			case KindCounter:
+				typ = "counter"
+			case KindHistogram:
+				typ = "summary"
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, typ); err != nil {
+				return err
+			}
+			lastName = m.Name
+		}
+		if m.Hist != nil {
+			if err := writeSummary(w, m); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n",
+			m.Name, braced(m.Labels), formatValue(m.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSummary(w io.Writer, m Metric) error {
+	h := m.Hist
+	for _, q := range [...]struct {
+		q string
+		v int64
+	}{{"0.5", h.P50}, {"0.9", h.P90}, {"0.99", h.P99}} {
+		labels := m.Labels
+		if labels != "" {
+			labels += ","
+		}
+		labels += `quantile="` + q.q + `"`
+		if _, err := fmt.Fprintf(w, "%s{%s} %d\n", m.Name, labels, q.v); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", m.Name, braced(m.Labels), h.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, braced(m.Labels), h.Count)
+	return err
+}
+
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// formatValue renders integers without an exponent (most series are
+// counts) and falls back to shortest-float for the rest.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

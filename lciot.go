@@ -50,6 +50,7 @@ import (
 	"lciot/internal/policy"
 	"lciot/internal/sbus"
 	"lciot/internal/store"
+	"lciot/internal/telemetry"
 	"lciot/internal/transport"
 )
 
@@ -397,6 +398,44 @@ var (
 	NewTagResolver = names.NewResolver
 	// NewMemNetwork builds the in-memory simulated network.
 	NewMemNetwork = transport.NewMemNetwork
+)
+
+// --- Telemetry: metrics and end-to-end flow tracing ---
+
+type (
+	// TelemetryRegistry holds named metric series; Domain.Metrics returns
+	// the process-wide default registry lciotd's /metrics endpoint serves.
+	TelemetryRegistry = telemetry.Registry
+	// Metric is one series in a registry snapshot.
+	Metric = telemetry.Metric
+	// TraceID is a 128-bit flow identifier (32 hex digits in audit
+	// records and span events).
+	TraceID = telemetry.TraceID
+	// TraceSpan is one timestamped event on a flow trace.
+	TraceSpan = telemetry.Span
+	// FlowTrace groups the buffered spans of one trace ID.
+	FlowTrace = telemetry.Trace
+)
+
+var (
+	// EnableTelemetry turns recording instruments on process-wide.
+	// Telemetry is off by default: a disabled instrument costs one atomic
+	// load, so libraries embed instruments unconditionally and daemons
+	// opt in at boot (lciotd does).
+	EnableTelemetry = telemetry.Enable
+	// DisableTelemetry turns recording instruments back off.
+	DisableTelemetry = telemetry.Disable
+	// TelemetrySnapshot reads every series in the default registry.
+	TelemetrySnapshot = telemetry.Snapshot
+	// FindMetric locates a series in a snapshot by name and label pairs.
+	FindMetric = telemetry.Find
+	// SetTraceSampling sets head-based flow-trace sampling: every n-th
+	// publish starts a trace; 0 disables (error spans still record).
+	SetTraceSampling = telemetry.SetTraceSampling
+	// TraceSampling reports the current head-sampling rate.
+	TraceSampling = telemetry.TraceSampling
+	// FlowTraces groups the buffered span events by trace, oldest first.
+	FlowTraces = telemetry.Traces
 )
 
 // TCP is the production transport over real sockets.
