@@ -1,0 +1,219 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"lciot/internal/cep"
+	"lciot/internal/core"
+	"lciot/internal/ifc"
+	"lciot/internal/msg"
+	"lciot/internal/sbus"
+)
+
+// B16: the parallel dispatch plane, end to end. Each lane runs the whole
+// pipeline — bus delivery → CEP detection → policy dispatch over 1000
+// armed rules → audit staging — on its own shard, and the capacity sum
+// across lanes is the domain's concurrent throughput (the same
+// methodology B14 established for bare deliveries). A broadcast-pattern
+// row prices the one cross-lane serialization point.
+func measureB16() {
+	schema := msg.MustSchema("vitals", ifc.EmptyLabel,
+		msg.Field{Name: "patient", Type: msg.TString, Required: true},
+		msg.Field{Name: "heart-rate", Type: msg.TFloat, Required: true},
+	)
+	ctx := ifc.MustContext([]ifc.Tag{"medical"}, nil)
+	mkMsg := func() *msg.Message {
+		return msg.New("vitals").Set("patient", msg.Str("ann")).Set("heart-rate", msg.Float(72))
+	}
+
+	// armedPolicy spreads 1000 rules over the lanes' hot patterns (3 per
+	// lane, guards evaluated but never true — the cost is dispatch +
+	// guard, not action storms) with the remainder on cold patterns no
+	// detection ever names.
+	armedPolicy := func(lanes int) string {
+		const total = 1000
+		src := ""
+		n := 0
+		for lane := 0; lane < lanes; lane++ {
+			for j := 0; j < 3; j++ {
+				src += fmt.Sprintf("rule \"hot-%d-%d\" { on event \"pat-%d\" when event.value > 1000 do alert \"x\" }\n", lane, j, lane)
+				n++
+			}
+		}
+		for ; n < total; n++ {
+			src += fmt.Sprintf("rule \"cold-%d\" { on event \"cold-%d\" when event.value > 1000 do alert \"x\" }\n", n, n)
+		}
+		return src
+	}
+
+	// buildDomain wires one full lane per shard: a source and a sink homed
+	// on shard i, the sink's handler feeding the event stream, and a
+	// Threshold pattern pinned to that sink's lane by its Sources
+	// declaration. The feed names the sink component as the event source,
+	// so the detection runs on the CEP lane aligned with the bus shard.
+	buildDomain := func(name string, shards int) (*core.Domain, []*sbus.Component, []string) {
+		d, err := core.NewDomain(name, core.Options{ACL: benchACL(), Shards: shards})
+		if err != nil {
+			panic(err)
+		}
+		if err := d.LoadPolicy(armedPolicy(shards)); err != nil {
+			panic(err)
+		}
+		bus := d.Bus()
+		srcs := make([]*sbus.Component, shards)
+		sinks := make([]string, shards)
+		for i := 0; i < shards; i++ {
+			srcName := nameOnShard(bus, fmt.Sprintf("s16src-%d-", i), i)
+			dstName := nameOnShard(bus, fmt.Sprintf("s16dst-%d-", i), i)
+			sinks[i] = dstName
+			lane := i
+			src, err := bus.Register(srcName, "p", ctx, nil,
+				sbus.EndpointSpec{Name: "out", Dir: sbus.Source, Schema: schema})
+			if err != nil {
+				panic(err)
+			}
+			if _, err := bus.Register(dstName, "p", ctx,
+				func(m *msg.Message, del sbus.Delivery) {
+					d.FeedEvent(cep.Event{
+						Type: "vitals", Source: dstName,
+						Time: time.Now(), Value: 72,
+					})
+				},
+				sbus.EndpointSpec{Name: "in", Dir: sbus.Sink, Schema: schema}); err != nil {
+				panic(err)
+			}
+			if err := bus.Connect("p", srcName+".out", dstName+".in"); err != nil {
+				panic(err)
+			}
+			d.RegisterPattern(&cep.Threshold{
+				PatternName: fmt.Sprintf("pat-%d", lane),
+				Sources:     []string{dstName},
+				Count:       1, Window: time.Minute,
+			})
+			srcs[i] = src
+		}
+		return d, srcs, sinks
+	}
+
+	// Capacity sum, B14 methodology: every lane of every shard count
+	// measured alone, rounds interleaved so host slow phases hit all rows
+	// equally, best of 5 kept, audit backlogs flushed before each lane.
+	const perLane = 4000
+	counts := shardCountsFlag
+	if counts == nil {
+		counts = []int{1, 4, 32}
+	}
+	domains := make([]*core.Domain, len(counts))
+	lanes := make([][]*sbus.Component, len(counts))
+	for ci, shards := range counts {
+		domains[ci], lanes[ci], _ = buildDomain(fmt.Sprintf("bench16-%d", shards), shards)
+	}
+	best := make([][]time.Duration, len(counts))
+	type laneRef struct{ ci, li int }
+	var order []laneRef
+	for ci := range counts {
+		best[ci] = make([]time.Duration, len(lanes[ci]))
+		for li := range lanes[ci] {
+			order = append(order, laneRef{ci, li})
+		}
+	}
+	runtime.GC()
+	const reps = 5
+	for rep := 0; rep < reps; rep++ {
+		off := rep * len(order) / reps
+		for k := 0; k < len(order); k++ {
+			ref := order[(k+off)%len(order)]
+			src := lanes[ref.ci][ref.li]
+			for _, dom := range domains {
+				dom.Log().Flush()
+			}
+			m := mkMsg()
+			d, _ := timeOpAllocsN(100, perLane, func() {
+				if _, err := src.Publish("out", m); err != nil {
+					panic(err)
+				}
+			})
+			if rep == 0 || d < best[ref.ci][ref.li] {
+				best[ref.ci][ref.li] = d
+			}
+		}
+	}
+	var baseRate float64
+	for ci, shards := range counts {
+		var aggregate float64
+		for _, d := range best[ci] {
+			aggregate += 1e9 / float64(d.Nanoseconds())
+		}
+		mode := "delivery+CEP+policy(1000 rules, 3/bucket)+audit per op; per-lane rates summed, best of 5"
+		if runtime.NumCPU() >= 2 && shards > 1 {
+			domains[ci].Log().Flush()
+			procs := runtime.NumCPU()
+			if shards < procs {
+				procs = shards
+			}
+			prev := runtime.GOMAXPROCS(procs)
+			var wg sync.WaitGroup
+			start := time.Now()
+			for _, src := range lanes[ci] {
+				wg.Add(1)
+				go func(c *sbus.Component) {
+					defer wg.Done()
+					lm := mkMsg()
+					for i := 0; i < perLane; i++ {
+						if _, err := c.Publish("out", lm); err != nil {
+							panic(err)
+						}
+					}
+				}(src)
+			}
+			wg.Wait()
+			wall := time.Since(start)
+			runtime.GOMAXPROCS(prev)
+			concRate := float64(shards*perLane) / wall.Seconds()
+			mode = fmt.Sprintf("%s; concurrent pass at GOMAXPROCS=%d measured %.2fM/s",
+				mode, procs, concRate/1e6)
+		}
+		perOp := time.Duration(1e9 / aggregate)
+		note := fmt.Sprintf("%.2fM pipeline ops/s aggregate; %s", aggregate/1e6, mode)
+		if shards == 1 {
+			baseRate = aggregate
+		} else if baseRate > 0 {
+			note = fmt.Sprintf("%.2fx vs 1 shard; %s", aggregate/baseRate, note)
+		}
+		row("B16", fmt.Sprintf("end-to-end pipeline, %d shards", shards), perOp, note)
+	}
+
+	// The broadcast residue: register one sourceless pattern on the
+	// 4-shard domain (it sees every event, under the one shared lock) and
+	// re-price a single lane's op. The delta against the homed row above
+	// is the cost rule authors pay for a cross-lane correlation.
+	for ci, shards := range counts {
+		if shards == 1 || len(lanes[ci]) == 0 {
+			continue
+		}
+		domains[ci].RegisterPattern(&cep.Threshold{
+			PatternName: "bcast-watch",
+			Match:       func(ev cep.Event) bool { return ev.Value > 1e12 },
+			Count:       3, Window: time.Minute,
+		})
+		domains[ci].Log().Flush()
+		m := mkMsg()
+		src := lanes[ci][0]
+		d, _ := minOf5(func() (time.Duration, float64) {
+			return timeOpAllocsN(100, perLane, func() {
+				if _, err := src.Publish("out", m); err != nil {
+					panic(err)
+				}
+			})
+		})
+		row("B16", fmt.Sprintf("pipeline + broadcast pattern, %d shards", shards), d,
+			"one sourceless pattern: every lane also takes the broadcast lock; min of 5")
+		break // one broadcast row is enough; price it at the first multi-shard count
+	}
+	for _, dom := range domains {
+		dom.Close()
+	}
+}

@@ -129,9 +129,9 @@ type config struct {
 	// TraceSample samples one publish in N into a flow trace; 0 disables
 	// head sampling (error spans still record).
 	TraceSample int               `json:"trace_sample,omitempty"`
-	Schemas    []schemaConfig    `json:"schemas"`
-	Components []componentConfig `json:"components"`
-	Channels   []channelConfig   `json:"channels"`
+	Schemas     []schemaConfig    `json:"schemas"`
+	Components  []componentConfig `json:"components"`
+	Channels    []channelConfig   `json:"channels"`
 }
 
 type schemaConfig struct {
@@ -286,6 +286,8 @@ func run(configPath, dataDir, pump, listen, sweepEvery, faults, metricsAddr stri
 	}
 	if n := domain.Bus().NumShards(); n > 1 {
 		log.Printf("bus sharded across %d shards (GOMAXPROCS %d)", n, runtime.GOMAXPROCS(0))
+		log.Printf("parallel dispatch plane: %d CEP lanes, %d policy index lanes, %d audit staging lanes",
+			n, n, n)
 	}
 	// Error-path safety net; the normal path closes explicitly below so a
 	// sticky store I/O error (the only place a WAL write failure

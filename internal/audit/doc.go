@@ -4,6 +4,24 @@
 // enforcement are a natural source of provenance information" — following
 // the Open Provenance Model conventions of Fig. 11.
 //
+// # Chain-ordered ingest from parallel staging lanes
+//
+// The Log's hash chain needs a total order — every record names its
+// predecessor's hash — but the hot producers (the sharded bus's
+// dispatchers, one per shard) must not serialize on a single pending
+// list. AppendAsyncLane stages records into per-lane buffers: a lane
+// append takes a global ticket and the lane's lock only, so dispatchers
+// on different lanes never contend. A single on-demand hasher goroutine
+// merges staged records across lanes by ticket order and commits them
+// under the chain lock — chain-head assignment stays serialized, which
+// is what makes the chain a total order — and delivers each committed
+// batch to the registered sinks in sequence. Tickets are issued under
+// the lane lock, so one goroutine's appends can never commit out of
+// program order, and Flush's watermark (tickets issued vs records
+// committed) is exact. Append remains the synchronous path for records
+// whose sequence number the caller needs immediately; SetStagingLanes
+// grows the lane set (the sharded bus sizes it to its shard count).
+//
 // # Incremental provenance
 //
 // Graphs are built for querying: Ancestry and Descendants memoize each

@@ -3,7 +3,9 @@ package audit
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lciot/internal/fault"
@@ -11,8 +13,8 @@ import (
 
 // fpSinkStall is the chaos seam in the async ingest pipeline: an armed
 // delay stalls the hasher goroutine once per drained batch — publishers
-// on the AppendAsync hot path then back up against the bounded ring,
-// which is exactly the backpressure behaviour soak drills verify.
+// on the AppendAsync hot path then back up against the bounded staging
+// lanes, which is exactly the backpressure behaviour soak drills verify.
 var fpSinkStall = fault.New("audit.sink.stall")
 
 // Errors reported by Log.
@@ -30,15 +32,26 @@ var (
 //
 // Ingest has two paths. Append hashes and commits synchronously and
 // returns the completed record. AppendAsync — the enforcement hot path —
-// enqueues the record into a small bounded ring and returns immediately; a
-// background hasher goroutine drains the ring in batches, assigning
-// sequence numbers and chaining hashes in arrival order. Flush blocks
-// until every enqueued record is committed. Every read-side method (Len,
-// Get, Select, Verify, HeadHash, Prune) flushes first, so observers always
-// see a complete, verifiable chain; the tamper-evidence guarantees are
-// identical on both paths.
+// stages the record into a bounded per-lane buffer and returns
+// immediately; a background hasher goroutine collects the staged lanes,
+// merges them by arrival ticket, and commits the batch, assigning
+// sequence numbers and chaining hashes. Flush blocks until every staged
+// record is committed. Every read-side method (Len, Get, Select, Verify,
+// HeadHash, Prune) flushes first, so observers always see a complete,
+// verifiable chain; the tamper-evidence guarantees are identical on both
+// paths.
 //
-// The zero value is ready to use.
+// Staging is sharded: SetStagingLanes(n) gives the log n independent
+// staging buffers, each behind its own lock, so concurrent producers
+// (e.g. the bus's per-shard dispatchers) never contend on one ingest
+// mutex. AppendAsyncLane stages into a chosen lane; AppendAsync uses
+// lane 0. Chain head assignment stays serialized — only the hasher
+// assigns Seq/PrevHash/Hash, in arrival-ticket order — so the sharded
+// staging changes who waits where, never what the chain looks like:
+// records staged by one goroutine always commit in that goroutine's
+// program order, whatever lane mix it used.
+//
+// The zero value is ready to use (one staging lane).
 type Log struct {
 	mu      sync.Mutex
 	records []Record
@@ -61,24 +74,52 @@ type Log struct {
 	// (internal/store) rely on this to persist a contiguous chain.
 	sinkMu sync.Mutex
 
-	// pendMu guards the async ingest ring.
-	pendMu   sync.Mutex
-	pendCond *sync.Cond
-	pending  []Record
+	// lanes holds the per-shard staging buffers (lazily a single lane for
+	// zero-value logs; see SetStagingLanes).
+	lanes atomic.Pointer[[]stageLane]
+	// tickets issues one arrival ticket per staged record, taken under the
+	// staging lane's lock so each lane's buffer is ticket-ordered. The
+	// hasher merges lanes by ticket, which defines chain order.
+	tickets atomic.Uint64
 	// draining is true while a hasher goroutine is live. The goroutine is
-	// started on demand and exits when the ring empties, so idle logs hold
-	// no background resources.
-	draining bool
-	// enqueued/completed count records entering and leaving the async
-	// ring over the log's lifetime. Flush waits on the watermark —
-	// completed catching up with enqueued-as-of-the-call — not on full
-	// ring quiescence, so it stays bounded under sustained ingest.
-	enqueued  uint64
+	// started on demand and exits when every lane empties, so idle logs
+	// hold no background resources.
+	draining atomic.Bool
+	// flushMu guards completed; Flush waits on the watermark — completed
+	// catching up with tickets-issued-as-of-the-call — not on full
+	// quiescence, so it stays bounded under sustained ingest.
+	flushMu   sync.Mutex
+	flushCond *sync.Cond
 	completed uint64
 }
 
-// maxPending bounds the async ring; enqueueing beyond it blocks until the
-// hasher catches up (backpressure rather than unbounded memory).
+// A staged record is one AppendAsync payload parked in a lane buffer with
+// the arrival ticket that fixes its place in the chain.
+type staged struct {
+	ticket uint64
+	rec    Record
+}
+
+// A stageLane is one staging buffer: its own lock, its own backpressure
+// condition, its own slice. Producers on different lanes never touch the
+// same lock.
+type stageLane struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	buf  []staged
+}
+
+// condLocked lazily builds the lane's backpressure condition variable;
+// the lane's mu must be held.
+func (ln *stageLane) condLocked() *sync.Cond {
+	if ln.cond == nil {
+		ln.cond = sync.NewCond(&ln.mu)
+	}
+	return ln.cond
+}
+
+// maxPending bounds each staging lane; enqueueing beyond it blocks until
+// the hasher catches up (backpressure rather than unbounded memory).
 const maxPending = 4096
 
 // NewLog builds an empty log. A nil clock means time.Now.
@@ -130,76 +171,159 @@ func (l *Log) Append(r Record) Record {
 	return r
 }
 
-// AppendAsync enqueues a record for batched, background hashing and
-// returns immediately. The record's timestamp is assigned now (when zero);
-// its sequence number and chained hash are assigned by the hasher in
-// arrival order. Call Flush to wait for commitment; read-side methods
-// flush implicitly.
-func (l *Log) AppendAsync(r Record) {
+// SetStagingLanes resizes the async staging tier to n independent lanes
+// (clamped to at least 1). Growing the lane count is what the sharded bus
+// does at construction so each shard dispatcher stages on its own lock;
+// a request smaller than the current count is a no-op, so two buses
+// sharing a log keep the larger tier. Call before concurrent ingest
+// begins: the resize flushes, and records staged after it land in the
+// new lanes.
+func (l *Log) SetStagingLanes(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if cur := l.lanes.Load(); cur != nil && len(*cur) >= n {
+		return
+	}
+	l.Flush()
+	lanes := make([]stageLane, n)
+	l.lanes.Store(&lanes)
+}
+
+// StagingLanes reports the current staging lane count.
+func (l *Log) StagingLanes() int { return len(*l.getLanes()) }
+
+// getLanes returns the staging lanes, lazily installing a single lane so
+// the zero-value Log stays ready to use.
+func (l *Log) getLanes() *[]stageLane {
+	if lanes := l.lanes.Load(); lanes != nil {
+		return lanes
+	}
+	fresh := make([]stageLane, 1)
+	l.lanes.CompareAndSwap(nil, &fresh)
+	return l.lanes.Load()
+}
+
+// AppendAsync stages a record for batched, background hashing on lane 0
+// and returns immediately. See AppendAsyncLane.
+func (l *Log) AppendAsync(r Record) { l.AppendAsyncLane(0, r) }
+
+// AppendAsyncLane stages a record for batched, background hashing on the
+// given staging lane (reduced modulo the lane count) and returns
+// immediately. The record's timestamp is assigned now (when zero); its
+// sequence number and chained hash are assigned by the hasher in
+// arrival-ticket order. Callers running on distinct lanes contend on
+// nothing but the arrival-ticket counter. Call Flush to wait for
+// commitment; read-side methods flush implicitly.
+func (l *Log) AppendAsyncLane(lane int, r Record) {
 	if r.Time.IsZero() {
 		r.Time = l.clock()
 	}
-	l.pendMu.Lock()
-	for len(l.pending) >= maxPending {
-		l.condLocked().Wait()
+	lanes := *l.getLanes()
+	if lane < 0 {
+		lane = -lane
 	}
-	l.pending = append(l.pending, r)
-	l.enqueued++
-	start := !l.draining
-	l.draining = true
-	l.pendMu.Unlock()
-	if start {
+	ln := &lanes[lane%len(lanes)]
+	ln.mu.Lock()
+	for len(ln.buf) >= maxPending {
+		ln.condLocked().Wait()
+	}
+	// Ticket under the lane lock: each lane's buffer stays ticket-ordered,
+	// and a goroutine's consecutive appends get ascending tickets, so the
+	// hasher's merged order preserves every producer's program order.
+	ln.buf = append(ln.buf, staged{ticket: l.tickets.Add(1), rec: r})
+	ln.mu.Unlock()
+	if l.draining.CompareAndSwap(false, true) {
 		go l.drain()
 	}
 }
 
-// IngestDepth reports how many AppendAsync records are enqueued but not
+// IngestDepth reports how many AppendAsync records are staged but not
 // yet hashed and committed — the async ingest queue depth the telemetry
 // layer surfaces.
 func (l *Log) IngestDepth() int {
-	l.pendMu.Lock()
-	defer l.pendMu.Unlock()
-	return int(l.enqueued - l.completed)
+	issued := l.tickets.Load()
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	return int(issued - l.completed)
 }
 
-// Flush blocks until every record enqueued via AppendAsync before the call
-// has been hashed, chained and delivered to sinks. Records enqueued after
-// the call are not waited for, so Flush is bounded even while other
-// goroutines keep appending.
+// Flush blocks until every record staged via AppendAsync/AppendAsyncLane
+// before the call has been hashed, chained and delivered to sinks.
+// Records staged after the call are not waited for, so Flush is bounded
+// even while other goroutines keep appending.
 func (l *Log) Flush() {
-	l.pendMu.Lock()
-	target := l.enqueued
+	target := l.tickets.Load()
+	l.flushMu.Lock()
 	for l.completed < target {
-		l.condLocked().Wait()
+		l.flushCondLocked().Wait()
 	}
-	l.pendMu.Unlock()
+	l.flushMu.Unlock()
 }
 
-// condLocked lazily builds the ring's condition variable (so the zero-value
-// Log stays ready to use). Callers must hold pendMu.
-func (l *Log) condLocked() *sync.Cond {
-	if l.pendCond == nil {
-		l.pendCond = sync.NewCond(&l.pendMu)
+// flushCondLocked lazily builds the watermark condition variable (so the
+// zero-value Log stays ready to use). Callers must hold flushMu.
+func (l *Log) flushCondLocked() *sync.Cond {
+	if l.flushCond == nil {
+		l.flushCond = sync.NewCond(&l.flushMu)
 	}
-	return l.pendCond
+	return l.flushCond
 }
 
-// drain is the background hasher: it repeatedly swaps out the pending ring
-// and commits the batch under the chain lock, then exits once the ring
-// stays empty.
+// collectStaged swaps out every lane's staged buffer, wakes producers
+// blocked on lane backpressure, and returns the batch merged into
+// arrival-ticket order — the order the chain will record.
+func (l *Log) collectStaged() []staged {
+	lanes := *l.getLanes()
+	var batch []staged
+	for i := range lanes {
+		ln := &lanes[i]
+		ln.mu.Lock()
+		if len(ln.buf) > 0 {
+			batch = append(batch, ln.buf...)
+			ln.buf = nil
+			ln.condLocked().Broadcast() // release writers blocked on backpressure
+		}
+		ln.mu.Unlock()
+	}
+	// Each lane's contribution is already ticket-sorted (tickets are taken
+	// under the lane lock), so this is a k-way merge; sort.Slice keeps it
+	// simple and the batch is bounded by lanes x maxPending.
+	sort.Slice(batch, func(i, j int) bool { return batch[i].ticket < batch[j].ticket })
+	return batch
+}
+
+// anyStaged reports whether any lane holds staged records.
+func (l *Log) anyStaged() bool {
+	lanes := *l.getLanes()
+	for i := range lanes {
+		ln := &lanes[i]
+		ln.mu.Lock()
+		n := len(ln.buf)
+		ln.mu.Unlock()
+		if n > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// drain is the background hasher: it repeatedly collects the staged lanes
+// into one ticket-ordered batch and commits it under the chain lock, then
+// exits once every lane stays empty. Chain head assignment happens only
+// here — staging is sharded, sequencing is not.
 func (l *Log) drain() {
 	for {
-		l.pendMu.Lock()
-		batch := l.pending
-		l.pending = nil
+		batch := l.collectStaged()
 		if len(batch) == 0 {
-			l.draining = false
-			l.condLocked().Broadcast()
-			l.pendMu.Unlock()
-			return
+			l.draining.Store(false)
+			// A producer may have staged between the collect and the flag
+			// store; re-arm and keep draining if we win the flag back.
+			if !l.anyStaged() || !l.draining.CompareAndSwap(false, true) {
+				return
+			}
+			continue
 		}
-		l.condLocked().Broadcast() // release writers blocked on backpressure
-		l.pendMu.Unlock()
 
 		if act := fpSinkStall.Check(); act != nil {
 			act.Wait()
@@ -207,21 +331,21 @@ func (l *Log) drain() {
 		l.sinkMu.Lock()
 		l.mu.Lock()
 		for i := range batch {
-			l.commitLocked(&batch[i])
+			l.commitLocked(&batch[i].rec)
 		}
 		sinks := l.sinks
 		l.mu.Unlock()
 		for _, s := range sinks {
 			for i := range batch {
-				s(batch[i])
+				s(batch[i].rec)
 			}
 		}
 		l.sinkMu.Unlock()
 
-		l.pendMu.Lock()
+		l.flushMu.Lock()
 		l.completed += uint64(len(batch))
-		l.condLocked().Broadcast() // advance the Flush watermark
-		l.pendMu.Unlock()
+		l.flushCondLocked().Broadcast() // advance the Flush watermark
+		l.flushMu.Unlock()
 	}
 }
 

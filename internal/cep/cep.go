@@ -206,6 +206,20 @@ func typeMatch(types []string, t string) bool {
 	return false
 }
 
+// sourceMatch reports whether an event source is within a declaration; an
+// empty declaration admits everything.
+func sourceMatch(sources []string, s string) bool {
+	if len(sources) == 0 {
+		return true
+	}
+	for _, x := range sources {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
 // Threshold fires when at least Count events satisfying Match arrive within
 // Window. After firing it resets, so sustained conditions re-fire once per
 // window's worth of events.
@@ -213,15 +227,21 @@ type Threshold struct {
 	PatternName string
 	// Types optionally restricts the pattern to these event types; empty
 	// means every type. Declared types let the Engine index the pattern.
-	Types  []string
-	Match  func(Event) bool
-	Count  int
-	Window time.Duration
+	Types []string
+	// Sources optionally restricts the pattern to events from these
+	// sources; empty means every source. Declared sources let the
+	// ShardedEngine home the pattern on one dispatch lane.
+	Sources []string
+	Match   func(Event) bool
+	Count   int
+	Window  time.Duration
 
 	buf []Event
 }
 
 var _ TypedPattern = (*Threshold)(nil)
+
+var _ SourceAffine = (*Threshold)(nil)
 
 // Name implements Pattern.
 func (t *Threshold) Name() string { return t.PatternName }
@@ -229,9 +249,15 @@ func (t *Threshold) Name() string { return t.PatternName }
 // EventTypes implements TypedPattern.
 func (t *Threshold) EventTypes() []string { return t.Types }
 
+// EventSources implements SourceAffine.
+func (t *Threshold) EventSources() []string { return t.Sources }
+
 // OnEvent implements Pattern.
 func (t *Threshold) OnEvent(e Event) (Detection, bool) {
 	if !typeMatch(t.Types, e.Type) {
+		return Detection{}, false
+	}
+	if !sourceMatch(t.Sources, e.Source) {
 		return Detection{}, false
 	}
 	if t.Match != nil && !t.Match(e) {
@@ -270,14 +296,20 @@ type Sequence struct {
 	PatternName string
 	// Types optionally restricts the pattern to these event types; empty
 	// means every type. Declared types let the Engine index the pattern.
-	Types  []string
-	Steps  []func(Event) bool
-	Window time.Duration
+	Types []string
+	// Sources optionally restricts the pattern to events from these
+	// sources; empty means every source. Declared sources let the
+	// ShardedEngine home the pattern on one dispatch lane.
+	Sources []string
+	Steps   []func(Event) bool
+	Window  time.Duration
 
 	matched []Event
 }
 
 var _ TypedPattern = (*Sequence)(nil)
+
+var _ SourceAffine = (*Sequence)(nil)
 
 // Name implements Pattern.
 func (s *Sequence) Name() string { return s.PatternName }
@@ -285,9 +317,15 @@ func (s *Sequence) Name() string { return s.PatternName }
 // EventTypes implements TypedPattern.
 func (s *Sequence) EventTypes() []string { return s.Types }
 
+// EventSources implements SourceAffine.
+func (s *Sequence) EventSources() []string { return s.Sources }
+
 // OnEvent implements Pattern.
 func (s *Sequence) OnEvent(e Event) (Detection, bool) {
 	if !typeMatch(s.Types, e.Type) {
+		return Detection{}, false
+	}
+	if !sourceMatch(s.Sources, e.Source) {
 		return Detection{}, false
 	}
 	if len(s.Steps) == 0 {
@@ -334,7 +372,11 @@ type Absence struct {
 	PatternName string
 	// Types optionally restricts the pattern to these event types; empty
 	// means every type. Declared types let the Engine index the pattern.
-	Types   []string
+	Types []string
+	// Sources optionally restricts the pattern to events from these
+	// sources; empty means every source. Declared sources let the
+	// ShardedEngine home the pattern on one dispatch lane.
+	Sources []string
 	Match   func(Event) bool
 	Timeout time.Duration
 
@@ -344,15 +386,26 @@ type Absence struct {
 
 var _ TypedPattern = (*Absence)(nil)
 
+var _ SourceAffine = (*Absence)(nil)
+
 // Name implements Pattern.
 func (a *Absence) Name() string { return a.PatternName }
 
 // EventTypes implements TypedPattern.
 func (a *Absence) EventTypes() []string { return a.Types }
 
+// EventSources implements SourceAffine.
+func (a *Absence) EventSources() []string { return a.Sources }
+
 // OnEvent implements Pattern.
 func (a *Absence) OnEvent(e Event) (Detection, bool) {
 	if !typeMatch(a.Types, e.Type) {
+		return Detection{}, false
+	}
+	if !sourceMatch(a.Sources, e.Source) {
+		return Detection{}, false
+	}
+	if !sourceMatch(a.Sources, e.Source) {
 		return Detection{}, false
 	}
 	if a.Match != nil && !a.Match(e) {
@@ -404,7 +457,11 @@ type Aggregate struct {
 	PatternName string
 	// Types optionally restricts the pattern to these event types; empty
 	// means every type. Declared types let the Engine index the pattern.
-	Types    []string
+	Types []string
+	// Sources optionally restricts the pattern to events from these
+	// sources; empty means every source. Declared sources let the
+	// ShardedEngine home the pattern on one dispatch lane.
+	Sources  []string
 	Match    func(Event) bool
 	Kind     AggKind
 	Window   time.Duration
@@ -417,11 +474,16 @@ type Aggregate struct {
 
 var _ TypedPattern = (*Aggregate)(nil)
 
+var _ SourceAffine = (*Aggregate)(nil)
+
 // Name implements Pattern.
 func (a *Aggregate) Name() string { return a.PatternName }
 
 // EventTypes implements TypedPattern.
 func (a *Aggregate) EventTypes() []string { return a.Types }
+
+// EventSources implements SourceAffine.
+func (a *Aggregate) EventSources() []string { return a.Sources }
 
 // OnEvent implements Pattern.
 func (a *Aggregate) OnEvent(e Event) (Detection, bool) {

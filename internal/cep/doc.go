@@ -3,9 +3,12 @@
 // on patterns of events, e.g. detected by complex-event methods". The
 // policy engine subscribes to detections and responds with reconfiguration.
 //
-// The engine is deterministic and single-threaded by design: callers feed
-// events and advance time explicitly, so simulations and tests are exactly
-// reproducible.
+// The package offers two engines over the same patterns. Engine is
+// deterministic and externally serialized: callers feed events and
+// advance time explicitly from one goroutine, so simulations and tests
+// are exactly reproducible. ShardedEngine partitions dispatch across
+// lanes for the domain's parallel pipeline (below); a 1-lane
+// ShardedEngine behaves exactly like an Engine.
 //
 // # Type-indexed dispatch
 //
@@ -19,4 +22,25 @@
 // linear walk over every pattern would deliver them — the index prunes
 // work, never reorders or drops it. Advance always ticks patterns in
 // registration order, keeping time-driven delivery deterministic too.
+//
+// # Source-partitioned lanes
+//
+// ShardedEngine adds a second axis: patterns that declare their event
+// sources (SourceAffine; the built-ins do, via their Sources field) are
+// homed on the lane every declared source hashes to — the same FNV-1a
+// placement hash the sharded bus uses for components
+// (internal/lanehash) — so the bus dispatcher that delivers a
+// component's message feeds the very lane that owns the component's
+// patterns, under that lane's lock only. Patterns without a source
+// declaration, or whose sources span lanes (cross-shard correlations),
+// live in a small broadcast set that sees every event and is the single
+// cross-lane serialization point. As with the type index, partitioning
+// prunes work without changing semantics: source-declared patterns
+// ignore events from other sources, so partitioned delivery is
+// observably identical to feeding every pattern.
+//
+// Detections are handed to the ShardedEngine's handler after the lane
+// lock is released, so handlers may re-enter the engine (the domain's
+// erase-on-event obligation purges windows from inside a handler) and
+// must be safe for concurrent use when feeders run in parallel.
 package cep

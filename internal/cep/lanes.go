@@ -1,0 +1,199 @@
+package cep
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lciot/internal/lanehash"
+)
+
+// A SourceAffine is a Pattern that declares the event sources (component
+// names) it subscribes to. The ShardedEngine uses the declaration to home
+// the pattern on one dispatch lane: when every declared source hashes to
+// the same lane, the pattern lives there and only that lane's lock is
+// ever taken to feed it. Patterns without a declaration — or whose
+// sources span lanes (cross-shard correlations) — land in the broadcast
+// set and see every event.
+//
+// Declaring sources is a contract, exactly like TypedPattern's type
+// declaration: OnEvent must ignore events whose Source is outside the
+// declaration (the built-in patterns enforce this themselves), so
+// partitioned delivery is observably identical to feeding every pattern.
+type SourceAffine interface {
+	Pattern
+	// EventSources lists the sources the pattern subscribes to; empty
+	// means every source.
+	EventSources() []string
+}
+
+// laneIdxFor maps an event source to a dispatch lane by the shared
+// FNV-1a placement hash (internal/lanehash) — the same function the bus
+// uses for components, so a component's events are detected on the lane
+// whose bus shard delivers them: the shard dispatcher that invokes a
+// sink handler feeds the very lane that owns the sink's patterns, and
+// never blocks on another shard's detection state.
+func laneIdxFor(source string, n int) int {
+	return lanehash.Index(source, n)
+}
+
+// An engineLane is one dispatch lane: a plain Engine behind its own lock,
+// collecting detections into a buffer that Feed/Advance hand to the
+// sharded engine's handler after the lock is released.
+type engineLane struct {
+	mu      sync.Mutex
+	eng     *Engine
+	pending []Detection
+	// npat counts registered patterns; Feed skips the broadcast lane's
+	// lock entirely while the broadcast set is empty.
+	npat atomic.Int32
+}
+
+// take runs fn under the lane lock and returns the detections it
+// produced, leaving the buffer empty for the next caller.
+func (ln *engineLane) take(fn func(e *Engine)) []Detection {
+	ln.mu.Lock()
+	fn(ln.eng)
+	dets := ln.pending
+	ln.pending = nil
+	ln.mu.Unlock()
+	return dets
+}
+
+// A ShardedEngine partitions pattern dispatch across n lanes keyed by the
+// event's Source — the same FNV-1a component hash the sharded bus uses —
+// so concurrent feeders on different lanes detect in parallel, each lane
+// behind its own lock. Patterns homed on a lane (SourceAffine, all
+// declared sources on that lane) see only that lane's events; everything
+// else lives in a small broadcast lane that sees every event and is the
+// only cross-lane serialization point. A 1-lane engine holds every
+// pattern on lane 0 and behaves exactly like a plain Engine.
+//
+// Detections are delivered to the handler after the lane lock is
+// released, so the handler may call Purge (erase-on-event does) and may
+// itself run concurrently with feeds on other lanes — handlers must be
+// safe for concurrent use on multi-lane engines. Within one lane,
+// detection order is registration order, exactly as in Engine; ordering
+// across lanes is whatever the feeders' concurrency produces.
+type ShardedEngine struct {
+	handler func(Detection)
+	lanes   []*engineLane
+	bcast   *engineLane
+}
+
+// NewShardedEngine builds an engine with n dispatch lanes (clamped to at
+// least 1) delivering detections to handler.
+func NewShardedEngine(n int, handler func(Detection)) *ShardedEngine {
+	if n < 1 {
+		n = 1
+	}
+	if handler == nil {
+		handler = func(Detection) {}
+	}
+	se := &ShardedEngine{handler: handler, lanes: make([]*engineLane, n)}
+	mkLane := func() *engineLane {
+		ln := &engineLane{}
+		ln.eng = NewEngine(func(d Detection) { ln.pending = append(ln.pending, d) })
+		return ln
+	}
+	for i := range se.lanes {
+		se.lanes[i] = mkLane()
+	}
+	se.bcast = mkLane()
+	return se
+}
+
+// Lanes returns the engine's lane count.
+func (se *ShardedEngine) Lanes() int { return len(se.lanes) }
+
+// LaneOf reports the dispatch lane events from the given source are fed
+// to. The mapping is a pure function of the source name and the lane
+// count, matching the bus's component placement.
+func (se *ShardedEngine) LaneOf(source string) int {
+	return laneIdxFor(source, len(se.lanes))
+}
+
+// homeLane picks where a pattern lives: the single lane every declared
+// source hashes to, or the broadcast lane for undeclared and cross-lane
+// patterns.
+func (se *ShardedEngine) homeLane(p Pattern) *engineLane {
+	if len(se.lanes) == 1 {
+		return se.lanes[0] // single lane: exact Engine semantics, no broadcast split
+	}
+	sa, ok := p.(SourceAffine)
+	if !ok {
+		return se.bcast
+	}
+	srcs := sa.EventSources()
+	if len(srcs) == 0 {
+		return se.bcast
+	}
+	home := laneIdxFor(srcs[0], len(se.lanes))
+	for _, s := range srcs[1:] {
+		if laneIdxFor(s, len(se.lanes)) != home {
+			return se.bcast // cross-lane correlation: broadcast set
+		}
+	}
+	return se.lanes[home]
+}
+
+// Register adds a pattern, homing it by source affinity (see
+// SourceAffine). Safe to call while other goroutines feed.
+func (se *ShardedEngine) Register(p Pattern) {
+	ln := se.homeLane(p)
+	ln.mu.Lock()
+	ln.eng.Register(p)
+	ln.mu.Unlock()
+	ln.npat.Add(1)
+}
+
+// Feed processes one event through the patterns on its source's lane and
+// through the broadcast set, delivering detections (lane first, then
+// broadcast, each in registration order) outside the lane locks. Feeders
+// for sources on different lanes run in parallel.
+func (se *ShardedEngine) Feed(ev Event) {
+	ln := se.lanes[laneIdxFor(ev.Source, len(se.lanes))]
+	for _, d := range ln.take(func(e *Engine) { e.Feed(ev) }) {
+		se.handler(d)
+	}
+	if se.bcast.npat.Load() == 0 {
+		return
+	}
+	for _, d := range se.bcast.take(func(e *Engine) { e.Feed(ev) }) {
+		se.handler(d)
+	}
+}
+
+// Advance moves every lane's clock forward in lane order (numbered lanes,
+// then broadcast), delivering each lane's detections before ticking the
+// next, so time-driven delivery is deterministic for a quiescent engine.
+func (se *ShardedEngine) Advance(now time.Time) {
+	for _, ln := range se.lanes {
+		for _, d := range ln.take(func(e *Engine) { e.Advance(now) }) {
+			se.handler(d)
+		}
+	}
+	if se.bcast.npat.Load() == 0 {
+		return
+	}
+	for _, d := range se.bcast.take(func(e *Engine) { e.Advance(now) }) {
+		se.handler(d)
+	}
+}
+
+// Purge drops matching events from every lane's pattern windows and
+// returns the total dropped. Lanes are purged one at a time under their
+// own locks; no lock is held across lanes, so Purge is safe from inside
+// a detection handler (handlers run outside the lane locks).
+func (se *ShardedEngine) Purge(match func(Event) bool) int {
+	n := 0
+	for _, ln := range se.lanes {
+		ln.mu.Lock()
+		n += ln.eng.Purge(match)
+		ln.mu.Unlock()
+	}
+	se.bcast.mu.Lock()
+	n += se.bcast.eng.Purge(match)
+	se.bcast.mu.Unlock()
+	return n
+}

@@ -1,16 +1,3 @@
-// Package core is the paper's primary contribution assembled: a policy-
-// driven middleware in which law- and preference-derived policy (package
-// policy) drives dynamic reconfiguration of an IFC-enforcing messaging
-// substrate (package sbus), with event detection (package cep), context
-// (package ctxmodel), devices (package device) and system-wide audit
-// (package audit) closing the Fig. 1 loop:
-//
-//	obligations/preferences → policy → enforcement → audit → verification
-//
-// The unit of deployment is the Domain: one administrative domain running
-// one bus, one policy engine, one context store and one audit log. Domains
-// federate by linking buses (after mutual attestation), giving the
-// end-to-end, cross-domain enforcement the paper argues for.
 package core
 
 import (
@@ -87,7 +74,7 @@ type Domain struct {
 	bus   *sbus.Bus
 	store *ctxmodel.Store
 	log   *audit.Log
-	cep   *cep.Engine
+	cep   *cep.ShardedEngine
 	eng   *policy.Engine
 
 	devices  device.Registry
@@ -105,14 +92,6 @@ type Domain struct {
 	oblTab   atomic.Pointer[obligation.Table]
 	oblSched *obligation.Scheduler
 	prov     *audit.Graph
-
-	// cepMu serialises every access to the CEP engine (Feed, Advance,
-	// Register, Purge): patterns are stateful and unsynchronised, and the
-	// obligation sweep may purge windows from a background goroutine
-	// while sensors feed events. The erase-trigger path (detection →
-	// erasure → purge) already runs inside the lock, so eraseMany only
-	// takes it when entered from outside the CEP handler.
-	cepMu sync.Mutex
 
 	mu        sync.Mutex
 	alerts    []string
@@ -241,8 +220,17 @@ func NewDomain(name string, opts Options) (*Domain, error) {
 	// The obligation sink feeds the provenance graph and schedules
 	// retention deadlines off every allowed flow (see obligations.go).
 	log.AddSink(d.obligationSink)
+	// Dispatch lanes track the bus's shard count: each shard dispatcher
+	// feeds the CEP lane holding its components' patterns, and the policy
+	// engine's trigger index is partitioned the same way, so the whole
+	// detection → policy → obligation pipeline runs in parallel per shard.
+	lanes := opts.Shards
+	if lanes < 1 {
+		lanes = 1
+	}
 	d.eng = policy.NewEngine(ctxStore, d.execute,
 		policy.WithEngineClock(clock),
+		policy.WithDispatchLanes(lanes),
 		policy.WithConflictHandler(func(c policy.Conflict) {
 			d.mu.Lock()
 			d.conflicts = append(d.conflicts, c)
@@ -252,10 +240,11 @@ func NewDomain(name string, opts Options) (*Domain, error) {
 			}
 		}),
 	)
-	d.cep = cep.NewEngine(func(det cep.Detection) {
+	d.cep = cep.NewShardedEngine(lanes, func(det cep.Detection) {
 		// Erasure triggers first: a pattern like "subject-erasure" must
 		// purge before any rule reacts to (and possibly re-propagates)
-		// the detection.
+		// the detection. The sharded engine invokes this handler outside
+		// its lane locks, so the purge inside eraseTag is deadlock-free.
 		d.handleEraseTriggers(det.Pattern)
 		for _, e := range d.eng.HandleDetection(det) {
 			d.auditPolicyError(e)
@@ -379,17 +368,17 @@ func (d *Domain) RemoveGate(name string) error {
 func (d *Domain) Gates() *ifc.GateRegistry { return d.bus.Gates() }
 
 // RegisterPattern adds a CEP pattern whose detections drive policy.
+// Patterns declaring their sources (cep.SourceAffine, as the built-ins
+// do) are homed on the dispatch lane their sources hash to; undeclared
+// or cross-lane patterns land in the broadcast set.
 func (d *Domain) RegisterPattern(p cep.Pattern) {
-	d.cepMu.Lock()
-	defer d.cepMu.Unlock()
 	d.cep.Register(p)
 }
 
 // FeedEvent pushes one event into detection (and so, possibly, into
-// policy-driven reconfiguration).
+// policy-driven reconfiguration). Feeders whose sources live on
+// different lanes run in parallel; the CEP engine locks per lane.
 func (d *Domain) FeedEvent(e cep.Event) {
-	d.cepMu.Lock()
-	defer d.cepMu.Unlock()
 	d.cep.Feed(e)
 }
 
@@ -400,9 +389,7 @@ func (d *Domain) Tick() {
 	if d.closed.Load() {
 		return
 	}
-	d.cepMu.Lock()
 	d.cep.Advance(d.clock())
-	d.cepMu.Unlock()
 	for _, e := range d.eng.Tick() {
 		d.auditPolicyError(e)
 	}

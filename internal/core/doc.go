@@ -1,0 +1,41 @@
+// Package core is the paper's primary contribution assembled: a policy-
+// driven middleware in which law- and preference-derived policy (package
+// policy) drives dynamic reconfiguration of an IFC-enforcing messaging
+// substrate (package sbus), with event detection (package cep), context
+// (package ctxmodel), devices (package device) and system-wide audit
+// (package audit) closing the Fig. 1 loop:
+//
+//	obligations/preferences → policy → enforcement → audit → verification
+//
+// The unit of deployment is the Domain: one administrative domain running
+// one bus, one policy engine, one context store and one audit log. Domains
+// federate by linking buses (after mutual attestation), giving the
+// end-to-end, cross-domain enforcement the paper argues for.
+//
+// # Wiring
+//
+// NewDomain assembles the subsystems so that one number — Options.Shards
+// — sizes every parallel tier consistently:
+//
+//	bus shards            sbus.NewShardedBus(name, Shards, ...)
+//	CEP dispatch lanes    cep.NewShardedEngine(Shards, handler)
+//	policy index lanes    policy.WithDispatchLanes(Shards)
+//	audit staging lanes   log.SetStagingLanes(Shards) (done by the bus)
+//
+// All four tiers place by the same FNV-1a name hash (internal/lanehash),
+// so a component's messages, the events they raise, the patterns watching
+// those events and the rules those detections trigger all live on the
+// same lane index. A shard dispatcher delivering a message can therefore
+// run the whole detection → policy → obligation pipeline without leaving
+// its lane: the CEP engine locks only that lane, the policy trigger
+// lookup is an atomic snapshot read, and the audit record is staged in
+// that lane's buffer for chain-ordered merge. Shards <= 1 degenerates to
+// the classic single-threaded domain, where every delivery is synchronous
+// on the publisher's goroutine.
+//
+// The remaining glue is deliberately synchronous and serialized where
+// correctness needs it: context-change hooks run on the mutating
+// goroutine (deterministic rule feedback), the obligation sweep holds
+// sweepMu against Close, and audit chain-head assignment stays a single
+// point even though staging is per-lane.
+package core

@@ -226,7 +226,7 @@ func (d *Domain) SweepObligations() int {
 		// derivations) go, but the subject's *current* state — context
 		// attributes, CEP windows, gateway buffers fed by still-retained
 		// data — stays. Only an erasure request wipes the subject.
-		d.eraseMany(items, "retention expired", false, false)
+		d.eraseMany(items, "retention expired", false)
 		executed += len(batch)
 		if len(batch) < obligationSweepBatch {
 			return executed
@@ -255,7 +255,7 @@ func subjectOf(dataID string) string {
 // provenance-guided chain-preserving redaction of the datum and every
 // data item derived from it, in both audit tiers.
 func (d *Domain) EraseData(tag ifc.Tag, dataID, reason string) {
-	d.eraseMany([]eraseItem{{tag: tag, dataID: dataID}}, reason, true, false)
+	d.eraseMany([]eraseItem{{tag: tag, dataID: dataID}}, reason, true)
 }
 
 // eraseMany is the batched erasure engine behind EraseData, EraseTag and
@@ -267,9 +267,11 @@ func (d *Domain) EraseData(tag ifc.Tag, dataID, reason string) {
 // the subject's state derived from still-retained data is untouched.
 // Every obligation action leaves evidence: ObligationExecuted per datum,
 // one Redaction record for the tombstone pass, ObligationRefused when a
-// tier could not be redacted. cepHeld reports that the caller is already
-// inside the CEP handler (erase-on-event), where cepMu is held.
-func (d *Domain) eraseMany(items []eraseItem, reason string, purgeSubjects, cepHeld bool) {
+// tier could not be redacted. eraseMany is safe from any caller —
+// including the CEP detection handler (erase-on-event), because the
+// sharded CEP engine runs handlers outside its lane locks and Purge
+// locks lane-at-a-time.
+func (d *Domain) eraseMany(items []eraseItem, reason string, purgeSubjects bool) {
 	if len(items) == 0 {
 		return
 	}
@@ -338,14 +340,7 @@ func (d *Domain) eraseMany(items []eraseItem, reason string, purgeSubjects, cepH
 	cepPred := func(e cep.Event) bool {
 		return targets[e.Source] || (purgeSubjects && subjects[e.Source])
 	}
-	var cepPurged int
-	if cepHeld {
-		cepPurged = d.cep.Purge(cepPred)
-	} else {
-		d.cepMu.Lock()
-		cepPurged = d.cep.Purge(cepPred)
-		d.cepMu.Unlock()
-	}
+	cepPurged := d.cep.Purge(cepPred)
 	d.mu.Lock()
 	gws := append([]*gateway.Gateway(nil), d.oblGateways...)
 	// Drop queued schedule announcements for the erased data: draining
@@ -461,11 +456,11 @@ func (d *Domain) redactTargets(targets map[string]bool, reason string) (redacted
 // tier) is erased, with provenance-guided propagation per datum. reason
 // lands in the evidence trail. Returns the number of data items erased.
 func (d *Domain) EraseTag(tag ifc.Tag, reason string) int {
-	return d.eraseTag(tag, reason, false)
+	return d.eraseTag(tag, reason)
 }
 
-// eraseTag implements EraseTag; cepHeld as in eraseMany.
-func (d *Domain) eraseTag(tag ifc.Tag, reason string, cepHeld bool) int {
+// eraseTag implements EraseTag.
+func (d *Domain) eraseTag(tag ifc.Tag, reason string) int {
 	ids := map[string]bool{}
 	collect := func(r audit.Record) {
 		if r.Kind == audit.FlowAllowed && !r.Redacted && r.DataID != "" &&
@@ -491,7 +486,7 @@ func (d *Domain) eraseTag(tag ifc.Tag, reason string, cepHeld bool) int {
 	for i, id := range sorted {
 		items[i] = eraseItem{tag: tag, dataID: id}
 	}
-	d.eraseMany(items, reason, true, cepHeld)
+	d.eraseMany(items, reason, true)
 	d.log.Append(audit.Record{
 		Kind: audit.ObligationExecuted, Layer: audit.LayerPolicy, Domain: d.name,
 		Agent: PolicyEnginePrincipal,
@@ -501,14 +496,14 @@ func (d *Domain) eraseTag(tag ifc.Tag, reason string, cepHeld bool) int {
 }
 
 // handleEraseTriggers fires the erase-on clauses matching a detection
-// pattern. It is called from the CEP handler (inside cepMu) before
-// policy evaluation.
+// pattern. It is called from the CEP detection handler (outside the
+// engine's lane locks) before policy evaluation.
 func (d *Domain) handleEraseTriggers(pattern string) {
 	tab := d.oblTab.Load()
 	if tab == nil {
 		return
 	}
 	for _, tag := range tab.EraseTriggers(pattern) {
-		d.eraseTag(tag, "erase on "+pattern, true)
+		d.eraseTag(tag, "erase on "+pattern)
 	}
 }

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"lciot/internal/cep"
+	"lciot/internal/lanehash"
+)
+
+// parallelPolicySrc arms one rule per pattern plus distractors that never
+// match, so the fired set is a sharp signal.
+func parallelPolicySrc(patterns int) string {
+	src := ""
+	for i := 0; i < patterns; i++ {
+		src += fmt.Sprintf("rule \"react-%d\" { on event \"pat-%d\" do alert \"alert-%d\" }\n", i, i, i)
+		src += fmt.Sprintf("rule \"idle-%d\" { on event \"pat-%d\" when event.value > 1000 do alert \"never\" }\n", i, i)
+	}
+	return src
+}
+
+// runParallelDomain builds a domain at the given shard width, registers
+// one source-pinned pattern per lane, feeds each source concurrently and
+// returns (sorted alerts, fired counts, chain error).
+func runParallelDomain(t *testing.T, shards, patterns, perSource int) ([]string, map[string]uint64) {
+	t.Helper()
+	d, err := NewDomain(fmt.Sprintf("par-%d", shards), Options{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.LoadPolicy(parallelPolicySrc(patterns)); err != nil {
+		t.Fatal(err)
+	}
+	sources := make([]string, patterns)
+	for i := range sources {
+		sources[i] = fmt.Sprintf("src-%d", i)
+		d.RegisterPattern(&cep.Threshold{
+			PatternName: fmt.Sprintf("pat-%d", i),
+			Sources:     []string{sources[i]},
+			Count:       1, Window: time.Minute,
+		})
+	}
+	var wg sync.WaitGroup
+	for i := range sources {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perSource; j++ {
+				d.FeedEvent(cep.Event{Source: sources[i], Time: time.Now(), Value: 1})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if seq, err := d.Log().Verify(); err != nil {
+		t.Fatalf("shards=%d: audit chain broken at %d: %v", shards, seq, err)
+	}
+	alerts := d.Alerts()
+	sort.Strings(alerts)
+	counts := map[string]uint64{}
+	for i := 0; i < patterns; i++ {
+		counts[fmt.Sprintf("react-%d", i)] = d.PolicyEngine().FiredCount(fmt.Sprintf("react-%d", i))
+		counts[fmt.Sprintf("idle-%d", i)] = d.PolicyEngine().FiredCount(fmt.Sprintf("idle-%d", i))
+	}
+	return alerts, counts
+}
+
+// TestParallelDispatchDifferential runs the same workload through a
+// single-shard and a 4-shard domain: the full detection → policy →
+// obligation pipeline must fire the exact same rule set the same number
+// of times, and both audit chains must verify. Run under -race this also
+// proves the pipeline data-race-free end to end.
+func TestParallelDispatchDifferential(t *testing.T) {
+	const (
+		patterns  = 8
+		perSource = 25
+	)
+	a1, c1 := runParallelDomain(t, 1, patterns, perSource)
+	a4, c4 := runParallelDomain(t, 4, patterns, perSource)
+
+	if len(a1) != patterns*perSource {
+		t.Fatalf("single-shard alerts = %d, want %d", len(a1), patterns*perSource)
+	}
+	if fmt.Sprint(a1) != fmt.Sprint(a4) {
+		t.Fatalf("alert multisets differ: %d vs %d", len(a1), len(a4))
+	}
+	if fmt.Sprint(c1) != fmt.Sprint(c4) {
+		t.Fatalf("fired counts differ:\n1 shard:  %v\n4 shards: %v", c1, c4)
+	}
+	for i := 0; i < patterns; i++ {
+		if got := c4[fmt.Sprintf("react-%d", i)]; got != perSource {
+			t.Fatalf("react-%d fired %d, want %d", i, got, perSource)
+		}
+		if got := c4[fmt.Sprintf("idle-%d", i)]; got != 0 {
+			t.Fatalf("idle-%d fired %d, want 0 (guard must block)", i, got)
+		}
+	}
+}
+
+// TestParallelLaneAlignment pins the compile-time placement contract the
+// doc.go wiring map promises: the domain's CEP lane for a source equals
+// the bus shard the same name would map to.
+func TestParallelLaneAlignment(t *testing.T) {
+	d, err := NewDomain("align", Options{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for _, name := range []string{"ecg", "door-sensor", "thermostat", "a", "zz-9"} {
+		if got, want := d.cep.LaneOf(name), lanehash.Index(name, 8); got != want {
+			t.Fatalf("source %q: CEP lane %d, lanehash %d", name, got, want)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+// Package lanehash is the placement function shared by every sharded
+// tier: the bus homes components on shards, the CEP engine homes
+// patterns on dispatch lanes, and the policy engine partitions its
+// trigger indexes — all with the same FNV-1a hash over the same names,
+// so a component's messages, its events' detections and the rules they
+// trigger all land on the same lane index. Keeping the function in one
+// package makes that alignment a compile-time fact rather than a
+// convention.
+package lanehash
+
+// Index maps a name to a lane in [0, n) by FNV-1a hash. The mapping is
+// pure — a function of the name and the lane count only — so callers can
+// predict placement (shard affinity) and tests can construct names that
+// land on chosen lanes. n <= 1 always maps to lane 0.
+func Index(name string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= prime32
+	}
+	return int(h % uint32(n))
+}

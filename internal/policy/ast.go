@@ -3,6 +3,7 @@ package policy
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"lciot/internal/ctxmodel"
@@ -54,8 +55,12 @@ type Rule struct {
 	// Do is the action list, in order.
 	Do []Action
 
-	// lastFired tracks timer rules (engine-internal).
-	lastFired time.Time
+	// lastFiredNs (UnixNano) and fired are engine-internal firing stats,
+	// stored atomically so concurrent dispatch lanes never serialize on
+	// per-rule bookkeeping. "Never fired" is fired == 0, not a sentinel
+	// timestamp, so simulated clocks at the epoch stay correct.
+	lastFiredNs atomic.Int64
+	fired       atomic.Uint64
 }
 
 // A PolicySet is a parsed collection of rules and obligations.

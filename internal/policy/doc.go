@@ -36,9 +36,24 @@
 // ascending). HandleDetection and HandleContextChange then evaluate only
 // the matching bucket, so dispatch cost tracks the rules a trigger can
 // fire rather than the loaded rule count: 1000 loaded rules of which
-// three trigger on a pattern cost three guard evaluations. Buckets are
-// rebuilt wholesale on Load/AddRules and immutable between rebuilds,
-// which keeps the dispatch path lock-free over the bucket contents.
-// Conflict resolution and priority order within a dispatch are
-// unchanged from the linear scan.
+// three trigger on a pattern cost three guard evaluations. Conflict
+// resolution and priority order within a dispatch are unchanged from the
+// linear scan.
+//
+// # Lock-free parallel dispatch
+//
+// The trigger index is one immutable generation behind an atomic
+// pointer: Load/AddRules build a fresh index and swap it in whole, so a
+// dispatching goroutine never observes a half-built index and never
+// takes a lock to find its bucket. With WithDispatchLanes(n) the
+// bucket maps are partitioned across n lanes by the shared FNV-1a
+// trigger-key hash (internal/lanehash) — aligned with the bus's shard
+// placement, so each shard dispatcher mostly touches its own lane's
+// maps. A trigger key's whole bucket always lives on one lane, so the
+// lane count is purely a cache-contention knob; evaluation semantics
+// are identical at any width. Per-rule firing stats (FiredCount, timer
+// cadence) are atomics carried across reloads by rule name, and the
+// break-glass fast path is a single atomic load when no override has
+// been opened. Timer rules have no dispatch key; Tick evaluates them on
+// the maintenance cadence, off the parallel path.
 package policy

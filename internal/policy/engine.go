@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lciot/internal/cep"
 	"lciot/internal/ctxmodel"
+	"lciot/internal/lanehash"
 )
 
 // A Conflict records two rules prescribing incompatible actions for the
@@ -36,7 +38,10 @@ type Override struct {
 }
 
 // Engine evaluates a PolicySet against detections, context changes and
-// timers, and emits actions to an executor. It is safe for concurrent use.
+// timers, and emits actions to an executor. It is safe for concurrent
+// use; with dispatch lanes configured (WithDispatchLanes) the dispatch
+// path is lock-free end to end, so per-shard dispatcher goroutines
+// evaluate in parallel without serializing on the engine.
 type Engine struct {
 	exec       func(Action) error
 	onConflict func(Conflict)
@@ -44,18 +49,48 @@ type Engine struct {
 
 	mu    sync.Mutex
 	rules []*Rule // sorted by descending priority, then name
-	// Trigger index: rules bucketed by what fires them, each bucket in
-	// evaluation (priority) order. Dispatching a detection or context change
-	// then costs work proportional to the rules that can match it, not to
-	// every loaded rule. The buckets are rebuilt wholesale by Load and never
-	// mutated afterwards, so holders of a bucket slice may read it lock-free.
-	byPattern map[string][]*Rule // TriggerEvent rules by pattern name
-	byKey     map[string][]*Rule // TriggerContext rules by attribute key
-	timers    []*Rule            // TriggerTimer rules
-	store     *ctxmodel.Store
-	override  *Override
-	// firedCount is per-rule observability.
-	firedCount map[string]uint64
+	// dispatch is the immutable trigger index, swapped wholesale by Load:
+	// rules bucketed by what fires them, each bucket in evaluation
+	// (priority) order, the buckets partitioned across lanes by the shared
+	// FNV-1a trigger-key hash (internal/lanehash). Dispatching a detection
+	// or context change costs one atomic load, one lane-map lookup and
+	// work proportional to the rules that can match — no lock, however
+	// many goroutines dispatch concurrently.
+	dispatch atomic.Pointer[dispatchIndex]
+	// lanes is the configured partition width (>= 1), fixed at build time.
+	lanes    int
+	store    *ctxmodel.Store
+	override *Override
+	// overrideOn mirrors "override != nil" so the dispatch path can skip
+	// the engine lock when no break-glass window has ever been opened.
+	overrideOn atomic.Bool
+}
+
+// A dispatchIndex is one immutable generation of the trigger index.
+// Every trigger key (event pattern name, context attribute key) maps to
+// exactly one lane, so partitioning never splits a bucket: a bucket is
+// evaluated whole, in priority order, by whichever goroutine dispatches
+// its trigger. Timer rules carry no dispatch key — they are the
+// unpartitionable residue, evaluated by Tick on the maintenance cadence
+// rather than on the dispatch path.
+type dispatchIndex struct {
+	lanes     int
+	byPattern []map[string][]*Rule // TriggerEvent rules by pattern name, per lane
+	byKey     []map[string][]*Rule // TriggerContext rules by attribute key, per lane
+	timers    []*Rule              // TriggerTimer rules
+	byName    map[string]*Rule     // observability lookups (FiredCount)
+}
+
+// patternBucket returns the evaluation-ordered rules triggering on a
+// detection pattern.
+func (ix *dispatchIndex) patternBucket(pattern string) []*Rule {
+	return ix.byPattern[lanehash.Index(pattern, ix.lanes)][pattern]
+}
+
+// keyBucket returns the evaluation-ordered rules triggering on a context
+// attribute key.
+func (ix *dispatchIndex) keyBucket(key string) []*Rule {
+	return ix.byKey[lanehash.Index(key, ix.lanes)][key]
 }
 
 // EngineOption configures an Engine.
@@ -71,6 +106,20 @@ func WithEngineClock(now func() time.Time) EngineOption {
 	return func(e *Engine) { e.now = now }
 }
 
+// WithDispatchLanes partitions the trigger index across n lanes (clamped
+// to at least 1), aligned with the bus's shard count so each shard
+// dispatcher mostly touches its own lane's maps. Evaluation semantics
+// are identical at any width — a trigger key's whole bucket always lives
+// on one lane — so the lane count is purely a cache-contention knob.
+func WithDispatchLanes(n int) EngineOption {
+	return func(e *Engine) {
+		if n < 1 {
+			n = 1
+		}
+		e.lanes = n
+	}
+}
+
 // NewEngine builds an engine over the given context store, delivering
 // actions to exec. A nil exec discards actions (useful for dry runs: the
 // conflict handler still sees everything).
@@ -79,21 +128,53 @@ func NewEngine(store *ctxmodel.Store, exec func(Action) error, opts ...EngineOpt
 		exec = func(Action) error { return nil }
 	}
 	e := &Engine{
-		exec:       exec,
-		now:        time.Now,
-		store:      store,
-		firedCount: make(map[string]uint64),
+		exec:  exec,
+		now:   time.Now,
+		store: store,
+		lanes: 1,
 	}
 	for _, o := range opts {
 		o(e)
 	}
+	e.dispatch.Store(newDispatchIndex(nil, e.lanes))
 	return e
+}
+
+// newDispatchIndex builds an index generation from rules already in
+// evaluation order, so every bucket inherits that order.
+func newDispatchIndex(rules []*Rule, lanes int) *dispatchIndex {
+	ix := &dispatchIndex{
+		lanes:     lanes,
+		byPattern: make([]map[string][]*Rule, lanes),
+		byKey:     make([]map[string][]*Rule, lanes),
+		byName:    make(map[string]*Rule, len(rules)),
+	}
+	for i := 0; i < lanes; i++ {
+		ix.byPattern[i] = make(map[string][]*Rule)
+		ix.byKey[i] = make(map[string][]*Rule)
+	}
+	for _, r := range rules {
+		ix.byName[r.Name] = r
+		switch r.Trigger.Kind {
+		case TriggerEvent:
+			m := ix.byPattern[lanehash.Index(r.Trigger.Pattern, lanes)]
+			m[r.Trigger.Pattern] = append(m[r.Trigger.Pattern], r)
+		case TriggerContext:
+			m := ix.byKey[lanehash.Index(r.Trigger.Key, lanes)]
+			m[r.Trigger.Key] = append(m[r.Trigger.Key], r)
+		case TriggerTimer:
+			ix.timers = append(ix.timers, r)
+		}
+	}
+	return ix
 }
 
 // Load installs a policy set, replacing any previous rules. Rules are
 // ordered by descending priority; ties break by name for determinism. Load
-// also rebuilds the trigger index, so dispatch after Load touches only the
-// rules a trigger can fire.
+// also rebuilds the trigger index as a fresh immutable generation and
+// swaps it in atomically, so concurrent dispatchers never observe a
+// half-built index; firing stats carry over by rule name, so reloading a
+// policy set does not reset FiredCount.
 func (e *Engine) Load(set *PolicySet) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -104,21 +185,17 @@ func (e *Engine) Load(set *PolicySet) {
 		}
 		return e.rules[i].Name < e.rules[j].Name
 	})
-	// Rebuild the trigger index from the sorted order, so every bucket is
-	// itself in evaluation order.
-	e.byPattern = make(map[string][]*Rule)
-	e.byKey = make(map[string][]*Rule)
-	e.timers = nil
-	for _, r := range e.rules {
-		switch r.Trigger.Kind {
-		case TriggerEvent:
-			e.byPattern[r.Trigger.Pattern] = append(e.byPattern[r.Trigger.Pattern], r)
-		case TriggerContext:
-			e.byKey[r.Trigger.Key] = append(e.byKey[r.Trigger.Key], r)
-		case TriggerTimer:
-			e.timers = append(e.timers, r)
+	prev := e.dispatch.Load()
+	ix := newDispatchIndex(e.rules, e.lanes)
+	if prev != nil {
+		for name, r := range ix.byName {
+			if old, ok := prev.byName[name]; ok && old != r {
+				r.fired.Store(old.fired.Load())
+				r.lastFiredNs.Store(old.lastFiredNs.Load())
+			}
 		}
 	}
+	e.dispatch.Store(ix)
 }
 
 // AddRules appends rules from another set, re-sorting.
@@ -142,16 +219,22 @@ func (e *Engine) RuleNames() []string {
 
 // FiredCount reports how often a rule has fired.
 func (e *Engine) FiredCount(rule string) uint64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.firedCount[rule]
+	if r, ok := e.dispatch.Load().byName[rule]; ok {
+		return r.fired.Load()
+	}
+	return 0
 }
 
 // OverrideActive reports whether a break-glass window is currently open,
 // and which rule opened it. The middleware consults this when an otherwise
 // denied flow occurs: during an override it may permit the flow but must
-// audit it as a break-glass event.
+// audit it as a break-glass event. The common no-override case is a
+// single atomic load, so per-message checks on the dispatch path never
+// contend on the engine lock.
 func (e *Engine) OverrideActive() (string, bool) {
+	if !e.overrideOn.Load() {
+		return "", false
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.override != nil && e.now().Before(e.override.Until) {
@@ -162,11 +245,11 @@ func (e *Engine) OverrideActive() (string, bool) {
 
 // HandleDetection evaluates all rules triggered by the detection's pattern.
 // The trigger index narrows the work to that pattern's bucket: 1000 loaded
-// rules of which three trigger on the pattern cost three evaluations.
+// rules of which three trigger on the pattern cost three evaluations. The
+// lookup is lock-free, so shard dispatchers on different lanes evaluate
+// in parallel.
 func (e *Engine) HandleDetection(d cep.Detection) []Error {
-	e.mu.Lock()
-	bucket := e.byPattern[d.Pattern]
-	e.mu.Unlock()
+	bucket := e.dispatch.Load().patternBucket(d.Pattern)
 	if len(bucket) == 0 {
 		return nil
 	}
@@ -191,11 +274,10 @@ func eventSource(d cep.Detection) string {
 }
 
 // HandleContextChange evaluates rules triggered by the changed attribute,
-// found through the trigger index rather than a scan over every rule.
+// found through the trigger index rather than a scan over every rule. As
+// with HandleDetection, the lookup is lock-free.
 func (e *Engine) HandleContextChange(ch ctxmodel.Change) []Error {
-	e.mu.Lock()
-	bucket := e.byKey[ch.Key]
-	e.mu.Unlock()
+	bucket := e.dispatch.Load().keyBucket(ch.Key)
 	if len(bucket) == 0 {
 		return nil
 	}
@@ -210,12 +292,15 @@ func (e *Engine) Tick() []Error {
 
 	// Expire the override first so reverts land before new work.
 	var reverts []Action
-	e.mu.Lock()
-	if e.override != nil && !now.Before(e.override.Until) {
-		reverts = e.override.reverts
-		e.override = nil
+	if e.overrideOn.Load() {
+		e.mu.Lock()
+		if e.override != nil && !now.Before(e.override.Until) {
+			reverts = e.override.reverts
+			e.override = nil
+			e.overrideOn.Store(false)
+		}
+		e.mu.Unlock()
 	}
-	e.mu.Unlock()
 	var errs []Error
 	for _, a := range reverts {
 		if err := e.exec(a); err != nil {
@@ -223,18 +308,17 @@ func (e *Engine) Tick() []Error {
 		}
 	}
 
-	e.mu.Lock()
-	timers := e.timers
-	e.mu.Unlock()
+	timers := e.dispatch.Load().timers
 	if len(timers) == 0 {
 		return errs
 	}
 	env := &Env{Ctx: e.snapshot()}
 	errs = append(errs, e.evaluate(timers, func(r *Rule) bool {
-		e.mu.Lock()
-		last := r.lastFired
-		e.mu.Unlock()
-		return last.IsZero() || now.Sub(last) >= r.Trigger.Every
+		// "Never fired" is fired == 0, not a timestamp sentinel, so
+		// simulated clocks sitting at the epoch still fire on the first
+		// tick.
+		return r.fired.Load() == 0 ||
+			now.UnixNano()-r.lastFiredNs.Load() >= int64(r.Trigger.Every)
 	}, env)...)
 	return errs
 }
@@ -293,10 +377,8 @@ func (e *Engine) evaluate(rules []*Rule, filter func(*Rule) bool, env *Env) []Er
 				continue
 			}
 		}
-		e.mu.Lock()
-		r.lastFired = now
-		e.firedCount[r.Name]++
-		e.mu.Unlock()
+		r.lastFiredNs.Store(now.UnixNano())
+		r.fired.Add(1)
 		for _, a := range r.Do {
 			selected = append(selected, pending{rule: r, action: a})
 		}
@@ -388,6 +470,7 @@ func (e *Engine) openOverride(rule string, d time.Duration) {
 			reverts = e.override.reverts
 		}
 		e.override = &Override{Rule: rule, Until: until, reverts: reverts}
+		e.overrideOn.Store(true)
 	}
 }
 
@@ -395,6 +478,9 @@ func (e *Engine) openOverride(rule string, d time.Duration) {
 // an open break-glass window: connections made under the override are torn
 // down when it closes.
 func (e *Engine) recordRevert(a Action) {
+	if !e.overrideOn.Load() {
+		return
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.override == nil || !e.now().Before(e.override.Until) {

@@ -268,6 +268,11 @@ func NewShardedBus(name string, shards int, acl *ac.ACL, store *ctxmodel.Store, 
 	if shards > maxShards {
 		shards = maxShards
 	}
+	// One audit staging lane per shard: each dispatcher appends hot-path
+	// records into its own lane buffer, so audit ingest never serialises
+	// parallel deliveries (chain-order is restored at the merge; see
+	// audit.Log.AppendAsyncLane).
+	log.SetStagingLanes(shards)
 	b := &Bus{
 		name:  name,
 		acl:   acl,
@@ -788,7 +793,8 @@ func (b *Bus) publish(c *Component, endpoint string, m *msg.Message) (int, error
 // The delivery pipeline (Section 8.2.2): OS-level IFC re-check (contexts
 // may have changed since establishment), message-type clearance, attribute
 // quenching, then handler invocation. Every outcome is audited (the audit
-// records are batched off the delivery path; see audit.Log.AppendAsync).
+// records are staged per shard off the delivery path; see
+// audit.Log.AppendAsyncLane).
 // Runs on the publisher's goroutine for same-shard sinks and on the
 // destination shard's dispatcher for cross-shard handoffs.
 func (b *Bus) deliverLocal(srcComp *Component, srcEP EndpointSpec, ch *channel, m *msg.Message) bool {
@@ -821,7 +827,10 @@ func (b *Bus) deliverLocal(srcComp *Component, srcEP EndpointSpec, ch *channel, 
 		telemetry.RecordSpan(m.Trace, b.name, "deliver",
 			srcComp.Name()+"."+srcEP.Name, dstComp.Name()+"."+dstEP.Name, "")
 	}
-	b.log.AppendAsync(audit.Record{
+	// Stage the record in the destination shard's audit lane: the lane is
+	// uncontended when this runs on that shard's dispatcher, so parallel
+	// deliveries never serialise on audit ingest.
+	b.log.AppendAsyncLane(ch.dstShard, audit.Record{
 		Kind: audit.FlowAllowed, Layer: audit.LayerMessaging, Domain: b.name,
 		Src: srcComp.entity.ID(), Dst: dstComp.entity.ID(),
 		SrcCtx: srcCtx, DstCtx: dstCtx,

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"lciot/internal/fault"
+	"lciot/internal/lanehash"
 	"lciot/internal/msg"
 )
 
@@ -125,24 +126,15 @@ func (sh *shard) tryHandoff(b *Bus, h handoff) bool {
 	}
 }
 
-// shardIdxFor maps a component name to a shard by FNV-1a hash. The mapping
-// is pure: a component's shard is a function of its name and the bus's
-// shard count only, so callers can predict placement (shard affinity) and
-// tests can construct names that land on chosen shards.
+// shardIdxFor maps a component name to a shard by the shared FNV-1a
+// placement hash (internal/lanehash — the same function the CEP and
+// policy dispatch lanes use, so a component's deliveries, detections and
+// rule dispatch stay on one lane index). The mapping is pure: a
+// component's shard is a function of its name and the bus's shard count
+// only, so callers can predict placement (shard affinity) and tests can
+// construct names that land on chosen shards.
 func shardIdxFor(name string, n int) int {
-	if n <= 1 {
-		return 0
-	}
-	const (
-		offset32 = 2166136261
-		prime32  = 16777619
-	)
-	h := uint32(offset32)
-	for i := 0; i < len(name); i++ {
-		h ^= uint32(name[i])
-		h *= prime32
-	}
-	return int(h % uint32(n))
+	return lanehash.Index(name, n)
 }
 
 // shardIdx returns the index of the shard owning the named component.
