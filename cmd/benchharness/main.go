@@ -1,6 +1,6 @@
 // Command benchharness regenerates the experiment suite (see DESIGN.md,
 // "Experiments"): the eleven figure reproductions E1-E11 (scenario checks
-// with observable outcomes) and the quantitative tables B1-B15. Absolute
+// with observable outcomes) and the quantitative tables B1-B17. Absolute
 // numbers depend on the host; the *shapes* (who wins, what scales how)
 // are the reproduction targets.
 //

@@ -101,6 +101,7 @@ func runMeasurements() {
 	measureB14()
 	measureB15()
 	measureB16()
+	measureB17()
 }
 
 // B13: the obligations engine. The flow-check rows show the hot-path cost

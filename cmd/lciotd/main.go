@@ -128,7 +128,12 @@ type config struct {
 	MetricsAddr string `json:"metrics_addr,omitempty"`
 	// TraceSample samples one publish in N into a flow trace; 0 disables
 	// head sampling (error spans still record).
-	TraceSample int               `json:"trace_sample,omitempty"`
+	TraceSample int `json:"trace_sample,omitempty"`
+	// StageSample arms the per-message stage clock on one publish in N,
+	// attributing end-to-end latency to pipeline edges (the stage_*_ns
+	// histograms and the /lanes endpoint); 0 disables — an unarmed publish
+	// costs one atomic load.
+	StageSample int               `json:"stage_sample,omitempty"`
 	Schemas     []schemaConfig    `json:"schemas"`
 	Components  []componentConfig `json:"components"`
 	Channels    []channelConfig   `json:"channels"`
@@ -182,6 +187,7 @@ func main() {
 	faults := flag.String("faults", "", "arm deterministic failpoints for a chaos drill: name=mode(args);... (see internal/fault)")
 	metricsAddr := flag.String("metrics-addr", "", "operator HTTP surface address: /metrics, /healthz, /traces, /debug/pprof (overrides config metrics_addr)")
 	traceSample := flag.Int("trace-sample", 0, "sample one publish in N into a flow trace, 0 = off (overrides config trace_sample)")
+	stageSample := flag.Int("stage-sample", 0, "attribute stage latency on one publish in N, 0 = off (overrides config stage_sample)")
 	var peers peerList
 	flag.Var(&peers, "peer", "peer bus address to federate with (repeatable; adds to config peers)")
 	flag.Parse()
@@ -189,7 +195,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*configPath, *dataDir, *pump, *listen, *sweepEvery, *faults, *metricsAddr, *shards, *traceSample, peers); err != nil {
+	if err := run(*configPath, *dataDir, *pump, *listen, *sweepEvery, *faults, *metricsAddr, *shards, *traceSample, *stageSample, peers); err != nil {
 		log.Fatal("lciotd: ", err)
 	}
 }
@@ -207,7 +213,7 @@ func (p *peerList) Set(v string) error {
 	return nil
 }
 
-func run(configPath, dataDir, pump, listen, sweepEvery, faults, metricsAddr string, shards, traceSample int, peers []string) error {
+func run(configPath, dataDir, pump, listen, sweepEvery, faults, metricsAddr string, shards, traceSample, stageSample int, peers []string) error {
 	// Failpoints arm before the domain exists so boot-path points (store
 	// recovery, the first WAL writes) are already live.
 	if faults != "" {
@@ -261,6 +267,9 @@ func run(configPath, dataDir, pump, listen, sweepEvery, faults, metricsAddr stri
 	if traceSample != 0 {
 		cfg.TraceSample = traceSample
 	}
+	if stageSample != 0 {
+		cfg.StageSample = stageSample
+	}
 	cfg.Peers = append(cfg.Peers, peers...)
 
 	// Telemetry is compiled into every layer but off by default (one
@@ -269,6 +278,10 @@ func run(configPath, dataDir, pump, listen, sweepEvery, faults, metricsAddr stri
 	lciot.SetTraceSampling(cfg.TraceSample)
 	if cfg.TraceSample > 0 {
 		log.Printf("flow tracing: sampling 1 in %d publishes", cfg.TraceSample)
+	}
+	lciot.SetStageSampling(cfg.StageSample)
+	if cfg.StageSample > 0 {
+		log.Printf("stage attribution: sampling 1 in %d publishes", cfg.StageSample)
 	}
 
 	jurisdiction := make([]lciot.Tag, 0, len(cfg.Jurisdiction))
@@ -633,6 +646,8 @@ func statusLine(domain *lciot.Domain) string {
 	bus := domain.Bus().Name()
 	snap := domain.Metrics().Snapshot()
 	var delivered, overflow, shards float64
+	var slowStage string
+	var slowP99 int64
 	type linkStat struct{ depth, qcap, hw float64 }
 	links := map[string]*linkStat{}
 	linkFor := func(m lciot.Metric) *linkStat {
@@ -645,6 +660,13 @@ func statusLine(domain *lciot.Domain) string {
 		return st
 	}
 	for _, m := range snap {
+		// The local stage-edge histograms carry no bus label; track the
+		// slowest edge by P99 before the bus filter. Link-hop edges are
+		// per-bus and pass the filter on their own.
+		if strings.HasPrefix(m.Name, "stage_") && m.Hist != nil && m.Hist.Count > 0 &&
+			(m.Labels == "" || m.Label("bus") == bus) && m.Hist.P99 > slowP99 {
+			slowStage, slowP99 = m.Name, m.Hist.P99
+		}
 		if m.Label("bus") != bus {
 			continue
 		}
@@ -663,8 +685,11 @@ func statusLine(domain *lciot.Domain) string {
 			linkFor(m).hw = m.Value
 		}
 	}
-	line := fmt.Sprintf("status: bus delivered=%d overflow=%d shards=%d",
-		uint64(delivered), uint64(overflow), int(shards))
+	line := fmt.Sprintf("status: bus delivered=%d overflow=%d shards=%d skew=%.2f",
+		uint64(delivered), uint64(overflow), int(shards), domain.SkewReport().Imbalance)
+	if slowStage != "" {
+		line += fmt.Sprintf(" slowest_stage=%s p99=%s", slowStage, time.Duration(slowP99))
+	}
 	peers := make([]string, 0, len(links))
 	for p := range links {
 		peers = append(peers, p)
@@ -720,6 +745,36 @@ func serveMetrics(domain *lciot.Domain, addr string) error {
 		json.NewEncoder(w).Encode(map[string]any{
 			"state":      worst.String(),
 			"subsystems": subs,
+			"skew":       domain.SkewReport().Imbalance,
+		})
+	})
+	mux.HandleFunc("/lanes", func(w http.ResponseWriter, r *http.Request) {
+		// Per-peer link-hop stage rows from the registry snapshot: one row
+		// per federated peer, present from link establishment (count 0
+		// until a stage-attributed message crosses).
+		type linkRow struct {
+			Peer  string `json:"peer"`
+			Count uint64 `json:"count"`
+			P50Ns int64  `json:"p50_ns"`
+			P99Ns int64  `json:"p99_ns"`
+			SumNs uint64 `json:"sum_ns"`
+		}
+		busName := domain.Bus().Name()
+		var rows []linkRow
+		for _, m := range domain.Metrics().Snapshot() {
+			if m.Name != "stage_link_hop_ns" || m.Hist == nil || m.Label("bus") != busName {
+				continue
+			}
+			rows = append(rows, linkRow{
+				Peer: m.Label("peer"), Count: m.Hist.Count,
+				P50Ns: m.Hist.P50, P99Ns: m.Hist.P99, SumNs: m.Hist.Sum,
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"skew":         domain.SkewReport(),
+			"stage_sample": lciot.StageSampling(),
+			"stage_links":  rows,
 		})
 	})
 	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
@@ -739,7 +794,7 @@ func serveMetrics(domain *lciot.Domain, addr string) error {
 			log.Printf("metrics: serve: %v", err)
 		}
 	}()
-	log.Printf("operator surface on http://%s (/metrics /healthz /traces /debug/pprof)", ln.Addr())
+	log.Printf("operator surface on http://%s (/metrics /healthz /traces /lanes /debug/pprof)", ln.Addr())
 	return nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"lciot/internal/fault"
+	"lciot/internal/telemetry"
 )
 
 // fpSinkStall is the chaos seam in the async ingest pipeline: an armed
@@ -94,19 +95,26 @@ type Log struct {
 }
 
 // A staged record is one AppendAsync payload parked in a lane buffer with
-// the arrival ticket that fixes its place in the chain.
+// the arrival ticket that fixes its place in the chain, plus the stage
+// clock of the message that produced it (nil for unattributed flows): the
+// hasher marks the decide→audit edge at commit.
 type staged struct {
 	ticket uint64
 	rec    Record
+	stage  *telemetry.StageClock
 }
 
 // A stageLane is one staging buffer: its own lock, its own backpressure
-// condition, its own slice. Producers on different lanes never touch the
-// same lock.
+// condition, its own slice — plus lifetime ingest counters (records and
+// approximate bytes staged), maintained under the same lock the producer
+// already holds, so lane-load accounting costs no extra synchronisation.
+// Producers on different lanes never touch the same lock.
 type stageLane struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-	buf  []staged
+	mu      sync.Mutex
+	cond    *sync.Cond
+	buf     []staged
+	records uint64
+	bytes   uint64
 }
 
 // condLocked lazily builds the lane's backpressure condition variable;
@@ -216,6 +224,14 @@ func (l *Log) AppendAsync(r Record) { l.AppendAsyncLane(0, r) }
 // nothing but the arrival-ticket counter. Call Flush to wait for
 // commitment; read-side methods flush implicitly.
 func (l *Log) AppendAsyncLane(lane int, r Record) {
+	l.AppendAsyncLaneStaged(lane, r, nil)
+}
+
+// AppendAsyncLaneStaged is AppendAsyncLane threading the stage clock of the
+// message that produced the record (nil for unattributed flows): the hasher
+// marks the clock's decide→audit edge when the record commits, closing the
+// last pipeline stage.
+func (l *Log) AppendAsyncLaneStaged(lane int, r Record, stage *telemetry.StageClock) {
 	if r.Time.IsZero() {
 		r.Time = l.clock()
 	}
@@ -231,11 +247,47 @@ func (l *Log) AppendAsyncLane(lane int, r Record) {
 	// Ticket under the lane lock: each lane's buffer stays ticket-ordered,
 	// and a goroutine's consecutive appends get ascending tickets, so the
 	// hasher's merged order preserves every producer's program order.
-	ln.buf = append(ln.buf, staged{ticket: l.tickets.Add(1), rec: r})
+	ln.buf = append(ln.buf, staged{ticket: l.tickets.Add(1), rec: r, stage: stage})
+	ln.records++
+	ln.bytes += approxRecordSize(&r)
 	ln.mu.Unlock()
 	if l.draining.CompareAndSwap(false, true) {
 		go l.drain()
 	}
+}
+
+// approxRecordSize estimates a record's in-memory footprint for lane-load
+// accounting: the fixed struct size plus the variable string payloads. An
+// estimate is enough — skew reports compare lanes against each other, so
+// only relative weight matters.
+func approxRecordSize(r *Record) uint64 {
+	const fixed = 256 // struct fields, hashes, label headers
+	return uint64(fixed +
+		len(r.Domain) + len(r.Src) + len(r.Dst) + len(r.DataID) +
+		len(r.Agent) + len(r.Note) + len(r.TraceID))
+}
+
+// A LaneIngest summarises one staging lane's lifetime async ingest: how
+// many records were staged there and their approximate size. The counters
+// are cumulative — they survive drains — so two snapshots diff cleanly.
+type LaneIngest struct {
+	Records uint64
+	Bytes   uint64
+}
+
+// LaneStats returns per-lane lifetime ingest counters, indexed by staging
+// lane. It takes each lane's lock briefly; producers on other lanes are
+// unaffected.
+func (l *Log) LaneStats() []LaneIngest {
+	lanes := *l.getLanes()
+	out := make([]LaneIngest, len(lanes))
+	for i := range lanes {
+		ln := &lanes[i]
+		ln.mu.Lock()
+		out[i] = LaneIngest{Records: ln.records, Bytes: ln.bytes}
+		ln.mu.Unlock()
+	}
+	return out
 }
 
 // IngestDepth reports how many AppendAsync records are staged but not
@@ -335,6 +387,11 @@ func (l *Log) drain() {
 		}
 		sinks := l.sinks
 		l.mu.Unlock()
+		// Close the decide→audit stage edge now that the records are in the
+		// chain (nil-safe; most records carry no clock).
+		for i := range batch {
+			batch[i].stage.MarkAudit()
+		}
 		for _, s := range sinks {
 			for i := range batch {
 				s(batch[i].rec)

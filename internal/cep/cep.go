@@ -14,6 +14,11 @@ type Event struct {
 	Source string
 	Time   time.Time
 	Value  float64
+	// Stage is the stage clock of the message that carried the event (nil
+	// for unattributed flows): application sinks that feed the bus into CEP
+	// thread it through so the deliver→detect edge is marked when a pattern
+	// fires on this event.
+	Stage *telemetry.StageClock
 }
 
 // A Detection is a matched pattern instance.
@@ -26,6 +31,10 @@ type Detection struct {
 	Events []Event
 	// Value carries the aggregate value for aggregate patterns.
 	Value float64
+	// Stage is the stage clock of the event that completed the pattern
+	// (nil for unattributed flows), threaded on so the policy layer can
+	// mark the detect→decide edge.
+	Stage *telemetry.StageClock
 }
 
 // A Pattern inspects the event stream. Implementations are stateful and not
@@ -135,6 +144,10 @@ func (e *Engine) Feed(ev Event) {
 			j++
 		}
 		if d, ok := p.OnEvent(ev); ok {
+			// Stage attribution: the completing event's clock rides on the
+			// detection, and the deliver→detect edge closes here (nil-safe).
+			d.Stage = ev.Stage
+			ev.Stage.MarkDetect()
 			e.handler(d)
 		}
 	}

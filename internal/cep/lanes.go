@@ -47,6 +47,9 @@ type engineLane struct {
 	// npat counts registered patterns; Feed skips the broadcast lane's
 	// lock entirely while the broadcast set is empty.
 	npat atomic.Int32
+	// evals counts events fed to this lane (lifetime), one uncontended
+	// atomic add per feed — the lane-load signal skew reports roll up.
+	evals atomic.Uint64
 }
 
 // take runs fn under the lane lock and returns the detections it
@@ -106,6 +109,17 @@ func NewShardedEngine(n int, handler func(Detection)) *ShardedEngine {
 // Lanes returns the engine's lane count.
 func (se *ShardedEngine) Lanes() int { return len(se.lanes) }
 
+// LaneEvals returns per-lane lifetime event counts (broadcast-set feeds
+// are attributed to the source's numbered lane, where the event was
+// counted). Lock-free.
+func (se *ShardedEngine) LaneEvals() []uint64 {
+	out := make([]uint64, len(se.lanes))
+	for i, ln := range se.lanes {
+		out[i] = ln.evals.Load()
+	}
+	return out
+}
+
 // LaneOf reports the dispatch lane events from the given source are fed
 // to. The mapping is a pure function of the source name and the lane
 // count, matching the bus's component placement.
@@ -153,6 +167,7 @@ func (se *ShardedEngine) Register(p Pattern) {
 // for sources on different lanes run in parallel.
 func (se *ShardedEngine) Feed(ev Event) {
 	ln := se.lanes[laneIdxFor(ev.Source, len(se.lanes))]
+	ln.evals.Add(1)
 	for _, d := range ln.take(func(e *Engine) { e.Feed(ev) }) {
 		se.handler(d)
 	}

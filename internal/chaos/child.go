@@ -165,6 +165,13 @@ func RunChild(dir string, sched Schedule, phase int, logf func(string, ...any)) 
 			case <-t.C:
 				alpha.Tick()
 				beta.Tick()
+				// Health polls make degradation transitions observable —
+				// and, because both domains have DataDirs, each transition
+				// triggers a diagnostic capture under <DataDir>/diag that
+				// the smoke harness asserts on. The report is fingerprint-
+				// cached, so the poll is cheap when nothing moved.
+				alpha.Health()
+				beta.Health()
 			}
 		}
 	}()

@@ -121,6 +121,14 @@ type Domain struct {
 	healthInit  bool
 	healthLast  [4]SubsystemHealth
 	healthWorst HealthState
+
+	// Diagnostic capture state (see diag.go): dataDir is retained so
+	// degradation transitions can snapshot profiles under DataDir/diag;
+	// diagInflight serialises captures; diagLastSkewNs debounces
+	// skew-triggered captures.
+	dataDir        string
+	diagInflight   atomic.Bool
+	diagLastSkewNs atomic.Int64
 }
 
 // NewDomain assembles a domain. The returned domain owns its bus, stores,
@@ -204,6 +212,7 @@ func NewDomain(name string, opts Options) (*Domain, error) {
 		clock:      clock,
 		onAlert:    opts.OnAlert,
 		auditStore: auditStore,
+		dataDir:    opts.DataDir,
 		oblSched:   obligation.NewScheduler(time.Second, 16),
 		prov:       &audit.Graph{},
 	}

@@ -69,6 +69,9 @@ type SubsystemHealth struct {
 // Safe concurrent with Close — the probes read atomics and their own
 // locks, never the stores Close tears down.
 func (d *Domain) Health() []SubsystemHealth {
+	// Skew rides the health poll cadence: at most one evaluation per
+	// debounce window, outside healthMu (see diag.go).
+	d.checkSkewDiag()
 	fp := d.healthFingerprint()
 	d.healthMu.Lock()
 	defer d.healthMu.Unlock()
@@ -91,7 +94,9 @@ func (d *Domain) Health() []SubsystemHealth {
 	}
 	// Degradation transitions always leave a trace (error spans bypass
 	// sampling), so a /traces read after an incident shows when the rung
-	// moved even if no sampled flow was in flight.
+	// moved even if no sampled flow was in flight — and they trigger a
+	// diagnostic capture (see diag.go), so the profile evidence from the
+	// moment things worsened survives for post-hoc diagnosis.
 	if d.healthInit && worst > d.healthWorst {
 		for _, h := range report {
 			if h.State > HealthOK {
@@ -99,6 +104,7 @@ func (d *Domain) Health() []SubsystemHealth {
 					h.Subsystem, "", h.Detail)
 			}
 		}
+		d.maybeCaptureDiag(worst.String())
 	}
 	d.healthFP, d.healthLast, d.healthWorst, d.healthInit = fp, report, worst, true
 	out := make([]SubsystemHealth, len(report))

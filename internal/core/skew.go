@@ -1,0 +1,43 @@
+package core
+
+import "lciot/internal/telemetry"
+
+// SkewReport rolls the per-shard / per-lane load counters every parallel
+// subsystem already maintains — bus shard deliveries and handoffs, CEP
+// lane evaluations, policy lane firings, audit staging-lane ingest — into
+// one telemetry.SkewReport. The lanehash placement aligns all four tiers,
+// so lane i's row is the load of one coherent pipeline slice: a hot
+// component shows up as one hot row, and Hottest names it. The scan is
+// cheap (atomic loads plus brief lane locks on the audit tier), so status
+// loops and scrape endpoints can call this every few seconds.
+func (d *Domain) SkewReport() telemetry.SkewReport {
+	shards := d.bus.ShardStats()
+	evals := d.cep.LaneEvals()
+	firings := d.eng.LaneFirings()
+	ingest := d.log.LaneStats()
+	lanes := make([]telemetry.LaneLoad, len(shards))
+	for i := range shards {
+		lanes[i] = telemetry.LaneLoad{
+			Lane:       i,
+			Deliveries: shards[i].Delivered,
+			Handoffs:   shards[i].HandoffsIn,
+		}
+		// The tiers are sized together at construction, but guard anyway:
+		// a shared audit log may carry more staging lanes than this bus
+		// has shards (SetStagingLanes keeps the larger tier).
+		if i < len(evals) {
+			lanes[i].CEPEvals = evals[i]
+		}
+		if i < len(firings) {
+			lanes[i].RuleFirings = firings[i]
+		}
+		if i < len(ingest) {
+			lanes[i].StagedRecords = ingest[i].Records
+			lanes[i].StagedBytes = ingest[i].Bytes
+		}
+	}
+	return telemetry.ComputeSkew(lanes, d.bus.HotComponents(hotComponentsK))
+}
+
+// hotComponentsK is how many hottest components a skew report names.
+const hotComponentsK = 5

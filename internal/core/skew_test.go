@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"lciot/internal/ifc"
+	"lciot/internal/lanehash"
+	"lciot/internal/msg"
+	"lciot/internal/sbus"
+)
+
+// nameOnLane finds a component name with the given prefix that lanehash
+// homes on the wanted lane, so a test can pin placement deliberately.
+func nameOnLane(prefix string, lane, lanes int) string {
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("%s-%d", prefix, i)
+		if lanehash.Index(name, lanes) == lane {
+			return name
+		}
+	}
+}
+
+// skewDomain builds a 4-shard domain with one source→sink pair homed on
+// each lane (source and sink share the lane, keeping every per-lane
+// counter symmetric under a balanced load), and returns the per-lane
+// source components and sink names.
+func skewDomain(t *testing.T) (*Domain, [4]*sbus.Component, [4]string) {
+	t.Helper()
+	const shards = 4
+	d, err := NewDomain("skew", Options{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	ctx := ifc.MustContext([]ifc.Tag{"telemetry"}, nil)
+	var srcs [4]*sbus.Component
+	var sinks [4]string
+	for lane := 0; lane < shards; lane++ {
+		srcName := nameOnLane(fmt.Sprintf("src%d", lane), lane, shards)
+		sinks[lane] = nameOnLane(fmt.Sprintf("sink%d", lane), lane, shards)
+		srcs[lane], err = d.Bus().Register(srcName, "skew", ctx, nil,
+			sbus.EndpointSpec{Name: "out", Dir: sbus.Source, Schema: telemetrySchema()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Bus().Register(sinks[lane], "skew", ctx, nil,
+			sbus.EndpointSpec{Name: "in", Dir: sbus.Sink, Schema: telemetrySchema()}); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Bus().Connect(PolicyEnginePrincipal, srcName+".out", sinks[lane]+".in"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d, srcs, sinks
+}
+
+func publishOn(t *testing.T, src *sbus.Component, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		m := msg.New("telemetry").Set("device", msg.Str("d")).Set("value", msg.Float(1))
+		if _, err := src.Publish("out", m); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSkewReportPinsHotLane is the acceptance differential: the same
+// 4-shard topology under a balanced load reports near-zero imbalance,
+// and after a deliberately hot-homed component soaks up the traffic the
+// report's imbalance rises past the alerting range and Hottest names
+// exactly that component on exactly its lane.
+func TestSkewReportPinsHotLane(t *testing.T) {
+	const hotLane = 2
+	d, srcs, sinks := skewDomain(t)
+
+	for _, src := range srcs {
+		publishOn(t, src, 25)
+	}
+	d.Log().Flush()
+	balanced := d.SkewReport()
+	if len(balanced.Lanes) != 4 {
+		t.Fatalf("lanes = %d, want 4", len(balanced.Lanes))
+	}
+	if balanced.TotalLoad() == 0 {
+		t.Fatal("balanced load not recorded")
+	}
+	if balanced.Imbalance > 0.05 {
+		t.Fatalf("balanced imbalance = %.3f, want ~0", balanced.Imbalance)
+	}
+
+	publishOn(t, srcs[hotLane], 500)
+	d.Log().Flush()
+	hot := d.SkewReport()
+	if hot.Imbalance <= balanced.Imbalance+0.3 {
+		t.Fatalf("hot imbalance = %.3f (balanced %.3f): skew not surfaced",
+			hot.Imbalance, balanced.Imbalance)
+	}
+	if hot.MaxLoad == 0 || float64(hot.MaxLoad) <= hot.MeanLoad {
+		t.Fatalf("max/mean = %d/%.1f: hot lane not above the mean", hot.MaxLoad, hot.MeanLoad)
+	}
+	if hot.Lanes[hotLane].Load() != hot.MaxLoad {
+		t.Fatalf("lane %d load = %d, MaxLoad = %d: hot lane is not the max",
+			hotLane, hot.Lanes[hotLane].Load(), hot.MaxLoad)
+	}
+	if len(hot.Hottest) == 0 {
+		t.Fatal("no hottest components reported")
+	}
+	if got := hot.Hottest[0]; got.Name != sinks[hotLane] || got.Lane != hotLane {
+		t.Fatalf("Hottest[0] = %q on lane %d, want %q on lane %d",
+			got.Name, got.Lane, sinks[hotLane], hotLane)
+	}
+	if hot.Hottest[0].Deliveries != 525 {
+		t.Fatalf("hottest deliveries = %d, want 525", hot.Hottest[0].Deliveries)
+	}
+}

@@ -32,4 +32,15 @@ func registerDomainMetrics(d *Domain) {
 	reg.GaugeFunc("telemetry_spans_evicted", func() float64 {
 		return float64(telemetry.SpansEvicted())
 	}, "domain", d.name)
+	// Lane-load skew (see skew.go): the imbalance gauge is what alerts
+	// threshold on; max/mean give the magnitude behind it.
+	reg.GaugeFunc("core_lane_imbalance", func() float64 {
+		return d.SkewReport().Imbalance
+	}, "domain", d.name)
+	reg.GaugeFunc("core_lane_max_load", func() float64 {
+		return float64(d.SkewReport().MaxLoad)
+	}, "domain", d.name)
+	reg.GaugeFunc("core_lane_mean_load", func() float64 {
+		return d.SkewReport().MeanLoad
+	}, "domain", d.name)
 }

@@ -190,6 +190,13 @@ type Message struct {
 	// its own frame fields (sbus/wire.go, protocol v4) so a v3 peer can
 	// still decode the payload unchanged.
 	Trace telemetry.TraceContext
+	// Stage is the per-message stage clock armed at publish when stage
+	// attribution is sampled (nil otherwise — the common case). Like
+	// Trace it is metadata, not payload: clones share the same clock by
+	// pointer so edge marks telescope across quench copies and relay
+	// republishes, and the link protocol carries only the egress
+	// timestamp (v5 trailer), not the clock itself.
+	Stage *telemetry.StageClock
 }
 
 // New builds an empty message of the given type.
@@ -216,7 +223,7 @@ func (m *Message) FieldNames() []string {
 
 // Clone returns a deep copy; quenching mutates copies, never originals.
 func (m *Message) Clone() *Message {
-	cp := &Message{Type: m.Type, DataID: m.DataID, Trace: m.Trace, Attrs: make(map[string]Value, len(m.Attrs))}
+	cp := &Message{Type: m.Type, DataID: m.DataID, Trace: m.Trace, Stage: m.Stage, Attrs: make(map[string]Value, len(m.Attrs))}
 	for k, v := range m.Attrs {
 		if v.Type == TBytes {
 			b := make([]byte, len(v.Bytes))

@@ -58,9 +58,13 @@ type Engine struct {
 	// many goroutines dispatch concurrently.
 	dispatch atomic.Pointer[dispatchIndex]
 	// lanes is the configured partition width (>= 1), fixed at build time.
-	lanes    int
-	store    *ctxmodel.Store
-	override *Override
+	lanes int
+	// laneFirings counts rule firings per dispatch lane (lifetime, one
+	// uncontended atomic add per detection round). Sized to lanes at
+	// construction and never reallocated, so it survives policy reloads.
+	laneFirings []atomic.Uint64
+	store       *ctxmodel.Store
+	override    *Override
 	// overrideOn mirrors "override != nil" so the dispatch path can skip
 	// the engine lock when no break-glass window has ever been opened.
 	overrideOn atomic.Bool
@@ -136,8 +140,20 @@ func NewEngine(store *ctxmodel.Store, exec func(Action) error, opts ...EngineOpt
 	for _, o := range opts {
 		o(e)
 	}
+	e.laneFirings = make([]atomic.Uint64, e.lanes)
 	e.dispatch.Store(newDispatchIndex(nil, e.lanes))
 	return e
+}
+
+// LaneFirings returns per-dispatch-lane lifetime rule-firing counts (from
+// detection dispatch; context and timer firings are not lane-attributed).
+// Lock-free.
+func (e *Engine) LaneFirings() []uint64 {
+	out := make([]uint64, len(e.laneFirings))
+	for i := range e.laneFirings {
+		out[i] = e.laneFirings[i].Load()
+	}
+	return out
 }
 
 // newDispatchIndex builds an index generation from rules already in
@@ -251,6 +267,9 @@ func (e *Engine) OverrideActive() (string, bool) {
 func (e *Engine) HandleDetection(d cep.Detection) []Error {
 	bucket := e.dispatch.Load().patternBucket(d.Pattern)
 	if len(bucket) == 0 {
+		// The decision is trivially "no rules"; the stage edge still closes
+		// here so decide→audit doesn't absorb the lookup (nil-safe).
+		d.Stage.MarkDecide()
 		return nil
 	}
 	env := &Env{
@@ -262,7 +281,12 @@ func (e *Engine) HandleDetection(d cep.Detection) []Error {
 			Present: true,
 		},
 	}
-	return e.evaluate(bucket, nil, env)
+	errs, fired := e.evaluate(bucket, nil, env)
+	if fired > 0 {
+		e.laneFirings[lanehash.Index(d.Pattern, e.lanes)].Add(uint64(fired))
+	}
+	d.Stage.MarkDecide()
+	return errs
 }
 
 // eventSource picks the source of the last contributing event.
@@ -282,7 +306,8 @@ func (e *Engine) HandleContextChange(ch ctxmodel.Change) []Error {
 		return nil
 	}
 	env := &Env{Ctx: e.snapshot()}
-	return e.evaluate(bucket, nil, env)
+	errs, _ := e.evaluate(bucket, nil, env)
+	return errs
 }
 
 // Tick drives timer rules and break-glass expiry; call it periodically (the
@@ -313,14 +338,14 @@ func (e *Engine) Tick() []Error {
 		return errs
 	}
 	env := &Env{Ctx: e.snapshot()}
-	errs = append(errs, e.evaluate(timers, func(r *Rule) bool {
+	timerErrs, _ := e.evaluate(timers, func(r *Rule) bool {
 		// "Never fired" is fired == 0, not a timestamp sentinel, so
 		// simulated clocks sitting at the epoch still fire on the first
 		// tick.
 		return r.fired.Load() == 0 ||
 			now.UnixNano()-r.lastFiredNs.Load() >= int64(r.Trigger.Every)
-	}, env)...)
-	return errs
+	}, env)
+	return append(errs, timerErrs...)
 }
 
 // An Error reports a failed guard evaluation or action execution.
@@ -350,12 +375,15 @@ func (e *Engine) snapshot() ctxmodel.Snapshot {
 
 // evaluate runs the rules of one trigger bucket in priority order, collects
 // their actions, resolves conflicts, then executes the surviving actions in
-// order. The optional filter prunes rules before guard evaluation (timer
-// cadence); nil means every rule in the bucket is considered. Buckets are
-// immutable after Load, so iterating without the engine lock is safe.
-func (e *Engine) evaluate(rules []*Rule, filter func(*Rule) bool, env *Env) []Error {
+// order, reporting any errors plus how many rules fired (for lane-load
+// accounting). The optional filter prunes rules before guard evaluation
+// (timer cadence); nil means every rule in the bucket is considered.
+// Buckets are immutable after Load, so iterating without the engine lock
+// is safe.
+func (e *Engine) evaluate(rules []*Rule, filter func(*Rule) bool, env *Env) ([]Error, int) {
 	now := e.now()
 	var errs []Error
+	fired := 0
 
 	type pending struct {
 		rule   *Rule
@@ -379,6 +407,7 @@ func (e *Engine) evaluate(rules []*Rule, filter func(*Rule) bool, env *Env) []Er
 		}
 		r.lastFiredNs.Store(now.UnixNano())
 		r.fired.Add(1)
+		fired++
 		for _, a := range r.Do {
 			selected = append(selected, pending{rule: r, action: a})
 		}
@@ -427,7 +456,7 @@ func (e *Engine) evaluate(rules []*Rule, filter func(*Rule) bool, env *Env) []Er
 		e.recordRevert(p.action)
 		e.applyContextEffects(p.action)
 	}
-	return errs
+	return errs, fired
 }
 
 // ResourceOf returns the resource an action contends for, or "" for

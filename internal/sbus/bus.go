@@ -425,6 +425,35 @@ func (b *Bus) Components() []string {
 	return out
 }
 
+// HotComponents returns the k components with the most lifetime deliveries,
+// hottest first (ties broken by name for determinism), each tagged with its
+// home shard. The scan is lock-free — it reads the routing snapshots and
+// each component's delivery counter — so operators can poll it to pinpoint
+// which component a skewed lane's load concentrates on.
+func (b *Bus) HotComponents(k int) []telemetry.HotComponent {
+	if k <= 0 {
+		return nil
+	}
+	var all []telemetry.HotComponent
+	for _, sh := range b.shards {
+		for name, c := range sh.routing.Load().components {
+			if n := c.delivered.Load(); n > 0 {
+				all = append(all, telemetry.HotComponent{Name: name, Lane: sh.idx, Deliveries: n})
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Deliveries != all[j].Deliveries {
+			return all[i].Deliveries > all[j].Deliveries
+		}
+		return all[i].Name < all[j].Name
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
 // splitEndpointAddr parses "component.endpoint".
 func splitEndpointAddr(addr string) (comp, ep string, err error) {
 	i := strings.LastIndexByte(addr, '.')
@@ -763,6 +792,18 @@ func (b *Bus) publish(c *Component, endpoint string, m *msg.Message) (int, error
 		telemetry.RecordSpan(m.Trace, b.name, "relay", c.Name()+"."+endpoint, "", "")
 	}
 
+	// Stage attribution: arm the per-message stage clock here (hop 0) when
+	// sampled; a message that already carries one — relayed off a link
+	// ingress or re-published locally — keeps it, so its edges telescope
+	// across the whole path. One atomic load when sampling is off. Only
+	// assign on a hit: an unconditional nil store would race with clone
+	// reads from a prior publish's still-in-flight cross-shard handoffs.
+	if m.Stage == nil {
+		if sc := telemetry.ArmStageClock(); sc != nil {
+			m.Stage = sc
+		}
+	}
+
 	outs := b.shards[c.shard].routing.Load().bySrc[c.Name()+"."+endpoint]
 
 	delivered := 0
@@ -829,18 +870,22 @@ func (b *Bus) deliverLocal(srcComp *Component, srcEP EndpointSpec, ch *channel, 
 	}
 	// Stage the record in the destination shard's audit lane: the lane is
 	// uncontended when this runs on that shard's dispatcher, so parallel
-	// deliveries never serialise on audit ingest.
-	b.log.AppendAsyncLane(ch.dstShard, audit.Record{
+	// deliveries never serialise on audit ingest. A stage-attributed
+	// message threads its clock through so the decide→audit edge is marked
+	// at commit.
+	b.log.AppendAsyncLaneStaged(ch.dstShard, audit.Record{
 		Kind: audit.FlowAllowed, Layer: audit.LayerMessaging, Domain: b.name,
 		Src: srcComp.entity.ID(), Dst: dstComp.entity.ID(),
 		SrcCtx: srcCtx, DstCtx: dstCtx,
 		DataID: m.DataID, Agent: srcComp.principal,
 		Note: deliveryNote(quenched), TraceID: m.Trace.ID.String(),
-	})
+	}, m.Stage)
 	// Count before invoking the handler: the delivery is decided once
 	// policy passes, and anything the handler unblocks (tests, examples
 	// waiting on a message) must already see it in ShardStats.
 	b.shards[ch.dstShard].delivered.Add(1)
+	dstComp.delivered.Add(1)
+	out.Stage.MarkDeliver()
 	if dstComp.handler != nil {
 		dstComp.handler(out, Delivery{
 			From:     b.name + ":" + srcComp.Name() + "." + srcEP.Name,

@@ -86,7 +86,16 @@ type Component struct {
 	mu          sync.RWMutex
 	clearance   ifc.Label
 	quarantined atomic.Bool
+
+	// delivered counts messages delivered to this component (local and
+	// link ingress), unconditionally — one uncontended atomic add per
+	// delivery — so skew reports can name the hottest components without
+	// telemetry armed.
+	delivered atomic.Uint64
 }
+
+// Delivered returns the component's lifetime delivery count.
+func (c *Component) Delivered() uint64 { return c.delivered.Load() }
 
 // Name returns the component's bus-local name.
 func (c *Component) Name() string { return c.name }

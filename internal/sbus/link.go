@@ -234,15 +234,19 @@ type link struct {
 	highWater atomic.Uint64
 
 	// wireVer is the link protocol version negotiated with the peer at
-	// hello time (refreshed on every reconnect): frames queue in v4 form
-	// and the writer truncates their trace trailers when this is 3.
+	// hello time (refreshed on every reconnect): frames queue in v5 form
+	// and the writer truncates their trailers down to what this version
+	// carries (v4 loses the egress bytes, v3 the whole trailer).
 	wireVer atomic.Uint32
 
 	// txBytes/rxBytes/batchFrames are the link's telemetry instruments
-	// (bytes on and off the wire, frames per coalesced batch).
+	// (bytes on and off the wire, frames per coalesced batch); stageHop is
+	// the per-peer link_egress→ingress stage edge, observed at ingress
+	// from the v5 egress timestamp.
 	txBytes     *telemetry.Counter
 	rxBytes     *telemetry.Counter
 	batchFrames *telemetry.Histogram
+	stageHop    *telemetry.Histogram
 }
 
 // noteDepth folds the current queue depth into the high-water mark; called
@@ -286,6 +290,7 @@ func (b *Bus) newLink(peer string, network transport.Network, addr string) *link
 	l.txBytes = reg.Counter("sbus_link_tx_bytes_total", "bus", b.name, "peer", peer)
 	l.rxBytes = reg.Counter("sbus_link_rx_bytes_total", "bus", b.name, "peer", peer)
 	l.batchFrames = reg.Histogram("sbus_link_batch_frames", "bus", b.name, "peer", peer)
+	l.stageHop = reg.Histogram("stage_link_hop_ns", "bus", b.name, "peer", peer)
 	// Queue depth, high water and reconnects are state the link keeps
 	// anyway: registered func-backed, they cost the data path nothing. A
 	// replacement link to the same peer re-registers the series and takes
@@ -663,10 +668,10 @@ func (l *link) enqueue(frame []byte) error {
 	}
 }
 
-// sendFrame encodes one frame (v4 form; the writer strips the trailer for
-// v3 peers) and enqueues it.
+// sendFrame encodes one frame (v5 form; the writer strips the trailer
+// suffixes for v4/v3 peers) and enqueues it.
 func (l *link) sendFrame(f *LinkFrame) error {
-	buf, err := appendLinkFrameV4(nil, f)
+	buf, err := appendLinkFrameV5(nil, f)
 	if err != nil {
 		return err
 	}
@@ -737,15 +742,19 @@ func (l *link) writeLoop() {
 				continue
 			}
 		}
-		// Queued frames carry the v4 trace trailer; emit them as-is to a
-		// v4 peer, or with the fixed-size trailer truncated (traces
+		// Queued frames carry the full v5 trailer; emit them as-is to a
+		// v5 peer, with the egress bytes truncated to a v4 peer, or with
+		// the whole fixed-size trailer truncated (traces and stage stamps
 		// dropped cleanly, nothing re-encoded) to a v3 peer. The version
 		// is re-read per batch: a reconnect may have renegotiated it.
 		ver := l.wireVersion()
 		buf = appendBatchHeaderV(buf[:0], ver, len(batch))
 		for _, f := range batch {
-			if ver < 4 {
-				f = f[:len(f)-traceTrailerLen]
+			switch {
+			case ver < 4:
+				f = f[:len(f)-trailerLenV5]
+			case ver < 5:
+				f = f[:len(f)-egressTrailerLen]
 			}
 			buf = append(buf, f...)
 		}
@@ -919,7 +928,10 @@ func (l *link) replayEgress(conn transport.Conn) int {
 		return true
 	}
 	appendFrame := AppendLinkFrame
-	if ver >= 4 {
+	switch {
+	case ver >= 5:
+		appendFrame = appendLinkFrameV5
+	case ver >= 4:
 		appendFrame = appendLinkFrameV4
 	}
 	for i := range frames {
@@ -1066,6 +1078,12 @@ func (b *Bus) sendRemote(srcComp *Component, srcEP EndpointSpec, remoteBus, remo
 		Schema:          srcEP.Schema.Name,
 		Agent:           srcComp.principal,
 		Trace:           m.Trace,
+	}
+	if m.Stage != nil {
+		// Stage-attributed flow: stamp link egress so the receiver can
+		// observe the link-hop edge and resume the stage clock (v5 trailer;
+		// older peers never see the stamp — writeLoop strips it).
+		f.EgressNs = uint64(time.Now().UnixNano())
 	}
 	buf, err := appendMessageFrame(nil, &f, m)
 	if err != nil {
@@ -1270,6 +1288,14 @@ func (l *link) deliverIngress(f LinkFrame) {
 		return
 	}
 	m.Trace = tc
+	if f.EgressNs != 0 {
+		// Stage-attributed frame: observe the link-hop edge (sender egress
+		// to local ingress — wall clocks, so cross-host skew shifts it) and
+		// resume the stage clock so downstream edges attribute locally.
+		now := time.Now().UnixNano()
+		l.stageHop.Observe(now - int64(f.EgressNs))
+		m.Stage = telemetry.ResumeStageClock(now)
+	}
 	// Message-layer enforcement against the local schema definition.
 	clearance := dstComp.Clearance()
 	if !dstEP.Schema.Secrecy.Subset(clearance) {
@@ -1292,6 +1318,8 @@ func (l *link) deliverIngress(f LinkFrame) {
 		if !tc.IsZero() {
 			telemetry.RecordSpan(tc, b.name, "deliver", f.Src, string(dstComp.entity.ID()), "")
 		}
+		dstComp.delivered.Add(1)
+		out.Stage.MarkDeliver()
 		dstComp.handler(out, Delivery{From: f.Src, Endpoint: dstEP.Name, Quenched: quenched})
 	}
 }

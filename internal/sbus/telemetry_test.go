@@ -218,13 +218,14 @@ func TestLinkNegotiationV3V4(t *testing.T) {
 	}
 }
 
-// TestLinkNegotiationV4Both confirms two current buses keep the trailer:
-// the trace ID survives the link and lands in the peer's audit records.
-func TestLinkNegotiationV4Both(t *testing.T) {
+// TestLinkNegotiationCurrentBoth confirms two current buses negotiate the
+// newest protocol and keep the trailer: the trace ID survives the link and
+// lands in the peer's audit records.
+func TestLinkNegotiationCurrentBoth(t *testing.T) {
 	traceTestSetup(t)
 	home, cloud, rec := linkedBuses(t)
-	if l := home.linkTo("cloud-bus"); l == nil || l.wireVersion() != 4 {
-		t.Fatalf("negotiated version = %v, want 4", l.wireVersion())
+	if l := home.linkTo("cloud-bus"); l == nil || l.wireVersion() != linkVersion {
+		t.Fatalf("negotiated version = %v, want %d", l.wireVersion(), linkVersion)
 	}
 	if err := home.Connect("hospital", "ann-device.out", "cloud-bus:ann-analyser.in"); err != nil {
 		t.Fatal(err)

@@ -40,9 +40,17 @@ import (
 // with a fixed 17-byte trace trailer (16-byte trace ID, big-endian Hi then
 // Lo, plus a hop count byte; all zero when the flow is unsampled). The
 // trailer is a suffix so the two layouts share every other byte: the link
-// writer encodes queued frames in v4 form and simply truncates the
+// writer encodes queued frames in the newest form and simply truncates the
 // trailer when the peer negotiated v3, dropping traces cleanly without
 // re-encoding.
+//
+// v5 extends the v4 trailer with stage attribution: 8 more bytes carrying
+// the sender's egress wall-clock (big-endian UnixNano; 0 when the message
+// carries no stage clock). Ingress observes now−egress into the per-peer
+// stage_link_hop_ns histogram and resumes the stage clock on the decoded
+// message. The trailer remains a pure suffix — trace bytes first, egress
+// bytes last — so the writer serves a v4 peer by truncating the 8 egress
+// bytes and a v3 peer by truncating the whole 25-byte trailer.
 //
 // Version negotiation: the first batch on a connection must contain
 // exactly one hello frame. Hello batches are always sent in v3 form — the
@@ -50,8 +58,8 @@ import (
 // advertises the highest version it speaks in the hello frame's ID field
 // (a v3 build leaves ID zero, which reads as an advertisement of v3).
 // Both sides then speak min(local, advertised) for the rest of the
-// session, so v4↔v3 pairs interoperate with no frames rejected. The magic
-// and version bytes come first so an acceptor can reject a truly
+// session, so v5↔v4↔v3 pairs interoperate with no frames rejected. The
+// magic and version bytes come first so an acceptor can reject a truly
 // incompatible peer before parsing anything else; a v1 peer's JSON
 // ('{' = 0x7B) is detected explicitly and refused with a clear error
 // rather than a decode failure.
@@ -62,13 +70,18 @@ const (
 	// linkVersion is the newest protocol version this bus speaks;
 	// linkVersionMin is the oldest it still accepts and emits (for v3
 	// peers, negotiated at hello time).
-	linkVersion    = 4
+	linkVersion    = 5
 	linkVersionMin = 3
 	// batchHeaderLen is magic + version + count.
 	batchHeaderLen = 4
-	// traceTrailerLen is the per-frame trace suffix in a v4 batch:
+	// traceTrailerLen is the per-frame trace suffix introduced in v4:
 	// 16-byte trace ID + 1 hop byte.
 	traceTrailerLen = 17
+	// egressTrailerLen is the stage-attribution suffix v5 adds after the
+	// trace bytes: the sender's egress UnixNano.
+	egressTrailerLen = 8
+	// trailerLenV5 is the full v5 per-frame suffix.
+	trailerLenV5 = traceTrailerLen + egressTrailerLen
 )
 
 // Frame kinds. The wire carries the byte; LinkFrame carries the string
@@ -124,6 +137,11 @@ type LinkFrame struct {
 	// (zero when unsampled or when the peer negotiated v3). Not part of
 	// the legacy v1 JSON schema.
 	Trace telemetry.TraceContext `json:"-"`
+
+	// EgressNs is the sender's egress wall-clock (UnixNano) carried in the
+	// v5 trailer; 0 when the message carries no stage clock or the peer
+	// negotiated v3/v4. Not part of the legacy v1 JSON schema.
+	EgressNs uint64 `json:"-"`
 }
 
 // kindByte maps the frame kind string to its wire byte.
@@ -223,9 +241,8 @@ func AppendLinkFrame(dst []byte, f *LinkFrame) ([]byte, error) {
 	return dst, nil
 }
 
-// appendLinkFrameV4 is AppendLinkFrame plus the v4 trace trailer. Every
-// frame handed to a link's send queue is encoded in this form; the writer
-// truncates the fixed-size trailer when the peer negotiated v3.
+// appendLinkFrameV4 is AppendLinkFrame plus the v4 trace trailer (replay
+// re-encoding for peers that negotiated exactly v4).
 func appendLinkFrameV4(dst []byte, f *LinkFrame) ([]byte, error) {
 	dst, err := AppendLinkFrame(dst, f)
 	if err != nil {
@@ -234,12 +251,26 @@ func appendLinkFrameV4(dst []byte, f *LinkFrame) ([]byte, error) {
 	return appendTraceTrailer(dst, f.Trace), nil
 }
 
+// appendLinkFrameV5 is AppendLinkFrame plus the full v5 trailer (trace
+// bytes, then the egress timestamp). Every frame handed to a link's send
+// queue is encoded in this form; the writer truncates the fixed-size
+// suffixes when the peer negotiated v4 or v3.
+func appendLinkFrameV5(dst []byte, f *LinkFrame) ([]byte, error) {
+	dst, err := AppendLinkFrame(dst, f)
+	if err != nil {
+		return dst, err
+	}
+	dst = appendTraceTrailer(dst, f.Trace)
+	return binary.BigEndian.AppendUint64(dst, f.EgressNs), nil
+}
+
 // appendMessageFrame is AppendLinkFrame with the payload encoded straight
 // from the message: the frame fields and msg.AppendBinary land in one
 // buffer in one pass, with the payload length backfilled — no intermediate
 // payload slice on the per-message egress path.
-// The frame is produced in v4 form (trace trailer from the message's own
-// context) ready for the writer's per-version emit.
+// The frame is produced in v5 form (trace trailer from the message's own
+// context, egress timestamp from f.EgressNs) ready for the writer's
+// per-version emit.
 func appendMessageFrame(dst []byte, f *LinkFrame, m *msg.Message) ([]byte, error) {
 	dst, err := appendFramePrefix(dst, f)
 	if err != nil {
@@ -252,7 +283,8 @@ func appendMessageFrame(dst []byte, f *LinkFrame, m *msg.Message) ([]byte, error
 		return dst, err
 	}
 	binary.BigEndian.PutUint32(dst[lenAt:], uint32(len(dst)-lenAt-4))
-	return appendTraceTrailer(dst, m.Trace), nil
+	dst = appendTraceTrailer(dst, m.Trace)
+	return binary.BigEndian.AppendUint64(dst, f.EgressNs), nil
 }
 
 // wireDecoder is a bounds-checked cursor over one received batch; ver is
@@ -400,6 +432,13 @@ func (d *wireDecoder) decodeFrame() (LinkFrame, error) {
 		f.Trace.ID.Lo = binary.BigEndian.Uint64(d.buf[d.off+8:])
 		f.Trace.Hop = d.buf[d.off+16]
 		d.off += traceTrailerLen
+	}
+	if d.ver >= 5 {
+		if err := d.need(egressTrailerLen); err != nil {
+			return f, err
+		}
+		f.EgressNs = binary.BigEndian.Uint64(d.buf[d.off:])
+		d.off += egressTrailerLen
 	}
 	return f, nil
 }

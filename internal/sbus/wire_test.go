@@ -64,7 +64,7 @@ func TestWireMessageFrameMatchesGeneric(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Payload = payload
-	generic, err := appendLinkFrameV4(nil, &f)
+	generic, err := appendLinkFrameV5(nil, &f)
 	if err != nil {
 		t.Fatal(err)
 	}

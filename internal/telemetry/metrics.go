@@ -233,6 +233,17 @@ type HistStats struct {
 	P90   int64  `json:"p90"`
 	P99   int64  `json:"p99"`
 	Max   int64  `json:"max"`
+	// Buckets holds the occupied buckets as (upper edge, cumulative count)
+	// pairs, sparse and ascending — the shape a Prometheus-native
+	// histogram encoding needs (the encoder appends the +Inf bucket).
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// A HistBucket is one occupied histogram bucket: every observation ≤ LE
+// (the bucket's inclusive upper edge) counts toward the cumulative Count.
+type HistBucket struct {
+	LE    int64  `json:"le"`
+	Count uint64 `json:"count"`
 }
 
 // stats summarises the histogram from one pass over the buckets. Counts
@@ -264,6 +275,7 @@ func (h *Histogram) stats() HistStats {
 		}
 		cum += n
 		s.Max = edge
+		s.Buckets = append(s.Buckets, HistBucket{LE: edge, Count: cum})
 	}
 	return s
 }

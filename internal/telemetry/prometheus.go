@@ -7,61 +7,104 @@ import (
 )
 
 // WritePrometheus renders the registry in the Prometheus text exposition
-// format (version 0.0.4). Counters and gauges emit one sample per series;
-// histograms emit the summary form — quantile samples plus _sum and
-// _count — because shipping every log-linear bucket would bloat the scrape
-// without adding precision a dashboard can use.
+// format (version 0.0.4). Counters and gauges emit one sample per series.
+// Histograms emit the native histogram form — cumulative le-labeled
+// _bucket samples (occupied buckets only, plus +Inf) with _sum and _count
+// — so stage latencies aggregate correctly across nodes; for backward
+// compatibility with dashboards built on the earlier summary encoding,
+// each histogram family is followed by a <name>_quantile gauge family
+// carrying the p50/p90/p99 upper-edge estimates.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	snap := r.Snapshot()
-	var lastName string
-	for _, m := range snap {
-		if m.Name != lastName {
-			typ := "gauge"
-			switch m.Kind {
-			case KindCounter:
-				typ = "counter"
-			case KindHistogram:
-				typ = "summary"
-			}
-			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, typ); err != nil {
-				return err
-			}
-			lastName = m.Name
+	// Series of one name are contiguous in the sorted snapshot; walk the
+	// groups so each family's TYPE header is emitted exactly once.
+	for i := 0; i < len(snap); {
+		j := i
+		for j < len(snap) && snap[j].Name == snap[i].Name {
+			j++
 		}
-		if m.Hist != nil {
-			if err := writeSummary(w, m); err != nil {
+		group := snap[i:j]
+		i = j
+		if group[0].Hist != nil {
+			if err := writeHistogramFamily(w, group); err != nil {
 				return err
 			}
 			continue
 		}
-		if _, err := fmt.Fprintf(w, "%s%s %s\n",
-			m.Name, braced(m.Labels), formatValue(m.Value)); err != nil {
+		typ := "gauge"
+		if group[0].Kind == KindCounter {
+			typ = "counter"
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", group[0].Name, typ); err != nil {
 			return err
+		}
+		for _, m := range group {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n",
+				m.Name, braced(m.Labels), formatValue(m.Value)); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
 }
 
-func writeSummary(w io.Writer, m Metric) error {
-	h := m.Hist
-	for _, q := range [...]struct {
-		q string
-		v int64
-	}{{"0.5", h.P50}, {"0.9", h.P90}, {"0.99", h.P99}} {
-		labels := m.Labels
-		if labels != "" {
-			labels += ","
+// writeHistogramFamily emits one histogram name's series as a native
+// text-format histogram family, then the companion _quantile gauge family.
+func writeHistogramFamily(w io.Writer, group []Metric) error {
+	name := group[0].Name
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	for _, m := range group {
+		h := m.Hist
+		if h == nil {
+			continue
 		}
-		labels += `quantile="` + q.q + `"`
-		if _, err := fmt.Fprintf(w, "%s{%s} %d\n", m.Name, labels, q.v); err != nil {
+		for _, b := range h.Buckets {
+			if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n",
+				name, withLabel(m.Labels, "le", strconv.FormatInt(b.LE, 10)), b.Count); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n",
+			name, withLabel(m.Labels, "le", "+Inf"), h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", name, braced(m.Labels), h.Sum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", name, braced(m.Labels), h.Count); err != nil {
 			return err
 		}
 	}
-	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", m.Name, braced(m.Labels), h.Sum); err != nil {
+	if _, err := fmt.Fprintf(w, "# TYPE %s_quantile gauge\n", name); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, braced(m.Labels), h.Count)
-	return err
+	for _, m := range group {
+		h := m.Hist
+		if h == nil {
+			continue
+		}
+		for _, q := range [...]struct {
+			q string
+			v int64
+		}{{"0.5", h.P50}, {"0.9", h.P90}, {"0.99", h.P99}} {
+			if _, err := fmt.Fprintf(w, "%s_quantile{%s} %d\n",
+				name, withLabel(m.Labels, "quantile", q.q), q.v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// withLabel appends one key="value" pair to a canonical label string.
+func withLabel(labels, key, value string) string {
+	pair := key + `="` + value + `"`
+	if labels == "" {
+		return pair
+	}
+	return labels + "," + pair
 }
 
 func braced(labels string) string {

@@ -1,0 +1,111 @@
+// Lane-load skew: the load-visibility half of stage attribution. The
+// parallel plane places components, CEP patterns, policy buckets and audit
+// staging on lanes by one shared hash (internal/lanehash), so a hot
+// component drags its whole pipeline slice onto one lane. SkewReport rolls
+// the per-lane counters each layer already maintains into an operator-
+// facing imbalance view: per-lane loads, max/mean, a Gini-style imbalance
+// gauge in [0,1), and the hottest components by delivery count. It is the
+// measurement prerequisite for load-aware rebalancing (ROADMAP item 2):
+// rebalancing without this report would be flying blind.
+package telemetry
+
+import "sort"
+
+// A LaneLoad aggregates one lane's work across the pipeline tiers. The
+// counts are lifetime totals (monotone), so operators diff scrapes to get
+// rates; Load() weighs the tiers equally, which is crude but stable.
+type LaneLoad struct {
+	Lane int `json:"lane"`
+	// Deliveries is the bus shard's delivered count (inline + dispatched).
+	Deliveries uint64 `json:"deliveries"`
+	// Handoffs is the count of cross-shard deliveries accepted by this
+	// lane's dispatch ring.
+	Handoffs uint64 `json:"handoffs"`
+	// CEPEvals is the number of events evaluated on this CEP lane.
+	CEPEvals uint64 `json:"cep_evals"`
+	// RuleFirings is the number of policy rules fired from this lane's
+	// trigger buckets.
+	RuleFirings uint64 `json:"rule_firings"`
+	// StagedRecords / StagedBytes are the audit records (and approximate
+	// bytes) staged through this lane's ingest buffer.
+	StagedRecords uint64 `json:"staged_records"`
+	StagedBytes   uint64 `json:"staged_bytes"`
+}
+
+// Load is the lane's scalar load used for the skew statistics.
+func (l LaneLoad) Load() uint64 {
+	return l.Deliveries + l.Handoffs + l.CEPEvals + l.RuleFirings + l.StagedRecords
+}
+
+// A HotComponent is one of the busiest components by delivery count,
+// with the lane the placement hash homes it on.
+type HotComponent struct {
+	Name       string `json:"name"`
+	Lane       int    `json:"lane"`
+	Deliveries uint64 `json:"deliveries"`
+}
+
+// A SkewReport summarises lane-load imbalance across the parallel plane.
+type SkewReport struct {
+	Lanes []LaneLoad `json:"lanes"`
+	// MaxLoad and MeanLoad are over LaneLoad.Load().
+	MaxLoad  uint64  `json:"max_load"`
+	MeanLoad float64 `json:"mean_load"`
+	// Imbalance is a Gini-style gauge in [0,1): 0 when every lane carries
+	// equal load, approaching 1 when one lane carries everything. A
+	// single-lane domain is 0 by construction.
+	Imbalance float64 `json:"imbalance"`
+	// Hottest lists the top components by delivery count, hottest first.
+	Hottest []HotComponent `json:"hottest,omitempty"`
+}
+
+// TotalLoad sums the lanes' scalar loads.
+func (r SkewReport) TotalLoad() uint64 {
+	var t uint64
+	for _, l := range r.Lanes {
+		t += l.Load()
+	}
+	return t
+}
+
+// ComputeSkew builds a SkewReport from per-lane loads and an optional
+// hottest-component list (sorted here, hottest first).
+func ComputeSkew(lanes []LaneLoad, hottest []HotComponent) SkewReport {
+	r := SkewReport{Lanes: lanes, Hottest: hottest}
+	sort.Slice(r.Hottest, func(i, j int) bool {
+		if r.Hottest[i].Deliveries != r.Hottest[j].Deliveries {
+			return r.Hottest[i].Deliveries > r.Hottest[j].Deliveries
+		}
+		return r.Hottest[i].Name < r.Hottest[j].Name
+	})
+	n := len(lanes)
+	if n == 0 {
+		return r
+	}
+	loads := make([]float64, n)
+	var total float64
+	for i, l := range lanes {
+		v := float64(l.Load())
+		loads[i] = v
+		total += v
+		if l.Load() > r.MaxLoad {
+			r.MaxLoad = l.Load()
+		}
+	}
+	r.MeanLoad = total / float64(n)
+	if total == 0 || n == 1 {
+		return r
+	}
+	// Gini coefficient over the sorted loads: G = (2*sum(i*x_i))/(n*total)
+	// - (n+1)/n with 1-based i over ascending x.
+	sort.Float64s(loads)
+	var weighted float64
+	for i, v := range loads {
+		weighted += float64(i+1) * v
+	}
+	r.Imbalance = 2*weighted/(float64(n)*total) - float64(n+1)/float64(n)
+	if r.Imbalance < 0 {
+		r.Imbalance = 0
+	}
+	return r
+}

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -213,10 +214,12 @@ func TestWritePrometheus(t *testing.T) {
 		`t_prom_total{bus="b"} 3`,
 		"# TYPE t_prom_depth gauge",
 		"t_prom_depth 9",
-		"# TYPE t_prom_ns summary",
-		`t_prom_ns{quantile="0.5"}`,
+		"# TYPE t_prom_ns histogram",
+		`t_prom_ns_bucket{le="+Inf"} 1`,
 		"t_prom_ns_sum 100",
 		"t_prom_ns_count 1",
+		"# TYPE t_prom_ns_quantile gauge",
+		`t_prom_ns_quantile{quantile="0.5"}`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("scrape missing %q in:\n%s", want, out)
@@ -284,6 +287,58 @@ func TestRecordSpanErrorMintsTrace(t *testing.T) {
 	spans := Spans()
 	if len(spans) != 1 || spans[0].Trace != id || spans[0].Err != "denied by IFC" {
 		t.Fatalf("error span = %+v", spans)
+	}
+}
+
+// TestSpanRingEvictionVsReadRace wraps the ring repeatedly from several
+// writers while readers drain Spans/Traces and a resetter clears it —
+// run under -race this pins the eviction path safe against concurrent
+// reads (the /traces endpoint scraping mid-incident). Every observed
+// snapshot must also be internally consistent: never larger than the
+// ring and grouped traces never out of span order.
+func TestSpanRingEvictionVsReadRace(t *testing.T) {
+	ResetSpans()
+	t.Cleanup(ResetSpans)
+	const writers = 4
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var recorded atomic.Uint64
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := TraceContext{ID: TraceID{Hi: uint64(w + 1), Lo: 1}}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				RecordSpan(ctx, "node", "publish", "src", "dst", "")
+				recorded.Add(1)
+			}
+		}(w)
+	}
+	for i := 0; i < 200 || recorded.Load() < 2*spanRingCap; i++ {
+		if spans := Spans(); len(spans) > spanRingCap {
+			t.Errorf("snapshot of %d spans exceeds ring cap %d", len(spans), spanRingCap)
+		}
+		total := 0
+		for _, tr := range Traces() {
+			total += len(tr.Spans)
+		}
+		if total > spanRingCap {
+			t.Errorf("traces carry %d spans, ring cap is %d", total, spanRingCap)
+		}
+		if i%50 == 49 {
+			ResetSpans()
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if recorded.Load() < spanRingCap {
+		t.Fatalf("writers recorded only %d spans; the ring (cap %d) was never stressed",
+			recorded.Load(), spanRingCap)
 	}
 }
 

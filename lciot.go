@@ -415,6 +415,13 @@ type (
 	TraceSpan = telemetry.Span
 	// FlowTrace groups the buffered spans of one trace ID.
 	FlowTrace = telemetry.Trace
+	// SkewReport summarises lane-load imbalance across the parallel plane;
+	// Domain.SkewReport builds one.
+	SkewReport = telemetry.SkewReport
+	// LaneLoad is one lane's row in a SkewReport.
+	LaneLoad = telemetry.LaneLoad
+	// HotComponent is one of a SkewReport's busiest components.
+	HotComponent = telemetry.HotComponent
 )
 
 var (
@@ -436,6 +443,13 @@ var (
 	TraceSampling = telemetry.TraceSampling
 	// FlowTraces groups the buffered span events by trace, oldest first.
 	FlowTraces = telemetry.Traces
+	// SetStageSampling arms per-message stage-latency attribution on every
+	// n-th publish; 0 disables (the default — one atomic load per publish).
+	SetStageSampling = telemetry.SetStageSampling
+	// StageSampling reports the current stage-attribution sampling rate.
+	StageSampling = telemetry.StageSampling
+	// StageEdges lists the local stage-edge metric names in pipeline order.
+	StageEdges = telemetry.StageEdges
 )
 
 // TCP is the production transport over real sockets.

@@ -35,8 +35,14 @@ check 'mutex-guarded pending list' \
     'audit ingest stages per lane; only chain-head assignment serializes'
 check 'serial(ises|izes) every (access|delivery)' \
     'the domain takes no engine-wide lock around CEP or policy dispatch'
-check 'B1.B1[0-5]([^0-9]|$)' \
-    'the benchmark table range is B1–B16 (BENCH_9.json)'
+check 'B1.B1[0-6]([^0-9]|$)' \
+    'the benchmark table range is B1–B17 (BENCH_10.json)'
+check 'histograms in summary form|latency summaries \(p50/p90/p99\)' \
+    '/metrics serves native histograms (le buckets) with companion _quantile gauges'
+check 'Link protocol v2/v3/v4([^/]|$)' \
+    'the link protocol is v2–v5; v5 carries the stage-clock egress timestamp'
+check 'serves four surfaces' \
+    'the operator surface has five endpoints: /metrics, /healthz, /traces, /lanes, pprof'
 
 if [ "$fail" -eq 0 ]; then
     echo "docs-freshness: OK"
